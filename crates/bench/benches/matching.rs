@@ -1,0 +1,63 @@
+//! Pattern-matching cost (§A.2): node scans, edge hops, two-hop joins,
+//! multi-pattern joins and OPTIONAL, at a fixed SNB scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcore_bench::snb_engine;
+use std::hint::black_box;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut engine = snb_engine(1000);
+    let mut g = c.benchmark_group("matching");
+    g.sample_size(20);
+
+    let cases: &[(&str, &str)] = &[
+        (
+            "node_scan",
+            "CONSTRUCT (n) MATCH (n:Person)",
+        ),
+        (
+            "node_scan_filtered",
+            "CONSTRUCT (n) MATCH (n:Person) WHERE n.personId < 50",
+        ),
+        (
+            "edge_hop",
+            "CONSTRUCT (n)-[e]->(m) MATCH (n:Person)-[e:knows]->(m:Person) \
+             WHERE n.personId < 50",
+        ),
+        (
+            "two_hop",
+            "CONSTRUCT (n)-[:fof]->(k) \
+             MATCH (n:Person)-[:knows]->(m:Person)-[:knows]->(k:Person) \
+             WHERE n.personId < 10",
+        ),
+        (
+            "value_join",
+            "CONSTRUCT (a)-[:colleague]->(b) \
+             MATCH (a:Person {employer = e}), (b:Person) \
+             WHERE e IN b.employer AND a.personId < 20",
+        ),
+        (
+            "optional",
+            "CONSTRUCT (n) SET n.msgs := COUNT(*) \
+             MATCH (n:Person) \
+             OPTIONAL (n)<-[:has_creator]-(msg:Post) \
+             WHERE n.personId < 100",
+        ),
+        (
+            "exists_predicate",
+            "CONSTRUCT (n) MATCH (n:Person) \
+             WHERE (n)-[:hasInterest]->(:Tag {name = 'Wagner'}) \
+               AND n.personId < 200",
+        ),
+    ];
+
+    for (name, query) in cases {
+        g.bench_function(*name, |b| {
+            b.iter(|| black_box(engine.query_graph(query).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

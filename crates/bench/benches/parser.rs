@@ -1,0 +1,40 @@
+//! Parser throughput over the paper's query corpus: every §3/§5 query,
+//! parsed end-to-end (lexer → AST), plus the pretty-print roundtrip.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gcore_parser::{parse_statement, print_statement};
+use gcore_repro::corpus;
+use std::hint::black_box;
+
+fn bench_parse_corpus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parser");
+    for q in corpus::ALL {
+        g.bench_function(format!("parse/{}", q.id), |b| {
+            b.iter(|| parse_statement(black_box(q.text)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parser");
+    let asts: Vec<_> = corpus::ALL
+        .iter()
+        .map(|q| parse_statement(q.text).unwrap())
+        .collect();
+    g.bench_function("pretty_print/corpus", |b| {
+        b.iter_batched(
+            || asts.clone(),
+            |asts| {
+                for a in &asts {
+                    black_box(print_statement(a));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse_corpus, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Path machinery (§3, §A.1): reachability, shortest, k-shortest,
+//! weighted shortest over PATH views, stored-path matching and the
+//! ALL-paths projection, at a fixed SNB scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcore_bench::{snb_engine_with_messages, tour_engine};
+use std::hint::black_box;
+
+fn bench_paths(c: &mut Criterion) {
+    let mut engine = snb_engine_with_messages(1000);
+    let mut g = c.benchmark_group("paths");
+    g.sample_size(15);
+
+    let cases: &[(&str, &str)] = &[
+        (
+            "reachability",
+            "CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person) \
+             WHERE n.personId = 0",
+        ),
+        (
+            "shortest_1",
+            "CONSTRUCT (n)-/@p:sp/->(m) \
+             MATCH (n:Person)-/p <:knows*>/->(m:Person) \
+             WHERE n.personId = 0",
+        ),
+        (
+            "shortest_3",
+            "CONSTRUCT (n)-/@p:sp/->(m) \
+             MATCH (n)-/3 SHORTEST p <:knows*>/->(m) \
+             WHERE n.personId = 0 AND (m:Person)",
+        ),
+        (
+            "weighted_shortest",
+            "PATH chatty = (x)-[e:knows]->(y) COST 1 / (1 + e.nr_messages) \
+             CONSTRUCT (n)-/@p:w/->(m) \
+             MATCH (n:Person)-/p <~chatty*>/->(m:Person) ON msg_graph \
+             WHERE n.personId = 0",
+        ),
+        (
+            "all_paths_projection",
+            "CONSTRUCT (n)-/p/->(m) \
+             MATCH (n:Person)-/ALL p <:knows*>/->(m:Person) \
+             WHERE n.personId = 0 AND m.personId = 7",
+        ),
+        (
+            "regex_alternation",
+            "CONSTRUCT (m) \
+             MATCH (n:Person)-/<(:knows + :knows-)* :hasInterest>/->(m:Tag) \
+             WHERE n.personId = 0",
+        ),
+    ];
+    for (name, query) in cases {
+        g.bench_function(*name, |b| {
+            b.iter(|| black_box(engine.query_graph(query).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+/// Matching over *stored* paths — the capability §3 calls unique: a
+/// database of paths queried like any other data.
+fn bench_stored_paths(c: &mut Criterion) {
+    let mut engine = snb_engine_with_messages(1000);
+    // Materialize a path database once.
+    engine
+        .run(
+            "GRAPH VIEW path_db AS ( \
+               CONSTRUCT (n)-/@p:route/->(m) \
+               MATCH (n:Person)-/p <:knows*>/->(m:Person) \
+               WHERE n.personId < 8 )",
+        )
+        .unwrap();
+    let mut g = c.benchmark_group("paths");
+    g.sample_size(15);
+    g.bench_function("stored_path_scan", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .query_table(
+                        "SELECT length(p) AS hops, COUNT(*) AS n \
+                         MATCH ()-/@p:route/->() ON path_db \
+                         GROUP BY length(p)",
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// The guided tour's full three-stage Wagner pipeline on the toy graph —
+/// an end-to-end latency figure.
+fn bench_tour_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paths");
+    g.bench_function("wagner_pipeline_toy", |b| {
+        b.iter(|| {
+            let mut engine = tour_engine();
+            engine
+                .run(
+                    "GRAPH VIEW social_graph1 AS ( \
+                     CONSTRUCT social_graph, (n)-[e]->(m) SET e.nr_messages := COUNT(*) \
+                     MATCH (n)-[e:knows]->(m) WHERE (n:Person) AND (m:Person) \
+                     OPTIONAL (n)<-[c1]-(msg1:Post|Comment), (msg1)-[:reply_of]-(msg2), \
+                              (msg2:Post|Comment)-[c2]->(m) \
+                     WHERE (c1:has_creator) AND (c2:has_creator) )",
+                )
+                .unwrap();
+            engine
+                .run(
+                    "GRAPH VIEW social_graph2 AS ( \
+                     PATH wKnows = (x)-[e:knows]->(y) WHERE NOT 'Acme' IN y.employer \
+                       COST 1 / (1 + e.nr_messages) \
+                     CONSTRUCT social_graph1, (n)-/@p:toWagner/->(m) \
+                     MATCH (n:Person)-/p <~wKnows*>/->(m:Person) ON social_graph1 \
+                     WHERE (m)-[:hasInterest]->(:Tag {name = 'Wagner'}) \
+                       AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m) \
+                       AND n.firstName = 'John' AND n.lastName = 'Doe' )",
+                )
+                .unwrap();
+            black_box(
+                engine
+                    .query_graph(
+                        "CONSTRUCT (n)-[e:wagnerFriend {score := COUNT(*)}]->(m) \
+                         WHEN e.score > 0 \
+                         MATCH (n:Person)-/@p:toWagner/->(), (m:Person) ON social_graph2 \
+                         WHERE m = nodes(p)[1]",
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_paths, bench_stored_paths, bench_tour_pipeline);
+criterion_main!(benches);

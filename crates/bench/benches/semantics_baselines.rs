@@ -1,0 +1,56 @@
+//! The §6 evaluation-semantics contrast, measured (experiment E9):
+//! G-CORE's shortest-walk semantics stays linear on graphs where
+//! Cypher-9-style no-repeated-edge (trail) and simple-path enumeration
+//! blow up combinatorially — the blow-up the paper cites when arguing
+//! for arbitrary-walk shortest semantics ([23] is NP-complete for
+//! simple paths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcore::baselines::{shortest_walks, simple_paths, trails};
+use gcore_ppg::{Attributes, GraphBuilder, Label, NodeId, PathPropertyGraph};
+use std::hint::black_box;
+
+/// k diamonds in a row: 2^k simple paths end-to-end, 3k+1 nodes.
+fn diamond_chain(k: usize) -> (PathPropertyGraph, NodeId, NodeId) {
+    let mut b = GraphBuilder::standalone();
+    let mut hub = b.node(Attributes::new());
+    let first = hub;
+    for _ in 0..k {
+        let up = b.node(Attributes::new());
+        let down = b.node(Attributes::new());
+        let next = b.node(Attributes::new());
+        for (s, d) in [(hub, up), (hub, down), (up, next), (down, next)] {
+            b.edge(s, d, Attributes::labeled("e"));
+        }
+        hub = next;
+    }
+    (b.build(), first, hub)
+}
+
+fn bench_semantics(c: &mut Criterion) {
+    let label = Label::new("e");
+    let mut g = c.benchmark_group("semantics");
+    g.sample_size(10);
+    for k in [4usize, 8, 12, 16] {
+        let (graph, src, dst) = diamond_chain(k);
+        g.bench_with_input(
+            BenchmarkId::new("gcore_shortest_walk", k),
+            &k,
+            |b, _| b.iter(|| black_box(shortest_walks(&graph, src, label))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("cypher9_trails", k),
+            &k,
+            |b, _| b.iter(|| black_box(trails(&graph, src, dst, label, u64::MAX))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("simple_paths_np", k),
+            &k,
+            |b, _| b.iter(|| black_box(simple_paths(&graph, src, dst, label, u64::MAX))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_semantics);
+criterion_main!(benches);

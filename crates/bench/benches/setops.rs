@@ -1,0 +1,53 @@
+//! Full-graph set operations (§A.5): UNION / INTERSECT / MINUS at the
+//! graph level, plus their engine-level composition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcore_ppg::ops;
+use gcore_snb::{generate_standalone, SnbConfig};
+use std::hint::black_box;
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("setops");
+    g.sample_size(20);
+    for &persons in &[500usize, 1000, 2000] {
+        let a = generate_standalone(&SnbConfig::scale(persons)).graph;
+        let b = generate_standalone(&SnbConfig::scale(persons).with_seed(7)).graph;
+        g.bench_with_input(BenchmarkId::new("union", persons), &persons, |bench, _| {
+            bench.iter(|| black_box(ops::union(&a, &b)))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("intersect", persons),
+            &persons,
+            |bench, _| bench.iter(|| black_box(ops::intersect(&a, &b))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("difference", persons),
+            &persons,
+            |bench, _| bench.iter(|| black_box(ops::difference(&a, &b))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_query_level_setops(c: &mut Criterion) {
+    let mut engine = gcore_bench::snb_engine(1000);
+    let mut g = c.benchmark_group("setops");
+    g.sample_size(15);
+    g.bench_function("query_union_minus", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .query_graph(
+                        "CONSTRUCT (n) MATCH (n:Person) \
+                         MINUS \
+                         CONSTRUCT (n) MATCH (n:Person) WHERE 'Acme' IN n.employer",
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_graph_ops, bench_query_level_setops);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! The §4 tractability claim, measured: fixed queries, growing data.
+//!
+//! "for each fixed G-CORE query q, the result JqKG … can be computed in
+//! polynomial time". Each group below sweeps one fixed query over SNB
+//! networks of growing size; criterion's per-scale throughput lets the
+//! EXPERIMENTS.md table check that time grows polynomially (near-
+//! linearly for the path operators) rather than exponentially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gcore_bench::{snb_engine, SCALES};
+use std::hint::black_box;
+
+/// Fixed queries of the sweep. `personId`-rooted so the work per query
+/// is dominated by graph exploration, not by result size.
+const SWEEP: &[(&str, &str)] = &[
+    (
+        "pattern_match",
+        "CONSTRUCT (n)-[e]->(m) MATCH (n:Person)-[e:knows]->(m:Person) \
+         WHERE n.personId < 32",
+    ),
+    (
+        "reachability",
+        "CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person) \
+         WHERE n.personId = 0",
+    ),
+    (
+        "shortest_paths",
+        "CONSTRUCT (n)-/@p:sp/->(m) \
+         MATCH (n:Person)-/p <:knows*>/->(m:Person) \
+         WHERE n.personId = 0",
+    ),
+    (
+        "construct_aggregation",
+        "CONSTRUCT (t)<-[e:pop]-(n) SET e.cnt := COUNT(*) \
+         MATCH (n:Person)-[:hasInterest]->(t:Tag)",
+    ),
+    (
+        "exists_filter",
+        "CONSTRUCT (n) MATCH (n:Person) \
+         WHERE (n)-[:hasInterest]->(:Tag {name = 'Wagner'})",
+    ),
+];
+
+fn bench_tractability(c: &mut Criterion) {
+    for (name, query) in SWEEP {
+        let mut g = c.benchmark_group(format!("tractability/{name}"));
+        g.sample_size(10);
+        for &persons in SCALES {
+            let mut engine = snb_engine(persons);
+            let nodes = engine.graph("snb").unwrap().node_count() as u64;
+            g.throughput(Throughput::Elements(nodes));
+            g.bench_with_input(
+                BenchmarkId::from_parameter(persons),
+                &persons,
+                |b, _| b.iter(|| black_box(engine.query_graph(query).unwrap())),
+            );
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_tractability);
+criterion_main!(benches);

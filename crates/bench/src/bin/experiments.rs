@@ -1,0 +1,388 @@
+//! Regenerate every figure/table artefact of the paper as text.
+//!
+//! ```sh
+//! cargo run --release -p gcore-bench --bin experiments -- --all
+//! ```
+//!
+//! Flags (combine freely): `--fig1 --fig2 --tour --bindings --fig5
+//! --table1 --semantics --scaling --all`.
+
+use gcore::baselines::{shortest_walks, simple_paths, trails};
+use gcore_bench::tour_engine;
+use gcore_ppg::{to_text, Attributes, GraphBuilder, Key, Label, NodeId, PathPropertyGraph, Value};
+use gcore_repro::corpus;
+use gcore_repro::features::{detect, TABLE1};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |f: &str| args.iter().any(|a| a == f || a == "--all");
+    if args.is_empty() {
+        eprintln!(
+            "usage: experiments [--fig1] [--fig2] [--tour] [--bindings] \
+             [--fig5] [--table1] [--semantics] [--scaling] [--all]"
+        );
+        std::process::exit(2);
+    }
+    if has("--fig2") {
+        fig2();
+    }
+    if has("--fig1") {
+        fig1();
+    }
+    if has("--bindings") {
+        bindings();
+    }
+    if has("--tour") {
+        tour();
+    }
+    if has("--fig5") {
+        fig5();
+    }
+    if has("--table1") {
+        table1();
+    }
+    if has("--semantics") {
+        semantics();
+    }
+    if has("--scaling") {
+        scaling();
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n======================================================================");
+    println!("{title}");
+    println!("======================================================================");
+}
+
+/// Figure 2 / Example 2.2: the toy PPG with its literal identifiers.
+fn fig2() {
+    banner("Figure 2 / Example 2.2 — the Path Property Graph model");
+    let engine = tour_engine();
+    let g = engine.graph("figure2").unwrap();
+    println!("{}", to_text(&g));
+    let p = g.path(gcore_ppg::PathId(301)).unwrap();
+    println!("delta(301)  = {:?}", p.shape.interleaved());
+    println!(
+        "nodes(301)  = {:?}",
+        p.shape.nodes().iter().map(|n| n.raw()).collect::<Vec<_>>()
+    );
+    println!(
+        "edges(301)  = {:?}",
+        p.shape.edges().iter().map(|e| e.raw()).collect::<Vec<_>>()
+    );
+    println!(
+        "lambda(301) = {:?}, sigma(301, trust) = {}",
+        g.labels(gcore_ppg::PathId(301).into()).names(),
+        g.prop(gcore_ppg::PathId(301).into(), Key::new("trust"))
+    );
+}
+
+/// Figure 1 (recast): the five feature families of the TUC use-case
+/// analysis, with the corpus queries that exercise each.
+fn fig1() {
+    banner("Figure 1 (recast) — feature families covered by the query corpus");
+    use gcore_repro::features::Feature;
+    let families: &[(&str, &[Feature])] = &[
+        (
+            "graph reachability",
+            &[Feature::Reachability, Feature::KShortestPaths],
+        ),
+        ("graph construction", &[Feature::GraphConstruction]),
+        ("pattern matching", &[Feature::HomomorphicMatching]),
+        (
+            "shortest path search",
+            &[
+                Feature::KShortestPaths,
+                Feature::WeightedShortestPaths,
+                Feature::QueriesOnPaths,
+            ],
+        ),
+        (
+            "graph clustering / aggregation",
+            &[Feature::GraphAggregation],
+        ),
+    ];
+    println!("{:<34} {:>7}   queries", "feature family", "covered");
+    for (family, feats) in families {
+        let covering: Vec<&str> = corpus::ALL
+            .iter()
+            .filter(|q| {
+                let d = detect(&gcore_parser::parse_statement(q.text).unwrap());
+                feats.iter().any(|f| d.contains(f))
+            })
+            .map(|q| q.id)
+            .collect();
+        println!(
+            "{:<34} {:>7}   {}",
+            family,
+            covering.len(),
+            covering.join(", ")
+        );
+    }
+}
+
+/// The §3 binding tables: the 3-row equi-join, the 20-row Cartesian
+/// product and the 5-row unrolled table, printed as in the paper.
+fn bindings() {
+    banner("Section 3 — binding tables");
+    let mut engine = tour_engine();
+
+    let print_table = |t: &gcore_ppg::Table| {
+        let widths: Vec<usize> = t
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                t.rows()
+                    .iter()
+                    .map(|r| r[i].to_string().len())
+                    .chain([c.len()])
+                    .max()
+                    .unwrap_or(4)
+            })
+            .collect();
+        for (c, w) in t.columns().iter().zip(&widths) {
+            print!("{c:<w$}  ");
+        }
+        println!();
+        for row in t.rows() {
+            for (v, w) in row.iter().zip(&widths) {
+                print!("{:<w$}  ", v.to_string());
+            }
+            println!();
+        }
+    };
+
+    println!("-- equi-join (c.name = n.employer): 3 bindings --");
+    let t = engine
+        .query_table(
+            "SELECT c AS c, n AS n \
+             MATCH (c:Company) ON company_graph, (n:Person) ON social_graph \
+             WHERE c.name = n.employer",
+        )
+        .unwrap();
+    print_table(&t);
+
+    println!("\n-- Cartesian product (WHERE omitted): 20 bindings --");
+    let t = engine
+        .query_table(
+            "SELECT c AS c, c.name AS cname, n AS n, n.employer AS employer \
+             MATCH (c:Company) ON company_graph, (n:Person) ON social_graph",
+        )
+        .unwrap();
+    print_table(&t);
+
+    println!("\n-- unrolled multi-valued employer ({{employer = e}}): 5 bindings --");
+    let t = engine
+        .query_table(
+            "SELECT c AS c, n AS n, e AS e \
+             MATCH (c:Company) ON company_graph, \
+                   (n:Person {employer = e}) ON social_graph \
+             WHERE c.name = e",
+        )
+        .unwrap();
+    print_table(&t);
+}
+
+/// Run the whole guided tour in paper order, summarizing each result.
+fn tour() {
+    banner("Section 3 — the guided tour, query by query");
+    let mut engine = tour_engine();
+    for q in corpus::ALL {
+        let t0 = Instant::now();
+        match engine.run(q.text) {
+            Ok(gcore::QueryOutput::Graph(g)) => println!(
+                "lines {:>2}-{:<2} {:<18} -> graph: {:>3} nodes, {:>3} edges, {} paths   ({:?})",
+                q.first_line,
+                q.last_line,
+                q.id,
+                g.node_count(),
+                g.edge_count(),
+                g.path_count(),
+                t0.elapsed()
+            ),
+            Ok(gcore::QueryOutput::Table(t)) => println!(
+                "lines {:>2}-{:<2} {:<18} -> table: {:>3} rows x {} cols              ({:?})",
+                q.first_line,
+                q.last_line,
+                q.id,
+                t.len(),
+                t.columns().len(),
+                t0.elapsed()
+            ),
+            Err(e) => println!("lines {:>2}-{:<2} {:<18} -> ERROR {e}", q.first_line, q.last_line, q.id),
+        }
+    }
+}
+
+/// Figure 5: social_graph1's nr_messages and social_graph2's stored
+/// :toWagner paths, plus the final wagnerFriend scoring.
+fn fig5() {
+    banner("Figure 5 — social_graph1, social_graph2 and the wagnerFriend score");
+    let mut engine = tour_engine();
+    engine.run(corpus::SOCIAL_GRAPH1.text).unwrap();
+    engine.run(corpus::SOCIAL_GRAPH2.text).unwrap();
+
+    let g1 = engine.graph("social_graph1").unwrap();
+    println!("-- nr_messages per knows edge (social_graph1) --");
+    let name = |g: &PathPropertyGraph, n: NodeId| {
+        g.prop(n.into(), Key::new("firstName"))
+            .as_singleton()
+            .map(|v| v.to_string())
+            .unwrap_or_default()
+    };
+    for e in g1.edges_with_label(Label::new("knows")) {
+        let (s, t) = g1.endpoints(e).unwrap();
+        println!(
+            "  {:<7} -> {:<7} nr_messages = {}",
+            name(&g1, s),
+            name(&g1, t),
+            g1.prop(e.into(), Key::new("nr_messages"))
+        );
+    }
+
+    let g2 = engine.graph("social_graph2").unwrap();
+    println!("\n-- stored :toWagner paths (social_graph2) --");
+    for p in g2.paths_with_label(Label::new("toWagner")) {
+        let shape = &g2.path(p).unwrap().shape;
+        let names: Vec<String> = shape.nodes().iter().map(|&n| name(&g2, n)).collect();
+        println!("  {p}: {}", names.join(" -> "));
+    }
+
+    let result = engine.query_graph(corpus::WAGNER_FRIEND.text).unwrap();
+    println!("\n-- wagnerFriend edges (lines 67-71) --");
+    for e in result.edges_with_label(Label::new("wagnerFriend")) {
+        let (s, t) = result.endpoints(e).unwrap();
+        println!(
+            "  {} -> {} with score = {}",
+            name(&result, s),
+            name(&result, t),
+            result.prop(e.into(), Key::new("score"))
+        );
+    }
+}
+
+/// Table 1: the feature × line matrix, with detector confirmation.
+fn table1() {
+    banner("Table 1 — G-CORE features and their line occurrences");
+    let detected: Vec<_> = corpus::ALL
+        .iter()
+        .map(|q| (q, detect(&gcore_parser::parse_statement(q.text).unwrap())))
+        .collect();
+    println!("{:<55} {:<28} detected", "feature", "paper lines");
+    for (feature, lines) in TABLE1 {
+        let occ = match lines {
+            None => "*".to_owned(),
+            Some(ls) => ls
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
+        };
+        let confirmed = match lines {
+            None => detected.iter().filter(|(_, d)| d.contains(feature)).count(),
+            Some(ls) => ls
+                .iter()
+                .filter(|&&l| {
+                    corpus::query_at_line(l)
+                        .and_then(|q| {
+                            detected
+                                .iter()
+                                .find(|(cq, _)| cq.id == q.id)
+                                .map(|(_, d)| d.contains(feature))
+                        })
+                        .unwrap_or(false)
+                })
+                .count(),
+        };
+        let total = match lines {
+            None => detected.len(),
+            Some(ls) => ls.len(),
+        };
+        println!("{feature:<55} {occ:<28} {confirmed}/{total}");
+    }
+}
+
+/// The §6 semantics contrast on diamond-chain graphs.
+fn semantics() {
+    banner("Section 6 — evaluation-semantics contrast (expansions, k diamonds)");
+    println!(
+        "{:>3}  {:>14}  {:>14}  {:>16}  {:>12}",
+        "k", "shortest-walk", "trails(Cy9)", "simple(NP-hard)", "simple paths"
+    );
+    for k in [2usize, 4, 6, 8, 10, 12, 14, 16] {
+        let (g, src, dst) = diamond_chain(k);
+        let label = Label::new("e");
+        let w = shortest_walks(&g, src, label);
+        let t = trails(&g, src, dst, label, u64::MAX);
+        let s = simple_paths(&g, src, dst, label, u64::MAX);
+        println!(
+            "{k:>3}  {:>14}  {:>14}  {:>16}  {:>12}",
+            w.expansions, t.expansions, s.expansions, s.paths
+        );
+    }
+    println!("(shortest-walk grows linearly in k; both enumerations double per diamond)");
+}
+
+fn diamond_chain(k: usize) -> (PathPropertyGraph, NodeId, NodeId) {
+    let mut b = GraphBuilder::standalone();
+    let mut hub = b.node(Attributes::new());
+    let first = hub;
+    for _ in 0..k {
+        let up = b.node(Attributes::new());
+        let down = b.node(Attributes::new());
+        let next = b.node(Attributes::new());
+        for (s, d) in [(hub, up), (hub, down), (up, next), (down, next)] {
+            b.edge(s, d, Attributes::labeled("e"));
+        }
+        hub = next;
+    }
+    (b.build(), first, hub)
+}
+
+/// The §4 tractability sweep, as a quick wall-clock table (criterion
+/// benches produce the rigorous numbers; this prints the shape).
+fn scaling() {
+    banner("Section 4 — data-complexity sweep (fixed queries, growing graphs)");
+    let queries: &[(&str, &str)] = &[
+        (
+            "pattern_match",
+            "CONSTRUCT (n)-[e]->(m) MATCH (n:Person)-[e:knows]->(m:Person) \
+             WHERE n.personId < 32",
+        ),
+        (
+            "reachability",
+            "CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person) WHERE n.personId = 0",
+        ),
+        (
+            "shortest_paths",
+            "CONSTRUCT (n)-/@p:sp/->(m) MATCH (n:Person)-/p <:knows*>/->(m:Person) \
+             WHERE n.personId = 0",
+        ),
+        (
+            "construct_agg",
+            "CONSTRUCT (t)<-[e:pop]-(n) SET e.cnt := COUNT(*) \
+             MATCH (n:Person)-[:hasInterest]->(t:Tag)",
+        ),
+    ];
+    print!("{:>9}", "persons");
+    for (name, _) in queries {
+        print!("  {name:>16}");
+    }
+    println!();
+    for &persons in gcore_bench::SCALES {
+        let mut engine = gcore_bench::snb_engine(persons);
+        print!("{persons:>9}");
+        for (_, q) in queries {
+            let t0 = Instant::now();
+            let out = engine.query_graph(q).unwrap();
+            let dt = t0.elapsed();
+            let _ = Value::Int(out.node_count() as i64);
+            print!("  {:>14.2?}ms", dt.as_secs_f64() * 1e3);
+        }
+        println!();
+    }
+    println!("(times should grow polynomially — near-linearly for the path operators)");
+}

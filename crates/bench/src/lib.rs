@@ -1,0 +1,54 @@
+//! Shared fixtures for the benchmark suite and the `experiments`
+//! binary: engines pre-loaded with the paper's toy datasets and with
+//! generated SNB networks at the benchmark scales.
+
+use gcore::Engine;
+use gcore_snb::{generate, social_dataset, SnbConfig};
+
+/// The SNB scales (persons) used by every scaling sweep. Node counts
+/// are roughly 6× the person count (cities, tags, messages).
+pub const SCALES: &[usize] = &[250, 500, 1000, 2000, 4000];
+
+/// An engine loaded with the Figure 2 / Figure 4 toy datasets (same
+/// layout as the integration tests).
+pub fn tour_engine() -> Engine {
+    let mut engine = Engine::new();
+    let ids = engine.catalog().ids().clone();
+    let d = social_dataset(&ids);
+    let fig2 = gcore_snb::figure2(&ids);
+    engine.register_graph("social_graph", d.social_graph);
+    engine.register_graph("company_graph", d.company_graph);
+    engine.register_graph("figure2", fig2);
+    engine.register_table("orders", d.orders);
+    engine.set_default_graph("social_graph");
+    engine
+}
+
+/// An engine with one generated SNB network registered as `snb` (and as
+/// the default graph).
+pub fn snb_engine(persons: usize) -> Engine {
+    let mut engine = Engine::new();
+    let data = generate(&SnbConfig::scale(persons), &engine.catalog().ids().clone());
+    engine.register_graph("snb", data.graph);
+    engine.set_default_graph("snb");
+    engine
+}
+
+/// The message-annotated view used by the weighted-path benchmarks
+/// (social_graph1 at SNB scale). Returns the engine with both graphs.
+pub fn snb_engine_with_messages(persons: usize) -> Engine {
+    let mut engine = snb_engine(persons);
+    engine
+        .run(
+            "GRAPH VIEW msg_graph AS ( \
+               CONSTRUCT snb, (n)-[e]->(m) SET e.nr_messages := COUNT(*) \
+               MATCH (n)-[e:knows]->(m) \
+               WHERE (n:Person) AND (m:Person) \
+               OPTIONAL (n)<-[c1]-(msg1:Post|Comment), \
+                        (msg1)-[:reply_of]-(msg2), \
+                        (msg2:Post|Comment)-[c2]->(m) \
+               WHERE (c1:has_creator) AND (c2:has_creator) )",
+        )
+        .expect("message view builds");
+    engine
+}

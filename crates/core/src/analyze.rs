@@ -1,0 +1,361 @@
+//! Static semantic analysis: variable-sort inference and
+//! well-formedness checks, run before evaluation.
+//!
+//! The paper's formalism keeps node, edge, path and value variables in
+//! disjoint universes (N, E, P, V of §A.1) — "when using bound
+//! variables in a CONSTRUCT, they must be of the right sort: it would
+//! be illegal to use n (a node) in the place of y (an edge)" (§3).
+//! Evaluation would surface such confusions as empty joins or runtime
+//! sort errors; this pass rejects them up front with a precise
+//! [`SemanticError::SortMismatch`].
+
+use crate::error::{Result, SemanticError};
+use gcore_parser::ast::{
+    Connection, ConstructConnection, ConstructItem, Expr, FullGraphQuery, HeadClause, Location,
+    MatchClause, Pattern, Query, QueryBody, QuerySource, Statement,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The sort of a variable, inferred from its binding positions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Sort {
+    /// Bound at a node position `(x)`.
+    Node,
+    /// Bound at an edge position `-[e]-`.
+    Edge,
+    /// Bound at a path position `-/p/-`.
+    Path,
+    /// Bound to a literal value (`{k = v}` unrolling, `COST c`, FROM
+    /// columns).
+    Value,
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            Sort::Node => "a node variable",
+            Sort::Edge => "an edge variable",
+            Sort::Path => "a path variable",
+            Sort::Value => "a value variable",
+        })
+    }
+}
+
+/// Variable sorts in scope, outermost first.
+#[derive(Clone, Default, Debug)]
+pub struct SortEnv {
+    sorts: BTreeMap<String, Sort>,
+}
+
+impl SortEnv {
+    /// Record (or check) a variable's sort.
+    pub fn bind(&mut self, var: &str, sort: Sort) -> Result<()> {
+        match self.sorts.get(var) {
+            None => {
+                self.sorts.insert(var.to_owned(), sort);
+                Ok(())
+            }
+            Some(prev) if *prev == sort => Ok(()),
+            Some(prev) => Err(SemanticError::SortMismatch {
+                var: var.to_owned(),
+                expected: prev.to_string(),
+                found: sort.to_string(),
+            }
+            .into()),
+        }
+    }
+
+    /// The sort of a variable, if bound.
+    pub fn sort(&self, var: &str) -> Option<Sort> {
+        self.sorts.get(var).copied()
+    }
+}
+
+/// Analyze one statement; errors abort evaluation.
+pub fn check_statement(stmt: &Statement) -> Result<()> {
+    match stmt {
+        Statement::Query(q) => check_query(q, &SortEnv::default()),
+        Statement::GraphView { query, .. } => check_query(query, &SortEnv::default()),
+    }
+}
+
+fn check_query(q: &Query, outer: &SortEnv) -> Result<()> {
+    let mut env = outer.clone();
+    for head in &q.heads {
+        match head {
+            HeadClause::Path(pc) => {
+                // PATH patterns bind their own scope.
+                let mut penv = SortEnv::default();
+                for p in &pc.patterns {
+                    collect_pattern(p, &mut penv)?;
+                }
+            }
+            HeadClause::Graph(gc) => check_query(&gc.query, outer)?,
+        }
+    }
+    match &q.body {
+        QueryBody::Graph(fgq) => check_fgq(fgq, &mut env),
+        QueryBody::Select(s) => {
+            collect_match(&s.match_clause, &mut env)?;
+            for item in &s.items {
+                check_expr(&item.expr, &env)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_fgq(q: &FullGraphQuery, outer: &mut SortEnv) -> Result<()> {
+    match q {
+        FullGraphQuery::Basic(b) => {
+            // Basic queries form the variable scope (§A.3): collect the
+            // MATCH sorts, then validate the CONSTRUCT against them.
+            let mut env = outer.clone();
+            if let QuerySource::Match(m) = &b.source {
+                collect_match(m, &mut env)?;
+            }
+            for item in &b.construct.items {
+                let ConstructItem::Pattern(pat) = item else {
+                    continue;
+                };
+                let mut nodes = vec![&pat.start];
+                for s in &pat.steps {
+                    nodes.push(&s.node);
+                }
+                for n in nodes {
+                    if let Some(v) = &n.var {
+                        check_use(&env, v, Sort::Node)?;
+                    }
+                }
+                for s in &pat.steps {
+                    match &s.connection {
+                        ConstructConnection::Edge(e) => {
+                            if let Some(v) = &e.var {
+                                check_use(&env, v, Sort::Edge)?;
+                            }
+                        }
+                        ConstructConnection::Path(p) => {
+                            check_use(&env, &p.var, Sort::Path)?;
+                        }
+                    }
+                }
+                if let Some(w) = &pat.when {
+                    check_expr(w, &env)?;
+                }
+            }
+            Ok(())
+        }
+        FullGraphQuery::SetOp { left, right, .. } => {
+            check_fgq(left, outer)?;
+            check_fgq(right, outer)
+        }
+    }
+}
+
+/// Using a MATCH-bound variable at a construct position of a different
+/// sort is the §3 "illegal to use n in the place of y" error. Unbound
+/// variables are fine (they skolemize).
+fn check_use(env: &SortEnv, var: &str, required: Sort) -> Result<()> {
+    match env.sort(var) {
+        None => Ok(()),
+        Some(s) if s == required => Ok(()),
+        Some(s) => Err(SemanticError::SortMismatch {
+            var: var.to_owned(),
+            expected: required.to_string(),
+            found: s.to_string(),
+        }
+        .into()),
+    }
+}
+
+fn collect_match(m: &MatchClause, env: &mut SortEnv) -> Result<()> {
+    for lp in &m.patterns {
+        collect_pattern(&lp.pattern, env)?;
+        if let Some(Location::Subquery(q)) = &lp.on {
+            check_query(q, env)?;
+        }
+    }
+    if let Some(w) = &m.where_clause {
+        check_expr(w, env)?;
+    }
+    for opt in &m.optionals {
+        for lp in &opt.patterns {
+            collect_pattern(&lp.pattern, env)?;
+        }
+        if let Some(w) = &opt.where_clause {
+            check_expr(w, env)?;
+        }
+    }
+    Ok(())
+}
+
+fn collect_pattern(p: &Pattern, env: &mut SortEnv) -> Result<()> {
+    let node = |n: &gcore_parser::ast::NodePattern, env: &mut SortEnv| -> Result<()> {
+        if let Some(v) = &n.var {
+            env.bind(v, Sort::Node)?;
+        }
+        Ok(())
+    };
+    node(&p.start, env)?;
+    for s in &p.steps {
+        node(&s.node, env)?;
+        match &s.connection {
+            Connection::Edge(e) => {
+                if let Some(v) = &e.var {
+                    env.bind(v, Sort::Edge)?;
+                }
+            }
+            Connection::Path(pp) => {
+                if let Some(v) = &pp.var {
+                    env.bind(v, Sort::Path)?;
+                }
+                if let Some(c) = &pp.cost_var {
+                    env.bind(c, Sort::Value)?;
+                }
+            }
+        }
+    }
+    // `{k = v}` binders introduce value variables. They are only
+    // *binders* when the name is not a structural variable — matching
+    // the matcher's rule.
+    for n in p.nodes() {
+        for pe in &n.props {
+            if let Expr::Var(v) = &pe.value {
+                if env.sort(v).is_none() {
+                    env.bind(v, Sort::Value)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_expr(e: &Expr, env: &SortEnv) -> Result<()> {
+    match e {
+        Expr::Prop(b, _) | Expr::LabelTest(b, _) | Expr::Unary(_, b) => check_expr(b, env),
+        Expr::Index(a, b) | Expr::Binary(_, a, b) => {
+            check_expr(a, env)?;
+            check_expr(b, env)
+        }
+        Expr::Func(_, args) => args.iter().try_for_each(|a| check_expr(a, env)),
+        Expr::Aggregate { arg: Some(a), .. } => check_expr(a, env),
+        Expr::Aggregate { arg: None, .. } => Ok(()),
+        Expr::Case {
+            operand,
+            whens,
+            else_,
+        } => {
+            if let Some(o) = operand {
+                check_expr(o, env)?;
+            }
+            for (c, r) in whens {
+                check_expr(c, env)?;
+                check_expr(r, env)?;
+            }
+            if let Some(x) = else_ {
+                check_expr(x, env)?;
+            }
+            Ok(())
+        }
+        Expr::Exists(q) => check_query(q, env),
+        Expr::PatternPredicate(p) => {
+            // The predicate's variables must be sort-consistent with the
+            // enclosing scope (fresh ones bind locally).
+            let mut inner = env.clone();
+            collect_pattern(p, &mut inner)
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcore_parser::parse_statement;
+
+    fn check(text: &str) -> Result<()> {
+        check_statement(&parse_statement(text).unwrap())
+    }
+
+    #[test]
+    fn corpus_style_queries_pass() {
+        check("CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme'").unwrap();
+        check(
+            "CONSTRUCT (n)-/@p:l {d := c}/->(m) \
+             MATCH (n)-/3 SHORTEST p <:knows*> COST c/->(m)",
+        )
+        .unwrap();
+        check(
+            "CONSTRUCT (x GROUP e :Company {name := e})<-[y:worksAt]-(n) \
+             MATCH (n:Person {employer = e})",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn node_used_as_edge_rejected() {
+        let err = check("CONSTRUCT (a)-[n]->(b) MATCH (n)-[e]->(m), (a), (b)").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::EngineError::Semantic(SemanticError::SortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn edge_used_as_node_rejected() {
+        let err = check("CONSTRUCT (e) MATCH (n)-[e]->(m)").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::EngineError::Semantic(SemanticError::SortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn path_var_cannot_be_an_edge_in_match() {
+        let err = check(
+            "CONSTRUCT (n) MATCH (n)-/p <:knows*>/->(m), (x)-[p]->(y)",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::EngineError::Semantic(SemanticError::SortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cost_variable_is_a_value() {
+        let err = check(
+            "CONSTRUCT (c) MATCH (n)-/p <:knows*> COST c/->(m)",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::EngineError::Semantic(SemanticError::SortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn same_var_in_two_node_positions_is_fine() {
+        // Homomorphism: cycles are expressed by repeating variables.
+        check("CONSTRUCT (n) MATCH (n)-[e]->(n)").unwrap();
+    }
+
+    #[test]
+    fn exists_subquery_shares_outer_sorts() {
+        let err = check(
+            "CONSTRUCT (n) MATCH (n)-[e]->(m) \
+             WHERE EXISTS (CONSTRUCT (x) MATCH (x)-[n]->(y))",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::EngineError::Semantic(SemanticError::SortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unbound_construct_vars_are_unconstrained() {
+        check("CONSTRUCT (fresh)-[also_fresh]->(fresh2) MATCH (n)").unwrap();
+    }
+}

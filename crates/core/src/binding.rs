@@ -1,0 +1,535 @@
+//! Bindings and binding tables — §A.1 of the paper.
+//!
+//! A binding µ is a partial function from variables to node, edge and path
+//! identifiers (extended with literal values for the `{k = e}` unrolling
+//! and `COST c`). A [`BindingTable`] is a *set* Ω of bindings with the four
+//! operations the appendix defines:
+//!
+//! * Ω₁ ∪ Ω₂ — union,
+//! * Ω₁ ⋈ Ω₂ — natural join of compatible bindings,
+//! * Ω₁ ⋉ Ω₂ — semijoin,
+//! * Ω₁ ∖ Ω₂ — antijoin,
+//! * Ω₁ ⟕ Ω₂ = (Ω₁ ⋈ Ω₂) ∪ (Ω₁ ∖ Ω₂) — left outer join (OPTIONAL).
+//!
+//! Tables are kept sorted and deduplicated (set semantics), which also
+//! makes every downstream result deterministic.
+
+use gcore_ppg::{EdgeId, NodeId, PathId, PathPropertyGraph, Value};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A value bound to a variable.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Bound {
+    /// Left-outer-join padding: the variable is unbound in this row.
+    Missing,
+    /// A node identifier binding.
+    Node(NodeId),
+    /// An edge identifier binding.
+    Edge(EdgeId),
+    /// A stored path of the graph (an element of `P`).
+    Path(PathId),
+    /// A path computed by a path pattern; index into the evaluation
+    /// context's fresh-path arena.
+    FreshPath(usize),
+    /// A literal value (property unrolling, COST variables, FROM columns).
+    Value(Value),
+}
+
+impl Bound {
+    /// Is this a padding entry?
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Bound::Missing)
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Bound::Missing => 0,
+            Bound::Node(_) => 1,
+            Bound::Edge(_) => 2,
+            Bound::Path(_) => 3,
+            Bound::FreshPath(_) => 4,
+            Bound::Value(_) => 5,
+        }
+    }
+}
+
+impl Eq for Bound {}
+
+impl Ord for Bound {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Bound::*;
+        match (self, other) {
+            (Node(a), Node(b)) => a.cmp(b),
+            (Edge(a), Edge(b)) => a.cmp(b),
+            (Path(a), Path(b)) => a.cmp(b),
+            (FreshPath(a), FreshPath(b)) => a.cmp(b),
+            (Value(a), Value(b)) => a.cmp(b),
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+impl PartialOrd for Bound {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A column of a binding table: the variable name and the graph its
+/// element attributes resolve against (λ and σ are per-graph, and views
+/// may give the *same identity* different properties — e.g.
+/// `nr_messages` exists on `social_graph1`'s knows edges but not on
+/// `social_graph`'s).
+#[derive(Clone, Debug)]
+pub struct Column {
+    /// The variable name.
+    pub var: String,
+    /// The graph whose λ/σ this column's elements resolve against.
+    pub graph: Arc<PathPropertyGraph>,
+}
+
+/// A set of bindings Ω over a common schema.
+///
+/// Invariants: rows are sorted, deduplicated, and every row has exactly
+/// `columns.len()` entries.
+#[derive(Clone, Debug)]
+pub struct BindingTable {
+    columns: Vec<Column>,
+    rows: Vec<Vec<Bound>>,
+}
+
+impl BindingTable {
+    /// The *unit* table: one binding µ∅ with empty domain. This is the
+    /// identity of ⋈ and the seed for CONSTRUCT-without-MATCH.
+    pub fn unit() -> Self {
+        BindingTable {
+            columns: Vec::new(),
+            rows: vec![Vec::new()],
+        }
+    }
+
+    /// The empty table (no bindings at all) over an empty schema.
+    pub fn empty() -> Self {
+        BindingTable {
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// A table with the given columns and rows. Rows are normalized
+    /// (sorted + deduplicated).
+    pub fn new(columns: Vec<Column>, mut rows: Vec<Vec<Bound>>) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == columns.len()));
+        rows.sort();
+        rows.dedup();
+        BindingTable { columns, rows }
+    }
+
+    /// A table that keeps the given row order (no sorting, no dedup).
+    /// Used when row indexes must stay aligned with another table —
+    /// e.g. the CONSTRUCT staging extension of the match bindings.
+    pub fn raw(columns: Vec<Column>, rows: Vec<Vec<Bound>>) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == columns.len()));
+        BindingTable { columns, rows }
+    }
+
+    /// Column metadata.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Variable names, in column order.
+    pub fn var_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.var.as_str()).collect()
+    }
+
+    /// The rows (sorted, deduplicated).
+    pub fn rows(&self) -> &[Vec<Bound>] {
+        &self.rows
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when Ω = ∅.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a variable's column.
+    pub fn column_index(&self, var: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.var == var)
+    }
+
+    /// The binding of `var` in `row` (`None` if the column is absent;
+    /// `Some(Missing)` if padded).
+    pub fn get<'a>(&self, row: &'a [Bound], var: &str) -> Option<&'a Bound> {
+        self.column_index(var).map(|i| &row[i])
+    }
+
+    /// Does any row bind `var` to a non-missing value?
+    pub fn binds(&self, var: &str) -> bool {
+        self.column_index(var).is_some()
+    }
+
+    /// Keep only rows satisfying the predicate.
+    pub fn filter(&self, mut pred: impl FnMut(&[Bound]) -> bool) -> BindingTable {
+        BindingTable {
+            columns: self.columns.clone(),
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+
+    /// Project to a subset of variables (dropping others, deduplicating).
+    pub fn project(&self, vars: &[&str]) -> BindingTable {
+        let idxs: Vec<usize> = vars.iter().filter_map(|v| self.column_index(v)).collect();
+        let columns = idxs.iter().map(|&i| self.columns[i].clone()).collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        BindingTable::new(columns, rows)
+    }
+
+    /// Add a column computed from each existing row. The new column may
+    /// fan out (0..n values per row).
+    pub fn extend_column(
+        &self,
+        column: Column,
+        mut f: impl FnMut(&[Bound]) -> Vec<Bound>,
+    ) -> BindingTable {
+        let mut columns = self.columns.clone();
+        columns.push(column);
+        let mut rows = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            for v in f(row) {
+                let mut new_row = row.clone();
+                new_row.push(v);
+                rows.push(new_row);
+            }
+        }
+        BindingTable::new(columns, rows)
+    }
+
+    /// Ω₁ ∪ Ω₂. Schemas are aligned by union of variables; rows missing a
+    /// column are padded with `Missing`.
+    pub fn union(&self, other: &BindingTable) -> BindingTable {
+        let (columns, map_a, map_b) = merged_schema(self, other);
+        let width = columns.len();
+        let mut rows = Vec::with_capacity(self.rows.len() + other.rows.len());
+        for r in &self.rows {
+            rows.push(remap(r, &map_a, width));
+        }
+        for r in &other.rows {
+            rows.push(remap(r, &map_b, width));
+        }
+        BindingTable::new(columns, rows)
+    }
+
+    /// Ω₁ ⋈ Ω₂ — all unions µ₁ ∪ µ₂ of compatible bindings.
+    ///
+    /// `Missing` is treated as "unbound": compatible with anything, and
+    /// the non-missing side wins in the merged row. This matches the
+    /// partial-function reading of §A.1.
+    pub fn join(&self, other: &BindingTable) -> BindingTable {
+        self.join_inner(other, JoinKind::Inner)
+    }
+
+    /// Ω₁ ⋉ Ω₂ — bindings of Ω₁ compatible with at least one of Ω₂.
+    pub fn semijoin(&self, other: &BindingTable) -> BindingTable {
+        self.join_inner(other, JoinKind::Semi)
+    }
+
+    /// Ω₁ ∖ Ω₂ — bindings of Ω₁ compatible with none of Ω₂.
+    pub fn antijoin(&self, other: &BindingTable) -> BindingTable {
+        self.join_inner(other, JoinKind::Anti)
+    }
+
+    /// Ω₁ ⟕ Ω₂ = (Ω₁ ⋈ Ω₂) ∪ (Ω₁ ∖ Ω₂) — the OPTIONAL operator.
+    pub fn left_outer_join(&self, other: &BindingTable) -> BindingTable {
+        let joined = self.join(other);
+        let anti = self.antijoin(other);
+        joined.union(&anti)
+    }
+
+    fn join_inner(&self, other: &BindingTable, kind: JoinKind) -> BindingTable {
+        // Shared variables drive a hash join; rows with Missing in a
+        // shared column fall back to a scan bucket (they are compatible
+        // with every key).
+        let shared: Vec<(usize, usize)> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| other.column_index(&c.var).map(|j| (i, j)))
+            .collect();
+
+        let (columns, map_a, map_b) = merged_schema(self, other);
+        let width = columns.len();
+
+        // Partition `other` rows: fully-keyed rows go into the hash map;
+        // rows with a Missing shared column are checked by scan.
+        let mut keyed: BTreeMap<Vec<Bound>, Vec<usize>> = BTreeMap::new();
+        let mut wild: Vec<usize> = Vec::new();
+        for (idx, row) in other.rows.iter().enumerate() {
+            let key: Vec<Bound> = shared.iter().map(|&(_, j)| row[j].clone()).collect();
+            if key.iter().any(Bound::is_missing) {
+                wild.push(idx);
+            } else {
+                keyed.entry(key).or_default().push(idx);
+            }
+        }
+
+        let mut rows = Vec::new();
+        for a_row in &self.rows {
+            let key: Vec<Bound> = shared.iter().map(|&(i, _)| a_row[i].clone()).collect();
+            let mut matched = false;
+            let emit = |b_idx: usize, rows: &mut Vec<Vec<Bound>>| {
+                let b_row = &other.rows[b_idx];
+                if !compatible(a_row, b_row, &shared) {
+                    return false;
+                }
+                if kind == JoinKind::Inner {
+                    let mut merged = remap(a_row, &map_a, width);
+                    for (bi, &mi) in map_b.iter().enumerate() {
+                        if merged[mi].is_missing() {
+                            merged[mi] = b_row[bi].clone();
+                        }
+                    }
+                    rows.push(merged);
+                }
+                true
+            };
+            if key.iter().any(Bound::is_missing) {
+                // This row is compatible with any key value in the
+                // missing positions — scan everything.
+                for b_idx in 0..other.rows.len() {
+                    matched |= emit(b_idx, &mut rows);
+                }
+            } else {
+                if let Some(idxs) = keyed.get(&key) {
+                    for &b_idx in idxs {
+                        matched |= emit(b_idx, &mut rows);
+                    }
+                }
+                for &b_idx in &wild {
+                    matched |= emit(b_idx, &mut rows);
+                }
+            }
+            match kind {
+                JoinKind::Semi if matched => rows.push(remap(a_row, &map_a, width)),
+                JoinKind::Anti if !matched => rows.push(remap(a_row, &map_a, width)),
+                _ => {}
+            }
+        }
+        let columns = match kind {
+            JoinKind::Inner => columns,
+            // Semi/anti joins keep the left schema.
+            JoinKind::Semi | JoinKind::Anti => self.columns.clone(),
+        };
+        let rows = match kind {
+            JoinKind::Inner => rows,
+            JoinKind::Semi | JoinKind::Anti => rows
+                .into_iter()
+                .map(|r| {
+                    // remap back to left schema widths
+                    self.columns
+                        .iter()
+                        .enumerate()
+                        .map(|(i, _)| r[map_a[i]].clone())
+                        .collect()
+                })
+                .collect(),
+        };
+        BindingTable::new(columns, rows)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum JoinKind {
+    Inner,
+    Semi,
+    Anti,
+}
+
+/// Merged schema of two tables; returns (columns, map_a, map_b) where
+/// map_x[i] is the merged index of x's column i.
+fn merged_schema(
+    a: &BindingTable,
+    b: &BindingTable,
+) -> (Vec<Column>, Vec<usize>, Vec<usize>) {
+    let mut columns: Vec<Column> = a.columns.clone();
+    let map_a: Vec<usize> = (0..a.columns.len()).collect();
+    let mut map_b = Vec::with_capacity(b.columns.len());
+    for c in &b.columns {
+        match columns.iter().position(|x| x.var == c.var) {
+            Some(i) => map_b.push(i),
+            None => {
+                columns.push(c.clone());
+                map_b.push(columns.len() - 1);
+            }
+        }
+    }
+    (columns, map_a, map_b)
+}
+
+fn remap(row: &[Bound], map: &[usize], width: usize) -> Vec<Bound> {
+    let mut out = vec![Bound::Missing; width];
+    for (i, &mi) in map.iter().enumerate() {
+        out[mi] = row[i].clone();
+    }
+    out
+}
+
+/// µ₁ ~ µ₂: compatible iff they agree on all shared, *bound* variables.
+fn compatible(a: &[Bound], b: &[Bound], shared: &[(usize, usize)]) -> bool {
+    shared.iter().all(|&(i, j)| {
+        a[i].is_missing() || b[j].is_missing() || a[i] == b[j]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> Arc<PathPropertyGraph> {
+        Arc::new(PathPropertyGraph::new())
+    }
+
+    fn col(v: &str) -> Column {
+        Column {
+            var: v.into(),
+            graph: g(),
+        }
+    }
+
+    fn n(i: u64) -> Bound {
+        Bound::Node(NodeId(i))
+    }
+
+    fn table(vars: &[&str], rows: Vec<Vec<Bound>>) -> BindingTable {
+        BindingTable::new(vars.iter().map(|v| col(v)).collect(), rows)
+    }
+
+    #[test]
+    fn unit_is_join_identity() {
+        let t = table(&["x"], vec![vec![n(1)], vec![n(2)]]);
+        let j = t.join(&BindingTable::unit());
+        assert_eq!(j.len(), 2);
+        let j2 = BindingTable::unit().join(&t);
+        assert_eq!(j2.len(), 2);
+        assert_eq!(j2.var_names(), vec!["x"]);
+    }
+
+    #[test]
+    fn rows_are_set_semantics() {
+        let t = table(&["x"], vec![vec![n(1)], vec![n(1)], vec![n(2)]]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn join_on_shared_variable() {
+        // The appendix's worked example shape: x→{105,102} joined with
+        // (x,y) pairs.
+        let a = table(&["x"], vec![vec![n(105)], vec![n(102)]]);
+        let b = table(
+            &["x", "y"],
+            vec![vec![n(105), n(102)], vec![n(7), n(8)]],
+        );
+        let j = a.join(&b);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.rows()[0], vec![n(105), n(102)]);
+    }
+
+    #[test]
+    fn join_disjoint_schemas_is_cartesian_product() {
+        let a = table(&["x"], vec![vec![n(1)], vec![n(2)]]);
+        let b = table(&["y"], vec![vec![n(10)], vec![n(20)], vec![n(30)]]);
+        assert_eq!(a.join(&b).len(), 6);
+    }
+
+    #[test]
+    fn semijoin_and_antijoin() {
+        let a = table(&["x"], vec![vec![n(1)], vec![n(2)], vec![n(3)]]);
+        let b = table(&["x", "y"], vec![vec![n(1), n(9)], vec![n(3), n(9)]]);
+        let s = a.semijoin(&b);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.var_names(), vec!["x"]);
+        let d = a.antijoin(&b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.rows()[0], vec![n(2)]);
+    }
+
+    #[test]
+    fn left_outer_join_pads_with_missing() {
+        let a = table(&["x"], vec![vec![n(1)], vec![n(2)]]);
+        let b = table(&["x", "y"], vec![vec![n(1), n(9)]]);
+        let l = a.left_outer_join(&b);
+        assert_eq!(l.len(), 2);
+        // Row for x=2 has y missing.
+        let row2 = l
+            .rows()
+            .iter()
+            .find(|r| r[l.column_index("x").unwrap()] == n(2))
+            .unwrap();
+        assert!(row2[l.column_index("y").unwrap()].is_missing());
+    }
+
+    #[test]
+    fn missing_is_compatible_with_anything() {
+        let mut a = table(&["x", "y"], vec![]);
+        a = BindingTable::new(
+            a.columns().to_vec(),
+            vec![vec![Bound::Missing, n(5)], vec![n(1), n(6)]],
+        );
+        let b = table(&["x"], vec![vec![n(1)]]);
+        let j = a.join(&b);
+        // Missing x row joins (x filled in), bound x=1 row joins too.
+        assert_eq!(j.len(), 2);
+        for row in j.rows() {
+            assert_eq!(row[j.column_index("x").unwrap()], n(1));
+        }
+    }
+
+    #[test]
+    fn union_aligns_schemas() {
+        let a = table(&["x"], vec![vec![n(1)]]);
+        let b = table(&["y"], vec![vec![n(2)]]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.columns().len(), 2);
+    }
+
+    #[test]
+    fn project_dedups() {
+        let t = table(
+            &["x", "y"],
+            vec![vec![n(1), n(10)], vec![n(1), n(20)]],
+        );
+        let p = t.project(&["x"]);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn extend_column_fans_out() {
+        let t = table(&["x"], vec![vec![n(1)]]);
+        let e = t.extend_column(col("v"), |_| {
+            vec![Bound::Value(Value::Int(1)), Bound::Value(Value::Int(2))]
+        });
+        assert_eq!(e.len(), 2);
+        let f = t.extend_column(col("v"), |_| vec![]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn filter_keeps_schema() {
+        let t = table(&["x"], vec![vec![n(1)], vec![n(2)]]);
+        let f = t.filter(|r| r[0] == n(2));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.var_names(), vec!["x"]);
+    }
+}

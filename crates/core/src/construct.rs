@@ -1,0 +1,1372 @@
+//! The CONSTRUCT clause — §A.3 of the paper.
+//!
+//! A full construct is a comma-separated list of basic constructs; each
+//! basic construct is either a graph name (shorthand for a graph union,
+//! §3) or a pattern of object constructs. Every object construct carries
+//! a grouping set Γ:
+//!
+//! * a **bound** variable groups by its identity (Γ = {x}) and re-uses it
+//!   — the result graph *shares* elements with the input;
+//! * an **unbound** variable with `GROUP e₁, e₂, …` groups by those
+//!   expression values and mints one fresh element per group via the
+//!   skolem function `new(x, Ω′(Γ))`;
+//! * an unbound variable without `GROUP` defaults to one element per
+//!   binding (Γ = all match variables).
+//!
+//! Edges group by the combination of their endpoint groups (Γz ⊇ Γx ∪ Γy
+//! ∪ {x, y}); the skolem map is shared across the whole CONSTRUCT so a
+//! variable occurring in several patterns denotes the same new elements.
+//!
+//! `WHEN` filters *per constructed group* (the reading required by the
+//! paper's `wagnerFriend` example, where `WHEN e.score > 0` inspects the
+//! aggregate just computed for each new edge); when the condition does
+//! not depend on any group this degenerates to the all-or-nothing
+//! semantics of the formalism. Dangling edges are impossible: an edge or
+//! path whose endpoint group was filtered away is dropped with it.
+
+use crate::binding::{BindingTable, Bound, Column};
+use crate::context::FreshPath;
+use crate::error::{Result, RuntimeError, SemanticError};
+use crate::expr::{eval_aggregate, eval_expr, Env, Rv};
+use crate::query::Evaluator;
+use gcore_parser::ast::{
+    ConstructClause, ConstructConnection, ConstructItem, ConstructPattern, Direction, Expr,
+    PropAssign, RemoveItem, SetItem,
+};
+use gcore_ppg::{
+    Attributes, EdgeId, ElementId, IdGen, Key, Label, NodeId, PathId, PathPropertyGraph,
+    PathShape, PropertySet, Value,
+};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Group keys
+// ---------------------------------------------------------------------
+
+/// An `Rv` wrapper with the total order of [`Rv::total_cmp`], usable as a
+/// (deterministic) BTreeMap key for grouping.
+#[derive(Clone, Debug)]
+struct OrdRv(Rv);
+
+impl PartialEq for OrdRv {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for OrdRv {}
+impl PartialOrd for OrdRv {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdRv {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+type GroupKey = Vec<OrdRv>;
+
+fn bound_key(b: &Bound) -> OrdRv {
+    OrdRv(Rv::from_bound(b))
+}
+
+// ---------------------------------------------------------------------
+// Staged elements
+// ---------------------------------------------------------------------
+
+/// One constructed path group: the identity (for stored paths), the walk
+/// to project, and the graph its element attributes come from.
+struct PathGroup {
+    id: Option<PathId>,
+    walk: Option<PathShape>,
+    /// Projection-only members (ALL-paths construct).
+    proj_nodes: Vec<NodeId>,
+    proj_edges: Vec<EdgeId>,
+    graph: Arc<PathPropertyGraph>,
+}
+
+/// Accumulates everything a CONSTRUCT produces before WHEN filtering.
+struct Staging {
+    graph: PathPropertyGraph,
+    /// Per binding row: construct-variable bindings (for WHEN).
+    row_env: Vec<BTreeMap<String, Bound>>,
+    /// Elements produced per pattern (for WHEN group filtering).
+    pattern_elems: Vec<Vec<ElementId>>,
+    /// Which rows fed each element (element → rows).
+    elem_rows: BTreeMap<ElementId, Vec<usize>>,
+    /// Edges / paths depend on these endpoint/member elements.
+    deps: BTreeMap<ElementId, Vec<ElementId>>,
+}
+
+/// Shared skolem state: `new(x, Ω′(Γ))` must return the same identifier
+/// for the same variable and group across all patterns of one CONSTRUCT.
+struct Skolem {
+    ids: IdGen,
+    nodes: BTreeMap<(String, GroupKey), NodeId>,
+    edges: BTreeMap<(String, GroupKey), EdgeId>,
+    paths: BTreeMap<(String, GroupKey), PathId>,
+}
+
+impl Skolem {
+    fn node(&mut self, token: &str, key: &GroupKey) -> NodeId {
+        if let Some(id) = self.nodes.get(&(token.to_owned(), key.clone())) {
+            return *id;
+        }
+        let id = self.ids.node();
+        self.nodes.insert((token.to_owned(), key.clone()), id);
+        id
+    }
+
+    fn edge(&mut self, token: &str, key: &GroupKey) -> EdgeId {
+        if let Some(id) = self.edges.get(&(token.to_owned(), key.clone())) {
+            return *id;
+        }
+        let id = self.ids.edge();
+        self.edges.insert((token.to_owned(), key.clone()), id);
+        id
+    }
+
+    fn path(&mut self, token: &str, key: &GroupKey) -> PathId {
+        if let Some(id) = self.paths.get(&(token.to_owned(), key.clone())) {
+            return *id;
+        }
+        let id = self.ids.path();
+        self.paths.insert((token.to_owned(), key.clone()), id);
+        id
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------
+
+/// Evaluate a CONSTRUCT clause over the bindings produced by MATCH,
+/// returning the new graph (§A.3).
+pub fn eval_construct(
+    ev: &Evaluator<'_>,
+    construct: &ConstructClause,
+    bindings: &BindingTable,
+    outer: Option<&Env<'_>>,
+) -> Result<PathPropertyGraph> {
+    let mut skolem = Skolem {
+        ids: ev.ctx.catalog.borrow().ids().clone(),
+        nodes: BTreeMap::new(),
+        edges: BTreeMap::new(),
+        paths: BTreeMap::new(),
+    };
+    let mut staging = Staging {
+        graph: PathPropertyGraph::new(),
+        row_env: vec![BTreeMap::new(); bindings.len()],
+        pattern_elems: Vec::new(),
+        elem_rows: BTreeMap::new(),
+        deps: BTreeMap::new(),
+    };
+    let mut union_graphs: Vec<Arc<PathPropertyGraph>> = Vec::new();
+    let mut whens: Vec<(usize, Expr)> = Vec::new();
+    let mut anon = 0usize;
+
+    // A variable's explicit GROUP applies to *every* occurrence of that
+    // variable across the CONSTRUCT ("unbound variables … occur multiple
+    // times in the construct patterns, in order to ensure that the same
+    // identities will be used").
+    let group_overrides = collect_group_overrides(construct)?;
+
+    for item in &construct.items {
+        match item {
+            ConstructItem::GraphName(name) => {
+                union_graphs.push(ev.ctx.graph(name)?);
+            }
+            ConstructItem::Pattern(pat) => {
+                let idx = staging.pattern_elems.len();
+                staging.pattern_elems.push(Vec::new());
+                stage_pattern(
+                    ev,
+                    pat,
+                    bindings,
+                    outer,
+                    &mut skolem,
+                    &mut staging,
+                    &mut anon,
+                    &group_overrides,
+                )?;
+                if let Some(w) = &pat.when {
+                    whens.push((idx, w.clone()));
+                }
+            }
+        }
+    }
+
+    // WHEN filtering: a group survives iff the condition is truthy for at
+    // least one of its feeding rows (evaluated with the construct
+    // variables bound against the staged graph).
+    let mut dead: Vec<ElementId> = Vec::new();
+    if !whens.is_empty() {
+        let staged = Arc::new(staging.graph.clone());
+        let ext = extended_table(bindings, &staging.row_env, &staged);
+        for (pidx, cond) in &whens {
+            for elem in &staging.pattern_elems[*pidx] {
+                let rows = staging.elem_rows.get(elem).cloned().unwrap_or_default();
+                let mut alive = false;
+                for &ri in &rows {
+                    let row = &ext.rows()[ri];
+                    let mut env = Env::new(&ext, row);
+                    env.parent = outer;
+                    let v = eval_when(ev, &ext, &rows, row, cond, outer)
+                        .or_else(|_| eval_expr(ev.ctx, ev, &env, cond))?;
+                    if v.truthy() {
+                        alive = true;
+                        break;
+                    }
+                }
+                if !alive {
+                    dead.push(*elem);
+                }
+            }
+        }
+    }
+
+    let result = if dead.is_empty() {
+        staging.graph
+    } else {
+        rebuild_without(&staging, &dead)
+    };
+
+    // Union in the named graphs (§3 shorthand for `… UNION social_graph`).
+    let mut out = result;
+    for g in union_graphs {
+        out = gcore_ppg::ops::union(&out, &g);
+    }
+    Ok(out)
+}
+
+/// Gather the explicit GROUP clause of every named construct variable;
+/// conflicting GROUP clauses for one variable are rejected.
+fn collect_group_overrides(
+    construct: &ConstructClause,
+) -> Result<BTreeMap<String, Vec<Expr>>> {
+    let mut map: BTreeMap<String, Vec<Expr>> = BTreeMap::new();
+    let mut add = |var: &Option<String>, group: &Option<Vec<Expr>>| -> Result<()> {
+        let (Some(v), Some(g)) = (var, group) else {
+            return Ok(());
+        };
+        if let Some(prev) = map.get(v) {
+            if prev != g {
+                return Err(SemanticError::Other(format!(
+                    "construct variable '{v}' has two different GROUP clauses"
+                ))
+                .into());
+            }
+        } else {
+            map.insert(v.clone(), g.clone());
+        }
+        Ok(())
+    };
+    for item in &construct.items {
+        let ConstructItem::Pattern(pat) = item else {
+            continue;
+        };
+        add(&pat.start.var, &pat.start.group)?;
+        for step in &pat.steps {
+            add(&step.node.var, &step.node.group)?;
+            if let ConstructConnection::Edge(e) = &step.connection {
+                add(&e.var, &e.group)?;
+            }
+        }
+    }
+    Ok(map)
+}
+
+/// Evaluate a WHEN condition that may contain aggregates over the group.
+fn eval_when(
+    ev: &Evaluator<'_>,
+    table: &BindingTable,
+    group_rows: &[usize],
+    row: &[Bound],
+    cond: &Expr,
+    outer: Option<&Env<'_>>,
+) -> Result<Rv> {
+    if !cond.contains_aggregate() {
+        let mut env = Env::new(table, row);
+        env.parent = outer;
+        return eval_expr(ev.ctx, ev, &env, cond);
+    }
+    let folded = fold_aggregates(ev, table, group_rows, &[], cond, outer)?;
+    let mut env = Env::new(table, row);
+    env.parent = outer;
+    eval_expr(ev.ctx, ev, &env, &folded)
+}
+
+/// The binding table extended with one column per construct variable,
+/// resolving against the staged graph (so `e.score` sees the freshly
+/// computed property).
+fn extended_table(
+    bindings: &BindingTable,
+    row_env: &[BTreeMap<String, Bound>],
+    staged: &Arc<PathPropertyGraph>,
+) -> BindingTable {
+    let mut vars: Vec<String> = Vec::new();
+    for m in row_env {
+        for v in m.keys() {
+            if !vars.contains(v) && bindings.column_index(v).is_none() {
+                vars.push(v.clone());
+            }
+        }
+    }
+    let mut columns: Vec<Column> = bindings.columns().to_vec();
+    for v in &vars {
+        columns.push(Column {
+            var: v.clone(),
+            graph: staged.clone(),
+        });
+    }
+    let rows: Vec<Vec<Bound>> = bindings
+        .rows()
+        .iter()
+        .enumerate()
+        .map(|(ri, r)| {
+            let mut row = r.to_vec();
+            for v in &vars {
+                row.push(row_env[ri].get(v).cloned().unwrap_or(Bound::Missing));
+            }
+            row
+        })
+        .collect();
+    // NOTE: built without `BindingTable::new` normalization on purpose —
+    // row order must stay aligned with `bindings` for group indexes.
+    BindingTable::raw(columns, rows)
+}
+
+/// Rebuild the staged graph without the dead elements (and without
+/// anything that depends on them).
+fn rebuild_without(staging: &Staging, dead: &[ElementId]) -> PathPropertyGraph {
+    let mut killed: Vec<ElementId> = dead.to_vec();
+    // Transitively kill dependents (edges on dead nodes, paths on dead
+    // edges/nodes).
+    loop {
+        let mut grew = false;
+        for (elem, deps) in &staging.deps {
+            if killed.contains(elem) {
+                continue;
+            }
+            if deps.iter().any(|d| killed.contains(d)) {
+                killed.push(*elem);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let g = &staging.graph;
+    let mut out = PathPropertyGraph::new();
+    for id in g.node_ids_sorted() {
+        if !killed.contains(&ElementId::Node(id)) {
+            out.add_node(id, g.node(id).expect("staged node").attrs.clone());
+        }
+    }
+    for id in g.edge_ids_sorted() {
+        if killed.contains(&ElementId::Edge(id)) {
+            continue;
+        }
+        let e = g.edge(id).expect("staged edge");
+        if out.contains_node(e.src) && out.contains_node(e.dst) {
+            out.add_edge(id, e.src, e.dst, e.attrs.clone())
+                .expect("endpoints staged");
+        }
+    }
+    for id in g.path_ids_sorted() {
+        if killed.contains(&ElementId::Path(id)) {
+            continue;
+        }
+        let p = g.path(id).expect("staged path");
+        let ok = p.shape.nodes().iter().all(|n| out.contains_node(*n))
+            && p.shape.edges().iter().all(|e| out.contains_edge(*e));
+        if ok {
+            out.add_path(id, p.shape.clone(), p.attrs.clone())
+                .expect("members staged");
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Pattern staging
+// ---------------------------------------------------------------------
+
+struct NodeSpec<'a> {
+    token: String,
+    named: Option<&'a str>,
+    copy_of: Option<&'a str>,
+    group: Option<&'a [Expr]>,
+    labels: &'a [String],
+    assigns: Vec<&'a PropAssign>,
+    set_labels: Vec<&'a str>,
+    set_copies: Vec<&'a str>,
+    removes_prop: Vec<&'a str>,
+    removes_label: Vec<&'a str>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stage_pattern<'a>(
+    ev: &Evaluator<'_>,
+    pat: &'a ConstructPattern,
+    bindings: &BindingTable,
+    outer: Option<&Env<'_>>,
+    skolem: &mut Skolem,
+    staging: &mut Staging,
+    anon: &mut usize,
+    overrides: &'a BTreeMap<String, Vec<Expr>>,
+) -> Result<()> {
+    // ---- collect the node constructs of the chain -------------------
+    fn fresh_token(anon: &mut usize, kind: &str) -> String {
+        let t = format!("#c{kind}{anon}");
+        *anon += 1;
+        t
+    }
+
+    fn mk_node_spec<'a>(
+        n: &'a gcore_parser::ast::ConstructNode,
+        token: String,
+        overrides: &'a BTreeMap<String, Vec<Expr>>,
+    ) -> NodeSpec<'a> {
+        let group = n.group.as_deref().or_else(|| {
+            n.var
+                .as_deref()
+                .and_then(|v| overrides.get(v))
+                .map(Vec::as_slice)
+        });
+        NodeSpec {
+            token,
+            named: n.var.as_deref(),
+            copy_of: n.copy_of.as_deref(),
+            group,
+            labels: &n.labels,
+            assigns: n.assigns.iter().collect(),
+            set_labels: Vec::new(),
+            set_copies: Vec::new(),
+            removes_prop: Vec::new(),
+            removes_label: Vec::new(),
+        }
+    }
+
+    let mut node_specs: Vec<NodeSpec<'_>> = Vec::new();
+    let start_token = pat
+        .start
+        .var
+        .clone()
+        .unwrap_or_else(|| fresh_token(anon, "n"));
+    node_specs.push(mk_node_spec(&pat.start, start_token, overrides));
+    for step in &pat.steps {
+        let t = step
+            .node
+            .var
+            .clone()
+            .unwrap_or_else(|| fresh_token(anon, "n"));
+        node_specs.push(mk_node_spec(&step.node, t, overrides));
+    }
+
+    // ---- fold trailing SET / REMOVE into the element specs ----------
+    for set in &pat.sets {
+        let var = match set {
+            SetItem::Prop { var, .. } | SetItem::Label { var, .. } | SetItem::Copy { var, .. } => {
+                var.as_str()
+            }
+        };
+        let mut found = false;
+        for spec in node_specs.iter_mut().filter(|s| s.named == Some(var)) {
+            found = true;
+            match set {
+                SetItem::Prop { .. } => {} // handled via assigns below
+                SetItem::Label { label, .. } => spec.set_labels.push(label),
+                SetItem::Copy { from, .. } => spec.set_copies.push(from),
+            }
+        }
+        // Connection variables are handled during connection staging.
+        let conn_has = pat.steps.iter().any(|s| match &s.connection {
+            ConstructConnection::Edge(e) => e.var.as_deref() == Some(var),
+            ConstructConnection::Path(p) => p.var == var,
+        });
+        if !found && !conn_has {
+            return Err(SemanticError::UnknownSetTarget(var.to_owned()).into());
+        }
+    }
+    for rem in &pat.removes {
+        let var = match rem {
+            RemoveItem::Prop { var, .. } | RemoveItem::Label { var, .. } => var.as_str(),
+        };
+        let mut found = false;
+        for spec in node_specs.iter_mut().filter(|s| s.named == Some(var)) {
+            found = true;
+            match rem {
+                RemoveItem::Prop { key, .. } => spec.removes_prop.push(key),
+                RemoveItem::Label { label, .. } => spec.removes_label.push(label),
+            }
+        }
+        let conn_has = pat.steps.iter().any(|s| match &s.connection {
+            ConstructConnection::Edge(e) => e.var.as_deref() == Some(var),
+            ConstructConnection::Path(p) => p.var == var,
+        });
+        if !found && !conn_has {
+            return Err(SemanticError::UnknownSetTarget(var.to_owned()).into());
+        }
+    }
+
+    // SET x.k := v on nodes becomes an extra assign.
+    let set_prop_assigns: Vec<(String, PropAssign)> = pat
+        .sets
+        .iter()
+        .filter_map(|s| match s {
+            SetItem::Prop { var, key, value } => Some((
+                var.clone(),
+                PropAssign {
+                    key: key.clone(),
+                    value: value.clone(),
+                },
+            )),
+            _ => None,
+        })
+        .collect();
+
+    // ---- stage nodes -------------------------------------------------
+    // node_ids[i][row] = the node this row's group produced (None = skip).
+    let mut node_ids: Vec<Vec<Option<NodeId>>> = Vec::with_capacity(node_specs.len());
+    let mut node_group_cols: Vec<Vec<usize>> = Vec::with_capacity(node_specs.len());
+    for spec in &node_specs {
+        let extra: Vec<&PropAssign> = set_prop_assigns
+            .iter()
+            .filter(|(v, _)| spec.named == Some(v.as_str()))
+            .map(|(_, a)| a)
+            .collect();
+        let (ids, cols) =
+            stage_node(ev, spec, &extra, bindings, outer, skolem, staging)?;
+        node_ids.push(ids);
+        node_group_cols.push(cols);
+    }
+
+    // ---- stage connections --------------------------------------------
+    for (i, step) in pat.steps.iter().enumerate() {
+        match &step.connection {
+            ConstructConnection::Edge(e) => {
+                let token = e
+                    .var
+                    .clone()
+                    .unwrap_or_else(|| fresh_token(anon, "e"));
+                let extra: Vec<&PropAssign> = set_prop_assigns
+                    .iter()
+                    .filter(|(v, _)| e.var.as_deref() == Some(v.as_str()))
+                    .map(|(_, a)| a)
+                    .collect();
+                let set_labels: Vec<&str> = pat
+                    .sets
+                    .iter()
+                    .filter_map(|s| match s {
+                        SetItem::Label { var, label } if e.var.as_deref() == Some(var.as_str()) => {
+                            Some(label.as_str())
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                let set_copies: Vec<&str> = pat
+                    .sets
+                    .iter()
+                    .filter_map(|s| match s {
+                        SetItem::Copy { var, from } if e.var.as_deref() == Some(var.as_str()) => {
+                            Some(from.as_str())
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                let removes_prop: Vec<&str> = pat
+                    .removes
+                    .iter()
+                    .filter_map(|r| match r {
+                        RemoveItem::Prop { var, key } if e.var.as_deref() == Some(var.as_str()) => {
+                            Some(key.as_str())
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                let removes_label: Vec<&str> = pat
+                    .removes
+                    .iter()
+                    .filter_map(|r| match r {
+                        RemoveItem::Label { var, label }
+                            if e.var.as_deref() == Some(var.as_str()) =>
+                        {
+                            Some(label.as_str())
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                stage_edge(
+                    ev,
+                    e,
+                    &token,
+                    &extra,
+                    &set_labels,
+                    &set_copies,
+                    &removes_prop,
+                    &removes_label,
+                    (&node_ids[i], &node_group_cols[i]),
+                    (&node_ids[i + 1], &node_group_cols[i + 1]),
+                    bindings,
+                    outer,
+                    skolem,
+                    staging,
+                )?;
+            }
+            ConstructConnection::Path(p) => {
+                let extra: Vec<&PropAssign> = set_prop_assigns
+                    .iter()
+                    .filter(|(v, _)| p.var == *v)
+                    .map(|(_, a)| a)
+                    .collect();
+                stage_path(ev, p, &extra, bindings, outer, skolem, staging)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Result of [`group_rows_for`]: the groups (key → contributing row
+/// indexes), the binding-table columns defining the key, and whether
+/// the variable was bound by MATCH.
+type Grouping = (BTreeMap<GroupKey, Vec<usize>>, Vec<usize>, bool);
+
+/// Grouping key + group columns for one object construct occurrence.
+fn group_rows_for(
+    ev: &Evaluator<'_>,
+    var: Option<&str>,
+    group: Option<&[Expr]>,
+    bindings: &BindingTable,
+    outer: Option<&Env<'_>>,
+) -> Result<Grouping> {
+    let bound_col = var.and_then(|v| bindings.column_index(v));
+    if let Some(ci) = bound_col {
+        if group.is_some() {
+            return Err(
+                SemanticError::GroupOnBoundVariable(var.unwrap_or("?").to_owned()).into(),
+            );
+        }
+        // Γ = {x}: group by identity.
+        let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
+        for (ri, row) in bindings.rows().iter().enumerate() {
+            if row[ci].is_missing() {
+                continue; // Ω′(x) undefined ⇒ G∅ for this row
+            }
+            groups.entry(vec![bound_key(&row[ci])]).or_default().push(ri);
+        }
+        return Ok((groups, vec![ci], true));
+    }
+    match group {
+        Some(exprs) => {
+            let mut cols: Vec<usize> = Vec::new();
+            for e in exprs {
+                collect_var_cols(e, bindings, &mut cols);
+            }
+            let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
+            for (ri, row) in bindings.rows().iter().enumerate() {
+                let mut env = Env::new(bindings, row);
+                env.parent = outer;
+                let mut key = Vec::with_capacity(exprs.len());
+                let mut defined = true;
+                for e in exprs {
+                    let v = eval_expr(ev.ctx, ev, &env, e)?;
+                    if matches!(v, Rv::Null) {
+                        defined = false;
+                        break;
+                    }
+                    key.push(OrdRv(v));
+                }
+                if defined {
+                    groups.entry(key).or_default().push(ri);
+                }
+            }
+            Ok((groups, cols, false))
+        }
+        None => {
+            // Default: one element per binding (Γ = all variables).
+            let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
+            for (ri, row) in bindings.rows().iter().enumerate() {
+                let key: GroupKey = row.iter().map(bound_key).collect();
+                groups.entry(key).or_default().push(ri);
+            }
+            let cols = (0..bindings.columns().len()).collect();
+            Ok((groups, cols, false))
+        }
+    }
+}
+
+fn collect_var_cols(e: &Expr, bindings: &BindingTable, out: &mut Vec<usize>) {
+    match e {
+        Expr::Var(v) => {
+            if let Some(i) = bindings.column_index(v) {
+                if !out.contains(&i) {
+                    out.push(i);
+                }
+            }
+        }
+        Expr::Prop(b, _) | Expr::LabelTest(b, _) | Expr::Unary(_, b) => {
+            collect_var_cols(b, bindings, out)
+        }
+        Expr::Index(a, b) | Expr::Binary(_, a, b) => {
+            collect_var_cols(a, bindings, out);
+            collect_var_cols(b, bindings, out);
+        }
+        Expr::Func(_, args) => {
+            for a in args {
+                collect_var_cols(a, bindings, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Stage one node construct; returns per-row node assignment and the
+/// grouping columns.
+fn stage_node(
+    ev: &Evaluator<'_>,
+    spec: &NodeSpec<'_>,
+    extra_assigns: &[&PropAssign],
+    bindings: &BindingTable,
+    outer: Option<&Env<'_>>,
+    skolem: &mut Skolem,
+    staging: &mut Staging,
+) -> Result<(Vec<Option<NodeId>>, Vec<usize>)> {
+    let (groups, group_cols, is_bound) =
+        group_rows_for(ev, spec.named, spec.group, bindings, outer)?;
+    let mut per_row: Vec<Option<NodeId>> = vec![None; bindings.len().max(1)];
+    if bindings.len() > per_row.len() {
+        per_row.resize(bindings.len(), None);
+    }
+
+    for (key, rows) in &groups {
+        let id = if is_bound {
+            match &bindings.rows()[rows[0]][group_cols[0]] {
+                Bound::Node(n) => *n,
+                other => {
+                    return Err(SemanticError::SortMismatch {
+                        var: spec.named.unwrap_or("?").to_owned(),
+                        expected: "node".into(),
+                        found: format!("{other:?}"),
+                    }
+                    .into())
+                }
+            }
+        } else {
+            skolem.node(&spec.token, key)
+        };
+
+        // Base attributes: identity carry-over for bound vars, copy
+        // syntax for `(=n)`.
+        let mut attrs = Attributes::new();
+        if is_bound {
+            let ci = group_cols[0];
+            let col = &bindings.columns()[ci];
+            if let Some(a) = col.graph.attributes(ElementId::Node(id)) {
+                attrs = a.clone();
+            }
+        }
+        if let Some(cv) = spec.copy_of {
+            union_copied_attrs(&mut attrs, cv, bindings, rows)?;
+        }
+        for cv in &spec.set_copies {
+            union_copied_attrs(&mut attrs, cv, bindings, rows)?;
+        }
+        for l in spec.labels {
+            attrs.labels.insert(Label::new(l));
+        }
+        for l in &spec.set_labels {
+            attrs.labels.insert(Label::new(l));
+        }
+        let assigns = spec.assigns.iter().copied().chain(extra_assigns.iter().copied());
+        for a in assigns {
+            let vs = eval_assign(ev, bindings, rows, &group_cols, &a.value, outer)?;
+            let merged = attrs.prop(Key::new(&a.key)).union(&vs);
+            attrs.set_prop(Key::new(&a.key), merged);
+        }
+        for l in &spec.removes_label {
+            attrs.labels.remove(Label::new(l));
+        }
+        for k in &spec.removes_prop {
+            attrs.set_prop(Key::new(k), PropertySet::empty());
+        }
+
+        staging.graph.add_node(id, attrs);
+        let elem = ElementId::Node(id);
+        record_elem(staging, elem, rows);
+        for &ri in rows {
+            per_row[ri] = Some(id);
+            staging.row_env[ri].insert(spec.token.clone(), Bound::Node(id));
+        }
+    }
+    Ok((per_row, group_cols))
+}
+
+fn record_elem(staging: &mut Staging, elem: ElementId, rows: &[usize]) {
+    if let Some(last) = staging.pattern_elems.last_mut() {
+        if !last.contains(&elem) {
+            last.push(elem);
+        }
+    }
+    staging.elem_rows.entry(elem).or_default().extend(rows.iter().copied());
+}
+
+/// Union the labels/properties of a copied element (`(=n)` / `SET x = y`)
+/// over the group rows into `attrs`.
+fn union_copied_attrs(
+    attrs: &mut Attributes,
+    var: &str,
+    bindings: &BindingTable,
+    rows: &[usize],
+) -> Result<()> {
+    let Some(ci) = bindings.column_index(var) else {
+        return Err(SemanticError::UnboundVariable(var.to_owned()).into());
+    };
+    let col = &bindings.columns()[ci];
+    for &ri in rows {
+        let elem: Option<ElementId> = match &bindings.rows()[ri][ci] {
+            Bound::Node(n) => Some((*n).into()),
+            Bound::Edge(e) => Some((*e).into()),
+            Bound::Path(p) => Some((*p).into()),
+            _ => None,
+        };
+        if let Some(e) = elem {
+            if let Some(a) = col.graph.attributes(e) {
+                attrs.union_in_place(a);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Evaluate one `{k := expr}` assignment over a group: aggregates fold
+/// over the group's rows; plain expressions evaluate per row and union
+/// their values (footnote 2 of the paper: constructing a company per
+/// Frank binding would give `name = {"CWI","MIT"}`).
+fn eval_assign(
+    ev: &Evaluator<'_>,
+    bindings: &BindingTable,
+    rows: &[usize],
+    group_cols: &[usize],
+    expr: &Expr,
+    outer: Option<&Env<'_>>,
+) -> Result<PropertySet> {
+    if expr.contains_aggregate() {
+        let rv = eval_group_aggregate(ev, bindings, rows, group_cols, expr, outer)?;
+        return rv_to_propset(rv);
+    }
+    let mut out = PropertySet::empty();
+    for &ri in rows {
+        let row = &bindings.rows()[ri];
+        let mut env = Env::new(bindings, row);
+        env.parent = outer;
+        let v = eval_expr(ev.ctx, ev, &env, expr)?;
+        out = out.union(&rv_to_propset(v)?);
+    }
+    Ok(out)
+}
+
+fn rv_to_propset(rv: Rv) -> Result<PropertySet> {
+    match rv {
+        Rv::Null => Ok(PropertySet::empty()),
+        Rv::Value(v) => Ok(PropertySet::single(v)),
+        Rv::Set(s) => Ok(s),
+        Rv::List(items) => {
+            let mut vals = Vec::with_capacity(items.len());
+            for i in items {
+                match i.as_scalar() {
+                    Some(v) => vals.push(v),
+                    None => {
+                        return Err(RuntimeError::Type(
+                            "cannot store a non-scalar list element as a property".into(),
+                        )
+                        .into())
+                    }
+                }
+            }
+            Ok(PropertySet::from_values(vals))
+        }
+        other => Err(RuntimeError::Type(format!(
+            "cannot store {other:?} as a property value"
+        ))
+        .into()),
+    }
+}
+
+/// Evaluate an aggregate-bearing expression over one group (shared with
+/// SELECT's projection evaluation).
+pub(crate) fn eval_group_aggregate(
+    ev: &Evaluator<'_>,
+    bindings: &BindingTable,
+    rows: &[usize],
+    group_cols: &[usize],
+    expr: &Expr,
+    outer: Option<&Env<'_>>,
+) -> Result<Rv> {
+    // Bare aggregate: evaluate directly (COLLECT keeps its list shape).
+    if let Expr::Aggregate { op, distinct, arg } = expr {
+        return eval_aggregate(
+            ev.ctx,
+            ev,
+            bindings,
+            rows,
+            group_cols,
+            *op,
+            *distinct,
+            arg.as_deref(),
+            outer,
+        );
+    }
+    let folded = fold_aggregates(ev, bindings, rows, group_cols, expr, outer)?;
+    let repr = rows.first().copied().unwrap_or(0);
+    let row = bindings
+        .rows()
+        .get(repr)
+        .map(|r| r.as_slice())
+        .unwrap_or(&[]);
+    let unit = BindingTable::unit();
+    let (tbl, row): (&BindingTable, &[Bound]) = if bindings.rows().is_empty() {
+        (&unit, &[])
+    } else {
+        (bindings, row)
+    };
+    let mut env = Env::new(tbl, row);
+    env.parent = outer;
+    eval_expr(ev.ctx, ev, &env, &folded)
+}
+
+/// Replace every aggregate subexpression with the literal it evaluates
+/// to for this group. Only scalar aggregate results can be embedded.
+fn fold_aggregates(
+    ev: &Evaluator<'_>,
+    bindings: &BindingTable,
+    rows: &[usize],
+    group_cols: &[usize],
+    expr: &Expr,
+    outer: Option<&Env<'_>>,
+) -> Result<Expr> {
+    if !expr.contains_aggregate() {
+        return Ok(expr.clone());
+    }
+    Ok(match expr {
+        Expr::Aggregate { op, distinct, arg } => {
+            let rv = eval_aggregate(
+                ev.ctx,
+                ev,
+                bindings,
+                rows,
+                group_cols,
+                *op,
+                *distinct,
+                arg.as_deref(),
+                outer,
+            )?;
+            rv_to_literal(rv)?
+        }
+        Expr::Unary(op, e) => Expr::Unary(
+            *op,
+            Box::new(fold_aggregates(ev, bindings, rows, group_cols, e, outer)?),
+        ),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(fold_aggregates(ev, bindings, rows, group_cols, a, outer)?),
+            Box::new(fold_aggregates(ev, bindings, rows, group_cols, b, outer)?),
+        ),
+        Expr::Func(f, args) => Expr::Func(
+            *f,
+            args.iter()
+                .map(|a| fold_aggregates(ev, bindings, rows, group_cols, a, outer))
+                .collect::<Result<Vec<_>>>()?,
+        ),
+        Expr::Prop(e, k) => Expr::Prop(
+            Box::new(fold_aggregates(ev, bindings, rows, group_cols, e, outer)?),
+            k.clone(),
+        ),
+        Expr::Index(a, b) => Expr::Index(
+            Box::new(fold_aggregates(ev, bindings, rows, group_cols, a, outer)?),
+            Box::new(fold_aggregates(ev, bindings, rows, group_cols, b, outer)?),
+        ),
+        Expr::Case {
+            operand,
+            whens,
+            else_,
+        } => Expr::Case {
+            operand: match operand {
+                Some(o) => Some(Box::new(fold_aggregates(
+                    ev, bindings, rows, group_cols, o, outer,
+                )?)),
+                None => None,
+            },
+            whens: whens
+                .iter()
+                .map(|(c, r)| {
+                    Ok((
+                        fold_aggregates(ev, bindings, rows, group_cols, c, outer)?,
+                        fold_aggregates(ev, bindings, rows, group_cols, r, outer)?,
+                    ))
+                })
+                .collect::<Result<Vec<_>>>()?,
+            else_: match else_ {
+                Some(e) => Some(Box::new(fold_aggregates(
+                    ev, bindings, rows, group_cols, e, outer,
+                )?)),
+                None => None,
+            },
+        },
+        other => other.clone(),
+    })
+}
+
+fn rv_to_literal(rv: Rv) -> Result<Expr> {
+    Ok(match rv.as_scalar() {
+        Some(Value::Int(i)) => Expr::Int(i),
+        Some(Value::Float(f)) => Expr::Float(f),
+        Some(Value::Bool(b)) => Expr::Bool(b),
+        Some(Value::Str(s)) => Expr::Str(s.to_string()),
+        Some(Value::Date(d)) => Expr::DateLit(d.to_string()),
+        Some(Value::Null) | None => match rv {
+            Rv::Null => Expr::Null,
+            other => {
+                return Err(RuntimeError::Type(format!(
+                    "aggregate inside a composite expression must be scalar, got {other:?}"
+                ))
+                .into())
+            }
+        },
+    })
+}
+
+// ---------------------------------------------------------------------
+// Edge staging
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn stage_edge(
+    ev: &Evaluator<'_>,
+    e: &gcore_parser::ast::ConstructEdge,
+    token: &str,
+    extra_assigns: &[&PropAssign],
+    set_labels: &[&str],
+    set_copies: &[&str],
+    removes_prop: &[&str],
+    removes_label: &[&str],
+    left: (&[Option<NodeId>], &[usize]),
+    right: (&[Option<NodeId>], &[usize]),
+    bindings: &BindingTable,
+    outer: Option<&Env<'_>>,
+    skolem: &mut Skolem,
+    staging: &mut Staging,
+) -> Result<()> {
+    // Normalize direction: `src` is where the arrow leaves from.
+    let (src_ids, src_cols, dst_ids, dst_cols) = match e.direction {
+        Direction::Out | Direction::Undirected => (left.0, left.1, right.0, right.1),
+        Direction::In => (right.0, right.1, left.0, left.1),
+    };
+
+    let bound_col = e.var.as_deref().and_then(|v| bindings.column_index(v));
+    if bound_col.is_some() && e.group.is_some() {
+        return Err(SemanticError::GroupOnBoundVariable(
+            e.var.clone().unwrap_or_default(),
+        )
+        .into());
+    }
+
+    // Group columns: endpoints' group columns + our own identity/group.
+    let mut group_cols: Vec<usize> = src_cols.to_vec();
+    for &c in dst_cols {
+        if !group_cols.contains(&c) {
+            group_cols.push(c);
+        }
+    }
+    if let Some(ci) = bound_col {
+        if !group_cols.contains(&ci) {
+            group_cols.push(ci);
+        }
+    }
+    if let Some(exprs) = &e.group {
+        for ge in exprs {
+            collect_var_cols(ge, bindings, &mut group_cols);
+        }
+    }
+
+    // Group rows: by (src, dst, identity-or-GROUP).
+    let mut groups: BTreeMap<GroupKey, (NodeId, NodeId, Vec<usize>)> = BTreeMap::new();
+    for (ri, row) in bindings.rows().iter().enumerate() {
+        let (Some(src), Some(dst)) = (src_ids[ri], dst_ids[ri]) else {
+            continue; // dangling prevention
+        };
+        let mut key: GroupKey = vec![OrdRv(Rv::Node(src)), OrdRv(Rv::Node(dst))];
+        if let Some(ci) = bound_col {
+            if row[ci].is_missing() {
+                continue;
+            }
+            key.push(bound_key(&row[ci]));
+        }
+        if let Some(exprs) = &e.group {
+            let mut env = Env::new(bindings, row);
+            env.parent = outer;
+            for gexpr in exprs {
+                key.push(OrdRv(eval_expr(ev.ctx, ev, &env, gexpr)?));
+            }
+        }
+        let entry = groups.entry(key).or_insert_with(|| (src, dst, Vec::new()));
+        entry.2.push(ri);
+    }
+
+    for (key, (src, dst, rows)) in &groups {
+        let (id, mut attrs) = match bound_col {
+            Some(ci) => {
+                let b = &bindings.rows()[rows[0]][ci];
+                let Bound::Edge(eid) = b else {
+                    return Err(SemanticError::SortMismatch {
+                        var: e.var.clone().unwrap_or_default(),
+                        expected: "edge".into(),
+                        found: format!("{b:?}"),
+                    }
+                    .into());
+                };
+                // Identity rule (§3): a bound edge keeps its endpoints.
+                let col = &bindings.columns()[ci];
+                let Some((osrc, odst)) = col.graph.endpoints(*eid) else {
+                    return Err(SemanticError::EdgeEndpointsUnbound(
+                        e.var.clone().unwrap_or_default(),
+                    )
+                    .into());
+                };
+                if (osrc, odst) != (*src, *dst) {
+                    return Err(SemanticError::EdgeEndpointsChanged(
+                        e.var.clone().unwrap_or_default(),
+                    )
+                    .into());
+                }
+                let attrs = col
+                    .graph
+                    .attributes(ElementId::Edge(*eid))
+                    .cloned()
+                    .unwrap_or_default();
+                (*eid, attrs)
+            }
+            None => (skolem.edge(token, key), Attributes::new()),
+        };
+
+        if let Some(cv) = &e.copy_of {
+            union_copied_attrs(&mut attrs, cv, bindings, rows)?;
+        }
+        for cv in set_copies {
+            union_copied_attrs(&mut attrs, cv, bindings, rows)?;
+        }
+        for l in &e.labels {
+            attrs.labels.insert(Label::new(l));
+        }
+        for l in set_labels {
+            attrs.labels.insert(Label::new(l));
+        }
+        for a in e.assigns.iter().chain(extra_assigns.iter().copied()) {
+            let vs = eval_assign(ev, bindings, rows, &group_cols, &a.value, outer)?;
+            let merged = attrs.prop(Key::new(&a.key)).union(&vs);
+            attrs.set_prop(Key::new(&a.key), merged);
+        }
+        for l in removes_label {
+            attrs.labels.remove(Label::new(l));
+        }
+        for k in removes_prop {
+            attrs.set_prop(Key::new(k), PropertySet::empty());
+        }
+
+        // Endpoints are guaranteed staged by the node pass.
+        staging.graph.add_edge(id, *src, *dst, attrs)?;
+        let elem = ElementId::Edge(id);
+        record_elem(staging, elem, rows);
+        staging
+            .deps
+            .entry(elem)
+            .or_default()
+            .extend([ElementId::Node(*src), ElementId::Node(*dst)]);
+        for &ri in rows {
+            staging
+                .row_env[ri]
+                .insert(token.to_owned(), Bound::Edge(id));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Path staging
+// ---------------------------------------------------------------------
+
+fn stage_path(
+    ev: &Evaluator<'_>,
+    p: &gcore_parser::ast::ConstructPath,
+    extra_assigns: &[&PropAssign],
+    bindings: &BindingTable,
+    outer: Option<&Env<'_>>,
+    skolem: &mut Skolem,
+    staging: &mut Staging,
+) -> Result<()> {
+    let Some(ci) = bindings.column_index(&p.var) else {
+        return Err(SemanticError::ConstructPathUnbound(p.var.clone()).into());
+    };
+    let col_graph = bindings.columns()[ci].graph.clone();
+    let group_cols = vec![ci];
+
+    // Group rows by path identity.
+    let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
+    for (ri, row) in bindings.rows().iter().enumerate() {
+        if row[ci].is_missing() {
+            continue;
+        }
+        groups.entry(vec![bound_key(&row[ci])]).or_default().push(ri);
+    }
+
+    for (key, rows) in &groups {
+        let b = &bindings.rows()[rows[0]][ci];
+        let group: PathGroup = match b {
+            Bound::Path(pid) => {
+                let data = col_graph.path(*pid).ok_or_else(|| {
+                    RuntimeError::Other(format!("stored path {pid} missing from its graph"))
+                })?;
+                PathGroup {
+                    id: Some(*pid),
+                    walk: Some(data.shape.clone()),
+                    proj_nodes: Vec::new(),
+                    proj_edges: Vec::new(),
+                    graph: col_graph.clone(),
+                }
+            }
+            Bound::FreshPath(idx) => match ev.ctx.fresh_path(*idx) {
+                FreshPath::Walk { shape, graph, .. } => PathGroup {
+                    id: if p.stored {
+                        Some(skolem.path(&p.var, key))
+                    } else {
+                        None
+                    },
+                    walk: Some(shape),
+                    proj_nodes: Vec::new(),
+                    proj_edges: Vec::new(),
+                    graph,
+                },
+                FreshPath::Projection {
+                    nodes,
+                    edges,
+                    graph,
+                    ..
+                } => {
+                    if p.stored {
+                        return Err(SemanticError::AllPathsEscape(p.var.clone()).into());
+                    }
+                    PathGroup {
+                        id: None,
+                        walk: None,
+                        proj_nodes: nodes,
+                        proj_edges: edges,
+                        graph,
+                    }
+                }
+            },
+            other => {
+                return Err(SemanticError::SortMismatch {
+                    var: p.var.clone(),
+                    expected: "path".into(),
+                    found: format!("{other:?}"),
+                }
+                .into())
+            }
+        };
+
+        // Project the walk's nodes and edges (with their attributes).
+        if let Some(walk) = &group.walk {
+            for &n in walk.nodes() {
+                let attrs = group
+                    .graph
+                    .attributes(ElementId::Node(n))
+                    .cloned()
+                    .unwrap_or_default();
+                staging.graph.add_node(n, attrs);
+                record_elem(staging, ElementId::Node(n), rows);
+            }
+            for &eid in walk.edges() {
+                let Some(edata) = group.graph.edge(eid) else {
+                    continue;
+                };
+                staging
+                    .graph
+                    .add_edge(eid, edata.src, edata.dst, edata.attrs.clone())?;
+                record_elem(staging, ElementId::Edge(eid), rows);
+            }
+        }
+        for &n in &group.proj_nodes {
+            if group.graph.contains_node(n) {
+                let attrs = group
+                    .graph
+                    .attributes(ElementId::Node(n))
+                    .cloned()
+                    .unwrap_or_default();
+                staging.graph.add_node(n, attrs);
+                record_elem(staging, ElementId::Node(n), rows);
+            }
+        }
+        for &eid in &group.proj_edges {
+            if let Some(edata) = group.graph.edge(eid) {
+                staging.graph.add_node(
+                    edata.src,
+                    group
+                        .graph
+                        .attributes(ElementId::Node(edata.src))
+                        .cloned()
+                        .unwrap_or_default(),
+                );
+                staging.graph.add_node(
+                    edata.dst,
+                    group
+                        .graph
+                        .attributes(ElementId::Node(edata.dst))
+                        .cloned()
+                        .unwrap_or_default(),
+                );
+                staging
+                    .graph
+                    .add_edge(eid, edata.src, edata.dst, edata.attrs.clone())?;
+                record_elem(staging, ElementId::Edge(eid), rows);
+            }
+        }
+
+        // Stored path object (`@p`).
+        if p.stored {
+            let (Some(pid), Some(walk)) = (group.id, group.walk.as_ref()) else {
+                continue;
+            };
+            let mut attrs = if let Bound::Path(orig) = b {
+                col_graph
+                    .attributes(ElementId::Path(*orig))
+                    .cloned()
+                    .unwrap_or_default()
+            } else {
+                Attributes::new()
+            };
+            for l in &p.labels {
+                attrs.labels.insert(Label::new(l));
+            }
+            for a in p.assigns.iter().chain(extra_assigns.iter().copied()) {
+                let vs = eval_assign(ev, bindings, rows, &group_cols, &a.value, outer)?;
+                let merged = attrs.prop(Key::new(&a.key)).union(&vs);
+                attrs.set_prop(Key::new(&a.key), merged);
+            }
+            staging.graph.add_path(pid, walk.clone(), attrs)?;
+            let elem = ElementId::Path(pid);
+            record_elem(staging, elem, rows);
+            let mut deps: Vec<ElementId> =
+                walk.nodes().iter().map(|&n| ElementId::Node(n)).collect();
+            deps.extend(walk.edges().iter().map(|&e| ElementId::Edge(e)));
+            staging.deps.entry(elem).or_default().extend(deps);
+            for &ri in rows {
+                staging.row_env[ri].insert(p.var.clone(), Bound::Path(pid));
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,188 @@
+//! The evaluation context shared by all clauses of one query.
+//!
+//! Holds the catalog snapshot (plus query-local view overlays), the arena
+//! of *fresh* paths computed by path patterns (paths that exist only
+//! during evaluation, until a CONSTRUCT stores or projects them), and the
+//! PATH-view definitions from the query head.
+
+use crate::binding::{Bound, Column};
+use crate::error::{EngineError, Result};
+use gcore_parser::ast::PathClause;
+use gcore_ppg::{
+    Attributes, Catalog, EdgeId, Key, NodeId, PathPropertyGraph, PathShape, PropertySet, Table,
+    Value,
+};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// A path computed during matching (not yet part of any graph's `P`).
+#[derive(Clone, Debug)]
+pub enum FreshPath {
+    /// A concrete walk with its cost.
+    Walk {
+        /// The concrete walk.
+        shape: PathShape,
+        /// Total cost of the walk.
+        cost: f64,
+        /// Whether the cost came from a weighted PATH view (float) or is
+        /// a hop count (integer).
+        weighted: bool,
+        /// Graph the walk was found in (attribute restriction source).
+        graph: Arc<PathPropertyGraph>,
+    },
+    /// The §3 `ALL`-paths graph projection: every node and edge lying on
+    /// some conforming path between the two endpoints ([10]).
+    Projection {
+        /// Projection source node.
+        src: NodeId,
+        /// Projection destination node.
+        dst: NodeId,
+        /// Nodes on some conforming walk.
+        nodes: Vec<NodeId>,
+        /// Edges on some conforming walk.
+        edges: Vec<EdgeId>,
+        /// Graph the projection was computed in.
+        graph: Arc<PathPropertyGraph>,
+    },
+}
+
+impl FreshPath {
+    /// Endpoints of the path/projection.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        match self {
+            FreshPath::Walk { shape, .. } => (shape.start(), shape.end()),
+            FreshPath::Projection { src, dst, .. } => (*src, *dst),
+        }
+    }
+}
+
+/// Evaluation context for one top-level query.
+pub struct EvalCtx {
+    /// Catalog snapshot with query-local overlays (GRAPH … AS views are
+    /// registered here and dropped with the context).
+    pub catalog: RefCell<Catalog>,
+    /// Arena of computed paths; `Bound::FreshPath` indexes into it.
+    pub fresh_paths: RefCell<Vec<FreshPath>>,
+    /// PATH views from the query head, innermost last.
+    pub path_views: RefCell<Vec<PathClause>>,
+    /// The ambient graph used for pattern predicates in WHERE and for
+    /// property access on non-variable expressions.
+    pub ambient: RefCell<Option<Arc<PathPropertyGraph>>>,
+    /// Cache of PATH-view segment relations, keyed by (view name, graph
+    /// identity).
+    pub view_cache: RefCell<std::collections::HashMap<(String, usize), crate::paths::ViewSegments>>,
+    /// Views currently being materialized (cycle guard).
+    pub view_in_progress: RefCell<Vec<String>>,
+    /// §5 "interpreting tables as graphs": per-query cache of the
+    /// isolated-node graph derived from a table, so several patterns ON
+    /// the same table see the same node identities.
+    pub table_graphs: RefCell<std::collections::HashMap<String, Arc<PathPropertyGraph>>>,
+    /// WHERE-conjunct pushdown switch. Always semantically neutral;
+    /// disabled only by the ablation benchmarks.
+    pub filter_pushdown: std::cell::Cell<bool>,
+}
+
+impl EvalCtx {
+    /// Fresh context over a catalog snapshot.
+    pub fn new(catalog: Catalog) -> Self {
+        EvalCtx {
+            catalog: RefCell::new(catalog),
+            fresh_paths: RefCell::new(Vec::new()),
+            path_views: RefCell::new(Vec::new()),
+            ambient: RefCell::new(None),
+            view_cache: RefCell::new(std::collections::HashMap::new()),
+            view_in_progress: RefCell::new(Vec::new()),
+            table_graphs: RefCell::new(std::collections::HashMap::new()),
+            filter_pushdown: std::cell::Cell::new(true),
+        }
+    }
+
+    /// Intern a fresh path, returning its arena binding.
+    pub fn add_fresh_path(&self, p: FreshPath) -> Bound {
+        let mut arena = self.fresh_paths.borrow_mut();
+        arena.push(p);
+        Bound::FreshPath(arena.len() - 1)
+    }
+
+    /// Clone a fresh path out of the arena.
+    pub fn fresh_path(&self, idx: usize) -> FreshPath {
+        self.fresh_paths.borrow()[idx].clone()
+    }
+
+    /// Resolve a graph by name.
+    pub fn graph(&self, name: &str) -> Result<Arc<PathPropertyGraph>> {
+        Ok(self.catalog.borrow().graph(name)?)
+    }
+
+    /// Resolve a table by name.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        Ok(self.catalog.borrow().table(name)?)
+    }
+
+    /// The default graph.
+    pub fn default_graph(&self) -> Result<Arc<PathPropertyGraph>> {
+        Ok(self.catalog.borrow().default_graph()?)
+    }
+
+    /// §5 "interpreting tables as graphs": view a registered table as a
+    /// graph of isolated nodes, one per row, whose properties are the
+    /// row's non-NULL cells. Node identities are drawn once per query
+    /// and cached.
+    pub fn table_as_graph(&self, name: &str) -> Result<Arc<PathPropertyGraph>> {
+        if let Some(g) = self.table_graphs.borrow().get(name) {
+            return Ok(g.clone());
+        }
+        let table = self.table(name)?;
+        let ids = self.catalog.borrow().ids().clone();
+        let mut g = PathPropertyGraph::new();
+        for row in table.rows() {
+            let mut attrs = Attributes::new();
+            for (ci, col) in table.columns().iter().enumerate() {
+                if !matches!(row[ci], Value::Null) {
+                    attrs.set_prop(Key::new(col), PropertySet::single(row[ci].clone()));
+                }
+            }
+            g.add_node(ids.node(), attrs);
+        }
+        let arc = Arc::new(g);
+        self.table_graphs
+            .borrow_mut()
+            .insert(name.to_owned(), arc.clone());
+        Ok(arc)
+    }
+
+    /// The ambient graph for pattern predicates: the last graph a MATCH
+    /// pattern was evaluated on, falling back to the catalog default.
+    pub fn ambient_graph(&self) -> Result<Arc<PathPropertyGraph>> {
+        if let Some(g) = self.ambient.borrow().as_ref() {
+            return Ok(g.clone());
+        }
+        self.default_graph()
+    }
+
+    /// Set the ambient graph.
+    pub fn set_ambient(&self, g: Arc<PathPropertyGraph>) {
+        *self.ambient.borrow_mut() = Some(g);
+    }
+
+    /// Find a PATH view by name (most recent definition wins).
+    pub fn path_view(&self, name: &str) -> Result<PathClause> {
+        self.path_views
+            .borrow()
+            .iter()
+            .rev()
+            .find(|p| p.name == name)
+            .cloned()
+            .ok_or_else(|| {
+                EngineError::Runtime(crate::error::RuntimeError::UnknownPathView(name.to_owned()))
+            })
+    }
+
+    /// Column helper bound to a specific graph.
+    pub fn column(&self, var: &str, graph: Arc<PathPropertyGraph>) -> Column {
+        Column {
+            var: var.to_owned(),
+            graph,
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The public engine API: a catalog of named graphs and tables plus a
+//! query entry point.
+//!
+//! ```
+//! use gcore::Engine;
+//! use gcore_ppg::{Attributes, GraphBuilder};
+//!
+//! let mut engine = Engine::new();
+//! let mut b = GraphBuilder::new(engine.catalog().ids().clone());
+//! let ann = b.node(Attributes::labeled("Person").with_prop("name", "Ann"));
+//! let bob = b.node(Attributes::labeled("Person").with_prop("name", "Bob"));
+//! b.edge(ann, bob, Attributes::labeled("knows"));
+//! engine.register_graph("people", b.build());
+//! engine.set_default_graph("people");
+//!
+//! let g = engine
+//!     .query_graph("CONSTRUCT (n) MATCH (n:Person) WHERE n.name = 'Ann'")
+//!     .unwrap();
+//! assert_eq!(g.node_count(), 1);
+//! ```
+
+use crate::context::EvalCtx;
+use crate::error::{Result, SemanticError};
+use crate::query::{Evaluator, QueryOutput};
+use gcore_parser::ast::Statement;
+use gcore_parser::{parse_script, parse_statement};
+use gcore_ppg::{Catalog, PathPropertyGraph, Table};
+use std::sync::Arc;
+
+/// A G-CORE query engine over a catalog of named graphs and tables.
+///
+/// The engine is the unit of identity: all graphs registered with one
+/// engine draw identifiers from a single shared generator, so query
+/// results can share elements with their inputs (the paper's "full
+/// graph" operations are defined in terms of identities).
+#[derive(Clone)]
+pub struct Engine {
+    catalog: Catalog,
+    filter_pushdown: bool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An engine with an empty catalog.
+    pub fn new() -> Self {
+        Engine {
+            catalog: Catalog::new(),
+            filter_pushdown: true,
+        }
+    }
+
+    /// An engine over an existing catalog.
+    pub fn with_catalog(catalog: Catalog) -> Self {
+        Engine {
+            catalog,
+            filter_pushdown: true,
+        }
+    }
+
+    /// Enable or disable WHERE-conjunct pushdown (default: enabled).
+    /// Pushdown is semantics-preserving; this switch exists for the
+    /// ablation benchmarks only.
+    pub fn set_filter_pushdown(&mut self, enabled: bool) {
+        self.filter_pushdown = enabled;
+    }
+
+    /// The underlying catalog (graphs, tables, id generator).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Register (or replace) a named graph.
+    pub fn register_graph(&mut self, name: impl Into<String>, graph: PathPropertyGraph) {
+        self.catalog.register_graph(name, graph);
+    }
+
+    /// Register (or replace) a named table (for the §5 extensions).
+    pub fn register_table(&mut self, name: impl Into<String>, table: Table) {
+        self.catalog.register_table(name, table);
+    }
+
+    /// Set the default graph used when `MATCH … ON` is omitted.
+    pub fn set_default_graph(&mut self, name: impl Into<String>) {
+        self.catalog.set_default_graph(name);
+    }
+
+    /// Fetch a registered graph.
+    pub fn graph(&self, name: &str) -> Result<Arc<PathPropertyGraph>> {
+        Ok(self.catalog.graph(name)?)
+    }
+
+    /// Parse and evaluate one statement. `GRAPH VIEW name AS (…)`
+    /// registers its materialized result persistently and returns it.
+    pub fn run(&mut self, text: &str) -> Result<QueryOutput> {
+        let stmt = parse_statement(text)?;
+        self.eval(&stmt)
+    }
+
+    /// Parse and evaluate a `;`-separated script, returning every
+    /// statement's output in order.
+    pub fn run_script(&mut self, text: &str) -> Result<Vec<QueryOutput>> {
+        let stmts = parse_script(text)?;
+        stmts.iter().map(|s| self.eval(s)).collect()
+    }
+
+    /// Run a query that must produce a graph.
+    pub fn query_graph(&mut self, text: &str) -> Result<PathPropertyGraph> {
+        match self.run(text)? {
+            QueryOutput::Graph(g) => Ok(g),
+            QueryOutput::Table(_) => Err(SemanticError::Other(
+                "query produced a table; use query_table for SELECT".into(),
+            )
+            .into()),
+        }
+    }
+
+    /// Run a query that must produce a table (§5 SELECT).
+    pub fn query_table(&mut self, text: &str) -> Result<Table> {
+        match self.run(text)? {
+            QueryOutput::Table(t) => Ok(t),
+            QueryOutput::Graph(_) => Err(SemanticError::Other(
+                "query produced a graph; use query_graph instead".into(),
+            )
+            .into()),
+        }
+    }
+
+    /// Evaluate an already-parsed statement.
+    pub fn eval(&mut self, stmt: &Statement) -> Result<QueryOutput> {
+        // Static analysis first: sort mismatches are rejected before any
+        // evaluation work (§3 "they must be of the right sort").
+        crate::analyze::check_statement(stmt)?;
+        // The context clones the catalog: graph handles are Arc-shared
+        // and the id generator handle draws from the same counter, so
+        // skolemized identifiers never collide across queries.
+        let ctx = EvalCtx::new(self.catalog.clone());
+        ctx.filter_pushdown.set(self.filter_pushdown);
+        let evaluator = Evaluator::new(&ctx);
+        let out = evaluator.eval_statement(stmt)?;
+        if let Statement::GraphView { name, .. } = stmt {
+            match &out {
+                QueryOutput::Graph(g) => self.catalog.register_graph(name.clone(), g.clone()),
+                QueryOutput::Table(_) => {
+                    return Err(SemanticError::Other(format!(
+                        "GRAPH VIEW {name} AS (…) must be a graph query, not SELECT"
+                    ))
+                    .into())
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcore_ppg::{Attributes, GraphBuilder};
+
+    fn engine_with_people() -> Engine {
+        let mut engine = Engine::new();
+        let mut b = GraphBuilder::new(engine.catalog().ids().clone());
+        let ann = b.node(Attributes::labeled("Person").with_prop("name", "Ann"));
+        let bob = b.node(Attributes::labeled("Person").with_prop("name", "Bob"));
+        let eve = b.node(Attributes::labeled("Person").with_prop("name", "Eve"));
+        b.edge(ann, bob, Attributes::labeled("knows"));
+        b.edge(bob, eve, Attributes::labeled("knows"));
+        engine.register_graph("people", b.build());
+        engine.set_default_graph("people");
+        engine
+    }
+
+    #[test]
+    fn construct_match_roundtrip() {
+        let mut engine = engine_with_people();
+        let g = engine
+            .query_graph("CONSTRUCT (n) MATCH (n:Person)")
+            .unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn where_filters() {
+        let mut engine = engine_with_people();
+        let g = engine
+            .query_graph("CONSTRUCT (n) MATCH (n:Person) WHERE n.name = 'Bob'")
+            .unwrap();
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn graph_view_persists() {
+        let mut engine = engine_with_people();
+        engine
+            .run("GRAPH VIEW only_ann AS (CONSTRUCT (n) MATCH (n) WHERE n.name = 'Ann')")
+            .unwrap();
+        let g = engine
+            .query_graph("CONSTRUCT (n) MATCH (n) ON only_ann")
+            .unwrap();
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn select_table() {
+        let mut engine = engine_with_people();
+        let t = engine
+            .query_table("SELECT n.name AS name MATCH (n:Person)")
+            .unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.columns(), &["name".to_owned()]);
+    }
+
+    #[test]
+    fn wrong_output_sort_is_an_error() {
+        let mut engine = engine_with_people();
+        assert!(engine.query_table("CONSTRUCT (n) MATCH (n)").is_err());
+        assert!(engine.query_graph("SELECT n.name MATCH (n)").is_err());
+    }
+}

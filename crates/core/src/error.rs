@@ -1,0 +1,198 @@
+//! Engine errors: semantic (query rejected before evaluation) and
+//! runtime (raised during evaluation, e.g. the paper's mandated error on
+//! non-positive path costs).
+
+use gcore_parser::ParseError;
+use gcore_ppg::{CatalogError, GraphError};
+use std::fmt;
+
+/// Any error the engine can produce.
+#[derive(Clone, PartialEq, Debug)]
+pub enum EngineError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// The query is well-formed syntax but violates a static rule.
+    Semantic(SemanticError),
+    /// Evaluation failed.
+    Runtime(RuntimeError),
+    /// Catalog lookup failed.
+    Catalog(CatalogError),
+    /// Graph construction failed (should not escape the engine; kept for
+    /// completeness).
+    Graph(GraphError),
+}
+
+/// Static violations detected before evaluation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SemanticError {
+    /// One variable used with two different sorts.
+    SortMismatch {
+        /// The offending variable.
+        var: String,
+        /// The sort required by the usage site.
+        expected: String,
+        /// The sort the variable is actually bound to.
+        found: String,
+    },
+    /// A variable referenced but never bound in scope.
+    UnboundVariable(String),
+    /// `ALL` path variables may only be used for graph projection in
+    /// CONSTRUCT (§3: anything else would be intractable or infinite).
+    AllPathsEscape(String),
+    /// A bound edge variable constructed with endpoints other than its own
+    /// (§3: "changing the source and destination of an edge violates its
+    /// identity").
+    EdgeEndpointsChanged(String),
+    /// A bound edge construct requires its endpoint variables bound too.
+    EdgeEndpointsUnbound(String),
+    /// Optional blocks may only share variables that appear in the
+    /// enclosing (earlier) pattern [31].
+    OptionalSharedVariable(String),
+    /// A construct path variable must be bound by a path pattern in MATCH.
+    ConstructPathUnbound(String),
+    /// GROUP appeared on a bound variable (grouping of bound elements is
+    /// fixed to identity by §A.3).
+    GroupOnBoundVariable(String),
+    /// Aggregates are only allowed in CONSTRUCT assignments / SET items /
+    /// SELECT items.
+    MisplacedAggregate(String),
+    /// A SET/REMOVE/WHEN referenced a variable that is not a construct
+    /// variable of its pattern nor a match variable.
+    UnknownSetTarget(String),
+    /// Anything else.
+    Other(String),
+}
+
+/// Failures raised during evaluation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RuntimeError {
+    /// §3: "The specified cost must be numerical, and larger than zero
+    /// (otherwise a run-time error will be raised)".
+    NonPositiveCost {
+        /// The PATH view whose COST failed.
+        view: String,
+        /// Human-readable description of the offending segment.
+        detail: String,
+    },
+    /// A PATH view referenced from a regex does not exist.
+    UnknownPathView(String),
+    /// Type error during expression evaluation that cannot be coalesced.
+    Type(String),
+    /// Division by zero.
+    DivisionByZero,
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "parse error: {e}"),
+            EngineError::Semantic(e) => write!(f, "semantic error: {e}"),
+            EngineError::Runtime(e) => write!(f, "runtime error: {e}"),
+            EngineError::Catalog(e) => write!(f, "catalog error: {e}"),
+            EngineError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl fmt::Display for SemanticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticError::SortMismatch {
+                var,
+                expected,
+                found,
+            } => write!(
+                f,
+                "variable '{var}' is used both as {expected} and as {found}"
+            ),
+            SemanticError::UnboundVariable(v) => {
+                write!(f, "variable '{v}' is not bound by any pattern in scope")
+            }
+            SemanticError::AllPathsEscape(v) => write!(
+                f,
+                "ALL-path variable '{v}' may only be used for graph projection in CONSTRUCT"
+            ),
+            SemanticError::EdgeEndpointsChanged(v) => write!(
+                f,
+                "edge variable '{v}' is bound; constructing it between other nodes would change \
+                 its identity"
+            ),
+            SemanticError::EdgeEndpointsUnbound(v) => write!(
+                f,
+                "constructing bound edge '{v}' requires its source and destination variables to \
+                 be bound to exactly its endpoints"
+            ),
+            SemanticError::OptionalSharedVariable(v) => write!(
+                f,
+                "variable '{v}' is shared between OPTIONAL blocks but missing from the enclosing \
+                 pattern; this would make the result order-dependent"
+            ),
+            SemanticError::ConstructPathUnbound(v) => write!(
+                f,
+                "construct path variable '{v}' must be bound by a path pattern in MATCH"
+            ),
+            SemanticError::GroupOnBoundVariable(v) => write!(
+                f,
+                "GROUP on '{v}' is not allowed: the variable is bound, so its grouping is fixed \
+                 to its identity"
+            ),
+            SemanticError::MisplacedAggregate(w) => {
+                write!(f, "aggregate function not allowed in {w}")
+            }
+            SemanticError::UnknownSetTarget(v) => write!(
+                f,
+                "SET/REMOVE/WHEN references '{v}', which is neither a construct variable of this \
+                 pattern nor a match variable"
+            ),
+            SemanticError::Other(m) => f.write_str(m),
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NonPositiveCost { view, detail } => write!(
+                f,
+                "path view '{view}' produced a non-positive or non-numeric cost: {detail}"
+            ),
+            RuntimeError::UnknownPathView(v) => write!(f, "unknown path view '~{v}'"),
+            RuntimeError::Type(m) => write!(f, "type error: {m}"),
+            RuntimeError::DivisionByZero => f.write_str("division by zero"),
+            RuntimeError::Other(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+impl From<SemanticError> for EngineError {
+    fn from(e: SemanticError) -> Self {
+        EngineError::Semantic(e)
+    }
+}
+impl From<RuntimeError> for EngineError {
+    fn from(e: RuntimeError) -> Self {
+        EngineError::Runtime(e)
+    }
+}
+impl From<CatalogError> for EngineError {
+    fn from(e: CatalogError) -> Self {
+        EngineError::Catalog(e)
+    }
+}
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+
+/// Engine result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,66 @@
+//! # gcore — the G-CORE query engine
+//!
+//! An executable implementation of the formal semantics of *G-CORE: A
+//! Core for Future Graph Query Languages* (SIGMOD 2018): a **closed**
+//! query language over Path Property Graphs in which **paths are
+//! first-class citizens**.
+//!
+//! The engine implements, per the paper's appendix:
+//!
+//! * binding tables with the ∪ / ⋈ / ⋉ / ∖ / left-outer-join algebra
+//!   (§A.1) — [`binding`];
+//! * expressions over multi-valued properties, labels, paths, EXISTS
+//!   subqueries and aggregates (§A.1) — [`expr`];
+//! * regular path expressions compiled to NFAs, with shortest,
+//!   k-shortest, weighted-shortest and ALL-paths evaluation over the
+//!   graph × NFA product (§A.1, §3) — [`regex`], [`paths`];
+//! * MATCH with ON locations, WHERE and OPTIONAL (§A.2) — [`matcher`],
+//!   [`query`];
+//! * CONSTRUCT with grouping, skolemization, SET/REMOVE and WHEN (§A.3)
+//!   — [`construct`];
+//! * PATH views with COST (§A.4) and full-graph set operations (§A.5);
+//! * GRAPH views (§A.6) and the §5 tabular extensions (SELECT, FROM) —
+//!   [`select`].
+//!
+//! The entry point is [`Engine`]:
+//!
+//! ```
+//! use gcore::Engine;
+//! use gcore_ppg::{Attributes, GraphBuilder};
+//!
+//! let mut engine = Engine::new();
+//! let mut b = GraphBuilder::new(engine.catalog().ids().clone());
+//! let ann = b.node(Attributes::labeled("Person").with_prop("name", "Ann"));
+//! let bob = b.node(Attributes::labeled("Person").with_prop("name", "Bob"));
+//! b.edge(ann, bob, Attributes::labeled("knows"));
+//! engine.register_graph("people", b.build());
+//! engine.set_default_graph("people");
+//!
+//! // Every query returns a graph — G-CORE is closed over PPGs.
+//! let g = engine.query_graph("CONSTRUCT (m) MATCH (n)-[:knows]->(m)").unwrap();
+//! assert_eq!(g.node_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::len_without_is_empty)]
+
+pub mod analyze;
+pub mod baselines;
+pub mod binding;
+pub mod construct;
+pub mod context;
+pub mod engine;
+pub mod error;
+pub mod expr;
+pub mod matcher;
+pub mod paths;
+pub mod query;
+pub mod regex;
+pub mod select;
+
+pub use binding::{BindingTable, Bound, Column};
+pub use context::EvalCtx;
+pub use engine::Engine;
+pub use error::{EngineError, Result, RuntimeError, SemanticError};
+pub use expr::{Env, Rv};
+pub use query::{Evaluator, QueryOutput};

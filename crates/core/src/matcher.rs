@@ -1,0 +1,742 @@
+//! Evaluation of basic graph patterns (§A.2) on one graph.
+//!
+//! A pattern chain `(n)-[e:knows]->(m)-/p<:r*>/->(k)` is evaluated left to
+//! right: the start node pattern seeds a binding table, and each step
+//! expands rows through adjacency (edge patterns) or product-automaton
+//! search (path patterns). Homomorphism semantics: no implicit
+//! disjointness between variables (§3 "Match and Filter").
+//!
+//! All candidate enumeration is in sorted identifier order, so the
+//! resulting binding table is deterministic.
+
+use crate::binding::{BindingTable, Bound, Column};
+use crate::context::FreshPath;
+use crate::error::{Result, RuntimeError, SemanticError};
+use crate::expr::{eval_expr, Env, Rv};
+use crate::paths::PathSearcher;
+use crate::query::Evaluator;
+use crate::regex::{walk_conforms, Nfa};
+use gcore_parser::ast::{
+    Connection, Direction, EdgePattern, LabelDisjunction, NodePattern, PathMode, PathPattern,
+    Pattern, PropEntry, Regex,
+};
+use gcore_ppg::hash::{FxHashMap, FxHashSet};
+use gcore_ppg::{ElementId, Key, Label, NodeId, PathPropertyGraph, PathShape, Value};
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Description of a pattern chain's columns after evaluation, used by
+/// PATH-view segment extraction.
+pub struct ChainInfo {
+    /// Column name of each node in the chain, in order.
+    pub node_vars: Vec<String>,
+    /// Column name of each connection (edge or path), in order.
+    pub conn_vars: Vec<String>,
+}
+
+/// Matcher for one graph.
+pub struct PatternMatcher<'e> {
+    /// The evaluator (for subqueries and context access).
+    pub ev: &'e Evaluator<'e>,
+    /// The graph being matched.
+    pub graph: Arc<PathPropertyGraph>,
+    anon: Cell<usize>,
+    /// Single-variable WHERE conjuncts pushed down by the evaluator:
+    /// applied the moment the variable is bound, pruning the search
+    /// space (most importantly the *source set* of path patterns).
+    prefilters: FxHashMap<String, Vec<&'e gcore_parser::ast::Expr>>,
+}
+
+impl<'e> PatternMatcher<'e> {
+    /// Create a matcher over `graph`.
+    pub fn new(ev: &'e Evaluator<'e>, graph: Arc<PathPropertyGraph>) -> Self {
+        PatternMatcher {
+            ev,
+            graph,
+            anon: Cell::new(0),
+            prefilters: FxHashMap::default(),
+        }
+    }
+
+    /// Attach pushed-down WHERE conjuncts (keyed by the single variable
+    /// each references). Filtering is idempotent, so the evaluator still
+    /// applies the full WHERE afterwards; pushdown only prunes earlier.
+    pub fn with_prefilters(
+        mut self,
+        prefilters: FxHashMap<String, Vec<&'e gcore_parser::ast::Expr>>,
+    ) -> Self {
+        self.prefilters = prefilters;
+        self
+    }
+
+    /// Apply the pushed-down conjuncts for `var`, if any.
+    fn apply_prefilters(
+        &self,
+        table: BindingTable,
+        var: &str,
+        outer: Option<&Env<'_>>,
+    ) -> Result<BindingTable> {
+        let Some(exprs) = self.prefilters.get(var) else {
+            return Ok(table);
+        };
+        let mut first_err = None;
+        let filtered = table.filter(|row| {
+            if first_err.is_some() {
+                return false;
+            }
+            let mut env = Env::new(&table, row);
+            env.parent = outer;
+            exprs.iter().all(|e| match eval_expr(self.ev.ctx, self.ev, &env, e) {
+                Ok(v) => v.truthy(),
+                Err(err) => {
+                    first_err = Some(err);
+                    false
+                }
+            })
+        });
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(filtered),
+        }
+    }
+
+    fn fresh_anon(&self, kind: &str) -> String {
+        let n = self.anon.get();
+        self.anon.set(n + 1);
+        // '#' cannot appear in user identifiers, so no collisions.
+        format!("#{kind}{n}")
+    }
+
+    fn col(&self, var: &str) -> Column {
+        Column {
+            var: var.to_owned(),
+            graph: self.graph.clone(),
+        }
+    }
+
+    /// Evaluate a pattern; anonymous element columns are projected away.
+    pub fn eval_pattern(
+        &self,
+        pattern: &Pattern,
+        outer: Option<&Env<'_>>,
+    ) -> Result<BindingTable> {
+        let (table, _) = self.eval_chain(pattern, outer)?;
+        let keep: Vec<&str> = table
+            .columns()
+            .iter()
+            .map(|c| c.var.as_str())
+            .filter(|v| !v.starts_with('#'))
+            .collect::<Vec<_>>();
+        Ok(table.project(&keep))
+    }
+
+    /// Evaluate a pattern keeping anonymous columns, returning chain
+    /// column info (for PATH-view walk extraction).
+    pub fn eval_chain(
+        &self,
+        pattern: &Pattern,
+        outer: Option<&Env<'_>>,
+    ) -> Result<(BindingTable, ChainInfo)> {
+        // Structural variables of this pattern decide which `{k = v}`
+        // entries bind fresh value variables vs. filter.
+        let structural = structural_vars(pattern);
+
+        let start_var = pattern
+            .start
+            .var
+            .clone()
+            .unwrap_or_else(|| self.fresh_anon("n"));
+        let mut info = ChainInfo {
+            node_vars: vec![start_var.clone()],
+            conn_vars: Vec::new(),
+        };
+
+        let mut table = self.bind_start(&start_var, &pattern.start, outer, &structural)?;
+        for step in &pattern.steps {
+            let dst_var = step
+                .node
+                .var
+                .clone()
+                .unwrap_or_else(|| self.fresh_anon("n"));
+            let prev_var = info.node_vars.last().expect("chain nonempty").clone();
+            table = match &step.connection {
+                Connection::Edge(e) => {
+                    let edge_var = e.var.clone().unwrap_or_else(|| self.fresh_anon("e"));
+                    info.conn_vars.push(edge_var.clone());
+                    self.expand_edge(table, &prev_var, &edge_var, &dst_var, e, outer, &structural)?
+                }
+                Connection::Path(p) => {
+                    let path_var = p.var.clone().unwrap_or_else(|| self.fresh_anon("p"));
+                    info.conn_vars.push(path_var.clone());
+                    self.expand_path(table, &prev_var, &path_var, &dst_var, p, outer)?
+                }
+            };
+            // Apply the destination node's own label/property constraints.
+            table = self.constrain_node(table, &dst_var, &step.node, outer, &structural)?;
+            info.node_vars.push(dst_var);
+        }
+        Ok((table, info))
+    }
+
+    /// Seed the table with candidates for the first node pattern.
+    fn bind_start(
+        &self,
+        var: &str,
+        node: &NodePattern,
+        outer: Option<&Env<'_>>,
+        structural: &FxHashSet<String>,
+    ) -> Result<BindingTable> {
+        // If the outer scope (correlated subquery) already binds this
+        // variable, start from that binding.
+        if let Some((Bound::Node(n), _)) = outer.and_then(|o| o.lookup(var)) {
+            let table = BindingTable::new(vec![self.col(var)], vec![vec![Bound::Node(n)]]);
+            return self.constrain_node(table, var, node, outer, structural);
+        }
+        let candidates: Vec<NodeId> = match first_label(node) {
+            Some(label) => match Label::lookup(&label) {
+                Some(l) => self.graph.nodes_with_label(l),
+                None => Vec::new(),
+            },
+            None => self.graph.node_ids_sorted(),
+        };
+        let rows = candidates.into_iter().map(|n| vec![Bound::Node(n)]).collect();
+        let table = BindingTable::new(vec![self.col(var)], rows);
+        self.constrain_node(table, var, node, outer, structural)
+    }
+
+    /// Apply a node pattern's labels and property entries to an existing
+    /// column (binding value variables / filtering).
+    fn constrain_node(
+        &self,
+        table: BindingTable,
+        var: &str,
+        node: &NodePattern,
+        outer: Option<&Env<'_>>,
+        structural: &FxHashSet<String>,
+    ) -> Result<BindingTable> {
+        let mut table = self.filter_labels(table, var, &node.labels)?;
+        for entry in &node.props {
+            table = self.apply_prop_entry(table, var, entry, outer, structural)?;
+        }
+        self.apply_prefilters(table, var, outer)
+    }
+
+    /// Every label-disjunction group must be satisfied.
+    fn filter_labels(
+        &self,
+        table: BindingTable,
+        var: &str,
+        groups: &[LabelDisjunction],
+    ) -> Result<BindingTable> {
+        if groups.is_empty() {
+            return Ok(table);
+        }
+        let resolved: Vec<Vec<Option<Label>>> = groups
+            .iter()
+            .map(|g| g.0.iter().map(|l| Label::lookup(l)).collect())
+            .collect();
+        let idx = table
+            .column_index(var)
+            .ok_or_else(|| SemanticError::UnboundVariable(var.to_owned()))?;
+        Ok(table.filter(|row| {
+            let id: ElementId = match &row[idx] {
+                Bound::Node(n) => (*n).into(),
+                Bound::Edge(e) => (*e).into(),
+                Bound::Path(p) => (*p).into(),
+                Bound::FreshPath(_) => return false, // computed paths carry no labels
+                _ => return false,
+            };
+            resolved.iter().all(|group| {
+                group
+                    .iter()
+                    .any(|l| l.is_some_and(|l| self.graph.has_label(id, l)))
+            })
+        }))
+    }
+
+    /// `{key = expr}`: bind (unrolling multi-valued properties) when the
+    /// RHS is an unbound value variable, otherwise filter by membership.
+    fn apply_prop_entry(
+        &self,
+        table: BindingTable,
+        elem_var: &str,
+        entry: &PropEntry,
+        outer: Option<&Env<'_>>,
+        structural: &FxHashSet<String>,
+    ) -> Result<BindingTable> {
+        let key = Key::lookup(&entry.key);
+        let elem_idx = table
+            .column_index(elem_var)
+            .ok_or_else(|| SemanticError::UnboundVariable(elem_var.to_owned()))?;
+        let prop_of = |row: &[Bound]| -> gcore_ppg::PropertySet {
+            let Some(key) = key else {
+                return Default::default();
+            };
+            let id: ElementId = match &row[elem_idx] {
+                Bound::Node(n) => (*n).into(),
+                Bound::Edge(e) => (*e).into(),
+                Bound::Path(p) => (*p).into(),
+                _ => return Default::default(),
+            };
+            self.graph.prop(id, key)
+        };
+
+        // Binding form: RHS is a variable that is neither structural nor
+        // already bound (here or in the outer scope).
+        if let gcore_parser::ast::Expr::Var(v) = &entry.value {
+            let is_bound = table.binds(v)
+                || structural.contains(v)
+                || outer.and_then(|o| o.lookup(v)).is_some();
+            if !is_bound {
+                return Ok(table.extend_column(self.col(v), |row| {
+                    prop_of(row)
+                        .iter()
+                        .map(|val| Bound::Value(val.clone()))
+                        .collect()
+                }));
+            }
+        }
+        // Filter form: membership of the evaluated scalar (set equality
+        // when the RHS itself evaluates to a set).
+        let mut result = Ok(());
+        let filtered = table.filter(|row| {
+            if result.is_err() {
+                return false;
+            }
+            let mut env = Env::new(&table, row);
+            env.parent = outer;
+            match eval_expr(self.ev.ctx, self.ev, &env, &entry.value) {
+                Ok(rv) => {
+                    let props = prop_of(row);
+                    match &rv {
+                        Rv::Set(s) => props.set_eq(s),
+                        _ => match rv.as_scalar() {
+                            Some(v) => props.contains(&v),
+                            None => false,
+                        },
+                    }
+                }
+                Err(e) => {
+                    result = Err(e);
+                    false
+                }
+            }
+        });
+        result?;
+        Ok(filtered)
+    }
+
+    /// Expand rows over one edge pattern.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_edge(
+        &self,
+        table: BindingTable,
+        prev_var: &str,
+        edge_var: &str,
+        dst_var: &str,
+        edge: &EdgePattern,
+        outer: Option<&Env<'_>>,
+        structural: &FxHashSet<String>,
+    ) -> Result<BindingTable> {
+        let prev_idx = table
+            .column_index(prev_var)
+            .ok_or_else(|| SemanticError::UnboundVariable(prev_var.to_owned()))?;
+        let edge_bound = table.column_index(edge_var);
+        let dst_bound = table.column_index(dst_var);
+
+        let mut columns = table.columns().to_vec();
+        if edge_bound.is_none() {
+            columns.push(self.col(edge_var));
+        }
+        if dst_bound.is_none() {
+            columns.push(self.col(dst_var));
+        }
+
+        let mut rows = Vec::new();
+        for row in table.rows() {
+            let Bound::Node(src) = row[prev_idx] else {
+                continue;
+            };
+            // Candidate (edge, other endpoint) pairs, sorted for
+            // determinism.
+            let mut cands: Vec<(gcore_ppg::EdgeId, NodeId)> = Vec::new();
+            match edge.direction {
+                Direction::Out => {
+                    for &e in self.graph.out_edges(src) {
+                        let d = self.graph.edge(e).expect("adjacent").dst;
+                        cands.push((e, d));
+                    }
+                }
+                Direction::In => {
+                    for &e in self.graph.in_edges(src) {
+                        let s = self.graph.edge(e).expect("adjacent").src;
+                        cands.push((e, s));
+                    }
+                }
+                Direction::Undirected => {
+                    for &e in self.graph.out_edges(src) {
+                        let d = self.graph.edge(e).expect("adjacent").dst;
+                        cands.push((e, d));
+                    }
+                    for &e in self.graph.in_edges(src) {
+                        let data = self.graph.edge(e).expect("adjacent");
+                        if data.src != data.dst {
+                            cands.push((e, data.src));
+                        }
+                    }
+                }
+            }
+            cands.sort_unstable();
+            for (e, other) in cands {
+                if let Some(i) = edge_bound {
+                    if row[i] != Bound::Edge(e) {
+                        continue;
+                    }
+                }
+                if let Some(i) = dst_bound {
+                    if row[i] != Bound::Node(other) {
+                        continue;
+                    }
+                }
+                let mut new_row = row.clone();
+                if edge_bound.is_none() {
+                    new_row.push(Bound::Edge(e));
+                }
+                if dst_bound.is_none() {
+                    new_row.push(Bound::Node(other));
+                }
+                rows.push(new_row);
+            }
+        }
+        let mut out = BindingTable::new(columns, rows);
+        out = self.filter_labels(out, edge_var, &edge.labels)?;
+        for entry in &edge.props {
+            out = self.apply_prop_entry(out, edge_var, entry, outer, structural)?;
+        }
+        self.apply_prefilters(out, edge_var, outer)
+    }
+
+    /// Expand rows over one path pattern (computed or stored).
+    fn expand_path(
+        &self,
+        table: BindingTable,
+        prev_var: &str,
+        path_var: &str,
+        dst_var: &str,
+        pat: &PathPattern,
+        _outer: Option<&Env<'_>>,
+    ) -> Result<BindingTable> {
+        if pat.stored {
+            return self.expand_stored_path(table, prev_var, path_var, dst_var, pat);
+        }
+        let Some(regex) = &pat.regex else {
+            return Err(SemanticError::Other(format!(
+                "path pattern binding '{path_var}' needs a <regex> (only stored-path patterns \
+                 may omit it)"
+            ))
+            .into());
+        };
+        // Direction handling: In-direction searches with the reversed
+        // regex; Undirected unions both orientations.
+        let effective = match pat.direction {
+            Direction::Out => regex.clone(),
+            Direction::In => reverse_regex(regex),
+            Direction::Undirected => {
+                Regex::Alt(vec![regex.clone(), reverse_regex(regex)])
+            }
+        };
+        let nfa = Nfa::compile(&effective);
+        let views = self.ev.resolve_views(&nfa, &self.graph)?;
+        let searcher = PathSearcher::new(&self.graph, &nfa, &views);
+
+        let prev_idx = table
+            .column_index(prev_var)
+            .ok_or_else(|| SemanticError::UnboundVariable(prev_var.to_owned()))?;
+        let dst_bound = table.column_index(dst_var);
+        let binds_path = pat.var.is_some();
+        let binds_cost = pat.cost_var.is_some();
+
+        let mut columns = table.columns().to_vec();
+        if binds_path {
+            columns.push(self.col(path_var));
+        }
+        if dst_bound.is_none() {
+            columns.push(self.col(dst_var));
+        }
+        if let Some(cv) = &pat.cost_var {
+            columns.push(self.col(cv));
+        }
+
+        let mut rows = Vec::new();
+        for row in table.rows() {
+            let Bound::Node(src) = row[prev_idx] else {
+                continue;
+            };
+            let targets: Option<FxHashSet<NodeId>> = dst_bound.and_then(|i| match row[i] {
+                Bound::Node(d) => {
+                    let mut s = FxHashSet::default();
+                    s.insert(d);
+                    Some(s)
+                }
+                _ => None,
+            });
+
+            match pat.mode {
+                PathMode::All => {
+                    // Graph projection per destination.
+                    let dsts: Vec<NodeId> = match &targets {
+                        Some(t) => t.iter().copied().collect(),
+                        None => searcher.reachable(src),
+                    };
+                    for dst in dsts {
+                        let Some((nodes, edges)) = searcher.all_paths_projection(src, dst)
+                        else {
+                            continue;
+                        };
+                        let mut new_row = row.clone();
+                        if binds_path {
+                            new_row.push(self.ev.ctx.add_fresh_path(FreshPath::Projection {
+                                src,
+                                dst,
+                                nodes,
+                                edges,
+                                graph: self.graph.clone(),
+                            }));
+                        }
+                        if dst_bound.is_none() {
+                            new_row.push(Bound::Node(dst));
+                        }
+                        if binds_cost {
+                            return Err(SemanticError::Other(
+                                "COST cannot be bound on ALL path patterns".into(),
+                            )
+                            .into());
+                        }
+                        rows.push(new_row);
+                    }
+                }
+                PathMode::Shortest(k) if !binds_path && !binds_cost => {
+                    // Pure reachability test.
+                    let _ = k;
+                    let dsts: Vec<NodeId> = match &targets {
+                        Some(t) => {
+                            let r = searcher.reachable(src);
+                            r.into_iter().filter(|d| t.contains(d)).collect()
+                        }
+                        None => searcher.reachable(src),
+                    };
+                    for dst in dsts {
+                        let mut new_row = row.clone();
+                        if dst_bound.is_none() {
+                            new_row.push(Bound::Node(dst));
+                        }
+                        rows.push(new_row);
+                    }
+                }
+                PathMode::Shortest(k) => {
+                    let found = searcher.k_shortest(src, k as usize, targets.as_ref());
+                    let mut dsts: Vec<NodeId> = found.keys().copied().collect();
+                    dsts.sort_unstable();
+                    for dst in dsts {
+                        for fp in &found[&dst] {
+                            let mut new_row = row.clone();
+                            if binds_path {
+                                new_row.push(self.ev.ctx.add_fresh_path(FreshPath::Walk {
+                                    shape: fp.walk.clone(),
+                                    cost: fp.cost,
+                                    weighted: searcher.weighted,
+                                    graph: self.graph.clone(),
+                                }));
+                            }
+                            if dst_bound.is_none() {
+                                new_row.push(Bound::Node(dst));
+                            }
+                            if binds_cost {
+                                new_row.push(Bound::Value(if searcher.weighted {
+                                    Value::Float(fp.cost)
+                                } else {
+                                    Value::Int(fp.cost as i64)
+                                }));
+                            }
+                            rows.push(new_row);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(BindingTable::new(columns, rows))
+    }
+
+    /// Match stored paths (`-/@p:Label/->`), optionally checking regex
+    /// conformance.
+    fn expand_stored_path(
+        &self,
+        table: BindingTable,
+        prev_var: &str,
+        path_var: &str,
+        dst_var: &str,
+        pat: &PathPattern,
+    ) -> Result<BindingTable> {
+        if pat.mode != PathMode::Shortest(1) {
+            return Err(SemanticError::Other(
+                "ALL / k SHORTEST do not apply to stored-path patterns".into(),
+            )
+            .into());
+        }
+        let nfa = pat.regex.as_ref().map(Nfa::compile);
+        let prev_idx = table
+            .column_index(prev_var)
+            .ok_or_else(|| SemanticError::UnboundVariable(prev_var.to_owned()))?;
+        let path_bound = table.column_index(path_var);
+        let dst_bound = table.column_index(dst_var);
+
+        let mut columns = table.columns().to_vec();
+        if path_bound.is_none() {
+            columns.push(self.col(path_var));
+        }
+        if dst_bound.is_none() {
+            columns.push(self.col(dst_var));
+        }
+
+        // Candidate stored paths, filtered by labels once.
+        let mut candidates: Vec<gcore_ppg::PathId> = self.graph.path_ids_sorted();
+        for group in &pat.labels {
+            let resolved: Vec<Option<Label>> = group.0.iter().map(|l| Label::lookup(l)).collect();
+            candidates.retain(|&p| {
+                resolved
+                    .iter()
+                    .any(|l| l.is_some_and(|l| self.graph.has_label(p.into(), l)))
+            });
+        }
+        if let Some(nfa) = &nfa {
+            candidates.retain(|&p| self.stored_path_conforms(p, nfa));
+        }
+
+        let mut rows = Vec::new();
+        for row in table.rows() {
+            let Bound::Node(src) = row[prev_idx] else {
+                continue;
+            };
+            for &p in &candidates {
+                let shape = &self.graph.path(p).expect("listed path").shape;
+                let (a, b) = (shape.start(), shape.end());
+                let endpoints_ok = match pat.direction {
+                    Direction::Out => a == src,
+                    Direction::In => b == src,
+                    Direction::Undirected => a == src || b == src,
+                };
+                if !endpoints_ok {
+                    continue;
+                }
+                let dst = if a == src { b } else { a };
+                if let Some(i) = path_bound {
+                    if row[i] != Bound::Path(p) {
+                        continue;
+                    }
+                }
+                if let Some(i) = dst_bound {
+                    if row[i] != Bound::Node(dst) {
+                        continue;
+                    }
+                }
+                let mut new_row = row.clone();
+                if path_bound.is_none() {
+                    new_row.push(Bound::Path(p));
+                }
+                if dst_bound.is_none() {
+                    new_row.push(Bound::Node(dst));
+                }
+                rows.push(new_row);
+            }
+        }
+        Ok(BindingTable::new(columns, rows))
+    }
+
+    /// Does a stored path's walk conform to the regex?
+    fn stored_path_conforms(&self, p: gcore_ppg::PathId, nfa: &Nfa) -> bool {
+        let shape = &self.graph.path(p).expect("candidate path").shape;
+        conforms(&self.graph, shape, nfa)
+    }
+}
+
+/// Check a concrete walk in `graph` against an NFA.
+pub fn conforms(graph: &PathPropertyGraph, shape: &PathShape, nfa: &Nfa) -> bool {
+    let node_labels: Vec<Vec<Label>> = shape
+        .nodes()
+        .iter()
+        .map(|&n| graph.labels(n.into()).iter().collect())
+        .collect();
+    let steps: Vec<(Vec<Label>, bool)> = shape
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| {
+            let labels: Vec<Label> = graph.labels(e.into()).iter().collect();
+            let (src, _) = graph.endpoints(e).expect("path edge");
+            let forward = src == shape.nodes()[i];
+            (labels, forward)
+        })
+        .collect();
+    walk_conforms(nfa, &node_labels, &steps)
+}
+
+/// Reverse a regular expression: swaps concatenation order and inverts
+/// edge directions (`ℓ` ↔ `ℓ⁻`); node tests and views stay in place
+/// (views are segment relations whose reversal is handled by swapping
+/// lookup direction — we conservatively keep them, which restricts
+/// reversed view traversal to symmetric views; asymmetric reversed views
+/// simply find fewer paths).
+fn reverse_regex(r: &Regex) -> Regex {
+    match r {
+        Regex::Label(l) => Regex::LabelInv(l.clone()),
+        Regex::LabelInv(l) => Regex::Label(l.clone()),
+        Regex::NodeTest(_) | Regex::Wildcard | Regex::View(_) => r.clone(),
+        Regex::Concat(parts) => Regex::Concat(parts.iter().rev().map(reverse_regex).collect()),
+        Regex::Alt(parts) => Regex::Alt(parts.iter().map(reverse_regex).collect()),
+        Regex::Star(inner) => Regex::Star(Box::new(reverse_regex(inner))),
+        Regex::Plus(inner) => Regex::Plus(Box::new(reverse_regex(inner))),
+        Regex::Opt(inner) => Regex::Opt(Box::new(reverse_regex(inner))),
+    }
+}
+
+/// All node/edge/path/cost variables declared structurally by a pattern.
+fn structural_vars(pattern: &Pattern) -> FxHashSet<String> {
+    let mut vars = FxHashSet::default();
+    fn add_node(vars: &mut FxHashSet<String>, n: &NodePattern) {
+        if let Some(v) = &n.var {
+            vars.insert(v.clone());
+        }
+    }
+    add_node(&mut vars, &pattern.start);
+    for step in &pattern.steps {
+        add_node(&mut vars, &step.node);
+        match &step.connection {
+            Connection::Edge(e) => {
+                if let Some(v) = &e.var {
+                    vars.insert(v.clone());
+                }
+            }
+            Connection::Path(p) => {
+                if let Some(v) = &p.var {
+                    vars.insert(v.clone());
+                }
+                if let Some(c) = &p.cost_var {
+                    vars.insert(c.clone());
+                }
+            }
+        }
+    }
+    vars
+}
+
+fn first_label(node: &NodePattern) -> Option<String> {
+    // Only usable as an index when the first group is a single label.
+    match node.labels.first() {
+        Some(LabelDisjunction(ls)) if ls.len() == 1 => Some(ls[0].clone()),
+        _ => None,
+    }
+}
+
+/// Unused import silencer for RuntimeError (referenced by siblings).
+#[allow(unused)]
+fn _keep(e: RuntimeError) {}

@@ -1,0 +1,627 @@
+//! The query evaluator: head clauses, MATCH with OPTIONAL, graph set
+//! operations, PATH views and subqueries — §A.2, §A.4, §A.5, §A.6.
+
+use crate::binding::{BindingTable, Bound, Column};
+use crate::construct::eval_construct;
+use crate::context::{EvalCtx, FreshPath};
+use crate::error::{Result, RuntimeError, SemanticError};
+use crate::expr::{eval_expr, Env, SubqueryEval};
+use crate::matcher::PatternMatcher;
+use crate::paths::{Segment, ViewMap, ViewSegments};
+use crate::regex::Nfa;
+use crate::select::eval_select;
+use gcore_parser::ast::{
+    FullGraphQuery, GraphSetOp, HeadClause, Location, MatchClause, PathClause, Pattern, Query,
+    QueryBody, QuerySource, Statement,
+};
+use gcore_ppg::{ops, PathPropertyGraph, PathShape, Table, Value};
+use std::sync::Arc;
+
+/// The result of a G-CORE query: a graph (the core language) or a table
+/// (the §5 SELECT extension).
+#[derive(Clone, Debug)]
+pub enum QueryOutput {
+    /// A graph result (the core language).
+    Graph(PathPropertyGraph),
+    /// A table result (the §5 SELECT extension).
+    Table(Table),
+}
+
+impl QueryOutput {
+    /// Unwrap a graph result.
+    pub fn into_graph(self) -> Option<PathPropertyGraph> {
+        match self {
+            QueryOutput::Graph(g) => Some(g),
+            QueryOutput::Table(_) => None,
+        }
+    }
+
+    /// Unwrap a table result.
+    pub fn into_table(self) -> Option<Table> {
+        match self {
+            QueryOutput::Table(t) => Some(t),
+            QueryOutput::Graph(_) => None,
+        }
+    }
+}
+
+/// Evaluator for one top-level statement, holding the shared context.
+pub struct Evaluator<'e> {
+    /// The shared evaluation context.
+    pub ctx: &'e EvalCtx,
+}
+
+impl<'e> Evaluator<'e> {
+    /// Create an evaluator over a context.
+    pub fn new(ctx: &'e EvalCtx) -> Self {
+        Evaluator { ctx }
+    }
+
+    /// Evaluate a statement. `GRAPH VIEW` definitions evaluate their
+    /// query and return the materialized view graph (the engine registers
+    /// it persistently).
+    pub fn eval_statement(&self, stmt: &Statement) -> Result<QueryOutput> {
+        match stmt {
+            Statement::Query(q) => self.eval_query(q, None),
+            Statement::GraphView { query, .. } => self.eval_query(query, None),
+        }
+    }
+
+    /// Evaluate a query: head clauses first (PATH views, query-local
+    /// GRAPH views), then the body. Head registrations are scoped — they
+    /// are rolled back afterwards.
+    pub fn eval_query(&self, q: &Query, outer: Option<&Env<'_>>) -> Result<QueryOutput> {
+        let views_before = self.ctx.path_views.borrow().len();
+        let mut shadowed: Vec<(String, Option<Arc<PathPropertyGraph>>)> = Vec::new();
+
+        let mut run = || -> Result<QueryOutput> {
+            for head in &q.heads {
+                match head {
+                    HeadClause::Path(pc) => {
+                        self.ctx.path_views.borrow_mut().push(pc.clone());
+                    }
+                    HeadClause::Graph(gc) => {
+                        let out = self.eval_query(&gc.query, outer)?;
+                        let Some(graph) = out.into_graph() else {
+                            return Err(SemanticError::Other(format!(
+                                "GRAPH {} AS (…) must be a graph query, not SELECT",
+                                gc.name
+                            ))
+                            .into());
+                        };
+                        let mut catalog = self.ctx.catalog.borrow_mut();
+                        let prev = catalog.graph(&gc.name).ok();
+                        shadowed.push((gc.name.clone(), prev));
+                        catalog.register_graph(gc.name.clone(), graph);
+                    }
+                }
+            }
+            match &q.body {
+                QueryBody::Graph(g) => Ok(QueryOutput::Graph(
+                    self.eval_full_graph_query(g, outer)?,
+                )),
+                QueryBody::Select(s) => Ok(QueryOutput::Table(eval_select(self, s, outer)?)),
+            }
+        };
+        let result = run();
+
+        // Roll back head-clause registrations.
+        self.ctx.path_views.borrow_mut().truncate(views_before);
+        let mut catalog = self.ctx.catalog.borrow_mut();
+        for (name, prev) in shadowed.into_iter().rev() {
+            catalog.unregister_graph(&name);
+            if let Some(prev) = prev {
+                catalog.register_graph(
+                    name,
+                    Arc::try_unwrap(prev).unwrap_or_else(|a| (*a).clone()),
+                );
+            }
+        }
+        result
+    }
+
+    /// UNION / INTERSECT / MINUS of basic graph queries (§A.5).
+    pub fn eval_full_graph_query(
+        &self,
+        q: &FullGraphQuery,
+        outer: Option<&Env<'_>>,
+    ) -> Result<PathPropertyGraph> {
+        match q {
+            FullGraphQuery::Basic(b) => {
+                let bindings = self.eval_source(&b.source, outer)?;
+                eval_construct(self, &b.construct, &bindings, outer)
+            }
+            FullGraphQuery::SetOp { op, left, right } => {
+                let l = self.eval_full_graph_query(left, outer)?;
+                let r = self.eval_full_graph_query(right, outer)?;
+                Ok(match op {
+                    GraphSetOp::Union => ops::union(&l, &r),
+                    GraphSetOp::Intersect => ops::intersect(&l, &r),
+                    GraphSetOp::Minus => ops::difference(&l, &r),
+                })
+            }
+        }
+    }
+
+    fn eval_source(
+        &self,
+        source: &QuerySource,
+        outer: Option<&Env<'_>>,
+    ) -> Result<BindingTable> {
+        match source {
+            QuerySource::Match(m) => self.eval_match(m, outer),
+            QuerySource::From(table_name) => {
+                // §5 "binding table inputs": one binding per row, one
+                // value variable per column; NULL cells stay unbound.
+                let table = self.ctx.table(table_name)?;
+                let none = Arc::new(PathPropertyGraph::new());
+                let columns: Vec<Column> = table
+                    .columns()
+                    .iter()
+                    .map(|c| Column {
+                        var: c.clone(),
+                        graph: none.clone(),
+                    })
+                    .collect();
+                let rows = table
+                    .rows()
+                    .iter()
+                    .map(|r| {
+                        r.iter()
+                            .map(|v| match v {
+                                Value::Null => Bound::Missing,
+                                other => Bound::Value(other.clone()),
+                            })
+                            .collect()
+                    })
+                    .collect();
+                Ok(BindingTable::new(columns, rows))
+            }
+        }
+    }
+
+    /// Evaluate a MATCH clause: join located patterns, filter by WHERE,
+    /// then left-outer-join the OPTIONAL blocks in order (§A.2).
+    ///
+    /// Single-variable WHERE conjuncts are additionally *pushed down*
+    /// into the matcher, pruning candidate sets before path expansion;
+    /// the full WHERE is still applied afterwards (filters are
+    /// idempotent, so semantics are unchanged).
+    pub fn eval_match(
+        &self,
+        m: &MatchClause,
+        outer: Option<&Env<'_>>,
+    ) -> Result<BindingTable> {
+        check_optional_shared_vars(m)?;
+        let prefilters = if self.ctx.filter_pushdown.get() {
+            pushdown_prefilters(m.where_clause.as_ref())
+        } else {
+            Default::default()
+        };
+        let mut table = BindingTable::unit();
+        for lp in &m.patterns {
+            let graph = self.resolve_location(&lp.on)?;
+            self.ctx.set_ambient(graph.clone());
+            let matcher =
+                PatternMatcher::new(self, graph).with_prefilters(prefilters.clone());
+            let t = matcher.eval_pattern(&lp.pattern, outer)?;
+            table = table.join(&t);
+        }
+        if let Some(w) = &m.where_clause {
+            table = self.filter_table(table, w, outer)?;
+        }
+        for opt in &m.optionals {
+            let opt_prefilters = pushdown_prefilters(opt.where_clause.as_ref());
+            let mut ot = BindingTable::unit();
+            for lp in &opt.patterns {
+                let graph = self.resolve_location(&lp.on)?;
+                self.ctx.set_ambient(graph.clone());
+                let matcher =
+                    PatternMatcher::new(self, graph).with_prefilters(opt_prefilters.clone());
+                ot = ot.join(&matcher.eval_pattern(&lp.pattern, outer)?);
+            }
+            if let Some(w) = &opt.where_clause {
+                ot = self.filter_table(ot, w, outer)?;
+            }
+            table = table.left_outer_join(&ot);
+        }
+        // Correlated subqueries: Jγ K_{Ω,G} = Jγ K_G ⋉ Ω (§A.2).
+        if let Some(o) = outer {
+            table = table.semijoin(&env_to_table(o));
+        }
+        Ok(table)
+    }
+
+    /// Resolve an `ON location` to a graph; `None` uses the default.
+    pub fn resolve_location(
+        &self,
+        on: &Option<Location>,
+    ) -> Result<Arc<PathPropertyGraph>> {
+        match on {
+            None => self.ctx.default_graph(),
+            Some(Location::Named(name)) => match self.ctx.graph(name) {
+                Ok(g) => Ok(g),
+                // §5: a table name after ON is interpreted as a graph of
+                // isolated nodes, one per row.
+                Err(graph_err) => self.ctx.table_as_graph(name).map_err(|_| graph_err),
+            },
+            Some(Location::Subquery(q)) => {
+                let out = self.eval_query(q, None)?;
+                let Some(g) = out.into_graph() else {
+                    return Err(SemanticError::Other(
+                        "ON (subquery) must be a graph query".into(),
+                    )
+                    .into());
+                };
+                Ok(Arc::new(g))
+            }
+        }
+    }
+
+    /// Keep rows whose WHERE condition is TRUE.
+    pub fn filter_table(
+        &self,
+        table: BindingTable,
+        cond: &gcore_parser::ast::Expr,
+        outer: Option<&Env<'_>>,
+    ) -> Result<BindingTable> {
+        let mut first_err = None;
+        let filtered = table.filter(|row| {
+            if first_err.is_some() {
+                return false;
+            }
+            let mut env = Env::new(&table, row);
+            env.parent = outer;
+            match eval_expr(self.ctx, self, &env, cond) {
+                Ok(v) => v.truthy(),
+                Err(e) => {
+                    first_err = Some(e);
+                    false
+                }
+            }
+        });
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(filtered),
+        }
+    }
+
+    /// Materialize the segments of every PATH view referenced by an NFA
+    /// (§A.4), over the given graph.
+    pub fn resolve_views(
+        &self,
+        nfa: &Nfa,
+        graph: &Arc<PathPropertyGraph>,
+    ) -> Result<ViewMap> {
+        let mut map = ViewMap::default();
+        for name in nfa.view_names() {
+            let segments = self.view_segments(&name, graph)?;
+            map.insert(name, segments);
+        }
+        Ok(map)
+    }
+
+    /// Build (or fetch from cache) the segment relation of one PATH view.
+    pub fn view_segments(
+        &self,
+        name: &str,
+        graph: &Arc<PathPropertyGraph>,
+    ) -> Result<ViewSegments> {
+        let cache_key = (name.to_owned(), Arc::as_ptr(graph) as usize);
+        if let Some(hit) = self.ctx.view_cache.borrow().get(&cache_key) {
+            return Ok(hit.clone());
+        }
+        if self.ctx.view_in_progress.borrow().iter().any(|n| n == name) {
+            return Err(RuntimeError::Other(format!(
+                "path view '~{name}' is recursive; recursion through PATH views is not part of \
+                 G-CORE"
+            ))
+            .into());
+        }
+        let def = self.ctx.path_view(name)?;
+        self.ctx.view_in_progress.borrow_mut().push(name.to_owned());
+        let built = self.build_view_segments(&def, graph);
+        self.ctx.view_in_progress.borrow_mut().pop();
+        let segments = built?;
+        self.ctx
+            .view_cache
+            .borrow_mut()
+            .insert(cache_key, segments.clone());
+        Ok(segments)
+    }
+
+    fn build_view_segments(
+        &self,
+        def: &PathClause,
+        graph: &Arc<PathPropertyGraph>,
+    ) -> Result<ViewSegments> {
+        let matcher = PatternMatcher::new(self, graph.clone());
+        let first = def
+            .patterns
+            .first()
+            .ok_or_else(|| SemanticError::Other("PATH clause without a pattern".into()))?;
+        if first.steps.is_empty() {
+            return Err(SemanticError::Other(format!(
+                "PATH view '{}' must contain a path segment (start and end node)",
+                def.name
+            ))
+            .into());
+        }
+        let (mut table, chain) = matcher.eval_chain(first, None)?;
+        // Non-linear shapes: the remaining comma-separated patterns
+        // constrain (and can bind variables usable in COST, footnote 3).
+        for extra in &def.patterns[1..] {
+            let t = matcher.eval_pattern(extra, None)?;
+            table = table.join(&t);
+        }
+        if let Some(w) = &def.where_clause {
+            table = self.filter_table(table, w, None)?;
+        }
+
+        let start_idx = table
+            .column_index(&chain.node_vars[0])
+            .expect("chain column");
+        let end_idx = table
+            .column_index(chain.node_vars.last().expect("nonempty"))
+            .expect("chain column");
+        let conn_idxs: Vec<usize> = chain
+            .conn_vars
+            .iter()
+            .map(|v| table.column_index(v).expect("chain column"))
+            .collect();
+        let node_idxs: Vec<usize> = chain
+            .node_vars
+            .iter()
+            .map(|v| table.column_index(v).expect("chain column"))
+            .collect();
+
+        let mut segments = Vec::with_capacity(table.len());
+        for row in table.rows() {
+            let Bound::Node(src) = row[start_idx] else {
+                continue;
+            };
+            let Bound::Node(dst) = row[end_idx] else {
+                continue;
+            };
+            // Reassemble the walk from the chain's bound elements.
+            let mut walk = PathShape::trivial(src);
+            let mut ok = true;
+            for (i, &ci) in conn_idxs.iter().enumerate() {
+                let Bound::Node(next) = row[node_idxs[i + 1]] else {
+                    ok = false;
+                    break;
+                };
+                let piece = match &row[ci] {
+                    Bound::Edge(e) => {
+                        let prev = match row[node_idxs[i]] {
+                            Bound::Node(n) => n,
+                            _ => {
+                                ok = false;
+                                break;
+                            }
+                        };
+                        PathShape::new(vec![prev, next], vec![*e]).expect("edge step")
+                    }
+                    Bound::Path(p) => graph.path(*p).expect("stored path").shape.clone(),
+                    Bound::FreshPath(fi) => match self.ctx.fresh_path(*fi) {
+                        FreshPath::Walk { shape, .. } => shape,
+                        FreshPath::Projection { .. } => {
+                            return Err(SemanticError::Other(format!(
+                                "ALL path patterns cannot appear inside PATH view '{}'",
+                                def.name
+                            ))
+                            .into())
+                        }
+                    },
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                };
+                match walk.concat(&piece) {
+                    Some(w) => walk = w,
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let cost = match &def.cost {
+                None => 1.0,
+                Some(expr) => {
+                    let env = Env::new(&table, row);
+                    let rv = eval_expr(self.ctx, self, &env, expr)?;
+                    let scalar = rv.as_scalar().and_then(|v| v.as_f64());
+                    match scalar {
+                        Some(c) if c > 0.0 => c,
+                        other => {
+                            return Err(RuntimeError::NonPositiveCost {
+                                view: def.name.clone(),
+                                detail: format!(
+                                    "segment {src}→{dst} evaluated COST to {other:?}"
+                                ),
+                            }
+                            .into())
+                        }
+                    }
+                }
+            };
+            segments.push(Segment {
+                src,
+                dst,
+                cost,
+                walk,
+            });
+        }
+        Ok(ViewSegments::new(segments, def.cost.is_some()))
+    }
+}
+
+impl SubqueryEval for Evaluator<'_> {
+    fn eval_exists(&self, q: &Query, env: &Env<'_>) -> Result<bool> {
+        // §A.1: Exists q is ⊤ iff the subquery's node set is non-empty.
+        match self.eval_query(q, Some(env))? {
+            QueryOutput::Graph(g) => Ok(g.node_count() > 0),
+            QueryOutput::Table(t) => Ok(!t.is_empty()),
+        }
+    }
+
+    fn eval_pattern_predicate(&self, p: &Pattern, env: &Env<'_>) -> Result<bool> {
+        // Implicit existential (§3): the pattern, evaluated on the
+        // ambient graph, must have a binding compatible with the current
+        // one.
+        let graph = self.ctx.ambient_graph()?;
+        let matcher = PatternMatcher::new(self, graph);
+        let table = matcher.eval_pattern(p, Some(env))?;
+        let filtered = table.semijoin(&env_to_table(env));
+        Ok(!filtered.is_empty())
+    }
+}
+
+/// The syntactic restriction of §3 / [31]: variables shared by two
+/// OPTIONAL blocks must appear in the enclosing pattern, otherwise the
+/// result would depend on the evaluation order of the blocks.
+fn check_optional_shared_vars(m: &MatchClause) -> Result<()> {
+    use gcore_parser::ast::Connection;
+
+    fn pattern_vars(p: &Pattern, out: &mut Vec<String>) {
+        let mut push = |v: &Option<String>| {
+            if let Some(v) = v {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        };
+        push(&p.start.var);
+        for s in &p.steps {
+            push(&s.node.var);
+            match &s.connection {
+                Connection::Edge(e) => push(&e.var),
+                Connection::Path(pp) => {
+                    push(&pp.var);
+                    push(&pp.cost_var);
+                }
+            }
+        }
+        // `{k = e}` binders count as pattern variables too.
+        for n in p.nodes() {
+            for pe in &n.props {
+                if let gcore_parser::ast::Expr::Var(v) = &pe.value {
+                    if !out.contains(v) {
+                        out.push(v.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    if m.optionals.len() < 2 {
+        return Ok(());
+    }
+    let mut main_vars = Vec::new();
+    for lp in &m.patterns {
+        pattern_vars(&lp.pattern, &mut main_vars);
+    }
+    let block_vars: Vec<Vec<String>> = m
+        .optionals
+        .iter()
+        .map(|b| {
+            let mut vs = Vec::new();
+            for lp in &b.patterns {
+                pattern_vars(&lp.pattern, &mut vs);
+            }
+            vs
+        })
+        .collect();
+    for i in 0..block_vars.len() {
+        for j in (i + 1)..block_vars.len() {
+            for v in &block_vars[i] {
+                if block_vars[j].contains(v) && !main_vars.contains(v) {
+                    return Err(SemanticError::OptionalSharedVariable(v.clone()).into());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Split a WHERE condition into its top-level AND conjuncts and keep the
+/// ones that reference exactly one variable and contain no subqueries —
+/// those can be evaluated the moment the variable is bound.
+fn pushdown_prefilters(
+    where_clause: Option<&gcore_parser::ast::Expr>,
+) -> gcore_ppg::hash::FxHashMap<String, Vec<&gcore_parser::ast::Expr>> {
+    use gcore_parser::ast::{BinaryOp, Expr};
+
+    fn conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        match e {
+            Expr::Binary(BinaryOp::And, a, b) => {
+                conjuncts(a, out);
+                conjuncts(b, out);
+            }
+            other => out.push(other),
+        }
+    }
+
+    /// Collect referenced variables; `None` means "not pushable" (the
+    /// expression contains a subquery, pattern predicate or aggregate).
+    fn vars(e: &Expr, out: &mut Vec<String>) -> bool {
+        match e {
+            Expr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+                true
+            }
+            Expr::Prop(a, _) | Expr::LabelTest(a, _) | Expr::Unary(_, a) => vars(a, out),
+            Expr::Index(a, b) | Expr::Binary(_, a, b) => vars(a, out) && vars(b, out),
+            Expr::Func(_, args) => args.iter().all(|a| vars(a, out)),
+            Expr::Case {
+                operand,
+                whens,
+                else_,
+            } => {
+                operand.as_deref().is_none_or(|o| vars(o, out))
+                    && whens.iter().all(|(c, r)| vars(c, out) && vars(r, out))
+                    && else_.as_deref().is_none_or(|x| vars(x, out))
+            }
+            Expr::Exists(_) | Expr::PatternPredicate(_) | Expr::Aggregate { .. } => false,
+            _ => true,
+        }
+    }
+
+    let mut map: gcore_ppg::hash::FxHashMap<String, Vec<&Expr>> = Default::default();
+    let Some(w) = where_clause else {
+        return map;
+    };
+    let mut cs = Vec::new();
+    conjuncts(w, &mut cs);
+    for c in cs {
+        let mut vs = Vec::new();
+        if vars(c, &mut vs) && vs.len() == 1 {
+            map.entry(vs.remove(0)).or_default().push(c);
+        }
+    }
+    map
+}
+
+/// Flatten an environment chain into a one-row table (inner scopes
+/// shadow outer ones).
+pub fn env_to_table(env: &Env<'_>) -> BindingTable {
+    let mut columns: Vec<Column> = Vec::new();
+    let mut row: Vec<Bound> = Vec::new();
+    let mut cur = Some(env);
+    while let Some(e) = cur {
+        for (i, c) in e.table.columns().iter().enumerate() {
+            if !columns.iter().any(|x| x.var == c.var) {
+                columns.push(c.clone());
+                row.push(e.row[i].clone());
+            }
+        }
+        cur = e.parent;
+    }
+    BindingTable::new(columns, vec![row])
+}

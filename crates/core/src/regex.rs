@@ -1,0 +1,415 @@
+//! Compilation of regular path expressions (§A.1) into NFAs.
+//!
+//! The alphabet has five symbol kinds: edge labels `ℓ` (forward), inverse
+//! labels `ℓ⁻` (backward), node tests `!ℓ` (zero-width assertions on the
+//! current node), the wildcard `_` (any edge, either direction), and path
+//! view references `~name` (§A.4).
+//!
+//! Construction is Thompson-style with ε-transitions; ε-closures are
+//! precomputed. Node tests are treated as *conditional* ε-transitions
+//! taken when the current node carries the label — equivalent to the
+//! paper's interleaved node/edge strings with implicit `_` node symbols.
+
+use gcore_parser::ast::Regex;
+use gcore_ppg::Label;
+
+/// One edge-consuming (or node-testing) NFA symbol.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Sym {
+    /// Traverse an edge with this label forwards.
+    Label(Label),
+    /// Traverse an edge with this label backwards (ℓ⁻).
+    LabelInv(Label),
+    /// Zero-width: the current node must carry this label.
+    NodeTest(Label),
+    /// Traverse any edge in either direction.
+    Wildcard,
+    /// Traverse one segment of a PATH view (§A.4), by name.
+    View(String),
+}
+
+/// A Thompson NFA with precomputed ε-closures.
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    /// Per-state symbol transitions.
+    trans: Vec<Vec<(Sym, usize)>>,
+    /// Per-state ε-closure (sorted, includes the state itself).
+    closure: Vec<Vec<usize>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    /// Compile a parsed regular expression.
+    pub fn compile(re: &Regex) -> Nfa {
+        let mut b = Builder {
+            trans: Vec::new(),
+            eps: Vec::new(),
+        };
+        let start = b.state();
+        let accept = b.state();
+        b.build(re, start, accept);
+        let closure = b.closures();
+        Nfa {
+            trans: b.trans,
+            closure,
+            start,
+            accept,
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Is `state`'s ε-closure accepting?
+    pub fn accepts(&self, state: usize) -> bool {
+        self.closure[state].binary_search(&self.accept).is_ok()
+    }
+
+    /// ε-closure of a state (sorted).
+    pub fn closure(&self, state: usize) -> &[usize] {
+        &self.closure[state]
+    }
+
+    /// Symbol transitions out of a state (no ε).
+    pub fn transitions(&self, state: usize) -> &[(Sym, usize)] {
+        &self.trans[state]
+    }
+
+    /// All `View` names referenced anywhere in the automaton.
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .trans
+            .iter()
+            .flatten()
+            .filter_map(|(s, _)| match s {
+                Sym::View(n) => Some(n.clone()),
+                _ => None,
+            })
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Does any transition consult node labels? (Used to decide whether
+    /// closures depend on the current node.)
+    pub fn has_node_tests(&self) -> bool {
+        self.trans
+            .iter()
+            .flatten()
+            .any(|(s, _)| matches!(s, Sym::NodeTest(_)))
+    }
+}
+
+struct Builder {
+    trans: Vec<Vec<(Sym, usize)>>,
+    eps: Vec<Vec<usize>>,
+}
+
+impl Builder {
+    fn state(&mut self) -> usize {
+        self.trans.push(Vec::new());
+        self.eps.push(Vec::new());
+        self.trans.len() - 1
+    }
+
+    fn eps_edge(&mut self, from: usize, to: usize) {
+        self.eps[from].push(to);
+    }
+
+    fn sym_edge(&mut self, from: usize, sym: Sym, to: usize) {
+        self.trans[from].push((sym, to));
+    }
+
+    fn build(&mut self, re: &Regex, from: usize, to: usize) {
+        match re {
+            Regex::Label(l) => self.sym_edge(from, Sym::Label(Label::new(l)), to),
+            Regex::LabelInv(l) => self.sym_edge(from, Sym::LabelInv(Label::new(l)), to),
+            Regex::NodeTest(l) => self.sym_edge(from, Sym::NodeTest(Label::new(l)), to),
+            Regex::Wildcard => self.sym_edge(from, Sym::Wildcard, to),
+            Regex::View(v) => self.sym_edge(from, Sym::View(v.clone()), to),
+            Regex::Concat(parts) => {
+                let mut cur = from;
+                for (i, part) in parts.iter().enumerate() {
+                    let next = if i + 1 == parts.len() {
+                        to
+                    } else {
+                        self.state()
+                    };
+                    self.build(part, cur, next);
+                    cur = next;
+                }
+                if parts.is_empty() {
+                    self.eps_edge(from, to);
+                }
+            }
+            Regex::Alt(parts) => {
+                for part in parts {
+                    self.build(part, from, to);
+                }
+                if parts.is_empty() {
+                    self.eps_edge(from, to);
+                }
+            }
+            Regex::Star(inner) => {
+                let hub = self.state();
+                self.eps_edge(from, hub);
+                self.eps_edge(hub, to);
+                let body_in = self.state();
+                self.eps_edge(hub, body_in);
+                self.build(inner, body_in, hub);
+            }
+            Regex::Plus(inner) => {
+                // r+ = r r*
+                let mid = self.state();
+                self.build(inner, from, mid);
+                self.build(&Regex::Star(inner.clone()), mid, to);
+            }
+            Regex::Opt(inner) => {
+                self.eps_edge(from, to);
+                self.build(inner, from, to);
+            }
+        }
+    }
+
+    fn closures(&self) -> Vec<Vec<usize>> {
+        let n = self.trans.len();
+        let mut out = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut seen = vec![false; n];
+            let mut stack = vec![s];
+            seen[s] = true;
+            while let Some(q) = stack.pop() {
+                for &r in &self.eps[q] {
+                    if !seen[r] {
+                        seen[r] = true;
+                        stack.push(r);
+                    }
+                }
+            }
+            out.push((0..n).filter(|&i| seen[i]).collect());
+        }
+        out
+    }
+}
+
+/// Run the NFA over a concrete walk to test conformance — used for
+/// matching stored paths against a regex (`@p <regex>` patterns).
+///
+/// `edges` yields, per step, the sets of labels usable forwards and
+/// backwards (an edge traversed forward offers `Label`, backward offers
+/// `LabelInv`, and both offer `Wildcard`); `node_labels` yields the label
+/// set of the node *before* each step plus the final node.
+pub fn walk_conforms(
+    nfa: &Nfa,
+    node_labels: &[Vec<Label>],
+    steps: &[(Vec<Label>, bool)],
+) -> bool {
+    debug_assert_eq!(node_labels.len(), steps.len() + 1);
+    // Current set of NFA states, closed under ε and node tests at node i.
+    let close = |states: &[usize], labels: &[Label]| -> Vec<usize> {
+        let mut seen: Vec<bool> = vec![false; nfa.num_states()];
+        let mut stack: Vec<usize> = Vec::new();
+        for &s in states {
+            for &c in nfa.closure(s) {
+                if !seen[c] {
+                    seen[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        while let Some(q) = stack.pop() {
+            for (sym, to) in nfa.transitions(q) {
+                if let Sym::NodeTest(l) = sym {
+                    if labels.contains(l) {
+                        for &c in nfa.closure(*to) {
+                            if !seen[c] {
+                                seen[c] = true;
+                                stack.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (0..nfa.num_states()).filter(|&i| seen[i]).collect()
+    };
+
+    let mut states = close(&[nfa.start()], &node_labels[0]);
+    for (i, (labels, forward)) in steps.iter().enumerate() {
+        let mut next = Vec::new();
+        for &q in &states {
+            for (sym, to) in nfa.transitions(q) {
+                let ok = match sym {
+                    Sym::Wildcard => true,
+                    Sym::Label(l) => *forward && labels.contains(l),
+                    Sym::LabelInv(l) => !*forward && labels.contains(l),
+                    Sym::NodeTest(_) | Sym::View(_) => false,
+                };
+                if ok {
+                    next.push(*to);
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        if next.is_empty() {
+            return false;
+        }
+        states = close(&next, &node_labels[i + 1]);
+    }
+    states.iter().any(|&q| nfa.accepts(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    #[test]
+    fn star_accepts_empty() {
+        let nfa = Nfa::compile(&Regex::Star(Box::new(Regex::Label("knows".into()))));
+        assert!(nfa.accepts(nfa.start()));
+    }
+
+    #[test]
+    fn single_label_needs_one_step() {
+        let nfa = Nfa::compile(&Regex::Label("knows".into()));
+        assert!(!nfa.accepts(nfa.start()));
+        let ok = walk_conforms(&nfa, &[vec![], vec![]], &[(vec![l("knows")], true)]);
+        assert!(ok);
+        let bad_dir = walk_conforms(&nfa, &[vec![], vec![]], &[(vec![l("knows")], false)]);
+        assert!(!bad_dir);
+        let bad_label = walk_conforms(&nfa, &[vec![], vec![]], &[(vec![l("likes")], true)]);
+        assert!(!bad_label);
+    }
+
+    #[test]
+    fn inverse_label_matches_backward_steps() {
+        let nfa = Nfa::compile(&Regex::LabelInv("knows".into()));
+        assert!(walk_conforms(&nfa, &[vec![], vec![]], &[(vec![l("knows")], false)]));
+        assert!(!walk_conforms(&nfa, &[vec![], vec![]], &[(vec![l("knows")], true)]));
+    }
+
+    #[test]
+    fn wildcard_matches_any_direction() {
+        let nfa = Nfa::compile(&Regex::Wildcard);
+        assert!(walk_conforms(&nfa, &[vec![], vec![]], &[(vec![l("x")], true)]));
+        assert!(walk_conforms(&nfa, &[vec![], vec![]], &[(vec![l("x")], false)]));
+    }
+
+    #[test]
+    fn concat_and_alt() {
+        // (:a + :b) :c
+        let re = Regex::Concat(vec![
+            Regex::Alt(vec![Regex::Label("a".into()), Regex::Label("b".into())]),
+            Regex::Label("c".into()),
+        ]);
+        let nfa = Nfa::compile(&re);
+        let n3 = vec![vec![], vec![], vec![]];
+        assert!(walk_conforms(
+            &nfa,
+            &n3,
+            &[(vec![l("b")], true), (vec![l("c")], true)]
+        ));
+        assert!(!walk_conforms(
+            &nfa,
+            &n3,
+            &[(vec![l("c")], true), (vec![l("b")], true)]
+        ));
+        assert!(!walk_conforms(&nfa, &[vec![], vec![]], &[(vec![l("a")], true)]));
+    }
+
+    #[test]
+    fn node_tests_are_zero_width() {
+        // :a !Stop :b — middle node must be labeled Stop
+        let re = Regex::Concat(vec![
+            Regex::Label("a".into()),
+            Regex::NodeTest("Stop".into()),
+            Regex::Label("b".into()),
+        ]);
+        let nfa = Nfa::compile(&re);
+        assert!(nfa.has_node_tests());
+        let good = walk_conforms(
+            &nfa,
+            &[vec![], vec![l("Stop")], vec![]],
+            &[(vec![l("a")], true), (vec![l("b")], true)],
+        );
+        assert!(good);
+        let bad = walk_conforms(
+            &nfa,
+            &[vec![], vec![l("Go")], vec![]],
+            &[(vec![l("a")], true), (vec![l("b")], true)],
+        );
+        assert!(!bad);
+    }
+
+    #[test]
+    fn node_test_at_endpoint() {
+        // !Person :a — start node must be a Person
+        let re = Regex::Concat(vec![
+            Regex::NodeTest("Person".into()),
+            Regex::Label("a".into()),
+        ]);
+        let nfa = Nfa::compile(&re);
+        assert!(walk_conforms(
+            &nfa,
+            &[vec![l("Person")], vec![]],
+            &[(vec![l("a")], true)]
+        ));
+        assert!(!walk_conforms(
+            &nfa,
+            &[Vec::new(), Vec::new()],
+            &[(vec![l("a")], true)]
+        ));
+    }
+
+    #[test]
+    fn plus_and_opt_desugar() {
+        let plus = Nfa::compile(&Regex::Plus(Box::new(Regex::Label("a".into()))));
+        assert!(!plus.accepts(plus.start())); // needs at least one step
+        let step = |n: usize| {
+            let nodes = vec![vec![]; n + 1];
+            let steps = vec![(vec![l("a")], true); n];
+            walk_conforms(&plus, &nodes, &steps)
+        };
+        assert!(step(1) && step(3));
+
+        let opt = Nfa::compile(&Regex::Opt(Box::new(Regex::Label("a".into()))));
+        assert!(opt.accepts(opt.start()));
+    }
+
+    #[test]
+    fn view_names_collected() {
+        let re = Regex::Star(Box::new(Regex::View("wKnows".into())));
+        let nfa = Nfa::compile(&re);
+        assert_eq!(nfa.view_names(), vec!["wKnows".to_string()]);
+    }
+
+    #[test]
+    fn star_of_alt_loops() {
+        // ((:knows + :knows-))* — the appendix's (knows+knows−)* example
+        let re = Regex::Star(Box::new(Regex::Alt(vec![
+            Regex::Label("knows".into()),
+            Regex::LabelInv("knows".into()),
+        ])));
+        let nfa = Nfa::compile(&re);
+        let nodes = vec![vec![]; 3];
+        assert!(walk_conforms(
+            &nfa,
+            &nodes,
+            &[(vec![l("knows")], false), (vec![l("knows")], true)]
+        ));
+    }
+}

@@ -1,0 +1,260 @@
+//! The SELECT clause — the §5 "projecting tabular results" extension.
+//!
+//! `SELECT [DISTINCT] e₁ AS a₁, … MATCH … [GROUP BY …] [ORDER BY …]
+//! [LIMIT n] [OFFSET m]` projects the MATCH binding table into a
+//! [`Table`]. Grouping follows SQL: an explicit `GROUP BY` groups by
+//! those expression values; otherwise, if any projection aggregates, the
+//! whole table forms one group; otherwise each binding is its own row.
+
+use crate::binding::BindingTable;
+use crate::error::{Result, RuntimeError};
+use crate::expr::{eval_expr, Env, Rv};
+use crate::query::Evaluator;
+use gcore_parser::ast::{Expr, SelectItem, SelectQuery};
+use gcore_parser::pretty::print_expr;
+use gcore_ppg::{Table, Value};
+use std::cmp::Ordering;
+
+/// Evaluate a SELECT query into a table.
+pub fn eval_select(
+    ev: &Evaluator<'_>,
+    s: &SelectQuery,
+    outer: Option<&Env<'_>>,
+) -> Result<Table> {
+    let bindings = ev.eval_match(&s.match_clause, outer)?;
+
+    let aggregated = !s.group_by.is_empty()
+        || s.items.iter().any(|i| i.expr.contains_aggregate());
+
+    // Partition rows into groups.
+    let groups: Vec<Vec<usize>> = if !s.group_by.is_empty() {
+        group_by(ev, &bindings, &s.group_by, outer)?
+    } else if aggregated {
+        vec![(0..bindings.len()).collect()]
+    } else {
+        (0..bindings.len()).map(|i| vec![i]).collect()
+    };
+
+    // Which columns define the group (for COUNT(*) padding detection).
+    let group_cols: Vec<usize> = {
+        let mut cols = Vec::new();
+        for e in &s.group_by {
+            collect_cols(e, &bindings, &mut cols);
+        }
+        cols
+    };
+
+    let column_names: Vec<String> = s
+        .items
+        .iter()
+        .map(|i| match &i.alias {
+            Some(a) => a.clone(),
+            None => print_expr(&i.expr),
+        })
+        .collect();
+
+    // Evaluate projections (and ORDER BY keys) per group.
+    let mut rows: Vec<(Vec<Rv>, Vec<Value>)> = Vec::with_capacity(groups.len());
+    for group in &groups {
+        if group.is_empty() && !aggregated {
+            continue;
+        }
+        let mut cells = Vec::with_capacity(s.items.len());
+        for item in &s.items {
+            let rv = eval_item(ev, &bindings, group, &group_cols, &item.expr, outer)?;
+            cells.push(rv_to_value(&rv));
+        }
+        let mut keys = Vec::with_capacity(s.order_by.len());
+        for ord in &s.order_by {
+            // Alias references resolve to the projected cell.
+            let rv = match alias_index(&ord.expr, &s.items) {
+                Some(i) => Rv::Value(cells[i].clone()),
+                None => eval_item(ev, &bindings, group, &group_cols, &ord.expr, outer)?,
+            };
+            keys.push(rv);
+        }
+        rows.push((keys, cells));
+    }
+
+    if s.distinct {
+        rows.sort_by(|a, b| cmp_values(&a.1, &b.1));
+        rows.dedup_by(|a, b| cmp_values(&a.1, &b.1) == Ordering::Equal);
+    }
+
+    if !s.order_by.is_empty() {
+        rows.sort_by(|a, b| {
+            for (i, ord) in s.order_by.iter().enumerate() {
+                let c = a.0[i].total_cmp(&b.0[i]);
+                let c = if ord.ascending { c } else { c.reverse() };
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            cmp_values(&a.1, &b.1) // deterministic tie-break
+        });
+    } else {
+        rows.sort_by(|a, b| cmp_values(&a.1, &b.1));
+    }
+
+    let offset = s.offset.unwrap_or(0) as usize;
+    let limit = s.limit.map(|l| l as usize).unwrap_or(usize::MAX);
+
+    let mut table = Table::new(column_names).map_err(|e| {
+        RuntimeError::Other(format!("invalid SELECT projection: {e}"))
+    })?;
+    for (_, cells) in rows.into_iter().skip(offset).take(limit) {
+        table
+            .push_row(cells)
+            .map_err(|e| RuntimeError::Other(format!("projection row error: {e}")))?;
+    }
+    Ok(table)
+}
+
+fn cmp_values(a: &[Value], b: &[Value]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let c = x.cmp(y);
+        if c != Ordering::Equal {
+            return c;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+fn alias_index(e: &Expr, items: &[SelectItem]) -> Option<usize> {
+    let Expr::Var(name) = e else { return None };
+    items
+        .iter()
+        .position(|i| i.alias.as_deref() == Some(name.as_str()))
+}
+
+fn group_by(
+    ev: &Evaluator<'_>,
+    bindings: &BindingTable,
+    exprs: &[Expr],
+    outer: Option<&Env<'_>>,
+) -> Result<Vec<Vec<usize>>> {
+    // Deterministic grouping: BTreeMap over stringified keys would lose
+    // type order, so sort (key, index) pairs with Rv's total order.
+    let mut keyed: Vec<(Vec<Rv>, usize)> = Vec::with_capacity(bindings.len());
+    for (ri, row) in bindings.rows().iter().enumerate() {
+        let mut env = Env::new(bindings, row);
+        env.parent = outer;
+        let mut key = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            key.push(eval_expr(ev.ctx, ev, &env, e)?);
+        }
+        keyed.push((key, ri));
+    }
+    keyed.sort_by(|a, b| cmp_rv_list(&a.0, &b.0));
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut prev: Option<&[Rv]> = None;
+    for (key, ri) in &keyed {
+        let same = prev.is_some_and(|p| cmp_rv_list(p, key) == Ordering::Equal);
+        if !same {
+            groups.push(Vec::new());
+        }
+        groups.last_mut().expect("just pushed").push(*ri);
+        prev = Some(key);
+    }
+    Ok(groups)
+}
+
+fn cmp_rv_list(a: &[Rv], b: &[Rv]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let c = x.total_cmp(y);
+        if c != Ordering::Equal {
+            return c;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+fn collect_cols(e: &Expr, bindings: &BindingTable, out: &mut Vec<usize>) {
+    match e {
+        Expr::Var(v) => {
+            if let Some(i) = bindings.column_index(v) {
+                if !out.contains(&i) {
+                    out.push(i);
+                }
+            }
+        }
+        Expr::Prop(b, _) | Expr::LabelTest(b, _) | Expr::Unary(_, b) => {
+            collect_cols(b, bindings, out)
+        }
+        Expr::Index(a, b) | Expr::Binary(_, a, b) => {
+            collect_cols(a, bindings, out);
+            collect_cols(b, bindings, out);
+        }
+        Expr::Func(_, args) => {
+            for a in args {
+                collect_cols(a, bindings, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Evaluate one projection item over a group: aggregates fold over the
+/// group's rows, plain expressions use the representative row.
+fn eval_item(
+    ev: &Evaluator<'_>,
+    bindings: &BindingTable,
+    group: &[usize],
+    group_cols: &[usize],
+    expr: &Expr,
+    outer: Option<&Env<'_>>,
+) -> Result<Rv> {
+    if expr.contains_aggregate() {
+        return crate::construct::eval_group_aggregate(
+            ev, bindings, group, group_cols, expr, outer,
+        );
+    }
+    let Some(&repr) = group.first() else {
+        return Ok(Rv::Null);
+    };
+    let row = &bindings.rows()[repr];
+    let mut env = Env::new(bindings, row);
+    env.parent = outer;
+    eval_expr(ev.ctx, ev, &env, expr)
+}
+
+/// Convert a runtime value to a table cell.
+///
+/// Element identifiers render as opaque `#id` strings (the presentation
+/// used by the paper's binding tables); value sets unwrap singletons and
+/// render multi-valued sets with braces.
+pub fn rv_to_value(rv: &Rv) -> Value {
+    match rv {
+        Rv::Null => Value::Null,
+        Rv::Value(v) => v.clone(),
+        Rv::Set(s) => match s.as_singleton() {
+            Some(v) => v.clone(),
+            None if s.is_empty() => Value::Null,
+            None => Value::str(s.to_string()),
+        },
+        Rv::Node(n) => Value::str(n.to_string()),
+        Rv::Edge(e) => Value::str(e.to_string()),
+        Rv::Path(p) => Value::str(p.to_string()),
+        Rv::FreshPath(i) => Value::str(format!("#fresh{i}")),
+        Rv::List(items) => {
+            let parts: Vec<String> = items.iter().map(render_rv).collect();
+            Value::str(format!("[{}]", parts.join(", ")))
+        }
+    }
+}
+
+fn render_rv(rv: &Rv) -> String {
+    match rv {
+        Rv::Null => "null".to_owned(),
+        Rv::Value(v) => v.to_string(),
+        Rv::Set(s) => s.to_string(),
+        Rv::Node(n) => n.to_string(),
+        Rv::Edge(e) => e.to_string(),
+        Rv::Path(p) => p.to_string(),
+        Rv::FreshPath(i) => format!("#fresh{i}"),
+        Rv::List(items) => {
+            let parts: Vec<String> = items.iter().map(render_rv).collect();
+            format!("[{}]", parts.join(", "))
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Differential testing of the regular-path-expression compiler: the
+//! Thompson NFA of `gcore::regex` against a naive recursive oracle that
+//! implements the §A.1 conformance definition directly.
+//!
+//! Random regexes (labels, inverses, node tests, wildcards, alternation,
+//! concatenation, star/plus/opt) are evaluated over random walks; the
+//! two implementations must agree on every input.
+
+use gcore::regex::{walk_conforms, Nfa};
+use gcore_parser::ast::Regex;
+use gcore_ppg::Label;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------
+// The oracle: positions reachable from `i` after matching `re`.
+// ---------------------------------------------------------------------
+
+type Walk = (Vec<Vec<Label>>, Vec<(Vec<Label>, bool)>);
+
+fn oracle_positions(
+    re: &Regex,
+    nodes: &[Vec<Label>],
+    steps: &[(Vec<Label>, bool)],
+    i: usize,
+) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    match re {
+        Regex::Label(l) => {
+            let l = Label::new(l);
+            if i < steps.len() && steps[i].1 && steps[i].0.contains(&l) {
+                out.insert(i + 1);
+            }
+        }
+        Regex::LabelInv(l) => {
+            let l = Label::new(l);
+            if i < steps.len() && !steps[i].1 && steps[i].0.contains(&l) {
+                out.insert(i + 1);
+            }
+        }
+        Regex::NodeTest(l) => {
+            if nodes[i].contains(&Label::new(l)) {
+                out.insert(i);
+            }
+        }
+        Regex::Wildcard => {
+            if i < steps.len() {
+                out.insert(i + 1);
+            }
+        }
+        Regex::View(_) => unreachable!("views are not generated here"),
+        Regex::Concat(parts) => {
+            let mut cur = BTreeSet::from([i]);
+            for p in parts {
+                let mut next = BTreeSet::new();
+                for &j in &cur {
+                    next.extend(oracle_positions(p, nodes, steps, j));
+                }
+                cur = next;
+            }
+            out = cur;
+        }
+        Regex::Alt(parts) => {
+            for p in parts {
+                out.extend(oracle_positions(p, nodes, steps, i));
+            }
+        }
+        Regex::Star(inner) => {
+            out.insert(i);
+            loop {
+                let mut grew = false;
+                for j in out.clone() {
+                    for k in oracle_positions(inner, nodes, steps, j) {
+                        grew |= out.insert(k);
+                    }
+                }
+                if !grew {
+                    break;
+                }
+            }
+        }
+        Regex::Plus(inner) => {
+            let after_one: BTreeSet<usize> = oracle_positions(inner, nodes, steps, i);
+            let star = Regex::Star(inner.clone());
+            for j in after_one {
+                out.extend(oracle_positions(&star, nodes, steps, j));
+            }
+        }
+        Regex::Opt(inner) => {
+            out.insert(i);
+            out.extend(oracle_positions(inner, nodes, steps, i));
+        }
+    }
+    out
+}
+
+fn oracle_conforms(re: &Regex, walk: &Walk) -> bool {
+    let (nodes, steps) = walk;
+    oracle_positions(re, nodes, steps, 0).contains(&steps.len())
+}
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+const EDGE_LABELS: [&str; 2] = ["a", "b"];
+const NODE_LABELS: [&str; 2] = ["P", "Q"];
+
+fn regex_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        (0..2usize).prop_map(|i| Regex::Label(EDGE_LABELS[i].to_owned())),
+        (0..2usize).prop_map(|i| Regex::LabelInv(EDGE_LABELS[i].to_owned())),
+        (0..2usize).prop_map(|i| Regex::NodeTest(NODE_LABELS[i].to_owned())),
+        Just(Regex::Wildcard),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::Concat),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::Alt),
+            inner.clone().prop_map(|r| Regex::Star(Box::new(r))),
+            inner.clone().prop_map(|r| Regex::Plus(Box::new(r))),
+            inner.prop_map(|r| Regex::Opt(Box::new(r))),
+        ]
+    })
+}
+
+fn walk_strategy() -> impl Strategy<Value = Walk> {
+    (0usize..4).prop_flat_map(|len| {
+        let nodes = prop::collection::vec(
+            prop::collection::vec(0..2usize, 0..2)
+                .prop_map(|is| is.into_iter().map(|i| Label::new(NODE_LABELS[i])).collect()),
+            len + 1..len + 2,
+        );
+        let steps = prop::collection::vec(
+            ((0..2usize), any::<bool>())
+                .prop_map(|(i, fwd)| (vec![Label::new(EDGE_LABELS[i])], fwd)),
+            len..len + 1,
+        );
+        (nodes, steps)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn nfa_agrees_with_oracle(re in regex_strategy(), walk in walk_strategy()) {
+        let nfa = Nfa::compile(&re);
+        let got = walk_conforms(&nfa, &walk.0, &walk.1);
+        let expected = oracle_conforms(&re, &walk);
+        prop_assert_eq!(
+            got,
+            expected,
+            "regex {:?} on walk {:?}",
+            re,
+            walk
+        );
+    }
+
+    #[test]
+    fn empty_walk_acceptance_matches_nullability(re in regex_strategy()) {
+        // A zero-step walk at an unlabeled node conforms iff the regex
+        // is nullable (ignoring node tests, which fail on no labels).
+        let nfa = Nfa::compile(&re);
+        let walk: Walk = (vec![Vec::new()], Vec::new());
+        let got = walk_conforms(&nfa, &walk.0, &walk.1);
+        prop_assert_eq!(got, oracle_conforms(&re, &walk));
+    }
+}

@@ -1,0 +1,102 @@
+//! Parse errors with source context.
+
+use crate::token::Span;
+use std::fmt;
+
+/// What went wrong during lexing/parsing.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ParseErrorKind {
+    UnexpectedChar(char),
+    UnterminatedString,
+    UnterminatedComment,
+    BadNumber(String),
+    /// Generic "expected X, found Y".
+    Expected { what: String, found: String },
+    /// A message with no structured shape.
+    Message(String),
+}
+
+/// A parse error carrying the offending span and a rendered source line.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseError {
+    pub kind: ParseErrorKind,
+    pub span: Span,
+    line: u32,
+    column: u32,
+    snippet: String,
+}
+
+impl ParseError {
+    /// Build an error, extracting line/column and the source line from
+    /// `src` for display.
+    pub fn new(kind: ParseErrorKind, span: Span, src: &str) -> Self {
+        let upto = &src[..span.start.min(src.len())];
+        let line = upto.matches('\n').count() as u32 + 1;
+        let line_start = upto.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let column = (span.start - line_start) as u32 + 1;
+        let line_end = src[line_start..]
+            .find('\n')
+            .map(|i| line_start + i)
+            .unwrap_or(src.len());
+        ParseError {
+            kind,
+            span,
+            line,
+            column,
+            snippet: src[line_start..line_end].to_owned(),
+        }
+    }
+
+    /// 1-based line of the error.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// 1-based column of the error.
+    pub fn column(&self) -> u32 {
+        self.column
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}")?,
+            ParseErrorKind::UnterminatedString => write!(f, "unterminated string literal")?,
+            ParseErrorKind::UnterminatedComment => write!(f, "unterminated block comment")?,
+            ParseErrorKind::BadNumber(n) => write!(f, "malformed number '{n}'")?,
+            ParseErrorKind::Expected { what, found } => {
+                write!(f, "expected {what}, found {found}")?
+            }
+            ParseErrorKind::Message(m) => write!(f, "{m}")?,
+        }
+        writeln!(f, " at line {}, column {}", self.line, self.column)?;
+        writeln!(f, "  | {}", self.snippet)?;
+        let pad = " ".repeat(self.column as usize - 1);
+        let width = (self.span.end - self.span.start).max(1);
+        write!(f, "  | {pad}{}", "^".repeat(width.min(40)))
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_column_extraction() {
+        let src = "line one\nline two here";
+        let err = ParseError::new(
+            ParseErrorKind::Message("boom".into()),
+            Span::new(14, 17),
+            src,
+        );
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.column(), 6);
+        let shown = err.to_string();
+        assert!(shown.contains("line 2, column 6"));
+        assert!(shown.contains("line two here"));
+        assert!(shown.contains("^^^"));
+    }
+}

@@ -1,0 +1,445 @@
+//! Hand-written lexer for G-CORE.
+//!
+//! Produces a flat token vector with byte spans. Comments (`--` to end of
+//! line and `/* … */`) are skipped. String literals accept both single and
+//! double quotes (the paper uses single quotes), with doubling as the
+//! escape (`''` → `'`).
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::token::{Keyword, Span, Tok, Token};
+
+/// Tokenize a full query text.
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn push(&mut self, tok: Tok, start: usize) {
+        self.out.push(Token {
+            tok,
+            span: Span::new(start, self.pos),
+        });
+    }
+
+    fn error(&self, kind: ParseErrorKind, start: usize) -> ParseError {
+        ParseError::new(kind, Span::new(start, self.pos.max(start + 1)), self.src)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        while let Some(b) = self.peek() {
+            let start = self.pos;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'-' if self.peek2() == Some(b'-') => self.skip_line_comment(),
+                b'/' if self.peek2() == Some(b'*') => self.skip_block_comment(start)?,
+                b'\'' | b'"' => self.lex_string(b)?,
+                b'0'..=b'9' => self.lex_number(start)?,
+                b'_' if !self.ident_follows(1) => {
+                    self.pos += 1;
+                    self.push(Tok::Underscore, start);
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(start),
+                _ => self.lex_punct(start)?,
+            }
+        }
+        let end = self.pos;
+        self.out.push(Token {
+            tok: Tok::Eof,
+            span: Span::new(end, end),
+        });
+        Ok(self.out)
+    }
+
+    /// Does an identifier character follow at offset `n`?
+    fn ident_follows(&self, n: usize) -> bool {
+        matches!(
+            self.bytes.get(self.pos + n),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        )
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            if b == b'\n' {
+                break;
+            }
+        }
+    }
+
+    fn skip_block_comment(&mut self, start: usize) -> Result<(), ParseError> {
+        self.pos += 2; // consume /*
+        loop {
+            match (self.peek(), self.peek2()) {
+                (Some(b'*'), Some(b'/')) => {
+                    self.pos += 2;
+                    return Ok(());
+                }
+                (Some(_), _) => self.pos += 1,
+                (None, _) => {
+                    return Err(self.error(ParseErrorKind::UnterminatedComment, start));
+                }
+            }
+        }
+    }
+
+    fn lex_string(&mut self, quote: u8) -> Result<(), ParseError> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                Some(b) if b == quote => {
+                    // doubled quote = escaped quote
+                    if self.peek() == Some(quote) {
+                        self.pos += 1;
+                        text.push(quote as char);
+                    } else {
+                        break;
+                    }
+                }
+                Some(b'\\') => {
+                    // backslash escapes for convenience
+                    match self.bump() {
+                        Some(b'n') => text.push('\n'),
+                        Some(b't') => text.push('\t'),
+                        Some(b) => text.push(b as char),
+                        None => {
+                            return Err(self.error(ParseErrorKind::UnterminatedString, start))
+                        }
+                    }
+                }
+                Some(b) => {
+                    // Multi-byte UTF-8: copy raw bytes of this char.
+                    if b < 0x80 {
+                        text.push(b as char);
+                    } else {
+                        let ch_start = self.pos - 1;
+                        let ch = self.src[ch_start..]
+                            .chars()
+                            .next()
+                            .expect("valid utf8 source");
+                        text.push(ch);
+                        self.pos = ch_start + ch.len_utf8();
+                    }
+                }
+                None => return Err(self.error(ParseErrorKind::UnterminatedString, start)),
+            }
+        }
+        self.push(Tok::Str(text), start);
+        Ok(())
+    }
+
+    fn lex_number(&mut self, start: usize) -> Result<(), ParseError> {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        // A dot starts a fraction only if a digit follows — `nodes(p)[1]`
+        // vs `1.5`; also keeps `x.k` property access unambiguous since
+        // identifiers can't start with a digit anyway.
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E'))
+            && (matches!(self.peek2(), Some(b'0'..=b'9'))
+                || (matches!(self.peek2(), Some(b'+' | b'-'))
+                    && matches!(self.bytes.get(self.pos + 2), Some(b'0'..=b'9'))))
+        {
+            is_float = true;
+            self.pos += 1; // e
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.error(ParseErrorKind::BadNumber(text.to_owned()), start))?;
+            self.push(Tok::Float(v), start);
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.error(ParseErrorKind::BadNumber(text.to_owned()), start))?;
+            self.push(Tok::Int(v), start);
+        }
+        Ok(())
+    }
+
+    fn lex_ident(&mut self, start: usize) {
+        while self.ident_follows(0) {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        match Keyword::from_ident(text) {
+            Some(kw) => self.push(Tok::Kw(kw), start),
+            None => self.push(Tok::Ident(text.to_owned()), start),
+        }
+    }
+
+    fn lex_punct(&mut self, start: usize) -> Result<(), ParseError> {
+        let b = self.bump().expect("peeked");
+        let tok = match b {
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b'{' => Tok::LBrace,
+            b'}' => Tok::RBrace,
+            b'<' => match self.peek() {
+                Some(b'=') => {
+                    self.pos += 1;
+                    Tok::Le
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    Tok::Neq
+                }
+                _ => Tok::Lt,
+            },
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            b'=' => Tok::Eq,
+            b':' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Tok::Assign
+                } else {
+                    Tok::Colon
+                }
+            }
+            b',' => Tok::Comma,
+            b'.' => Tok::Dot,
+            b'+' => Tok::Plus,
+            b'-' => Tok::Minus,
+            b'*' => Tok::Star,
+            b'/' => Tok::Slash,
+            b'%' => Tok::Percent,
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Tok::Neq
+                } else {
+                    Tok::Bang
+                }
+            }
+            b'@' => Tok::At,
+            b'~' => Tok::Tilde,
+            b'|' => Tok::Pipe,
+            other => {
+                return Err(self.error(ParseErrorKind::UnexpectedChar(other as char), start));
+            }
+        };
+        self.push(tok, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("match MATCH Match"),
+            vec![
+                Tok::Kw(Keyword::Match),
+                Tok::Kw(Keyword::Match),
+                Tok::Kw(Keyword::Match),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_and_strings() {
+        assert_eq!(
+            kinds("social_graph 'Acme' \"Ac\"\"me\""),
+            vec![
+                Tok::Ident("social_graph".into()),
+                Tok::Str("Acme".into()),
+                Tok::Str("Ac\"me".into()),
+                Tok::Eof
+            ]
+        );
+        // Doubling only escapes the active quote character.
+        assert_eq!(kinds("\"a''b\"")[0], Tok::Str("a''b".into()));
+    }
+
+    #[test]
+    fn doubled_single_quote_escape() {
+        assert_eq!(kinds("'a''b'")[0], Tok::Str("a'b".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 1.5 2e3 1.5e-2"),
+            vec![
+                Tok::Int(42),
+                Tok::Float(1.5),
+                Tok::Float(2000.0),
+                Tok::Float(0.015),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn index_after_call_is_not_a_float() {
+        // nodes(p)[1] — the 1 must stay an integer after ']' '['
+        let ks = kinds("nodes(p)[1]");
+        assert!(ks.contains(&Tok::Int(1)));
+    }
+
+    #[test]
+    fn punctuation_composites() {
+        assert_eq!(
+            kinds("<= >= <> != := = < >"),
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::Neq,
+                Tok::Neq,
+                Tok::Assign,
+                Tok::Eq,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn arrows_lex_into_primitives() {
+        assert_eq!(
+            kinds("-[e]->"),
+            vec![
+                Tok::Minus,
+                Tok::LBracket,
+                Tok::Ident("e".into()),
+                Tok::RBracket,
+                Tok::Minus,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("-/<:knows*>/->"),
+            vec![
+                Tok::Minus,
+                Tok::Slash,
+                Tok::Lt,
+                Tok::Colon,
+                Tok::Ident("knows".into()),
+                Tok::Star,
+                Tok::Gt,
+                Tok::Slash,
+                Tok::Minus,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a -- line comment\n b /* block \n comment */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comment_requires_two_dashes() {
+        assert_eq!(
+            kinds("a - b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Minus,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn standalone_underscore_is_wildcard() {
+        assert_eq!(kinds("_")[0], Tok::Underscore);
+        assert_eq!(kinds("_x")[0], Tok::Ident("_x".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'abc").is_err());
+        assert!(lex("/* abc").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(lex("§").is_err());
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+}

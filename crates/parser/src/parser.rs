@@ -1,0 +1,1745 @@
+//! Recursive-descent parser for G-CORE.
+//!
+//! The grammar follows Section 4 of the paper and the clause grammars of
+//! Appendix A; the concrete (ASCII-art) syntax follows the guided tour of
+//! Section 3. Multi-character arrows (`-[`, `]->`, `-/`, `/->`, `<-[`, …)
+//! are assembled from primitive tokens here, which keeps the lexer
+//! context-free.
+//!
+//! Ambiguity between parenthesized expressions and graph-pattern
+//! predicates in WHERE (`(n:Person)` vs `(a + b)`) is resolved by
+//! backtracking: the parser attempts a pattern parse and falls back to an
+//! expression when the parenthesized text has no pattern features.
+
+use crate::ast::*;
+use crate::error::{ParseError, ParseErrorKind};
+use crate::lexer::lex;
+use crate::token::{Keyword as Kw, Span, Tok, Token};
+
+/// Parse a single statement: a query or a `GRAPH VIEW` definition.
+pub fn parse_statement(src: &str) -> Result<Statement, ParseError> {
+    let mut p = Parser::new(src)?;
+    let stmt = p.statement()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a query (errors on `GRAPH VIEW`).
+pub fn parse_query(src: &str) -> Result<Query, ParseError> {
+    let mut p = Parser::new(src)?;
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse a sequence of `;`-separated statements. A trailing `;` is
+/// allowed. (The paper shows single queries; scripts are a convenience.)
+pub fn parse_script(src: &str) -> Result<Vec<Statement>, ParseError> {
+    // Split on top-level semicolons is fragile (strings); instead reuse
+    // the parser: statements are self-delimiting, so just loop.
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    while !p.at_eof() {
+        out.push(p.statement()?);
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    toks: Vec<Token>,
+    pos: usize,
+    /// Inside a `GROUP` expression list, `:Label` belongs to the
+    /// enclosing construct element, not to the expression — suppress the
+    /// label-test postfix there.
+    no_label_postfix: bool,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> PResult<Self> {
+        Ok(Parser {
+            src,
+            toks: lex(src)?,
+            pos: 0,
+            no_label_postfix: false,
+        })
+    }
+
+    // -- token plumbing --------------------------------------------------
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        let i = (self.pos + n).min(self.toks.len() - 1);
+        &self.toks[i].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Kw) -> bool {
+        self.eat(&Tok::Kw(kw))
+    }
+
+    fn check_kw(&self, kw: Kw) -> bool {
+        matches!(self.peek(), Tok::Kw(k) if *k == kw)
+    }
+
+    fn expect(&mut self, tok: Tok) -> PResult<()> {
+        if self.peek() == &tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err_expected(&tok.to_string()))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Kw) -> PResult<()> {
+        self.expect(Tok::Kw(kw))
+    }
+
+    fn expect_eof(&mut self) -> PResult<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.err_expected("end of query"))
+        }
+    }
+
+    fn err_expected(&self, what: &str) -> ParseError {
+        ParseError::new(
+            ParseErrorKind::Expected {
+                what: what.to_owned(),
+                found: self.peek().to_string(),
+            },
+            self.span(),
+            self.src,
+        )
+    }
+
+    fn err_msg(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(ParseErrorKind::Message(msg.into()), self.span(), self.src)
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.peek() {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.err_expected("identifier")),
+        }
+    }
+
+    // -- statements & queries --------------------------------------------
+
+    fn statement(&mut self) -> PResult<Statement> {
+        if self.check_kw(Kw::Graph) && matches!(self.peek_at(1), Tok::Kw(Kw::View)) {
+            self.bump(); // GRAPH
+            self.bump(); // VIEW
+            let name = self.ident()?;
+            self.expect_kw(Kw::As)?;
+            self.expect(Tok::LParen)?;
+            let query = self.query()?;
+            self.expect(Tok::RParen)?;
+            return Ok(Statement::GraphView { name, query });
+        }
+        Ok(Statement::Query(self.query()?))
+    }
+
+    fn query(&mut self) -> PResult<Query> {
+        let mut heads = Vec::new();
+        loop {
+            if self.check_kw(Kw::Path) {
+                heads.push(HeadClause::Path(self.path_clause()?));
+            } else if self.check_kw(Kw::Graph) && !matches!(self.peek_at(1), Tok::Kw(Kw::View)) {
+                heads.push(HeadClause::Graph(self.graph_clause()?));
+            } else {
+                break;
+            }
+        }
+        let body = if self.check_kw(Kw::Select) {
+            QueryBody::Select(self.select_query()?)
+        } else {
+            QueryBody::Graph(self.full_graph_query()?)
+        };
+        Ok(Query { heads, body })
+    }
+
+    /// `PATH name = pattern (, pattern)* [WHERE cond] [COST expr]`
+    fn path_clause(&mut self) -> PResult<PathClause> {
+        self.expect_kw(Kw::Path)?;
+        let name = self.ident()?;
+        self.expect(Tok::Eq)?;
+        let mut patterns = vec![self.pattern()?];
+        while self.peek() == &Tok::Comma {
+            // A comma continues the PATH clause only if a pattern follows;
+            // otherwise it belongs to an enclosing list.
+            if !matches!(self.peek_at(1), Tok::LParen) {
+                break;
+            }
+            self.bump();
+            patterns.push(self.pattern()?);
+        }
+        let where_clause = if self.eat_kw(Kw::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let cost = if self.eat_kw(Kw::Cost) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(PathClause {
+            name,
+            patterns,
+            where_clause,
+            cost,
+        })
+    }
+
+    /// `GRAPH name AS (fullGraphQuery)` — query-local view.
+    fn graph_clause(&mut self) -> PResult<GraphClause> {
+        self.expect_kw(Kw::Graph)?;
+        let name = self.ident()?;
+        self.expect_kw(Kw::As)?;
+        self.expect(Tok::LParen)?;
+        let query = self.query()?;
+        self.expect(Tok::RParen)?;
+        Ok(GraphClause {
+            name,
+            query: Box::new(query),
+        })
+    }
+
+    fn full_graph_query(&mut self) -> PResult<FullGraphQuery> {
+        let mut left = self.graph_query_operand()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Kw(Kw::Union) => GraphSetOp::Union,
+                Tok::Kw(Kw::Intersect) => GraphSetOp::Intersect,
+                Tok::Kw(Kw::Minus) => GraphSetOp::Minus,
+                _ => break,
+            };
+            self.bump();
+            let right = self.graph_query_operand()?;
+            left = FullGraphQuery::SetOp {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    /// One operand of a graph set operation: a basic query, a
+    /// parenthesized full query, or a bare graph name (the guided tour's
+    /// `… UNION social_graph`).
+    fn graph_query_operand(&mut self) -> PResult<FullGraphQuery> {
+        match self.peek() {
+            Tok::Kw(Kw::Construct) => Ok(FullGraphQuery::Basic(self.basic_graph_query()?)),
+            Tok::LParen => {
+                self.bump();
+                let q = self.full_graph_query()?;
+                self.expect(Tok::RParen)?;
+                Ok(q)
+            }
+            Tok::Ident(_) => {
+                let name = self.ident()?;
+                // Desugar a bare graph name to CONSTRUCT name (unit match).
+                Ok(FullGraphQuery::Basic(BasicGraphQuery {
+                    construct: ConstructClause {
+                        items: vec![ConstructItem::GraphName(name)],
+                    },
+                    source: QuerySource::Match(MatchClause {
+                        patterns: Vec::new(),
+                        where_clause: None,
+                        optionals: Vec::new(),
+                    }),
+                }))
+            }
+            _ => Err(self.err_expected("CONSTRUCT, '(' or a graph name")),
+        }
+    }
+
+    fn basic_graph_query(&mut self) -> PResult<BasicGraphQuery> {
+        let construct = self.construct_clause()?;
+        let source = if self.check_kw(Kw::Match) {
+            QuerySource::Match(self.match_clause()?)
+        } else if self.eat_kw(Kw::From) {
+            QuerySource::From(self.ident()?)
+        } else {
+            // CONSTRUCT with no binding source: single empty binding.
+            QuerySource::Match(MatchClause {
+                patterns: Vec::new(),
+                where_clause: None,
+                optionals: Vec::new(),
+            })
+        };
+        Ok(BasicGraphQuery { construct, source })
+    }
+
+    // -- MATCH -------------------------------------------------------------
+
+    fn match_clause(&mut self) -> PResult<MatchClause> {
+        self.expect_kw(Kw::Match)?;
+        let patterns = self.located_patterns()?;
+        let where_clause = if self.eat_kw(Kw::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut optionals = Vec::new();
+        while self.eat_kw(Kw::Optional) {
+            let patterns = self.located_patterns()?;
+            let where_clause = if self.eat_kw(Kw::Where) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            optionals.push(OptionalBlock {
+                patterns,
+                where_clause,
+            });
+        }
+        Ok(MatchClause {
+            patterns,
+            where_clause,
+            optionals,
+        })
+    }
+
+    fn located_patterns(&mut self) -> PResult<Vec<LocatedPattern>> {
+        let mut out = vec![self.located_pattern()?];
+        while self.eat(&Tok::Comma) {
+            out.push(self.located_pattern()?);
+        }
+        // "The MATCH..ON..WHERE clause matches one or more (comma
+        // separated) graph patterns on a named graph" (§3): a trailing
+        // ON distributes to every pattern that lacks its own, so
+        //   MATCH (a), (b) ON g   ≡   MATCH (a) ON g, (b) ON g.
+        if let Some(last_on) = out.last().and_then(|lp| lp.on.clone()) {
+            for lp in &mut out {
+                if lp.on.is_none() {
+                    lp.on = Some(last_on.clone());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn located_pattern(&mut self) -> PResult<LocatedPattern> {
+        let pattern = self.pattern()?;
+        let on = if self.eat_kw(Kw::On) {
+            match self.peek() {
+                Tok::LParen => {
+                    self.bump();
+                    let q = self.query()?;
+                    self.expect(Tok::RParen)?;
+                    Some(Location::Subquery(Box::new(q)))
+                }
+                _ => Some(Location::Named(self.ident()?)),
+            }
+        } else {
+            None
+        };
+        Ok(LocatedPattern { pattern, on })
+    }
+
+    fn pattern(&mut self) -> PResult<Pattern> {
+        let start = self.node_pattern()?;
+        let mut steps = Vec::new();
+        while let Some(connection) = self.maybe_connection()? {
+            let node = self.node_pattern()?;
+            steps.push(PatternStep { connection, node });
+        }
+        Ok(Pattern { start, steps })
+    }
+
+    /// `(x:Label|Label {k = e, …})`
+    fn node_pattern(&mut self) -> PResult<NodePattern> {
+        self.expect(Tok::LParen)?;
+        let var = match self.peek() {
+            Tok::Ident(_) => Some(self.ident()?),
+            _ => None,
+        };
+        let labels = self.label_disjunctions()?;
+        let props = if self.eat(&Tok::LBrace) {
+            let mut entries = vec![self.prop_entry()?];
+            while self.eat(&Tok::Comma) {
+                entries.push(self.prop_entry()?);
+            }
+            self.expect(Tok::RBrace)?;
+            entries
+        } else {
+            Vec::new()
+        };
+        self.expect(Tok::RParen)?;
+        Ok(NodePattern { var, labels, props })
+    }
+
+    /// `:A|B :C` — a conjunction of disjunctive label groups.
+    fn label_disjunctions(&mut self) -> PResult<Vec<LabelDisjunction>> {
+        let mut groups = Vec::new();
+        while self.eat(&Tok::Colon) {
+            let mut labels = vec![self.ident()?];
+            while self.eat(&Tok::Pipe) {
+                labels.push(self.ident()?);
+            }
+            groups.push(LabelDisjunction(labels));
+        }
+        Ok(groups)
+    }
+
+    /// `key = expr` inside a MATCH property map.
+    fn prop_entry(&mut self) -> PResult<PropEntry> {
+        let key = self.ident()?;
+        self.expect(Tok::Eq)?;
+        let value = self.expr()?;
+        Ok(PropEntry { key, value })
+    }
+
+    /// Try to parse the connector that starts a new pattern step. Returns
+    /// `None` when the pattern chain ends here.
+    fn maybe_connection(&mut self) -> PResult<Option<Connection>> {
+        match (self.peek(), self.peek_at(1)) {
+            // -[ …  |  -/ …  |  -( (anonymous edge)  |  -> (
+            (Tok::Minus, Tok::LBracket) => {
+                self.bump();
+                self.bump();
+                let conn = self.edge_pattern_tail(false)?;
+                Ok(Some(conn))
+            }
+            (Tok::Minus, Tok::Slash) => {
+                self.bump();
+                self.bump();
+                let conn = self.path_pattern_tail(false)?;
+                Ok(Some(conn))
+            }
+            (Tok::Minus, Tok::Gt) if matches!(self.peek_at(2), Tok::LParen) => {
+                // bare `->` anonymous edge
+                self.bump();
+                self.bump();
+                Ok(Some(Connection::Edge(EdgePattern {
+                    direction: Direction::Out,
+                    var: None,
+                    labels: Vec::new(),
+                    props: Vec::new(),
+                })))
+            }
+            (Tok::Minus, Tok::LParen) => {
+                // bare `-` anonymous undirected edge (footnote 3's (b)-(c))
+                self.bump();
+                Ok(Some(Connection::Edge(EdgePattern {
+                    direction: Direction::Undirected,
+                    var: None,
+                    labels: Vec::new(),
+                    props: Vec::new(),
+                })))
+            }
+            (Tok::Lt, Tok::Minus) => {
+                match self.peek_at(2) {
+                    Tok::LBracket => {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        let conn = self.edge_pattern_tail(true)?;
+                        Ok(Some(conn))
+                    }
+                    Tok::Slash => {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        let conn = self.path_pattern_tail(true)?;
+                        Ok(Some(conn))
+                    }
+                    Tok::LParen => {
+                        // bare `<-` anonymous edge
+                        self.bump();
+                        self.bump();
+                        Ok(Some(Connection::Edge(EdgePattern {
+                            direction: Direction::In,
+                            var: None,
+                            labels: Vec::new(),
+                            props: Vec::new(),
+                        })))
+                    }
+                    _ => Ok(None),
+                }
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// After `-[` / `<-[`: parse the interior, `]`, and the closing arrow.
+    fn edge_pattern_tail(&mut self, incoming: bool) -> PResult<Connection> {
+        let var = match self.peek() {
+            Tok::Ident(_) => Some(self.ident()?),
+            _ => None,
+        };
+        let labels = self.label_disjunctions()?;
+        let props = if self.eat(&Tok::LBrace) {
+            let mut entries = vec![self.prop_entry()?];
+            while self.eat(&Tok::Comma) {
+                entries.push(self.prop_entry()?);
+            }
+            self.expect(Tok::RBrace)?;
+            entries
+        } else {
+            Vec::new()
+        };
+        self.expect(Tok::RBracket)?;
+        self.expect(Tok::Minus)?;
+        let direction = if incoming {
+            // `<-[…]-`: no trailing `>` allowed.
+            Direction::In
+        } else if self.eat(&Tok::Gt) {
+            Direction::Out
+        } else {
+            Direction::Undirected
+        };
+        Ok(Connection::Edge(EdgePattern {
+            direction,
+            var,
+            labels,
+            props,
+        }))
+    }
+
+    /// After `-/` / `<-/`: parse the interior, `/`, and the closing arrow.
+    ///
+    /// Interior: `[n SHORTEST | SHORTEST | ALL] [@]var? [:labels]
+    /// [<regex>] [COST var]`.
+    fn path_pattern_tail(&mut self, incoming: bool) -> PResult<Connection> {
+        let mode = if self.eat_kw(Kw::All) {
+            PathMode::All
+        } else if self.eat_kw(Kw::Shortest) {
+            PathMode::Shortest(1)
+        } else if let Tok::Int(k) = *self.peek() {
+            if matches!(self.peek_at(1), Tok::Kw(Kw::Shortest)) {
+                self.bump();
+                self.bump();
+                if k < 1 {
+                    return Err(self.err_msg("k SHORTEST requires k >= 1"));
+                }
+                PathMode::Shortest(k as u32)
+            } else {
+                return Err(self.err_expected("SHORTEST after path multiplicity"));
+            }
+        } else {
+            PathMode::Shortest(1)
+        };
+        let stored = self.eat(&Tok::At);
+        let var = match self.peek() {
+            Tok::Ident(_) => Some(self.ident()?),
+            _ => None,
+        };
+        let labels = self.label_disjunctions()?;
+        let regex = if self.eat(&Tok::Lt) {
+            let r = self.regex()?;
+            self.expect(Tok::Gt)?;
+            Some(r)
+        } else {
+            None
+        };
+        let cost_var = if self.eat_kw(Kw::Cost) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        self.expect(Tok::Slash)?;
+        self.expect(Tok::Minus)?;
+        let direction = if incoming {
+            Direction::In
+        } else if self.eat(&Tok::Gt) {
+            Direction::Out
+        } else {
+            Direction::Undirected
+        };
+        if regex.is_none() && !stored && labels.is_empty() {
+            return Err(self.err_msg(
+                "path pattern needs a <regex>, a stored-path variable (@p) or a label test",
+            ));
+        }
+        Ok(Connection::Path(PathPattern {
+            direction,
+            mode,
+            stored,
+            var,
+            labels,
+            regex,
+            cost_var,
+        }))
+    }
+
+    // -- regular path expressions ------------------------------------------
+
+    /// Alternation level: `concat (+ concat | '|' concat)*`.
+    fn regex(&mut self) -> PResult<Regex> {
+        let first = self.regex_concat()?;
+        let mut alts = vec![first];
+        while matches!(self.peek(), Tok::Plus | Tok::Pipe) {
+            self.bump();
+            alts.push(self.regex_concat()?);
+        }
+        Ok(if alts.len() == 1 {
+            alts.pop().expect("one element")
+        } else {
+            Regex::Alt(alts)
+        })
+    }
+
+    fn regex_concat(&mut self) -> PResult<Regex> {
+        let mut parts = vec![self.regex_postfix()?];
+        while matches!(
+            self.peek(),
+            Tok::Colon | Tok::Bang | Tok::Underscore | Tok::Tilde | Tok::LParen
+        ) {
+            parts.push(self.regex_postfix()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Regex::Concat(parts)
+        })
+    }
+
+    fn regex_postfix(&mut self) -> PResult<Regex> {
+        let mut atom = self.regex_atom()?;
+        while self.eat(&Tok::Star) {
+            atom = Regex::Star(Box::new(atom));
+        }
+        Ok(atom)
+    }
+
+    fn regex_atom(&mut self) -> PResult<Regex> {
+        match self.bump() {
+            Tok::Colon => {
+                let label = self.ident()?;
+                if self.eat(&Tok::Minus) {
+                    Ok(Regex::LabelInv(label))
+                } else {
+                    Ok(Regex::Label(label))
+                }
+            }
+            Tok::Bang => Ok(Regex::NodeTest(self.ident()?)),
+            Tok::Underscore => Ok(Regex::Wildcard),
+            Tok::Tilde => Ok(Regex::View(self.ident()?)),
+            Tok::LParen => {
+                let r = self.regex()?;
+                self.expect(Tok::RParen)?;
+                Ok(r)
+            }
+            _ => {
+                // bump consumed; report at previous position
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err_expected("a path expression atom (:label, !label, _, ~view or '(')"))
+            }
+        }
+    }
+
+    // -- CONSTRUCT -----------------------------------------------------------
+
+    fn construct_clause(&mut self) -> PResult<ConstructClause> {
+        self.expect_kw(Kw::Construct)?;
+        let mut items = vec![self.construct_item()?];
+        while self.eat(&Tok::Comma) {
+            items.push(self.construct_item()?);
+        }
+        Ok(ConstructClause { items })
+    }
+
+    fn construct_item(&mut self) -> PResult<ConstructItem> {
+        if let Tok::Ident(_) = self.peek() {
+            let name = self.ident()?;
+            return Ok(ConstructItem::GraphName(name));
+        }
+        Ok(ConstructItem::Pattern(self.construct_pattern()?))
+    }
+
+    fn construct_pattern(&mut self) -> PResult<ConstructPattern> {
+        let start = self.construct_node()?;
+        let mut steps = Vec::new();
+        while let Some(connection) = self.maybe_construct_connection()? {
+            let node = self.construct_node()?;
+            steps.push(ConstructStep { connection, node });
+        }
+        let mut when = None;
+        let mut sets = Vec::new();
+        let mut removes = Vec::new();
+        loop {
+            if self.eat_kw(Kw::When) {
+                if when.is_some() {
+                    return Err(self.err_msg("duplicate WHEN on one construct pattern"));
+                }
+                when = Some(self.expr()?);
+            } else if self.eat_kw(Kw::Set) {
+                sets.push(self.set_item()?);
+            } else if self.eat_kw(Kw::Remove) {
+                removes.push(self.remove_item()?);
+            } else {
+                break;
+            }
+        }
+        Ok(ConstructPattern {
+            start,
+            steps,
+            when,
+            sets,
+            removes,
+        })
+    }
+
+    fn construct_node(&mut self) -> PResult<ConstructNode> {
+        self.expect(Tok::LParen)?;
+        let mut node = ConstructNode::default();
+        if self.eat(&Tok::Eq) {
+            node.copy_of = Some(self.ident()?);
+        } else if let Tok::Ident(_) = self.peek() {
+            node.var = Some(self.ident()?);
+        }
+        if self.eat_kw(Kw::Group) {
+            node.group = Some(self.group_exprs()?);
+        }
+        node.labels = self.construct_labels()?;
+        node.assigns = self.maybe_assign_map()?;
+        self.expect(Tok::RParen)?;
+        Ok(node)
+    }
+
+    /// `GROUP e1, e2, …` — expressions up to `:`/`{`/`)`/`]`.
+    fn group_exprs(&mut self) -> PResult<Vec<Expr>> {
+        let saved = self.no_label_postfix;
+        self.no_label_postfix = true;
+        let result = (|| {
+            let mut out = vec![self.expr()?];
+            while self.eat(&Tok::Comma) {
+                out.push(self.expr()?);
+            }
+            Ok(out)
+        })();
+        self.no_label_postfix = saved;
+        result
+    }
+
+    /// Construct-side labels are conjunctive `:A:B` (no disjunction —
+    /// created elements get exactly the listed labels).
+    fn construct_labels(&mut self) -> PResult<Vec<String>> {
+        let mut labels = Vec::new();
+        while self.eat(&Tok::Colon) {
+            labels.push(self.ident()?);
+        }
+        Ok(labels)
+    }
+
+    fn maybe_assign_map(&mut self) -> PResult<Vec<PropAssign>> {
+        if !self.eat(&Tok::LBrace) {
+            return Ok(Vec::new());
+        }
+        let mut assigns = vec![self.prop_assign()?];
+        while self.eat(&Tok::Comma) {
+            assigns.push(self.prop_assign()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(assigns)
+    }
+
+    fn prop_assign(&mut self) -> PResult<PropAssign> {
+        let key = self.ident()?;
+        self.expect(Tok::Assign)?;
+        let value = self.expr()?;
+        Ok(PropAssign { key, value })
+    }
+
+    fn maybe_construct_connection(&mut self) -> PResult<Option<ConstructConnection>> {
+        match (self.peek(), self.peek_at(1)) {
+            (Tok::Minus, Tok::LBracket) => {
+                self.bump();
+                self.bump();
+                Ok(Some(self.construct_edge_tail(false)?))
+            }
+            (Tok::Minus, Tok::Slash) => {
+                self.bump();
+                self.bump();
+                Ok(Some(self.construct_path_tail(false)?))
+            }
+            (Tok::Lt, Tok::Minus) => match self.peek_at(2) {
+                Tok::LBracket => {
+                    self.bump();
+                    self.bump();
+                    self.bump();
+                    Ok(Some(self.construct_edge_tail(true)?))
+                }
+                Tok::Slash => {
+                    self.bump();
+                    self.bump();
+                    self.bump();
+                    Ok(Some(self.construct_path_tail(true)?))
+                }
+                _ => Ok(None),
+            },
+            _ => Ok(None),
+        }
+    }
+
+    fn construct_edge_tail(&mut self, incoming: bool) -> PResult<ConstructConnection> {
+        let mut edge = ConstructEdge {
+            direction: Direction::Out,
+            var: None,
+            copy_of: None,
+            group: None,
+            labels: Vec::new(),
+            assigns: Vec::new(),
+        };
+        if self.eat(&Tok::Eq) {
+            edge.copy_of = Some(self.ident()?);
+        } else if let Tok::Ident(_) = self.peek() {
+            edge.var = Some(self.ident()?);
+        }
+        if self.eat_kw(Kw::Group) {
+            edge.group = Some(self.group_exprs()?);
+        }
+        edge.labels = self.construct_labels()?;
+        edge.assigns = self.maybe_assign_map()?;
+        self.expect(Tok::RBracket)?;
+        self.expect(Tok::Minus)?;
+        edge.direction = if incoming {
+            Direction::In
+        } else if self.eat(&Tok::Gt) {
+            Direction::Out
+        } else {
+            return Err(self.err_msg("constructed edges must be directed: use -[…]-> or <-[…]-"));
+        };
+        Ok(ConstructConnection::Edge(edge))
+    }
+
+    fn construct_path_tail(&mut self, incoming: bool) -> PResult<ConstructConnection> {
+        let stored = self.eat(&Tok::At);
+        let var = self.ident()?;
+        let labels = self.construct_labels()?;
+        let assigns = self.maybe_assign_map()?;
+        self.expect(Tok::Slash)?;
+        self.expect(Tok::Minus)?;
+        let direction = if incoming {
+            Direction::In
+        } else if self.eat(&Tok::Gt) {
+            Direction::Out
+        } else {
+            return Err(self.err_msg("constructed paths must be directed: use -/…/-> or <-/…/-"));
+        };
+        Ok(ConstructConnection::Path(ConstructPath {
+            direction,
+            stored,
+            var,
+            labels,
+            assigns,
+        }))
+    }
+
+    fn set_item(&mut self) -> PResult<SetItem> {
+        let var = self.ident()?;
+        if self.eat(&Tok::Dot) {
+            let key = self.ident()?;
+            self.expect(Tok::Assign)?;
+            let value = self.expr()?;
+            Ok(SetItem::Prop { var, key, value })
+        } else if self.eat(&Tok::Colon) {
+            let label = self.ident()?;
+            Ok(SetItem::Label { var, label })
+        } else if self.eat(&Tok::Eq) {
+            let from = self.ident()?;
+            Ok(SetItem::Copy { var, from })
+        } else {
+            Err(self.err_expected("'.' , ':' or '=' after SET variable"))
+        }
+    }
+
+    fn remove_item(&mut self) -> PResult<RemoveItem> {
+        let var = self.ident()?;
+        if self.eat(&Tok::Dot) {
+            let key = self.ident()?;
+            Ok(RemoveItem::Prop { var, key })
+        } else if self.eat(&Tok::Colon) {
+            let label = self.ident()?;
+            Ok(RemoveItem::Label { var, label })
+        } else {
+            Err(self.err_expected("'.' or ':' after REMOVE variable"))
+        }
+    }
+
+    // -- SELECT (§5) ---------------------------------------------------------
+
+    fn select_query(&mut self) -> PResult<SelectQuery> {
+        self.expect_kw(Kw::Select)?;
+        let distinct = self.eat_kw(Kw::Distinct);
+        let mut items = vec![self.select_item()?];
+        while self.eat(&Tok::Comma) {
+            items.push(self.select_item()?);
+        }
+        let match_clause = self.match_clause()?;
+        let group_by = if self.check_kw(Kw::Group) && matches!(self.peek_at(1), Tok::Kw(Kw::By)) {
+            self.bump();
+            self.bump();
+            let mut exprs = vec![self.expr()?];
+            while self.eat(&Tok::Comma) {
+                exprs.push(self.expr()?);
+            }
+            exprs
+        } else {
+            Vec::new()
+        };
+        let order_by = if self.check_kw(Kw::Order) {
+            self.bump();
+            self.expect_kw(Kw::By)?;
+            let mut keys = vec![self.order_item()?];
+            while self.eat(&Tok::Comma) {
+                keys.push(self.order_item()?);
+            }
+            keys
+        } else {
+            Vec::new()
+        };
+        let limit = if self.eat_kw(Kw::Limit) {
+            Some(self.nonneg_int()?)
+        } else {
+            None
+        };
+        let offset = if self.eat_kw(Kw::Offset) {
+            Some(self.nonneg_int()?)
+        } else {
+            None
+        };
+        Ok(SelectQuery {
+            distinct,
+            items,
+            match_clause,
+            group_by,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn select_item(&mut self) -> PResult<SelectItem> {
+        let expr = self.expr()?;
+        let alias = if self.eat_kw(Kw::As) {
+            // Aliases live in their own namespace, so keywords are fine
+            // here: `… AS cost` is a natural column name.
+            Some(self.ident_or_keyword()?)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    /// An identifier, also accepting keywords (for positions where the
+    /// grammar is unambiguous, e.g. SELECT aliases).
+    fn ident_or_keyword(&mut self) -> PResult<String> {
+        match self.peek() {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            Tok::Kw(k) => {
+                let s = k.as_str().to_ascii_lowercase();
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.err_expected("identifier")),
+        }
+    }
+
+    fn order_item(&mut self) -> PResult<OrderItem> {
+        let expr = self.expr()?;
+        let ascending = if self.eat_kw(Kw::Desc) {
+            false
+        } else {
+            self.eat_kw(Kw::Asc);
+            true
+        };
+        Ok(OrderItem { expr, ascending })
+    }
+
+    fn nonneg_int(&mut self) -> PResult<u64> {
+        match *self.peek() {
+            Tok::Int(i) if i >= 0 => {
+                self.bump();
+                Ok(i as u64)
+            }
+            _ => Err(self.err_expected("a non-negative integer")),
+        }
+    }
+
+    // -- expressions -----------------------------------------------------------
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw(Kw::Or) {
+            let right = self.and_expr()?;
+            left = Expr::Binary(BinaryOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw(Kw::And) {
+            let right = self.not_expr()?;
+            left = Expr::Binary(BinaryOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> PResult<Expr> {
+        if self.eat_kw(Kw::Not) {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary(UnaryOp::Not, Box::new(inner)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> PResult<Expr> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            Tok::Eq => BinaryOp::Eq,
+            Tok::Neq => BinaryOp::Neq,
+            Tok::Lt => BinaryOp::Lt,
+            Tok::Le => BinaryOp::Le,
+            Tok::Gt => BinaryOp::Gt,
+            Tok::Ge => BinaryOp::Ge,
+            Tok::Kw(Kw::In) => BinaryOp::In,
+            Tok::Kw(Kw::Subset) => BinaryOp::Subset,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.additive()?;
+        Ok(Expr::Binary(op, Box::new(left), Box::new(right)))
+    }
+
+    fn additive(&mut self) -> PResult<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinaryOp::Add,
+                Tok::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.multiplicative()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> PResult<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinaryOp::Mul,
+                Tok::Slash => BinaryOp::Div,
+                Tok::Percent => BinaryOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> PResult<Expr> {
+        if self.eat(&Tok::Minus) {
+            let inner = self.unary()?;
+            return Ok(Expr::Unary(UnaryOp::Neg, Box::new(inner)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> PResult<Expr> {
+        let mut base = self.primary()?;
+        loop {
+            if self.eat(&Tok::Dot) {
+                let key = self.ident()?;
+                base = Expr::Prop(Box::new(base), key);
+            } else if self.peek() == &Tok::LBracket {
+                self.bump();
+                let index = self.expr()?;
+                self.expect(Tok::RBracket)?;
+                base = Expr::Index(Box::new(base), Box::new(index));
+            } else if self.peek() == &Tok::Colon && !self.no_label_postfix {
+                // label test — only sensible on a variable base
+                self.bump();
+                let mut labels = vec![self.ident()?];
+                while self.eat(&Tok::Pipe) {
+                    labels.push(self.ident()?);
+                }
+                base = Expr::LabelTest(Box::new(base), labels);
+            } else {
+                break;
+            }
+        }
+        Ok(base)
+    }
+
+    fn primary(&mut self) -> PResult<Expr> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Expr::Int(i))
+            }
+            Tok::Float(x) => {
+                self.bump();
+                Ok(Expr::Float(x))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            Tok::Kw(Kw::True) => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            Tok::Kw(Kw::False) => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            Tok::Kw(Kw::Null) => {
+                self.bump();
+                Ok(Expr::Null)
+            }
+            Tok::Kw(Kw::Date) => {
+                self.bump();
+                match self.bump() {
+                    Tok::Str(s) => Ok(Expr::DateLit(s)),
+                    _ => Err(self.err_expected("a date string after DATE")),
+                }
+            }
+            Tok::Kw(Kw::Case) => self.case_expr(),
+            Tok::Kw(Kw::Exists) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let q = self.query()?;
+                self.expect(Tok::RParen)?;
+                Ok(Expr::Exists(Box::new(q)))
+            }
+            Tok::Ident(name) => {
+                if matches!(self.peek_at(1), Tok::LParen) {
+                    self.call_expr(&name)
+                } else {
+                    self.bump();
+                    Ok(Expr::Var(name))
+                }
+            }
+            Tok::LParen => self.paren_or_pattern(),
+            _ => Err(self.err_expected("an expression")),
+        }
+    }
+
+    fn case_expr(&mut self) -> PResult<Expr> {
+        self.expect_kw(Kw::Case)?;
+        let operand = if self.check_kw(Kw::When) {
+            None
+        } else {
+            Some(Box::new(self.expr()?))
+        };
+        let mut whens = Vec::new();
+        while self.eat_kw(Kw::When) {
+            let cond = self.expr()?;
+            self.expect_kw(Kw::Then)?;
+            let result = self.expr()?;
+            whens.push((cond, result));
+        }
+        if whens.is_empty() {
+            return Err(self.err_expected("WHEN inside CASE"));
+        }
+        let else_ = if self.eat_kw(Kw::Else) {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_kw(Kw::End)?;
+        Ok(Expr::Case {
+            operand,
+            whens,
+            else_,
+        })
+    }
+
+    /// `name(args)` — aggregate or built-in function.
+    fn call_expr(&mut self, name: &str) -> PResult<Expr> {
+        let lowered = name.to_ascii_lowercase();
+        self.bump(); // name
+        self.expect(Tok::LParen)?;
+        if let Some(op) = AggOp::from_name(&lowered) {
+            // COUNT(*), COUNT(x), SUM(DISTINCT x), …
+            if op == AggOp::Count && self.eat(&Tok::Star) {
+                self.expect(Tok::RParen)?;
+                return Ok(Expr::Aggregate {
+                    op,
+                    distinct: false,
+                    arg: None,
+                });
+            }
+            let distinct = self.eat_kw(Kw::Distinct);
+            let arg = self.expr()?;
+            self.expect(Tok::RParen)?;
+            return Ok(Expr::Aggregate {
+                op,
+                distinct,
+                arg: Some(Box::new(arg)),
+            });
+        }
+        let func = Func::from_name(&lowered)
+            .ok_or_else(|| self.err_msg(format!("unknown function '{name}'")))?;
+        let mut args = Vec::new();
+        if self.peek() != &Tok::RParen {
+            args.push(self.expr()?);
+            while self.eat(&Tok::Comma) {
+                args.push(self.expr()?);
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(Expr::Func(func, args))
+    }
+
+    /// Disambiguate `( … )` in expression position: a graph-pattern
+    /// predicate, a label test, or a parenthesized expression.
+    fn paren_or_pattern(&mut self) -> PResult<Expr> {
+        let saved = self.pos;
+        if let Ok(pattern) = self.pattern() {
+            let is_chain = !pattern.steps.is_empty();
+            let n = &pattern.start;
+            let has_features = is_chain || !n.labels.is_empty() || !n.props.is_empty();
+            if has_features {
+                // `(n:Person)` alone is the paper's WHERE label test.
+                if !is_chain && n.props.is_empty() && n.labels.len() == 1 && n.var.is_some() {
+                    let var = n.var.clone().expect("checked");
+                    let labels = n.labels[0].0.clone();
+                    return Ok(Expr::LabelTest(Box::new(Expr::Var(var)), labels));
+                }
+                return Ok(Expr::PatternPredicate(Box::new(pattern)));
+            }
+            // `(x)` with nothing else: prefer the expression reading,
+            // unless a longer pattern continues (handled above).
+        }
+        self.pos = saved;
+        self.expect(Tok::LParen)?;
+        let e = self.expr()?;
+        self.expect(Tok::RParen)?;
+        Ok(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(src: &str) -> Query {
+        match parse_query(src) {
+            Ok(q) => q,
+            Err(e) => panic!("parse failed:\n{e}\nquery: {src}"),
+        }
+    }
+
+    fn body_graph(query: &Query) -> &FullGraphQuery {
+        match &query.body {
+            QueryBody::Graph(g) => g,
+            QueryBody::Select(_) => panic!("expected graph body"),
+        }
+    }
+
+    fn basic(query: &Query) -> &BasicGraphQuery {
+        match body_graph(query) {
+            FullGraphQuery::Basic(b) => b,
+            _ => panic!("expected basic query"),
+        }
+    }
+
+    #[test]
+    fn simplest_query_lines_1_to_4() {
+        let query = q("CONSTRUCT (n) MATCH (n:Person) ON social_graph WHERE n.employer = 'Acme'");
+        let b = basic(&query);
+        assert_eq!(b.construct.items.len(), 1);
+        let QuerySource::Match(m) = &b.source else {
+            panic!()
+        };
+        assert_eq!(m.patterns.len(), 1);
+        assert_eq!(
+            m.patterns[0].on,
+            Some(Location::Named("social_graph".into()))
+        );
+        assert!(m.where_clause.is_some());
+    }
+
+    #[test]
+    fn multi_graph_join_lines_5_to_9() {
+        let query = q("CONSTRUCT (c) <-[:worksAt]-(n) \
+                       MATCH (c:Company) ON company_graph, (n:Person) ON social_graph \
+                       WHERE c.name = n.employer \
+                       UNION social_graph");
+        match body_graph(&query) {
+            FullGraphQuery::SetOp { op, right, .. } => {
+                assert_eq!(*op, GraphSetOp::Union);
+                // RHS desugars to CONSTRUCT social_graph
+                let FullGraphQuery::Basic(b) = right.as_ref() else {
+                    panic!()
+                };
+                assert_eq!(
+                    b.construct.items[0],
+                    ConstructItem::GraphName("social_graph".into())
+                );
+            }
+            _ => panic!("expected UNION"),
+        }
+    }
+
+    #[test]
+    fn in_and_property_unrolling_lines_10_to_19() {
+        q("CONSTRUCT (c) <-[:worksAt]-(n) \
+           MATCH (c:Company) ON company_graph, (n:Person) ON social_graph \
+           WHERE c.name IN n.employer UNION social_graph");
+        let query = q("CONSTRUCT (c) <-[:worksAt]-(n) \
+                       MATCH (c:Company) ON company_graph, \
+                             (n:Person {employer=e}) ON social_graph \
+                       WHERE c.name = e UNION social_graph");
+        let FullGraphQuery::SetOp { left, .. } = body_graph(&query) else {
+            panic!()
+        };
+        let FullGraphQuery::Basic(b) = left.as_ref() else {
+            panic!()
+        };
+        let QuerySource::Match(m) = &b.source else {
+            panic!()
+        };
+        let node = &m.patterns[1].pattern.start;
+        assert_eq!(node.props.len(), 1);
+        assert_eq!(node.props[0].key, "employer");
+        assert_eq!(node.props[0].value, Expr::Var("e".into()));
+    }
+
+    #[test]
+    fn graph_aggregation_lines_20_to_22() {
+        let query = q("CONSTRUCT social_graph, \
+                       (x GROUP e :Company {name:=e}) <-[y:worksAt]-(n) \
+                       MATCH (n:Person {employer=e})");
+        let b = basic(&query);
+        assert_eq!(b.construct.items.len(), 2);
+        let ConstructItem::Pattern(p) = &b.construct.items[1] else {
+            panic!()
+        };
+        assert_eq!(p.start.var, Some("x".into()));
+        assert_eq!(p.start.group, Some(vec![Expr::Var("e".into())]));
+        assert_eq!(p.start.labels, vec!["Company".to_string()]);
+        assert_eq!(p.start.assigns.len(), 1);
+        let ConstructConnection::Edge(edge) = &p.steps[0].connection else {
+            panic!()
+        };
+        assert_eq!(edge.direction, Direction::In);
+        assert_eq!(edge.var, Some("y".into()));
+    }
+
+    #[test]
+    fn stored_paths_lines_23_to_27() {
+        let query = q("CONSTRUCT (n)-/@p:localPeople{distance:=c}/->(m) \
+                       MATCH (n) -/3 SHORTEST p<:knows*> COST c/->(m) \
+                       WHERE (n:Person) AND (m:Person) \
+                       AND n.firstName = 'John' AND n.lastName = 'Doe' \
+                       AND (n) -[:isLocatedIn]->() <-[:isLocatedIn]-(m)");
+        let b = basic(&query);
+        let ConstructItem::Pattern(cp) = &b.construct.items[0] else {
+            panic!()
+        };
+        let ConstructConnection::Path(path) = &cp.steps[0].connection else {
+            panic!()
+        };
+        assert!(path.stored);
+        assert_eq!(path.var, "p");
+        assert_eq!(path.labels, vec!["localPeople".to_string()]);
+        let QuerySource::Match(m) = &b.source else {
+            panic!()
+        };
+        let Connection::Path(pp) = &m.patterns[0].pattern.steps[0].connection else {
+            panic!()
+        };
+        assert_eq!(pp.mode, PathMode::Shortest(3));
+        assert_eq!(pp.var, Some("p".into()));
+        assert_eq!(pp.cost_var, Some("c".into()));
+        assert_eq!(pp.regex, Some(Regex::Star(Box::new(Regex::Label("knows".into())))));
+        // WHERE mixes label tests and a pattern predicate
+        let w = m.where_clause.as_ref().unwrap();
+        let shown = format!("{w:?}");
+        assert!(shown.contains("LabelTest"));
+        assert!(shown.contains("PatternPredicate"));
+    }
+
+    #[test]
+    fn reachability_lines_28_to_31() {
+        let query = q("CONSTRUCT (m) \
+                       MATCH (n:Person) -/<:knows*>/->(m:Person) \
+                       WHERE n.firstName = 'John' AND n.lastName = 'Doe' \
+                       AND (n) -[:isLocatedIn]->() <-[:isLocatedIn]-(m)");
+        let b = basic(&query);
+        let QuerySource::Match(m) = &b.source else {
+            panic!()
+        };
+        let Connection::Path(pp) = &m.patterns[0].pattern.steps[0].connection else {
+            panic!()
+        };
+        assert_eq!(pp.mode, PathMode::Shortest(1));
+        assert!(pp.var.is_none());
+    }
+
+    #[test]
+    fn all_paths_lines_32_to_35() {
+        let query = q("CONSTRUCT (n)-/p/->(m) \
+                       MATCH (n:Person)-/ALL p<:knows*>/->(m:Person) \
+                       WHERE n.firstName = 'John'");
+        let b = basic(&query);
+        let QuerySource::Match(m) = &b.source else {
+            panic!()
+        };
+        let Connection::Path(pp) = &m.patterns[0].pattern.steps[0].connection else {
+            panic!()
+        };
+        assert_eq!(pp.mode, PathMode::All);
+        // construct side: projected (non-stored) path
+        let ConstructItem::Pattern(cp) = &b.construct.items[0] else {
+            panic!()
+        };
+        let ConstructConnection::Path(path) = &cp.steps[0].connection else {
+            panic!()
+        };
+        assert!(!path.stored);
+    }
+
+    #[test]
+    fn explicit_exists_lines_36_to_38() {
+        let query = q("CONSTRUCT (x) MATCH (x) \
+                       WHERE EXISTS ( CONSTRUCT () MATCH (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m) )");
+        let b = basic(&query);
+        let QuerySource::Match(m) = &b.source else {
+            panic!()
+        };
+        assert!(matches!(m.where_clause, Some(Expr::Exists(_))));
+    }
+
+    #[test]
+    fn graph_view_with_optional_lines_39_to_47() {
+        let stmt = parse_statement(
+            "GRAPH VIEW social_graph1 AS ( \
+               CONSTRUCT social_graph, \
+                 (n)-[e]->(m) SET e.nr_messages := COUNT(*) \
+               MATCH (n)-[e:knows]->(m) \
+               WHERE (n:Person) AND (m:Person) \
+               OPTIONAL (n)<-[c1]-(msg1:Post|Comment), \
+                        (msg1) -[:reply_of]-(msg2), \
+                        (msg2:Post|Comment)-[c2]->(m) \
+               WHERE (c1:has_creator) AND (c2:has_creator) )",
+        )
+        .unwrap();
+        let Statement::GraphView { name, query } = stmt else {
+            panic!()
+        };
+        assert_eq!(name, "social_graph1");
+        let b = basic(&query);
+        let ConstructItem::Pattern(cp) = &b.construct.items[1] else {
+            panic!()
+        };
+        assert_eq!(cp.sets.len(), 1);
+        assert!(matches!(
+            &cp.sets[0],
+            SetItem::Prop { var, key, value: Expr::Aggregate { op: AggOp::Count, arg: None, .. } }
+                if var == "e" && key == "nr_messages"
+        ));
+        let QuerySource::Match(m) = &b.source else {
+            panic!()
+        };
+        assert_eq!(m.optionals.len(), 1);
+        assert_eq!(m.optionals[0].patterns.len(), 3);
+        assert!(m.optionals[0].where_clause.is_some());
+        // disjunctive labels
+        let msg1 = &m.optionals[0].patterns[0].pattern.steps[0].node;
+        assert_eq!(msg1.labels[0].0, vec!["Post".to_string(), "Comment".to_string()]);
+        // undirected reply_of edge
+        let Connection::Edge(e) = &m.optionals[0].patterns[1].pattern.steps[0].connection else {
+            panic!()
+        };
+        assert_eq!(e.direction, Direction::Undirected);
+    }
+
+    #[test]
+    fn multiple_optionals_lines_48_to_56() {
+        let query = q("CONSTRUCT (n) MATCH (n:Person) \
+                       OPTIONAL (n) -[:worksAt]->(c) \
+                       OPTIONAL (n) -[:livesIn]->(a)");
+        let b = basic(&query);
+        let QuerySource::Match(m) = &b.source else {
+            panic!()
+        };
+        assert_eq!(m.optionals.len(), 2);
+    }
+
+    #[test]
+    fn weighted_paths_lines_57_to_66() {
+        let stmt = parse_statement(
+            "GRAPH VIEW social_graph2 AS ( \
+               PATH wKnows = (x)-[e:knows]->(y) \
+                 WHERE NOT 'Acme' IN y.employer \
+                 COST 1 / (1 + e.nr_messages) \
+               CONSTRUCT social_graph1, (n)-/@p:toWagner/->(m) \
+               MATCH (n:Person)-/p<~wKnows*>/->(m:Person) \
+               ON social_graph1 \
+               WHERE (m) -[:hasInterest]->(:Tag {name='Wagner'}) \
+               AND (n) -[:isLocatedIn]->() <-[:isLocatedIn]-(m) \
+               AND n.firstName = 'John' AND n.lastName = 'Doe')",
+        )
+        .unwrap();
+        let Statement::GraphView { query, .. } = stmt else {
+            panic!()
+        };
+        assert_eq!(query.heads.len(), 1);
+        let HeadClause::Path(pc) = &query.heads[0] else {
+            panic!()
+        };
+        assert_eq!(pc.name, "wKnows");
+        assert!(pc.where_clause.is_some());
+        assert!(pc.cost.is_some());
+        let b = basic(&query);
+        let QuerySource::Match(m) = &b.source else {
+            panic!()
+        };
+        let Connection::Path(pp) = &m.patterns[0].pattern.steps[0].connection else {
+            panic!()
+        };
+        assert_eq!(
+            pp.regex,
+            Some(Regex::Star(Box::new(Regex::View("wKnows".into()))))
+        );
+    }
+
+    #[test]
+    fn stored_path_analytics_lines_67_to_71() {
+        let query = q("CONSTRUCT (n)-[e:wagnerFriend {score:=COUNT(*)}]->(m) \
+                       WHEN e.score > 0 \
+                       MATCH (n:Person)-/@p:toWagner/->(), (m:Person) \
+                       ON social_graph2 \
+                       WHERE n = nodes(p)[1]");
+        let b = basic(&query);
+        let ConstructItem::Pattern(cp) = &b.construct.items[0] else {
+            panic!()
+        };
+        assert!(cp.when.is_some());
+        let QuerySource::Match(m) = &b.source else {
+            panic!()
+        };
+        // stored-path match with label
+        let Connection::Path(pp) = &m.patterns[0].pattern.steps[0].connection else {
+            panic!()
+        };
+        assert!(pp.stored);
+        assert_eq!(pp.labels[0].0, vec!["toWagner".to_string()]);
+        // second pattern carries the ON for the whole list? No — per
+        // pattern. Here ON binds to (m:Person).
+        assert_eq!(m.patterns[1].on, Some(Location::Named("social_graph2".into())));
+        // WHERE n = nodes(p)[1]
+        let Some(Expr::Binary(BinaryOp::Eq, _, rhs)) = &m.where_clause else {
+            panic!()
+        };
+        assert!(matches!(rhs.as_ref(), Expr::Index(_, _)));
+    }
+
+    #[test]
+    fn select_projection_lines_72_to_75() {
+        let query = q("SELECT m.lastName + ', ' + m.firstName AS friendName \
+                       MATCH (n:Person) -/<:knows*>/->(m:Person) \
+                       WHERE n.firstName = 'John' AND n.lastName = 'Doe'");
+        let QueryBody::Select(s) = &query.body else {
+            panic!()
+        };
+        assert_eq!(s.items.len(), 1);
+        assert_eq!(s.items[0].alias, Some("friendName".into()));
+    }
+
+    #[test]
+    fn from_table_lines_76_to_80() {
+        let query = q("CONSTRUCT \
+                         (cust GROUP custName :Customer {name:= custName}), \
+                         (prod GROUP prodCode :Product {code:= prodCode}), \
+                         (cust) -[:bought]->(prod) \
+                       FROM orders");
+        let b = basic(&query);
+        assert_eq!(b.construct.items.len(), 3);
+        assert_eq!(b.source, QuerySource::From("orders".into()));
+    }
+
+    #[test]
+    fn table_as_graph_lines_81_to_85() {
+        let query = q("CONSTRUCT \
+                         (cust GROUP o.custName :Customer {name:=o.custName}), \
+                         (prod GROUP o.prodCode :Product {code:=o.prodCode}), \
+                         (cust) -[:bought]->(prod) \
+                       MATCH (o) ON orders");
+        let b = basic(&query);
+        let QuerySource::Match(m) = &b.source else {
+            panic!()
+        };
+        assert_eq!(m.patterns[0].on, Some(Location::Named("orders".into())));
+        let ConstructItem::Pattern(cp) = &b.construct.items[0] else {
+            panic!()
+        };
+        // GROUP by a property expression
+        assert_eq!(
+            cp.start.group,
+            Some(vec![Expr::Prop(Box::new(Expr::Var("o".into())), "custName".into())])
+        );
+    }
+
+    #[test]
+    fn regex_grammar() {
+        let query = q("CONSTRUCT (n) MATCH (n)-/<(:a:b- + :c)* !Person _>/->(m)");
+        let b = basic(&query);
+        let QuerySource::Match(m) = &b.source else {
+            panic!()
+        };
+        let Connection::Path(pp) = &m.patterns[0].pattern.steps[0].connection else {
+            panic!()
+        };
+        let Regex::Concat(parts) = pp.regex.as_ref().unwrap() else {
+            panic!("expected concat, got {:?}", pp.regex)
+        };
+        assert_eq!(parts.len(), 3);
+        assert!(matches!(&parts[0], Regex::Star(inner)
+            if matches!(inner.as_ref(), Regex::Alt(alts) if alts.len() == 2)));
+        assert_eq!(parts[1], Regex::NodeTest("Person".into()));
+        assert_eq!(parts[2], Regex::Wildcard);
+    }
+
+    #[test]
+    fn copy_syntax() {
+        let query = q("CONSTRUCT (=n)-[=e]->(m) MATCH (n)-[e]->(m)");
+        let b = basic(&query);
+        let ConstructItem::Pattern(cp) = &b.construct.items[0] else {
+            panic!()
+        };
+        assert_eq!(cp.start.copy_of, Some("n".into()));
+        let ConstructConnection::Edge(edge) = &cp.steps[0].connection else {
+            panic!()
+        };
+        assert_eq!(edge.copy_of, Some("e".into()));
+    }
+
+    #[test]
+    fn set_and_remove_clauses() {
+        let query = q("CONSTRUCT (n) SET n:VIP SET n.rank := 1 REMOVE n.temp REMOVE n:Old \
+                       MATCH (n)");
+        let b = basic(&query);
+        let ConstructItem::Pattern(cp) = &b.construct.items[0] else {
+            panic!()
+        };
+        assert_eq!(cp.sets.len(), 2);
+        assert_eq!(cp.removes.len(), 2);
+    }
+
+    #[test]
+    fn intersect_and_minus() {
+        let query = q("CONSTRUCT (n) MATCH (n) INTERSECT g1 MINUS g2");
+        // left-assoc: ((q ∩ g1) ∖ g2)
+        let FullGraphQuery::SetOp { op, left, .. } = body_graph(&query) else {
+            panic!()
+        };
+        assert_eq!(*op, GraphSetOp::Minus);
+        assert!(matches!(left.as_ref(), FullGraphQuery::SetOp { op: GraphSetOp::Intersect, .. }));
+    }
+
+    #[test]
+    fn on_subquery() {
+        let query = q("CONSTRUCT (n) MATCH (n) ON (CONSTRUCT (m) MATCH (m:Person))");
+        let b = basic(&query);
+        let QuerySource::Match(m) = &b.source else {
+            panic!()
+        };
+        assert!(matches!(m.patterns[0].on, Some(Location::Subquery(_))));
+    }
+
+    #[test]
+    fn case_expression() {
+        let query = q("CONSTRUCT (n {b := CASE WHEN size(n.x) = 0 THEN 0 ELSE 1 END}) MATCH (n)");
+        let b = basic(&query);
+        let ConstructItem::Pattern(cp) = &b.construct.items[0] else {
+            panic!()
+        };
+        assert!(matches!(cp.start.assigns[0].value, Expr::Case { .. }));
+    }
+
+    #[test]
+    fn parenthesized_arithmetic_still_works() {
+        let query = q("CONSTRUCT (n) MATCH (n) WHERE (1 + 2) * 3 = 9");
+        let b = basic(&query);
+        let QuerySource::Match(m) = &b.source else {
+            panic!()
+        };
+        assert!(m.where_clause.is_some());
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        let err = parse_query("CONSTRUCT (n MATCH (n)").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("expected"), "got: {text}");
+        assert!(parse_query("MATCH (n)").is_err()); // no CONSTRUCT
+        assert!(parse_query("CONSTRUCT (n) MATCH (n)-[e]-(m) EXTRA").is_err());
+    }
+
+    #[test]
+    fn script_parsing() {
+        let stmts = parse_script(
+            "GRAPH VIEW v AS (CONSTRUCT (n) MATCH (n)) \
+             CONSTRUCT (m) MATCH (m) ON v",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn negative_k_shortest_rejected() {
+        assert!(parse_query("CONSTRUCT (n) MATCH (n)-/0 SHORTEST p<:a*>/->(m)").is_err());
+    }
+
+    #[test]
+    fn undirected_construct_edge_rejected() {
+        assert!(parse_query("CONSTRUCT (a)-[e]-(b) MATCH (a)-[e]-(b)").is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Tokens of the G-CORE concrete syntax.
+
+use std::fmt;
+
+/// A half-open byte range into the query source.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// Smallest span covering both.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// Keywords, case-insensitive in the source (the paper writes them in
+/// upper case; we accept any casing).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Keyword {
+    Construct,
+    Match,
+    On,
+    Where,
+    Optional,
+    Union,
+    Intersect,
+    Minus,
+    Graph,
+    View,
+    As,
+    Path,
+    Cost,
+    Shortest,
+    All,
+    When,
+    Set,
+    Remove,
+    Group,
+    Exists,
+    Not,
+    And,
+    Or,
+    In,
+    Subset,
+    Case,
+    Then,
+    Else,
+    End,
+    True,
+    False,
+    Null,
+    Select,
+    Distinct,
+    From,
+    By,
+    Order,
+    Limit,
+    Offset,
+    Asc,
+    Desc,
+    Date,
+}
+
+impl Keyword {
+    /// Recognize a keyword, case-insensitively.
+    pub fn from_ident(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s.to_ascii_uppercase().as_str() {
+            "CONSTRUCT" => Construct,
+            "MATCH" => Match,
+            "ON" => On,
+            "WHERE" => Where,
+            "OPTIONAL" => Optional,
+            "UNION" => Union,
+            "INTERSECT" => Intersect,
+            "MINUS" => Minus,
+            "GRAPH" => Graph,
+            "VIEW" => View,
+            "AS" => As,
+            "PATH" => Path,
+            "COST" => Cost,
+            "SHORTEST" => Shortest,
+            "ALL" => All,
+            "WHEN" => When,
+            "SET" => Set,
+            "REMOVE" => Remove,
+            "GROUP" => Group,
+            "EXISTS" => Exists,
+            "NOT" => Not,
+            "AND" => And,
+            "OR" => Or,
+            "IN" => In,
+            "SUBSET" => Subset,
+            "CASE" => Case,
+            "THEN" => Then,
+            "ELSE" => Else,
+            "END" => End,
+            "TRUE" => True,
+            "FALSE" => False,
+            "NULL" => Null,
+            "SELECT" => Select,
+            "DISTINCT" => Distinct,
+            "FROM" => From,
+            "BY" => By,
+            "ORDER" => Order,
+            "LIMIT" => Limit,
+            "OFFSET" => Offset,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            "DATE" => Date,
+            _ => return None,
+        })
+    }
+
+    /// Canonical (upper-case) spelling.
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Construct => "CONSTRUCT",
+            Match => "MATCH",
+            On => "ON",
+            Where => "WHERE",
+            Optional => "OPTIONAL",
+            Union => "UNION",
+            Intersect => "INTERSECT",
+            Minus => "MINUS",
+            Graph => "GRAPH",
+            View => "VIEW",
+            As => "AS",
+            Path => "PATH",
+            Cost => "COST",
+            Shortest => "SHORTEST",
+            All => "ALL",
+            When => "WHEN",
+            Set => "SET",
+            Remove => "REMOVE",
+            Group => "GROUP",
+            Exists => "EXISTS",
+            Not => "NOT",
+            And => "AND",
+            Or => "OR",
+            In => "IN",
+            Subset => "SUBSET",
+            Case => "CASE",
+            Then => "THEN",
+            Else => "ELSE",
+            End => "END",
+            True => "TRUE",
+            False => "FALSE",
+            Null => "NULL",
+            Select => "SELECT",
+            Distinct => "DISTINCT",
+            From => "FROM",
+            By => "BY",
+            Order => "ORDER",
+            Limit => "LIMIT",
+            Offset => "OFFSET",
+            Asc => "ASC",
+            Desc => "DESC",
+            Date => "DATE",
+        }
+    }
+}
+
+/// The token kinds. Multi-character arrows are assembled by the parser
+/// from these primitives, using span adjacency where ambiguity matters.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    Ident(String),
+    Kw(Keyword),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // punctuation
+    LParen,    // (
+    RParen,    // )
+    LBracket,  // [
+    RBracket,  // ]
+    LBrace,    // {
+    RBrace,    // }
+    Lt,        // <
+    Gt,        // >
+    Le,        // <=
+    Ge,        // >=
+    Neq,       // <> or !=
+    Eq,        // =
+    Assign,    // :=
+    Colon,     // :
+    Comma,     // ,
+    Dot,       // .
+    Plus,      // +
+    Minus,     // -
+    Star,      // *
+    Slash,     // /
+    Percent,   // %
+    Bang,      // !
+    At,        // @
+    Tilde,     // ~
+    Pipe,      // |
+    Underscore, // _ (wildcard in regexes)
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier '{s}'"),
+            Tok::Kw(k) => write!(f, "keyword {}", k.as_str()),
+            Tok::Int(i) => write!(f, "integer {i}"),
+            Tok::Float(x) => write!(f, "float {x}"),
+            Tok::Str(s) => write!(f, "string '{s}'"),
+            Tok::LParen => f.write_str("'('"),
+            Tok::RParen => f.write_str("')'"),
+            Tok::LBracket => f.write_str("'['"),
+            Tok::RBracket => f.write_str("']'"),
+            Tok::LBrace => f.write_str("'{'"),
+            Tok::RBrace => f.write_str("'}'"),
+            Tok::Lt => f.write_str("'<'"),
+            Tok::Gt => f.write_str("'>'"),
+            Tok::Le => f.write_str("'<='"),
+            Tok::Ge => f.write_str("'>='"),
+            Tok::Neq => f.write_str("'<>'"),
+            Tok::Eq => f.write_str("'='"),
+            Tok::Assign => f.write_str("':='"),
+            Tok::Colon => f.write_str("':'"),
+            Tok::Comma => f.write_str("','"),
+            Tok::Dot => f.write_str("'.'"),
+            Tok::Plus => f.write_str("'+'"),
+            Tok::Minus => f.write_str("'-'"),
+            Tok::Star => f.write_str("'*'"),
+            Tok::Slash => f.write_str("'/'"),
+            Tok::Percent => f.write_str("'%'"),
+            Tok::Bang => f.write_str("'!'"),
+            Tok::At => f.write_str("'@'"),
+            Tok::Tilde => f.write_str("'~'"),
+            Tok::Pipe => f.write_str("'|'"),
+            Tok::Underscore => f.write_str("'_'"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}

@@ -1,0 +1,90 @@
+//! Errors raised by PPG construction and mutation.
+
+use crate::ids::{EdgeId, NodeId, PathId};
+use std::fmt;
+
+/// Violations of the well-formedness conditions of Definition 2.1.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GraphError {
+    /// An edge refers to a node identifier not present in `N`.
+    DanglingEdge {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The missing endpoint.
+        node: NodeId,
+    },
+    /// A path refers to a node not present in `N`.
+    PathUnknownNode {
+        /// The offending path.
+        path: PathId,
+        /// The missing node.
+        node: NodeId,
+    },
+    /// A path refers to an edge not present in `E`.
+    PathUnknownEdge {
+        /// The offending path.
+        path: PathId,
+        /// The missing edge.
+        edge: EdgeId,
+    },
+    /// A path step `[aj, ej, aj+1]` where ρ(ej) is neither `(aj, aj+1)`
+    /// nor `(aj+1, aj)` — condition (3)(iii) of Definition 2.1.
+    PathNotConnected {
+        /// The offending path.
+        path: PathId,
+        /// The edge that fails to connect.
+        edge: EdgeId,
+        /// The step's source node.
+        from: NodeId,
+        /// The step's target node.
+        to: NodeId,
+    },
+    /// δ(p) must alternate nodes and edges and start/end with a node:
+    /// the node list must be exactly one longer than the edge list.
+    PathShapeInvalid {
+        /// The offending path.
+        path: PathId,
+        /// Number of nodes supplied.
+        nodes: usize,
+        /// Number of edges supplied.
+        edges: usize,
+    },
+    /// An identifier was inserted twice with conflicting structure
+    /// (different endpoints for an edge, different δ for a path).
+    IdentityConflict(String),
+    /// The element addressed by a mutation does not exist.
+    NoSuchElement(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DanglingEdge { edge, node } => {
+                write!(f, "edge {edge} refers to missing node {node}")
+            }
+            GraphError::PathUnknownNode { path, node } => {
+                write!(f, "path {path} refers to missing node {node}")
+            }
+            GraphError::PathUnknownEdge { path, edge } => {
+                write!(f, "path {path} refers to missing edge {edge}")
+            }
+            GraphError::PathNotConnected {
+                path,
+                edge,
+                from,
+                to,
+            } => write!(
+                f,
+                "path {path}: edge {edge} does not connect {from} and {to} in either direction"
+            ),
+            GraphError::PathShapeInvalid { path, nodes, edges } => write!(
+                f,
+                "path {path}: sequence of {nodes} nodes and {edges} edges is not an alternating node/edge list"
+            ),
+            GraphError::IdentityConflict(msg) => write!(f, "identity conflict: {msg}"),
+            GraphError::NoSuchElement(msg) => write!(f, "no such element: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,666 @@
+//! The Path Property Graph itself — Definition 2.1 of the paper.
+//!
+//! `G = (N, E, P, ρ, δ, λ, σ)`:
+//!
+//! * `N`, `E`, `P` — the key sets of [`nodes`](PathPropertyGraph::nodes),
+//!   [`edges`](PathPropertyGraph::edges), [`paths`](PathPropertyGraph::paths);
+//! * `ρ : E → N × N` — [`EdgeData::src`] / [`EdgeData::dst`];
+//! * `δ : P → FLIST(N ∪ E)` — [`PathData::shape`];
+//! * `λ : N ∪ E ∪ P → FSET(L)` — the per-element [`LabelSet`]s;
+//! * `σ : (N ∪ E ∪ P) × K → FSET(V)` — the per-element property maps.
+//!
+//! Graphs also maintain in/out adjacency lists so that matching and path
+//! search are O(degree) per expansion.
+
+use crate::error::GraphError;
+use crate::hash::FxHashMap;
+use crate::ids::{EdgeId, ElementId, NodeId, PathId};
+use crate::path::PathShape;
+use crate::property::PropertySet;
+use crate::symbols::{Key, Label, LabelSet};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Labels and properties shared by every element sort.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct Attributes {
+    /// Labels attached to the element (λ).
+    pub labels: LabelSet,
+    /// Property map of the element (σ), values are finite sets.
+    pub properties: BTreeMap<Key, PropertySet>,
+}
+
+impl Attributes {
+    /// No labels, no properties.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attributes with a single label.
+    pub fn labeled(label: &str) -> Self {
+        Attributes {
+            labels: LabelSet::single(Label::new(label)),
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style label addition.
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.labels.insert(Label::new(label));
+        self
+    }
+
+    /// Builder-style property addition (singleton value).
+    pub fn with_prop(mut self, key: &str, value: impl Into<Value>) -> Self {
+        self.set_prop(Key::new(key), PropertySet::single(value.into()));
+        self
+    }
+
+    /// Builder-style multi-valued property addition.
+    pub fn with_prop_set(mut self, key: &str, values: PropertySet) -> Self {
+        self.set_prop(Key::new(key), values);
+        self
+    }
+
+    /// σ(x, k): the property set for `k` (empty set = absent).
+    pub fn prop(&self, key: Key) -> PropertySet {
+        self.properties.get(&key).cloned().unwrap_or_default()
+    }
+
+    /// Borrowing accessor; `None` means absent.
+    pub fn prop_ref(&self, key: Key) -> Option<&PropertySet> {
+        self.properties.get(&key)
+    }
+
+    /// Assign σ(x, k) := values. Setting an empty set removes the entry
+    /// (absence and the empty set are indistinguishable, per §2).
+    pub fn set_prop(&mut self, key: Key, values: PropertySet) {
+        if values.is_empty() {
+            self.properties.remove(&key);
+        } else {
+            self.properties.insert(key, values);
+        }
+    }
+
+    /// Merge by set union (graph union semantics, §A.5).
+    pub fn union_in_place(&mut self, other: &Attributes) {
+        self.labels = self.labels.union(&other.labels);
+        for (k, vs) in &other.properties {
+            let merged = self.prop(*k).union(vs);
+            self.set_prop(*k, merged);
+        }
+    }
+
+    /// Merge by set intersection (graph intersection semantics, §A.5).
+    pub fn intersect(&self, other: &Attributes) -> Attributes {
+        let mut props = BTreeMap::new();
+        for (k, vs) in &self.properties {
+            if let Some(other_vs) = other.properties.get(k) {
+                let both = vs.intersection(other_vs);
+                if !both.is_empty() {
+                    props.insert(*k, both);
+                }
+            }
+        }
+        Attributes {
+            labels: self.labels.intersection(&other.labels),
+            properties: props,
+        }
+    }
+}
+
+/// Per-node payload.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct NodeData {
+    /// Labels and properties of the node.
+    pub attrs: Attributes,
+}
+
+/// Per-edge payload: ρ(e) = (src, dst) plus attributes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EdgeData {
+    /// Source node: ρ(e).0.
+    pub src: NodeId,
+    /// Destination node: ρ(e).1.
+    pub dst: NodeId,
+    /// Labels and properties of the edge.
+    pub attrs: Attributes,
+}
+
+/// Per-path payload: δ(p) plus attributes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PathData {
+    /// The walk δ(p): interleaved nodes and edges.
+    pub shape: PathShape,
+    /// Labels and properties of the path object.
+    pub attrs: Attributes,
+}
+
+/// A Path Property Graph (Definition 2.1).
+#[derive(Clone, Default, Debug)]
+pub struct PathPropertyGraph {
+    nodes: FxHashMap<NodeId, NodeData>,
+    edges: FxHashMap<EdgeId, EdgeData>,
+    paths: FxHashMap<PathId, PathData>,
+    out_adj: FxHashMap<NodeId, Vec<EdgeId>>,
+    in_adj: FxHashMap<NodeId, Vec<EdgeId>>,
+}
+
+impl PathPropertyGraph {
+    /// The empty graph G∅.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion
+    // ------------------------------------------------------------------
+
+    /// Insert a node. Re-inserting an existing node unions attributes
+    /// (identity-respecting merge).
+    pub fn add_node(&mut self, id: NodeId, attrs: Attributes) {
+        match self.nodes.get_mut(&id) {
+            Some(existing) => existing.attrs.union_in_place(&attrs),
+            None => {
+                self.nodes.insert(id, NodeData { attrs });
+                self.out_adj.entry(id).or_default();
+                self.in_adj.entry(id).or_default();
+            }
+        }
+    }
+
+    /// Insert an edge with endpoints ρ(id) = (src, dst).
+    ///
+    /// Both endpoints must already be nodes of the graph. Re-inserting the
+    /// same identifier with the *same* endpoints unions attributes;
+    /// different endpoints are an identity conflict (the paper: "changing
+    /// the source and destination of an edge violates its identity").
+    pub fn add_edge(
+        &mut self,
+        id: EdgeId,
+        src: NodeId,
+        dst: NodeId,
+        attrs: Attributes,
+    ) -> Result<(), GraphError> {
+        if !self.nodes.contains_key(&src) {
+            return Err(GraphError::DanglingEdge { edge: id, node: src });
+        }
+        if !self.nodes.contains_key(&dst) {
+            return Err(GraphError::DanglingEdge { edge: id, node: dst });
+        }
+        match self.edges.get_mut(&id) {
+            Some(existing) => {
+                if existing.src != src || existing.dst != dst {
+                    return Err(GraphError::IdentityConflict(format!(
+                        "edge {id} re-inserted with endpoints ({src}, {dst}), \
+                         but ρ({id}) = ({}, {})",
+                        existing.src, existing.dst
+                    )));
+                }
+                existing.attrs.union_in_place(&attrs);
+            }
+            None => {
+                self.edges.insert(id, EdgeData { src, dst, attrs });
+                self.out_adj.entry(src).or_default().push(id);
+                self.in_adj.entry(dst).or_default().push(id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a stored path. The shape must satisfy condition (3) of
+    /// Definition 2.1 against this graph's ρ.
+    pub fn add_path(
+        &mut self,
+        id: PathId,
+        shape: PathShape,
+        attrs: Attributes,
+    ) -> Result<(), GraphError> {
+        self.check_path_shape(id, &shape)?;
+        match self.paths.get_mut(&id) {
+            Some(existing) => {
+                if existing.shape != shape {
+                    return Err(GraphError::IdentityConflict(format!(
+                        "path {id} re-inserted with a different δ"
+                    )));
+                }
+                existing.attrs.union_in_place(&attrs);
+            }
+            None => {
+                self.paths.insert(id, PathData { shape, attrs });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_path_shape(&self, id: PathId, shape: &PathShape) -> Result<(), GraphError> {
+        for &n in shape.nodes() {
+            if !self.nodes.contains_key(&n) {
+                return Err(GraphError::PathUnknownNode { path: id, node: n });
+            }
+        }
+        for (i, &e) in shape.edges().iter().enumerate() {
+            let Some(data) = self.edges.get(&e) else {
+                return Err(GraphError::PathUnknownEdge { path: id, edge: e });
+            };
+            let a = shape.nodes()[i];
+            let b = shape.nodes()[i + 1];
+            let forward = data.src == a && data.dst == b;
+            let backward = data.src == b && data.dst == a;
+            if !forward && !backward {
+                return Err(GraphError::PathNotConnected {
+                    path: id,
+                    edge: e,
+                    from: a,
+                    to: b,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// The node payload, if `id ∈ N`.
+    pub fn node(&self, id: NodeId) -> Option<&NodeData> {
+        self.nodes.get(&id)
+    }
+
+    /// The edge payload, if `id ∈ E`.
+    pub fn edge(&self, id: EdgeId) -> Option<&EdgeData> {
+        self.edges.get(&id)
+    }
+
+    /// The path payload, if `id ∈ P`.
+    pub fn path(&self, id: PathId) -> Option<&PathData> {
+        self.paths.get(&id)
+    }
+
+    /// True iff `id ∈ N`.
+    pub fn contains_node(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// True iff `id ∈ E`.
+    pub fn contains_edge(&self, id: EdgeId) -> bool {
+        self.edges.contains_key(&id)
+    }
+
+    /// True iff `id ∈ P`.
+    pub fn contains_path(&self, id: PathId) -> bool {
+        self.paths.contains_key(&id)
+    }
+
+    /// ρ(e) = (src, dst).
+    pub fn endpoints(&self, id: EdgeId) -> Option<(NodeId, NodeId)> {
+        self.edges.get(&id).map(|e| (e.src, e.dst))
+    }
+
+    /// The attributes of any element sort, or `None` if absent.
+    pub fn attributes(&self, id: ElementId) -> Option<&Attributes> {
+        match id {
+            ElementId::Node(n) => self.nodes.get(&n).map(|d| &d.attrs),
+            ElementId::Edge(e) => self.edges.get(&e).map(|d| &d.attrs),
+            ElementId::Path(p) => self.paths.get(&p).map(|d| &d.attrs),
+        }
+    }
+
+    /// Mutable attributes of any element sort.
+    pub fn attributes_mut(&mut self, id: ElementId) -> Option<&mut Attributes> {
+        match id {
+            ElementId::Node(n) => self.nodes.get_mut(&n).map(|d| &mut d.attrs),
+            ElementId::Edge(e) => self.edges.get_mut(&e).map(|d| &mut d.attrs),
+            ElementId::Path(p) => self.paths.get_mut(&p).map(|d| &mut d.attrs),
+        }
+    }
+
+    /// λ(x): the labels of an element (empty set when the element is
+    /// absent, which matching treats as a failed lookup upstream).
+    pub fn labels(&self, id: ElementId) -> LabelSet {
+        self.attributes(id).map(|a| a.labels.clone()).unwrap_or_default()
+    }
+
+    /// λ(x) ∋ ℓ.
+    pub fn has_label(&self, id: ElementId, label: Label) -> bool {
+        self.attributes(id).is_some_and(|a| a.labels.contains(label))
+    }
+
+    /// σ(x, k).
+    pub fn prop(&self, id: ElementId, key: Key) -> PropertySet {
+        self.attributes(id).map(|a| a.prop(key)).unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Adjacency
+    // ------------------------------------------------------------------
+
+    /// Edges e with ρ(e) = (node, _), in insertion order.
+    pub fn out_edges(&self, node: NodeId) -> &[EdgeId] {
+        self.out_adj.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Edges e with ρ(e) = (_, node), in insertion order.
+    pub fn in_edges(&self, node: NodeId) -> &[EdgeId] {
+        self.in_adj.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total degree (in + out).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.out_edges(node).len() + self.in_edges(node).len()
+    }
+
+    // ------------------------------------------------------------------
+    // Iteration (deterministic variants sort by identifier)
+    // ------------------------------------------------------------------
+
+    /// |N|.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// |E|.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// |P|.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True for G∅.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.edges.is_empty() && self.paths.is_empty()
+    }
+
+    /// Node identifiers in arbitrary order (fast).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Edge identifiers in arbitrary order (fast).
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.keys().copied()
+    }
+
+    /// Path identifiers in arbitrary order (fast).
+    pub fn path_ids(&self) -> impl Iterator<Item = PathId> + '_ {
+        self.paths.keys().copied()
+    }
+
+    /// Node identifiers sorted ascending — the deterministic order used by
+    /// the matcher and by all exports.
+    pub fn node_ids_sorted(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.nodes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Edge identifiers sorted ascending (deterministic order).
+    pub fn edge_ids_sorted(&self) -> Vec<EdgeId> {
+        let mut v: Vec<EdgeId> = self.edges.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Path identifiers sorted ascending (deterministic order).
+    pub fn path_ids_sorted(&self) -> Vec<PathId> {
+        let mut v: Vec<PathId> = self.paths.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Nodes carrying `label`, sorted by id.
+    pub fn nodes_with_label(&self, label: Label) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|(_, d)| d.attrs.labels.contains(label))
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Edges carrying `label`, sorted by id.
+    pub fn edges_with_label(&self, label: Label) -> Vec<EdgeId> {
+        let mut v: Vec<EdgeId> = self
+            .edges
+            .iter()
+            .filter(|(_, d)| d.attrs.labels.contains(label))
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Paths carrying `label`, sorted by id.
+    pub fn paths_with_label(&self, label: Label) -> Vec<PathId> {
+        let mut v: Vec<PathId> = self
+            .paths
+            .iter()
+            .filter(|(_, d)| d.attrs.labels.contains(label))
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Validation
+    // ------------------------------------------------------------------
+
+    /// Check every well-formedness condition of Definition 2.1. The public
+    /// mutation API maintains these invariants; this is the belt-and-braces
+    /// check used by tests and after bulk operations.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for (&id, e) in &self.edges {
+            if !self.nodes.contains_key(&e.src) {
+                return Err(GraphError::DanglingEdge { edge: id, node: e.src });
+            }
+            if !self.nodes.contains_key(&e.dst) {
+                return Err(GraphError::DanglingEdge { edge: id, node: e.dst });
+            }
+        }
+        for (&id, p) in &self.paths {
+            self.check_path_shape(id, &p.shape)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Structural equality
+    // ------------------------------------------------------------------
+
+    /// Equality of the tuples (N, E, P, ρ, δ, λ, σ). Unlike `==` on the
+    /// struct (which compares hash maps directly and is also fine), this
+    /// reports the first difference for test diagnostics.
+    pub fn same_as(&self, other: &PathPropertyGraph) -> Result<(), String> {
+        if self.node_ids_sorted() != other.node_ids_sorted() {
+            return Err("node sets differ".into());
+        }
+        if self.edge_ids_sorted() != other.edge_ids_sorted() {
+            return Err("edge sets differ".into());
+        }
+        if self.path_ids_sorted() != other.path_ids_sorted() {
+            return Err("path sets differ".into());
+        }
+        for id in self.node_ids_sorted() {
+            if self.nodes[&id] != other.nodes[&id] {
+                return Err(format!("node {id} differs"));
+            }
+        }
+        for id in self.edge_ids_sorted() {
+            if self.edges[&id] != other.edges[&id] {
+                return Err(format!("edge {id} differs"));
+            }
+        }
+        for id in self.path_ids_sorted() {
+            if self.paths[&id] != other.paths[&id] {
+                return Err(format!("path {id} differs"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl PartialEq for PathPropertyGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_as(other).is_ok()
+    }
+}
+
+impl Eq for PathPropertyGraph {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+    fn e(i: u64) -> EdgeId {
+        EdgeId(i)
+    }
+    fn p(i: u64) -> PathId {
+        PathId(i)
+    }
+
+    fn two_node_graph() -> PathPropertyGraph {
+        let mut g = PathPropertyGraph::new();
+        g.add_node(n(1), Attributes::labeled("Person").with_prop("name", "Ann"));
+        g.add_node(n(2), Attributes::labeled("Person"));
+        g.add_edge(e(10), n(1), n(2), Attributes::labeled("knows"))
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn basic_construction_and_lookup() {
+        let g = two_node_graph();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.endpoints(e(10)), Some((n(1), n(2))));
+        assert!(g.has_label(n(1).into(), Label::new("Person")));
+        assert_eq!(
+            g.prop(n(1).into(), Key::new("name")),
+            PropertySet::from("Ann")
+        );
+        assert!(g.prop(n(1).into(), Key::new("missing")).is_empty());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn dangling_edge_rejected() {
+        let mut g = PathPropertyGraph::new();
+        g.add_node(n(1), Attributes::new());
+        let err = g
+            .add_edge(e(10), n(1), n(99), Attributes::new())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::DanglingEdge {
+                edge: e(10),
+                node: n(99)
+            }
+        );
+    }
+
+    #[test]
+    fn reinsert_node_unions_attributes() {
+        let mut g = two_node_graph();
+        g.add_node(n(1), Attributes::labeled("Manager").with_prop("name", "Annie"));
+        let attrs = g.attributes(n(1).into()).unwrap();
+        assert_eq!(attrs.labels.len(), 2);
+        let names = attrs.prop(Key::new("name"));
+        assert_eq!(names.len(), 2); // {"Ann", "Annie"}
+    }
+
+    #[test]
+    fn reinsert_edge_with_other_endpoints_is_identity_conflict() {
+        let mut g = two_node_graph();
+        let err = g
+            .add_edge(e(10), n(2), n(1), Attributes::new())
+            .unwrap_err();
+        assert!(matches!(err, GraphError::IdentityConflict(_)));
+    }
+
+    #[test]
+    fn path_insertion_validates_adjacency() {
+        let mut g = two_node_graph();
+        g.add_node(n(3), Attributes::new());
+        g.add_edge(e(11), n(3), n(2), Attributes::new()).unwrap();
+        // Backward traversal of e11 (2 -> 3) is allowed by Def 2.1 (3)(iii).
+        let shape = PathShape::new(vec![n(1), n(2), n(3)], vec![e(10), e(11)]).unwrap();
+        g.add_path(p(100), shape, Attributes::labeled("route"))
+            .unwrap();
+        g.validate().unwrap();
+
+        // An edge that connects neither direction is rejected.
+        let bad = PathShape::new(vec![n(2), n(1)], vec![e(11)]).unwrap();
+        let err = g.add_path(p(101), bad, Attributes::new()).unwrap_err();
+        assert!(matches!(err, GraphError::PathNotConnected { .. }));
+    }
+
+    #[test]
+    fn path_with_unknown_parts_rejected() {
+        let mut g = two_node_graph();
+        let shape = PathShape::new(vec![n(1), n(9)], vec![e(10)]).unwrap();
+        assert!(matches!(
+            g.add_path(p(1), shape, Attributes::new()),
+            Err(GraphError::PathUnknownNode { .. })
+        ));
+        let shape = PathShape::new(vec![n(1), n(2)], vec![e(99)]).unwrap();
+        assert!(matches!(
+            g.add_path(p(1), shape, Attributes::new()),
+            Err(GraphError::PathUnknownEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn adjacency_lists() {
+        let g = two_node_graph();
+        assert_eq!(g.out_edges(n(1)), &[e(10)]);
+        assert_eq!(g.in_edges(n(2)), &[e(10)]);
+        assert_eq!(g.out_edges(n(2)), &[] as &[EdgeId]);
+        assert_eq!(g.degree(n(1)), 1);
+    }
+
+    #[test]
+    fn multiple_edges_between_same_nodes() {
+        // "The function ρ allows us to have several edges between the same
+        //  pairs of nodes."
+        let mut g = two_node_graph();
+        g.add_edge(e(11), n(1), n(2), Attributes::labeled("likes"))
+            .unwrap();
+        assert_eq!(g.out_edges(n(1)), &[e(10), e(11)]);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn label_indexes_sorted() {
+        let mut g = two_node_graph();
+        g.add_node(n(0), Attributes::labeled("Person"));
+        assert_eq!(g.nodes_with_label(Label::new("Person")), vec![n(0), n(1), n(2)]);
+        assert_eq!(g.edges_with_label(Label::new("knows")), vec![e(10)]);
+    }
+
+    #[test]
+    fn structural_equality() {
+        let a = two_node_graph();
+        let mut b = two_node_graph();
+        assert_eq!(a, b);
+        b.add_node(n(3), Attributes::new());
+        assert_ne!(a, b);
+        assert!(a.same_as(&b).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = PathPropertyGraph::new();
+        assert!(g.is_empty());
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,335 @@
+//! Full-graph set operations — Appendix A.5 of the paper.
+//!
+//! Union, intersection and difference are defined over element
+//! *identities*. Two graphs are **consistent** when every shared edge has
+//! the same endpoints (ρ₁ = ρ₂ on E₁∩E₂) and every shared path the same
+//! δ. The paper defines union/intersection of inconsistent graphs as the
+//! empty PPG; [`union`] and [`intersect`] follow that literally, while the
+//! `try_*` variants surface the conflict to callers who prefer an error.
+
+use crate::error::GraphError;
+use crate::graph::{Attributes, PathPropertyGraph};
+use crate::ids::{EdgeId, PathId};
+
+/// Are `a` and `b` consistent in the sense of §A.5?
+pub fn consistent(a: &PathPropertyGraph, b: &PathPropertyGraph) -> Result<(), GraphError> {
+    // Iterate over the smaller edge set.
+    let (small, large) = if a.edge_count() <= b.edge_count() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    for e in small.edge_ids() {
+        if let (Some(x), Some(y)) = (small.endpoints(e), large.endpoints(e)) {
+            if x != y {
+                return Err(GraphError::IdentityConflict(format!(
+                    "shared edge {e} has endpoints {:?} in one graph and {:?} in the other",
+                    x, y
+                )));
+            }
+        }
+    }
+    let (small, large) = if a.path_count() <= b.path_count() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    for p in small.path_ids() {
+        if let (Some(x), Some(y)) = (small.path(p), large.path(p)) {
+            if x.shape != y.shape {
+                return Err(GraphError::IdentityConflict(format!(
+                    "shared path {p} has different δ in the two graphs"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// G₁ ∪ G₂ per §A.5. Inconsistent inputs yield the **empty PPG**, exactly
+/// as the paper defines. Labels and property sets of shared elements are
+/// unioned.
+pub fn union(a: &PathPropertyGraph, b: &PathPropertyGraph) -> PathPropertyGraph {
+    try_union(a, b).unwrap_or_default()
+}
+
+/// Like [`union`] but reports the inconsistency instead of returning G∅.
+pub fn try_union(
+    a: &PathPropertyGraph,
+    b: &PathPropertyGraph,
+) -> Result<PathPropertyGraph, GraphError> {
+    consistent(a, b)?;
+    let mut out = PathPropertyGraph::new();
+    for g in [a, b] {
+        for id in g.node_ids_sorted() {
+            out.add_node(id, g.node(id).expect("listed id").attrs.clone());
+        }
+    }
+    for g in [a, b] {
+        for id in g.edge_ids_sorted() {
+            let e = g.edge(id).expect("listed id");
+            out.add_edge(id, e.src, e.dst, e.attrs.clone())
+                .expect("endpoints inserted above");
+        }
+    }
+    for g in [a, b] {
+        for id in g.path_ids_sorted() {
+            let p = g.path(id).expect("listed id");
+            out.add_path(id, p.shape.clone(), p.attrs.clone())
+                .expect("constituents inserted above");
+        }
+    }
+    Ok(out)
+}
+
+/// Union of many graphs, left to right (used by CONSTRUCT, which unions
+/// one graph per object construct).
+pub fn union_all<'a, I: IntoIterator<Item = &'a PathPropertyGraph>>(graphs: I) -> PathPropertyGraph {
+    let mut out = PathPropertyGraph::new();
+    for g in graphs {
+        out = union(&out, g);
+    }
+    out
+}
+
+/// G₁ ∩ G₂ per §A.5: shared identities only; labels and property sets
+/// intersect. Inconsistent inputs yield the empty PPG.
+pub fn intersect(a: &PathPropertyGraph, b: &PathPropertyGraph) -> PathPropertyGraph {
+    try_intersect(a, b).unwrap_or_default()
+}
+
+/// Like [`intersect`] but reports inconsistency.
+pub fn try_intersect(
+    a: &PathPropertyGraph,
+    b: &PathPropertyGraph,
+) -> Result<PathPropertyGraph, GraphError> {
+    consistent(a, b)?;
+    let mut out = PathPropertyGraph::new();
+    for id in a.node_ids_sorted() {
+        if let (Some(na), Some(nb)) = (a.node(id), b.node(id)) {
+            out.add_node(id, na.attrs.intersect(&nb.attrs));
+        }
+    }
+    for id in a.edge_ids_sorted() {
+        if let (Some(ea), Some(eb)) = (a.edge(id), b.edge(id)) {
+            // Consistency guarantees equal endpoints; both graphs are
+            // well-formed, so the endpoints are in N₁ ∩ N₂.
+            out.add_edge(id, ea.src, ea.dst, ea.attrs.intersect(&eb.attrs))
+                .expect("endpoints present by well-formedness");
+        }
+    }
+    for id in a.path_ids_sorted() {
+        if let (Some(pa), Some(pb)) = (a.path(id), b.path(id)) {
+            out.add_path(id, pa.shape.clone(), pa.attrs.intersect(&pb.attrs))
+                .expect("constituents present by well-formedness");
+        }
+    }
+    Ok(out)
+}
+
+/// G₁ ∖ G₂ per §A.5:
+/// * N = N₁ ∖ N₂;
+/// * E keeps edges of E₁ ∖ E₂ whose endpoints both survive;
+/// * P keeps paths of P₁ ∖ P₂ fully contained in the surviving N and E;
+/// * λ, σ restrict to the survivors (attributes come from G₁ alone).
+///
+/// Difference never needs the consistency check: all structure is taken
+/// from G₁.
+pub fn difference(a: &PathPropertyGraph, b: &PathPropertyGraph) -> PathPropertyGraph {
+    let mut out = PathPropertyGraph::new();
+    for id in a.node_ids_sorted() {
+        if !b.contains_node(id) {
+            out.add_node(id, a.node(id).expect("listed id").attrs.clone());
+        }
+    }
+    let mut surviving_edges: Vec<EdgeId> = Vec::new();
+    for id in a.edge_ids_sorted() {
+        if b.contains_edge(id) {
+            continue;
+        }
+        let e = a.edge(id).expect("listed id");
+        if out.contains_node(e.src) && out.contains_node(e.dst) {
+            out.add_edge(id, e.src, e.dst, e.attrs.clone())
+                .expect("endpoints checked");
+            surviving_edges.push(id);
+        }
+    }
+    let surviving_paths: Vec<PathId> = a
+        .path_ids_sorted()
+        .into_iter()
+        .filter(|id| !b.contains_path(*id))
+        .collect();
+    for id in surviving_paths {
+        let p = a.path(id).expect("listed id");
+        let nodes_ok = p.shape.nodes().iter().all(|n| out.contains_node(*n));
+        let edges_ok = p.shape.edges().iter().all(|e| out.contains_edge(*e));
+        if nodes_ok && edges_ok {
+            out.add_path(id, p.shape.clone(), p.attrs.clone())
+                .expect("constituents checked");
+        }
+    }
+    out
+}
+
+/// Extract the subgraph induced by a set of paths: every node and edge on
+/// any of the paths, with attributes restricted from `g` (λ|, σ| in the
+/// path-construct semantics of §A.3). Optionally keeps the stored paths
+/// themselves.
+pub fn project_paths(
+    g: &PathPropertyGraph,
+    shapes: &[crate::path::PathShape],
+) -> PathPropertyGraph {
+    let mut out = PathPropertyGraph::new();
+    for shape in shapes {
+        for &n in shape.nodes() {
+            if let Some(data) = g.node(n) {
+                out.add_node(n, data.attrs.clone());
+            } else {
+                out.add_node(n, Attributes::new());
+            }
+        }
+    }
+    for shape in shapes {
+        for &e in shape.edges() {
+            if out.contains_edge(e) {
+                continue;
+            }
+            if let Some(data) = g.edge(e) {
+                out.add_edge(e, data.src, data.dst, data.attrs.clone())
+                    .expect("path nodes inserted above");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Attributes;
+    use crate::ids::NodeId;
+    use crate::path::PathShape;
+    use crate::symbols::Key;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+    fn e(i: u64) -> EdgeId {
+        EdgeId(i)
+    }
+    fn p(i: u64) -> PathId {
+        PathId(i)
+    }
+
+    fn g1() -> PathPropertyGraph {
+        let mut g = PathPropertyGraph::new();
+        g.add_node(n(1), Attributes::labeled("A").with_prop("k", "v1"));
+        g.add_node(n(2), Attributes::labeled("B"));
+        g.add_edge(e(10), n(1), n(2), Attributes::labeled("r")).unwrap();
+        g.add_path(
+            p(100),
+            PathShape::new(vec![n(1), n(2)], vec![e(10)]).unwrap(),
+            Attributes::labeled("pp"),
+        )
+        .unwrap();
+        g
+    }
+
+    fn g2() -> PathPropertyGraph {
+        let mut g = PathPropertyGraph::new();
+        g.add_node(n(2), Attributes::labeled("B").with_prop("k", "v2"));
+        g.add_node(n(3), Attributes::labeled("C"));
+        g.add_edge(e(11), n(2), n(3), Attributes::new()).unwrap();
+        g
+    }
+
+    #[test]
+    fn union_merges_identities_and_attributes() {
+        let u = union(&g1(), &g2());
+        assert_eq!(u.node_count(), 3);
+        assert_eq!(u.edge_count(), 2);
+        assert_eq!(u.path_count(), 1);
+        u.validate().unwrap();
+        // n2 keeps label B once; property k merged from g2 only.
+        assert_eq!(u.prop(n(2).into(), Key::new("k")).len(), 1);
+    }
+
+    #[test]
+    fn union_of_shared_element_unions_property_sets() {
+        let mut a = PathPropertyGraph::new();
+        a.add_node(n(1), Attributes::new().with_prop("k", "x"));
+        let mut b = PathPropertyGraph::new();
+        b.add_node(n(1), Attributes::new().with_prop("k", "y"));
+        let u = union(&a, &b);
+        assert_eq!(u.prop(n(1).into(), Key::new("k")).len(), 2);
+    }
+
+    #[test]
+    fn inconsistent_union_is_empty_graph() {
+        let mut a = PathPropertyGraph::new();
+        a.add_node(n(1), Attributes::new());
+        a.add_node(n(2), Attributes::new());
+        a.add_edge(e(10), n(1), n(2), Attributes::new()).unwrap();
+        let mut b = PathPropertyGraph::new();
+        b.add_node(n(1), Attributes::new());
+        b.add_node(n(2), Attributes::new());
+        b.add_edge(e(10), n(2), n(1), Attributes::new()).unwrap();
+        assert!(union(&a, &b).is_empty());
+        assert!(try_union(&a, &b).is_err());
+        assert!(intersect(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn intersection_keeps_shared_identities_only() {
+        let i = intersect(&g1(), &g2());
+        assert_eq!(i.node_ids_sorted(), vec![n(2)]);
+        assert_eq!(i.edge_count(), 0);
+        assert_eq!(i.path_count(), 0);
+        // g1 has no k on n2, so the intersected property set is empty.
+        assert!(i.prop(n(2).into(), Key::new("k")).is_empty());
+    }
+
+    #[test]
+    fn difference_removes_and_prunes() {
+        let d = difference(&g1(), &g2());
+        // n2 ∈ both, so removed; edge 10 loses an endpoint; path 100 dies.
+        assert_eq!(d.node_ids_sorted(), vec![n(1)]);
+        assert_eq!(d.edge_count(), 0);
+        assert_eq!(d.path_count(), 0);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn difference_with_disjoint_graph_is_identity() {
+        let mut b = PathPropertyGraph::new();
+        b.add_node(n(99), Attributes::new());
+        let d = difference(&g1(), &b);
+        assert_eq!(d, g1());
+    }
+
+    #[test]
+    fn difference_keeps_attrs_from_left_only() {
+        let mut b = PathPropertyGraph::new();
+        b.add_node(n(2), Attributes::new());
+        let d = difference(&g1(), &b);
+        assert_eq!(d.prop(n(1).into(), Key::new("k")), "v1".into());
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent_on_consistent_inputs() {
+        let ab = union(&g1(), &g2());
+        let ba = union(&g2(), &g1());
+        assert_eq!(ab, ba);
+        assert_eq!(union(&g1(), &g1()), g1());
+    }
+
+    #[test]
+    fn project_paths_extracts_induced_subgraph() {
+        let g = g1();
+        let shape = g.path(p(100)).unwrap().shape.clone();
+        let proj = project_paths(&g, &[shape]);
+        assert_eq!(proj.node_count(), 2);
+        assert_eq!(proj.edge_count(), 1);
+        assert_eq!(proj.path_count(), 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Interned label and property-key symbols.
+//!
+//! The paper's `L` (labels) and `K` (property names) are infinite sets of
+//! names; any concrete graph touches only finitely many. We intern them into
+//! `u32` symbols so label tests and property lookups in the hot matching
+//! loops compare integers instead of strings.
+//!
+//! The interner is process-global: a symbol interned once means the same
+//! string everywhere, so graphs, queries and engines can be mixed freely.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned label name (element of `L`), used on nodes, edges and paths.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(u32);
+
+/// An interned property key (element of `K`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(u32);
+
+struct Interner {
+    by_name: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    fn resolve(&self, id: u32) -> String {
+        self.names[id as usize].clone()
+    }
+
+    fn lookup(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+}
+
+fn labels() -> &'static RwLock<Interner> {
+    static LABELS: OnceLock<RwLock<Interner>> = OnceLock::new();
+    LABELS.get_or_init(|| RwLock::new(Interner::new()))
+}
+
+fn keys() -> &'static RwLock<Interner> {
+    static KEYS: OnceLock<RwLock<Interner>> = OnceLock::new();
+    KEYS.get_or_init(|| RwLock::new(Interner::new()))
+}
+
+impl Label {
+    /// Intern `name`, returning its symbol. Idempotent.
+    pub fn new(name: &str) -> Label {
+        Label(labels().write().unwrap().intern(name))
+    }
+
+    /// Look up a label that may or may not have been interned yet.
+    /// Useful to test "does this graph use label X" without polluting the
+    /// interner.
+    pub fn lookup(name: &str) -> Option<Label> {
+        labels().read().unwrap().lookup(name).map(Label)
+    }
+
+    /// The label's textual name.
+    pub fn name(self) -> String {
+        labels().read().unwrap().resolve(self.0)
+    }
+
+    /// Raw symbol number (stable within a process only).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl Key {
+    /// Intern `name`, returning its symbol. Idempotent.
+    pub fn new(name: &str) -> Key {
+        Key(keys().write().unwrap().intern(name))
+    }
+
+    /// Look up a key that may or may not have been interned yet.
+    pub fn lookup(name: &str) -> Option<Key> {
+        keys().read().unwrap().lookup(name).map(Key)
+    }
+
+    /// The key's textual name.
+    pub fn name(self) -> String {
+        keys().read().unwrap().resolve(self.0)
+    }
+
+    /// Raw symbol number (stable within a process only).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ":{}", self.name())
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".{}", self.name())
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::new(s)
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Self {
+        Key::new(s)
+    }
+}
+
+/// A small sorted set of labels, as assigned by the paper's λ function
+/// (λ maps each element to a *finite set* of labels).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct LabelSet {
+    // Sorted, deduplicated. Typically 0–2 entries, so a Vec beats any set.
+    labels: Vec<Label>,
+}
+
+impl LabelSet {
+    /// The empty label set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A singleton set.
+    pub fn single(label: Label) -> Self {
+        LabelSet {
+            labels: vec![label],
+        }
+    }
+
+    /// Insert a label, keeping the set sorted. Returns true if newly added.
+    pub fn insert(&mut self, label: Label) -> bool {
+        match self.labels.binary_search(&label) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.labels.insert(pos, label);
+                true
+            }
+        }
+    }
+
+    /// Remove a label. Returns true if it was present.
+    pub fn remove(&mut self, label: Label) -> bool {
+        match self.labels.binary_search(&label) {
+            Ok(pos) => {
+                self.labels.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Membership test (λ(x) ∋ ℓ).
+    pub fn contains(&self, label: Label) -> bool {
+        self.labels.binary_search(&label).is_ok()
+    }
+
+    /// True when no label is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Iterate in sorted symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = Label> + '_ {
+        self.labels.iter().copied()
+    }
+
+    /// Set union (used by graph union, §A.5).
+    pub fn union(&self, other: &LabelSet) -> LabelSet {
+        let mut out = self.clone();
+        for l in other.iter() {
+            out.insert(l);
+        }
+        out
+    }
+
+    /// Set intersection (used by graph intersection, §A.5).
+    pub fn intersection(&self, other: &LabelSet) -> LabelSet {
+        LabelSet {
+            labels: self
+                .labels
+                .iter()
+                .copied()
+                .filter(|l| other.contains(*l))
+                .collect(),
+        }
+    }
+
+    /// Names of all labels, sorted alphabetically (for display and tests).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.labels.iter().map(|l| l.name()).collect();
+        v.sort();
+        v
+    }
+}
+
+impl FromIterator<Label> for LabelSet {
+    fn from_iter<I: IntoIterator<Item = Label>>(iter: I) -> Self {
+        let mut s = LabelSet::new();
+        for l in iter {
+            s.insert(l);
+        }
+        s
+    }
+}
+
+impl<'a> FromIterator<&'a str> for LabelSet {
+    fn from_iter<I: IntoIterator<Item = &'a str>>(iter: I) -> Self {
+        iter.into_iter().map(Label::new).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Label::new("Person");
+        let b = Label::new("Person");
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "Person");
+    }
+
+    #[test]
+    fn labels_and_keys_are_separate_namespaces() {
+        let l = Label::new("name");
+        let k = Key::new("name");
+        // Same text, but resolved through independent interners.
+        assert_eq!(l.name(), k.name());
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        assert!(Label::lookup("never_used_label_xyzzy").is_none());
+        Label::new("now_used_label_xyzzy");
+        assert!(Label::lookup("now_used_label_xyzzy").is_some());
+    }
+
+    #[test]
+    fn label_set_insert_remove_contains() {
+        let mut s = LabelSet::new();
+        let p = Label::new("Person");
+        let m = Label::new("Manager");
+        assert!(s.insert(p));
+        assert!(!s.insert(p));
+        assert!(s.insert(m));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(p) && s.contains(m));
+        assert!(s.remove(p));
+        assert!(!s.remove(p));
+        assert!(!s.contains(p));
+    }
+
+    #[test]
+    fn label_set_union_intersection() {
+        let a: LabelSet = ["A", "B"].into_iter().collect();
+        let b: LabelSet = ["B", "C"].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        let i = a.intersection(&b);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(Label::new("B")));
+    }
+
+    #[test]
+    fn names_sorted_alphabetically() {
+        let s: LabelSet = ["zeta", "alpha"].into_iter().collect();
+        assert_eq!(s.names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Tabular data for the §5 extensions of G-CORE.
+//!
+//! Section 5 extends the language with `SELECT` (projecting bindings into a
+//! table) and two ways of importing tables (`FROM <table>` and
+//! `MATCH (o) ON <table>`). This module provides the table type shared by
+//! those features, plus a small CSV-style loader so examples can ship data
+//! as plain text without external dependencies.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A named-column table of literal values. `Null` marks absent cells.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// Errors raised by table construction and parsing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TableError {
+    /// A row's arity differs from the header's.
+    RowArity {
+        /// Number of header columns.
+        expected: usize,
+        /// Number of cells in the offending row.
+        got: usize,
+        /// Zero-based row index.
+        row: usize,
+    },
+    /// Two columns share a name.
+    DuplicateColumn(String),
+    /// The CSV text had no header line.
+    MissingHeader,
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::RowArity { expected, got, row } => {
+                write!(f, "row {row} has {got} cells, expected {expected}")
+            }
+            TableError::DuplicateColumn(c) => write!(f, "duplicate column name {c:?}"),
+            TableError::MissingHeader => write!(f, "table text has no header line"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl Table {
+    /// An empty table with the given header.
+    pub fn new<S: Into<String>>(columns: Vec<S>) -> Result<Self, TableError> {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].contains(c) {
+                return Err(TableError::DuplicateColumn(c.clone()));
+            }
+        }
+        Ok(Table {
+            columns,
+            rows: Vec::new(),
+        })
+    }
+
+    /// Append a row; arity-checked.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), TableError> {
+        if row.len() != self.columns.len() {
+            return Err(TableError::RowArity {
+                expected: self.columns.len(),
+                got: row.len(),
+                row: self.rows.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Column names, in order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor.
+    pub fn cell(&self, row: usize, col: &str) -> Option<&Value> {
+        let c = self.column_index(col)?;
+        self.rows.get(row).map(|r| &r[c])
+    }
+
+    /// Sort rows by the total order of values, column by column — gives
+    /// deterministic output for tests and display.
+    pub fn sorted(mut self) -> Self {
+        self.rows.sort();
+        self
+    }
+
+    /// Parse a simple comma-separated text table. The first line is the
+    /// header. Cells are parsed as (in order): empty → `Null`, `true`/
+    /// `false` → bool, integer, float, `YYYY-MM-DD` date, else string.
+    /// Double-quoted cells are always strings and may contain commas.
+    pub fn parse_csv(text: &str) -> Result<Self, TableError> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or(TableError::MissingHeader)?;
+        let mut table = Table::new(split_csv_line(header))?;
+        for line in lines {
+            let cells = split_csv_line(line);
+            let row = cells.into_iter().map(|c| parse_cell(&c)).collect();
+            table.push_row(row)?;
+        }
+        Ok(table)
+    }
+}
+
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut was_quoted = false;
+    let mut chars = line.chars().peekable();
+    while let Some(ch) = chars.next() {
+        match ch {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => {
+                in_quotes = true;
+                was_quoted = true;
+            }
+            ',' if !in_quotes => {
+                cells.push(finish_cell(&mut cur, &mut was_quoted));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    cells.push(finish_cell(&mut cur, &mut was_quoted));
+    cells
+}
+
+fn finish_cell(cur: &mut String, was_quoted: &mut bool) -> String {
+    let cell = if *was_quoted {
+        // Quoted cells keep their text verbatim, marked with a sentinel
+        // prefix so parse_cell skips type inference.
+        format!("\u{1}{cur}")
+    } else {
+        cur.trim().to_string()
+    };
+    cur.clear();
+    *was_quoted = false;
+    cell
+}
+
+fn parse_cell(cell: &str) -> Value {
+    if let Some(text) = cell.strip_prefix('\u{1}') {
+        return Value::str(text);
+    }
+    if cell.is_empty() {
+        return Value::Null;
+    }
+    match cell {
+        "true" | "TRUE" => return Value::Bool(true),
+        "false" | "FALSE" => return Value::Bool(false),
+        _ => {}
+    }
+    if let Ok(i) = cell.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = cell.parse::<f64>() {
+        return Value::Float(f);
+    }
+    if let Some(d) = crate::value::Date::parse(cell) {
+        return Value::Date(d);
+    }
+    Value::str(cell)
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{c:<width$}", width = widths[i])?;
+        }
+        writeln!(f)?;
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-+-")?;
+            }
+            write!(f, "{}", "-".repeat(*w))?;
+        }
+        writeln!(f)?;
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Date;
+
+    #[test]
+    fn build_and_access() {
+        let mut t = Table::new(vec!["custName", "prodCode"]).unwrap();
+        t.push_row(vec![Value::str("Ann"), Value::Int(1)]).unwrap();
+        t.push_row(vec![Value::str("Bob"), Value::Int(2)]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(0, "custName"), Some(&Value::str("Ann")));
+        assert_eq!(t.cell(1, "prodCode"), Some(&Value::Int(2)));
+        assert!(t.cell(0, "nope").is_none());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = Table::new(vec!["a", "b"]).unwrap();
+        let err = t.push_row(vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, TableError::RowArity { expected: 2, got: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        assert!(matches!(
+            Table::new(vec!["a", "a"]),
+            Err(TableError::DuplicateColumn(_))
+        ));
+    }
+
+    #[test]
+    fn csv_type_inference() {
+        let t = Table::parse_csv(
+            "name,age,score,member,joined,note\n\
+             Ann,41,3.5,true,2020-01-02,hello\n\
+             Bob,,,,false,\"quoted, text\"\n",
+        )
+        .unwrap();
+        assert_eq!(t.cell(0, "age"), Some(&Value::Int(41)));
+        assert_eq!(t.cell(0, "score"), Some(&Value::Float(3.5)));
+        assert_eq!(t.cell(0, "member"), Some(&Value::Bool(true)));
+        assert_eq!(
+            t.cell(0, "joined"),
+            Some(&Value::Date(Date::new(2020, 1, 2).unwrap()))
+        );
+        assert_eq!(t.cell(1, "age"), Some(&Value::Null));
+        assert_eq!(t.cell(1, "note"), Some(&Value::str("quoted, text")));
+    }
+
+    #[test]
+    fn quoted_cells_stay_strings() {
+        let t = Table::parse_csv("v\n\"42\"\n").unwrap();
+        assert_eq!(t.cell(0, "v"), Some(&Value::str("42")));
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let mut t = Table::new(vec!["x"]).unwrap();
+        t.push_row(vec![Value::Int(3)]).unwrap();
+        t.push_row(vec![Value::Int(1)]).unwrap();
+        t.push_row(vec![Value::Int(2)]).unwrap();
+        let s = t.sorted();
+        let xs: Vec<i64> = s.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(xs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn display_renders_aligned() {
+        let mut t = Table::new(vec!["name", "n"]).unwrap();
+        t.push_row(vec![Value::str("Ann"), Value::Int(1)]).unwrap();
+        let s = t.to_string();
+        assert!(s.contains("name | n"));
+        assert!(s.contains("Ann"));
+    }
+}

@@ -1,0 +1,332 @@
+//! A deterministic, scale-parameterized generator for the simplified
+//! LDBC SNB schema of **Figure 3**.
+//!
+//! The paper evaluates its guided tour on the LDBC Social Network
+//! Benchmark dataset, whose reference generator (Java/Hadoop) is not
+//! available here. This module substitutes a seeded Rust generator that
+//! produces the same *shape* of data over the simplified schema the
+//! paper prints: `Person` (firstName, lastName, multi-valued employer),
+//! bi-directional `knows` edges, `City`/`isLocatedIn`, `Tag`/
+//! `hasInterest`, `Company`, and `Post`/`Comment` message trees with
+//! `has_creator` and `reply_of` edges. Every feature the guided-tour
+//! queries exercise — multi-valued properties, unemployed persons,
+//! knows-cliques, reply chains, co-located interest groups — appears
+//! with tunable frequency, so scaling experiments run the same engine
+//! code paths as the real benchmark data.
+//!
+//! Determinism: all randomness comes from a [`SmallRng`] seeded from
+//! [`SnbConfig::seed`]; identical configs produce identical graphs
+//! (including identifiers, when drawn from a fresh [`IdGen`]).
+
+use crate::names;
+use gcore_ppg::{
+    Attributes, GraphBuilder, IdGen, NodeId, PathPropertyGraph, PropertySet, Value,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of one generated social network.
+#[derive(Clone, Debug)]
+pub struct SnbConfig {
+    /// Number of Person nodes.
+    pub persons: usize,
+    /// RNG seed; same seed ⇒ same graph.
+    pub seed: u64,
+    /// Average number of knows *pairs* per person (each pair is two
+    /// directed edges, per the Figure 4 caption).
+    pub avg_friends: usize,
+    /// Posts authored per person (expected value).
+    pub posts_per_person: usize,
+    /// Maximum reply-chain length under one post.
+    pub max_comments_per_post: usize,
+    /// Fraction of persons with no employer property, in percent.
+    pub unemployed_pct: u32,
+    /// Fraction of employed persons holding two jobs (multi-valued
+    /// employer), in percent.
+    pub two_jobs_pct: u32,
+}
+
+impl SnbConfig {
+    /// A config with the defaults used throughout the benchmarks.
+    pub fn scale(persons: usize) -> Self {
+        SnbConfig {
+            persons,
+            seed: 0x5eed_c0de,
+            avg_friends: 3,
+            posts_per_person: 2,
+            max_comments_per_post: 3,
+            unemployed_pct: 15,
+            two_jobs_pct: 10,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A generated network plus the handles benchmarks need.
+pub struct SnbData {
+    /// The generated graph.
+    pub graph: PathPropertyGraph,
+    /// All Person nodes, in generation order.
+    pub persons: Vec<NodeId>,
+    /// All City nodes.
+    pub cities: Vec<NodeId>,
+    /// All Tag nodes (`tags[0]` is Wagner).
+    pub tags: Vec<NodeId>,
+    /// All Company nodes in generation order (name order of
+    /// [`names::COMPANIES`], cycled).
+    pub companies: Vec<String>,
+}
+
+/// Generate a network against a shared identifier generator.
+pub fn generate(cfg: &SnbConfig, idgen: &IdGen) -> SnbData {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::new(idgen.clone());
+
+    let n = cfg.persons.max(1);
+    let n_cities = (n / 50).max(2).min(names::CITIES.len() * 4);
+    let n_tags = (n / 20).max(4).min(names::TAGS.len() * 4);
+    let n_companies = (n / 25).max(4).min(names::COMPANIES.len() * 4);
+
+    let indexed = |pool: &[&str], i: usize| -> String {
+        if i < pool.len() {
+            pool[i].to_owned()
+        } else {
+            format!("{}-{}", pool[i % pool.len()], i / pool.len())
+        }
+    };
+
+    // ---- reference data ---------------------------------------------
+    let cities: Vec<NodeId> = (0..n_cities)
+        .map(|i| {
+            b.node(Attributes::labeled("City").with_prop("name", indexed(names::CITIES, i)))
+        })
+        .collect();
+    let tags: Vec<NodeId> = (0..n_tags)
+        .map(|i| b.node(Attributes::labeled("Tag").with_prop("name", indexed(names::TAGS, i))))
+        .collect();
+    let companies: Vec<String> = (0..n_companies)
+        .map(|i| indexed(names::COMPANIES, i))
+        .collect();
+
+    // ---- persons -------------------------------------------------------
+    let mut persons = Vec::with_capacity(n);
+    for i in 0..n {
+        let first = names::FIRST_NAMES[rng.gen_range(0..names::FIRST_NAMES.len())];
+        let last = names::LAST_NAMES[rng.gen_range(0..names::LAST_NAMES.len())];
+        let mut attrs = Attributes::labeled("Person")
+            .with_prop("firstName", first)
+            .with_prop("lastName", last)
+            .with_prop("personId", i as i64);
+        if rng.gen_range(0..100) >= cfg.unemployed_pct {
+            let c1 = companies[rng.gen_range(0..companies.len())].clone();
+            if rng.gen_range(0..100) < cfg.two_jobs_pct {
+                let mut c2 = companies[rng.gen_range(0..companies.len())].clone();
+                if c2 == c1 {
+                    c2 = companies[(companies.iter().position(|c| *c == c1).unwrap() + 1)
+                        % companies.len()]
+                    .clone();
+                }
+                attrs = attrs.with_prop_set(
+                    "employer",
+                    PropertySet::from_values([Value::str(c1), Value::str(c2)]),
+                );
+            } else {
+                attrs = attrs.with_prop("employer", c1);
+            }
+        }
+        persons.push(b.node(attrs));
+    }
+
+    // City and interest attachment. City choice is skewed (Zipf-ish) so
+    // co-location — which the tour's WHERE clauses join on — is common.
+    for &p in &persons {
+        let city = cities[skewed_index(&mut rng, cities.len())];
+        b.edge(p, city, Attributes::labeled("isLocatedIn"));
+        let n_interests = rng.gen_range(1..=3);
+        for _ in 0..n_interests {
+            let tag = tags[skewed_index(&mut rng, tags.len())];
+            b.edge(p, tag, Attributes::labeled("hasInterest"));
+        }
+    }
+
+    // ---- knows edges ------------------------------------------------------
+    // Ring + random chords: guarantees connectivity (so path queries have
+    // answers at every scale) while keeping smallish diameter.
+    let pair = |b: &mut GraphBuilder, x: usize, y: usize| {
+        if x != y {
+            b.edge_bidi(persons[x], persons[y], Attributes::labeled("knows"));
+        }
+    };
+    if n > 1 {
+        for i in 0..n {
+            pair(&mut b, i, (i + 1) % n);
+        }
+        let extra_pairs = n * cfg.avg_friends.saturating_sub(1);
+        for _ in 0..extra_pairs {
+            let x = rng.gen_range(0..n);
+            let y = rng.gen_range(0..n);
+            pair(&mut b, x, y);
+        }
+    }
+
+    // ---- message forest -----------------------------------------------------
+    // Each post starts a reply chain alternating between the author and a
+    // random acquaintance, which is exactly the shape `nr_messages`
+    // aggregates over.
+    for (i, &author) in persons.iter().enumerate() {
+        let n_posts = rng.gen_range(0..=cfg.posts_per_person * 2);
+        for _ in 0..n_posts {
+            let post = b.node(Attributes::labeled("Post").with_prop("length", 40i64));
+            b.edge(post, author, Attributes::labeled("has_creator"));
+            let mut parent = post;
+            let partner = persons[(i + 1 + rng.gen_range(0..n.max(2) - 1)) % n];
+            let chain = rng.gen_range(0..=cfg.max_comments_per_post);
+            for d in 0..chain {
+                let who = if d % 2 == 0 { partner } else { author };
+                let c = b.node(Attributes::labeled("Comment").with_prop("length", 10i64));
+                b.edge(c, who, Attributes::labeled("has_creator"));
+                b.edge(c, parent, Attributes::labeled("reply_of"));
+                parent = c;
+            }
+        }
+    }
+
+    SnbData {
+        graph: b.build(),
+        persons,
+        cities,
+        tags,
+        companies,
+    }
+}
+
+/// Generate with a private identifier generator.
+pub fn generate_standalone(cfg: &SnbConfig) -> SnbData {
+    generate(cfg, &IdGen::new())
+}
+
+/// A skewed (≈ Zipf) index: low indexes are much more likely.
+fn skewed_index(rng: &mut SmallRng, len: usize) -> usize {
+    debug_assert!(len > 0);
+    let u: f64 = rng.gen_range(0.0..1.0f64);
+    let idx = (len as f64 * u * u) as usize;
+    idx.min(len - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcore_ppg::Label;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = generate_standalone(&SnbConfig::scale(200));
+        let b = generate_standalone(&SnbConfig::scale(200));
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_standalone(&SnbConfig::scale(200));
+        let b = generate_standalone(&SnbConfig::scale(200).with_seed(42));
+        assert_ne!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn person_count_matches_config() {
+        let d = generate_standalone(&SnbConfig::scale(150));
+        assert_eq!(d.persons.len(), 150);
+        assert_eq!(
+            d.graph.nodes_with_label(Label::new("Person")).len(),
+            150
+        );
+    }
+
+    #[test]
+    fn knows_edges_come_in_mirrored_pairs() {
+        let d = generate_standalone(&SnbConfig::scale(80));
+        let g = &d.graph;
+        let knows = g.edges_with_label(Label::new("knows"));
+        assert!(!knows.is_empty());
+        assert_eq!(knows.len() % 2, 0);
+        for e in knows {
+            let (s, t) = g.endpoints(e).unwrap();
+            let mirrored = g
+                .out_edges(t)
+                .iter()
+                .any(|&e2| g.endpoints(e2) == Some((t, s))
+                    && g.has_label(e2.into(), Label::new("knows")));
+            assert!(mirrored);
+        }
+    }
+
+    #[test]
+    fn knows_graph_is_connected() {
+        let d = generate_standalone(&SnbConfig::scale(120));
+        let g = &d.graph;
+        // BFS over knows edges from person 0 must reach every person.
+        let mut seen = vec![d.persons[0]];
+        let mut queue = vec![d.persons[0]];
+        while let Some(p) = queue.pop() {
+            for &e in g.out_edges(p) {
+                if !g.has_label(e.into(), Label::new("knows")) {
+                    continue;
+                }
+                let (_, t) = g.endpoints(e).unwrap();
+                if !seen.contains(&t) {
+                    seen.push(t);
+                    queue.push(t);
+                }
+            }
+        }
+        assert_eq!(seen.len(), d.persons.len());
+    }
+
+    #[test]
+    fn some_persons_are_unemployed_and_some_hold_two_jobs() {
+        let d = generate_standalone(&SnbConfig::scale(300));
+        let g = &d.graph;
+        let key = gcore_ppg::Key::new("employer");
+        let mut none = 0;
+        let mut multi = 0;
+        for &p in &d.persons {
+            match g.prop(p.into(), key).len() {
+                0 => none += 1,
+                2 => multi += 1,
+                _ => {}
+            }
+        }
+        assert!(none > 0, "expected unemployed persons");
+        assert!(multi > 0, "expected multi-valued employers");
+    }
+
+    #[test]
+    fn messages_form_reply_trees() {
+        let d = generate_standalone(&SnbConfig::scale(60));
+        let g = &d.graph;
+        let comments = g.nodes_with_label(Label::new("Comment"));
+        assert!(!comments.is_empty());
+        for c in comments {
+            let replies: Vec<_> = g
+                .out_edges(c)
+                .iter()
+                .filter(|&&e| g.has_label(e.into(), Label::new("reply_of")))
+                .collect();
+            assert_eq!(replies.len(), 1, "each comment replies to one parent");
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn scaling_grows_linearly() {
+        let small = generate_standalone(&SnbConfig::scale(100));
+        let large = generate_standalone(&SnbConfig::scale(400));
+        let ratio = large.graph.node_count() as f64 / small.graph.node_count() as f64;
+        assert!((2.5..6.0).contains(&ratio), "ratio {ratio} out of range");
+    }
+}

@@ -1,0 +1,31 @@
+//! # gcore-snb — LDBC SNB-style datasets for the G-CORE reproduction
+//!
+//! Three data sources, all deterministic:
+//!
+//! * [`figure2`] — the paper's Figure 2 / Example 2.2 toy PPG with its
+//!   literal identifiers (101–106, 201–207, 301);
+//! * [`social_graph`] — the Figure 4 `social_graph` + `company_graph`
+//!   instance every guided-tour query of §3 runs on;
+//! * [`generator`] — a seeded, scale-parameterized generator for the
+//!   simplified SNB schema of Figure 3, used by the scaling benchmarks.
+//!
+//! ```
+//! use gcore_snb::{social_dataset_standalone, SnbConfig};
+//!
+//! let d = social_dataset_standalone();
+//! assert_eq!(d.social_graph.nodes_with_label("Person".into()).len(), 5);
+//!
+//! let big = gcore_snb::generate_standalone(&SnbConfig::scale(1000));
+//! assert_eq!(big.persons.len(), 1000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod figure2;
+pub mod generator;
+pub mod names;
+pub mod social_graph;
+
+pub use figure2::{figure2, figure2_standalone};
+pub use generator::{generate, generate_standalone, SnbConfig, SnbData};
+pub use social_graph::{social_dataset, social_dataset_standalone, SocialDataset};

@@ -1,0 +1,283 @@
+//! The toy LDBC-SNB instance of **Figure 4** (`social_graph`) plus the
+//! auxiliary `company_graph` of the multi-graph examples.
+//!
+//! The guided tour of §3 pins down the instance:
+//!
+//! * five persons — John Doe and Alice (employer `Acme`), Celine
+//!   (employer `HAL`), Frank Gold (multi-valued employer `{CWI, MIT}`)
+//!   and Peter (unemployed: no `employer` property at all);
+//! * `knows` edges are **bi-directional pairs** (the figure caption);
+//! * two Wagner lovers live in John's city and are reachable from John
+//!   only via Peter, so that the expert-finding query produces exactly
+//!   one `wagnerFriend` edge John→Peter with `score = 2`;
+//! * a `Post`/`Comment` thread structure whose per-pair direct-reply
+//!   counts give Figure 5's `nr_messages`: John↔Peter = 3,
+//!   Peter↔Frank = 2, Peter↔Celine = 1, John↔Alice = 0;
+//! * `company_graph` contains unconnected Company nodes for Acme, HAL,
+//!   CWI and MIT.
+//!
+//! Message/city identifiers that the paper leaves implicit are assigned
+//! by the builder; tests address persons by name, never by raw id.
+
+use gcore_ppg::{Attributes, GraphBuilder, IdGen, NodeId, PathPropertyGraph, PropertySet, Table, Value};
+
+/// The Figure 4 dataset: `social_graph`, `company_graph`, and the node
+/// ids of every named element (for direct assertions in tests).
+pub struct SocialDataset {
+    /// The main graph of Figure 4.
+    pub social_graph: PathPropertyGraph,
+    /// The unconnected company nodes used by the data-integration tour.
+    pub company_graph: PathPropertyGraph,
+    /// The §5 `orders` table (customer names × product codes).
+    pub orders: Table,
+    /// John Doe.
+    pub john: NodeId,
+    /// Peter (unemployed; the hub towards the Wagner lovers).
+    pub peter: NodeId,
+    /// Alice (works at Acme).
+    pub alice: NodeId,
+    /// Celine (works at HAL; Wagner lover).
+    pub celine: NodeId,
+    /// Frank Gold (works at CWI and MIT; Wagner lover).
+    pub frank: NodeId,
+    /// The city everyone but Alice lives in.
+    pub houston: NodeId,
+    /// Alice's city.
+    pub austin: NodeId,
+    /// The `:Tag {name: 'Wagner'}` node.
+    pub wagner: NodeId,
+    /// Company nodes in `company_graph`: Acme, HAL, CWI, MIT.
+    pub companies: [NodeId; 4],
+}
+
+/// Build the Figure 4 dataset against a shared identifier generator.
+pub fn social_dataset(idgen: &IdGen) -> SocialDataset {
+    let mut b = GraphBuilder::new(idgen.clone());
+
+    // ---- persons -----------------------------------------------------
+    let john = b.node(
+        Attributes::labeled("Person")
+            .with_prop("firstName", "John")
+            .with_prop("lastName", "Doe")
+            .with_prop("employer", "Acme"),
+    );
+    let peter = b.node(
+        Attributes::labeled("Person")
+            .with_prop("firstName", "Peter")
+            .with_prop("lastName", "Smith"),
+        // no employer property: Peter is unemployed (§3).
+    );
+    let alice = b.node(
+        Attributes::labeled("Person")
+            .with_prop("firstName", "Alice")
+            .with_prop("lastName", "Bishop")
+            .with_prop("employer", "Acme"),
+    );
+    let celine = b.node(
+        Attributes::labeled("Person")
+            .with_prop("firstName", "Celine")
+            .with_prop("lastName", "Mayer")
+            .with_prop("employer", "HAL"),
+    );
+    let frank = b.node(
+        Attributes::labeled("Person")
+            .with_prop("firstName", "Frank")
+            .with_prop("lastName", "Gold")
+            .with_prop_set(
+                "employer",
+                PropertySet::from_values([Value::str("CWI"), Value::str("MIT")]),
+            ),
+    );
+
+    // ---- places and tags ----------------------------------------------
+    let houston = b.node(Attributes::labeled("City").with_prop("name", "Houston"));
+    let austin = b.node(Attributes::labeled("City").with_prop("name", "Austin"));
+    let wagner = b.node(Attributes::labeled("Tag").with_prop("name", "Wagner"));
+    let mozart = b.node(Attributes::labeled("Tag").with_prop("name", "Mozart"));
+
+    for p in [john, peter, celine, frank] {
+        b.edge(p, houston, Attributes::labeled("isLocatedIn"));
+    }
+    b.edge(alice, austin, Attributes::labeled("isLocatedIn"));
+
+    // The two Wagner lovers; Alice likes Mozart (none of John's direct
+    // friends likes Wagner).
+    b.edge(celine, wagner, Attributes::labeled("hasInterest"));
+    b.edge(frank, wagner, Attributes::labeled("hasInterest"));
+    b.edge(alice, mozart, Attributes::labeled("hasInterest"));
+
+    // ---- the knows topology (bi-directional pairs) ---------------------
+    b.edge_bidi(john, peter, Attributes::labeled("knows"));
+    b.edge_bidi(john, alice, Attributes::labeled("knows"));
+    b.edge_bidi(peter, frank, Attributes::labeled("knows"));
+    b.edge_bidi(peter, celine, Attributes::labeled("knows"));
+
+    // ---- message threads ------------------------------------------------
+    // nr_messages counts direct reply links between a pair's messages
+    // (in either direction), so:
+    //   John ↔ Peter : P1←C1←C2←C3            → 3 links
+    //   Peter ↔ Frank: P2←C4←C5               → 2 links
+    //   Peter ↔ Celine: P3←C6                 → 1 link
+    //   John ↔ Alice : —                      → 0 (OPTIONAL ⇒ 0)
+    let msg = |b: &mut GraphBuilder, label: &str, creator: NodeId, content: &str| {
+        let m = b.node(Attributes::labeled(label).with_prop("content", content));
+        b.edge(m, creator, Attributes::labeled("has_creator"));
+        m
+    };
+    let reply = |b: &mut GraphBuilder, child: NodeId, parent: NodeId| {
+        b.edge(child, parent, Attributes::labeled("reply_of"));
+    };
+
+    let p1 = msg(&mut b, "Post", john, "Anyone up for the opera?");
+    let c1 = msg(&mut b, "Comment", peter, "Which one?");
+    let c2 = msg(&mut b, "Comment", john, "Tannhäuser!");
+    let c3 = msg(&mut b, "Comment", peter, "Ask Frank or Celine.");
+    reply(&mut b, c1, p1);
+    reply(&mut b, c2, c1);
+    reply(&mut b, c3, c2);
+
+    let p2 = msg(&mut b, "Post", peter, "Weekend plans?");
+    let c4 = msg(&mut b, "Comment", frank, "Concert hall, as always.");
+    let c5 = msg(&mut b, "Comment", peter, "Count me in.");
+    reply(&mut b, c4, p2);
+    reply(&mut b, c5, c4);
+
+    let p3 = msg(&mut b, "Post", celine, "New production of the Ring cycle!");
+    let c6 = msg(&mut b, "Comment", peter, "Celine, you have to go.");
+    reply(&mut b, c6, p3);
+
+    let social_graph = b.build();
+
+    // ---- company_graph ---------------------------------------------------
+    let mut cb = GraphBuilder::new(idgen.clone());
+    let companies = ["Acme", "HAL", "CWI", "MIT"]
+        .map(|name| cb.node(Attributes::labeled("Company").with_prop("name", name)));
+    let company_graph = cb.build();
+
+    // ---- the §5 orders table ---------------------------------------------
+    let mut orders = Table::new(vec!["custName", "prodCode"]).expect("distinct columns");
+    for (cust, prod) in [
+        ("Ann", "P-100"),
+        ("Ann", "P-200"),
+        ("Bob", "P-100"),
+        ("Cleo", "P-300"),
+        ("Cleo", "P-300"), // duplicate order rows collapse per GROUP
+    ] {
+        orders
+            .push_row(vec![Value::str(cust), Value::str(prod)])
+            .expect("row arity");
+    }
+
+    SocialDataset {
+        social_graph,
+        company_graph,
+        orders,
+        john,
+        peter,
+        alice,
+        celine,
+        frank,
+        houston,
+        austin,
+        wagner,
+        companies,
+    }
+}
+
+/// Convenience: the dataset with a private id generator.
+pub fn social_dataset_standalone() -> SocialDataset {
+    social_dataset(&IdGen::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcore_ppg::{Key, Label};
+
+    #[test]
+    fn five_persons_with_paper_employers() {
+        let d = social_dataset_standalone();
+        let g = &d.social_graph;
+        assert_eq!(g.nodes_with_label(Label::new("Person")).len(), 5);
+        assert_eq!(
+            g.prop(d.john.into(), Key::new("employer")),
+            "Acme".into()
+        );
+        assert!(g.prop(d.peter.into(), Key::new("employer")).is_empty());
+        let frank_emp = g.prop(d.frank.into(), Key::new("employer"));
+        assert_eq!(frank_emp.len(), 2);
+        assert!(frank_emp.contains(&Value::str("CWI")));
+        assert!(frank_emp.contains(&Value::str("MIT")));
+    }
+
+    #[test]
+    fn knows_edges_are_bidirectional_pairs() {
+        let d = social_dataset_standalone();
+        let g = &d.social_graph;
+        let knows = g.edges_with_label(Label::new("knows"));
+        assert_eq!(knows.len(), 8); // 4 pairs × 2 directions
+        for e in knows {
+            let (s, t) = g.endpoints(e).unwrap();
+            let reverse = g
+                .edges_with_label(Label::new("knows"))
+                .into_iter()
+                .any(|e2| g.endpoints(e2) == Some((t, s)));
+            assert!(reverse, "every knows edge has its mirror");
+        }
+    }
+
+    #[test]
+    fn wagner_lovers_live_in_johns_city() {
+        let d = social_dataset_standalone();
+        let g = &d.social_graph;
+        for lover in [d.celine, d.frank] {
+            let has_interest = g.out_edges(lover).iter().any(|&e| {
+                g.has_label(e.into(), Label::new("hasInterest"))
+                    && g.endpoints(e).unwrap().1 == d.wagner
+            });
+            assert!(has_interest);
+            let in_houston = g.out_edges(lover).iter().any(|&e| {
+                g.has_label(e.into(), Label::new("isLocatedIn"))
+                    && g.endpoints(e).unwrap().1 == d.houston
+            });
+            assert!(in_houston);
+        }
+        // John's direct friends (Peter, Alice) do not like Wagner.
+        for friend in [d.peter, d.alice] {
+            let likes_wagner = g.out_edges(friend).iter().any(|&e| {
+                g.has_label(e.into(), Label::new("hasInterest"))
+                    && g.endpoints(e).unwrap().1 == d.wagner
+            });
+            assert!(!likes_wagner);
+        }
+    }
+
+    #[test]
+    fn company_graph_is_unconnected() {
+        let d = social_dataset_standalone();
+        assert_eq!(d.company_graph.node_count(), 4);
+        assert_eq!(d.company_graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn ids_disjoint_across_graphs() {
+        let d = social_dataset_standalone();
+        for n in d.company_graph.node_ids() {
+            assert!(!d.social_graph.contains_node(n));
+        }
+    }
+
+    #[test]
+    fn orders_table_shape() {
+        let d = social_dataset_standalone();
+        assert_eq!(d.orders.columns(), &["custName", "prodCode"]);
+        assert_eq!(d.orders.len(), 5);
+    }
+
+    #[test]
+    fn graphs_validate() {
+        let d = social_dataset_standalone();
+        d.social_graph.validate().unwrap();
+        d.company_graph.validate().unwrap();
+    }
+}

@@ -1,0 +1,23 @@
+//! Facade crate for the G-CORE reproduction workspace.
+//!
+//! Re-exports the public APIs of the member crates so examples and
+//! integration tests can depend on a single package:
+//!
+//! - [`ppg`] — the Path Property Graph data model (§2 of the paper)
+//! - [`parser`] — the G-CORE concrete syntax (lexer, AST, parser)
+//! - [`engine`] — the query engine implementing the formal semantics (§4, §A)
+//! - [`snb`] — the LDBC SNB-style datasets and generator (Figures 2–4)
+//!
+//! and hosts the paper's query corpus plus the Table 1 feature detector:
+//!
+//! - [`corpus`] — every §3/§5 example query, executable, with paper line
+//!   numbers;
+//! - [`features`] — static feature detection over parsed queries.
+
+pub use gcore as engine;
+pub use gcore_parser as parser;
+pub use gcore_ppg as ppg;
+pub use gcore_snb as snb;
+
+pub mod corpus;
+pub mod features;

@@ -1,0 +1,92 @@
+//! Shared setup for the integration tests: an engine loaded with the
+//! paper's toy datasets (Figures 2 and 4).
+
+use gcore_repro::engine::Engine;
+use gcore_repro::ppg::{Key, Label, NodeId, PathPropertyGraph, Value};
+use gcore_repro::snb::{figure2, social_dataset};
+
+/// The guided-tour fixture: engine + the named node identities.
+// Each integration test uses a different subset of the handles.
+#[allow(dead_code)]
+pub struct Tour {
+    pub engine: Engine,
+    pub john: NodeId,
+    pub peter: NodeId,
+    pub alice: NodeId,
+    pub celine: NodeId,
+    pub frank: NodeId,
+    pub houston: NodeId,
+    pub wagner: NodeId,
+}
+
+/// An engine with `social_graph` (default), `company_graph`, the
+/// `orders` table and the Figure 2 graph registered.
+pub fn tour() -> Tour {
+    let mut engine = Engine::new();
+    let ids = engine.catalog().ids().clone();
+    let d = gcore_repro::snb::social_dataset(&ids);
+    let fig2 = figure2(&ids);
+    engine.register_graph("social_graph", d.social_graph);
+    engine.register_graph("company_graph", d.company_graph);
+    engine.register_graph("figure2", fig2);
+    engine.register_table("orders", d.orders);
+    engine.set_default_graph("social_graph");
+    Tour {
+        engine,
+        john: d.john,
+        peter: d.peter,
+        alice: d.alice,
+        celine: d.celine,
+        frank: d.frank,
+        houston: d.houston,
+        wagner: d.wagner,
+    }
+}
+
+/// Re-export for tests that only need the dataset, not an engine.
+#[allow(dead_code)]
+pub fn dataset() -> gcore_repro::snb::SocialDataset {
+    social_dataset(&gcore_repro::ppg::IdGen::new())
+}
+
+/// The persons (by id) present in a result graph.
+#[allow(dead_code)]
+pub fn person_ids(g: &PathPropertyGraph) -> Vec<NodeId> {
+    g.nodes_with_label(Label::new("Person"))
+}
+
+/// First names of the persons in a result graph, sorted.
+#[allow(dead_code)]
+pub fn first_names(g: &PathPropertyGraph) -> Vec<String> {
+    let mut names: Vec<String> = g
+        .nodes_with_label(Label::new("Person"))
+        .into_iter()
+        .filter_map(|n| {
+            g.prop(n.into(), Key::new("firstName"))
+                .as_singleton()
+                .and_then(|v| v.as_str().map(str::to_owned))
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+/// Singleton string property of an element.
+#[allow(dead_code)]
+pub fn str_prop(g: &PathPropertyGraph, id: NodeId, key: &str) -> Option<String> {
+    g.prop(id.into(), Key::new(key))
+        .as_singleton()
+        .and_then(|v| v.as_str().map(str::to_owned))
+}
+
+/// Singleton int property of an element id (any sort).
+#[allow(dead_code)]
+pub fn int_prop(
+    g: &PathPropertyGraph,
+    id: impl Into<gcore_repro::ppg::ElementId>,
+    key: &str,
+) -> Option<i64> {
+    g.prop(id.into(), Key::new(key))
+        .as_singleton()
+        .and_then(Value::as_int)
+}

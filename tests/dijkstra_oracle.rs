@@ -1,0 +1,154 @@
+//! Differential test: weighted shortest paths through a PATH view
+//! (product-graph Dijkstra) against a Floyd–Warshall oracle on random
+//! weighted graphs.
+
+use gcore_repro::engine::Engine;
+use gcore_repro::ppg::{Attributes, NodeId, PathPropertyGraph, Value};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct WeightedSpec {
+    nodes: usize,
+    /// (src, dst, weight in 1..=9)
+    edges: Vec<(usize, usize, i64)>,
+}
+
+fn weighted_spec() -> impl Strategy<Value = WeightedSpec> {
+    (2usize..8).prop_flat_map(|nodes| {
+        prop::collection::vec((0..nodes, 0..nodes, 1i64..10), 1..20)
+            .prop_map(move |edges| WeightedSpec { nodes, edges })
+    })
+}
+
+fn build(spec: &WeightedSpec) -> PathPropertyGraph {
+    let mut g = PathPropertyGraph::new();
+    for i in 0..spec.nodes {
+        g.add_node(
+            NodeId(i as u64),
+            Attributes::labeled("N").with_prop("idx", i as i64),
+        );
+    }
+    for (k, &(s, d, w)) in spec.edges.iter().enumerate() {
+        g.add_edge(
+            gcore_repro::ppg::EdgeId(100 + k as u64),
+            NodeId(s as u64),
+            NodeId(d as u64),
+            Attributes::labeled("hop").with_prop("w", w),
+        )
+        .expect("endpoints exist");
+    }
+    g
+}
+
+/// All-pairs shortest distances over the directed weighted graph
+/// (self-distance 0 — the Kleene star admits the empty walk).
+fn floyd_warshall(spec: &WeightedSpec) -> Vec<Vec<Option<f64>>> {
+    let n = spec.nodes;
+    let mut d = vec![vec![None::<f64>; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = Some(0.0);
+    }
+    for &(s, t, w) in &spec.edges {
+        if s != t || w == 0 {
+            // self-loops still allowed; min below handles them
+        }
+        let w = w as f64;
+        if d[s][t].is_none_or(|cur| w < cur) {
+            d[s][t] = Some(w);
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if let (Some(a), Some(b)) = (d[i][k], d[k][j]) {
+                    if d[i][j].is_none_or(|cur| a + b < cur) {
+                        d[i][j] = Some(a + b);
+                    }
+                }
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn weighted_shortest_costs_match_floyd_warshall(spec in weighted_spec()) {
+        let mut engine = Engine::new();
+        let g = build(&spec);
+        engine.register_graph("g", g);
+        engine.set_default_graph("g");
+
+        // One weighted path view over the `hop` edges, cost = the edge's
+        // own `w` property.
+        let table = engine
+            .query_table(
+                "PATH step = (x)-[e:hop]->(y) COST e.w \
+                 SELECT n.idx AS src, m.idx AS dst, c AS cost \
+                 MATCH (n)-/p <~step*> COST c/->(m)",
+            )
+            .unwrap();
+
+        let oracle = floyd_warshall(&spec);
+        // Every reported (src, dst, cost) matches the oracle …
+        let mut reported = vec![vec![None::<f64>; spec.nodes]; spec.nodes];
+        for row in table.rows() {
+            let s = row[0].as_int().unwrap() as usize;
+            let t = row[1].as_int().unwrap() as usize;
+            let c = match &row[2] {
+                Value::Float(f) => *f,
+                Value::Int(i) => *i as f64,
+                other => panic!("unexpected cost {other:?}"),
+            };
+            reported[s][t] = Some(c);
+        }
+        for s in 0..spec.nodes {
+            for t in 0..spec.nodes {
+                match (reported[s][t], oracle[s][t]) {
+                    (Some(got), Some(want)) => {
+                        prop_assert!(
+                            (got - want).abs() < 1e-9,
+                            "cost {s}→{t}: engine {got}, oracle {want}"
+                        );
+                    }
+                    (None, None) => {}
+                    (got, want) => {
+                        prop_assert!(
+                            false,
+                            "reachability {s}→{t} disagrees: engine {got:?}, oracle {want:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hop_count_equals_unit_weight_dijkstra(spec in weighted_spec()) {
+        // With COST omitted the default is hop count (paper §3): compare
+        // against the same oracle with all weights 1.
+        let mut engine = Engine::new();
+        let g = build(&spec);
+        engine.register_graph("g", g);
+        engine.set_default_graph("g");
+        let table = engine
+            .query_table(
+                "SELECT n.idx AS src, m.idx AS dst, c AS cost \
+                 MATCH (n)-/p <:hop*> COST c/->(m)",
+            )
+            .unwrap();
+        let unit = WeightedSpec {
+            nodes: spec.nodes,
+            edges: spec.edges.iter().map(|&(s, d, _)| (s, d, 1)).collect(),
+        };
+        let oracle = floyd_warshall(&unit);
+        for row in table.rows() {
+            let s = row[0].as_int().unwrap() as usize;
+            let t = row[1].as_int().unwrap() as usize;
+            let c = row[2].as_int().unwrap_or_else(|| panic!("int cost")) as f64;
+            prop_assert_eq!(Some(c), oracle[s][t]);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Edge-case behaviours of the matcher and path machinery: undirected
+//! patterns, self-loops, parallel edges, exact k-shortest enumeration,
+//! and the homomorphism semantics of §3/§6.
+
+mod common;
+
+use common::tour;
+use gcore_repro::engine::Engine;
+use gcore_repro::ppg::{to_dot, to_text, Attributes, GraphBuilder, Label, Value};
+
+/// A fresh engine around a hand-built graph.
+fn engine_with(build: impl FnOnce(&mut GraphBuilder)) -> Engine {
+    let mut engine = Engine::new();
+    let mut b = GraphBuilder::new(engine.catalog().ids().clone());
+    build(&mut b);
+    engine.register_graph("g", b.build());
+    engine.set_default_graph("g");
+    engine
+}
+
+#[test]
+fn undirected_edge_patterns_match_both_directions() {
+    let mut engine = engine_with(|b| {
+        let x = b.node(Attributes::labeled("N").with_prop("name", "x"));
+        let y = b.node(Attributes::labeled("N").with_prop("name", "y"));
+        b.edge(x, y, Attributes::labeled("rel"));
+    });
+    // Directed out: only x→y.
+    let out = engine
+        .query_table("SELECT a.name AS f MATCH (a)-[:rel]->(b)")
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rows()[0][0], Value::str("x"));
+    // Undirected: both orientations bind.
+    let undirected = engine
+        .query_table("SELECT a.name AS f MATCH (a)-[:rel]-(b)")
+        .unwrap();
+    assert_eq!(undirected.len(), 2);
+}
+
+#[test]
+fn self_loops_match_and_are_walkable() {
+    let mut engine = engine_with(|b| {
+        let x = b.node(Attributes::labeled("N").with_prop("name", "x"));
+        b.edge(x, x, Attributes::labeled("rel"));
+    });
+    // Homomorphism: (a)-[e]->(b) binds a = b = x.
+    let t = engine
+        .query_table("SELECT a AS a, b AS b MATCH (a)-[:rel]->(b)")
+        .unwrap();
+    assert_eq!(t.len(), 1);
+    assert_eq!(t.rows()[0][0], t.rows()[0][1]);
+    // The loop is usable by path search without diverging.
+    let g = engine
+        .query_graph("CONSTRUCT (a)-/@p:sp/->(b) MATCH (a)-/p <:rel*>/->(b)")
+        .unwrap();
+    assert!(g.path_count() >= 1);
+}
+
+#[test]
+fn parallel_edges_bind_separately() {
+    let mut engine = engine_with(|b| {
+        let x = b.node(Attributes::labeled("N"));
+        let y = b.node(Attributes::labeled("N"));
+        b.edge(x, y, Attributes::labeled("rel").with_prop("w", 1i64));
+        b.edge(x, y, Attributes::labeled("rel").with_prop("w", 2i64));
+    });
+    let t = engine
+        .query_table("SELECT e.w AS w MATCH (a)-[e:rel]->(b) ORDER BY w")
+        .unwrap();
+    assert_eq!(t.len(), 2);
+    assert_eq!(t.rows()[0][0], Value::Int(1));
+    assert_eq!(t.rows()[1][0], Value::Int(2));
+}
+
+#[test]
+fn k_shortest_enumerates_walks_in_cost_order() {
+    // Diamond: two 2-hop routes s→m1→t and s→m2→t plus a 1-hop chord.
+    let mut engine = engine_with(|b| {
+        let s = b.node(Attributes::labeled("N").with_prop("name", "s"));
+        let m1 = b.node(Attributes::labeled("N").with_prop("name", "m1"));
+        let m2 = b.node(Attributes::labeled("N").with_prop("name", "m2"));
+        let t = b.node(Attributes::labeled("N").with_prop("name", "t"));
+        b.edge(s, t, Attributes::labeled("rel"));
+        b.edge(s, m1, Attributes::labeled("rel"));
+        b.edge(m1, t, Attributes::labeled("rel"));
+        b.edge(s, m2, Attributes::labeled("rel"));
+        b.edge(m2, t, Attributes::labeled("rel"));
+    });
+    let g = engine
+        .query_graph(
+            "CONSTRUCT (a)-/@p:route {hops := c}/->(b) \
+             MATCH (a)-/3 SHORTEST p <:rel*> COST c/->(b) \
+             WHERE a.name = 's' AND b.name = 't'",
+        )
+        .unwrap();
+    // 3 shortest walks s→t: lengths 1, 2, 2.
+    let mut hops: Vec<i64> = g
+        .path_ids_sorted()
+        .iter()
+        .map(|&p| g.path(p).unwrap().shape.length() as i64)
+        .collect();
+    hops.sort_unstable();
+    assert_eq!(hops, vec![1, 2, 2]);
+}
+
+#[test]
+fn shortest_is_deterministic_among_ties() {
+    // Two equal-cost shortest paths: the engine must pick the same one
+    // every time (fixed identifier-lexicographic tie-break, §A.1 fn 4).
+    let run = || {
+        let mut engine = engine_with(|b| {
+            let s = b.node(Attributes::labeled("N").with_prop("name", "s"));
+            let m1 = b.node(Attributes::labeled("N"));
+            let m2 = b.node(Attributes::labeled("N"));
+            let t = b.node(Attributes::labeled("N").with_prop("name", "t"));
+            for (a, c) in [(s, m1), (m1, t), (s, m2), (m2, t)] {
+                b.edge(a, c, Attributes::labeled("rel"));
+            }
+        });
+        let g = engine
+            .query_graph(
+                "CONSTRUCT (a)-/@p:sp/->(b) MATCH (a)-/p <:rel*>/->(b) \
+                 WHERE a.name = 's' AND b.name = 't'",
+            )
+            .unwrap();
+        let p = g.path_ids_sorted()[0];
+        g.path(p).unwrap().shape.interleaved()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn homomorphism_allows_repeated_elements() {
+    // §6: "no restrictions are imposed during matching" — the same edge
+    // may bind two different variables.
+    let mut engine = engine_with(|b| {
+        let x = b.node(Attributes::labeled("N"));
+        let y = b.node(Attributes::labeled("N"));
+        b.edge(x, y, Attributes::labeled("rel"));
+    });
+    let t = engine
+        .query_table(
+            "SELECT e1 AS a, e2 AS b MATCH (x)-[e1:rel]->(y), (x)-[e2:rel]->(y)",
+        )
+        .unwrap();
+    // One edge, two variables, one row where both bind to it.
+    assert_eq!(t.len(), 1);
+    assert_eq!(t.rows()[0][0], t.rows()[0][1]);
+}
+
+#[test]
+fn exports_render_all_element_sorts() {
+    let t = tour();
+    let g = t.engine.graph("figure2").unwrap();
+    let text = to_text(&g);
+    assert!(text.contains("node #n101"));
+    assert!(text.contains("path #p301"));
+    assert!(text.contains(":toWagner"));
+    let dot = to_dot(&g, "fig2");
+    assert!(dot.contains("digraph"));
+    assert!(dot.contains("n101"));
+    assert!(dot.contains("->"));
+}
+
+#[test]
+fn empty_graph_queries() {
+    let mut engine = Engine::new();
+    engine.register_graph("empty", gcore_repro::ppg::PathPropertyGraph::new());
+    engine.set_default_graph("empty");
+    let g = engine.query_graph("CONSTRUCT (n) MATCH (n)").unwrap();
+    assert!(g.is_empty());
+    let g = engine
+        .query_graph("CONSTRUCT (m) MATCH (n)-/<:x*>/->(m)")
+        .unwrap();
+    assert!(g.is_empty());
+    let t = engine
+        .query_table("SELECT COUNT(*) AS n MATCH (n)")
+        .unwrap();
+    assert_eq!(t.rows()[0][0], Value::Int(0));
+}
+
+#[test]
+fn disjunctive_label_tests() {
+    let mut engine = engine_with(|b| {
+        b.node(Attributes::labeled("Post"));
+        b.node(Attributes::labeled("Comment"));
+        b.node(Attributes::labeled("Person"));
+    });
+    let g = engine
+        .query_graph("CONSTRUCT (m) MATCH (m:Post|Comment)")
+        .unwrap();
+    assert_eq!(g.node_count(), 2);
+    // Conjunction of disjunctions: (m:Post|Comment) with extra label.
+    let g = engine
+        .query_graph("CONSTRUCT (m) MATCH (m:Post|Comment:Person)")
+        .unwrap();
+    assert_eq!(g.node_count(), 0, "no node carries both groups");
+}
+
+#[test]
+fn multiple_labels_on_construct() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (n :Vip :Reviewed) MATCH (n:Person) WHERE n.firstName = 'John'",
+        )
+        .unwrap();
+    let john = g.node_ids_sorted()[0];
+    for l in ["Person", "Vip", "Reviewed"] {
+        assert!(g.has_label(john.into(), Label::new(l)), "missing {l}");
+    }
+}
+
+#[test]
+fn remove_label_and_property() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (n) REMOVE n:Person REMOVE n.employer \
+             MATCH (n:Person) WHERE n.firstName = 'John'",
+        )
+        .unwrap();
+    let john = g.node_ids_sorted()[0];
+    assert!(!g.has_label(john.into(), Label::new("Person")));
+    assert!(g
+        .prop(john.into(), gcore_repro::ppg::Key::new("employer"))
+        .is_empty());
+    // Other attributes survive.
+    assert_eq!(
+        g.prop(john.into(), gcore_repro::ppg::Key::new("firstName")),
+        "John".into()
+    );
+}

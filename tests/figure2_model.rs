@@ -1,0 +1,151 @@
+//! Experiment E1: the PPG data model against Figure 2 / Example 2.2 —
+//! identifier sets, ρ, δ, λ, σ, and the nodes()/edges() path accessors,
+//! checked through the public engine API.
+
+mod common;
+
+use common::tour;
+use gcore_repro::ppg::{EdgeId, NodeId, PathId, Value};
+
+#[test]
+fn example_2_2_components() {
+    let t = tour();
+    let g = t.engine.graph("figure2").unwrap();
+
+    // N, E, P.
+    assert_eq!(g.node_count(), 6);
+    assert_eq!(g.edge_count(), 7);
+    assert_eq!(g.path_count(), 1);
+
+    // ρ(201) = (102, 101) and ρ(207) = (105, 103).
+    assert_eq!(g.endpoints(EdgeId(201)), Some((NodeId(102), NodeId(101))));
+    assert_eq!(g.endpoints(EdgeId(207)), Some((NodeId(105), NodeId(103))));
+
+    // δ(301) = [105, 207, 103, 202, 102].
+    let p = g.path(PathId(301)).unwrap();
+    assert_eq!(
+        p.shape.interleaved(),
+        vec![105, 207, 103, 202, 102],
+        "δ(301) interleaves nodes and edges exactly as printed"
+    );
+}
+
+#[test]
+fn nodes_and_edges_functions_through_queries() {
+    let mut t = tour();
+    // nodes(p)[0] is the first node (the paper: "G-CORE starts counting
+    // at 0").
+    let table = t
+        .engine
+        .query_table(
+            "SELECT nodes(z)[0] AS first, nodes(z)[1] AS second, edges(z)[0] AS e0 \
+             MATCH (x)-/@z <(:knows + :knows-)*>/->(y) ON figure2",
+        )
+        .unwrap();
+    assert_eq!(table.len(), 1);
+    let row = &table.rows()[0];
+    assert_eq!(row[0], Value::str("#n105"));
+    assert_eq!(row[1], Value::str("#n103"));
+    assert_eq!(row[2], Value::str("#e207"));
+}
+
+#[test]
+fn labels_function_and_path_properties() {
+    let mut t = tour();
+    let table = t
+        .engine
+        .query_table(
+            "SELECT labels(z) AS ls, z.trust AS trust, length(z) AS len \
+             MATCH (x)-/@z <(:knows + :knows-)*>/->(y) ON figure2",
+        )
+        .unwrap();
+    assert_eq!(table.len(), 1);
+    let row = &table.rows()[0];
+    assert!(row[0].as_str().unwrap().contains("toWagner"));
+    assert_eq!(row[1], Value::Float(0.95));
+    assert_eq!(row[2], Value::Int(2));
+}
+
+#[test]
+fn multi_valued_property_semantics_of_section_2() {
+    let mut t = tour();
+    // σ(x, k) is a set; absent properties are the empty set, detectable
+    // with size().
+    let table = t
+        .engine
+        .query_table(
+            "SELECT n.firstName AS name, size(n.employer) AS jobs \
+             MATCH (n:Person) ON social_graph \
+             ORDER BY name",
+        )
+        .unwrap();
+    let rows: Vec<(String, i64)> = table
+        .rows()
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_str().unwrap().to_owned(),
+                r[1].as_int().unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(
+        rows,
+        vec![
+            ("Alice".to_owned(), 1),
+            ("Celine".to_owned(), 1),
+            ("Frank".to_owned(), 2),
+            ("John".to_owned(), 1),
+            ("Peter".to_owned(), 0),
+        ]
+    );
+}
+
+#[test]
+fn case_coalesces_missing_data() {
+    let mut t = tour();
+    // "G-CORE provides CASE expressions to coalesce such missing data".
+    let table = t
+        .engine
+        .query_table(
+            "SELECT n.firstName AS name, \
+                    CASE WHEN size(n.employer) = 0 THEN 'unemployed' \
+                         ELSE 'employed' END AS status \
+             MATCH (n:Person) ON social_graph \
+             WHERE n.firstName = 'Peter'",
+        )
+        .unwrap();
+    assert_eq!(table.rows()[0][1], Value::str("unemployed"));
+}
+
+#[test]
+fn set_equality_vs_membership_vs_subset() {
+    let mut t = tour();
+    // The §3 explanation: "MIT" = {"CWI","MIT"} is FALSE, "MIT" IN
+    // {"CWI","MIT"} is TRUE; SUBSET compares as sets.
+    let eq = t
+        .engine
+        .query_table(
+            "SELECT n.firstName AS f MATCH (n:Person) \
+             WHERE 'MIT' = n.employer",
+        )
+        .unwrap();
+    assert!(eq.is_empty());
+    let inn = t
+        .engine
+        .query_table(
+            "SELECT n.firstName AS f MATCH (n:Person) \
+             WHERE 'MIT' IN n.employer",
+        )
+        .unwrap();
+    assert_eq!(inn.len(), 1);
+    assert_eq!(inn.rows()[0][0], Value::str("Frank"));
+    let sub = t
+        .engine
+        .query_table(
+            "SELECT n.firstName AS f MATCH (n:Person) \
+             WHERE n.employer SUBSET n.employer",
+        )
+        .unwrap();
+    assert_eq!(sub.len(), 5, "every set is a subset of itself");
+}

@@ -1,0 +1,345 @@
+//! The worked examples of Appendix A, evaluated verbatim (experiments
+//! E10 and E11 of DESIGN.md).
+
+mod common;
+
+use common::tour;
+use gcore_repro::ppg::{Key, Label, NodeId, Value};
+
+// ---------------------------------------------------------------------
+// §A.2: MATCH γ WHERE w.name = 'Houston' on the Figure 2 graph
+// ---------------------------------------------------------------------
+
+/// γ = x –locatedIn→ w, y –locatedIn→ w, x –@z in (knows+knows⁻)*→ y;
+/// ξ = (w.name = Houston). The appendix derives exactly one binding:
+/// {x → 105, y → 102, w → 106, z → 301}.
+#[test]
+fn appendix_a2_match_example() {
+    let mut t = tour();
+    let table = t
+        .engine
+        .query_table(
+            "SELECT x AS x, y AS y, w AS w, z AS z \
+             MATCH (x)-[:locatedIn]->(w), (y)-[:locatedIn]->(w), \
+                   (x)-/@z <(:knows + :knows-)*>/->(y) \
+             ON figure2 \
+             WHERE w.name = 'Houston'",
+        )
+        .unwrap();
+    assert_eq!(table.len(), 1, "exactly one maximal binding");
+    let row = &table.rows()[0];
+    assert_eq!(row[0], Value::str("#n105")); // x → 105
+    assert_eq!(row[1], Value::str("#n102")); // y → 102
+    assert_eq!(row[2], Value::str("#n106")); // w → 106
+    assert_eq!(row[3], Value::str("#p301")); // z → 301
+}
+
+/// Without the stored-path atom, the intermediate join of the two
+/// locatedIn patterns has the four bindings the appendix prints.
+#[test]
+fn appendix_a2_intermediate_join() {
+    let mut t = tour();
+    let table = t
+        .engine
+        .query_table(
+            "SELECT x AS x, y AS y \
+             MATCH (x)-[:locatedIn]->(w), (y)-[:locatedIn]->(w) \
+             ON figure2",
+        )
+        .unwrap();
+    // {105,102} × {105,102} on the shared w → 4 combinations.
+    assert_eq!(table.len(), 4);
+}
+
+/// Stored-path patterns only bind paths already in P: a fresh regex
+/// match (no @) computes a *new* shortest path instead.
+#[test]
+fn stored_vs_computed_path_patterns() {
+    let mut t = tour();
+    // @z: only path 301 (105 → 102) exists.
+    let stored = t
+        .engine
+        .query_table(
+            "SELECT x AS x, y AS y \
+             MATCH (x)-/@z <(:knows + :knows-)*>/->(y) ON figure2",
+        )
+        .unwrap();
+    assert_eq!(stored.len(), 1);
+    // Computed: every node pair connected by a knows-walk qualifies
+    // (including the zero-length pairs x = y).
+    let computed = t
+        .engine
+        .query_table(
+            "SELECT x AS x, y AS y \
+             MATCH (x)-/z <(:knows + :knows-)*>/->(y) ON figure2",
+        )
+        .unwrap();
+    assert!(computed.len() > stored.len());
+}
+
+// ---------------------------------------------------------------------
+// §A.3: CONSTRUCT {f, g, h} — the worksAt skolemization example
+// ---------------------------------------------------------------------
+
+/// f = (x GROUP e; {+x:Company, +x.name = e}),
+/// g = (n GROUP n; ∅),
+/// h = n –y GROUP {x,e,n}; {+y:worksAt}→ x.
+/// Over the Figure 4 bindings {(n,e)}: GN has the four skolem company
+/// nodes and the four (shared-identity) person nodes; h adds five
+/// worksAt edges connecting them.
+#[test]
+fn appendix_a3_construct_example() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (x GROUP e :Company {name := e})<-[y:worksAt]-(n) \
+             MATCH (n:Person {employer = e}) ON social_graph",
+        )
+        .unwrap();
+
+    // Four fresh Company nodes (skolems new(x, e)).
+    let companies = g.nodes_with_label(Label::new("Company"));
+    assert_eq!(companies.len(), 4);
+    // They are *new* identities, not present in social_graph.
+    let orig = t.engine.graph("social_graph").unwrap();
+    for c in &companies {
+        assert!(!orig.contains_node(*c), "skolem {c} must be fresh");
+    }
+
+    // The four employed persons keep their identities (Peter is
+    // unemployed: his employer property is absent, so no binding).
+    let persons = g.nodes_with_label(Label::new("Person"));
+    assert_eq!(persons.len(), 4);
+    for p in &persons {
+        assert!(orig.contains_node(*p), "person {p} is identity-shared");
+    }
+    assert!(!persons.contains(&t.peter));
+
+    // Five worksAt edges: Frank twice (CWI and MIT), others once.
+    let works_at = g.edges_with_label(Label::new("worksAt"));
+    assert_eq!(works_at.len(), 5);
+    let frank_edges = works_at
+        .iter()
+        .filter(|&&e| g.endpoints(e).unwrap().0 == t.frank)
+        .count();
+    assert_eq!(frank_edges, 2);
+
+    // Every edge connects a person to the company named by its employer
+    // value — skolems are keyed by the GROUP value.
+    for &e in &works_at {
+        let (person, company) = g.endpoints(e).unwrap();
+        let cname = g.prop(company.into(), Key::new("name"));
+        let emp = g.prop(person.into(), Key::new("employer"));
+        let name_val = cname.as_singleton().unwrap().clone();
+        assert!(
+            emp.contains(&name_val),
+            "edge {e}: company {name_val} not an employer of {person}"
+        );
+    }
+}
+
+/// Skolemization is deterministic *within* one CONSTRUCT: the same
+/// variable + group key yields the same identifier across patterns.
+#[test]
+fn skolem_identity_shared_across_patterns() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (x GROUP e :Company {name := e}), \
+                       (x)<-[:worksAt]-(n) \
+             MATCH (n:Person {employer = e}) ON social_graph",
+        )
+        .unwrap();
+    // The second pattern's x must reuse the first pattern's skolems: 4
+    // companies total, not 8.
+    assert_eq!(g.nodes_with_label(Label::new("Company")).len(), 4);
+    assert_eq!(g.edges_with_label(Label::new("worksAt")).len(), 5);
+}
+
+/// Unbound variables without GROUP create one element per binding; the
+/// same row reuses the same element for repeated occurrences.
+#[test]
+fn default_grouping_is_per_binding() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (v :Marker) MATCH (n:Person) ON social_graph",
+        )
+        .unwrap();
+    // One fresh marker per person binding.
+    assert_eq!(g.nodes_with_label(Label::new("Marker")).len(), 5);
+}
+
+/// Bound node constructs with a missing binding produce G∅ for that
+/// group (dangling-edge prevention).
+#[test]
+fn optional_missing_bindings_do_not_construct() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (n)-[:sameCity]->(c) \
+             MATCH (n:Person) \
+             OPTIONAL (n)-[:isLocatedIn]->(c) WHERE c.name = 'Houston'",
+        )
+        .unwrap();
+    // Alice's OPTIONAL row has c missing: no edge, and no dangling node.
+    let edges = g.edges_with_label(Label::new("sameCity"));
+    assert_eq!(edges.len(), 4);
+    assert!(g.contains_node(t.alice), "Alice herself is constructed");
+    for e in edges {
+        let (_, c) = g.endpoints(e).unwrap();
+        assert_eq!(c, t.houston);
+    }
+}
+
+// ---------------------------------------------------------------------
+// §A.5: graph union / intersection / difference laws
+// ---------------------------------------------------------------------
+
+#[test]
+fn union_merges_attributes_setwise() {
+    let mut t = tour();
+    // The same identity constructed twice with different SET properties:
+    // union must merge σ values as sets.
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (n) SET n.tagged := 'a' MATCH (n:Person) WHERE n.firstName = 'John' \
+             UNION \
+             CONSTRUCT (n) SET n.tagged := 'b' MATCH (n:Person) WHERE n.firstName = 'John'",
+        )
+        .unwrap();
+    let tagged = g.prop(t.john.into(), Key::new("tagged"));
+    assert_eq!(tagged.len(), 2);
+}
+
+#[test]
+fn difference_drops_dangling_edges_and_paths() {
+    let mut t = tour();
+    // social_graph minus John's node: every knows edge touching John
+    // must disappear with him.
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT social_graph \
+             MINUS \
+             CONSTRUCT (n) MATCH (n:Person) WHERE n.firstName = 'John'",
+        )
+        .unwrap();
+    assert!(!g.contains_node(t.john));
+    for e in g.edge_ids_sorted() {
+        let (s, d) = g.endpoints(e).unwrap();
+        assert_ne!(s, t.john);
+        assert_ne!(d, t.john);
+    }
+    g.validate().unwrap();
+}
+
+#[test]
+fn intersection_keeps_common_elements_only() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (n)-[e]->(m) MATCH (n)-[e:knows]->(m) \
+             INTERSECT \
+             CONSTRUCT (n)-[e]->(m) MATCH (n)-[e]->(m) WHERE n.firstName = 'John'",
+        )
+        .unwrap();
+    // knows edges leaving John: exactly 2 (to Peter, to Alice).
+    assert_eq!(g.edge_count(), 2);
+    for e in g.edge_ids_sorted() {
+        assert_eq!(g.endpoints(e).unwrap().0, t.john);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 2 round-trip through the engine
+// ---------------------------------------------------------------------
+
+#[test]
+fn figure2_identity_query() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT figure2 MATCH (n) ON figure2 WHERE n = n",
+        )
+        .unwrap();
+    let orig = t.engine.graph("figure2").unwrap();
+    assert_eq!(&g, &*orig);
+    assert!(g.contains_node(NodeId(105)));
+}
+
+// ---------------------------------------------------------------------
+// The copy syntax `(=n)` / `-[=e]-` (§3 "Construction that respects
+// identities"): fresh identities with copied labels and properties.
+// ---------------------------------------------------------------------
+
+#[test]
+fn copy_syntax_mints_fresh_identities_with_copied_attrs() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (=n) MATCH (n:Person) ON social_graph \
+             WHERE n.firstName = 'John'",
+        )
+        .unwrap();
+    assert_eq!(g.node_count(), 1);
+    let copy = g.node_ids_sorted()[0];
+    // Fresh identity …
+    assert_ne!(copy, t.john);
+    let orig = t.engine.graph("social_graph").unwrap();
+    assert!(!orig.contains_node(copy));
+    // … with copied labels and properties.
+    assert!(g.has_label(copy.into(), Label::new("Person")));
+    assert_eq!(g.prop(copy.into(), Key::new("firstName")), "John".into());
+    assert_eq!(g.prop(copy.into(), Key::new("employer")), "Acme".into());
+}
+
+#[test]
+fn copy_syntax_on_edges() {
+    let mut t = tour();
+    // Copy each knows edge between fresh node copies; the copies carry
+    // the original edge's labels/properties, with new identity.
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (=n)-[=e]->(=m) \
+             MATCH (n:Person)-[e:knows]->(m:Person) ON social_graph \
+             WHERE n.firstName = 'John' AND m.firstName = 'Peter'",
+        )
+        .unwrap();
+    assert_eq!(g.edge_count(), 1);
+    let e = g.edge_ids_sorted()[0];
+    assert!(g.has_label(e.into(), Label::new("knows")));
+    let orig = t.engine.graph("social_graph").unwrap();
+    assert!(!orig.contains_edge(e), "copied edge has a fresh identity");
+}
+
+/// The paper: "With the copy syntax, it is even possible to copy all
+/// labels and properties of a node to an edge (or a path) and vice
+/// versa."
+#[test]
+fn copy_across_sorts() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (a)-[=n]->(b) \
+             MATCH (n:Person), (a:Tag), (b:City) ON social_graph \
+             WHERE n.firstName = 'John' AND a.name = 'Wagner' AND b.name = 'Houston'",
+        )
+        .unwrap();
+    let e = g
+        .edge_ids_sorted()
+        .into_iter()
+        .find(|&e| g.has_label(e.into(), Label::new("Person")))
+        .expect("edge carrying the Person label");
+    assert_eq!(g.prop(e.into(), Key::new("firstName")), "John".into());
+}

@@ -1,0 +1,389 @@
+//! The guided tour of Section 3, query by query (experiment E2 of
+//! DESIGN.md). Line numbers refer to the paper's listings.
+
+mod common;
+
+use common::{first_names, tour};
+use gcore_repro::ppg::{EdgeId, Key, Label, NodeId, Value};
+
+// ---------------------------------------------------------------------
+// Lines 1–4: always returning a graph
+// ---------------------------------------------------------------------
+
+#[test]
+fn q1_acme_employees() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (n) MATCH (n:Person) ON social_graph \
+             WHERE n.employer = 'Acme'",
+        )
+        .unwrap();
+    // "constructs a new graph with no edges and only nodes, namely those
+    //  persons who work at Acme"
+    assert_eq!(first_names(&g), vec!["Alice", "John"]);
+    assert_eq!(g.edge_count(), 0);
+    // "all the labels and properties that these person nodes had in
+    //  social_graph are preserved"
+    assert!(g.has_label(t.john.into(), Label::new("Person")));
+    assert_eq!(
+        g.prop(t.john.into(), Key::new("lastName")),
+        "Doe".into()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Lines 5–9: multi-graph equi-join (c.name = n.employer)
+// ---------------------------------------------------------------------
+
+#[test]
+fn q2_works_at_equijoin_union() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (c)<-[:worksAt]-(n) \
+             MATCH (c:Company) ON company_graph, (n:Person) ON social_graph \
+             WHERE c.name = n.employer \
+             UNION social_graph",
+        )
+        .unwrap();
+    // Binding table in the paper: (Acme,Alice), (HAL,Celine), (Acme,John)
+    // — Frank's multi-valued employer fails `=`, Peter is unbound.
+    let works_at = g.edges_with_label(Label::new("worksAt"));
+    assert_eq!(works_at.len(), 3);
+    // The union keeps the original graph intact.
+    let d = tour();
+    let orig = d.engine.graph("social_graph").unwrap();
+    for n in orig.node_ids() {
+        assert!(g.contains_node(n));
+    }
+    for e in orig.edge_ids() {
+        assert!(g.contains_edge(e));
+    }
+}
+
+/// The 20-row Cartesian-product table the paper prints when the WHERE is
+/// omitted (4 companies × 5 persons).
+#[test]
+fn q2b_cartesian_product_without_where() {
+    let mut t = tour();
+    let table = t
+        .engine
+        .query_table(
+            "SELECT c.name AS cname, n.firstName AS fname \
+             MATCH (c:Company) ON company_graph, (n:Person) ON social_graph",
+        )
+        .unwrap();
+    assert_eq!(table.len(), 20);
+}
+
+// ---------------------------------------------------------------------
+// Lines 10–14: IN instead of = (multi-valued employer)
+// ---------------------------------------------------------------------
+
+#[test]
+fn q3_works_at_with_in() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (c)<-[:worksAt]-(n) \
+             MATCH (c:Company) ON company_graph, (n:Person) ON social_graph \
+             WHERE c.name IN n.employer \
+             UNION social_graph",
+        )
+        .unwrap();
+    // "While five new edges are created here": Frank matches CWI and MIT.
+    assert_eq!(g.edges_with_label(Label::new("worksAt")).len(), 5);
+    // Frank has exactly two worksAt edges.
+    let frank_works: Vec<EdgeId> = g
+        .out_edges(t.frank)
+        .iter()
+        .copied()
+        .filter(|&e| g.has_label(e.into(), Label::new("worksAt")))
+        .collect();
+    assert_eq!(frank_works.len(), 2);
+}
+
+// ---------------------------------------------------------------------
+// Lines 15–19: property unrolling with {employer = e}
+// ---------------------------------------------------------------------
+
+#[test]
+fn q4_property_unrolling() {
+    let mut t = tour();
+    // The binding set has exactly the 5 rows the paper prints.
+    let table = t
+        .engine
+        .query_table(
+            "SELECT c.name AS cname, n.firstName AS fname, e AS emp \
+             MATCH (c:Company) ON company_graph, \
+                   (n:Person {employer = e}) ON social_graph \
+             WHERE c.name = e",
+        )
+        .unwrap();
+    assert_eq!(table.len(), 5);
+    let mut rows: Vec<(String, String)> = table
+        .rows()
+        .iter()
+        .map(|r| {
+            (
+                r[1].as_str().unwrap().to_owned(),
+                r[2].as_str().unwrap().to_owned(),
+            )
+        })
+        .collect();
+    rows.sort();
+    assert_eq!(
+        rows,
+        vec![
+            ("Alice".into(), "Acme".into()),
+            ("Celine".into(), "HAL".into()),
+            ("Frank".into(), "CWI".into()),
+            ("Frank".into(), "MIT".into()),
+            ("John".into(), "Acme".into()),
+        ]
+    );
+
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (c)<-[:worksAt]-(n) \
+             MATCH (c:Company) ON company_graph, \
+                   (n:Person {employer = e}) ON social_graph \
+             WHERE c.name = e \
+             UNION social_graph",
+        )
+        .unwrap();
+    assert_eq!(g.edges_with_label(Label::new("worksAt")).len(), 5);
+}
+
+// ---------------------------------------------------------------------
+// Lines 20–22: graph aggregation with GROUP
+// ---------------------------------------------------------------------
+
+#[test]
+fn q5_graph_aggregation_creates_one_company_per_employer() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT social_graph, \
+             (x GROUP e :Company {name := e})<-[y:worksAt]-(n) \
+             MATCH (n:Person {employer = e})",
+        )
+        .unwrap();
+    // Four new company nodes — one per unique employer value.
+    let companies = g.nodes_with_label(Label::new("Company"));
+    assert_eq!(companies.len(), 4);
+    let mut names: Vec<String> = companies
+        .iter()
+        .filter_map(|&c| {
+            g.prop(c.into(), Key::new("name"))
+                .as_singleton()
+                .and_then(|v| v.as_str().map(str::to_owned))
+        })
+        .collect();
+    names.sort();
+    assert_eq!(names, vec!["Acme", "CWI", "HAL", "MIT"]);
+    // Five worksAt edges (Frank gets two, one per employer).
+    assert_eq!(g.edges_with_label(Label::new("worksAt")).len(), 5);
+    // Person nodes are the *same identities* as in social_graph.
+    assert!(g.contains_node(t.frank));
+    assert!(g.contains_node(t.john));
+}
+
+// ---------------------------------------------------------------------
+// Lines 23–27: storing shortest paths with @p
+// ---------------------------------------------------------------------
+
+#[test]
+fn q6_stored_shortest_paths() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (n)-/@p:localPeople {distance := c}/->(m) \
+             MATCH (n)-/3 SHORTEST p <:knows*> COST c/->(m) \
+             WHERE (n:Person) AND (m:Person) \
+               AND n.firstName = 'John' AND n.lastName = 'Doe' \
+               AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)",
+        )
+        .unwrap();
+    // Paths are first-class: the result graph contains stored paths,
+    // each labeled and annotated with its cost.
+    assert!(g.path_count() > 0);
+    for p in g.path_ids_sorted() {
+        assert!(g.has_label(p.into(), Label::new("localPeople")));
+        let dist = g.prop(p.into(), Key::new("distance"));
+        let shape = &g.path(p).unwrap().shape;
+        assert_eq!(
+            dist.as_singleton().and_then(Value::as_int),
+            Some(shape.length() as i64),
+            "distance property equals hop count"
+        );
+        assert_eq!(shape.start(), t.john, "all paths start at John");
+    }
+    // The co-located targets Peter, Frank and Celine are all reached.
+    let targets: Vec<NodeId> = g
+        .path_ids_sorted()
+        .iter()
+        .map(|&p| g.path(p).unwrap().shape.end())
+        .collect();
+    for person in [t.peter, t.frank, t.celine] {
+        assert!(targets.contains(&person), "missing path to {person}");
+    }
+    // Alice lives in Austin: no path may end at her.
+    assert!(!targets.contains(&t.alice));
+    // The graph is exactly the projection of the stored paths (plus the
+    // paths): every node/edge lies on some stored path.
+    for e in g.edge_ids_sorted() {
+        let on_some_path = g
+            .path_ids_sorted()
+            .iter()
+            .any(|&p| g.path(p).unwrap().shape.edges().contains(&e));
+        assert!(on_some_path, "edge {e} not on any stored path");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lines 28–31: reachability
+// ---------------------------------------------------------------------
+
+#[test]
+fn q7_reachability() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (m) \
+             MATCH (n:Person)-/<:knows*>/->(m:Person) \
+             WHERE n.firstName = 'John' AND n.lastName = 'Doe' \
+               AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)",
+        )
+        .unwrap();
+    // knows* includes the zero-length path, so John reaches himself; the
+    // other co-located persons are Peter, Frank and Celine. Alice lives
+    // elsewhere and is excluded by the location join.
+    assert_eq!(first_names(&g), vec!["Celine", "Frank", "John", "Peter"]);
+    assert_eq!(g.edge_count(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Lines 32–35: ALL paths graph projection
+// ---------------------------------------------------------------------
+
+#[test]
+fn q8_all_paths_projection() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (n)-/p/->(m) \
+             MATCH (n:Person)-/ALL p <:knows*>/->(m:Person) \
+             WHERE n.firstName = 'John' AND n.lastName = 'Doe' \
+               AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)",
+        )
+        .unwrap();
+    // The projection materializes no path objects …
+    assert_eq!(g.path_count(), 0);
+    // … only the nodes and edges lying on some conforming walk. With
+    // arbitrary-walk semantics every person in John's knows-component
+    // can appear on a walk, Alice included (via John).
+    assert_eq!(
+        first_names(&g),
+        vec!["Alice", "Celine", "Frank", "John", "Peter"]
+    );
+    for e in g.edge_ids_sorted() {
+        assert!(g.has_label(e.into(), Label::new("knows")));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lines 36–38: explicit existential subquery
+// ---------------------------------------------------------------------
+
+#[test]
+fn q9_explicit_exists_equals_implicit_pattern() {
+    let mut t = tour();
+    let implicit = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (m) \
+             MATCH (n:Person), (m:Person) \
+             WHERE n.firstName = 'John' AND n.lastName = 'Doe' \
+               AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)",
+        )
+        .unwrap();
+    let explicit = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (m) \
+             MATCH (n:Person), (m:Person) \
+             WHERE n.firstName = 'John' AND n.lastName = 'Doe' \
+               AND EXISTS ( CONSTRUCT () \
+                            MATCH (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m) )",
+        )
+        .unwrap();
+    assert_eq!(first_names(&implicit), first_names(&explicit));
+    assert_eq!(
+        first_names(&implicit),
+        vec!["Celine", "Frank", "John", "Peter"]
+    );
+}
+
+// ---------------------------------------------------------------------
+// Identity sharing: the result graph shares node identities with input
+// ---------------------------------------------------------------------
+
+#[test]
+fn results_share_identities_with_inputs() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph("CONSTRUCT (n) MATCH (n:Person)")
+        .unwrap();
+    for p in [t.john, t.peter, t.alice, t.celine, t.frank] {
+        assert!(g.contains_node(p), "identity {p} must be shared");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Set operations on full graphs
+// ---------------------------------------------------------------------
+
+#[test]
+fn graph_set_operations() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (n) MATCH (n:Person) \
+             MINUS \
+             CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme'",
+        )
+        .unwrap();
+    assert_eq!(first_names(&g), vec!["Celine", "Frank", "Peter"]);
+
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (n) MATCH (n:Person) WHERE n.firstName = 'John' \
+             UNION \
+             CONSTRUCT (n) MATCH (n:Person) WHERE n.firstName = 'Peter'",
+        )
+        .unwrap();
+    assert_eq!(first_names(&g), vec!["John", "Peter"]);
+
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme' \
+             INTERSECT \
+             CONSTRUCT (n) MATCH (n:Person) WHERE n.firstName = 'John'",
+        )
+        .unwrap();
+    assert_eq!(first_names(&g), vec!["John"]);
+}

@@ -1,0 +1,93 @@
+//! Parser robustness: keyword aliases, new built-in functions, and the
+//! print → parse fixpoint over tricky constructs.
+
+use gcore_repro::parser::{parse_query, parse_statement, print_statement};
+
+fn roundtrip(text: &str) {
+    let ast1 = parse_statement(text).unwrap_or_else(|e| panic!("parse '{text}': {e}"));
+    let printed = print_statement(&ast1);
+    let ast2 = parse_statement(&printed)
+        .unwrap_or_else(|e| panic!("reparse of '{printed}': {e}"));
+    assert_eq!(ast1, ast2, "roundtrip changed the AST of '{text}'");
+}
+
+#[test]
+fn keyword_aliases_are_allowed() {
+    roundtrip("SELECT c AS cost MATCH (n)-/p <:knows*> COST c/->(m)");
+    roundtrip("SELECT n AS match, m AS construct MATCH (n)-[e]->(m)");
+}
+
+#[test]
+fn new_functions_roundtrip() {
+    roundtrip(
+        "SELECT substring(n.name, 0, 3) AS pre, year(n.since) AS y, \
+         contains(n.name, 'x') AS has_x, head(nodes(p)) AS h \
+         MATCH (n)-/p <:knows*>/->(m)",
+    );
+    roundtrip("CONSTRUCT (n) MATCH (n) WHERE startsWith(trim(n.name), 'A')");
+    roundtrip("CONSTRUCT (n) MATCH (n) WHERE sqrt(abs(n.x)) < ceil(n.y) + floor(n.z)");
+}
+
+#[test]
+fn nested_structures_roundtrip() {
+    roundtrip(
+        "PATH w = (x)-[e:knows]->(y) WHERE NOT 'A' IN y.emp COST 1 / (1 + e.w) \
+         GRAPH tmp AS (CONSTRUCT (n) MATCH (n:Person)) \
+         CONSTRUCT tmp, (a)-/@p:lbl {c := w}/->(b) \
+         MATCH (a)-/p <~w*> COST w/->(b) ON tmp \
+         WHERE EXISTS ( CONSTRUCT () MATCH (a)-[:x]->()<-[:x]-(b) )",
+    );
+    roundtrip(
+        "CONSTRUCT (x GROUP e.a, e.b :L {v := COUNT(DISTINCT n.k)}) \
+         WHEN x.v > 0 \
+         MATCH (n)-[e]->(m) \
+         OPTIONAL (n)-[:opt]->(o) WHERE (o:Tag)",
+    );
+    roundtrip(
+        "CONSTRUCT (n) SET n.s := CASE WHEN size(n.e) = 0 THEN 'none' ELSE 'some' END \
+         REMOVE n:Old \
+         MATCH (n) WHERE n.v IN m.w AND n.q SUBSET m.q OR NOT (n:X|Y)",
+    );
+}
+
+#[test]
+fn set_ops_and_bare_graph_names_roundtrip() {
+    roundtrip("CONSTRUCT (n) MATCH (n) UNION g1 INTERSECT (CONSTRUCT (m) MATCH (m)) MINUS g2");
+}
+
+#[test]
+fn copy_syntax_roundtrip() {
+    roundtrip("CONSTRUCT (=n)-[=e]->(=m) MATCH (n)-[e]->(m)");
+}
+
+#[test]
+fn select_modifiers_roundtrip() {
+    roundtrip(
+        "SELECT DISTINCT n.a AS a, COUNT(*) AS c MATCH (n) \
+         GROUP BY n.a ORDER BY c DESC, a ASC LIMIT 10 OFFSET 5",
+    );
+}
+
+#[test]
+fn errors_report_positions_and_expectations() {
+    for bad in [
+        "CONSTRUCT",
+        "MATCH (n)",                       // missing CONSTRUCT/SELECT head
+        "CONSTRUCT (n MATCH (n)",          // unclosed paren
+        "CONSTRUCT (n) MATCH (n)-[e]-",    // dangling connection
+        "CONSTRUCT (n) MATCH (n)-/p <>/->(m)", // empty regex
+        "SELECT MATCH (n)",                // empty projection
+    ] {
+        let err = parse_query(bad).unwrap_err();
+        assert!(err.line() >= 1, "error for '{bad}' has a line");
+    }
+}
+
+#[test]
+fn comments_and_whitespace() {
+    let q = parse_query(
+        "CONSTRUCT (n) -- trailing comment\n\
+         MATCH (n:Person) /* block\n comment */ WHERE n.a = 1",
+    );
+    assert!(q.is_ok(), "comments must lex away: {q:?}");
+}

@@ -1,0 +1,288 @@
+//! Property-based tests (proptest) over the data model, the graph set
+//! operations of §A.5, and the path machinery.
+
+use gcore_repro::engine::Engine;
+use gcore_repro::ppg::{ops, Attributes, GraphBuilder, NodeId, PathPropertyGraph};
+use proptest::prelude::*;
+
+/// A random PPG description: `n` nodes with a label chosen from a small
+/// pool, plus edges between random endpoints.
+#[derive(Clone, Debug)]
+struct GraphSpec {
+    nodes: usize,
+    edges: Vec<(usize, usize, u8)>,
+}
+
+fn graph_spec() -> impl Strategy<Value = GraphSpec> {
+    (1usize..12).prop_flat_map(|nodes| {
+        let edges = prop::collection::vec((0..nodes, 0..nodes, 0u8..3), 0..24);
+        edges.prop_map(move |edges| GraphSpec { nodes, edges })
+    })
+}
+
+const LABELS: [&str; 3] = ["knows", "likes", "follows"];
+
+/// Build the graph with identifiers offset so two specs can share or not
+/// share identities.
+fn build(spec: &GraphSpec, offset: u64) -> PathPropertyGraph {
+    let mut g = PathPropertyGraph::new();
+    for i in 0..spec.nodes {
+        g.add_node(
+            NodeId(offset + i as u64),
+            Attributes::labeled("Person").with_prop("idx", i as i64),
+        );
+    }
+    for (k, &(s, d, l)) in spec.edges.iter().enumerate() {
+        g.add_edge(
+            gcore_repro::ppg::EdgeId(offset + 1000 + k as u64),
+            NodeId(offset + s as u64),
+            NodeId(offset + d as u64),
+            Attributes::labeled(LABELS[l as usize]),
+        )
+        .expect("endpoints exist");
+    }
+    g
+}
+
+proptest! {
+    // ------------------------------------------------------------------
+    // §A.5 graph set-operation laws
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn union_is_idempotent_and_monotone(spec in graph_spec()) {
+        let g = build(&spec, 0);
+        let u = ops::union(&g, &g);
+        prop_assert_eq!(&u, &g);
+        u.validate().unwrap();
+    }
+
+    #[test]
+    fn intersection_with_self_is_identity(spec in graph_spec()) {
+        let g = build(&spec, 0);
+        let i = ops::intersect(&g, &g);
+        prop_assert_eq!(&i, &g);
+    }
+
+    #[test]
+    fn difference_with_self_is_empty(spec in graph_spec()) {
+        let g = build(&spec, 0);
+        let d = ops::difference(&g, &g);
+        prop_assert!(d.is_empty());
+    }
+
+    #[test]
+    fn union_contains_both_operands(a in graph_spec(), b in graph_spec()) {
+        // Shared identity space: node i is the same entity in both.
+        let ga = build(&a, 0);
+        let gb = build(&b, 0);
+        // Edges get disjoint ids (offset differs per spec index), so the
+        // graphs are consistent by construction except when edge ids
+        // coincide — build b's edges with a different id base.
+        let mut gb2 = PathPropertyGraph::new();
+        for n in gb.node_ids_sorted() {
+            gb2.add_node(n, gb.node(n).unwrap().attrs.clone());
+        }
+        for (k, e) in gb.edge_ids_sorted().iter().enumerate() {
+            let d = gb.edge(*e).unwrap();
+            gb2.add_edge(
+                gcore_repro::ppg::EdgeId(5000 + k as u64),
+                d.src,
+                d.dst,
+                d.attrs.clone(),
+            )
+            .unwrap();
+        }
+        let u = ops::union(&ga, &gb2);
+        u.validate().unwrap();
+        for n in ga.node_ids() {
+            prop_assert!(u.contains_node(n));
+        }
+        for n in gb2.node_ids() {
+            prop_assert!(u.contains_node(n));
+        }
+        for e in ga.edge_ids() {
+            prop_assert!(u.contains_edge(e));
+        }
+    }
+
+    #[test]
+    fn difference_never_dangles(a in graph_spec(), b in graph_spec()) {
+        let ga = build(&a, 0);
+        let gb = build(&b, 0);
+        let d = ops::difference(&ga, &gb);
+        d.validate().unwrap();
+        for e in d.edge_ids() {
+            let (s, t) = d.endpoints(e).unwrap();
+            prop_assert!(d.contains_node(s));
+            prop_assert!(d.contains_node(t));
+        }
+    }
+
+    #[test]
+    fn intersection_commutes(a in graph_spec(), b in graph_spec()) {
+        let ga = build(&a, 0);
+        let gb = build(&b, 0);
+        let ab = ops::intersect(&ga, &gb);
+        let ba = ops::intersect(&gb, &ga);
+        prop_assert_eq!(ab, ba);
+    }
+
+    // ------------------------------------------------------------------
+    // Engine-level invariants on arbitrary graphs
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn construct_match_is_node_identity(spec in graph_spec()) {
+        let mut engine = Engine::new();
+        let g = build(&spec, 0);
+        let node_ids = g.node_ids_sorted();
+        engine.register_graph("g", g);
+        engine.set_default_graph("g");
+        let out = engine.query_graph("CONSTRUCT (n) MATCH (n)").unwrap();
+        prop_assert_eq!(out.node_ids_sorted(), node_ids);
+        prop_assert_eq!(out.edge_count(), 0);
+    }
+
+    #[test]
+    fn full_graph_roundtrip_preserves_everything(spec in graph_spec()) {
+        let mut engine = Engine::new();
+        let g = build(&spec, 0);
+        engine.register_graph("g", g.clone());
+        engine.set_default_graph("g");
+        let out = engine
+            .query_graph("CONSTRUCT (n)-[e]->(m) MATCH (n)-[e]->(m) UNION CONSTRUCT (n) MATCH (n)")
+            .unwrap();
+        prop_assert_eq!(out, g);
+    }
+
+    #[test]
+    fn where_filter_is_a_subset(spec in graph_spec()) {
+        let mut engine = Engine::new();
+        let g = build(&spec, 0);
+        engine.register_graph("g", g.clone());
+        engine.set_default_graph("g");
+        let filtered = engine
+            .query_graph("CONSTRUCT (n) MATCH (n) WHERE n.idx < 5")
+            .unwrap();
+        for n in filtered.node_ids() {
+            prop_assert!(g.contains_node(n));
+        }
+        filtered.validate().unwrap();
+    }
+
+    #[test]
+    fn shortest_paths_are_connected_walks(spec in graph_spec()) {
+        let mut engine = Engine::new();
+        let g = build(&spec, 0);
+        engine.register_graph("g", g.clone());
+        engine.set_default_graph("g");
+        let out = engine
+            .query_graph(
+                "CONSTRUCT (n)-/@p:found/->(m) \
+                 MATCH (n)-/p <:knows*>/->(m)",
+            )
+            .unwrap();
+        out.validate().unwrap(); // add_path re-checks Def 2.1 (3)
+        for p in out.path_ids_sorted() {
+            let shape = &out.path(p).unwrap().shape;
+            // Every stored path uses only knows edges of the original
+            // graph, traversed forward.
+            for (i, e) in shape.edges().iter().enumerate() {
+                let (s, d) = g.endpoints(*e).unwrap();
+                prop_assert_eq!(s, shape.nodes()[i]);
+                prop_assert_eq!(d, shape.nodes()[i + 1]);
+                prop_assert!(g.has_label((*e).into(), "knows".into()));
+            }
+        }
+    }
+
+    #[test]
+    fn reachability_matches_manual_bfs(spec in graph_spec()) {
+        let mut engine = Engine::new();
+        let g = build(&spec, 0);
+        engine.register_graph("g", g.clone());
+        engine.set_default_graph("g");
+        let out = engine
+            .query_graph(
+                "CONSTRUCT (m) MATCH (n)-/<:knows*>/->(m) WHERE n.idx = 0",
+            )
+            .unwrap();
+        // Manual BFS over knows edges from node 0.
+        let start = NodeId(0);
+        let mut seen = vec![start];
+        let mut queue = vec![start];
+        while let Some(x) = queue.pop() {
+            for &e in g.out_edges(x) {
+                if !g.has_label(e.into(), "knows".into()) {
+                    continue;
+                }
+                let (_, t) = g.endpoints(e).unwrap();
+                if !seen.contains(&t) {
+                    seen.push(t);
+                    queue.push(t);
+                }
+            }
+        }
+        seen.sort();
+        prop_assert_eq!(out.node_ids_sorted(), seen);
+    }
+
+    // ------------------------------------------------------------------
+    // Determinism: same query, same catalog ⇒ byte-identical result
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn evaluation_is_deterministic(spec in graph_spec()) {
+        let build_and_run = || {
+            let mut engine = Engine::new();
+            let g = build(&spec, 0);
+            engine.register_graph("g", g);
+            engine.set_default_graph("g");
+            engine
+                .query_graph(
+                    "CONSTRUCT (x GROUP n.idx :G {v := n.idx})<-[:of]-(n) \
+                     MATCH (n)-[:knows]->(m)",
+                )
+                .unwrap()
+        };
+        prop_assert_eq!(build_and_run(), build_and_run());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser roundtrip over the corpus (print → parse → print fixpoint)
+// ---------------------------------------------------------------------
+
+#[test]
+fn corpus_pretty_print_roundtrip() {
+    use gcore_repro::parser::{parse_statement, print_statement};
+    for q in gcore_repro::corpus::ALL {
+        let ast1 = parse_statement(q.text).unwrap();
+        let printed = print_statement(&ast1);
+        let ast2 = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("'{}' failed to reparse: {e}\n{printed}", q.id));
+        assert_eq!(ast1, ast2, "roundtrip changed the AST of '{}'", q.id);
+    }
+}
+
+#[test]
+fn builder_and_direct_construction_agree() {
+    let mut b = GraphBuilder::standalone();
+    let x = b.node(Attributes::labeled("A"));
+    let y = b.node(Attributes::labeled("B"));
+    b.edge(x, y, Attributes::labeled("e"));
+    let g1 = b.build();
+
+    let mut g2 = PathPropertyGraph::new();
+    g2.add_node(x, Attributes::labeled("A"));
+    g2.add_node(y, Attributes::labeled("B"));
+    g2.add_edge(
+        g1.edge_ids_sorted()[0],
+        x,
+        y,
+        Attributes::labeled("e"),
+    )
+    .unwrap();
+    assert_eq!(g1, g2);
+}

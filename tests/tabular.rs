@@ -1,0 +1,202 @@
+//! The §5 extensions (experiment E12): SELECT projection, FROM binding
+//! table inputs, and interpreting tables as graphs.
+
+mod common;
+
+use common::tour;
+use gcore_repro::ppg::{Key, Label, Value};
+
+// ---------------------------------------------------------------------
+// Lines 72–75: tabular projection
+// ---------------------------------------------------------------------
+
+#[test]
+fn select_friend_names() {
+    let mut t = tour();
+    let table = t
+        .engine
+        .query_table(
+            "SELECT m.lastName + ', ' + m.firstName AS friendName \
+             MATCH (n:Person)-/<:knows*>/->(m:Person) \
+             WHERE n.firstName = 'John' AND n.lastName = 'Doe' \
+               AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)",
+        )
+        .unwrap();
+    assert_eq!(table.columns(), &["friendName"]);
+    let names: Vec<&str> = table
+        .rows()
+        .iter()
+        .map(|r| r[0].as_str().unwrap())
+        .collect();
+    // Sorted (deterministic output); knows* includes the empty path so
+    // John reaches himself.
+    assert_eq!(
+        names,
+        vec!["Doe, John", "Gold, Frank", "Mayer, Celine", "Smith, Peter"]
+    );
+}
+
+#[test]
+fn select_with_order_limit_distinct() {
+    let mut t = tour();
+    let table = t
+        .engine
+        .query_table(
+            "SELECT DISTINCT n.employer AS emp \
+             MATCH (n:Person) \
+             ORDER BY emp DESC \
+             LIMIT 2",
+        )
+        .unwrap();
+    assert_eq!(table.len(), 2);
+    // Employers sorted descending: {CWI,MIT} renders as a set, singleton
+    // values unwrap. Descending order puts the multi-set or largest
+    // string first; just check determinism and the limit.
+    let again = t
+        .engine
+        .query_table(
+            "SELECT DISTINCT n.employer AS emp \
+             MATCH (n:Person) \
+             ORDER BY emp DESC \
+             LIMIT 2",
+        )
+        .unwrap();
+    assert_eq!(table.rows(), again.rows());
+}
+
+#[test]
+fn select_aggregation_group_by() {
+    let mut t = tour();
+    let table = t
+        .engine
+        .query_table(
+            "SELECT c.name AS city, COUNT(*) AS inhabitants \
+             MATCH (n:Person)-[:isLocatedIn]->(c:City) \
+             GROUP BY c.name \
+             ORDER BY inhabitants DESC",
+        )
+        .unwrap();
+    assert_eq!(table.len(), 2);
+    assert_eq!(table.rows()[0][0], Value::str("Houston"));
+    assert_eq!(table.rows()[0][1], Value::Int(4));
+    assert_eq!(table.rows()[1][0], Value::str("Austin"));
+    assert_eq!(table.rows()[1][1], Value::Int(1));
+}
+
+// ---------------------------------------------------------------------
+// Lines 76–80: FROM binding-table inputs
+// ---------------------------------------------------------------------
+
+#[test]
+fn construct_from_orders_table() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT \
+             (cust GROUP custName :Customer {name := custName}), \
+             (prod GROUP prodCode :Product {code := prodCode}), \
+             (cust)-[:bought]->(prod) \
+             FROM orders",
+        )
+        .unwrap();
+    // 3 distinct customers, 3 distinct products, 4 distinct bought
+    // edges (Cleo's duplicate row collapses by grouping).
+    assert_eq!(g.nodes_with_label(Label::new("Customer")).len(), 3);
+    assert_eq!(g.nodes_with_label(Label::new("Product")).len(), 3);
+    let bought = g.edges_with_label(Label::new("bought"));
+    assert_eq!(bought.len(), 4);
+    // Ann bought two products.
+    let ann = g
+        .nodes_with_label(Label::new("Customer"))
+        .into_iter()
+        .find(|&c| g.prop(c.into(), Key::new("name")) == "Ann".into())
+        .unwrap();
+    assert_eq!(
+        g.out_edges(ann)
+            .iter()
+            .filter(|&&e| g.has_label(e.into(), Label::new("bought")))
+            .count(),
+        2
+    );
+}
+
+// ---------------------------------------------------------------------
+// Lines 81–85: interpreting tables as graphs
+// ---------------------------------------------------------------------
+
+#[test]
+fn match_on_table_as_isolated_nodes() {
+    let mut t = tour();
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT \
+             (cust GROUP o.custName :Customer {name := o.custName}), \
+             (prod GROUP o.prodCode :Product {code := o.prodCode}), \
+             (cust)-[:bought]->(prod) \
+             MATCH (o) ON orders",
+        )
+        .unwrap();
+    assert_eq!(g.nodes_with_label(Label::new("Customer")).len(), 3);
+    assert_eq!(g.nodes_with_label(Label::new("Product")).len(), 3);
+    assert_eq!(g.edges_with_label(Label::new("bought")).len(), 4);
+}
+
+#[test]
+fn both_table_import_forms_agree() {
+    let mut t = tour();
+    let via_from = t
+        .engine
+        .query_table(
+            "SELECT cust.name AS c, prod.code AS p \
+             MATCH (cust:Customer)-[:bought]->(prod:Product) \
+             ON ( CONSTRUCT \
+                  (cust GROUP custName :Customer {name := custName}), \
+                  (prod GROUP prodCode :Product {code := prodCode}), \
+                  (cust)-[:bought]->(prod) \
+                  FROM orders )",
+        )
+        .unwrap();
+    let via_table_graph = t
+        .engine
+        .query_table(
+            "SELECT cust.name AS c, prod.code AS p \
+             MATCH (cust:Customer)-[:bought]->(prod:Product) \
+             ON ( CONSTRUCT \
+                  (cust GROUP o.custName :Customer {name := o.custName}), \
+                  (prod GROUP o.prodCode :Product {code := o.prodCode}), \
+                  (cust)-[:bought]->(prod) \
+                  MATCH (o) ON orders )",
+        )
+        .unwrap();
+    assert_eq!(via_from.rows(), via_table_graph.rows());
+    assert_eq!(via_from.len(), 4);
+}
+
+#[test]
+fn null_cells_stay_unbound_in_from() {
+    let mut t = tour();
+    let mut table = gcore_repro::ppg::Table::new(vec!["a", "b"]).unwrap();
+    table
+        .push_row(vec![Value::str("x"), Value::Null])
+        .unwrap();
+    table
+        .push_row(vec![Value::str("y"), Value::str("z")])
+        .unwrap();
+    t.engine.register_table("partial", table);
+    let g = t
+        .engine
+        .query_graph(
+            "CONSTRUCT (n GROUP a :Row {a := a, b := b}) FROM partial",
+        )
+        .unwrap();
+    let rows = g.nodes_with_label(Label::new("Row"));
+    assert_eq!(rows.len(), 2);
+    let x_node = rows
+        .iter()
+        .find(|&&n| g.prop(n.into(), Key::new("a")) == "x".into())
+        .unwrap();
+    // The NULL b cell is an absent property, not a NULL value.
+    assert!(g.prop((*x_node).into(), Key::new("b")).is_empty());
+}

@@ -1,0 +1,135 @@
+//! GRAPH VIEW `social_graph1` — Figure 5 / lines 39–47 of the paper
+//! (experiment E4): OPTIONAL matching + COUNT(*) aggregation adds a
+//! `nr_messages` property to every knows edge.
+
+mod common;
+
+use common::{int_prop, tour};
+use gcore_repro::ppg::Label;
+
+const SOCIAL_GRAPH1: &str = "GRAPH VIEW social_graph1 AS ( \
+     CONSTRUCT social_graph, \
+     (n)-[e]->(m) SET e.nr_messages := COUNT(*) \
+     MATCH (n)-[e:knows]->(m) \
+     WHERE (n:Person) AND (m:Person) \
+     OPTIONAL (n)<-[c1]-(msg1:Post|Comment), \
+              (msg1)-[:reply_of]-(msg2), \
+              (msg2:Post|Comment)-[c2]->(m) \
+     WHERE (c1:has_creator) AND (c2:has_creator) )";
+
+#[test]
+fn social_graph1_nr_messages() {
+    let mut t = tour();
+    t.engine.run(SOCIAL_GRAPH1).unwrap();
+    let g = t.engine.graph("social_graph1").unwrap();
+
+    // The view contains the original graph plus the annotated edges.
+    let orig = t.engine.graph("social_graph").unwrap();
+    for n in orig.node_ids() {
+        assert!(g.contains_node(n));
+    }
+
+    // Expected counts per person pair (see gcore-snb::social_graph):
+    //   John ↔ Peter → 3, Peter ↔ Frank → 2, Peter ↔ Celine → 1,
+    //   John ↔ Alice → 0 (OPTIONAL ⇒ 0, not absent!).
+    let expect = [
+        (t.john, t.peter, 3),
+        (t.peter, t.john, 3),
+        (t.peter, t.frank, 2),
+        (t.frank, t.peter, 2),
+        (t.peter, t.celine, 1),
+        (t.celine, t.peter, 1),
+        (t.john, t.alice, 0),
+        (t.alice, t.john, 0),
+    ];
+    let knows = g.edges_with_label(Label::new("knows"));
+    assert_eq!(knows.len(), 8);
+    for (src, dst, count) in expect {
+        let e = knows
+            .iter()
+            .find(|&&e| g.endpoints(e) == Some((src, dst)))
+            .unwrap_or_else(|| panic!("knows edge {src}→{dst} missing"));
+        assert_eq!(
+            int_prop(&g, *e, "nr_messages"),
+            Some(count),
+            "nr_messages of {src}→{dst}"
+        );
+    }
+}
+
+#[test]
+fn view_is_queryable_like_any_graph() {
+    let mut t = tour();
+    t.engine.run(SOCIAL_GRAPH1).unwrap();
+    // Composability: query the view's result.
+    let table = t
+        .engine
+        .query_table(
+            "SELECT n.firstName AS a, m.firstName AS b, e.nr_messages AS msgs \
+             MATCH (n)-[e:knows]->(m) ON social_graph1 \
+             WHERE e.nr_messages > 1",
+        )
+        .unwrap();
+    // Pairs with >1 message: John↔Peter (both directions), Peter↔Frank
+    // (both directions).
+    assert_eq!(table.len(), 4);
+}
+
+#[test]
+fn original_graph_is_untouched() {
+    let mut t = tour();
+    t.engine.run(SOCIAL_GRAPH1).unwrap();
+    // G-CORE is a query language, not an update language: the SET in the
+    // view must not modify social_graph.
+    let orig = t.engine.graph("social_graph").unwrap();
+    for e in orig.edges_with_label(Label::new("knows")) {
+        assert_eq!(int_prop(&orig, e, "nr_messages"), None);
+    }
+}
+
+#[test]
+fn optional_blocks_left_outer_join_in_order() {
+    let mut t = tour();
+    // Lines 48–53: independent OPTIONAL blocks commute.
+    let a = t
+        .engine
+        .query_table(
+            "SELECT n.firstName AS f, c.name AS city, w.name AS tag \
+             MATCH (n:Person) \
+             OPTIONAL (n)-[:isLocatedIn]->(c) \
+             OPTIONAL (n)-[:hasInterest]->(w)",
+        )
+        .unwrap();
+    let b = t
+        .engine
+        .query_table(
+            "SELECT n.firstName AS f, c.name AS city, w.name AS tag \
+             MATCH (n:Person) \
+             OPTIONAL (n)-[:hasInterest]->(w) \
+             OPTIONAL (n)-[:isLocatedIn]->(c)",
+        )
+        .unwrap();
+    assert_eq!(a.rows(), b.rows());
+    // Every person appears (left outer join keeps unmatched rows) —
+    // John and Peter have no interest tag, so their tag cell is NULL.
+    assert!(a.len() >= 5);
+}
+
+#[test]
+fn query_local_graph_clause() {
+    let mut t = tour();
+    // GRAPH name AS (…) introduces a name visible only inside the query.
+    let g = t
+        .engine
+        .query_graph(
+            "GRAPH acme_only AS (CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme') \
+             CONSTRUCT (n) MATCH (n:Person) ON acme_only WHERE n.firstName = 'John'",
+        )
+        .unwrap();
+    assert_eq!(common::first_names(&g), vec!["John"]);
+    // The local name is gone afterwards.
+    assert!(t
+        .engine
+        .query_graph("CONSTRUCT (n) MATCH (n) ON acme_only")
+        .is_err());
+}
