@@ -122,14 +122,13 @@ pub fn generate(cfg: &SnbConfig, idgen: &IdGen) -> SnbData {
             .with_prop("firstName", first)
             .with_prop("lastName", last)
             .with_prop("personId", i as i64);
-        if rng.gen_range(0..100) >= cfg.unemployed_pct {
-            let c1 = companies[rng.gen_range(0..companies.len())].clone();
-            if rng.gen_range(0..100) < cfg.two_jobs_pct {
+        if rng.gen_range(0..100u32) >= cfg.unemployed_pct {
+            let i1 = rng.gen_range(0..companies.len());
+            let c1 = companies[i1].clone();
+            if rng.gen_range(0..100u32) < cfg.two_jobs_pct {
                 let mut c2 = companies[rng.gen_range(0..companies.len())].clone();
                 if c2 == c1 {
-                    c2 = companies[(companies.iter().position(|c| *c == c1).unwrap() + 1)
-                        % companies.len()]
-                    .clone();
+                    c2 = companies[(i1 + 1) % companies.len()].clone();
                 }
                 attrs = attrs.with_prop_set(
                     "employer",

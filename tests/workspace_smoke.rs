@@ -1,0 +1,70 @@
+//! Workspace-wiring smoke test: one corpus query per §3/§5 family,
+//! parsed and executed end-to-end through the facade crate
+//! (`gcore_repro::corpus` → `gcore_repro::parser` → engine), on the
+//! guided-tour fixture. A failure here means the crates are mis-wired,
+//! not that a specific semantic rule broke — the per-family detail
+//! tests live in `guided_tour.rs`, `tabular.rs`, `views.rs`, etc.
+
+mod common;
+
+use gcore_repro::corpus::{self, CorpusQuery};
+use gcore_repro::engine::query::QueryOutput;
+use gcore_repro::parser::parse_statement;
+
+/// One representative per query family of the paper's §3 guided tour and
+/// the §5 tabular extensions.
+const FAMILY_REPRESENTATIVES: &[(&str, &CorpusQuery)] = &[
+    ("§3.1 basic MATCH + WHERE", &corpus::ACME_EMPLOYEES),
+    ("§3.1 multi-graph join + UNION", &corpus::WORKS_AT_IN),
+    ("§3.2 CONSTRUCT grouping/aggregation", &corpus::GRAPH_AGGREGATION),
+    ("§3.3 stored paths", &corpus::STORED_PATHS),
+    ("§3.3 reachability", &corpus::REACHABILITY),
+    ("§3.3 ALL paths", &corpus::ALL_PATHS),
+    ("§3.4 EXISTS subquery", &corpus::EXPLICIT_EXISTS),
+    ("§3.5 OPTIONAL", &corpus::OPTIONAL_BLOCKS),
+    ("§5 SELECT (graph → table)", &corpus::SELECT_FRIENDS),
+    ("§5 FROM (table → graph)", &corpus::FROM_ORDERS),
+];
+
+#[test]
+fn one_query_per_family_parses_and_executes() {
+    let mut t = common::tour();
+    for (family, q) in FAMILY_REPRESENTATIVES {
+        // Parses through the re-exported parser…
+        let stmt = parse_statement(q.text)
+            .unwrap_or_else(|e| panic!("{family} ({}) failed to parse: {e}", q.id));
+        // …and executes through the re-exported engine.
+        let out = t
+            .engine
+            .eval(&stmt)
+            .unwrap_or_else(|e| panic!("{family} ({}) failed to execute: {e}", q.id));
+        match out {
+            QueryOutput::Graph(g) => {
+                g.validate()
+                    .unwrap_or_else(|e| panic!("{family} ({}) built an invalid PPG: {e}", q.id));
+                assert!(
+                    g.node_count() > 0,
+                    "{family} ({}) produced an empty graph on the tour fixture",
+                    q.id
+                );
+            }
+            QueryOutput::Table(tab) => {
+                assert!(
+                    !tab.is_empty(),
+                    "{family} ({}) produced an empty table on the tour fixture",
+                    q.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn entire_corpus_executes_on_the_tour_fixture() {
+    let mut t = common::tour();
+    for q in corpus::ALL {
+        t.engine
+            .run(q.text)
+            .unwrap_or_else(|e| panic!("corpus query {} failed: {e}", q.id));
+    }
+}

@@ -1,0 +1,230 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The workspace builds in a container with no crates.io access, so the
+//! criterion API surface the bench suite uses is vendored here:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`Throughput`],
+//! [`BatchSize`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is intentionally simple: each benchmark warms up briefly,
+//! then runs for a short fixed wall-clock budget and reports the mean
+//! iteration time. That is enough for the coarse scaling comparisons the
+//! `experiments` binary and CI `--no-run` compile checks need; it makes
+//! no statistical claims (no outlier analysis, no confidence intervals).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget per benchmark (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().full, f);
+        self
+    }
+}
+
+/// A named group of benchmarks; configuration methods are accepted for
+/// API compatibility and ignored by this harness.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness uses a fixed budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; this harness uses a fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.full), f);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I: Into<BenchmarkId>, P, F>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.full), |b| f(b, input));
+        self
+    }
+
+    /// Close the group (no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label:<56} (no iterations)");
+    } else {
+        let mean = b.total / b.iters as u32;
+        println!("{label:<56} {mean:>12.2?}/iter  ({} iters)", b.iters);
+    }
+}
+
+/// Passed to benchmark closures; runs the timed routine.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (untimed).
+        let warm = Instant::now();
+        while warm.elapsed() < WARMUP_BUDGET {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            let t = Instant::now();
+            black_box(routine());
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Like [`Bencher::iter`], but with an untimed per-iteration setup.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm = Instant::now();
+        while warm.elapsed() < WARMUP_BUDGET {
+            black_box(routine(setup()));
+        }
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Batch sizing hints; accepted for API compatibility.
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput reporting hints; accepted for API compatibility.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { full: s.to_owned() }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
