@@ -11,10 +11,7 @@ fn bench_construct(c: &mut Criterion) {
     g.sample_size(15);
 
     let cases: &[(&str, &str)] = &[
-        (
-            "identity_nodes",
-            "CONSTRUCT (n) MATCH (n:Person)",
-        ),
+        ("identity_nodes", "CONSTRUCT (n) MATCH (n:Person)"),
         (
             "identity_subgraph",
             "CONSTRUCT (n)-[e]->(m) MATCH (n:Person)-[e:knows]->(m:Person)",

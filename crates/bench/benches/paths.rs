@@ -132,5 +132,10 @@ fn bench_tour_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_paths, bench_stored_paths, bench_tour_pipeline);
+criterion_group!(
+    benches,
+    bench_paths,
+    bench_stored_paths,
+    bench_tour_pipeline
+);
 criterion_main!(benches);

@@ -33,21 +33,15 @@ fn bench_semantics(c: &mut Criterion) {
     g.sample_size(10);
     for k in [4usize, 8, 12, 16] {
         let (graph, src, dst) = diamond_chain(k);
-        g.bench_with_input(
-            BenchmarkId::new("gcore_shortest_walk", k),
-            &k,
-            |b, _| b.iter(|| black_box(shortest_walks(&graph, src, label))),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("cypher9_trails", k),
-            &k,
-            |b, _| b.iter(|| black_box(trails(&graph, src, dst, label, u64::MAX))),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("simple_paths_np", k),
-            &k,
-            |b, _| b.iter(|| black_box(simple_paths(&graph, src, dst, label, u64::MAX))),
-        );
+        g.bench_with_input(BenchmarkId::new("gcore_shortest_walk", k), &k, |b, _| {
+            b.iter(|| black_box(shortest_walks(&graph, src, label)))
+        });
+        g.bench_with_input(BenchmarkId::new("cypher9_trails", k), &k, |b, _| {
+            b.iter(|| black_box(trails(&graph, src, dst, label, u64::MAX)))
+        });
+        g.bench_with_input(BenchmarkId::new("simple_paths_np", k), &k, |b, _| {
+            b.iter(|| black_box(simple_paths(&graph, src, dst, label, u64::MAX)))
+        });
     }
     g.finish();
 }

@@ -49,11 +49,9 @@ fn bench_tractability(c: &mut Criterion) {
             let mut engine = snb_engine(persons);
             let nodes = engine.graph("snb").unwrap().node_count() as u64;
             g.throughput(Throughput::Elements(nodes));
-            g.bench_with_input(
-                BenchmarkId::from_parameter(persons),
-                &persons,
-                |b, _| b.iter(|| black_box(engine.query_graph(query).unwrap())),
-            );
+            g.bench_with_input(BenchmarkId::from_parameter(persons), &persons, |b, _| {
+                b.iter(|| black_box(engine.query_graph(query).unwrap()))
+            });
         }
         g.finish();
     }

@@ -212,7 +212,10 @@ fn tour() {
                 t.columns().len(),
                 t0.elapsed()
             ),
-            Err(e) => println!("lines {:>2}-{:<2} {:<18} -> ERROR {e}", q.first_line, q.last_line, q.id),
+            Err(e) => println!(
+                "lines {:>2}-{:<2} {:<18} -> ERROR {e}",
+                q.first_line, q.last_line, q.id
+            ),
         }
     }
 }
@@ -275,11 +278,7 @@ fn table1() {
     for (feature, lines) in TABLE1 {
         let occ = match lines {
             None => "*".to_owned(),
-            Some(ls) => ls
-                .iter()
-                .map(u32::to_string)
-                .collect::<Vec<_>>()
-                .join(", "),
+            Some(ls) => ls.iter().map(u32::to_string).collect::<Vec<_>>().join(", "),
         };
         let confirmed = match lines {
             None => detected.iter().filter(|(_, d)| d.contains(feature)).count(),

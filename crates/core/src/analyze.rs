@@ -313,10 +313,7 @@ mod tests {
 
     #[test]
     fn path_var_cannot_be_an_edge_in_match() {
-        let err = check(
-            "CONSTRUCT (n) MATCH (n)-/p <:knows*>/->(m), (x)-[p]->(y)",
-        )
-        .unwrap_err();
+        let err = check("CONSTRUCT (n) MATCH (n)-/p <:knows*>/->(m), (x)-[p]->(y)").unwrap_err();
         assert!(matches!(
             err,
             crate::EngineError::Semantic(SemanticError::SortMismatch { .. })
@@ -325,10 +322,7 @@ mod tests {
 
     #[test]
     fn cost_variable_is_a_value() {
-        let err = check(
-            "CONSTRUCT (c) MATCH (n)-/p <:knows*> COST c/->(m)",
-        )
-        .unwrap_err();
+        let err = check("CONSTRUCT (c) MATCH (n)-/p <:knows*> COST c/->(m)").unwrap_err();
         assert!(matches!(
             err,
             crate::EngineError::Semantic(SemanticError::SortMismatch { .. })

@@ -34,11 +34,7 @@ pub struct BaselineResult {
 /// G-CORE semantics: the shortest walk from `src` to each reachable
 /// node over edges carrying `label`, via BFS. Returns one path per
 /// reachable target, with the number of expansions performed.
-pub fn shortest_walks(
-    g: &PathPropertyGraph,
-    src: NodeId,
-    label: Label,
-) -> BaselineResult {
+pub fn shortest_walks(g: &PathPropertyGraph, src: NodeId, label: Label) -> BaselineResult {
     let mut dist: gcore_ppg::hash::FxHashMap<NodeId, u32> = Default::default();
     let mut queue = VecDeque::new();
     dist.insert(src, 0);

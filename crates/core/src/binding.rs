@@ -13,13 +13,37 @@
 //!
 //! Tables are kept sorted and deduplicated (set semantics), which also
 //! makes every downstream result deterministic.
+//!
+//! # Physical layout
+//!
+//! The table is **columnar**: one `Vec<u64>` per column, each cell a
+//! tagged code — the element sort in the top bits, the identifier (or a
+//! [`ValueInterner`] code for literals) in the low bits. Joins hash and
+//! compare raw codes, sort/dedup runs over a permutation index, and
+//! derived tables share the interner `Arc` so copying a cell is copying
+//! one `u64`. [`Bound`] remains the decoded per-cell view; rows as a
+//! whole are never materialized. New tables are assembled through
+//! [`TableBuilder`].
+//!
+//! Two encoding consequences worth knowing:
+//!
+//! * **Identifier space.** Element identifiers must fit 61 bits; a
+//!   larger (externally derived) id fails a hard assert at encode time.
+//!   Every internally generated id is a sequential counter and can
+//!   never get near the limit.
+//! * **Numeric canonicalization.** `Value`'s structural equality makes
+//!   `Int(1) == Float(1.0)`, so the interner gives both one code and a
+//!   decoded cell comes back as the first-interned representative. This
+//!   matches the table's set semantics — the row-major layout already
+//!   merged such rows at dedup time — but means the concrete numeric
+//!   variant of a decoded literal is canonical, not verbatim.
 
-use gcore_ppg::{EdgeId, NodeId, PathId, PathPropertyGraph, Value};
+use gcore_ppg::hash::FxHashMap;
+use gcore_ppg::{EdgeId, NodeId, PathId, PathPropertyGraph, Value, ValueInterner};
 use std::cmp::Ordering;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// A value bound to a variable.
+/// A value bound to a variable — the decoded view of one table cell.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Bound {
     /// Left-outer-join padding: the variable is unbound in this row.
@@ -77,6 +101,106 @@ impl PartialOrd for Bound {
     }
 }
 
+// ---------------------------------------------------------------------
+// Cell encoding
+// ---------------------------------------------------------------------
+
+/// One encoded cell: sort tag in the top 3 bits, payload below. The tag
+/// order mirrors `Bound::rank`, so comparing raw codes orders cells of
+/// different sorts (and of the same element sort) exactly like `Bound`'s
+/// `Ord`; only `Value` payloads need the interner's rank indirection.
+type Code = u64;
+
+const TAG_SHIFT: u32 = 61;
+const PAYLOAD_MASK: Code = (1 << TAG_SHIFT) - 1;
+const TAG_NODE: u64 = 1;
+const TAG_EDGE: u64 = 2;
+const TAG_PATH: u64 = 3;
+const TAG_FRESH: u64 = 4;
+const TAG_VALUE: u64 = 5;
+/// `Missing` is all-zeros, so freshly padded cells need no tagging.
+const MISSING: Code = 0;
+
+#[inline]
+fn pack(tag: u64, payload: u64) -> Code {
+    // Hard assert: a user-supplied identifier ≥ 2^61 would silently
+    // alias another element's code (or another sort's tag) — fail loudly
+    // instead of corrupting join results. Internally generated ids are
+    // sequential and can never trip this.
+    assert!(payload <= PAYLOAD_MASK, "identifier overflows 61 bits");
+    (tag << TAG_SHIFT) | payload
+}
+
+#[inline]
+fn tag_of(c: Code) -> u64 {
+    c >> TAG_SHIFT
+}
+
+#[inline]
+fn payload_of(c: Code) -> u64 {
+    c & PAYLOAD_MASK
+}
+
+/// Encode a bound that carries no literal (everything except `Value`).
+#[inline]
+fn encode_pure(b: &Bound) -> Option<Code> {
+    Some(match b {
+        Bound::Missing => MISSING,
+        Bound::Node(n) => pack(TAG_NODE, n.raw()),
+        Bound::Edge(e) => pack(TAG_EDGE, e.raw()),
+        Bound::Path(p) => pack(TAG_PATH, p.raw()),
+        Bound::FreshPath(i) => pack(TAG_FRESH, *i as u64),
+        Bound::Value(_) => return None,
+    })
+}
+
+fn encode(pool: &ValueInterner, b: &Bound) -> Code {
+    match b {
+        Bound::Value(v) => pack(TAG_VALUE, pool.intern(v) as u64),
+        other => encode_pure(other).expect("non-value bound"),
+    }
+}
+
+fn decode(pool: &ValueInterner, c: Code) -> Bound {
+    let p = payload_of(c);
+    match tag_of(c) {
+        0 => Bound::Missing,
+        TAG_NODE => Bound::Node(NodeId(p)),
+        TAG_EDGE => Bound::Edge(EdgeId(p)),
+        TAG_PATH => Bound::Path(PathId(p)),
+        TAG_FRESH => Bound::FreshPath(p as usize),
+        TAG_VALUE => Bound::Value(pool.resolve(p as u32)),
+        _ => unreachable!("invalid cell tag"),
+    }
+}
+
+/// Compare two cells in the `Bound` total order. `rank` is a
+/// [`ValueInterner::rank_snapshot`]; equal codes are equal values, and
+/// distinct `Value` codes order by the snapshot's value order.
+#[inline]
+fn cmp_codes(a: Code, b: Code, rank: &[u32]) -> Ordering {
+    if a == b {
+        return Ordering::Equal;
+    }
+    if tag_of(a) == TAG_VALUE && tag_of(b) == TAG_VALUE {
+        rank[payload_of(a) as usize].cmp(&rank[payload_of(b) as usize])
+    } else {
+        a.cmp(&b)
+    }
+}
+
+/// Lexicographic row comparison over two equal-width cell slices.
+#[inline]
+fn cmp_rows(a: &[Code], b: &[Code], rank: &[u32]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let c = cmp_codes(*x, *y, rank);
+        if c != Ordering::Equal {
+            return c;
+        }
+    }
+    Ordering::Equal
+}
+
 /// A column of a binding table: the variable name and the graph its
 /// element attributes resolve against (λ and σ are per-graph, and views
 /// may give the *same identity* different properties — e.g.
@@ -90,14 +214,23 @@ pub struct Column {
     pub graph: Arc<PathPropertyGraph>,
 }
 
-/// A set of bindings Ω over a common schema.
+/// A set of bindings Ω over a common schema, stored column-major.
 ///
-/// Invariants: rows are sorted, deduplicated, and every row has exactly
-/// `columns.len()` entries.
+/// Invariants: rows are sorted and deduplicated in the `Bound` total
+/// order, and every column holds exactly `len()` cells.
 #[derive(Clone, Debug)]
 pub struct BindingTable {
     columns: Vec<Column>,
-    rows: Vec<Vec<Bound>>,
+    /// Column-major cells: `cols[c][r]` is row `r`'s cell in column `c`.
+    cols: Vec<Vec<Code>>,
+    /// Row count (needed because a zero-column table still has rows).
+    nrows: usize,
+    /// Literal pool shared by every table derived from this one.
+    pool: Arc<ValueInterner>,
+    /// Whether any cell may carry a `Value` tag (conservative). Gates
+    /// the pool rank snapshot during normalization so literal-free
+    /// tables never pay for a shared pool another table has grown.
+    has_values: bool,
 }
 
 impl BindingTable {
@@ -106,7 +239,10 @@ impl BindingTable {
     pub fn unit() -> Self {
         BindingTable {
             columns: Vec::new(),
-            rows: vec![Vec::new()],
+            cols: Vec::new(),
+            nrows: 1,
+            pool: Arc::new(ValueInterner::new()),
+            has_values: false,
         }
     }
 
@@ -114,25 +250,94 @@ impl BindingTable {
     pub fn empty() -> Self {
         BindingTable {
             columns: Vec::new(),
-            rows: Vec::new(),
+            cols: Vec::new(),
+            nrows: 0,
+            pool: Arc::new(ValueInterner::new()),
+            has_values: false,
         }
     }
 
-    /// A table with the given columns and rows. Rows are normalized
-    /// (sorted + deduplicated).
-    pub fn new(columns: Vec<Column>, mut rows: Vec<Vec<Bound>>) -> Self {
-        debug_assert!(rows.iter().all(|r| r.len() == columns.len()));
-        rows.sort();
-        rows.dedup();
-        BindingTable { columns, rows }
+    /// Build from a flat row-major scratch buffer (`nrows` rows of
+    /// `columns.len()` cells each) — the join/union kernels emit into one
+    /// contiguous allocation, and normalization sorts a permutation over
+    /// it with row-local comparisons before the single columnar scatter.
+    fn from_flat_rows(
+        columns: Vec<Column>,
+        pool: Arc<ValueInterner>,
+        data: Vec<Code>,
+        nrows: usize,
+        has_values: bool,
+    ) -> Self {
+        let width = columns.len();
+        debug_assert_eq!(data.len(), nrows * width);
+        let mut perm: Vec<u32> = (0..nrows as u32).collect();
+        if nrows > 1 {
+            let rank = if has_values {
+                pool.rank_snapshot()
+            } else {
+                Arc::new(Vec::new())
+            };
+            let rank: &[u32] = &rank;
+            perm.sort_unstable_by(|&a, &b| {
+                let ra = &data[a as usize * width..][..width];
+                let rb = &data[b as usize * width..][..width];
+                cmp_rows(ra, rb, rank)
+            });
+            perm.dedup_by(|a, b| {
+                data[*a as usize * width..][..width] == data[*b as usize * width..][..width]
+            });
+        }
+        let cols = (0..width)
+            .map(|c| perm.iter().map(|&r| data[r as usize * width + c]).collect())
+            .collect();
+        BindingTable {
+            columns,
+            cols,
+            nrows: perm.len(),
+            pool,
+            has_values,
+        }
     }
 
-    /// A table that keeps the given row order (no sorting, no dedup).
-    /// Used when row indexes must stay aligned with another table —
-    /// e.g. the CONSTRUCT staging extension of the match bindings.
-    pub fn raw(columns: Vec<Column>, rows: Vec<Vec<Bound>>) -> Self {
-        debug_assert!(rows.iter().all(|r| r.len() == columns.len()));
-        BindingTable { columns, rows }
+    /// Restore the sorted/deduplicated invariant via a permutation
+    /// index: rows are compared in place and materialized exactly once.
+    fn normalize(&mut self) {
+        if self.nrows <= 1 {
+            return;
+        }
+        let rank = if self.has_values {
+            self.pool.rank_snapshot()
+        } else {
+            Arc::new(Vec::new())
+        };
+        let rank: &[u32] = &rank;
+        let mut perm: Vec<u32> = (0..self.nrows as u32).collect();
+        perm.sort_unstable_by(|&a, &b| {
+            for col in &self.cols {
+                let c = cmp_codes(col[a as usize], col[b as usize], rank);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            Ordering::Equal
+        });
+        // Equal rows have identical codes (the interner is canonical),
+        // so dedup is plain code equality on adjacent permuted rows.
+        perm.dedup_by(|a, b| {
+            self.cols
+                .iter()
+                .all(|col| col[*a as usize] == col[*b as usize])
+        });
+        if self.cols.is_empty() {
+            // Zero-column table: all rows are µ∅.
+            self.nrows = self.nrows.min(1);
+            return;
+        }
+        self.nrows = perm.len();
+        for col in &mut self.cols {
+            let new: Vec<Code> = perm.iter().map(|&r| col[r as usize]).collect();
+            *col = new;
+        }
     }
 
     /// Column metadata.
@@ -145,19 +350,19 @@ impl BindingTable {
         self.columns.iter().map(|c| c.var.as_str()).collect()
     }
 
-    /// The rows (sorted, deduplicated).
-    pub fn rows(&self) -> &[Vec<Bound>] {
-        &self.rows
-    }
-
     /// Number of bindings.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.nrows
     }
 
     /// True when Ω = ∅.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.nrows == 0
+    }
+
+    /// The literal pool this table encodes `Value` cells against.
+    pub fn pool(&self) -> &Arc<ValueInterner> {
+        &self.pool
     }
 
     /// Index of a variable's column.
@@ -165,35 +370,71 @@ impl BindingTable {
         self.columns.iter().position(|c| c.var == var)
     }
 
-    /// The binding of `var` in `row` (`None` if the column is absent;
-    /// `Some(Missing)` if padded).
-    pub fn get<'a>(&self, row: &'a [Bound], var: &str) -> Option<&'a Bound> {
-        self.column_index(var).map(|i| &row[i])
-    }
-
-    /// Does any row bind `var` to a non-missing value?
+    /// Does the schema contain `var`?
     pub fn binds(&self, var: &str) -> bool {
         self.column_index(var).is_some()
     }
 
-    /// Keep only rows satisfying the predicate.
-    pub fn filter(&self, mut pred: impl FnMut(&[Bound]) -> bool) -> BindingTable {
+    /// Decode the cell at (`row`, `col`).
+    pub fn bound(&self, row: usize, col: usize) -> Bound {
+        decode(&self.pool, self.cols[col][row])
+    }
+
+    /// The binding of `var` in `row` (`None` if the column is absent;
+    /// `Some(Missing)` if padded).
+    pub fn get(&self, row: usize, var: &str) -> Option<Bound> {
+        self.column_index(var).map(|c| self.bound(row, c))
+    }
+
+    /// Is the cell at (`row`, `col`) padding?
+    pub fn is_missing_at(&self, row: usize, col: usize) -> bool {
+        self.cols[col][row] == MISSING
+    }
+
+    /// Raw encoded cell — equal codes mean equal bindings. Crate-private
+    /// fast path for the matcher's already-bound checks.
+    pub(crate) fn code(&self, row: usize, col: usize) -> u64 {
+        self.cols[col][row]
+    }
+
+    /// Encode `b` against this table's pool without storing it, for raw
+    /// comparisons against [`code`](Self::code).
+    pub(crate) fn encode_for_probe(&self, b: &Bound) -> u64 {
+        encode(&self.pool, b)
+    }
+
+    /// Keep only rows satisfying the predicate (row order preserved — a
+    /// subset of a sorted, deduplicated table needs no re-normalizing).
+    pub fn filter(&self, mut pred: impl FnMut(usize) -> bool) -> BindingTable {
+        let keep: Vec<u32> = (0..self.nrows as u32)
+            .filter(|&r| pred(r as usize))
+            .collect();
+        let cols = self
+            .cols
+            .iter()
+            .map(|col| keep.iter().map(|&r| col[r as usize]).collect())
+            .collect();
         BindingTable {
             columns: self.columns.clone(),
-            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+            cols,
+            nrows: keep.len(),
+            pool: self.pool.clone(),
+            has_values: self.has_values,
         }
     }
 
     /// Project to a subset of variables (dropping others, deduplicating).
     pub fn project(&self, vars: &[&str]) -> BindingTable {
         let idxs: Vec<usize> = vars.iter().filter_map(|v| self.column_index(v)).collect();
-        let columns = idxs.iter().map(|&i| self.columns[i].clone()).collect();
-        let rows = self
-            .rows
-            .iter()
-            .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
-            .collect();
-        BindingTable::new(columns, rows)
+        let mut t = BindingTable {
+            columns: idxs.iter().map(|&i| self.columns[i].clone()).collect(),
+            cols: idxs.iter().map(|&i| self.cols[i].clone()).collect(),
+            nrows: self.nrows,
+            pool: self.pool.clone(),
+            has_values: self.has_values,
+        };
+        t.normalize();
+        t
     }
 
     /// Add a column computed from each existing row. The new column may
@@ -201,19 +442,17 @@ impl BindingTable {
     pub fn extend_column(
         &self,
         column: Column,
-        mut f: impl FnMut(&[Bound]) -> Vec<Bound>,
+        mut f: impl FnMut(usize) -> Vec<Bound>,
     ) -> BindingTable {
         let mut columns = self.columns.clone();
         columns.push(column);
-        let mut rows = Vec::with_capacity(self.rows.len());
-        for row in &self.rows {
+        let mut b = TableBuilder::with_pool(columns, self.pool.clone());
+        for row in 0..self.nrows {
             for v in f(row) {
-                let mut new_row = row.clone();
-                new_row.push(v);
-                rows.push(new_row);
+                b.push_extended(self, row, &[v]);
             }
         }
-        BindingTable::new(columns, rows)
+        b.finish()
     }
 
     /// Ω₁ ∪ Ω₂. Schemas are aligned by union of variables; rows missing a
@@ -221,14 +460,29 @@ impl BindingTable {
     pub fn union(&self, other: &BindingTable) -> BindingTable {
         let (columns, map_a, map_b) = merged_schema(self, other);
         let width = columns.len();
-        let mut rows = Vec::with_capacity(self.rows.len() + other.rows.len());
-        for r in &self.rows {
-            rows.push(remap(r, &map_a, width));
+        let (pool, other_map) = unify_pools(self, other);
+        let mut data = Vec::with_capacity((self.nrows + other.nrows) * width);
+        for r in 0..self.nrows {
+            let base = data.len();
+            data.resize(base + width, MISSING);
+            for (i, &mi) in map_a.iter().enumerate() {
+                data[base + mi] = self.cols[i][r];
+            }
         }
-        for r in &other.rows {
-            rows.push(remap(r, &map_b, width));
+        for r in 0..other.nrows {
+            let base = data.len();
+            data.resize(base + width, MISSING);
+            for (i, &mi) in map_b.iter().enumerate() {
+                data[base + mi] = translate_code(other.cols[i][r], other_map.as_deref());
+            }
         }
-        BindingTable::new(columns, rows)
+        BindingTable::from_flat_rows(
+            columns,
+            pool,
+            data,
+            self.nrows + other.nrows,
+            self.has_values || other.has_values,
+        )
     }
 
     /// Ω₁ ⋈ Ω₂ — all unions µ₁ ∪ µ₂ of compatible bindings.
@@ -258,9 +512,9 @@ impl BindingTable {
     }
 
     fn join_inner(&self, other: &BindingTable, kind: JoinKind) -> BindingTable {
-        // Shared variables drive a hash join; rows with Missing in a
-        // shared column fall back to a scan bucket (they are compatible
-        // with every key).
+        // Shared variables drive a hash join on encoded keys; rows with
+        // Missing in a shared column fall back to a scan bucket (they
+        // are compatible with every key).
         let shared: Vec<(usize, usize)> = self
             .columns
             .iter()
@@ -270,82 +524,126 @@ impl BindingTable {
 
         let (columns, map_a, map_b) = merged_schema(self, other);
         let width = columns.len();
+        let (pool, other_map) = unify_pools(self, other);
+        let translate = other_map.as_deref();
 
         // Partition `other` rows: fully-keyed rows go into the hash map;
         // rows with a Missing shared column are checked by scan.
-        let mut keyed: BTreeMap<Vec<Bound>, Vec<usize>> = BTreeMap::new();
-        let mut wild: Vec<usize> = Vec::new();
-        for (idx, row) in other.rows.iter().enumerate() {
-            let key: Vec<Bound> = shared.iter().map(|&(_, j)| row[j].clone()).collect();
-            if key.iter().any(Bound::is_missing) {
-                wild.push(idx);
+        let mut keyed: FxHashMap<Vec<Code>, Vec<u32>> = FxHashMap::default();
+        let mut wild: Vec<u32> = Vec::new();
+        for r in 0..other.nrows {
+            let key: Vec<Code> = shared
+                .iter()
+                .map(|&(_, j)| translate_code(other.cols[j][r], translate))
+                .collect();
+            if key.contains(&MISSING) {
+                wild.push(r as u32);
             } else {
-                keyed.entry(key).or_default().push(idx);
+                keyed.entry(key).or_default().push(r as u32);
             }
         }
 
-        let mut rows = Vec::new();
-        for a_row in &self.rows {
-            let key: Vec<Bound> = shared.iter().map(|&(i, _)| a_row[i].clone()).collect();
+        let compatible = |a_row: usize, b_row: usize| {
+            shared.iter().all(|&(i, j)| {
+                let a = self.cols[i][a_row];
+                let b = translate_code(other.cols[j][b_row], translate);
+                a == MISSING || b == MISSING || a == b
+            })
+        };
+
+        // One flat row-major scratch buffer for the emitted rows — no
+        // per-row allocation on the join's hot path.
+        let mut data: Vec<Code> = Vec::new();
+        let mut emitted = 0usize;
+        let out_width = match kind {
+            JoinKind::Inner => width,
+            JoinKind::Semi | JoinKind::Anti => self.columns.len(),
+        };
+        let mut key = Vec::with_capacity(shared.len());
+        for a_row in 0..self.nrows {
+            key.clear();
+            key.extend(shared.iter().map(|&(i, _)| self.cols[i][a_row]));
             let mut matched = false;
-            let emit = |b_idx: usize, rows: &mut Vec<Vec<Bound>>| {
-                let b_row = &other.rows[b_idx];
-                if !compatible(a_row, b_row, &shared) {
+            let emit = |b_row: u32, data: &mut Vec<Code>, emitted: &mut usize| {
+                let b_row = b_row as usize;
+                if !compatible(a_row, b_row) {
                     return false;
                 }
                 if kind == JoinKind::Inner {
-                    let mut merged = remap(a_row, &map_a, width);
+                    let base = data.len();
+                    data.resize(base + width, MISSING);
+                    for (i, &mi) in map_a.iter().enumerate() {
+                        data[base + mi] = self.cols[i][a_row];
+                    }
                     for (bi, &mi) in map_b.iter().enumerate() {
-                        if merged[mi].is_missing() {
-                            merged[mi] = b_row[bi].clone();
+                        if data[base + mi] == MISSING {
+                            data[base + mi] = translate_code(other.cols[bi][b_row], translate);
                         }
                     }
-                    rows.push(merged);
+                    *emitted += 1;
                 }
                 true
             };
-            if key.iter().any(Bound::is_missing) {
+            // Semi/anti joins only need existence — stop probing at the
+            // first compatible row instead of scanning out the bucket.
+            let exists_only = kind != JoinKind::Inner;
+            if key.contains(&MISSING) {
                 // This row is compatible with any key value in the
                 // missing positions — scan everything.
-                for b_idx in 0..other.rows.len() {
-                    matched |= emit(b_idx, &mut rows);
+                for b_row in 0..other.nrows as u32 {
+                    matched |= emit(b_row, &mut data, &mut emitted);
+                    if matched && exists_only {
+                        break;
+                    }
                 }
             } else {
                 if let Some(idxs) = keyed.get(&key) {
-                    for &b_idx in idxs {
-                        matched |= emit(b_idx, &mut rows);
+                    for &b_row in idxs {
+                        matched |= emit(b_row, &mut data, &mut emitted);
+                        if matched && exists_only {
+                            break;
+                        }
                     }
                 }
-                for &b_idx in &wild {
-                    matched |= emit(b_idx, &mut rows);
+                if !(matched && exists_only) {
+                    for &b_row in &wild {
+                        matched |= emit(b_row, &mut data, &mut emitted);
+                        if matched && exists_only {
+                            break;
+                        }
+                    }
                 }
             }
-            match kind {
-                JoinKind::Semi if matched => rows.push(remap(a_row, &map_a, width)),
-                JoinKind::Anti if !matched => rows.push(remap(a_row, &map_a, width)),
-                _ => {}
+            // Semi/anti joins keep the left schema and row verbatim.
+            let keep_left = match kind {
+                JoinKind::Semi => matched,
+                JoinKind::Anti => !matched,
+                JoinKind::Inner => false,
+            };
+            if keep_left {
+                data.extend(self.cols.iter().map(|c| c[a_row]));
+                emitted += 1;
             }
         }
-        let columns = match kind {
-            JoinKind::Inner => columns,
-            // Semi/anti joins keep the left schema.
-            JoinKind::Semi | JoinKind::Anti => self.columns.clone(),
-        };
-        let rows = match kind {
-            JoinKind::Inner => rows,
-            JoinKind::Semi | JoinKind::Anti => rows
-                .into_iter()
-                .map(|r| {
-                    // remap back to left schema widths
-                    self.columns
-                        .iter()
-                        .enumerate()
-                        .map(|(i, _)| r[map_a[i]].clone())
-                        .collect()
-                })
-                .collect(),
-        };
-        BindingTable::new(columns, rows)
+        match kind {
+            JoinKind::Inner => BindingTable::from_flat_rows(
+                columns,
+                pool,
+                data,
+                emitted,
+                self.has_values || other.has_values,
+            ),
+            JoinKind::Semi | JoinKind::Anti => {
+                debug_assert_eq!(data.len(), emitted * out_width);
+                BindingTable::from_flat_rows(
+                    self.columns.clone(),
+                    self.pool.clone(),
+                    data,
+                    emitted,
+                    self.has_values,
+                )
+            }
+        }
     }
 }
 
@@ -356,12 +654,50 @@ enum JoinKind {
     Anti,
 }
 
+#[inline]
+fn translate_code(c: Code, translate: Option<&[Code]>) -> Code {
+    match translate {
+        Some(map) if tag_of(c) == TAG_VALUE => map[payload_of(c) as usize],
+        _ => c,
+    }
+}
+
+/// Pick the pool a binary operation's result lives in: the shared pool
+/// when both sides already use one `Arc`, the non-empty side when the
+/// other has no literals, otherwise the left pool plus a translation
+/// table for the right side's codes.
+///
+/// Only codes that actually occur in `b`'s cells are interned into the
+/// left pool — translating the whole right pool would permanently grow
+/// the shared pool with values the operation never touches. Unreferenced
+/// map slots keep a sentinel that `translate_code` can never look up.
+fn unify_pools(a: &BindingTable, b: &BindingTable) -> (Arc<ValueInterner>, Option<Vec<Code>>) {
+    if Arc::ptr_eq(&a.pool, &b.pool) || b.pool.is_empty() {
+        return (a.pool.clone(), None);
+    }
+    if a.pool.is_empty() {
+        // `a` holds no Value cells, so its codes are valid under any pool.
+        return (b.pool.clone(), None);
+    }
+    let mut map: Vec<Code> = vec![MISSING; b.pool.len()];
+    let mut seen = vec![false; b.pool.len()];
+    for col in &b.cols {
+        for &c in col {
+            if tag_of(c) == TAG_VALUE {
+                let p = payload_of(c) as usize;
+                if !seen[p] {
+                    seen[p] = true;
+                    map[p] = pack(TAG_VALUE, a.pool.intern(&b.pool.resolve(p as u32)) as u64);
+                }
+            }
+        }
+    }
+    (a.pool.clone(), Some(map))
+}
+
 /// Merged schema of two tables; returns (columns, map_a, map_b) where
 /// map_x[i] is the merged index of x's column i.
-fn merged_schema(
-    a: &BindingTable,
-    b: &BindingTable,
-) -> (Vec<Column>, Vec<usize>, Vec<usize>) {
+fn merged_schema(a: &BindingTable, b: &BindingTable) -> (Vec<Column>, Vec<usize>, Vec<usize>) {
     let mut columns: Vec<Column> = a.columns.clone();
     let map_a: Vec<usize> = (0..a.columns.len()).collect();
     let mut map_b = Vec::with_capacity(b.columns.len());
@@ -377,19 +713,103 @@ fn merged_schema(
     (columns, map_a, map_b)
 }
 
-fn remap(row: &[Bound], map: &[usize], width: usize) -> Vec<Bound> {
-    let mut out = vec![Bound::Missing; width];
-    for (i, &mi) in map.iter().enumerate() {
-        out[mi] = row[i].clone();
-    }
-    out
+// ---------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------
+
+/// Assembles a [`BindingTable`] row by row. The only way to create a
+/// table with content — producers either push decoded [`Bound`]s or
+/// extend existing rows (a raw `u64` copy when the source shares the
+/// builder's pool).
+pub struct TableBuilder {
+    columns: Vec<Column>,
+    cols: Vec<Vec<Code>>,
+    nrows: usize,
+    pool: Arc<ValueInterner>,
+    has_values: bool,
 }
 
-/// µ₁ ~ µ₂: compatible iff they agree on all shared, *bound* variables.
-fn compatible(a: &[Bound], b: &[Bound], shared: &[(usize, usize)]) -> bool {
-    shared.iter().all(|&(i, j)| {
-        a[i].is_missing() || b[j].is_missing() || a[i] == b[j]
-    })
+impl TableBuilder {
+    /// A builder over a fresh literal pool.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Self::with_pool(columns, Arc::new(ValueInterner::new()))
+    }
+
+    /// A builder sharing an existing pool — use this when deriving from
+    /// another table so cell copies stay `u64` copies.
+    pub fn with_pool(columns: Vec<Column>, pool: Arc<ValueInterner>) -> Self {
+        let cols = vec![Vec::new(); columns.len()];
+        TableBuilder {
+            columns,
+            cols,
+            nrows: 0,
+            pool,
+            has_values: false,
+        }
+    }
+
+    /// Append one row of decoded bounds (must match the schema width).
+    pub fn push(&mut self, row: &[Bound]) {
+        debug_assert_eq!(row.len(), self.columns.len());
+        for (c, b) in row.iter().enumerate() {
+            let code = encode(&self.pool, b);
+            self.has_values |= tag_of(code) == TAG_VALUE;
+            self.cols[c].push(code);
+        }
+        self.nrows += 1;
+    }
+
+    /// Append `src`'s row followed by `extra` cells; the source columns
+    /// must form the builder schema's prefix.
+    pub fn push_extended(&mut self, src: &BindingTable, row: usize, extra: &[Bound]) {
+        let scols = src.cols.len();
+        debug_assert_eq!(scols + extra.len(), self.columns.len());
+        let same_pool = Arc::ptr_eq(&self.pool, &src.pool);
+        for (c, col) in src.cols.iter().enumerate() {
+            let code = col[row];
+            let code = if same_pool || tag_of(code) != TAG_VALUE {
+                code
+            } else {
+                pack(
+                    TAG_VALUE,
+                    self.pool.intern(&src.pool.resolve(payload_of(code) as u32)) as u64,
+                )
+            };
+            self.has_values |= tag_of(code) == TAG_VALUE;
+            self.cols[c].push(code);
+        }
+        for (i, b) in extra.iter().enumerate() {
+            let code = encode(&self.pool, b);
+            self.has_values |= tag_of(code) == TAG_VALUE;
+            self.cols[scols + i].push(code);
+        }
+        self.nrows += 1;
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.nrows
+    }
+
+    /// Finish into a normalized (sorted, deduplicated) table.
+    pub fn finish(self) -> BindingTable {
+        let mut t = self.finish_raw();
+        t.normalize();
+        t
+    }
+
+    /// Finish keeping the push order (no sorting, no dedup). Used when
+    /// row indexes must stay aligned with another table — e.g. the
+    /// CONSTRUCT staging extension of the match bindings.
+    pub fn finish_raw(self) -> BindingTable {
+        BindingTable {
+            columns: self.columns,
+            cols: self.cols,
+            nrows: self.nrows,
+            pool: self.pool,
+            has_values: self.has_values,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -412,7 +832,16 @@ mod tests {
     }
 
     fn table(vars: &[&str], rows: Vec<Vec<Bound>>) -> BindingTable {
-        BindingTable::new(vars.iter().map(|v| col(v)).collect(), rows)
+        let mut b = TableBuilder::new(vars.iter().map(|v| col(v)).collect());
+        for r in &rows {
+            b.push(r);
+        }
+        b.finish()
+    }
+
+    /// Decode a whole row for assertions.
+    fn row(t: &BindingTable, r: usize) -> Vec<Bound> {
+        (0..t.columns().len()).map(|c| t.bound(r, c)).collect()
     }
 
     #[test]
@@ -432,17 +861,31 @@ mod tests {
     }
 
     #[test]
+    fn rows_sort_in_bound_order() {
+        let t = table(
+            &["x"],
+            vec![
+                vec![Bound::Value(Value::str("b"))],
+                vec![n(5)],
+                vec![Bound::Value(Value::str("a"))],
+                vec![Bound::Missing],
+            ],
+        );
+        assert_eq!(row(&t, 0), vec![Bound::Missing]);
+        assert_eq!(row(&t, 1), vec![n(5)]);
+        assert_eq!(row(&t, 2), vec![Bound::Value(Value::str("a"))]);
+        assert_eq!(row(&t, 3), vec![Bound::Value(Value::str("b"))]);
+    }
+
+    #[test]
     fn join_on_shared_variable() {
         // The appendix's worked example shape: x→{105,102} joined with
         // (x,y) pairs.
         let a = table(&["x"], vec![vec![n(105)], vec![n(102)]]);
-        let b = table(
-            &["x", "y"],
-            vec![vec![n(105), n(102)], vec![n(7), n(8)]],
-        );
+        let b = table(&["x", "y"], vec![vec![n(105), n(102)], vec![n(7), n(8)]]);
         let j = a.join(&b);
         assert_eq!(j.len(), 1);
-        assert_eq!(j.rows()[0], vec![n(105), n(102)]);
+        assert_eq!(row(&j, 0), vec![n(105), n(102)]);
     }
 
     #[test]
@@ -450,6 +893,22 @@ mod tests {
         let a = table(&["x"], vec![vec![n(1)], vec![n(2)]]);
         let b = table(&["y"], vec![vec![n(10)], vec![n(20)], vec![n(30)]]);
         assert_eq!(a.join(&b).len(), 6);
+    }
+
+    #[test]
+    fn join_on_literal_values_across_pools() {
+        // Each table has its own interner; the join must unify codes.
+        let a = table(
+            &["x", "v"],
+            vec![
+                vec![n(1), Bound::Value(Value::str("cwi"))],
+                vec![n(2), Bound::Value(Value::str("mit"))],
+            ],
+        );
+        let b = table(&["v"], vec![vec![Bound::Value(Value::str("mit"))]]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 1);
+        assert_eq!(row(&j, 0), vec![n(2), Bound::Value(Value::str("mit"))]);
     }
 
     #[test]
@@ -461,7 +920,7 @@ mod tests {
         assert_eq!(s.var_names(), vec!["x"]);
         let d = a.antijoin(&b);
         assert_eq!(d.len(), 1);
-        assert_eq!(d.rows()[0], vec![n(2)]);
+        assert_eq!(row(&d, 0), vec![n(2)]);
     }
 
     #[test]
@@ -471,27 +930,25 @@ mod tests {
         let l = a.left_outer_join(&b);
         assert_eq!(l.len(), 2);
         // Row for x=2 has y missing.
-        let row2 = l
-            .rows()
-            .iter()
-            .find(|r| r[l.column_index("x").unwrap()] == n(2))
-            .unwrap();
-        assert!(row2[l.column_index("y").unwrap()].is_missing());
+        let xi = l.column_index("x").unwrap();
+        let yi = l.column_index("y").unwrap();
+        let r2 = (0..l.len()).find(|&r| l.bound(r, xi) == n(2)).unwrap();
+        assert!(l.bound(r2, yi).is_missing());
     }
 
     #[test]
     fn missing_is_compatible_with_anything() {
-        let mut a = table(&["x", "y"], vec![]);
-        a = BindingTable::new(
-            a.columns().to_vec(),
+        let a = table(
+            &["x", "y"],
             vec![vec![Bound::Missing, n(5)], vec![n(1), n(6)]],
         );
         let b = table(&["x"], vec![vec![n(1)]]);
         let j = a.join(&b);
         // Missing x row joins (x filled in), bound x=1 row joins too.
         assert_eq!(j.len(), 2);
-        for row in j.rows() {
-            assert_eq!(row[j.column_index("x").unwrap()], n(1));
+        let xi = j.column_index("x").unwrap();
+        for r in 0..j.len() {
+            assert_eq!(j.bound(r, xi), n(1));
         }
     }
 
@@ -506,10 +963,7 @@ mod tests {
 
     #[test]
     fn project_dedups() {
-        let t = table(
-            &["x", "y"],
-            vec![vec![n(1), n(10)], vec![n(1), n(20)]],
-        );
+        let t = table(&["x", "y"], vec![vec![n(1), n(10)], vec![n(1), n(20)]]);
         let p = t.project(&["x"]);
         assert_eq!(p.len(), 1);
     }
@@ -528,8 +982,17 @@ mod tests {
     #[test]
     fn filter_keeps_schema() {
         let t = table(&["x"], vec![vec![n(1)], vec![n(2)]]);
-        let f = t.filter(|r| r[0] == n(2));
+        let f = t.filter(|r| t.bound(r, 0) == n(2));
         assert_eq!(f.len(), 1);
         assert_eq!(f.var_names(), vec!["x"]);
+    }
+
+    #[test]
+    fn derived_tables_share_the_pool() {
+        let t = table(&["x"], vec![vec![Bound::Value(Value::Int(3))]]);
+        let f = t.filter(|_| true);
+        assert!(Arc::ptr_eq(t.pool(), f.pool()));
+        let p = t.project(&["x"]);
+        assert!(Arc::ptr_eq(t.pool(), p.pool()));
     }
 }

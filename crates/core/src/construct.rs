@@ -24,7 +24,7 @@
 //! semantics of the formalism. Dangling edges are impossible: an edge or
 //! path whose endpoint group was filtered away is dropped with it.
 
-use crate::binding::{BindingTable, Bound, Column};
+use crate::binding::{BindingTable, Bound, Column, TableBuilder};
 use crate::context::FreshPath;
 use crate::error::{Result, RuntimeError, SemanticError};
 use crate::expr::{eval_aggregate, eval_expr, Env, Rv};
@@ -34,8 +34,8 @@ use gcore_parser::ast::{
     PropAssign, RemoveItem, SetItem,
 };
 use gcore_ppg::{
-    Attributes, EdgeId, ElementId, IdGen, Key, Label, NodeId, PathId, PathPropertyGraph,
-    PathShape, PropertySet, Value,
+    Attributes, EdgeId, ElementId, IdGen, Key, Label, NodeId, PathId, PathPropertyGraph, PathShape,
+    PropertySet, Value,
 };
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
@@ -211,10 +211,9 @@ pub fn eval_construct(
                 let rows = staging.elem_rows.get(elem).cloned().unwrap_or_default();
                 let mut alive = false;
                 for &ri in &rows {
-                    let row = &ext.rows()[ri];
-                    let mut env = Env::new(&ext, row);
+                    let mut env = Env::new(&ext, ri);
                     env.parent = outer;
-                    let v = eval_when(ev, &ext, &rows, row, cond, outer)
+                    let v = eval_when(ev, &ext, &rows, ri, cond, outer)
                         .or_else(|_| eval_expr(ev.ctx, ev, &env, cond))?;
                     if v.truthy() {
                         alive = true;
@@ -244,9 +243,7 @@ pub fn eval_construct(
 
 /// Gather the explicit GROUP clause of every named construct variable;
 /// conflicting GROUP clauses for one variable are rejected.
-fn collect_group_overrides(
-    construct: &ConstructClause,
-) -> Result<BTreeMap<String, Vec<Expr>>> {
+fn collect_group_overrides(construct: &ConstructClause) -> Result<BTreeMap<String, Vec<Expr>>> {
     let mut map: BTreeMap<String, Vec<Expr>> = BTreeMap::new();
     let mut add = |var: &Option<String>, group: &Option<Vec<Expr>>| -> Result<()> {
         let (Some(v), Some(g)) = (var, group) else {
@@ -284,7 +281,7 @@ fn eval_when(
     ev: &Evaluator<'_>,
     table: &BindingTable,
     group_rows: &[usize],
-    row: &[Bound],
+    row: usize,
     cond: &Expr,
     outer: Option<&Env<'_>>,
 ) -> Result<Rv> {
@@ -322,21 +319,18 @@ fn extended_table(
             graph: staged.clone(),
         });
     }
-    let rows: Vec<Vec<Bound>> = bindings
-        .rows()
-        .iter()
-        .enumerate()
-        .map(|(ri, r)| {
-            let mut row = r.to_vec();
-            for v in &vars {
-                row.push(row_env[ri].get(v).cloned().unwrap_or(Bound::Missing));
-            }
-            row
-        })
-        .collect();
-    // NOTE: built without `BindingTable::new` normalization on purpose —
-    // row order must stay aligned with `bindings` for group indexes.
-    BindingTable::raw(columns, rows)
+    // NOTE: finished raw (no normalization) on purpose — row order must
+    // stay aligned with `bindings` for group indexes.
+    let mut b = TableBuilder::with_pool(columns, bindings.pool().clone());
+    let mut extra: Vec<Bound> = Vec::with_capacity(vars.len());
+    for (ri, env) in row_env.iter().enumerate().take(bindings.len()) {
+        extra.clear();
+        for v in &vars {
+            extra.push(env.get(v).cloned().unwrap_or(Bound::Missing));
+        }
+        b.push_extended(bindings, ri, &extra);
+    }
+    b.finish_raw()
 }
 
 /// Rebuild the staged graph without the dead elements (and without
@@ -540,8 +534,7 @@ fn stage_pattern<'a>(
             .filter(|(v, _)| spec.named == Some(v.as_str()))
             .map(|(_, a)| a)
             .collect();
-        let (ids, cols) =
-            stage_node(ev, spec, &extra, bindings, outer, skolem, staging)?;
+        let (ids, cols) = stage_node(ev, spec, &extra, bindings, outer, skolem, staging)?;
         node_ids.push(ids);
         node_group_cols.push(cols);
     }
@@ -550,10 +543,7 @@ fn stage_pattern<'a>(
     for (i, step) in pat.steps.iter().enumerate() {
         match &step.connection {
             ConstructConnection::Edge(e) => {
-                let token = e
-                    .var
-                    .clone()
-                    .unwrap_or_else(|| fresh_token(anon, "e"));
+                let token = e.var.clone().unwrap_or_else(|| fresh_token(anon, "e"));
                 let extra: Vec<&PropAssign> = set_prop_assigns
                     .iter()
                     .filter(|(v, _)| e.var.as_deref() == Some(v.as_str()))
@@ -647,17 +637,18 @@ fn group_rows_for(
     let bound_col = var.and_then(|v| bindings.column_index(v));
     if let Some(ci) = bound_col {
         if group.is_some() {
-            return Err(
-                SemanticError::GroupOnBoundVariable(var.unwrap_or("?").to_owned()).into(),
-            );
+            return Err(SemanticError::GroupOnBoundVariable(var.unwrap_or("?").to_owned()).into());
         }
         // Γ = {x}: group by identity.
         let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
-        for (ri, row) in bindings.rows().iter().enumerate() {
-            if row[ci].is_missing() {
+        for ri in 0..bindings.len() {
+            if bindings.is_missing_at(ri, ci) {
                 continue; // Ω′(x) undefined ⇒ G∅ for this row
             }
-            groups.entry(vec![bound_key(&row[ci])]).or_default().push(ri);
+            groups
+                .entry(vec![bound_key(&bindings.bound(ri, ci))])
+                .or_default()
+                .push(ri);
         }
         return Ok((groups, vec![ci], true));
     }
@@ -668,8 +659,8 @@ fn group_rows_for(
                 collect_var_cols(e, bindings, &mut cols);
             }
             let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
-            for (ri, row) in bindings.rows().iter().enumerate() {
-                let mut env = Env::new(bindings, row);
+            for ri in 0..bindings.len() {
+                let mut env = Env::new(bindings, ri);
                 env.parent = outer;
                 let mut key = Vec::with_capacity(exprs.len());
                 let mut defined = true;
@@ -689,12 +680,15 @@ fn group_rows_for(
         }
         None => {
             // Default: one element per binding (Γ = all variables).
+            let width = bindings.columns().len();
             let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
-            for (ri, row) in bindings.rows().iter().enumerate() {
-                let key: GroupKey = row.iter().map(bound_key).collect();
+            for ri in 0..bindings.len() {
+                let key: GroupKey = (0..width)
+                    .map(|ci| bound_key(&bindings.bound(ri, ci)))
+                    .collect();
                 groups.entry(key).or_default().push(ri);
             }
-            let cols = (0..bindings.columns().len()).collect();
+            let cols = (0..width).collect();
             Ok((groups, cols, false))
         }
     }
@@ -745,8 +739,8 @@ fn stage_node(
 
     for (key, rows) in &groups {
         let id = if is_bound {
-            match &bindings.rows()[rows[0]][group_cols[0]] {
-                Bound::Node(n) => *n,
+            match bindings.bound(rows[0], group_cols[0]) {
+                Bound::Node(n) => n,
                 other => {
                     return Err(SemanticError::SortMismatch {
                         var: spec.named.unwrap_or("?").to_owned(),
@@ -782,7 +776,11 @@ fn stage_node(
         for l in &spec.set_labels {
             attrs.labels.insert(Label::new(l));
         }
-        let assigns = spec.assigns.iter().copied().chain(extra_assigns.iter().copied());
+        let assigns = spec
+            .assigns
+            .iter()
+            .copied()
+            .chain(extra_assigns.iter().copied());
         for a in assigns {
             let vs = eval_assign(ev, bindings, rows, &group_cols, &a.value, outer)?;
             let merged = attrs.prop(Key::new(&a.key)).union(&vs);
@@ -812,7 +810,11 @@ fn record_elem(staging: &mut Staging, elem: ElementId, rows: &[usize]) {
             last.push(elem);
         }
     }
-    staging.elem_rows.entry(elem).or_default().extend(rows.iter().copied());
+    staging
+        .elem_rows
+        .entry(elem)
+        .or_default()
+        .extend(rows.iter().copied());
 }
 
 /// Union the labels/properties of a copied element (`(=n)` / `SET x = y`)
@@ -828,10 +830,10 @@ fn union_copied_attrs(
     };
     let col = &bindings.columns()[ci];
     for &ri in rows {
-        let elem: Option<ElementId> = match &bindings.rows()[ri][ci] {
-            Bound::Node(n) => Some((*n).into()),
-            Bound::Edge(e) => Some((*e).into()),
-            Bound::Path(p) => Some((*p).into()),
+        let elem: Option<ElementId> = match bindings.bound(ri, ci) {
+            Bound::Node(n) => Some(n.into()),
+            Bound::Edge(e) => Some(e.into()),
+            Bound::Path(p) => Some(p.into()),
             _ => None,
         };
         if let Some(e) = elem {
@@ -861,8 +863,7 @@ fn eval_assign(
     }
     let mut out = PropertySet::empty();
     for &ri in rows {
-        let row = &bindings.rows()[ri];
-        let mut env = Env::new(bindings, row);
+        let mut env = Env::new(bindings, ri);
         env.parent = outer;
         let v = eval_expr(ev.ctx, ev, &env, expr)?;
         out = out.union(&rv_to_propset(v)?);
@@ -890,10 +891,9 @@ fn rv_to_propset(rv: Rv) -> Result<PropertySet> {
             }
             Ok(PropertySet::from_values(vals))
         }
-        other => Err(RuntimeError::Type(format!(
-            "cannot store {other:?} as a property value"
-        ))
-        .into()),
+        other => {
+            Err(RuntimeError::Type(format!("cannot store {other:?} as a property value")).into())
+        }
     }
 }
 
@@ -922,17 +922,16 @@ pub(crate) fn eval_group_aggregate(
         );
     }
     let folded = fold_aggregates(ev, bindings, rows, group_cols, expr, outer)?;
-    let repr = rows.first().copied().unwrap_or(0);
-    let row = bindings
-        .rows()
-        .get(repr)
-        .map(|r| r.as_slice())
-        .unwrap_or(&[]);
+    let repr = rows
+        .first()
+        .copied()
+        .unwrap_or(0)
+        .min(bindings.len().saturating_sub(1));
     let unit = BindingTable::unit();
-    let (tbl, row): (&BindingTable, &[Bound]) = if bindings.rows().is_empty() {
-        (&unit, &[])
+    let (tbl, row): (&BindingTable, usize) = if bindings.is_empty() {
+        (&unit, 0)
     } else {
-        (bindings, row)
+        (bindings, repr)
     };
     let mut env = Env::new(tbl, row);
     env.parent = outer;
@@ -1069,10 +1068,7 @@ fn stage_edge(
 
     let bound_col = e.var.as_deref().and_then(|v| bindings.column_index(v));
     if bound_col.is_some() && e.group.is_some() {
-        return Err(SemanticError::GroupOnBoundVariable(
-            e.var.clone().unwrap_or_default(),
-        )
-        .into());
+        return Err(SemanticError::GroupOnBoundVariable(e.var.clone().unwrap_or_default()).into());
     }
 
     // Group columns: endpoints' group columns + our own identity/group.
@@ -1095,19 +1091,19 @@ fn stage_edge(
 
     // Group rows: by (src, dst, identity-or-GROUP).
     let mut groups: BTreeMap<GroupKey, (NodeId, NodeId, Vec<usize>)> = BTreeMap::new();
-    for (ri, row) in bindings.rows().iter().enumerate() {
+    for ri in 0..bindings.len() {
         let (Some(src), Some(dst)) = (src_ids[ri], dst_ids[ri]) else {
             continue; // dangling prevention
         };
         let mut key: GroupKey = vec![OrdRv(Rv::Node(src)), OrdRv(Rv::Node(dst))];
         if let Some(ci) = bound_col {
-            if row[ci].is_missing() {
+            if bindings.is_missing_at(ri, ci) {
                 continue;
             }
-            key.push(bound_key(&row[ci]));
+            key.push(bound_key(&bindings.bound(ri, ci)));
         }
         if let Some(exprs) = &e.group {
-            let mut env = Env::new(bindings, row);
+            let mut env = Env::new(bindings, ri);
             env.parent = outer;
             for gexpr in exprs {
                 key.push(OrdRv(eval_expr(ev.ctx, ev, &env, gexpr)?));
@@ -1120,7 +1116,7 @@ fn stage_edge(
     for (key, (src, dst, rows)) in &groups {
         let (id, mut attrs) = match bound_col {
             Some(ci) => {
-                let b = &bindings.rows()[rows[0]][ci];
+                let b = bindings.bound(rows[0], ci);
                 let Bound::Edge(eid) = b else {
                     return Err(SemanticError::SortMismatch {
                         var: e.var.clone().unwrap_or_default(),
@@ -1131,7 +1127,7 @@ fn stage_edge(
                 };
                 // Identity rule (§3): a bound edge keeps its endpoints.
                 let col = &bindings.columns()[ci];
-                let Some((osrc, odst)) = col.graph.endpoints(*eid) else {
+                let Some((osrc, odst)) = col.graph.endpoints(eid) else {
                     return Err(SemanticError::EdgeEndpointsUnbound(
                         e.var.clone().unwrap_or_default(),
                     )
@@ -1145,10 +1141,10 @@ fn stage_edge(
                 }
                 let attrs = col
                     .graph
-                    .attributes(ElementId::Edge(*eid))
+                    .attributes(ElementId::Edge(eid))
                     .cloned()
                     .unwrap_or_default();
-                (*eid, attrs)
+                (eid, attrs)
             }
             None => (skolem.edge(token, key), Attributes::new()),
         };
@@ -1187,9 +1183,7 @@ fn stage_edge(
             .or_default()
             .extend([ElementId::Node(*src), ElementId::Node(*dst)]);
         for &ri in rows {
-            staging
-                .row_env[ri]
-                .insert(token.to_owned(), Bound::Edge(id));
+            staging.row_env[ri].insert(token.to_owned(), Bound::Edge(id));
         }
     }
     Ok(())
@@ -1216,16 +1210,19 @@ fn stage_path(
 
     // Group rows by path identity.
     let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
-    for (ri, row) in bindings.rows().iter().enumerate() {
-        if row[ci].is_missing() {
+    for ri in 0..bindings.len() {
+        if bindings.is_missing_at(ri, ci) {
             continue;
         }
-        groups.entry(vec![bound_key(&row[ci])]).or_default().push(ri);
+        groups
+            .entry(vec![bound_key(&bindings.bound(ri, ci))])
+            .or_default()
+            .push(ri);
     }
 
     for (key, rows) in &groups {
-        let b = &bindings.rows()[rows[0]][ci];
-        let group: PathGroup = match b {
+        let b = bindings.bound(rows[0], ci);
+        let group: PathGroup = match &b {
             Bound::Path(pid) => {
                 let data = col_graph.path(*pid).ok_or_else(|| {
                     RuntimeError::Other(format!("stored path {pid} missing from its graph"))
@@ -1340,7 +1337,7 @@ fn stage_path(
             let (Some(pid), Some(walk)) = (group.id, group.walk.as_ref()) else {
                 continue;
             };
-            let mut attrs = if let Bound::Path(orig) = b {
+            let mut attrs = if let Bound::Path(orig) = &b {
                 col_graph
                     .attributes(ElementId::Path(*orig))
                     .cloned()

@@ -14,9 +14,7 @@ use crate::binding::{BindingTable, Bound};
 use crate::context::{EvalCtx, FreshPath};
 use crate::error::{Result, RuntimeError};
 use gcore_parser::ast::{AggOp, BinaryOp, Expr, Func, Pattern, Query, UnaryOp};
-use gcore_ppg::{
-    Date, ElementId, Key, Label, PathPropertyGraph, PropertySet, Value,
-};
+use gcore_ppg::{Date, ElementId, Key, Label, PathPropertyGraph, PropertySet, Value};
 use std::cmp::Ordering;
 use std::sync::Arc;
 
@@ -120,20 +118,21 @@ impl Rv {
     }
 }
 
-/// Variable environment: the current row plus an optional outer scope
-/// (correlated EXISTS subqueries see their outer bindings, §A.2).
+/// Variable environment: a cursor over one row of a binding table plus
+/// an optional outer scope (correlated EXISTS subqueries see their
+/// outer bindings, §A.2).
 pub struct Env<'a> {
     /// The binding table the row belongs to.
     pub table: &'a BindingTable,
-    /// The current row.
-    pub row: &'a [Bound],
+    /// Index of the current row in `table`.
+    pub row: usize,
     /// Outer scope for correlated subqueries.
     pub parent: Option<&'a Env<'a>>,
 }
 
 impl<'a> Env<'a> {
     /// Root environment.
-    pub fn new(table: &'a BindingTable, row: &'a [Bound]) -> Self {
+    pub fn new(table: &'a BindingTable, row: usize) -> Self {
         Env {
             table,
             row,
@@ -145,7 +144,10 @@ impl<'a> Env<'a> {
     /// resolve against.
     pub fn lookup(&self, var: &str) -> Option<(Bound, Arc<PathPropertyGraph>)> {
         if let Some(i) = self.table.column_index(var) {
-            return Some((self.row[i].clone(), self.table.columns()[i].graph.clone()));
+            return Some((
+                self.table.bound(self.row, i),
+                self.table.columns()[i].graph.clone(),
+            ));
         }
         self.parent.and_then(|p| p.lookup(var))
     }
@@ -160,12 +162,7 @@ pub trait SubqueryEval {
 }
 
 /// Evaluate an expression for one binding.
-pub fn eval_expr(
-    ctx: &EvalCtx,
-    sub: &dyn SubqueryEval,
-    env: &Env<'_>,
-    e: &Expr,
-) -> Result<Rv> {
+pub fn eval_expr(ctx: &EvalCtx, sub: &dyn SubqueryEval, env: &Env<'_>, e: &Expr) -> Result<Rv> {
     match e {
         Expr::Int(i) => Ok(Rv::Value(Value::Int(*i))),
         Expr::Float(x) => Ok(Rv::Value(Value::Float(*x))),
@@ -191,9 +188,9 @@ pub fn eval_expr(
             let Some(id) = id else {
                 return Ok(Rv::Value(Value::Bool(false)));
             };
-            let ok = labels.iter().any(|l| {
-                Label::lookup(l).is_some_and(|label| graph.has_label(id, label))
-            });
+            let ok = labels
+                .iter()
+                .any(|l| Label::lookup(l).is_some_and(|label| graph.has_label(id, label)));
             Ok(Rv::Value(Value::Bool(ok)))
         }
         Expr::Index(base, idx) => {
@@ -266,9 +263,9 @@ pub fn eval_expr(
             }
         }
         Expr::Exists(q) => Ok(Rv::Value(Value::Bool(sub.eval_exists(q, env)?))),
-        Expr::PatternPredicate(p) => Ok(Rv::Value(Value::Bool(
-            sub.eval_pattern_predicate(p, env)?,
-        ))),
+        Expr::PatternPredicate(p) => {
+            Ok(Rv::Value(Value::Bool(sub.eval_pattern_predicate(p, env)?)))
+        }
     }
 }
 
@@ -390,12 +387,8 @@ fn eval_binary(
         BinaryOp::Add => {
             // String concatenation or numeric addition.
             match (lv.as_scalar(), rv.as_scalar()) {
-                (Some(Value::Str(a)), Some(b)) => {
-                    Ok(Rv::Value(Value::Str(format!("{a}{b}"))))
-                }
-                (Some(a), Some(Value::Str(b))) => {
-                    Ok(Rv::Value(Value::Str(format!("{a}{b}"))))
-                }
+                (Some(Value::Str(a)), Some(b)) => Ok(Rv::Value(Value::Str(format!("{a}{b}")))),
+                (Some(a), Some(Value::Str(b))) => Ok(Rv::Value(Value::Str(format!("{a}{b}")))),
                 (Some(a), Some(b)) => numeric_op(&a, &b, |x, y| x + y, |x, y| x.checked_add(y)),
                 _ => Ok(Rv::Null),
             }
@@ -494,7 +487,9 @@ fn eval_func(
     };
     match f {
         Func::Labels => {
-            let [arg] = args else { return Err(arity_err(1)) };
+            let [arg] = args else {
+                return Err(arity_err(1));
+            };
             let (rv, graph) = eval_with_graph(ctx, sub, env, arg)?;
             let id = match rv {
                 Rv::Node(n) => ElementId::Node(n),
@@ -512,7 +507,9 @@ fn eval_func(
             ))
         }
         Func::Nodes | Func::Edges | Func::Length => {
-            let [arg] = args else { return Err(arity_err(1)) };
+            let [arg] = args else {
+                return Err(arity_err(1));
+            };
             let (rv, graph) = eval_with_graph(ctx, sub, env, arg)?;
             let (nodes, edges): (Vec<_>, Vec<_>) = match rv {
                 Rv::Path(p) => {
@@ -537,7 +534,9 @@ fn eval_func(
             })
         }
         Func::Size => {
-            let [arg] = args else { return Err(arity_err(1)) };
+            let [arg] = args else {
+                return Err(arity_err(1));
+            };
             let rv = eval_expr(ctx, sub, env, arg)?;
             let n = match &rv {
                 Rv::Set(s) => s.len(),
@@ -549,7 +548,9 @@ fn eval_func(
             Ok(Rv::Value(Value::Int(n as i64)))
         }
         Func::ToString => {
-            let [arg] = args else { return Err(arity_err(1)) };
+            let [arg] = args else {
+                return Err(arity_err(1));
+            };
             let rv = eval_expr(ctx, sub, env, arg)?;
             match rv.as_scalar() {
                 Some(v) => Ok(Rv::Value(Value::Str(v.to_string()))),
@@ -557,7 +558,9 @@ fn eval_func(
             }
         }
         Func::ToInteger => {
-            let [arg] = args else { return Err(arity_err(1)) };
+            let [arg] = args else {
+                return Err(arity_err(1));
+            };
             let rv = eval_expr(ctx, sub, env, arg)?;
             Ok(match rv.as_scalar() {
                 Some(Value::Int(i)) => Rv::Value(Value::Int(i)),
@@ -572,7 +575,9 @@ fn eval_func(
             })
         }
         Func::ToFloat => {
-            let [arg] = args else { return Err(arity_err(1)) };
+            let [arg] = args else {
+                return Err(arity_err(1));
+            };
             let rv = eval_expr(ctx, sub, env, arg)?;
             Ok(match rv.as_scalar() {
                 Some(Value::Int(i)) => Rv::Value(Value::Float(i as f64)),
@@ -586,7 +591,9 @@ fn eval_func(
             })
         }
         Func::Lower | Func::Upper => {
-            let [arg] = args else { return Err(arity_err(1)) };
+            let [arg] = args else {
+                return Err(arity_err(1));
+            };
             let rv = eval_expr(ctx, sub, env, arg)?;
             match rv.as_scalar() {
                 Some(Value::Str(s)) => Ok(Rv::Value(Value::Str(if f == Func::Lower {
@@ -598,7 +605,9 @@ fn eval_func(
             }
         }
         Func::Abs => {
-            let [arg] = args else { return Err(arity_err(1)) };
+            let [arg] = args else {
+                return Err(arity_err(1));
+            };
             let rv = eval_expr(ctx, sub, env, arg)?;
             Ok(match rv.as_scalar() {
                 Some(Value::Int(i)) => Rv::Value(Value::Int(i.abs())),
@@ -607,7 +616,9 @@ fn eval_func(
             })
         }
         Func::Trim => {
-            let [arg] = args else { return Err(arity_err(1)) };
+            let [arg] = args else {
+                return Err(arity_err(1));
+            };
             let rv = eval_expr(ctx, sub, env, arg)?;
             Ok(match rv.as_scalar() {
                 Some(Value::Str(s)) => Rv::Value(Value::Str(s.trim().to_owned())),
@@ -615,7 +626,9 @@ fn eval_func(
             })
         }
         Func::Contains | Func::StartsWith | Func::EndsWith => {
-            let [a, b] = args else { return Err(arity_err(2)) };
+            let [a, b] = args else {
+                return Err(arity_err(2));
+            };
             let a = eval_expr(ctx, sub, env, a)?;
             let b = eval_expr(ctx, sub, env, b)?;
             Ok(match (a.as_scalar(), b.as_scalar()) {
@@ -636,8 +649,7 @@ fn eval_func(
             }
             let s = eval_expr(ctx, sub, env, &args[0])?;
             let start = eval_expr(ctx, sub, env, &args[1])?;
-            let (Some(Value::Str(s)), Some(Value::Int(start))) =
-                (s.as_scalar(), start.as_scalar())
+            let (Some(Value::Str(s)), Some(Value::Int(start))) = (s.as_scalar(), start.as_scalar())
             else {
                 return Ok(Rv::Null);
             };
@@ -659,7 +671,9 @@ fn eval_func(
             Ok(Rv::Value(Value::Str(chars[start..end].iter().collect())))
         }
         Func::Year | Func::Month | Func::Day => {
-            let [arg] = args else { return Err(arity_err(1)) };
+            let [arg] = args else {
+                return Err(arity_err(1));
+            };
             let rv = eval_expr(ctx, sub, env, arg)?;
             // Accept both Date values and ISO-formatted strings.
             let date = match rv.as_scalar() {
@@ -678,7 +692,9 @@ fn eval_func(
             })
         }
         Func::Floor | Func::Ceil => {
-            let [arg] = args else { return Err(arity_err(1)) };
+            let [arg] = args else {
+                return Err(arity_err(1));
+            };
             let rv = eval_expr(ctx, sub, env, arg)?;
             Ok(match rv.as_scalar() {
                 Some(Value::Int(i)) => Rv::Value(Value::Int(i)),
@@ -691,7 +707,9 @@ fn eval_func(
             })
         }
         Func::Sqrt => {
-            let [arg] = args else { return Err(arity_err(1)) };
+            let [arg] = args else {
+                return Err(arity_err(1));
+            };
             let rv = eval_expr(ctx, sub, env, arg)?;
             Ok(match rv.as_scalar().and_then(|v| v.as_f64()) {
                 Some(x) if x >= 0.0 => Rv::Value(Value::Float(x.sqrt())),
@@ -699,7 +717,9 @@ fn eval_func(
             })
         }
         Func::Head | Func::Last => {
-            let [arg] = args else { return Err(arity_err(1)) };
+            let [arg] = args else {
+                return Err(arity_err(1));
+            };
             let rv = eval_expr(ctx, sub, env, arg)?;
             Ok(match rv {
                 Rv::List(items) if !items.is_empty() => {
@@ -735,23 +755,21 @@ pub fn eval_aggregate(
     outer: Option<&Env<'_>>,
 ) -> Result<Rv> {
     let mut values: Vec<Rv> = Vec::new();
+    let width = table.columns().len();
     for &ri in group_rows {
-        let row = &table.rows()[ri];
         match arg {
             None => {
                 // COUNT(*): skip pure left-outer padding rows.
-                let padding = row
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| !group_cols.contains(i))
-                    .all(|(_, b)| b.is_missing());
-                let non_trivial = row.len() > group_cols.len();
+                let padding = (0..width)
+                    .filter(|i| !group_cols.contains(i))
+                    .all(|i| table.is_missing_at(ri, i));
+                let non_trivial = width > group_cols.len();
                 if !(padding && non_trivial) {
                     values.push(Rv::Value(Value::Int(1)));
                 }
             }
             Some(e) => {
-                let mut env = Env::new(table, row);
+                let mut env = Env::new(table, ri);
                 env.parent = outer;
                 let v = eval_expr(ctx, sub, &env, e)?;
                 if !matches!(v, Rv::Null) {
@@ -857,7 +875,10 @@ mod tests {
                     PropertySet::from_values([Value::str("CWI"), Value::str("MIT")]),
                 ),
         );
-        g.add_node(NodeId(2), Attributes::labeled("Company").with_prop("name", "MIT"));
+        g.add_node(
+            NodeId(2),
+            Attributes::labeled("Company").with_prop("name", "MIT"),
+        );
         let g = Arc::new(g);
         let cols = vec![
             Column {
@@ -869,10 +890,9 @@ mod tests {
                 graph: g.clone(),
             },
         ];
-        let table = BindingTable::new(
-            cols,
-            vec![vec![Bound::Node(NodeId(1)), Bound::Node(NodeId(2))]],
-        );
+        let mut b = crate::binding::TableBuilder::new(cols);
+        b.push(&[Bound::Node(NodeId(1)), Bound::Node(NodeId(2))]);
+        let table = b.finish();
         let mut catalog = Catalog::new();
         catalog.register_graph("g", Arc::try_unwrap(g).unwrap_or_else(|a| (*a).clone()));
         catalog.set_default_graph("g");
@@ -892,7 +912,7 @@ mod tests {
             panic!()
         };
         let expr = m.where_clause.as_ref().unwrap();
-        let env = Env::new(table, &table.rows()[0]);
+        let env = Env::new(table, 0);
         eval_expr(ctx, &NoSub, &env, expr).unwrap()
     }
 
@@ -985,7 +1005,7 @@ mod tests {
         let gcore_parser::ast::QuerySource::Match(m) = &b.source else {
             panic!()
         };
-        let env = Env::new(&t, &t.rows()[0]);
+        let env = Env::new(&t, 0);
         let err = eval_expr(&ctx, &NoSub, &env, m.where_clause.as_ref().unwrap()).unwrap_err();
         assert!(matches!(
             err,

@@ -9,7 +9,7 @@
 //! All candidate enumeration is in sorted identifier order, so the
 //! resulting binding table is deterministic.
 
-use crate::binding::{BindingTable, Bound, Column};
+use crate::binding::{BindingTable, Bound, Column, TableBuilder};
 use crate::context::FreshPath;
 use crate::error::{Result, RuntimeError, SemanticError};
 use crate::expr::{eval_expr, Env, Rv};
@@ -22,6 +22,7 @@ use gcore_parser::ast::{
 };
 use gcore_ppg::hash::{FxHashMap, FxHashSet};
 use gcore_ppg::{ElementId, Key, Label, NodeId, PathPropertyGraph, PathShape, Value};
+use std::borrow::Cow;
 use std::cell::Cell;
 use std::sync::Arc;
 
@@ -80,19 +81,21 @@ impl<'e> PatternMatcher<'e> {
             return Ok(table);
         };
         let mut first_err = None;
-        let filtered = table.filter(|row| {
+        let filtered = table.filter(|ri| {
             if first_err.is_some() {
                 return false;
             }
-            let mut env = Env::new(&table, row);
+            let mut env = Env::new(&table, ri);
             env.parent = outer;
-            exprs.iter().all(|e| match eval_expr(self.ev.ctx, self.ev, &env, e) {
-                Ok(v) => v.truthy(),
-                Err(err) => {
-                    first_err = Some(err);
-                    false
-                }
-            })
+            exprs
+                .iter()
+                .all(|e| match eval_expr(self.ev.ctx, self.ev, &env, e) {
+                    Ok(v) => v.truthy(),
+                    Err(err) => {
+                        first_err = Some(err);
+                        false
+                    }
+                })
         });
         match first_err {
             Some(e) => Err(e),
@@ -115,11 +118,7 @@ impl<'e> PatternMatcher<'e> {
     }
 
     /// Evaluate a pattern; anonymous element columns are projected away.
-    pub fn eval_pattern(
-        &self,
-        pattern: &Pattern,
-        outer: Option<&Env<'_>>,
-    ) -> Result<BindingTable> {
+    pub fn eval_pattern(&self, pattern: &Pattern, outer: Option<&Env<'_>>) -> Result<BindingTable> {
         let (table, _) = self.eval_chain(pattern, outer)?;
         let keep: Vec<&str> = table
             .columns()
@@ -189,19 +188,29 @@ impl<'e> PatternMatcher<'e> {
         // If the outer scope (correlated subquery) already binds this
         // variable, start from that binding.
         if let Some((Bound::Node(n), _)) = outer.and_then(|o| o.lookup(var)) {
-            let table = BindingTable::new(vec![self.col(var)], vec![vec![Bound::Node(n)]]);
-            return self.constrain_node(table, var, node, outer, structural);
+            let mut b = TableBuilder::new(vec![self.col(var)]);
+            b.push(&[Bound::Node(n)]);
+            return self.constrain_node(b.finish(), var, node, outer, structural);
         }
-        let candidates: Vec<NodeId> = match first_label(node) {
-            Some(label) => match Label::lookup(&label) {
-                Some(l) => self.graph.nodes_with_label(l),
-                None => Vec::new(),
-            },
-            None => self.graph.node_ids_sorted(),
-        };
-        let rows = candidates.into_iter().map(|n| vec![Bound::Node(n)]).collect();
-        let table = BindingTable::new(vec![self.col(var)], rows);
-        self.constrain_node(table, var, node, outer, structural)
+        // When the first group is a single label, seed from the label
+        // index — that group is then already satisfied, so only the
+        // remaining groups are re-checked per candidate.
+        let (candidates, rest_groups): (Vec<NodeId>, &[LabelDisjunction]) =
+            match first_label(&node.labels) {
+                Some(label) => (
+                    match Label::lookup(&label) {
+                        Some(l) => self.graph.nodes_with_label(l),
+                        None => Vec::new(),
+                    },
+                    &node.labels[1..],
+                ),
+                None => (self.graph.node_ids_sorted(), &node.labels[..]),
+            };
+        let mut b = TableBuilder::new(vec![self.col(var)]);
+        for n in candidates {
+            b.push(&[Bound::Node(n)]);
+        }
+        self.constrain_node_groups(b.finish(), var, node, rest_groups, outer, structural)
     }
 
     /// Apply a node pattern's labels and property entries to an existing
@@ -214,7 +223,21 @@ impl<'e> PatternMatcher<'e> {
         outer: Option<&Env<'_>>,
         structural: &FxHashSet<String>,
     ) -> Result<BindingTable> {
-        let mut table = self.filter_labels(table, var, &node.labels)?;
+        self.constrain_node_groups(table, var, node, &node.labels, outer, structural)
+    }
+
+    /// `constrain_node` with an explicit label-group slice, so callers
+    /// that already satisfied a group via an index can skip it.
+    fn constrain_node_groups(
+        &self,
+        table: BindingTable,
+        var: &str,
+        node: &NodePattern,
+        groups: &[LabelDisjunction],
+        outer: Option<&Env<'_>>,
+        structural: &FxHashSet<String>,
+    ) -> Result<BindingTable> {
+        let mut table = self.filter_labels(table, var, groups)?;
         for entry in &node.props {
             table = self.apply_prop_entry(table, var, entry, outer, structural)?;
         }
@@ -238,11 +261,11 @@ impl<'e> PatternMatcher<'e> {
         let idx = table
             .column_index(var)
             .ok_or_else(|| SemanticError::UnboundVariable(var.to_owned()))?;
-        Ok(table.filter(|row| {
-            let id: ElementId = match &row[idx] {
-                Bound::Node(n) => (*n).into(),
-                Bound::Edge(e) => (*e).into(),
-                Bound::Path(p) => (*p).into(),
+        Ok(table.filter(|ri| {
+            let id: ElementId = match table.bound(ri, idx) {
+                Bound::Node(n) => n.into(),
+                Bound::Edge(e) => e.into(),
+                Bound::Path(p) => p.into(),
                 Bound::FreshPath(_) => return false, // computed paths carry no labels
                 _ => return false,
             };
@@ -268,14 +291,14 @@ impl<'e> PatternMatcher<'e> {
         let elem_idx = table
             .column_index(elem_var)
             .ok_or_else(|| SemanticError::UnboundVariable(elem_var.to_owned()))?;
-        let prop_of = |row: &[Bound]| -> gcore_ppg::PropertySet {
+        let prop_of = |table: &BindingTable, ri: usize| -> gcore_ppg::PropertySet {
             let Some(key) = key else {
                 return Default::default();
             };
-            let id: ElementId = match &row[elem_idx] {
-                Bound::Node(n) => (*n).into(),
-                Bound::Edge(e) => (*e).into(),
-                Bound::Path(p) => (*p).into(),
+            let id: ElementId = match table.bound(ri, elem_idx) {
+                Bound::Node(n) => n.into(),
+                Bound::Edge(e) => e.into(),
+                Bound::Path(p) => p.into(),
                 _ => return Default::default(),
             };
             self.graph.prop(id, key)
@@ -288,8 +311,8 @@ impl<'e> PatternMatcher<'e> {
                 || structural.contains(v)
                 || outer.and_then(|o| o.lookup(v)).is_some();
             if !is_bound {
-                return Ok(table.extend_column(self.col(v), |row| {
-                    prop_of(row)
+                return Ok(table.extend_column(self.col(v), |ri| {
+                    prop_of(&table, ri)
                         .iter()
                         .map(|val| Bound::Value(val.clone()))
                         .collect()
@@ -299,15 +322,15 @@ impl<'e> PatternMatcher<'e> {
         // Filter form: membership of the evaluated scalar (set equality
         // when the RHS itself evaluates to a set).
         let mut result = Ok(());
-        let filtered = table.filter(|row| {
+        let filtered = table.filter(|ri| {
             if result.is_err() {
                 return false;
             }
-            let mut env = Env::new(&table, row);
+            let mut env = Env::new(&table, ri);
             env.parent = outer;
             match eval_expr(self.ev.ctx, self.ev, &env, &entry.value) {
                 Ok(rv) => {
-                    let props = prop_of(row);
+                    let props = prop_of(&table, ri);
                     match &rv {
                         Rv::Set(s) => props.set_eq(s),
                         _ => match rv.as_scalar() {
@@ -352,9 +375,39 @@ impl<'e> PatternMatcher<'e> {
             columns.push(self.col(dst_var));
         }
 
-        let mut rows = Vec::new();
-        for row in table.rows() {
-            let Bound::Node(src) = row[prev_idx] else {
+        // When the first label group is a single label, enumerate
+        // candidates from the label-partitioned adjacency instead of
+        // filtering the full adjacency list per edge; that group is then
+        // already satisfied and skipped below. An un-interned label means
+        // no edge anywhere carries it, so candidates are empty.
+        let (index_label, rest_groups): (Option<Option<Label>>, &[LabelDisjunction]) =
+            match first_label(&edge.labels) {
+                Some(name) => (Some(Label::lookup(&name)), &edge.labels[1..]),
+                None => (None, &edge.labels[..]),
+            };
+
+        // Candidate enumeration stays zero-copy: the indexed path
+        // borrows the per-(node, label) slice, the unconstrained path
+        // borrows the full adjacency list.
+        let out_cands = |src: NodeId| -> Cow<'_, [gcore_ppg::EdgeId]> {
+            match index_label {
+                Some(Some(l)) => self.graph.out_edges_with_label(src, l),
+                Some(None) => Cow::Borrowed(&[]),
+                None => Cow::Borrowed(self.graph.out_edges(src)),
+            }
+        };
+        let in_cands = |src: NodeId| -> Cow<'_, [gcore_ppg::EdgeId]> {
+            match index_label {
+                Some(Some(l)) => self.graph.in_edges_with_label(src, l),
+                Some(None) => Cow::Borrowed(&[]),
+                None => Cow::Borrowed(self.graph.in_edges(src)),
+            }
+        };
+
+        let mut bld = TableBuilder::with_pool(columns, table.pool().clone());
+        let mut extra: Vec<Bound> = Vec::with_capacity(2);
+        for ri in 0..table.len() {
+            let Bound::Node(src) = table.bound(ri, prev_idx) else {
                 continue;
             };
             // Candidate (edge, other endpoint) pairs, sorted for
@@ -362,23 +415,23 @@ impl<'e> PatternMatcher<'e> {
             let mut cands: Vec<(gcore_ppg::EdgeId, NodeId)> = Vec::new();
             match edge.direction {
                 Direction::Out => {
-                    for &e in self.graph.out_edges(src) {
+                    for &e in out_cands(src).iter() {
                         let d = self.graph.edge(e).expect("adjacent").dst;
                         cands.push((e, d));
                     }
                 }
                 Direction::In => {
-                    for &e in self.graph.in_edges(src) {
+                    for &e in in_cands(src).iter() {
                         let s = self.graph.edge(e).expect("adjacent").src;
                         cands.push((e, s));
                     }
                 }
                 Direction::Undirected => {
-                    for &e in self.graph.out_edges(src) {
+                    for &e in out_cands(src).iter() {
                         let d = self.graph.edge(e).expect("adjacent").dst;
                         cands.push((e, d));
                     }
-                    for &e in self.graph.in_edges(src) {
+                    for &e in in_cands(src).iter() {
                         let data = self.graph.edge(e).expect("adjacent");
                         if data.src != data.dst {
                             cands.push((e, data.src));
@@ -389,27 +442,27 @@ impl<'e> PatternMatcher<'e> {
             cands.sort_unstable();
             for (e, other) in cands {
                 if let Some(i) = edge_bound {
-                    if row[i] != Bound::Edge(e) {
+                    if table.code(ri, i) != table.encode_for_probe(&Bound::Edge(e)) {
                         continue;
                     }
                 }
                 if let Some(i) = dst_bound {
-                    if row[i] != Bound::Node(other) {
+                    if table.code(ri, i) != table.encode_for_probe(&Bound::Node(other)) {
                         continue;
                     }
                 }
-                let mut new_row = row.clone();
+                extra.clear();
                 if edge_bound.is_none() {
-                    new_row.push(Bound::Edge(e));
+                    extra.push(Bound::Edge(e));
                 }
                 if dst_bound.is_none() {
-                    new_row.push(Bound::Node(other));
+                    extra.push(Bound::Node(other));
                 }
-                rows.push(new_row);
+                bld.push_extended(&table, ri, &extra);
             }
         }
-        let mut out = BindingTable::new(columns, rows);
-        out = self.filter_labels(out, edge_var, &edge.labels)?;
+        let mut out = bld.finish();
+        out = self.filter_labels(out, edge_var, rest_groups)?;
         for entry in &edge.props {
             out = self.apply_prop_entry(out, edge_var, entry, outer, structural)?;
         }
@@ -441,9 +494,7 @@ impl<'e> PatternMatcher<'e> {
         let effective = match pat.direction {
             Direction::Out => regex.clone(),
             Direction::In => reverse_regex(regex),
-            Direction::Undirected => {
-                Regex::Alt(vec![regex.clone(), reverse_regex(regex)])
-            }
+            Direction::Undirected => Regex::Alt(vec![regex.clone(), reverse_regex(regex)]),
         };
         let nfa = Nfa::compile(&effective);
         let views = self.ev.resolve_views(&nfa, &self.graph)?;
@@ -467,19 +518,21 @@ impl<'e> PatternMatcher<'e> {
             columns.push(self.col(cv));
         }
 
-        let mut rows = Vec::new();
-        for row in table.rows() {
-            let Bound::Node(src) = row[prev_idx] else {
+        let mut bld = TableBuilder::with_pool(columns, table.pool().clone());
+        let mut extra: Vec<Bound> = Vec::with_capacity(3);
+        for ri in 0..table.len() {
+            let Bound::Node(src) = table.bound(ri, prev_idx) else {
                 continue;
             };
-            let targets: Option<FxHashSet<NodeId>> = dst_bound.and_then(|i| match row[i] {
-                Bound::Node(d) => {
-                    let mut s = FxHashSet::default();
-                    s.insert(d);
-                    Some(s)
-                }
-                _ => None,
-            });
+            let targets: Option<FxHashSet<NodeId>> =
+                dst_bound.and_then(|i| match table.bound(ri, i) {
+                    Bound::Node(d) => {
+                        let mut s = FxHashSet::default();
+                        s.insert(d);
+                        Some(s)
+                    }
+                    _ => None,
+                });
 
             match pat.mode {
                 PathMode::All => {
@@ -489,13 +542,12 @@ impl<'e> PatternMatcher<'e> {
                         None => searcher.reachable(src),
                     };
                     for dst in dsts {
-                        let Some((nodes, edges)) = searcher.all_paths_projection(src, dst)
-                        else {
+                        let Some((nodes, edges)) = searcher.all_paths_projection(src, dst) else {
                             continue;
                         };
-                        let mut new_row = row.clone();
+                        extra.clear();
                         if binds_path {
-                            new_row.push(self.ev.ctx.add_fresh_path(FreshPath::Projection {
+                            extra.push(self.ev.ctx.add_fresh_path(FreshPath::Projection {
                                 src,
                                 dst,
                                 nodes,
@@ -504,7 +556,7 @@ impl<'e> PatternMatcher<'e> {
                             }));
                         }
                         if dst_bound.is_none() {
-                            new_row.push(Bound::Node(dst));
+                            extra.push(Bound::Node(dst));
                         }
                         if binds_cost {
                             return Err(SemanticError::Other(
@@ -512,7 +564,7 @@ impl<'e> PatternMatcher<'e> {
                             )
                             .into());
                         }
-                        rows.push(new_row);
+                        bld.push_extended(&table, ri, &extra);
                     }
                 }
                 PathMode::Shortest(k) if !binds_path && !binds_cost => {
@@ -526,11 +578,11 @@ impl<'e> PatternMatcher<'e> {
                         None => searcher.reachable(src),
                     };
                     for dst in dsts {
-                        let mut new_row = row.clone();
+                        extra.clear();
                         if dst_bound.is_none() {
-                            new_row.push(Bound::Node(dst));
+                            extra.push(Bound::Node(dst));
                         }
-                        rows.push(new_row);
+                        bld.push_extended(&table, ri, &extra);
                     }
                 }
                 PathMode::Shortest(k) => {
@@ -539,9 +591,9 @@ impl<'e> PatternMatcher<'e> {
                     dsts.sort_unstable();
                     for dst in dsts {
                         for fp in &found[&dst] {
-                            let mut new_row = row.clone();
+                            extra.clear();
                             if binds_path {
-                                new_row.push(self.ev.ctx.add_fresh_path(FreshPath::Walk {
+                                extra.push(self.ev.ctx.add_fresh_path(FreshPath::Walk {
                                     shape: fp.walk.clone(),
                                     cost: fp.cost,
                                     weighted: searcher.weighted,
@@ -549,22 +601,22 @@ impl<'e> PatternMatcher<'e> {
                                 }));
                             }
                             if dst_bound.is_none() {
-                                new_row.push(Bound::Node(dst));
+                                extra.push(Bound::Node(dst));
                             }
                             if binds_cost {
-                                new_row.push(Bound::Value(if searcher.weighted {
+                                extra.push(Bound::Value(if searcher.weighted {
                                     Value::Float(fp.cost)
                                 } else {
                                     Value::Int(fp.cost as i64)
                                 }));
                             }
-                            rows.push(new_row);
+                            bld.push_extended(&table, ri, &extra);
                         }
                     }
                 }
             }
         }
-        Ok(BindingTable::new(columns, rows))
+        Ok(bld.finish())
     }
 
     /// Match stored paths (`-/@p:Label/->`), optionally checking regex
@@ -612,9 +664,10 @@ impl<'e> PatternMatcher<'e> {
             candidates.retain(|&p| self.stored_path_conforms(p, nfa));
         }
 
-        let mut rows = Vec::new();
-        for row in table.rows() {
-            let Bound::Node(src) = row[prev_idx] else {
+        let mut bld = TableBuilder::with_pool(columns, table.pool().clone());
+        let mut extra: Vec<Bound> = Vec::with_capacity(2);
+        for ri in 0..table.len() {
+            let Bound::Node(src) = table.bound(ri, prev_idx) else {
                 continue;
             };
             for &p in &candidates {
@@ -630,26 +683,26 @@ impl<'e> PatternMatcher<'e> {
                 }
                 let dst = if a == src { b } else { a };
                 if let Some(i) = path_bound {
-                    if row[i] != Bound::Path(p) {
+                    if table.code(ri, i) != table.encode_for_probe(&Bound::Path(p)) {
                         continue;
                     }
                 }
                 if let Some(i) = dst_bound {
-                    if row[i] != Bound::Node(dst) {
+                    if table.code(ri, i) != table.encode_for_probe(&Bound::Node(dst)) {
                         continue;
                     }
                 }
-                let mut new_row = row.clone();
+                extra.clear();
                 if path_bound.is_none() {
-                    new_row.push(Bound::Path(p));
+                    extra.push(Bound::Path(p));
                 }
                 if dst_bound.is_none() {
-                    new_row.push(Bound::Node(dst));
+                    extra.push(Bound::Node(dst));
                 }
-                rows.push(new_row);
+                bld.push_extended(&table, ri, &extra);
             }
         }
-        Ok(BindingTable::new(columns, rows))
+        Ok(bld.finish())
     }
 
     /// Does a stored path's walk conform to the regex?
@@ -729,9 +782,9 @@ fn structural_vars(pattern: &Pattern) -> FxHashSet<String> {
     vars
 }
 
-fn first_label(node: &NodePattern) -> Option<String> {
+fn first_label(groups: &[LabelDisjunction]) -> Option<String> {
     // Only usable as an index when the first group is a single label.
-    match node.labels.first() {
+    match groups.first() {
         Some(LabelDisjunction(ls)) if ls.len() == 1 => Some(ls[0].clone()),
         _ => None,
     }

@@ -41,7 +41,8 @@ pub struct Segment {
 pub struct ViewSegments {
     /// The segment relation, sorted by (src, dst).
     pub segments: Vec<Segment>,
-    /// Whether the view declared an explicit COST.
+    /// Indexes into `segments`, keyed by source node (deterministic
+    /// expansion order within each source).
     pub by_src: FxHashMap<NodeId, Vec<usize>>,
     /// True when the view declares an explicit COST (so path costs are
     /// real-valued, not hop counts).
@@ -240,8 +241,7 @@ impl<'a> PathSearcher<'a> {
                     }
                 }
             }
-            for (step_cost, next_node, next_state, piece) in self.expand(entry.node, entry.state)
-            {
+            for (step_cost, next_node, next_state, piece) in self.expand(entry.node, entry.state) {
                 let Some(new_walk) = entry.walk.concat(&piece) else {
                     continue;
                 };
@@ -475,10 +475,7 @@ mod tests {
         assert_eq!(found[&n(3)][0].cost, 2.0);
         assert_eq!(found[&n(4)][0].cost, 3.0);
         // canonical path to 3 goes through edge 10, 11
-        assert_eq!(
-            found[&n(3)][0].walk.interleaved(),
-            vec![1, 10, 2, 11, 3]
-        );
+        assert_eq!(found[&n(3)][0].walk.interleaved(), vec![1, 10, 2, 11, 3]);
     }
 
     #[test]
@@ -610,10 +607,14 @@ mod tests {
         g.add_node(n(2), Attributes::labeled("Blocked"));
         g.add_node(n(3), Attributes::labeled("Open"));
         g.add_node(n(4), Attributes::labeled("A"));
-        g.add_edge(EdgeId(10), n(1), n(2), Attributes::labeled("r")).unwrap();
-        g.add_edge(EdgeId(11), n(2), n(4), Attributes::labeled("r")).unwrap();
-        g.add_edge(EdgeId(12), n(1), n(3), Attributes::labeled("r")).unwrap();
-        g.add_edge(EdgeId(13), n(3), n(4), Attributes::labeled("r")).unwrap();
+        g.add_edge(EdgeId(10), n(1), n(2), Attributes::labeled("r"))
+            .unwrap();
+        g.add_edge(EdgeId(11), n(2), n(4), Attributes::labeled("r"))
+            .unwrap();
+        g.add_edge(EdgeId(12), n(1), n(3), Attributes::labeled("r"))
+            .unwrap();
+        g.add_edge(EdgeId(13), n(3), n(4), Attributes::labeled("r"))
+            .unwrap();
         // :r !Open :r — middle node must be Open
         let re = Regex::Concat(vec![
             Regex::Label("r".into()),

@@ -1,7 +1,7 @@
 //! The query evaluator: head clauses, MATCH with OPTIONAL, graph set
 //! operations, PATH views and subqueries — §A.2, §A.4, §A.5, §A.6.
 
-use crate::binding::{BindingTable, Bound, Column};
+use crate::binding::{BindingTable, Bound, Column, TableBuilder};
 use crate::construct::eval_construct;
 use crate::context::{EvalCtx, FreshPath};
 use crate::error::{Result, RuntimeError, SemanticError};
@@ -19,6 +19,9 @@ use std::sync::Arc;
 
 /// The result of a G-CORE query: a graph (the core language) or a table
 /// (the §5 SELECT extension).
+// Graphs are by far the common output; boxing them to appease the
+// variant-size lint would put every result behind an extra indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum QueryOutput {
     /// A graph result (the core language).
@@ -97,9 +100,9 @@ impl<'e> Evaluator<'e> {
                 }
             }
             match &q.body {
-                QueryBody::Graph(g) => Ok(QueryOutput::Graph(
-                    self.eval_full_graph_query(g, outer)?,
-                )),
+                QueryBody::Graph(g) => {
+                    Ok(QueryOutput::Graph(self.eval_full_graph_query(g, outer)?))
+                }
                 QueryBody::Select(s) => Ok(QueryOutput::Table(eval_select(self, s, outer)?)),
             }
         };
@@ -111,10 +114,8 @@ impl<'e> Evaluator<'e> {
         for (name, prev) in shadowed.into_iter().rev() {
             catalog.unregister_graph(&name);
             if let Some(prev) = prev {
-                catalog.register_graph(
-                    name,
-                    Arc::try_unwrap(prev).unwrap_or_else(|a| (*a).clone()),
-                );
+                catalog
+                    .register_graph(name, Arc::try_unwrap(prev).unwrap_or_else(|a| (*a).clone()));
             }
         }
         result
@@ -143,11 +144,7 @@ impl<'e> Evaluator<'e> {
         }
     }
 
-    fn eval_source(
-        &self,
-        source: &QuerySource,
-        outer: Option<&Env<'_>>,
-    ) -> Result<BindingTable> {
+    fn eval_source(&self, source: &QuerySource, outer: Option<&Env<'_>>) -> Result<BindingTable> {
         match source {
             QuerySource::Match(m) => self.eval_match(m, outer),
             QuerySource::From(table_name) => {
@@ -163,19 +160,18 @@ impl<'e> Evaluator<'e> {
                         graph: none.clone(),
                     })
                     .collect();
-                let rows = table
-                    .rows()
-                    .iter()
-                    .map(|r| {
-                        r.iter()
-                            .map(|v| match v {
-                                Value::Null => Bound::Missing,
-                                other => Bound::Value(other.clone()),
-                            })
-                            .collect()
-                    })
-                    .collect();
-                Ok(BindingTable::new(columns, rows))
+                let mut b = TableBuilder::new(columns);
+                for r in table.rows() {
+                    let row: Vec<Bound> = r
+                        .iter()
+                        .map(|v| match v {
+                            Value::Null => Bound::Missing,
+                            other => Bound::Value(other.clone()),
+                        })
+                        .collect();
+                    b.push(&row);
+                }
+                Ok(b.finish())
             }
         }
     }
@@ -187,11 +183,7 @@ impl<'e> Evaluator<'e> {
     /// into the matcher, pruning candidate sets before path expansion;
     /// the full WHERE is still applied afterwards (filters are
     /// idempotent, so semantics are unchanged).
-    pub fn eval_match(
-        &self,
-        m: &MatchClause,
-        outer: Option<&Env<'_>>,
-    ) -> Result<BindingTable> {
+    pub fn eval_match(&self, m: &MatchClause, outer: Option<&Env<'_>>) -> Result<BindingTable> {
         check_optional_shared_vars(m)?;
         let prefilters = if self.ctx.filter_pushdown.get() {
             pushdown_prefilters(m.where_clause.as_ref())
@@ -202,8 +194,7 @@ impl<'e> Evaluator<'e> {
         for lp in &m.patterns {
             let graph = self.resolve_location(&lp.on)?;
             self.ctx.set_ambient(graph.clone());
-            let matcher =
-                PatternMatcher::new(self, graph).with_prefilters(prefilters.clone());
+            let matcher = PatternMatcher::new(self, graph).with_prefilters(prefilters.clone());
             let t = matcher.eval_pattern(&lp.pattern, outer)?;
             table = table.join(&t);
         }
@@ -233,10 +224,7 @@ impl<'e> Evaluator<'e> {
     }
 
     /// Resolve an `ON location` to a graph; `None` uses the default.
-    pub fn resolve_location(
-        &self,
-        on: &Option<Location>,
-    ) -> Result<Arc<PathPropertyGraph>> {
+    pub fn resolve_location(&self, on: &Option<Location>) -> Result<Arc<PathPropertyGraph>> {
         match on {
             None => self.ctx.default_graph(),
             Some(Location::Named(name)) => match self.ctx.graph(name) {
@@ -247,12 +235,14 @@ impl<'e> Evaluator<'e> {
             },
             Some(Location::Subquery(q)) => {
                 let out = self.eval_query(q, None)?;
-                let Some(g) = out.into_graph() else {
-                    return Err(SemanticError::Other(
-                        "ON (subquery) must be a graph query".into(),
-                    )
-                    .into());
+                let Some(mut g) = out.into_graph() else {
+                    return Err(
+                        SemanticError::Other("ON (subquery) must be a graph query".into()).into(),
+                    );
                 };
+                // The pattern is about to match against this graph —
+                // index it so seeding/expansion run at indexed speed.
+                g.build_label_index();
                 Ok(Arc::new(g))
             }
         }
@@ -266,11 +256,11 @@ impl<'e> Evaluator<'e> {
         outer: Option<&Env<'_>>,
     ) -> Result<BindingTable> {
         let mut first_err = None;
-        let filtered = table.filter(|row| {
+        let filtered = table.filter(|ri| {
             if first_err.is_some() {
                 return false;
             }
-            let mut env = Env::new(&table, row);
+            let mut env = Env::new(&table, ri);
             env.parent = outer;
             match eval_expr(self.ctx, self, &env, cond) {
                 Ok(v) => v.truthy(),
@@ -288,11 +278,7 @@ impl<'e> Evaluator<'e> {
 
     /// Materialize the segments of every PATH view referenced by an NFA
     /// (§A.4), over the given graph.
-    pub fn resolve_views(
-        &self,
-        nfa: &Nfa,
-        graph: &Arc<PathPropertyGraph>,
-    ) -> Result<ViewMap> {
+    pub fn resolve_views(&self, nfa: &Nfa, graph: &Arc<PathPropertyGraph>) -> Result<ViewMap> {
         let mut map = ViewMap::default();
         for name in nfa.view_names() {
             let segments = self.view_segments(&name, graph)?;
@@ -376,34 +362,34 @@ impl<'e> Evaluator<'e> {
             .collect();
 
         let mut segments = Vec::with_capacity(table.len());
-        for row in table.rows() {
-            let Bound::Node(src) = row[start_idx] else {
+        for ri in 0..table.len() {
+            let Bound::Node(src) = table.bound(ri, start_idx) else {
                 continue;
             };
-            let Bound::Node(dst) = row[end_idx] else {
+            let Bound::Node(dst) = table.bound(ri, end_idx) else {
                 continue;
             };
             // Reassemble the walk from the chain's bound elements.
             let mut walk = PathShape::trivial(src);
             let mut ok = true;
             for (i, &ci) in conn_idxs.iter().enumerate() {
-                let Bound::Node(next) = row[node_idxs[i + 1]] else {
+                let Bound::Node(next) = table.bound(ri, node_idxs[i + 1]) else {
                     ok = false;
                     break;
                 };
-                let piece = match &row[ci] {
+                let piece = match table.bound(ri, ci) {
                     Bound::Edge(e) => {
-                        let prev = match row[node_idxs[i]] {
+                        let prev = match table.bound(ri, node_idxs[i]) {
                             Bound::Node(n) => n,
                             _ => {
                                 ok = false;
                                 break;
                             }
                         };
-                        PathShape::new(vec![prev, next], vec![*e]).expect("edge step")
+                        PathShape::new(vec![prev, next], vec![e]).expect("edge step")
                     }
-                    Bound::Path(p) => graph.path(*p).expect("stored path").shape.clone(),
-                    Bound::FreshPath(fi) => match self.ctx.fresh_path(*fi) {
+                    Bound::Path(p) => graph.path(p).expect("stored path").shape.clone(),
+                    Bound::FreshPath(fi) => match self.ctx.fresh_path(fi) {
                         FreshPath::Walk { shape, .. } => shape,
                         FreshPath::Projection { .. } => {
                             return Err(SemanticError::Other(format!(
@@ -432,7 +418,7 @@ impl<'e> Evaluator<'e> {
             let cost = match &def.cost {
                 None => 1.0,
                 Some(expr) => {
-                    let env = Env::new(&table, row);
+                    let env = Env::new(&table, ri);
                     let rv = eval_expr(self.ctx, self, &env, expr)?;
                     let scalar = rv.as_scalar().and_then(|v| v.as_f64());
                     match scalar {
@@ -440,9 +426,7 @@ impl<'e> Evaluator<'e> {
                         other => {
                             return Err(RuntimeError::NonPositiveCost {
                                 view: def.name.clone(),
-                                detail: format!(
-                                    "segment {src}→{dst} evaluated COST to {other:?}"
-                                ),
+                                detail: format!("segment {src}→{dst} evaluated COST to {other:?}"),
                             }
                             .into())
                         }
@@ -618,10 +602,12 @@ pub fn env_to_table(env: &Env<'_>) -> BindingTable {
         for (i, c) in e.table.columns().iter().enumerate() {
             if !columns.iter().any(|x| x.var == c.var) {
                 columns.push(c.clone());
-                row.push(e.row[i].clone());
+                row.push(e.table.bound(e.row, i));
             }
         }
         cur = e.parent;
     }
-    BindingTable::new(columns, vec![row])
+    let mut b = TableBuilder::new(columns);
+    b.push(&row);
+    b.finish()
 }

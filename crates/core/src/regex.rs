@@ -208,11 +208,7 @@ impl Builder {
 /// backwards (an edge traversed forward offers `Label`, backward offers
 /// `LabelInv`, and both offer `Wildcard`); `node_labels` yields the label
 /// set of the node *before* each step plus the final node.
-pub fn walk_conforms(
-    nfa: &Nfa,
-    node_labels: &[Vec<Label>],
-    steps: &[(Vec<Label>, bool)],
-) -> bool {
+pub fn walk_conforms(nfa: &Nfa, node_labels: &[Vec<Label>], steps: &[(Vec<Label>, bool)]) -> bool {
     debug_assert_eq!(node_labels.len(), steps.len() + 1);
     // Current set of NFA states, closed under ε and node tests at node i.
     let close = |states: &[usize], labels: &[Label]| -> Vec<usize> {
@@ -298,15 +294,31 @@ mod tests {
     #[test]
     fn inverse_label_matches_backward_steps() {
         let nfa = Nfa::compile(&Regex::LabelInv("knows".into()));
-        assert!(walk_conforms(&nfa, &[vec![], vec![]], &[(vec![l("knows")], false)]));
-        assert!(!walk_conforms(&nfa, &[vec![], vec![]], &[(vec![l("knows")], true)]));
+        assert!(walk_conforms(
+            &nfa,
+            &[vec![], vec![]],
+            &[(vec![l("knows")], false)]
+        ));
+        assert!(!walk_conforms(
+            &nfa,
+            &[vec![], vec![]],
+            &[(vec![l("knows")], true)]
+        ));
     }
 
     #[test]
     fn wildcard_matches_any_direction() {
         let nfa = Nfa::compile(&Regex::Wildcard);
-        assert!(walk_conforms(&nfa, &[vec![], vec![]], &[(vec![l("x")], true)]));
-        assert!(walk_conforms(&nfa, &[vec![], vec![]], &[(vec![l("x")], false)]));
+        assert!(walk_conforms(
+            &nfa,
+            &[vec![], vec![]],
+            &[(vec![l("x")], true)]
+        ));
+        assert!(walk_conforms(
+            &nfa,
+            &[vec![], vec![]],
+            &[(vec![l("x")], false)]
+        ));
     }
 
     #[test]
@@ -328,7 +340,11 @@ mod tests {
             &n3,
             &[(vec![l("c")], true), (vec![l("b")], true)]
         ));
-        assert!(!walk_conforms(&nfa, &[vec![], vec![]], &[(vec![l("a")], true)]));
+        assert!(!walk_conforms(
+            &nfa,
+            &[vec![], vec![]],
+            &[(vec![l("a")], true)]
+        ));
     }
 
     #[test]

@@ -16,15 +16,10 @@ use gcore_ppg::{Table, Value};
 use std::cmp::Ordering;
 
 /// Evaluate a SELECT query into a table.
-pub fn eval_select(
-    ev: &Evaluator<'_>,
-    s: &SelectQuery,
-    outer: Option<&Env<'_>>,
-) -> Result<Table> {
+pub fn eval_select(ev: &Evaluator<'_>, s: &SelectQuery, outer: Option<&Env<'_>>) -> Result<Table> {
     let bindings = ev.eval_match(&s.match_clause, outer)?;
 
-    let aggregated = !s.group_by.is_empty()
-        || s.items.iter().any(|i| i.expr.contains_aggregate());
+    let aggregated = !s.group_by.is_empty() || s.items.iter().any(|i| i.expr.contains_aggregate());
 
     // Partition rows into groups.
     let groups: Vec<Vec<usize>> = if !s.group_by.is_empty() {
@@ -99,9 +94,8 @@ pub fn eval_select(
     let offset = s.offset.unwrap_or(0) as usize;
     let limit = s.limit.map(|l| l as usize).unwrap_or(usize::MAX);
 
-    let mut table = Table::new(column_names).map_err(|e| {
-        RuntimeError::Other(format!("invalid SELECT projection: {e}"))
-    })?;
+    let mut table = Table::new(column_names)
+        .map_err(|e| RuntimeError::Other(format!("invalid SELECT projection: {e}")))?;
     for (_, cells) in rows.into_iter().skip(offset).take(limit) {
         table
             .push_row(cells)
@@ -136,8 +130,8 @@ fn group_by(
     // Deterministic grouping: BTreeMap over stringified keys would lose
     // type order, so sort (key, index) pairs with Rv's total order.
     let mut keyed: Vec<(Vec<Rv>, usize)> = Vec::with_capacity(bindings.len());
-    for (ri, row) in bindings.rows().iter().enumerate() {
-        let mut env = Env::new(bindings, row);
+    for ri in 0..bindings.len() {
+        let mut env = Env::new(bindings, ri);
         env.parent = outer;
         let mut key = Vec::with_capacity(exprs.len());
         for e in exprs {
@@ -212,8 +206,7 @@ fn eval_item(
     let Some(&repr) = group.first() else {
         return Ok(Rv::Null);
     };
-    let row = &bindings.rows()[repr];
-    let mut env = Env::new(bindings, row);
+    let mut env = Env::new(bindings, repr);
     env.parent = outer;
     eval_expr(ev.ctx, ev, &env, expr)
 }

@@ -676,9 +676,7 @@ impl Expr {
     pub fn contains_aggregate(&self) -> bool {
         match self {
             Expr::Aggregate { .. } => true,
-            Expr::Prop(e, _) | Expr::LabelTest(e, _) | Expr::Unary(_, e) => {
-                e.contains_aggregate()
-            }
+            Expr::Prop(e, _) | Expr::LabelTest(e, _) | Expr::Unary(_, e) => e.contains_aggregate(),
             Expr::Index(a, b) | Expr::Binary(_, a, b) => {
                 a.contains_aggregate() || b.contains_aggregate()
             }

@@ -11,7 +11,10 @@ pub enum ParseErrorKind {
     UnterminatedComment,
     BadNumber(String),
     /// Generic "expected X, found Y".
-    Expected { what: String, found: String },
+    Expected {
+        what: String,
+        found: String,
+    },
     /// A message with no structured shape.
     Message(String),
 }

@@ -136,9 +136,7 @@ impl<'a> Lexer<'a> {
                         Some(b'n') => text.push('\n'),
                         Some(b't') => text.push('\t'),
                         Some(b) => text.push(b as char),
-                        None => {
-                            return Err(self.error(ParseErrorKind::UnterminatedString, start))
-                        }
+                        None => return Err(self.error(ParseErrorKind::UnterminatedString, start)),
                     }
                 }
                 Some(b) => {

@@ -1397,7 +1397,10 @@ mod tests {
         assert_eq!(pp.mode, PathMode::Shortest(3));
         assert_eq!(pp.var, Some("p".into()));
         assert_eq!(pp.cost_var, Some("c".into()));
-        assert_eq!(pp.regex, Some(Regex::Star(Box::new(Regex::Label("knows".into())))));
+        assert_eq!(
+            pp.regex,
+            Some(Regex::Star(Box::new(Regex::Label("knows".into()))))
+        );
         // WHERE mixes label tests and a pattern predicate
         let w = m.where_clause.as_ref().unwrap();
         let shown = format!("{w:?}");
@@ -1492,7 +1495,10 @@ mod tests {
         assert!(m.optionals[0].where_clause.is_some());
         // disjunctive labels
         let msg1 = &m.optionals[0].patterns[0].pattern.steps[0].node;
-        assert_eq!(msg1.labels[0].0, vec!["Post".to_string(), "Comment".to_string()]);
+        assert_eq!(
+            msg1.labels[0].0,
+            vec!["Post".to_string(), "Comment".to_string()]
+        );
         // undirected reply_of edge
         let Connection::Edge(e) = &m.optionals[0].patterns[1].pattern.steps[0].connection else {
             panic!()
@@ -1573,7 +1579,10 @@ mod tests {
         assert_eq!(pp.labels[0].0, vec!["toWagner".to_string()]);
         // second pattern carries the ON for the whole list? No — per
         // pattern. Here ON binds to (m:Person).
-        assert_eq!(m.patterns[1].on, Some(Location::Named("social_graph2".into())));
+        assert_eq!(
+            m.patterns[1].on,
+            Some(Location::Named("social_graph2".into()))
+        );
         // WHERE n = nodes(p)[1]
         let Some(Expr::Binary(BinaryOp::Eq, _, rhs)) = &m.where_clause else {
             panic!()
@@ -1623,7 +1632,10 @@ mod tests {
         // GROUP by a property expression
         assert_eq!(
             cp.start.group,
-            Some(vec![Expr::Prop(Box::new(Expr::Var("o".into())), "custName".into())])
+            Some(vec![Expr::Prop(
+                Box::new(Expr::Var("o".into())),
+                "custName".into()
+            )])
         );
     }
 
@@ -1663,8 +1675,10 @@ mod tests {
 
     #[test]
     fn set_and_remove_clauses() {
-        let query = q("CONSTRUCT (n) SET n:VIP SET n.rank := 1 REMOVE n.temp REMOVE n:Old \
-                       MATCH (n)");
+        let query = q(
+            "CONSTRUCT (n) SET n:VIP SET n.rank := 1 REMOVE n.temp REMOVE n:Old \
+                       MATCH (n)",
+        );
         let b = basic(&query);
         let ConstructItem::Pattern(cp) = &b.construct.items[0] else {
             panic!()
@@ -1681,7 +1695,13 @@ mod tests {
             panic!()
         };
         assert_eq!(*op, GraphSetOp::Minus);
-        assert!(matches!(left.as_ref(), FullGraphQuery::SetOp { op: GraphSetOp::Intersect, .. }));
+        assert!(matches!(
+            left.as_ref(),
+            FullGraphQuery::SetOp {
+                op: GraphSetOp::Intersect,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -326,11 +326,7 @@ fn construct_element_inner(
         let _ = write!(
             inner,
             " GROUP {}",
-            group
-                .iter()
-                .map(print_expr)
-                .collect::<Vec<_>>()
-                .join(", ")
+            group.iter().map(print_expr).collect::<Vec<_>>().join(", ")
         );
     }
     for l in labels {

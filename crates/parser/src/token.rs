@@ -182,31 +182,31 @@ pub enum Tok {
     Float(f64),
     Str(String),
     // punctuation
-    LParen,    // (
-    RParen,    // )
-    LBracket,  // [
-    RBracket,  // ]
-    LBrace,    // {
-    RBrace,    // }
-    Lt,        // <
-    Gt,        // >
-    Le,        // <=
-    Ge,        // >=
-    Neq,       // <> or !=
-    Eq,        // =
-    Assign,    // :=
-    Colon,     // :
-    Comma,     // ,
-    Dot,       // .
-    Plus,      // +
-    Minus,     // -
-    Star,      // *
-    Slash,     // /
-    Percent,   // %
-    Bang,      // !
-    At,        // @
-    Tilde,     // ~
-    Pipe,      // |
+    LParen,     // (
+    RParen,     // )
+    LBracket,   // [
+    RBracket,   // ]
+    LBrace,     // {
+    RBrace,     // }
+    Lt,         // <
+    Gt,         // >
+    Le,         // <=
+    Ge,         // >=
+    Neq,        // <> or !=
+    Eq,         // =
+    Assign,     // :=
+    Colon,      // :
+    Comma,      // ,
+    Dot,        // .
+    Plus,       // +
+    Minus,      // -
+    Star,       // *
+    Slash,      // /
+    Percent,    // %
+    Bang,       // !
+    At,         // @
+    Tilde,      // ~
+    Pipe,       // |
     Underscore, // _ (wildcard in regexes)
     Eof,
 }

@@ -126,9 +126,13 @@ impl GraphBuilder {
         &self.graph
     }
 
-    /// Finish, returning the graph.
+    /// Finish, returning the graph with its label index built (seeding
+    /// and edge expansion by label become O(1) lookups instead of
+    /// scans).
     pub fn build(self) -> PathPropertyGraph {
-        self.graph
+        let mut g = self.graph;
+        g.build_label_index();
+        g
     }
 }
 
@@ -143,7 +147,9 @@ mod tests {
         let ann = b.node(Attributes::labeled("Person").with_prop("name", "Ann"));
         let bob = b.node(Attributes::labeled("Person").with_prop("name", "Bob"));
         let e = b.edge(ann, bob, Attributes::labeled("knows"));
-        let p = b.path(vec![ann, bob], vec![e], Attributes::labeled("short")).unwrap();
+        let p = b
+            .path(vec![ann, bob], vec![e], Attributes::labeled("short"))
+            .unwrap();
         let g = b.build();
         assert_eq!(g.node_count(), 2);
         assert_eq!(g.path(p).unwrap().shape.length(), 1);

@@ -70,7 +70,7 @@ impl Catalog {
 
     /// Register (or replace) a named graph. The graph's identifier space
     /// is reserved in the shared generator.
-    pub fn register_graph(&mut self, name: impl Into<String>, graph: PathPropertyGraph) {
+    pub fn register_graph(&mut self, name: impl Into<String>, mut graph: PathPropertyGraph) {
         let max_id = graph
             .node_ids()
             .map(|n| n.raw())
@@ -79,6 +79,12 @@ impl Catalog {
             .max()
             .unwrap_or(0);
         self.ids.reserve_up_to(max_id);
+        // Every graph entering the catalog — builder output, CONSTRUCT
+        // result, GRAPH VIEW — gets the label index, so later queries
+        // over it match at indexed speed.
+        if !graph.has_label_index() {
+            graph.build_label_index();
+        }
         self.graphs.insert(name.into(), Arc::new(graph));
     }
 
@@ -191,7 +197,10 @@ mod tests {
     #[test]
     fn default_graph() {
         let mut c = Catalog::new();
-        assert!(matches!(c.default_graph(), Err(CatalogError::NoDefaultGraph)));
+        assert!(matches!(
+            c.default_graph(),
+            Err(CatalogError::NoDefaultGraph)
+        ));
         c.register_graph("g", PathPropertyGraph::new());
         c.set_default_graph("g");
         assert!(c.default_graph().is_ok());

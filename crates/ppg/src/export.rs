@@ -47,7 +47,13 @@ pub fn to_text(g: &PathPropertyGraph) -> String {
     }
     for id in g.edge_ids_sorted() {
         let e = g.edge(id).expect("listed id");
-        let _ = writeln!(out, "edge {id} {} -> {} {}", e.src, e.dst, attrs_inline(&e.attrs));
+        let _ = writeln!(
+            out,
+            "edge {id} {} -> {} {}",
+            e.src,
+            e.dst,
+            attrs_inline(&e.attrs)
+        );
     }
     for id in g.path_ids_sorted() {
         let p = g.path(id).expect("listed id");
@@ -108,10 +114,18 @@ mod tests {
 
     fn sample() -> PathPropertyGraph {
         let mut g = PathPropertyGraph::new();
-        g.add_node(NodeId(1), Attributes::labeled("Person").with_prop("name", "Ann"));
+        g.add_node(
+            NodeId(1),
+            Attributes::labeled("Person").with_prop("name", "Ann"),
+        );
         g.add_node(NodeId(2), Attributes::labeled("Person"));
-        g.add_edge(EdgeId(3), NodeId(1), NodeId(2), Attributes::labeled("knows"))
-            .unwrap();
+        g.add_edge(
+            EdgeId(3),
+            NodeId(1),
+            NodeId(2),
+            Attributes::labeled("knows"),
+        )
+        .unwrap();
         g.add_path(
             crate::ids::PathId(4),
             PathShape::new(vec![NodeId(1), NodeId(2)], vec![EdgeId(3)]).unwrap(),
@@ -144,10 +158,7 @@ mod tests {
     #[test]
     fn dot_escapes_quotes() {
         let mut g = PathPropertyGraph::new();
-        g.add_node(
-            NodeId(1),
-            Attributes::new().with_prop("q", "say \"hi\""),
-        );
+        g.add_node(NodeId(1), Attributes::new().with_prop("q", "say \"hi\""));
         let d = to_dot(&g, "g");
         assert!(d.contains("\\\"hi\\\""));
     }

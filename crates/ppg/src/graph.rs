@@ -19,6 +19,7 @@ use crate::path::PathShape;
 use crate::property::PropertySet;
 use crate::symbols::{Key, Label, LabelSet};
 use crate::value::Value;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// Labels and properties shared by every element sort.
@@ -136,6 +137,21 @@ pub struct PathData {
     pub attrs: Attributes,
 }
 
+/// Label-partitioned adjacency and node sets, built once per graph (at
+/// [`crate::GraphBuilder::build`] or explicitly) and dropped by any
+/// subsequent mutation. Matching consults it through
+/// [`PathPropertyGraph::out_edges_with_label`] /
+/// [`PathPropertyGraph::in_edges_with_label`] /
+/// [`PathPropertyGraph::nodes_with_label`], which fall back to scanning
+/// when no index is present — so the index is purely an accelerator and
+/// never a correctness concern.
+#[derive(Clone, Default, Debug)]
+struct LabelIndex {
+    nodes_by_label: FxHashMap<Label, Vec<NodeId>>,
+    out_by_label: FxHashMap<(NodeId, Label), Vec<EdgeId>>,
+    in_by_label: FxHashMap<(NodeId, Label), Vec<EdgeId>>,
+}
+
 /// A Path Property Graph (Definition 2.1).
 #[derive(Clone, Default, Debug)]
 pub struct PathPropertyGraph {
@@ -144,6 +160,7 @@ pub struct PathPropertyGraph {
     paths: FxHashMap<PathId, PathData>,
     out_adj: FxHashMap<NodeId, Vec<EdgeId>>,
     in_adj: FxHashMap<NodeId, Vec<EdgeId>>,
+    label_index: Option<LabelIndex>,
 }
 
 impl PathPropertyGraph {
@@ -159,6 +176,7 @@ impl PathPropertyGraph {
     /// Insert a node. Re-inserting an existing node unions attributes
     /// (identity-respecting merge).
     pub fn add_node(&mut self, id: NodeId, attrs: Attributes) {
+        self.label_index = None;
         match self.nodes.get_mut(&id) {
             Some(existing) => existing.attrs.union_in_place(&attrs),
             None => {
@@ -183,11 +201,18 @@ impl PathPropertyGraph {
         attrs: Attributes,
     ) -> Result<(), GraphError> {
         if !self.nodes.contains_key(&src) {
-            return Err(GraphError::DanglingEdge { edge: id, node: src });
+            return Err(GraphError::DanglingEdge {
+                edge: id,
+                node: src,
+            });
         }
         if !self.nodes.contains_key(&dst) {
-            return Err(GraphError::DanglingEdge { edge: id, node: dst });
+            return Err(GraphError::DanglingEdge {
+                edge: id,
+                node: dst,
+            });
         }
+        self.label_index = None;
         match self.edges.get_mut(&id) {
             Some(existing) => {
                 if existing.src != src || existing.dst != dst {
@@ -309,6 +334,7 @@ impl PathPropertyGraph {
 
     /// Mutable attributes of any element sort.
     pub fn attributes_mut(&mut self, id: ElementId) -> Option<&mut Attributes> {
+        self.label_index = None;
         match id {
             ElementId::Node(n) => self.nodes.get_mut(&n).map(|d| &mut d.attrs),
             ElementId::Edge(e) => self.edges.get_mut(&e).map(|d| &mut d.attrs),
@@ -319,12 +345,15 @@ impl PathPropertyGraph {
     /// λ(x): the labels of an element (empty set when the element is
     /// absent, which matching treats as a failed lookup upstream).
     pub fn labels(&self, id: ElementId) -> LabelSet {
-        self.attributes(id).map(|a| a.labels.clone()).unwrap_or_default()
+        self.attributes(id)
+            .map(|a| a.labels.clone())
+            .unwrap_or_default()
     }
 
     /// λ(x) ∋ ℓ.
     pub fn has_label(&self, id: ElementId, label: Label) -> bool {
-        self.attributes(id).is_some_and(|a| a.labels.contains(label))
+        self.attributes(id)
+            .is_some_and(|a| a.labels.contains(label))
     }
 
     /// σ(x, k).
@@ -349,6 +378,79 @@ impl PathPropertyGraph {
     /// Total degree (in + out).
     pub fn degree(&self, node: NodeId) -> usize {
         self.out_edges(node).len() + self.in_edges(node).len()
+    }
+
+    /// Outgoing edges of `node` carrying `label`, sorted by id.
+    ///
+    /// Served zero-copy from the [`LabelIndex`] when one is built,
+    /// otherwise by filtering the full adjacency list into an owned
+    /// vector — callers on hot paths only ever iterate the slice.
+    pub fn out_edges_with_label(&self, node: NodeId, label: Label) -> Cow<'_, [EdgeId]> {
+        if let Some(ix) = &self.label_index {
+            return match ix.out_by_label.get(&(node, label)) {
+                Some(v) => Cow::Borrowed(v.as_slice()),
+                None => Cow::Borrowed(&[]),
+            };
+        }
+        let mut v: Vec<EdgeId> = self
+            .out_edges(node)
+            .iter()
+            .copied()
+            .filter(|e| self.edges[e].attrs.labels.contains(label))
+            .collect();
+        v.sort_unstable();
+        Cow::Owned(v)
+    }
+
+    /// Incoming edges of `node` carrying `label`, sorted by id.
+    pub fn in_edges_with_label(&self, node: NodeId, label: Label) -> Cow<'_, [EdgeId]> {
+        if let Some(ix) = &self.label_index {
+            return match ix.in_by_label.get(&(node, label)) {
+                Some(v) => Cow::Borrowed(v.as_slice()),
+                None => Cow::Borrowed(&[]),
+            };
+        }
+        let mut v: Vec<EdgeId> = self
+            .in_edges(node)
+            .iter()
+            .copied()
+            .filter(|e| self.edges[e].attrs.labels.contains(label))
+            .collect();
+        v.sort_unstable();
+        Cow::Owned(v)
+    }
+
+    /// Build the label-partitioned index over nodes and adjacency.
+    /// Called once by [`crate::GraphBuilder::build`]; any later mutation
+    /// drops the index and the accessors fall back to scanning.
+    pub fn build_label_index(&mut self) {
+        let mut ix = LabelIndex::default();
+        for (&id, d) in &self.nodes {
+            for l in d.attrs.labels.iter() {
+                ix.nodes_by_label.entry(l).or_default().push(id);
+            }
+        }
+        for (&id, d) in &self.edges {
+            for l in d.attrs.labels.iter() {
+                ix.out_by_label.entry((d.src, l)).or_default().push(id);
+                ix.in_by_label.entry((d.dst, l)).or_default().push(id);
+            }
+        }
+        for v in ix.nodes_by_label.values_mut() {
+            v.sort_unstable();
+        }
+        for v in ix.out_by_label.values_mut() {
+            v.sort_unstable();
+        }
+        for v in ix.in_by_label.values_mut() {
+            v.sort_unstable();
+        }
+        self.label_index = Some(ix);
+    }
+
+    /// True when a label index is currently built and valid.
+    pub fn has_label_index(&self) -> bool {
+        self.label_index.is_some()
     }
 
     // ------------------------------------------------------------------
@@ -412,8 +514,12 @@ impl PathPropertyGraph {
         v
     }
 
-    /// Nodes carrying `label`, sorted by id.
+    /// Nodes carrying `label`, sorted by id. Served from the label index
+    /// when one is built, otherwise by a full scan.
     pub fn nodes_with_label(&self, label: Label) -> Vec<NodeId> {
+        if let Some(ix) = &self.label_index {
+            return ix.nodes_by_label.get(&label).cloned().unwrap_or_default();
+        }
         let mut v: Vec<NodeId> = self
             .nodes
             .iter()
@@ -458,10 +564,16 @@ impl PathPropertyGraph {
     pub fn validate(&self) -> Result<(), GraphError> {
         for (&id, e) in &self.edges {
             if !self.nodes.contains_key(&e.src) {
-                return Err(GraphError::DanglingEdge { edge: id, node: e.src });
+                return Err(GraphError::DanglingEdge {
+                    edge: id,
+                    node: e.src,
+                });
             }
             if !self.nodes.contains_key(&e.dst) {
-                return Err(GraphError::DanglingEdge { edge: id, node: e.dst });
+                return Err(GraphError::DanglingEdge {
+                    edge: id,
+                    node: e.dst,
+                });
             }
         }
         for (&id, p) in &self.paths {
@@ -571,7 +683,10 @@ mod tests {
     #[test]
     fn reinsert_node_unions_attributes() {
         let mut g = two_node_graph();
-        g.add_node(n(1), Attributes::labeled("Manager").with_prop("name", "Annie"));
+        g.add_node(
+            n(1),
+            Attributes::labeled("Manager").with_prop("name", "Annie"),
+        );
         let attrs = g.attributes(n(1).into()).unwrap();
         assert_eq!(attrs.labels.len(), 2);
         let names = attrs.prop(Key::new("name"));
@@ -643,8 +758,44 @@ mod tests {
     fn label_indexes_sorted() {
         let mut g = two_node_graph();
         g.add_node(n(0), Attributes::labeled("Person"));
-        assert_eq!(g.nodes_with_label(Label::new("Person")), vec![n(0), n(1), n(2)]);
+        assert_eq!(
+            g.nodes_with_label(Label::new("Person")),
+            vec![n(0), n(1), n(2)]
+        );
         assert_eq!(g.edges_with_label(Label::new("knows")), vec![e(10)]);
+    }
+
+    #[test]
+    fn label_adjacency_scan_and_index_agree() {
+        let mut g = two_node_graph();
+        g.add_node(n(3), Attributes::new());
+        g.add_edge(e(11), n(1), n(3), Attributes::labeled("likes"))
+            .unwrap();
+        g.add_edge(e(12), n(3), n(2), Attributes::labeled("knows"))
+            .unwrap();
+        let knows = Label::new("knows");
+        let likes = Label::new("likes");
+
+        // Fallback path (no index yet).
+        assert!(!g.has_label_index());
+        assert_eq!(g.out_edges_with_label(n(1), knows), vec![e(10)]);
+        assert_eq!(g.out_edges_with_label(n(1), likes), vec![e(11)]);
+        assert_eq!(g.in_edges_with_label(n(2), knows), vec![e(10), e(12)]);
+        assert!(g.out_edges_with_label(n(2), knows).is_empty());
+
+        // Indexed path must agree.
+        g.build_label_index();
+        assert!(g.has_label_index());
+        assert_eq!(g.out_edges_with_label(n(1), knows), vec![e(10)]);
+        assert_eq!(g.out_edges_with_label(n(1), likes), vec![e(11)]);
+        assert_eq!(g.in_edges_with_label(n(2), knows), vec![e(10), e(12)]);
+        assert_eq!(g.nodes_with_label(Label::new("Person")), vec![n(1), n(2)]);
+
+        // Mutation drops the index; answers stay correct via fallback.
+        g.add_edge(e(13), n(2), n(1), Attributes::labeled("knows"))
+            .unwrap();
+        assert!(!g.has_label_index());
+        assert_eq!(g.in_edges_with_label(n(1), knows), vec![e(13)]);
     }
 
     #[test]

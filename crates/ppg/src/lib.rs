@@ -36,6 +36,7 @@ pub mod export;
 pub mod graph;
 pub mod hash;
 pub mod ids;
+pub mod intern;
 pub mod ops;
 pub mod path;
 pub mod property;
@@ -49,6 +50,7 @@ pub use error::GraphError;
 pub use export::{to_dot, to_text};
 pub use graph::{Attributes, EdgeData, NodeData, PathData, PathPropertyGraph};
 pub use ids::{EdgeId, ElementId, ElementSort, IdGen, NodeId, PathId};
+pub use intern::ValueInterner;
 pub use path::PathShape;
 pub use property::PropertySet;
 pub use symbols::{Key, Label, LabelSet};

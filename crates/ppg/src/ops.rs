@@ -84,7 +84,9 @@ pub fn try_union(
 
 /// Union of many graphs, left to right (used by CONSTRUCT, which unions
 /// one graph per object construct).
-pub fn union_all<'a, I: IntoIterator<Item = &'a PathPropertyGraph>>(graphs: I) -> PathPropertyGraph {
+pub fn union_all<'a, I: IntoIterator<Item = &'a PathPropertyGraph>>(
+    graphs: I,
+) -> PathPropertyGraph {
     let mut out = PathPropertyGraph::new();
     for g in graphs {
         out = union(&out, g);
@@ -225,7 +227,8 @@ mod tests {
         let mut g = PathPropertyGraph::new();
         g.add_node(n(1), Attributes::labeled("A").with_prop("k", "v1"));
         g.add_node(n(2), Attributes::labeled("B"));
-        g.add_edge(e(10), n(1), n(2), Attributes::labeled("r")).unwrap();
+        g.add_edge(e(10), n(1), n(2), Attributes::labeled("r"))
+            .unwrap();
         g.add_path(
             p(100),
             PathShape::new(vec![n(1), n(2)], vec![e(10)]).unwrap(),

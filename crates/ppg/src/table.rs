@@ -258,7 +258,14 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new(vec!["a", "b"]).unwrap();
         let err = t.push_row(vec![Value::Int(1)]).unwrap_err();
-        assert!(matches!(err, TableError::RowArity { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            TableError::RowArity {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -217,7 +217,8 @@ impl PartialOrd for Value {
 
 impl Ord for Value {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.total_cmp(other).then_with(|| self.rank().cmp(&other.rank()))
+        self.total_cmp(other)
+            .then_with(|| self.rank().cmp(&other.rank()))
     }
 }
 
@@ -355,12 +356,14 @@ mod tests {
 
     #[test]
     fn total_order_is_deterministic_across_types() {
-        let mut vals = [Value::str("b"),
+        let mut vals = [
+            Value::str("b"),
             Value::Int(2),
             Value::Bool(false),
             Value::Float(1.5),
             Value::str("a"),
-            Value::Null];
+            Value::Null,
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(false));

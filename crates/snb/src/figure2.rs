@@ -148,7 +148,10 @@ mod tests {
         assert!(g.has_label(NodeId(102).into(), Label::new("Manager")));
         assert!(g.has_label(EdgeId(201).into(), Label::new("hasInterest")));
         assert!(g.has_label(PathId(301).into(), Label::new("toWagner")));
-        assert_eq!(g.prop(NodeId(101).into(), Key::new("name")), "Wagner".into());
+        assert_eq!(
+            g.prop(NodeId(101).into(), Key::new("name")),
+            "Wagner".into()
+        );
         assert_eq!(
             g.prop(EdgeId(205).into(), Key::new("since")),
             "1/12/2014".into()
@@ -160,10 +163,7 @@ mod tests {
     fn path_301_shape() {
         let g = figure2_standalone();
         let p = g.path(PathId(301)).unwrap();
-        assert_eq!(
-            p.shape.nodes(),
-            &[NodeId(105), NodeId(103), NodeId(102)]
-        );
+        assert_eq!(p.shape.nodes(), &[NodeId(105), NodeId(103), NodeId(102)]);
         assert_eq!(p.shape.edges(), &[EdgeId(207), EdgeId(202)]);
         // nodes(301) and edges(301) as sets match Example 2.2.
         let mut ns: Vec<u64> = p.shape.nodes().iter().map(|n| n.raw()).collect();

@@ -19,9 +19,7 @@
 //! (including identifiers, when drawn from a fresh [`IdGen`]).
 
 use crate::names;
-use gcore_ppg::{
-    Attributes, GraphBuilder, IdGen, NodeId, PathPropertyGraph, PropertySet, Value,
-};
+use gcore_ppg::{Attributes, GraphBuilder, IdGen, NodeId, PathPropertyGraph, PropertySet, Value};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -102,9 +100,7 @@ pub fn generate(cfg: &SnbConfig, idgen: &IdGen) -> SnbData {
 
     // ---- reference data ---------------------------------------------
     let cities: Vec<NodeId> = (0..n_cities)
-        .map(|i| {
-            b.node(Attributes::labeled("City").with_prop("name", indexed(names::CITIES, i)))
-        })
+        .map(|i| b.node(Attributes::labeled("City").with_prop("name", indexed(names::CITIES, i))))
         .collect();
     let tags: Vec<NodeId> = (0..n_tags)
         .map(|i| b.node(Attributes::labeled("Tag").with_prop("name", indexed(names::TAGS, i))))
@@ -240,10 +236,7 @@ mod tests {
     fn person_count_matches_config() {
         let d = generate_standalone(&SnbConfig::scale(150));
         assert_eq!(d.persons.len(), 150);
-        assert_eq!(
-            d.graph.nodes_with_label(Label::new("Person")).len(),
-            150
-        );
+        assert_eq!(d.graph.nodes_with_label(Label::new("Person")).len(), 150);
     }
 
     #[test]
@@ -255,11 +248,9 @@ mod tests {
         assert_eq!(knows.len() % 2, 0);
         for e in knows {
             let (s, t) = g.endpoints(e).unwrap();
-            let mirrored = g
-                .out_edges(t)
-                .iter()
-                .any(|&e2| g.endpoints(e2) == Some((t, s))
-                    && g.has_label(e2.into(), Label::new("knows")));
+            let mirrored = g.out_edges(t).iter().any(|&e2| {
+                g.endpoints(e2) == Some((t, s)) && g.has_label(e2.into(), Label::new("knows"))
+            });
             assert!(mirrored);
         }
     }

@@ -2,36 +2,74 @@
 
 /// First names drawn by the generator (deterministically, by seed).
 pub const FIRST_NAMES: &[&str] = &[
-    "John", "Peter", "Alice", "Celine", "Frank", "Ana", "Bryn", "Carmen", "Deniz", "Emil",
-    "Farah", "Goran", "Hana", "Igor", "Jana", "Kofi", "Lena", "Marek", "Nadia", "Otto",
-    "Priya", "Quentin", "Rosa", "Sven", "Tariq", "Uma", "Viktor", "Wanda", "Xin", "Yara",
-    "Zoltan", "Aiko", "Bela", "Chiara", "Dmitri", "Esra", "Filip", "Greta", "Hugo", "Ines",
+    "John", "Peter", "Alice", "Celine", "Frank", "Ana", "Bryn", "Carmen", "Deniz", "Emil", "Farah",
+    "Goran", "Hana", "Igor", "Jana", "Kofi", "Lena", "Marek", "Nadia", "Otto", "Priya", "Quentin",
+    "Rosa", "Sven", "Tariq", "Uma", "Viktor", "Wanda", "Xin", "Yara", "Zoltan", "Aiko", "Bela",
+    "Chiara", "Dmitri", "Esra", "Filip", "Greta", "Hugo", "Ines",
 ];
 
 /// Last names drawn by the generator.
 pub const LAST_NAMES: &[&str] = &[
-    "Doe", "Smith", "Bishop", "Mayer", "Gold", "Alvarez", "Bauer", "Costa", "Dimitrov",
-    "Eriksen", "Fischer", "Garcia", "Hansen", "Ivanov", "Jansen", "Kovacs", "Larsen", "Moreau",
-    "Novak", "Olsen", "Petrov", "Quirke", "Rossi", "Schmidt", "Tanaka", "Urbano", "Vasquez",
-    "Weber", "Xu", "Yilmaz", "Zhang", "Andersen", "Brandt", "Cohen", "Duval", "Egger",
-    "Farkas", "Gruber", "Horvat", "Ibrahim",
+    "Doe", "Smith", "Bishop", "Mayer", "Gold", "Alvarez", "Bauer", "Costa", "Dimitrov", "Eriksen",
+    "Fischer", "Garcia", "Hansen", "Ivanov", "Jansen", "Kovacs", "Larsen", "Moreau", "Novak",
+    "Olsen", "Petrov", "Quirke", "Rossi", "Schmidt", "Tanaka", "Urbano", "Vasquez", "Weber", "Xu",
+    "Yilmaz", "Zhang", "Andersen", "Brandt", "Cohen", "Duval", "Egger", "Farkas", "Gruber",
+    "Horvat", "Ibrahim",
 ];
 
 /// City names (cycled with an index suffix past the pool).
 pub const CITIES: &[&str] = &[
-    "Houston", "Austin", "Leiden", "Santiago", "Eindhoven", "Dresden", "Talca", "Amsterdam",
-    "Walldorf", "Redwood", "Antofagasta", "Utrecht", "Ghent", "Aachen", "Malmo", "Porto",
+    "Houston",
+    "Austin",
+    "Leiden",
+    "Santiago",
+    "Eindhoven",
+    "Dresden",
+    "Talca",
+    "Amsterdam",
+    "Walldorf",
+    "Redwood",
+    "Antofagasta",
+    "Utrecht",
+    "Ghent",
+    "Aachen",
+    "Malmo",
+    "Porto",
 ];
 
 /// Tag names (composers first — the guided tour is about finding Wagner
 /// lovers — then generic interests).
 pub const TAGS: &[&str] = &[
-    "Wagner", "Mozart", "Beethoven", "Verdi", "Puccini", "Mahler", "Chess", "Cycling",
-    "Databases", "Graphs", "Sailing", "Photography", "Cooking", "Hiking", "Jazz", "Cinema",
+    "Wagner",
+    "Mozart",
+    "Beethoven",
+    "Verdi",
+    "Puccini",
+    "Mahler",
+    "Chess",
+    "Cycling",
+    "Databases",
+    "Graphs",
+    "Sailing",
+    "Photography",
+    "Cooking",
+    "Hiking",
+    "Jazz",
+    "Cinema",
 ];
 
 /// Company names (the tour's employers first).
 pub const COMPANIES: &[&str] = &[
-    "Acme", "HAL", "CWI", "MIT", "Globex", "Initech", "Umbrella", "Stark", "Wayne", "Tyrell",
-    "Aperture", "Cyberdyne",
+    "Acme",
+    "HAL",
+    "CWI",
+    "MIT",
+    "Globex",
+    "Initech",
+    "Umbrella",
+    "Stark",
+    "Wayne",
+    "Tyrell",
+    "Aperture",
+    "Cyberdyne",
 ];

@@ -19,7 +19,9 @@
 //! Message/city identifiers that the paper leaves implicit are assigned
 //! by the builder; tests address persons by name, never by raw id.
 
-use gcore_ppg::{Attributes, GraphBuilder, IdGen, NodeId, PathPropertyGraph, PropertySet, Table, Value};
+use gcore_ppg::{
+    Attributes, GraphBuilder, IdGen, NodeId, PathPropertyGraph, PropertySet, Table, Value,
+};
 
 /// The Figure 4 dataset: `social_graph`, `company_graph`, and the node
 /// ids of every named element (for direct assertions in tests).
@@ -199,10 +201,7 @@ mod tests {
         let d = social_dataset_standalone();
         let g = &d.social_graph;
         assert_eq!(g.nodes_with_label(Label::new("Person")).len(), 5);
-        assert_eq!(
-            g.prop(d.john.into(), Key::new("employer")),
-            "Acme".into()
-        );
+        assert_eq!(g.prop(d.john.into(), Key::new("employer")), "Acme".into());
         assert!(g.prop(d.peter.into(), Key::new("employer")).is_empty());
         let frank_emp = g.prop(d.frank.into(), Key::new("employer"));
         assert_eq!(frank_emp.len(), 2);

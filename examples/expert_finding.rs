@@ -54,7 +54,12 @@ fn main() {
             .as_singleton()
             .and_then(Value::as_int)
             .unwrap_or(-1);
-        println!("  {} -> {}: {} messages", name(s.into()), name(t.into()), msgs);
+        println!(
+            "  {} -> {}: {} messages",
+            name(s.into()),
+            name(t.into()),
+            msgs
+        );
     }
 
     // ---- stage 2: weighted shortest paths to Wagner lovers -------------

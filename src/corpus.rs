@@ -241,5 +241,6 @@ pub const ALL: &[CorpusQuery] = &[
 
 /// The corpus entry whose paper listing covers `line`.
 pub fn query_at_line(line: u32) -> Option<&'static CorpusQuery> {
-    ALL.iter().find(|q| q.first_line <= line && line <= q.last_line)
+    ALL.iter()
+        .find(|q| q.first_line <= line && line <= q.last_line)
 }

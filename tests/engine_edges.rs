@@ -140,9 +140,7 @@ fn homomorphism_allows_repeated_elements() {
         b.edge(x, y, Attributes::labeled("rel"));
     });
     let t = engine
-        .query_table(
-            "SELECT e1 AS a, e2 AS b MATCH (x)-[e1:rel]->(y), (x)-[e2:rel]->(y)",
-        )
+        .query_table("SELECT e1 AS a, e2 AS b MATCH (x)-[e1:rel]->(y), (x)-[e2:rel]->(y)")
         .unwrap();
     // One edge, two variables, one row where both bind to it.
     assert_eq!(t.len(), 1);
@@ -203,9 +201,7 @@ fn multiple_labels_on_construct() {
     let mut t = tour();
     let g = t
         .engine
-        .query_graph(
-            "CONSTRUCT (n :Vip :Reviewed) MATCH (n:Person) WHERE n.firstName = 'John'",
-        )
+        .query_graph("CONSTRUCT (n :Vip :Reviewed) MATCH (n:Person) WHERE n.firstName = 'John'")
         .unwrap();
     let john = g.node_ids_sorted()[0];
     for l in ["Person", "Vip", "Reviewed"] {

@@ -82,12 +82,7 @@ fn multi_valued_property_semantics_of_section_2() {
     let rows: Vec<(String, i64)> = table
         .rows()
         .iter()
-        .map(|r| {
-            (
-                r[0].as_str().unwrap().to_owned(),
-                r[1].as_int().unwrap(),
-            )
-        })
+        .map(|r| (r[0].as_str().unwrap().to_owned(), r[1].as_int().unwrap()))
         .collect();
     assert_eq!(
         rows,

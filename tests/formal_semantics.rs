@@ -165,9 +165,7 @@ fn default_grouping_is_per_binding() {
     let mut t = tour();
     let g = t
         .engine
-        .query_graph(
-            "CONSTRUCT (v :Marker) MATCH (n:Person) ON social_graph",
-        )
+        .query_graph("CONSTRUCT (v :Marker) MATCH (n:Person) ON social_graph")
         .unwrap();
     // One fresh marker per person binding.
     assert_eq!(g.nodes_with_label(Label::new("Marker")).len(), 5);
@@ -266,9 +264,7 @@ fn figure2_identity_query() {
     let mut t = tour();
     let g = t
         .engine
-        .query_graph(
-            "CONSTRUCT figure2 MATCH (n) ON figure2 WHERE n = n",
-        )
+        .query_graph("CONSTRUCT figure2 MATCH (n) ON figure2 WHERE n = n")
         .unwrap();
     let orig = t.engine.graph("figure2").unwrap();
     assert_eq!(&g, &*orig);

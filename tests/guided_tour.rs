@@ -27,10 +27,7 @@ fn q1_acme_employees() {
     // "all the labels and properties that these person nodes had in
     //  social_graph are preserved"
     assert!(g.has_label(t.john.into(), Label::new("Person")));
-    assert_eq!(
-        g.prop(t.john.into(), Key::new("lastName")),
-        "Doe".into()
-    );
+    assert_eq!(g.prop(t.john.into(), Key::new("lastName")), "Doe".into());
 }
 
 // ---------------------------------------------------------------------

@@ -6,8 +6,7 @@ use gcore_repro::parser::{parse_query, parse_statement, print_statement};
 fn roundtrip(text: &str) {
     let ast1 = parse_statement(text).unwrap_or_else(|e| panic!("parse '{text}': {e}"));
     let printed = print_statement(&ast1);
-    let ast2 = parse_statement(&printed)
-        .unwrap_or_else(|e| panic!("reparse of '{printed}': {e}"));
+    let ast2 = parse_statement(&printed).unwrap_or_else(|e| panic!("reparse of '{printed}': {e}"));
     assert_eq!(ast1, ast2, "roundtrip changed the AST of '{text}'");
 }
 
@@ -72,11 +71,11 @@ fn select_modifiers_roundtrip() {
 fn errors_report_positions_and_expectations() {
     for bad in [
         "CONSTRUCT",
-        "MATCH (n)",                       // missing CONSTRUCT/SELECT head
-        "CONSTRUCT (n MATCH (n)",          // unclosed paren
-        "CONSTRUCT (n) MATCH (n)-[e]-",    // dangling connection
+        "MATCH (n)",                           // missing CONSTRUCT/SELECT head
+        "CONSTRUCT (n MATCH (n)",              // unclosed paren
+        "CONSTRUCT (n) MATCH (n)-[e]-",        // dangling connection
         "CONSTRUCT (n) MATCH (n)-/p <>/->(m)", // empty regex
-        "SELECT MATCH (n)",                // empty projection
+        "SELECT MATCH (n)",                    // empty projection
     ] {
         let err = parse_query(bad).unwrap_err();
         assert!(err.line() >= 1, "error for '{bad}' has a line");

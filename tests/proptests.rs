@@ -277,12 +277,7 @@ fn builder_and_direct_construction_agree() {
     let mut g2 = PathPropertyGraph::new();
     g2.add_node(x, Attributes::labeled("A"));
     g2.add_node(y, Attributes::labeled("B"));
-    g2.add_edge(
-        g1.edge_ids_sorted()[0],
-        x,
-        y,
-        Attributes::labeled("e"),
-    )
-    .unwrap();
+    g2.add_edge(g1.edge_ids_sorted()[0], x, y, Attributes::labeled("e"))
+        .unwrap();
     assert_eq!(g1, g2);
 }

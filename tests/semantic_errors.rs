@@ -19,10 +19,7 @@ fn all_paths_cannot_be_stored() {
         )
         .unwrap_err();
     assert!(
-        matches!(
-            err,
-            EngineError::Semantic(SemanticError::AllPathsEscape(_))
-        ),
+        matches!(err, EngineError::Semantic(SemanticError::AllPathsEscape(_))),
         "got {err:?}"
     );
 }
@@ -56,9 +53,7 @@ fn group_on_bound_variable_rejected() {
     let mut t = tour();
     let err = t
         .engine
-        .query_graph(
-            "CONSTRUCT (n GROUP n.employer) MATCH (n:Person)",
-        )
+        .query_graph("CONSTRUCT (n GROUP n.employer) MATCH (n:Person)")
         .unwrap_err();
     assert!(
         matches!(

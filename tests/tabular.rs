@@ -178,18 +178,14 @@ fn both_table_import_forms_agree() {
 fn null_cells_stay_unbound_in_from() {
     let mut t = tour();
     let mut table = gcore_repro::ppg::Table::new(vec!["a", "b"]).unwrap();
-    table
-        .push_row(vec![Value::str("x"), Value::Null])
-        .unwrap();
+    table.push_row(vec![Value::str("x"), Value::Null]).unwrap();
     table
         .push_row(vec![Value::str("y"), Value::str("z")])
         .unwrap();
     t.engine.register_table("partial", table);
     let g = t
         .engine
-        .query_graph(
-            "CONSTRUCT (n GROUP a :Row {a := a, b := b}) FROM partial",
-        )
+        .query_graph("CONSTRUCT (n GROUP a :Row {a := a, b := b}) FROM partial")
         .unwrap();
     let rows = g.nodes_with_label(Label::new("Row"));
     assert_eq!(rows.len(), 2);

@@ -16,7 +16,10 @@ use gcore_repro::parser::parse_statement;
 const FAMILY_REPRESENTATIVES: &[(&str, &CorpusQuery)] = &[
     ("§3.1 basic MATCH + WHERE", &corpus::ACME_EMPLOYEES),
     ("§3.1 multi-graph join + UNION", &corpus::WORKS_AT_IN),
-    ("§3.2 CONSTRUCT grouping/aggregation", &corpus::GRAPH_AGGREGATION),
+    (
+        "§3.2 CONSTRUCT grouping/aggregation",
+        &corpus::GRAPH_AGGREGATION,
+    ),
     ("§3.3 stored paths", &corpus::STORED_PATHS),
     ("§3.3 reachability", &corpus::REACHABILITY),
     ("§3.3 ALL paths", &corpus::ALL_PATHS),

@@ -312,9 +312,7 @@ pub mod test_runner {
         pub fn for_case(case: u64) -> Self {
             // Spread consecutive case numbers across the seed space.
             TestRng {
-                inner: SmallRng::seed_from_u64(
-                    case.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5eed,
-                ),
+                inner: SmallRng::seed_from_u64(case.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5eed),
             }
         }
 
