@@ -3,7 +3,12 @@
 //! ALL-paths projection, at a fixed SNB scale.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use gcore::paths::{ExpandMode, PathSearcher, ViewMap};
+use gcore::regex::Nfa;
 use gcore_bench::{snb_engine_with_messages, tour_engine};
+use gcore_parser::ast::Regex;
+use gcore_ppg::hash::FxHashSet;
+use gcore_snb::{generate_standalone, SnbConfig};
 use std::hint::black_box;
 
 fn bench_paths(c: &mut Criterion) {
@@ -132,10 +137,100 @@ fn bench_tour_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
+/// Controlled old-vs-new expansion comparison (mirroring the
+/// `binding_layout_*` pattern): the *same* SNB graph, the *same*
+/// product-automaton searches, in one process — only the edge-expansion
+/// strategy differs. `scan` filters every incident edge by label (the
+/// pre-overhaul expansion); `indexed` reads the label-partitioned
+/// adjacency slices. The workload is label-selective: `(:knows +
+/// :knows-)*` over Person nodes whose in-adjacency is dominated by
+/// `has_creator` message edges that scanning must touch and the index
+/// never sees.
+fn bench_expansion_strategies(c: &mut Criterion) {
+    for &scale in &[1000usize, 4000] {
+        let data = generate_standalone(&SnbConfig::scale(scale));
+        let graph = data.graph;
+        assert!(graph.has_label_index(), "GraphBuilder::build indexes");
+        let re = Regex::Star(Box::new(Regex::Alt(vec![
+            Regex::Label("knows".into()),
+            Regex::LabelInv("knows".into()),
+        ])));
+        let nfa = Nfa::compile(&re);
+        let views = ViewMap::default();
+
+        let mut g = c.benchmark_group(format!("path_expansion_snb{scale}"));
+        g.sample_size(10);
+
+        // Reachability from a handful of sources (each explores the
+        // whole knows-connected component).
+        let sources: Vec<_> = data.persons.iter().take(4).copied().collect();
+        for (name, mode) in [
+            ("reach_scan", ExpandMode::Scan),
+            ("reach_indexed", ExpandMode::Indexed),
+        ] {
+            let s = PathSearcher::new(&graph, &nfa, &views).with_expansion(mode);
+            let sources = sources.clone();
+            g.bench_function(name, |b| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for &src in &sources {
+                        total += black_box(s.reachable(src)).len();
+                    }
+                    total
+                })
+            });
+        }
+
+        // Single-pair canonical shortest (cone-pruned on both sides —
+        // only the expansion differs).
+        let (src, dst) = (data.persons[0], data.persons[scale / 2]);
+        let mut targets = FxHashSet::default();
+        targets.insert(dst);
+        for (name, mode) in [
+            ("shortest_scan", ExpandMode::Scan),
+            ("shortest_indexed", ExpandMode::Indexed),
+        ] {
+            let s = PathSearcher::new(&graph, &nfa, &views).with_expansion(mode);
+            let targets = targets.clone();
+            g.bench_function(name, |b| {
+                b.iter(|| black_box(s.k_shortest(src, 1, Some(&targets))).len())
+            });
+        }
+
+        // Many-source reachability: per-source product searches vs the
+        // SCC-condensed shared frontier (both label-indexed).
+        let many: Vec<_> = data.persons.iter().take(64).copied().collect();
+        let s = PathSearcher::new(&graph, &nfa, &views);
+        {
+            let many = many.clone();
+            g.bench_function("multi_source_per_source", |b| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for &src in &many {
+                        total += black_box(s.reachable(src)).len();
+                    }
+                    total
+                })
+            });
+        }
+        {
+            let many = many.clone();
+            g.bench_function("multi_source_shared_frontier", |b| {
+                b.iter(|| {
+                    let m = black_box(s.reachable_many(&many));
+                    m.values().map(|v| v.len()).sum::<usize>()
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_paths,
     bench_stored_paths,
-    bench_tour_pipeline
+    bench_tour_pipeline,
+    bench_expansion_strategies
 );
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 //!   most once per path;
 //! * **simple-path** semantics — every *node* at most once; deciding
 //!   existence under a regular expression is NP-complete
-//!   (Mendelzon & Wood [23]).
+//!   (Mendelzon & Wood \[23\]).
 //!
 //! This module implements all three over a label-restricted reachability
 //! problem so the benchmark suite can demonstrate the blow-up the paper
@@ -112,7 +112,7 @@ pub fn trails(
 }
 
 /// Simple-path semantics: enumerate all node-disjoint paths from `src`
-/// to `dst` over `label` edges — the NP-hard case of [23] — stopping
+/// to `dst` over `label` edges — the NP-hard case of \[23\] — stopping
 /// after `budget` expansions.
 pub fn simple_paths(
     g: &PathPropertyGraph,

@@ -376,14 +376,49 @@ impl BindingTable {
     }
 
     /// Decode the cell at (`row`, `col`).
+    ///
+    /// ```
+    /// use gcore::binding::{Bound, Column, TableBuilder};
+    /// use gcore_ppg::{NodeId, PathPropertyGraph};
+    /// use std::sync::Arc;
+    ///
+    /// let g = Arc::new(PathPropertyGraph::new());
+    /// let mut b = TableBuilder::new(vec![Column { var: "x".into(), graph: g }]);
+    /// b.push(&[Bound::Node(NodeId(7))]);
+    /// let table = b.finish();
+    /// assert_eq!(table.bound(0, 0), Bound::Node(NodeId(7)));
+    /// ```
     pub fn bound(&self, row: usize, col: usize) -> Bound {
         decode(&self.pool, self.cols[col][row])
     }
 
     /// The binding of `var` in `row` (`None` if the column is absent;
     /// `Some(Missing)` if padded).
+    ///
+    /// ```
+    /// use gcore::binding::{Bound, Column, TableBuilder};
+    /// use gcore_ppg::{NodeId, PathPropertyGraph};
+    /// use std::sync::Arc;
+    ///
+    /// let g = Arc::new(PathPropertyGraph::new());
+    /// let mut b = TableBuilder::new(vec![Column { var: "x".into(), graph: g }]);
+    /// b.push(&[Bound::Node(NodeId(7))]);
+    /// let table = b.finish();
+    /// assert_eq!(table.get(0, "x"), Some(Bound::Node(NodeId(7))));
+    /// assert_eq!(table.get(0, "y"), None); // no such column
+    /// ```
     pub fn get(&self, row: usize, var: &str) -> Option<Bound> {
         self.column_index(var).map(|c| self.bound(row, c))
+    }
+
+    /// The interner code of the cell at (`row`, `col`) when it holds a
+    /// literal, `None` for every other sort. Crate-private fast path:
+    /// literal-heavy loops resolve the code against a pool snapshot or
+    /// through [`ValueInterner::with_resolved`], skipping the per-cell
+    /// pool lock + clone that [`bound`](Self::bound) would pay.
+    pub(crate) fn value_code(&self, row: usize, col: usize) -> Option<u32> {
+        let c = self.cols[col][row];
+        (tag_of(c) == TAG_VALUE).then(|| payload_of(c) as u32)
     }
 
     /// Is the cell at (`row`, `col`) padding?

@@ -73,6 +73,35 @@ fn bound_key(b: &Bound) -> OrdRv {
     OrdRv(Rv::from_bound(b))
 }
 
+/// Per-loop grouping-key decoder. Literal cells are decoded against one
+/// snapshot of the table's value pool, fetched lazily on the first
+/// literal encountered — the grouping loops then pay no pool read-lock
+/// and exactly one clone per cell, instead of the per-cell lock + double
+/// clone of `bound_key(&table.bound(…))`.
+struct KeyDecoder<'a> {
+    bindings: &'a BindingTable,
+    snap: std::cell::OnceCell<Arc<Vec<Value>>>,
+}
+
+impl<'a> KeyDecoder<'a> {
+    fn new(bindings: &'a BindingTable) -> Self {
+        KeyDecoder {
+            bindings,
+            snap: std::cell::OnceCell::new(),
+        }
+    }
+
+    fn key(&self, ri: usize, ci: usize) -> OrdRv {
+        match self.bindings.value_code(ri, ci) {
+            Some(code) => {
+                let snap = self.snap.get_or_init(|| self.bindings.pool().snapshot());
+                OrdRv(Rv::Value(snap[code as usize].clone()))
+            }
+            None => bound_key(&self.bindings.bound(ri, ci)),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Staged elements
 // ---------------------------------------------------------------------
@@ -640,15 +669,13 @@ fn group_rows_for(
             return Err(SemanticError::GroupOnBoundVariable(var.unwrap_or("?").to_owned()).into());
         }
         // Γ = {x}: group by identity.
+        let keys = KeyDecoder::new(bindings);
         let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
         for ri in 0..bindings.len() {
             if bindings.is_missing_at(ri, ci) {
                 continue; // Ω′(x) undefined ⇒ G∅ for this row
             }
-            groups
-                .entry(vec![bound_key(&bindings.bound(ri, ci))])
-                .or_default()
-                .push(ri);
+            groups.entry(vec![keys.key(ri, ci)]).or_default().push(ri);
         }
         return Ok((groups, vec![ci], true));
     }
@@ -681,11 +708,10 @@ fn group_rows_for(
         None => {
             // Default: one element per binding (Γ = all variables).
             let width = bindings.columns().len();
+            let keys = KeyDecoder::new(bindings);
             let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
             for ri in 0..bindings.len() {
-                let key: GroupKey = (0..width)
-                    .map(|ci| bound_key(&bindings.bound(ri, ci)))
-                    .collect();
+                let key: GroupKey = (0..width).map(|ci| keys.key(ri, ci)).collect();
                 groups.entry(key).or_default().push(ri);
             }
             let cols = (0..width).collect();
@@ -1090,6 +1116,7 @@ fn stage_edge(
     }
 
     // Group rows: by (src, dst, identity-or-GROUP).
+    let keys = KeyDecoder::new(bindings);
     let mut groups: BTreeMap<GroupKey, (NodeId, NodeId, Vec<usize>)> = BTreeMap::new();
     for ri in 0..bindings.len() {
         let (Some(src), Some(dst)) = (src_ids[ri], dst_ids[ri]) else {
@@ -1100,7 +1127,7 @@ fn stage_edge(
             if bindings.is_missing_at(ri, ci) {
                 continue;
             }
-            key.push(bound_key(&bindings.bound(ri, ci)));
+            key.push(keys.key(ri, ci));
         }
         if let Some(exprs) = &e.group {
             let mut env = Env::new(bindings, ri);
@@ -1209,15 +1236,13 @@ fn stage_path(
     let group_cols = vec![ci];
 
     // Group rows by path identity.
+    let keys = KeyDecoder::new(bindings);
     let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
     for ri in 0..bindings.len() {
         if bindings.is_missing_at(ri, ci) {
             continue;
         }
-        groups
-            .entry(vec![bound_key(&bindings.bound(ri, ci))])
-            .or_default()
-            .push(ri);
+        groups.entry(vec![keys.key(ri, ci)]).or_default().push(ri);
     }
 
     for (key, rows) in &groups {

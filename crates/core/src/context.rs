@@ -31,7 +31,7 @@ pub enum FreshPath {
         graph: Arc<PathPropertyGraph>,
     },
     /// The §3 `ALL`-paths graph projection: every node and edge lying on
-    /// some conforming path between the two endpoints ([10]).
+    /// some conforming path between the two endpoints (\[10\]).
     Projection {
         /// Projection source node.
         src: NodeId,

@@ -46,7 +46,7 @@ pub enum SemanticError {
     /// A bound edge construct requires its endpoint variables bound too.
     EdgeEndpointsUnbound(String),
     /// Optional blocks may only share variables that appear in the
-    /// enclosing (earlier) pattern [31].
+    /// enclosing (earlier) pattern \[31\].
     OptionalSharedVariable(String),
     /// A construct path variable must be bound by a path pattern in MATCH.
     ConstructPathUnbound(String),

@@ -151,6 +151,48 @@ impl<'a> Env<'a> {
         }
         self.parent.and_then(|p| p.lookup(var))
     }
+
+    /// Does any scope bind `var`? Schema-only — no cell is decoded, so
+    /// this is the accessor for "is it bound" checks on literal-heavy
+    /// tables (where [`lookup`](Self::lookup) would clone a value out of
+    /// the pool just to drop it).
+    pub fn binds(&self, var: &str) -> bool {
+        self.table.binds(var) || self.parent.is_some_and(|p| p.binds(var))
+    }
+
+    /// Look up a variable directly as an [`Rv`]. Literal cells are
+    /// resolved through [`gcore_ppg::ValueInterner::with_resolved`] —
+    /// one borrow of the shared pool and a single clone into the result,
+    /// instead of the decode-clone *plus* conversion-clone (and the
+    /// graph-handle clone) that `lookup` + [`Rv::from_bound`] would pay
+    /// per cell. This is the `Expr::Var` hot path.
+    pub fn lookup_rv(&self, var: &str) -> Option<Rv> {
+        if let Some(i) = self.table.column_index(var) {
+            return Some(rv_at(self.table, self.row, i));
+        }
+        self.parent.and_then(|p| p.lookup_rv(var))
+    }
+
+    /// [`lookup_rv`](Self::lookup_rv), also returning the graph the
+    /// variable's column resolves attributes against.
+    pub fn lookup_rv_graph(&self, var: &str) -> Option<(Rv, Arc<PathPropertyGraph>)> {
+        if let Some(i) = self.table.column_index(var) {
+            return Some((
+                rv_at(self.table, self.row, i),
+                self.table.columns()[i].graph.clone(),
+            ));
+        }
+        self.parent.and_then(|p| p.lookup_rv_graph(var))
+    }
+}
+
+/// Decode one table cell straight to an [`Rv`], borrowing literal values
+/// from the pool (a single clone into the result).
+fn rv_at(table: &BindingTable, row: usize, col: usize) -> Rv {
+    match table.value_code(row, col) {
+        Some(code) => Rv::Value(table.pool().with_resolved(code, Value::clone)),
+        None => Rv::from_bound(&table.bound(row, col)),
+    }
 }
 
 /// Hook for subquery evaluation, implemented by the query evaluator.
@@ -172,10 +214,7 @@ pub fn eval_expr(ctx: &EvalCtx, sub: &dyn SubqueryEval, env: &Env<'_>, e: &Expr)
         Expr::DateLit(s) => Date::parse(s)
             .map(|d| Rv::Value(Value::Date(d)))
             .ok_or_else(|| RuntimeError::Type(format!("invalid date literal '{s}'")).into()),
-        Expr::Var(v) => match env.lookup(v) {
-            Some((b, _)) => Ok(Rv::from_bound(&b)),
-            None => Ok(Rv::Null),
-        },
+        Expr::Var(v) => Ok(env.lookup_rv(v).unwrap_or(Rv::Null)),
         Expr::Prop(base, key) => eval_prop(ctx, sub, env, base, key),
         Expr::LabelTest(base, labels) => {
             let (rv, graph) = eval_with_graph(ctx, sub, env, base)?;
@@ -278,8 +317,8 @@ fn eval_with_graph(
     base: &Expr,
 ) -> Result<(Rv, Arc<PathPropertyGraph>)> {
     if let Expr::Var(v) = base {
-        if let Some((b, g)) = env.lookup(v) {
-            return Ok((Rv::from_bound(&b), g));
+        if let Some((rv, g)) = env.lookup_rv_graph(v) {
+            return Ok((rv, g));
         }
         return Ok((Rv::Null, ctx.ambient_graph()?));
     }

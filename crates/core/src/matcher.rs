@@ -22,7 +22,6 @@ use gcore_parser::ast::{
 };
 use gcore_ppg::hash::{FxHashMap, FxHashSet};
 use gcore_ppg::{ElementId, Key, Label, NodeId, PathPropertyGraph, PathShape, Value};
-use std::borrow::Cow;
 use std::cell::Cell;
 use std::sync::Arc;
 
@@ -307,9 +306,8 @@ impl<'e> PatternMatcher<'e> {
         // Binding form: RHS is a variable that is neither structural nor
         // already bound (here or in the outer scope).
         if let gcore_parser::ast::Expr::Var(v) = &entry.value {
-            let is_bound = table.binds(v)
-                || structural.contains(v)
-                || outer.and_then(|o| o.lookup(v)).is_some();
+            let is_bound =
+                table.binds(v) || structural.contains(v) || outer.is_some_and(|o| o.binds(v));
             if !is_bound {
                 return Ok(table.extend_column(self.col(v), |ri| {
                     prop_of(&table, ri)
@@ -386,23 +384,34 @@ impl<'e> PatternMatcher<'e> {
                 None => (None, &edge.labels[..]),
             };
 
-        // Candidate enumeration stays zero-copy: the indexed path
-        // borrows the per-(node, label) slice, the unconstrained path
-        // borrows the full adjacency list.
-        let out_cands = |src: NodeId| -> Cow<'_, [gcore_ppg::EdgeId]> {
-            match index_label {
-                Some(Some(l)) => self.graph.out_edges_with_label(src, l),
-                Some(None) => Cow::Borrowed(&[]),
-                None => Cow::Borrowed(self.graph.out_edges(src)),
-            }
-        };
-        let in_cands = |src: NodeId| -> Cow<'_, [gcore_ppg::EdgeId]> {
-            match index_label {
-                Some(Some(l)) => self.graph.in_edges_with_label(src, l),
-                Some(None) => Cow::Borrowed(&[]),
-                None => Cow::Borrowed(self.graph.in_edges(src)),
-            }
-        };
+        // Candidate enumeration stays zero-copy on the indexed path: the
+        // per-(node, label) steps slice already carries the far endpoint,
+        // so no per-edge payload lookup happens; the unconstrained path
+        // walks the full adjacency list and fetches endpoints.
+        let push_out_cands =
+            |src: NodeId, cands: &mut Vec<(gcore_ppg::EdgeId, NodeId)>| match index_label {
+                Some(Some(l)) => {
+                    cands.extend(self.graph.out_steps_with_label(src, l).iter().copied())
+                }
+                Some(None) => {}
+                None => {
+                    for &e in self.graph.out_edges(src) {
+                        cands.push((e, self.graph.edge(e).expect("adjacent").dst));
+                    }
+                }
+            };
+        let push_in_cands =
+            |src: NodeId, cands: &mut Vec<(gcore_ppg::EdgeId, NodeId)>| match index_label {
+                Some(Some(l)) => {
+                    cands.extend(self.graph.in_steps_with_label(src, l).iter().copied())
+                }
+                Some(None) => {}
+                None => {
+                    for &e in self.graph.in_edges(src) {
+                        cands.push((e, self.graph.edge(e).expect("adjacent").src));
+                    }
+                }
+            };
 
         let mut bld = TableBuilder::with_pool(columns, table.pool().clone());
         let mut extra: Vec<Bound> = Vec::with_capacity(2);
@@ -414,27 +423,20 @@ impl<'e> PatternMatcher<'e> {
             // determinism.
             let mut cands: Vec<(gcore_ppg::EdgeId, NodeId)> = Vec::new();
             match edge.direction {
-                Direction::Out => {
-                    for &e in out_cands(src).iter() {
-                        let d = self.graph.edge(e).expect("adjacent").dst;
-                        cands.push((e, d));
-                    }
-                }
-                Direction::In => {
-                    for &e in in_cands(src).iter() {
-                        let s = self.graph.edge(e).expect("adjacent").src;
-                        cands.push((e, s));
-                    }
-                }
+                Direction::Out => push_out_cands(src, &mut cands),
+                Direction::In => push_in_cands(src, &mut cands),
                 Direction::Undirected => {
-                    for &e in out_cands(src).iter() {
-                        let d = self.graph.edge(e).expect("adjacent").dst;
-                        cands.push((e, d));
-                    }
-                    for &e in in_cands(src).iter() {
-                        let data = self.graph.edge(e).expect("adjacent");
-                        if data.src != data.dst {
-                            cands.push((e, data.src));
+                    push_out_cands(src, &mut cands);
+                    let before = cands.len();
+                    push_in_cands(src, &mut cands);
+                    // Self-loops already expanded forwards: an in-step
+                    // whose far endpoint is `src` itself is a self-loop.
+                    let mut i = before;
+                    while i < cands.len() {
+                        if cands[i].1 == src {
+                            cands.swap_remove(i);
+                        } else {
+                            i += 1;
                         }
                     }
                 }
@@ -518,6 +520,30 @@ impl<'e> PatternMatcher<'e> {
             columns.push(self.col(cv));
         }
 
+        // Pure reachability (`-/<r>/->` with neither path nor cost bound)
+        // from several sources shares one product search: collect the
+        // distinct sources of rows whose destination is unbound and run
+        // the SCC-condensed multi-source reachability once. Rows whose
+        // destination *is* bound become single-pair tests, answered by
+        // the bidirectional search below.
+        let pure_reach = matches!(pat.mode, PathMode::Shortest(_)) && !binds_path && !binds_cost;
+        let shared: Option<FxHashMap<NodeId, Arc<Vec<NodeId>>>> = if pure_reach {
+            let mut srcs: Vec<NodeId> = (0..table.len())
+                .filter(|&ri| {
+                    !dst_bound.is_some_and(|i| matches!(table.bound(ri, i), Bound::Node(_)))
+                })
+                .filter_map(|ri| match table.bound(ri, prev_idx) {
+                    Bound::Node(s) => Some(s),
+                    _ => None,
+                })
+                .collect();
+            srcs.sort_unstable();
+            srcs.dedup();
+            (srcs.len() >= 2).then(|| searcher.reachable_many(&srcs))
+        } else {
+            None
+        };
+
         let mut bld = TableBuilder::with_pool(columns, table.pool().clone());
         let mut extra: Vec<Bound> = Vec::with_capacity(3);
         for ri in 0..table.len() {
@@ -570,14 +596,27 @@ impl<'e> PatternMatcher<'e> {
                 PathMode::Shortest(k) if !binds_path && !binds_cost => {
                     // Pure reachability test.
                     let _ = k;
-                    let dsts: Vec<NodeId> = match &targets {
+                    let owned;
+                    let dsts: &[NodeId] = match &targets {
                         Some(t) => {
-                            let r = searcher.reachable(src);
-                            r.into_iter().filter(|d| t.contains(d)).collect()
+                            // The destination is bound: a bidirectional
+                            // single-pair test per candidate.
+                            owned = t
+                                .iter()
+                                .copied()
+                                .filter(|&d| searcher.reachable_pair(src, d))
+                                .collect::<Vec<_>>();
+                            &owned
                         }
-                        None => searcher.reachable(src),
+                        None => match &shared {
+                            Some(m) => m.get(&src).map(|v| v.as_slice()).unwrap_or(&[]),
+                            None => {
+                                owned = searcher.reachable(src);
+                                &owned
+                            }
+                        },
                     };
-                    for dst in dsts {
+                    for &dst in dsts {
                         extra.clear();
                         if dst_bound.is_none() {
                             extra.push(Bound::Node(dst));

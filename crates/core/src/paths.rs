@@ -11,16 +11,53 @@
 //!   their per-binding cost (validated positive at segment-build time,
 //!   per the §3 run-time-error requirement).
 //! * **reachability** — plain BFS over the product, no walks materialized.
-//! * **ALL paths** — the graph projection of [10]: an element lies in the
+//! * **ALL paths** — the graph projection of \[10\]: an element lies in the
 //!   projection iff some accepting walk uses it, computed as forward ∩
 //!   backward product reachability. Nothing is enumerated, which is what
 //!   keeps `ALL` tractable.
+//!
+//! # Search strategy
+//!
+//! Three orthogonal accelerations (all semantics-preserving — the
+//! equivalence property tests in `tests/path_equivalence.rs` check each
+//! against the baseline search):
+//!
+//! * **Indexed expansion** ([`ExpandMode::Indexed`], the default): when
+//!   an NFA transition consumes a concrete label, product states expand
+//!   through the graph's label-partitioned adjacency slices
+//!   ([`PathPropertyGraph::out_steps_with_label`] /
+//!   [`in_steps_with_label`](PathPropertyGraph::in_steps_with_label))
+//!   instead of scanning and filtering every incident edge. Per-state
+//!   transitions are pre-grouped by symbol
+//!   ([`Nfa::grouped_transitions`]), so each label slice is read once
+//!   per state. [`ExpandMode::Scan`] keeps the pre-overhaul scan
+//!   expansion selectable for controlled benchmarking.
+//! * **Bidirectional search** ([`PathSearcher::reachable_pair`]): a
+//!   single-pair reachability test runs two alternating BFS frontiers —
+//!   forward over the NFA, backward over its reversal
+//!   ([`Nfa::reverse`]) — and stops at the first meeting product state.
+//! * **Backward cone pruning**: [`PathSearcher::k_shortest`] with
+//!   concrete targets first computes the set of product states
+//!   *co-reachable* to acceptance at a target (one cheap reversed BFS)
+//!   and lets the canonical Dijkstra expand only inside that cone.
+//!   States outside the cone cannot contribute any accepting walk, so
+//!   results — including tie-breaking — are bit-identical.
+//!
+//! For the many-source reachability shape (`MATCH (x)-/<r>/->(y)` with
+//! hundreds of seed nodes), [`PathSearcher::reachable_many`] shares one
+//! product exploration across all sources: the product digraph is
+//! condensed into strongly connected components (every state of an SCC
+//! reaches the same destinations) and per-component destination sets are
+//! accumulated once in reverse topological order, `Arc`-shared between
+//! components wherever a component adds nothing of its own.
 
 use crate::regex::{Nfa, Sym};
 use gcore_ppg::hash::{FxHashMap, FxHashSet};
 use gcore_ppg::{EdgeId, NodeId, PathPropertyGraph, PathShape};
+use std::cell::OnceCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// One pre-evaluated segment of a PATH view: a (src, dst) pair with the
 /// positive cost of this traversal and the underlying walk.
@@ -51,6 +88,20 @@ pub struct ViewSegments {
 
 impl ViewSegments {
     /// Build the index from a segment list.
+    ///
+    /// ```
+    /// use gcore::paths::{Segment, ViewSegments};
+    /// use gcore_ppg::{EdgeId, NodeId, PathShape};
+    ///
+    /// let (a, b) = (NodeId(1), NodeId(2));
+    /// let walk = PathShape::new(vec![a, b], vec![EdgeId(10)]).unwrap();
+    /// let view = ViewSegments::new(
+    ///     vec![Segment { src: a, dst: b, cost: 2.5, walk }],
+    ///     true, // the view declares an explicit COST
+    /// );
+    /// assert!(view.weighted);
+    /// assert_eq!(view.by_src[&a], vec![0]); // segment 0 starts at `a`
+    /// ```
     pub fn new(segments: Vec<Segment>, weighted: bool) -> Self {
         let mut by_src: FxHashMap<NodeId, Vec<usize>> = FxHashMap::default();
         for (i, s) in segments.iter().enumerate() {
@@ -86,6 +137,143 @@ pub struct FoundPath {
     pub cost: f64,
 }
 
+/// A set of product states, stored as per-node NFA-state bitmasks for
+/// small automata (the common case) or as a plain hash set otherwise.
+enum StateSet {
+    /// `masks[v]` has bit `q` set iff `(v, q)` is in the set. Only used
+    /// when the automaton has ≤ 64 states.
+    Masks(FxHashMap<NodeId, u64>),
+    Set(FxHashSet<(NodeId, usize)>),
+}
+
+impl StateSet {
+    #[inline]
+    fn contains(&self, v: NodeId, q: usize) -> bool {
+        match self {
+            StateSet::Masks(m) => m.get(&v).is_some_and(|&mask| mask & (1 << q) != 0),
+            StateSet::Set(s) => s.contains(&(v, q)),
+        }
+    }
+
+    /// Nodes with at least one member state satisfying `pred`.
+    fn nodes_with_state(&self, pred: impl Fn(usize) -> bool) -> Vec<NodeId> {
+        match self {
+            StateSet::Masks(m) => {
+                let keep: u64 = (0..64)
+                    .filter(|&q| pred(q))
+                    .fold(0, |acc, q| acc | (1 << q));
+                m.iter()
+                    .filter(|(_, &mask)| mask & keep != 0)
+                    .map(|(&v, _)| v)
+                    .collect()
+            }
+            StateSet::Set(s) => {
+                let mut v: Vec<NodeId> = s
+                    .iter()
+                    .filter(|&&(_, q)| pred(q))
+                    .map(|&(v, _)| v)
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+        }
+    }
+}
+
+/// The per-product-state arrays of the iterative Tarjan SCC pass in
+/// [`PathSearcher::reachable_many`], grown together as product states
+/// are interned on the fly. [`Tarjan::UNDEF`] marks unvisited (`index`)
+/// / unassigned (`comp`) entries.
+#[derive(Default)]
+struct Tarjan {
+    index: Vec<u32>,
+    lowlink: Vec<u32>,
+    comp: Vec<u32>,
+    on_stack: Vec<bool>,
+    /// Successor lists, kept for the condensation-DAG pass after the
+    /// SCC assignment.
+    succs: Vec<Vec<u32>>,
+    /// The SCC candidate stack.
+    stack: Vec<u32>,
+    next_index: u32,
+    comp_count: u32,
+}
+
+impl Tarjan {
+    const UNDEF: u32 = u32::MAX;
+
+    /// Grow every per-state array to cover `n` interned states.
+    fn grow(&mut self, n: usize) {
+        self.index.resize(n, Self::UNDEF);
+        self.lowlink.resize(n, Self::UNDEF);
+        self.comp.resize(n, Self::UNDEF);
+        self.on_stack.resize(n, false);
+        self.succs.resize(n, Vec::new());
+    }
+
+    /// Open a DFS frame for `v`: grow to `n_states` (the successor
+    /// computation may have interned new states), number the state,
+    /// push it on the SCC stack and record its successor list.
+    fn open(&mut self, v: u32, succs: Vec<u32>, n_states: usize) {
+        self.grow(n_states);
+        let i = v as usize;
+        self.index[i] = self.next_index;
+        self.lowlink[i] = self.next_index;
+        self.next_index += 1;
+        self.on_stack[i] = true;
+        self.stack.push(v);
+        self.succs[i] = succs;
+    }
+
+    /// Close `fin`'s DFS frame: fold its lowlink into `parent` and, if
+    /// `fin` is an SCC root, pop the completed component — so component
+    /// ids increase with completion (= reverse topological) order.
+    fn close(&mut self, fin: u32, parent: Option<u32>) {
+        let fi = fin as usize;
+        if let Some(p) = parent {
+            self.lowlink[p as usize] = self.lowlink[p as usize].min(self.lowlink[fi]);
+        }
+        if self.lowlink[fi] == self.index[fi] {
+            loop {
+                let w = self.stack.pop().expect("scc member");
+                self.on_stack[w as usize] = false;
+                self.comp[w as usize] = self.comp_count;
+                if w == fin {
+                    break;
+                }
+            }
+            self.comp_count += 1;
+        }
+    }
+}
+
+/// The walk contribution of one expansion step, borrowed where a walk
+/// already exists (view segments) and by id where it would have to be
+/// built (graph edges) — so walk-free searches pay nothing for it.
+enum StepPiece<'v> {
+    /// A graph edge traversed to the step's far endpoint.
+    Edge(EdgeId),
+    /// A view segment's pre-built walk.
+    Seg(&'v PathShape),
+}
+
+/// How the product search enumerates graph edges for a label symbol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExpandMode {
+    /// Scan the full adjacency list of the node and filter each edge by
+    /// label — the pre-overhaul behavior, kept selectable so the
+    /// controlled expansion benchmark can compare both strategies in one
+    /// process.
+    Scan,
+    /// Expand label symbols through the graph's label-partitioned
+    /// adjacency slices (the default). Falls back to scanning when the
+    /// graph has no label index built, so it is never a correctness or
+    /// pessimization concern.
+    #[default]
+    Indexed,
+}
+
 /// Search driver over one graph + NFA + views.
 pub struct PathSearcher<'a> {
     graph: &'a PathPropertyGraph,
@@ -93,11 +281,34 @@ pub struct PathSearcher<'a> {
     views: &'a ViewMap,
     /// Does any referenced view carry real-valued costs?
     pub weighted: bool,
+    mode: ExpandMode,
+    /// Lazily compiled reversal of `nfa` (`None` inside = irreversible,
+    /// i.e. the NFA traverses views).
+    rev: OnceCell<Option<Nfa>>,
 }
 
 impl<'a> PathSearcher<'a> {
     /// Create a searcher; `weighted` is derived from the views referenced
     /// by the NFA.
+    ///
+    /// ```
+    /// use gcore::paths::{PathSearcher, ViewMap};
+    /// use gcore::regex::Nfa;
+    /// use gcore_parser::ast::Regex;
+    /// use gcore_ppg::{Attributes, GraphBuilder};
+    ///
+    /// let mut b = GraphBuilder::standalone();
+    /// let ann = b.node(Attributes::labeled("Person"));
+    /// let bob = b.node(Attributes::labeled("Person"));
+    /// b.edge(ann, bob, Attributes::labeled("knows"));
+    /// let g = b.build();
+    ///
+    /// let nfa = Nfa::compile(&Regex::Star(Box::new(Regex::Label("knows".into()))));
+    /// let views = ViewMap::default();
+    /// let searcher = PathSearcher::new(&g, &nfa, &views);
+    /// assert!(!searcher.weighted); // no COST view in sight
+    /// assert!(searcher.reachable(ann).contains(&bob));
+    /// ```
     pub fn new(graph: &'a PathPropertyGraph, nfa: &'a Nfa, views: &'a ViewMap) -> Self {
         let weighted = nfa
             .view_names()
@@ -108,28 +319,55 @@ impl<'a> PathSearcher<'a> {
             nfa,
             views,
             weighted,
+            mode: ExpandMode::default(),
+            rev: OnceCell::new(),
         }
+    }
+
+    /// Select the edge-expansion strategy (for controlled benchmarks;
+    /// results are identical under either mode).
+    pub fn with_expansion(mut self, mode: ExpandMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The reversed NFA, compiled on first use; `None` when the NFA is
+    /// irreversible (it traverses PATH views).
+    fn rev_nfa(&self) -> Option<&Nfa> {
+        self.rev.get_or_init(|| self.nfa.reverse()).as_ref()
+    }
+
+    /// Is the label index actually consulted under the current mode?
+    #[inline]
+    fn use_index(&self) -> bool {
+        self.mode == ExpandMode::Indexed && self.graph.has_label_index()
     }
 
     /// ε+node-test closure of a set of NFA states at a node.
     fn close_at(&self, node: NodeId, states: &[usize]) -> Vec<usize> {
-        let n = self.nfa.num_states();
+        self.close_at_nfa(self.nfa, node, states)
+    }
+
+    /// ε+node-test closure under an explicit automaton (the searcher's
+    /// own NFA or its reversal).
+    fn close_at_nfa(&self, nfa: &Nfa, node: NodeId, states: &[usize]) -> Vec<usize> {
+        let n = nfa.num_states();
         let mut seen = vec![false; n];
         let mut stack: Vec<usize> = Vec::new();
         for &s in states {
-            for &c in self.nfa.closure(s) {
+            for &c in nfa.closure(s) {
                 if !seen[c] {
                     seen[c] = true;
                     stack.push(c);
                 }
             }
         }
-        if self.nfa.has_node_tests() {
+        if nfa.has_node_tests() {
             while let Some(q) = stack.pop() {
-                for (sym, to) in self.nfa.transitions(q) {
+                for (sym, to) in nfa.transitions(q) {
                     if let Sym::NodeTest(l) = sym {
                         if self.graph.has_label(node.into(), *l) {
-                            for &c in self.nfa.closure(*to) {
+                            for &c in nfa.closure(*to) {
                                 if !seen[c] {
                                     seen[c] = true;
                                     stack.push(c);
@@ -143,39 +381,91 @@ impl<'a> PathSearcher<'a> {
         (0..n).filter(|&i| seen[i]).collect()
     }
 
-    /// Edge- and view-consuming expansions from `(node, q)`:
-    /// `(cost, next_node, next_state, appended walk piece)`.
-    fn expand(&self, node: NodeId, q: usize) -> Vec<(f64, NodeId, usize, PathShape)> {
-        let mut out = Vec::new();
-        for (sym, to) in self.nfa.transitions(q) {
+    /// Apply `f` to every state of the ε+node-test closure of `state` at
+    /// `node`. Avoids the closure-vector allocation when the automaton
+    /// has no node tests (the common case).
+    #[inline]
+    fn for_each_closed(&self, nfa: &Nfa, node: NodeId, state: usize, mut f: impl FnMut(usize)) {
+        if !nfa.has_node_tests() {
+            for &c in nfa.closure(state) {
+                f(c);
+            }
+        } else {
+            for c in self.close_at_nfa(nfa, node, &[state]) {
+                f(c);
+            }
+        }
+    }
+
+    /// Enumerate every expansion step of `(node, q)` under `nfa`:
+    /// `f(cost, next_node, next_state, piece)` is called once per
+    /// (graph step × target state). The single place the symbol →
+    /// graph-adjacency mapping lives — [`expand`](Self::expand)
+    /// materializes walks on top of it, the walk-free searches pass
+    /// through [`expand_states`](Self::expand_states) and ignore the
+    /// piece.
+    fn for_each_step(
+        &self,
+        nfa: &Nfa,
+        node: NodeId,
+        q: usize,
+        mut f: impl FnMut(f64, NodeId, usize, StepPiece<'a>),
+    ) {
+        let indexed = self.use_index();
+        for (sym, tos) in nfa.grouped_transitions(q) {
             match sym {
                 Sym::NodeTest(_) => {} // handled by closure
                 Sym::Label(l) => {
-                    for &e in self.graph.out_edges(node) {
-                        let data = self.graph.edge(e).expect("adjacent edge");
-                        if data.attrs.labels.contains(*l) {
-                            out.push((1.0, data.dst, *to, step(node, e, data.dst)));
+                    if indexed {
+                        for &(e, dst) in self.graph.out_steps_with_label(node, *l).iter() {
+                            for &to in tos {
+                                f(1.0, dst, to, StepPiece::Edge(e));
+                            }
+                        }
+                    } else {
+                        for &e in self.graph.out_edges(node) {
+                            let data = self.graph.edge(e).expect("adjacent edge");
+                            if data.attrs.labels.contains(*l) {
+                                for &to in tos {
+                                    f(1.0, data.dst, to, StepPiece::Edge(e));
+                                }
+                            }
                         }
                     }
                 }
                 Sym::LabelInv(l) => {
-                    for &e in self.graph.in_edges(node) {
-                        let data = self.graph.edge(e).expect("adjacent edge");
-                        if data.attrs.labels.contains(*l) {
-                            out.push((1.0, data.src, *to, step(node, e, data.src)));
+                    if indexed {
+                        for &(e, src) in self.graph.in_steps_with_label(node, *l).iter() {
+                            for &to in tos {
+                                f(1.0, src, to, StepPiece::Edge(e));
+                            }
+                        }
+                    } else {
+                        for &e in self.graph.in_edges(node) {
+                            let data = self.graph.edge(e).expect("adjacent edge");
+                            if data.attrs.labels.contains(*l) {
+                                for &to in tos {
+                                    f(1.0, data.src, to, StepPiece::Edge(e));
+                                }
+                            }
                         }
                     }
                 }
                 Sym::Wildcard => {
+                    // No label to partition on — always adjacency scans.
                     for &e in self.graph.out_edges(node) {
                         let data = self.graph.edge(e).expect("adjacent edge");
-                        out.push((1.0, data.dst, *to, step(node, e, data.dst)));
+                        for &to in tos {
+                            f(1.0, data.dst, to, StepPiece::Edge(e));
+                        }
                     }
                     for &e in self.graph.in_edges(node) {
                         let data = self.graph.edge(e).expect("adjacent edge");
                         // Self-loops already expanded forwards.
                         if data.src != data.dst {
-                            out.push((1.0, data.src, *to, step(node, e, data.src)));
+                            for &to in tos {
+                                f(1.0, data.src, to, StepPiece::Edge(e));
+                            }
                         }
                     }
                 }
@@ -184,20 +474,147 @@ impl<'a> PathSearcher<'a> {
                         if let Some(idxs) = view.by_src.get(&node) {
                             for &i in idxs {
                                 let seg = &view.segments[i];
-                                out.push((seg.cost, seg.dst, *to, seg.walk.clone()));
+                                for &to in tos {
+                                    f(seg.cost, seg.dst, to, StepPiece::Seg(&seg.walk));
+                                }
                             }
                         }
                     }
                 }
             }
         }
+    }
+
+    /// Edge- and view-consuming expansions from `(node, q)`:
+    /// `(cost, next_node, next_state, appended walk piece)`.
+    fn expand(&self, node: NodeId, q: usize) -> Vec<(f64, NodeId, usize, PathShape)> {
+        let mut out = Vec::new();
+        self.for_each_step(self.nfa, node, q, |cost, far, to, piece| {
+            let shape = match piece {
+                StepPiece::Edge(e) => step(node, e, far),
+                StepPiece::Seg(walk) => walk.clone(),
+            };
+            out.push((cost, far, to, shape));
+        });
         out
+    }
+
+    /// Walk-free expansion: apply `f` to every `(next_node, next_state)`
+    /// successor of `(node, q)` under `nfa`, without materializing path
+    /// pieces. This is the reachability/cone hot path.
+    fn expand_states(&self, nfa: &Nfa, node: NodeId, q: usize, mut f: impl FnMut(NodeId, usize)) {
+        self.for_each_step(nfa, node, q, |_, far, to, _| f(far, to));
+    }
+
+    /// All product states reachable from `seeds` (already closed) under
+    /// `nfa`, walks not materialized.
+    ///
+    /// Small node-test-free automata (≤ 64 states — virtually every
+    /// query regex) use one bitmask of NFA states per node: closure
+    /// masks are precomputed per state, so an expansion inserts a whole
+    /// closure with two word operations instead of hashing each
+    /// `(node, state)` tuple.
+    fn product_reach(&self, nfa: &Nfa, seeds: Vec<(NodeId, usize)>) -> StateSet {
+        if nfa.num_states() <= 64 && !nfa.has_node_tests() {
+            let closure_mask: Vec<u64> = (0..nfa.num_states())
+                .map(|s| nfa.closure(s).iter().fold(0u64, |m, &c| m | (1 << c)))
+                .collect();
+            let mut seen: FxHashMap<NodeId, u64> = FxHashMap::default();
+            let mut stack: Vec<(NodeId, usize)> = Vec::new();
+            for (v, q) in seeds {
+                let e = seen.entry(v).or_insert(0);
+                if *e & (1 << q) == 0 {
+                    *e |= 1 << q;
+                    stack.push((v, q));
+                }
+            }
+            while let Some((v, q)) = stack.pop() {
+                self.expand_states(nfa, v, q, |w, t| {
+                    let mask = closure_mask[t];
+                    let e = seen.entry(w).or_insert(0);
+                    let mut new = mask & !*e;
+                    if new != 0 {
+                        *e |= new;
+                        while new != 0 {
+                            let b = new.trailing_zeros() as usize;
+                            new &= new - 1;
+                            stack.push((w, b));
+                        }
+                    }
+                });
+            }
+            StateSet::Masks(seen)
+        } else {
+            let mut seen: FxHashSet<(NodeId, usize)> = FxHashSet::default();
+            let mut stack: Vec<(NodeId, usize)> = Vec::new();
+            for s in seeds {
+                if seen.insert(s) {
+                    stack.push(s);
+                }
+            }
+            while let Some((v, q)) = stack.pop() {
+                self.expand_states(nfa, v, q, |w, t| {
+                    self.for_each_closed(nfa, w, t, |c| {
+                        if seen.insert((w, c)) {
+                            stack.push((w, c));
+                        }
+                    });
+                });
+            }
+            StateSet::Set(seen)
+        }
+    }
+
+    /// The product states co-reachable to acceptance at one of `targets`
+    /// — the backward "cone" the forward search may restrict itself to.
+    /// `None` when the NFA is irreversible.
+    fn co_reachable_cone(&self, targets: &FxHashSet<NodeId>) -> Option<StateSet> {
+        let rev = self.rev_nfa()?;
+        let mut seeds = Vec::new();
+        for &d in targets {
+            if !self.graph.contains_node(d) {
+                continue;
+            }
+            for q in 0..self.nfa.num_states() {
+                if self.nfa.accepts(q) {
+                    for c in self.close_at_nfa(rev, d, &[q]) {
+                        seeds.push((d, c));
+                    }
+                }
+            }
+        }
+        Some(self.product_reach(rev, seeds))
     }
 
     /// Up to `k` cheapest accepting walks from `src` to every reachable
     /// destination (or only `targets`, when given). Walks are returned
     /// grouped by destination, cheapest (and lexicographically first)
     /// first.
+    ///
+    /// When `targets` are given and the NFA is reversible, the search
+    /// first computes the backward cone of product states co-reachable to
+    /// acceptance at a target and never expands outside it; results are
+    /// identical to the unrestricted search filtered to `targets`.
+    ///
+    /// ```
+    /// use gcore::paths::{PathSearcher, ViewMap};
+    /// use gcore::regex::Nfa;
+    /// use gcore_parser::ast::Regex;
+    /// use gcore_ppg::{Attributes, GraphBuilder};
+    ///
+    /// let mut b = GraphBuilder::standalone();
+    /// let a = b.node(Attributes::labeled("Person"));
+    /// let c = b.node(Attributes::labeled("Person"));
+    /// b.edge(a, c, Attributes::labeled("knows"));
+    /// let g = b.build();
+    ///
+    /// let nfa = Nfa::compile(&Regex::Plus(Box::new(Regex::Label("knows".into()))));
+    /// let views = ViewMap::default();
+    /// let s = PathSearcher::new(&g, &nfa, &views);
+    /// let found = s.k_shortest(a, 1, None);
+    /// assert_eq!(found[&c][0].cost, 1.0); // one hop, unit edge costs
+    /// assert_eq!(found[&c][0].walk.length(), 1);
+    /// ```
     pub fn k_shortest(
         &self,
         src: NodeId,
@@ -208,11 +625,20 @@ impl<'a> PathSearcher<'a> {
         if !self.graph.contains_node(src) || k == 0 {
             return results;
         }
+        // Backward cone: with concrete targets and a reversible NFA,
+        // restrict the forward search to states that can still reach
+        // acceptance at a target. Exact — see the module docs.
+        let cone: Option<StateSet> = targets.and_then(|t| self.co_reachable_cone(t));
+        let in_cone =
+            |node: NodeId, state: usize| cone.as_ref().is_none_or(|c| c.contains(node, state));
         let mut pops: FxHashMap<(NodeId, usize), usize> = FxHashMap::default();
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
         // Seed: closure of the start state at src; enqueue one entry per
         // closed state so accepting-at-zero-length works.
         for q in self.close_at(src, &[self.nfa.start()]) {
+            if !in_cone(src, q) {
+                continue;
+            }
             heap.push(HeapEntry {
                 cost: 0.0,
                 walk: PathShape::trivial(src),
@@ -246,6 +672,9 @@ impl<'a> PathSearcher<'a> {
                     continue;
                 };
                 for q in self.close_at(next_node, &[next_state]) {
+                    if !in_cone(next_node, q) {
+                        continue;
+                    }
                     heap.push(HeapEntry {
                         cost: entry.cost + step_cost,
                         walk: new_walk.clone(),
@@ -267,33 +696,297 @@ impl<'a> PathSearcher<'a> {
 
     /// Destinations reachable from `src` via an accepting walk —
     /// the reachability-test semantics of `-/<r>/->` without a variable.
+    ///
+    /// ```
+    /// use gcore::paths::{PathSearcher, ViewMap};
+    /// use gcore::regex::Nfa;
+    /// use gcore_parser::ast::Regex;
+    /// use gcore_ppg::{Attributes, GraphBuilder};
+    ///
+    /// let mut b = GraphBuilder::standalone();
+    /// let a = b.node(Attributes::labeled("Person"));
+    /// let c = b.node(Attributes::labeled("Person"));
+    /// b.edge(a, c, Attributes::labeled("knows"));
+    /// let g = b.build();
+    ///
+    /// let nfa = Nfa::compile(&Regex::Star(Box::new(Regex::Label("knows".into()))));
+    /// let views = ViewMap::default();
+    /// let s = PathSearcher::new(&g, &nfa, &views);
+    /// assert_eq!(s.reachable(a), vec![a, c]); // knows* reaches a itself too
+    /// ```
     pub fn reachable(&self, src: NodeId) -> Vec<NodeId> {
-        let mut out: FxHashSet<NodeId> = FxHashSet::default();
         if !self.graph.contains_node(src) {
             return Vec::new();
         }
-        let mut seen: FxHashSet<(NodeId, usize)> = FxHashSet::default();
-        let mut stack: Vec<(NodeId, usize)> = Vec::new();
+        let seeds: Vec<(NodeId, usize)> = self
+            .close_at(src, &[self.nfa.start()])
+            .into_iter()
+            .map(|q| (src, q))
+            .collect();
+        let seen = self.product_reach(self.nfa, seeds);
+        let n = self.nfa.num_states();
+        let mut v = seen.nodes_with_state(|q| q < n && self.nfa.accepts(q));
+        v.sort_unstable();
+        v
+    }
+
+    /// Single-pair reachability: is there an accepting walk from `src`
+    /// to `dst`? Runs a bidirectional search — two alternating BFS
+    /// frontiers, forward over the NFA and backward over its reversal,
+    /// stopping at the first product state both sides visit. Falls back
+    /// to the unidirectional search when the NFA traverses views (whose
+    /// segment relations are not reversible).
+    pub fn reachable_pair(&self, src: NodeId, dst: NodeId) -> bool {
+        if !self.graph.contains_node(src) || !self.graph.contains_node(dst) {
+            return false;
+        }
+        let Some(rev) = self.rev_nfa() else {
+            return self.reachable(src).binary_search(&dst).is_ok();
+        };
+        let mut seen_f: FxHashSet<(NodeId, usize)> = FxHashSet::default();
+        let mut seen_b: FxHashSet<(NodeId, usize)> = FxHashSet::default();
+        let mut frontier_f: Vec<(NodeId, usize)> = Vec::new();
+        let mut frontier_b: Vec<(NodeId, usize)> = Vec::new();
+
+        // Seed both sides; acceptance can already hold at length zero.
         for q in self.close_at(src, &[self.nfa.start()]) {
-            if seen.insert((src, q)) {
-                stack.push((src, q));
+            if dst == src && self.nfa.accepts(q) {
+                return true;
+            }
+            if seen_f.insert((src, q)) {
+                frontier_f.push((src, q));
             }
         }
-        while let Some((v, q)) = stack.pop() {
-            if self.nfa.accepts(q) {
-                out.insert(v);
+        for q in self.close_at_nfa(rev, dst, &[rev.start()]) {
+            if seen_f.contains(&(dst, q)) {
+                return true; // meet at the seed level
             }
-            for (_, next_node, next_state, _) in self.expand(v, q) {
-                for c in self.close_at(next_node, &[next_state]) {
-                    if seen.insert((next_node, c)) {
-                        stack.push((next_node, c));
+            if seen_b.insert((dst, q)) {
+                frontier_b.push((dst, q));
+            }
+        }
+
+        loop {
+            // An exhausted side has fully explored its reachable set
+            // without success — no accepting walk exists.
+            if frontier_f.is_empty() || frontier_b.is_empty() {
+                return false;
+            }
+            // Expand the smaller frontier one level.
+            if frontier_f.len() <= frontier_b.len() {
+                let level = std::mem::take(&mut frontier_f);
+                for (v, q) in level {
+                    let mut found = false;
+                    self.expand_states(self.nfa, v, q, |w, t| {
+                        self.for_each_closed(self.nfa, w, t, |c| {
+                            if found {
+                                return;
+                            }
+                            if (w == dst && self.nfa.accepts(c)) || seen_b.contains(&(w, c)) {
+                                found = true;
+                                return;
+                            }
+                            if seen_f.insert((w, c)) {
+                                frontier_f.push((w, c));
+                            }
+                        });
+                    });
+                    if found {
+                        return true;
+                    }
+                }
+            } else {
+                let level = std::mem::take(&mut frontier_b);
+                for (v, q) in level {
+                    let mut found = false;
+                    self.expand_states(rev, v, q, |w, t| {
+                        self.for_each_closed(rev, w, t, |c| {
+                            if found {
+                                return;
+                            }
+                            if (w == src && rev.accepts(c)) || seen_f.contains(&(w, c)) {
+                                found = true;
+                                return;
+                            }
+                            if seen_b.insert((w, c)) {
+                                frontier_b.push((w, c));
+                            }
+                        });
+                    });
+                    if found {
+                        return true;
                     }
                 }
             }
         }
-        let mut v: Vec<NodeId> = out.into_iter().collect();
-        v.sort_unstable();
-        v
+    }
+
+    /// Reachability from many sources at once, sharing one product
+    /// exploration: the product digraph is condensed into strongly
+    /// connected components (Tarjan), per-component accepting-node sets
+    /// are accumulated once in reverse topological order (`Arc`-shared
+    /// where a component adds nothing of its own), and each source then
+    /// reads its answer off its seed components.
+    ///
+    /// Returns, per source, exactly [`reachable`](Self::reachable) of
+    /// that source (`Arc`-shared: sources whose seed states land in the
+    /// same component share one allocation). This is the shared-frontier
+    /// strategy the matcher uses for `MATCH (x)-/<r>/->(y)` shapes that
+    /// seed many sources.
+    pub fn reachable_many(&self, sources: &[NodeId]) -> FxHashMap<NodeId, Arc<Vec<NodeId>>> {
+        let nfa = self.nfa;
+
+        // Interned product states.
+        let mut ids: FxHashMap<(NodeId, usize), u32> = FxHashMap::default();
+        let mut states: Vec<(NodeId, usize)> = Vec::new();
+        let intern = |ids: &mut FxHashMap<(NodeId, usize), u32>,
+                      states: &mut Vec<(NodeId, usize)>,
+                      s: (NodeId, usize)|
+         -> u32 {
+            *ids.entry(s).or_insert_with(|| {
+                states.push(s);
+                (states.len() - 1) as u32
+            })
+        };
+
+        // Seed states per source (deduplicated across sources).
+        let mut seeds_of: FxHashMap<NodeId, Vec<u32>> = FxHashMap::default();
+        for &src in sources {
+            if seeds_of.contains_key(&src) || !self.graph.contains_node(src) {
+                continue;
+            }
+            let seeds: Vec<u32> = self
+                .close_at(src, &[nfa.start()])
+                .into_iter()
+                .map(|q| intern(&mut ids, &mut states, (src, q)))
+                .collect();
+            seeds_of.insert(src, seeds);
+        }
+
+        // The (sorted, deduplicated) closed successors of one state,
+        // interning any product state seen for the first time.
+        let successors = |ids: &mut FxHashMap<(NodeId, usize), u32>,
+                          states: &mut Vec<(NodeId, usize)>,
+                          s: u32|
+         -> Vec<u32> {
+            let (v, q) = states[s as usize];
+            let mut out: Vec<u32> = Vec::new();
+            self.expand_states(nfa, v, q, |w, t| {
+                self.for_each_closed(nfa, w, t, |c| {
+                    out.push(intern(ids, states, (w, c)));
+                });
+            });
+            out.sort_unstable();
+            out.dedup();
+            out
+        };
+
+        // Iterative Tarjan over the implicit product digraph.
+        let mut ts = Tarjan::default();
+        struct Frame {
+            v: u32,
+            next: usize,
+        }
+        let mut frames: Vec<Frame> = Vec::new();
+        let roots: Vec<u32> = seeds_of.values().flatten().copied().collect();
+        for root in roots {
+            ts.grow(states.len());
+            if ts.index[root as usize] != Tarjan::UNDEF {
+                continue;
+            }
+            let sv = successors(&mut ids, &mut states, root);
+            ts.open(root, sv, states.len());
+            frames.push(Frame { v: root, next: 0 });
+
+            while let Some(fr) = frames.last_mut() {
+                let v = fr.v as usize;
+                if fr.next < ts.succs[v].len() {
+                    let w = ts.succs[v][fr.next] as usize;
+                    fr.next += 1;
+                    if ts.index[w] == Tarjan::UNDEF {
+                        let sw = successors(&mut ids, &mut states, w as u32);
+                        ts.open(w as u32, sw, states.len());
+                        frames.push(Frame {
+                            v: w as u32,
+                            next: 0,
+                        });
+                    } else if ts.on_stack[w] {
+                        ts.lowlink[v] = ts.lowlink[v].min(ts.index[w]);
+                    }
+                } else {
+                    let fin = frames.pop().expect("frame present").v;
+                    ts.close(fin, frames.last().map(|f| f.v));
+                }
+            }
+        }
+
+        // Per-component accepting nodes, then the condensation DAG.
+        // Component ids increase with completion order, so every
+        // successor component of `c` has an id `< c` and one ascending
+        // pass accumulates full destination sets.
+        let ncomp = ts.comp_count as usize;
+        let comp = &ts.comp;
+        let mut own: Vec<Vec<NodeId>> = vec![Vec::new(); ncomp];
+        for (s, &(v, q)) in states.iter().enumerate() {
+            if comp[s] != Tarjan::UNDEF && nfa.accepts(q) {
+                own[comp[s] as usize].push(v);
+            }
+        }
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); ncomp];
+        for s in 0..states.len() {
+            if comp[s] == Tarjan::UNDEF {
+                continue;
+            }
+            for &w in &ts.succs[s] {
+                if comp[w as usize] != comp[s] {
+                    children[comp[s] as usize].push(comp[w as usize]);
+                }
+            }
+        }
+        let mut sets: Vec<Arc<Vec<NodeId>>> = Vec::with_capacity(ncomp);
+        for c in 0..ncomp {
+            children[c].sort_unstable();
+            children[c].dedup();
+            let own_c = &mut own[c];
+            if own_c.is_empty() && children[c].len() == 1 {
+                // Nothing of this component's own — share the child set.
+                sets.push(sets[children[c][0] as usize].clone());
+                continue;
+            }
+            let mut merged: Vec<NodeId> = std::mem::take(own_c);
+            for &ch in &children[c] {
+                merged.extend_from_slice(&sets[ch as usize]);
+            }
+            merged.sort_unstable();
+            merged.dedup();
+            sets.push(Arc::new(merged));
+        }
+
+        // Answer per source: union over its seed components.
+        let mut out: FxHashMap<NodeId, Arc<Vec<NodeId>>> = FxHashMap::default();
+        for (&src, seeds) in &seeds_of {
+            let mut comps: Vec<u32> = seeds.iter().map(|&s| comp[s as usize]).collect();
+            comps.sort_unstable();
+            comps.dedup();
+            let set: Arc<Vec<NodeId>> = match comps.as_slice() {
+                [c] => sets[*c as usize].clone(),
+                cs => {
+                    let mut v = Vec::new();
+                    for &c in cs {
+                        v.extend_from_slice(&sets[c as usize]);
+                    }
+                    v.sort_unstable();
+                    v.dedup();
+                    Arc::new(v)
+                }
+            };
+            out.insert(src, set);
+        }
+        // Sources that are not graph nodes reach nothing.
+        for &src in sources {
+            out.entry(src).or_default();
+        }
+        out
     }
 
     /// The ALL-paths graph projection between `src` and `dst`: every node
@@ -302,6 +995,26 @@ impl<'a> PathSearcher<'a> {
     /// Built from the explicit product digraph: forward-reachable states
     /// ∩ backward-reachable-from-acceptance states select the product
     /// edges whose underlying graph elements are projected.
+    ///
+    /// ```
+    /// use gcore::paths::{PathSearcher, ViewMap};
+    /// use gcore::regex::Nfa;
+    /// use gcore_parser::ast::Regex;
+    /// use gcore_ppg::{Attributes, GraphBuilder};
+    ///
+    /// let mut b = GraphBuilder::standalone();
+    /// let a = b.node(Attributes::labeled("Person"));
+    /// let c = b.node(Attributes::labeled("Person"));
+    /// let e = b.edge(a, c, Attributes::labeled("knows"));
+    /// let g = b.build();
+    ///
+    /// let nfa = Nfa::compile(&Regex::Star(Box::new(Regex::Label("knows".into()))));
+    /// let views = ViewMap::default();
+    /// let s = PathSearcher::new(&g, &nfa, &views);
+    /// let (nodes, edges) = s.all_paths_projection(a, c).unwrap();
+    /// assert_eq!((nodes, edges), (vec![a, c], vec![e])); // the one walk
+    /// assert!(s.all_paths_projection(c, a).is_none());   // no backward walk
+    /// ```
     pub fn all_paths_projection(
         &self,
         src: NodeId,
@@ -598,6 +1311,88 @@ mod tests {
         let self_path = &found[&n(2)][0];
         assert_eq!(self_path.cost, 0.0);
         assert_eq!(self_path.walk.length(), 0);
+    }
+
+    #[test]
+    fn indexed_and_scan_expansion_agree() {
+        let mut g = chain();
+        g.build_label_index();
+        let nfa = knows_star();
+        let views = ViewMap::default();
+        let indexed = PathSearcher::new(&g, &nfa, &views);
+        let scan = PathSearcher::new(&g, &nfa, &views).with_expansion(ExpandMode::Scan);
+        for src in 1..=4 {
+            assert_eq!(indexed.reachable(n(src)), scan.reachable(n(src)));
+            let a = indexed.k_shortest(n(src), 3, None);
+            let b = scan.k_shortest(n(src), 3, None);
+            assert_eq!(a.len(), b.len());
+            for (dst, paths) in &a {
+                let other = &b[dst];
+                assert_eq!(paths.len(), other.len());
+                for (x, y) in paths.iter().zip(other) {
+                    assert_eq!(x.walk, y.walk);
+                    assert_eq!(x.cost, y.cost);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bidirectional_pair_matches_unidirectional() {
+        let g = chain();
+        let nfa = knows_star();
+        let views = ViewMap::default();
+        let s = PathSearcher::new(&g, &nfa, &views);
+        for src in 1..=4 {
+            let reach = s.reachable(n(src));
+            for dst in 1..=4 {
+                assert_eq!(
+                    s.reachable_pair(n(src), n(dst)),
+                    reach.contains(&n(dst)),
+                    "pair ({src}, {dst})"
+                );
+            }
+        }
+        // Absent endpoints are unreachable.
+        assert!(!s.reachable_pair(n(1), n(99)));
+        assert!(!s.reachable_pair(n(99), n(1)));
+    }
+
+    #[test]
+    fn shared_frontier_matches_per_source_search() {
+        let g = chain();
+        let nfa = knows_star();
+        let views = ViewMap::default();
+        let s = PathSearcher::new(&g, &nfa, &views);
+        let sources: Vec<NodeId> = (1..=4).map(n).collect();
+        let many = s.reachable_many(&sources);
+        for &src in &sources {
+            assert_eq!(*many[&src], s.reachable(src), "source {src}");
+        }
+        // A source outside the graph reaches nothing.
+        let many = s.reachable_many(&[n(1), n(99)]);
+        assert!(many[&n(99)].is_empty());
+    }
+
+    #[test]
+    fn cone_pruned_targets_match_unrestricted_search() {
+        let g = chain();
+        let nfa = knows_star();
+        let views = ViewMap::default();
+        let s = PathSearcher::new(&g, &nfa, &views);
+        let all = s.k_shortest(n(1), 3, None);
+        for dst in 1..=4 {
+            let mut t = FxHashSet::default();
+            t.insert(n(dst));
+            let pruned = s.k_shortest(n(1), 3, Some(&t));
+            assert_eq!(pruned.len(), 1);
+            let (a, b) = (&all[&n(dst)], &pruned[&n(dst)]);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.walk, y.walk, "canonical walks to {dst}");
+                assert_eq!(x.cost, y.cost);
+            }
+        }
     }
 
     #[test]

@@ -465,7 +465,7 @@ impl SubqueryEval for Evaluator<'_> {
     }
 }
 
-/// The syntactic restriction of §3 / [31]: variables shared by two
+/// The syntactic restriction of §3 / \[31\]: variables shared by two
 /// OPTIONAL blocks must appear in the enclosing pattern, otherwise the
 /// result would depend on the evaluation order of the blocks.
 fn check_optional_shared_vars(m: &MatchClause) -> Result<()> {

@@ -33,8 +33,18 @@ pub enum Sym {
 pub struct Nfa {
     /// Per-state symbol transitions.
     trans: Vec<Vec<(Sym, usize)>>,
+    /// Per-state transitions grouped by symbol: each distinct symbol of a
+    /// state appears exactly once, with every target state it leads to
+    /// (sorted, deduplicated). This is the *outgoing symbol set* of the
+    /// state — the product search iterates it so that each symbol's edge
+    /// candidates (one label-index slice, one adjacency scan) are
+    /// enumerated once per state, not once per transition.
+    grouped: Vec<Vec<(Sym, Vec<usize>)>>,
     /// Per-state ε-closure (sorted, includes the state itself).
     closure: Vec<Vec<usize>>,
+    /// Precomputed "any [`Sym::NodeTest`] anywhere?" — consulted per
+    /// closure call on the search hot path.
+    node_tests: bool,
     start: usize,
     accept: usize,
 }
@@ -50,12 +60,67 @@ impl Nfa {
         let accept = b.state();
         b.build(re, start, accept);
         let closure = b.closures();
+        let grouped = group_transitions(&b.trans);
+        let node_tests = any_node_tests(&b.trans);
         Nfa {
             trans: b.trans,
+            grouped,
             closure,
+            node_tests,
             start,
             accept,
         }
+    }
+
+    /// The reversed automaton: accepts exactly the reversals of the walks
+    /// this NFA accepts. Transitions are transposed with their symbols
+    /// mirrored (`ℓ` ↔ `ℓ⁻`; node tests and the wildcard are their own
+    /// mirror images), ε-reachability is transposed, and start/accept
+    /// swap roles.
+    ///
+    /// Running the *forward* product search with the reversed NFA from a
+    /// node `d` therefore visits exactly the product states that are
+    /// co-reachable to acceptance at `d` in this NFA — the basis of the
+    /// bidirectional and cone-pruned searches in [`crate::paths`].
+    ///
+    /// Returns `None` when the automaton traverses PATH views: a view
+    /// segment relation is directed (src → dst) and has no backward
+    /// counterpart, so view-bearing searches stay unidirectional.
+    pub fn reverse(&self) -> Option<Nfa> {
+        let n = self.trans.len();
+        let mut trans: Vec<Vec<(Sym, usize)>> = vec![Vec::new(); n];
+        for (from, ts) in self.trans.iter().enumerate() {
+            for (sym, to) in ts {
+                let mirrored = match sym {
+                    Sym::Label(l) => Sym::LabelInv(*l),
+                    Sym::LabelInv(l) => Sym::Label(*l),
+                    Sym::NodeTest(l) => Sym::NodeTest(*l),
+                    Sym::Wildcard => Sym::Wildcard,
+                    Sym::View(_) => return None,
+                };
+                trans[*to].push((mirrored, from));
+            }
+        }
+        // Reversed ε-closure = transpose of the (transitively closed)
+        // forward ε-reachability relation.
+        let mut closure: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (from, cl) in self.closure.iter().enumerate() {
+            for &to in cl {
+                closure[to].push(from);
+            }
+        }
+        for cl in &mut closure {
+            cl.sort_unstable();
+        }
+        let grouped = group_transitions(&trans);
+        Some(Nfa {
+            node_tests: any_node_tests(&trans),
+            trans,
+            grouped,
+            closure,
+            start: self.accept,
+            accept: self.start,
+        })
     }
 
     /// Number of states.
@@ -83,6 +148,14 @@ impl Nfa {
         &self.trans[state]
     }
 
+    /// The outgoing symbol set of a state: its transitions grouped by
+    /// symbol, each distinct symbol once with all its target states
+    /// (sorted). Lets the product search enumerate a symbol's graph-edge
+    /// candidates once and fan the results out to every target state.
+    pub fn grouped_transitions(&self, state: usize) -> &[(Sym, Vec<usize>)] {
+        &self.grouped[state]
+    }
+
     /// All `View` names referenced anywhere in the automaton.
     pub fn view_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self
@@ -102,11 +175,38 @@ impl Nfa {
     /// Does any transition consult node labels? (Used to decide whether
     /// closures depend on the current node.)
     pub fn has_node_tests(&self) -> bool {
-        self.trans
-            .iter()
-            .flatten()
-            .any(|(s, _)| matches!(s, Sym::NodeTest(_)))
+        self.node_tests
     }
+}
+
+fn any_node_tests(trans: &[Vec<(Sym, usize)>]) -> bool {
+    trans
+        .iter()
+        .flatten()
+        .any(|(s, _)| matches!(s, Sym::NodeTest(_)))
+}
+
+/// Group a transition table by symbol: per state, each distinct symbol
+/// once with its (sorted, deduplicated) target states. Symbol order is
+/// first-appearance order, which is deterministic per compilation.
+fn group_transitions(trans: &[Vec<(Sym, usize)>]) -> Vec<Vec<(Sym, Vec<usize>)>> {
+    trans
+        .iter()
+        .map(|ts| {
+            let mut groups: Vec<(Sym, Vec<usize>)> = Vec::new();
+            for (sym, to) in ts {
+                match groups.iter_mut().find(|(s, _)| s == sym) {
+                    Some((_, tos)) => tos.push(*to),
+                    None => groups.push((sym.clone(), vec![*to])),
+                }
+            }
+            for (_, tos) in &mut groups {
+                tos.sort_unstable();
+                tos.dedup();
+            }
+            groups
+        })
+        .collect()
 }
 
 struct Builder {
@@ -404,6 +504,86 @@ mod tests {
 
         let opt = Nfa::compile(&Regex::Opt(Box::new(Regex::Label("a".into()))));
         assert!(opt.accepts(opt.start()));
+    }
+
+    #[test]
+    fn grouped_transitions_merge_equal_symbols() {
+        // (:a + :a :b) — the start state has two `a` transitions that
+        // grouping must merge into one symbol with two targets.
+        let re = Regex::Alt(vec![
+            Regex::Label("a".into()),
+            Regex::Concat(vec![Regex::Label("a".into()), Regex::Label("b".into())]),
+        ]);
+        let nfa = Nfa::compile(&re);
+        let groups = nfa.grouped_transitions(nfa.start());
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].0, Sym::Label(l("a")));
+        assert_eq!(groups[0].1.len(), 2);
+        // The grouped view covers the same transitions.
+        assert_eq!(nfa.transitions(nfa.start()).len(), 2);
+    }
+
+    #[test]
+    fn reverse_accepts_reversed_walks() {
+        // :a :b forwards ⟺ reversed automaton accepts the walk traversed
+        // backwards (each step direction flips, order reverses).
+        let re = Regex::Concat(vec![Regex::Label("a".into()), Regex::Label("b".into())]);
+        let nfa = Nfa::compile(&re);
+        let rev = nfa.reverse().expect("no views");
+        let n3 = vec![vec![], vec![], vec![]];
+        assert!(walk_conforms(
+            &nfa,
+            &n3,
+            &[(vec![l("a")], true), (vec![l("b")], true)]
+        ));
+        assert!(walk_conforms(
+            &rev,
+            &n3,
+            &[(vec![l("b")], false), (vec![l("a")], false)]
+        ));
+        // The unreversed order is *not* accepted by the reversal.
+        assert!(!walk_conforms(
+            &rev,
+            &n3,
+            &[(vec![l("a")], false), (vec![l("b")], false)]
+        ));
+    }
+
+    #[test]
+    fn reverse_keeps_node_tests_in_place() {
+        // :a !Stop :b reversed: :b⁻ !Stop :a⁻ — the test still guards the
+        // middle node.
+        let re = Regex::Concat(vec![
+            Regex::Label("a".into()),
+            Regex::NodeTest("Stop".into()),
+            Regex::Label("b".into()),
+        ]);
+        let rev = Nfa::compile(&re).reverse().expect("no views");
+        assert!(rev.has_node_tests());
+        assert!(walk_conforms(
+            &rev,
+            &[vec![], vec![l("Stop")], vec![]],
+            &[(vec![l("b")], false), (vec![l("a")], false)]
+        ));
+        assert!(!walk_conforms(
+            &rev,
+            &[vec![], vec![], vec![]],
+            &[(vec![l("b")], false), (vec![l("a")], false)]
+        ));
+    }
+
+    #[test]
+    fn reverse_of_star_accepts_empty() {
+        let rev = Nfa::compile(&Regex::Star(Box::new(Regex::Label("a".into()))))
+            .reverse()
+            .expect("no views");
+        assert!(rev.accepts(rev.start()));
+    }
+
+    #[test]
+    fn views_are_irreversible() {
+        let re = Regex::Star(Box::new(Regex::View("w".into())));
+        assert!(Nfa::compile(&re).reverse().is_none());
     }
 
     #[test]

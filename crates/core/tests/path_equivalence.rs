@@ -1,0 +1,191 @@
+//! Equivalence property tests for the path-engine search strategies.
+//!
+//! The overhauled product search has four accelerations — label-indexed
+//! expansion, bidirectional single-pair search, backward-cone pruning and
+//! the SCC-condensed shared frontier — all of which must be *invisible*:
+//! on random graphs and random regexes, each strategy's canonical
+//! paths / reachability sets must be identical to the baseline
+//! unidirectional scan search.
+
+use gcore::paths::{ExpandMode, PathSearcher, ViewMap};
+use gcore::regex::Nfa;
+use gcore_parser::ast::Regex;
+use gcore_ppg::hash::FxHashSet;
+use gcore_ppg::{Attributes, EdgeId, NodeId, PathPropertyGraph};
+use proptest::prelude::*;
+
+const EDGE_LABELS: [&str; 2] = ["a", "b"];
+const NODE_LABELS: [&str; 2] = ["P", "Q"];
+
+/// A random multigraph: node count, per-node label picks, and a list of
+/// (src, dst, label) edges over those nodes.
+#[derive(Clone, Debug)]
+struct RandomGraph {
+    nodes: usize,
+    node_labels: Vec<usize>, // 0 = none, 1 = P, 2 = Q, 3 = both
+    edges: Vec<(usize, usize, usize)>,
+}
+
+impl RandomGraph {
+    fn build(&self, indexed: bool) -> PathPropertyGraph {
+        let mut g = PathPropertyGraph::new();
+        for i in 0..self.nodes {
+            let mut attrs = Attributes::new();
+            if self.node_labels[i] & 1 != 0 {
+                attrs = attrs.with_label(NODE_LABELS[0]);
+            }
+            if self.node_labels[i] & 2 != 0 {
+                attrs = attrs.with_label(NODE_LABELS[1]);
+            }
+            g.add_node(NodeId(1 + i as u64), attrs);
+        }
+        for (i, &(s, d, l)) in self.edges.iter().enumerate() {
+            g.add_edge(
+                EdgeId(100 + i as u64),
+                NodeId(1 + s as u64),
+                NodeId(1 + d as u64),
+                Attributes::labeled(EDGE_LABELS[l]),
+            )
+            .expect("endpoints exist");
+        }
+        if indexed {
+            g.build_label_index();
+        }
+        g
+    }
+}
+
+fn graph_strategy() -> impl Strategy<Value = RandomGraph> {
+    (2usize..6).prop_flat_map(|nodes| {
+        let labels = prop::collection::vec(0usize..4, nodes..nodes + 1);
+        let edges = prop::collection::vec((0..nodes, 0..nodes, 0..EDGE_LABELS.len()), 0..12);
+        (labels, edges).prop_map(move |(node_labels, edges)| RandomGraph {
+            nodes,
+            node_labels,
+            edges,
+        })
+    })
+}
+
+/// Random view-free regexes (views have no reversal, and need an engine
+/// to evaluate; the strategies under test fall back to the baseline for
+/// them anyway).
+fn regex_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        (0..2usize).prop_map(|i| Regex::Label(EDGE_LABELS[i].to_owned())),
+        (0..2usize).prop_map(|i| Regex::LabelInv(EDGE_LABELS[i].to_owned())),
+        (0..2usize).prop_map(|i| Regex::NodeTest(NODE_LABELS[i].to_owned())),
+        Just(Regex::Wildcard),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::Concat),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::Alt),
+            inner.clone().prop_map(|r| Regex::Star(Box::new(r))),
+            inner.clone().prop_map(|r| Regex::Plus(Box::new(r))),
+            inner.prop_map(|r| Regex::Opt(Box::new(r))),
+        ]
+    })
+}
+
+/// Flatten a k-shortest result into a comparable, deterministic form.
+fn flat_paths(
+    found: &gcore_ppg::hash::FxHashMap<NodeId, Vec<gcore::paths::FoundPath>>,
+) -> Vec<(NodeId, Vec<Vec<u64>>)> {
+    let mut v: Vec<(NodeId, Vec<Vec<u64>>)> = found
+        .iter()
+        .map(|(dst, paths)| (*dst, paths.iter().map(|p| p.walk.interleaved()).collect()))
+        .collect();
+    v.sort_by_key(|(d, _)| *d);
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Indexed expansion is invisible: reachability sets and canonical
+    /// k-shortest walks agree with the scan expansion.
+    #[test]
+    fn indexed_expansion_is_equivalent(rg in graph_strategy(), re in regex_strategy()) {
+        let g = rg.build(true);
+        let nfa = Nfa::compile(&re);
+        let views = ViewMap::default();
+        let indexed = PathSearcher::new(&g, &nfa, &views);
+        let scan = PathSearcher::new(&g, &nfa, &views).with_expansion(ExpandMode::Scan);
+        for i in 0..rg.nodes {
+            let src = NodeId(1 + i as u64);
+            prop_assert_eq!(indexed.reachable(src), scan.reachable(src));
+            let a = flat_paths(&indexed.k_shortest(src, 2, None));
+            let b = flat_paths(&scan.k_shortest(src, 2, None));
+            prop_assert_eq!(a, b, "k-shortest from {}", src);
+        }
+    }
+
+    /// The bidirectional pair search answers exactly like membership in
+    /// the unidirectional reachability set.
+    #[test]
+    fn bidirectional_is_equivalent(rg in graph_strategy(), re in regex_strategy()) {
+        let g = rg.build(true);
+        let nfa = Nfa::compile(&re);
+        let views = ViewMap::default();
+        let s = PathSearcher::new(&g, &nfa, &views);
+        for i in 0..rg.nodes {
+            let src = NodeId(1 + i as u64);
+            let reach = s.reachable(src);
+            for j in 0..rg.nodes {
+                let dst = NodeId(1 + j as u64);
+                prop_assert_eq!(
+                    s.reachable_pair(src, dst),
+                    reach.contains(&dst),
+                    "pair ({}, {})", src, dst
+                );
+            }
+        }
+    }
+
+    /// The shared-frontier (SCC-condensed) multi-source search returns,
+    /// per source, exactly the per-source reachability set.
+    #[test]
+    fn shared_frontier_is_equivalent(rg in graph_strategy(), re in regex_strategy()) {
+        let g = rg.build(true);
+        let nfa = Nfa::compile(&re);
+        let views = ViewMap::default();
+        let s = PathSearcher::new(&g, &nfa, &views);
+        let sources: Vec<NodeId> = (0..rg.nodes).map(|i| NodeId(1 + i as u64)).collect();
+        let many = s.reachable_many(&sources);
+        for &src in &sources {
+            prop_assert_eq!(&*many[&src], &s.reachable(src), "source {}", src);
+        }
+    }
+
+    /// Backward-cone pruning with concrete targets yields walk-identical
+    /// results to the unrestricted search filtered to the target.
+    #[test]
+    fn cone_pruning_is_equivalent(rg in graph_strategy(), re in regex_strategy()) {
+        let g = rg.build(true);
+        let nfa = Nfa::compile(&re);
+        let views = ViewMap::default();
+        let s = PathSearcher::new(&g, &nfa, &views);
+        for i in 0..rg.nodes {
+            let src = NodeId(1 + i as u64);
+            let all = s.k_shortest(src, 2, None);
+            for j in 0..rg.nodes {
+                let dst = NodeId(1 + j as u64);
+                let mut t = FxHashSet::default();
+                t.insert(dst);
+                let pruned = s.k_shortest(src, 2, Some(&t));
+                match all.get(&dst) {
+                    None => prop_assert!(pruned.is_empty(), "({}, {})", src, dst),
+                    Some(paths) => {
+                        prop_assert_eq!(pruned.len(), 1);
+                        let got: Vec<Vec<u64>> =
+                            pruned[&dst].iter().map(|p| p.walk.interleaved()).collect();
+                        let want: Vec<Vec<u64>> =
+                            paths.iter().map(|p| p.walk.interleaved()).collect();
+                        prop_assert_eq!(got, want, "walks ({}, {})", src, dst);
+                    }
+                }
+            }
+        }
+    }
+}

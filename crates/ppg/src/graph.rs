@@ -2,8 +2,10 @@
 //!
 //! `G = (N, E, P, ρ, δ, λ, σ)`:
 //!
-//! * `N`, `E`, `P` — the key sets of [`nodes`](PathPropertyGraph::nodes),
-//!   [`edges`](PathPropertyGraph::edges), [`paths`](PathPropertyGraph::paths);
+//! * `N`, `E`, `P` — the key sets of nodes, edges and paths
+//!   ([`node_ids`](PathPropertyGraph::node_ids) /
+//!   [`edge_ids`](PathPropertyGraph::edge_ids) /
+//!   [`path_ids`](PathPropertyGraph::path_ids));
 //! * `ρ : E → N × N` — [`EdgeData::src`] / [`EdgeData::dst`];
 //! * `δ : P → FLIST(N ∪ E)` — [`PathData::shape`];
 //! * `λ : N ∪ E ∪ P → FSET(L)` — the per-element [`LabelSet`]s;
@@ -140,16 +142,20 @@ pub struct PathData {
 /// Label-partitioned adjacency and node sets, built once per graph (at
 /// [`crate::GraphBuilder::build`] or explicitly) and dropped by any
 /// subsequent mutation. Matching consults it through
-/// [`PathPropertyGraph::out_edges_with_label`] /
-/// [`PathPropertyGraph::in_edges_with_label`] /
+/// [`PathPropertyGraph::out_steps_with_label`] /
+/// [`PathPropertyGraph::in_steps_with_label`] /
 /// [`PathPropertyGraph::nodes_with_label`], which fall back to scanning
 /// when no index is present — so the index is purely an accelerator and
 /// never a correctness concern.
 #[derive(Clone, Default, Debug)]
 struct LabelIndex {
     nodes_by_label: FxHashMap<Label, Vec<NodeId>>,
-    out_by_label: FxHashMap<(NodeId, Label), Vec<EdgeId>>,
-    in_by_label: FxHashMap<(NodeId, Label), Vec<EdgeId>>,
+    /// Per (source node, label): each outgoing edge with its destination,
+    /// sorted by edge id — one slice read expands a product state without
+    /// a per-edge payload lookup.
+    out_by_label: FxHashMap<(NodeId, Label), Vec<(EdgeId, NodeId)>>,
+    /// Per (destination node, label): each incoming edge with its source.
+    in_by_label: FxHashMap<(NodeId, Label), Vec<(EdgeId, NodeId)>>,
 }
 
 /// A Path Property Graph (Definition 2.1).
@@ -380,41 +386,45 @@ impl PathPropertyGraph {
         self.out_edges(node).len() + self.in_edges(node).len()
     }
 
-    /// Outgoing edges of `node` carrying `label`, sorted by id.
+    /// Outgoing `(edge, destination)` steps of `node` carrying `label`,
+    /// sorted by edge id.
     ///
-    /// Served zero-copy from the [`LabelIndex`] when one is built,
+    /// Served zero-copy from the label index when one is built,
     /// otherwise by filtering the full adjacency list into an owned
-    /// vector — callers on hot paths only ever iterate the slice.
-    pub fn out_edges_with_label(&self, node: NodeId, label: Label) -> Cow<'_, [EdgeId]> {
+    /// vector — callers on hot paths only ever iterate the slice. The
+    /// far endpoint rides along so expansion loops (pattern matching,
+    /// product-automaton search) never re-fetch the edge payload.
+    pub fn out_steps_with_label(&self, node: NodeId, label: Label) -> Cow<'_, [(EdgeId, NodeId)]> {
         if let Some(ix) = &self.label_index {
             return match ix.out_by_label.get(&(node, label)) {
                 Some(v) => Cow::Borrowed(v.as_slice()),
                 None => Cow::Borrowed(&[]),
             };
         }
-        let mut v: Vec<EdgeId> = self
+        let mut v: Vec<(EdgeId, NodeId)> = self
             .out_edges(node)
             .iter()
-            .copied()
             .filter(|e| self.edges[e].attrs.labels.contains(label))
+            .map(|e| (*e, self.edges[e].dst))
             .collect();
         v.sort_unstable();
         Cow::Owned(v)
     }
 
-    /// Incoming edges of `node` carrying `label`, sorted by id.
-    pub fn in_edges_with_label(&self, node: NodeId, label: Label) -> Cow<'_, [EdgeId]> {
+    /// Incoming `(edge, source)` steps of `node` carrying `label`,
+    /// sorted by edge id.
+    pub fn in_steps_with_label(&self, node: NodeId, label: Label) -> Cow<'_, [(EdgeId, NodeId)]> {
         if let Some(ix) = &self.label_index {
             return match ix.in_by_label.get(&(node, label)) {
                 Some(v) => Cow::Borrowed(v.as_slice()),
                 None => Cow::Borrowed(&[]),
             };
         }
-        let mut v: Vec<EdgeId> = self
+        let mut v: Vec<(EdgeId, NodeId)> = self
             .in_edges(node)
             .iter()
-            .copied()
             .filter(|e| self.edges[e].attrs.labels.contains(label))
+            .map(|e| (*e, self.edges[e].src))
             .collect();
         v.sort_unstable();
         Cow::Owned(v)
@@ -432,8 +442,14 @@ impl PathPropertyGraph {
         }
         for (&id, d) in &self.edges {
             for l in d.attrs.labels.iter() {
-                ix.out_by_label.entry((d.src, l)).or_default().push(id);
-                ix.in_by_label.entry((d.dst, l)).or_default().push(id);
+                ix.out_by_label
+                    .entry((d.src, l))
+                    .or_default()
+                    .push((id, d.dst));
+                ix.in_by_label
+                    .entry((d.dst, l))
+                    .or_default()
+                    .push((id, d.src));
             }
         }
         for v in ix.nodes_by_label.values_mut() {
@@ -778,24 +794,42 @@ mod tests {
 
         // Fallback path (no index yet).
         assert!(!g.has_label_index());
-        assert_eq!(g.out_edges_with_label(n(1), knows), vec![e(10)]);
-        assert_eq!(g.out_edges_with_label(n(1), likes), vec![e(11)]);
-        assert_eq!(g.in_edges_with_label(n(2), knows), vec![e(10), e(12)]);
-        assert!(g.out_edges_with_label(n(2), knows).is_empty());
+        assert_eq!(
+            g.out_steps_with_label(n(1), knows).as_ref(),
+            [(e(10), n(2))]
+        );
+        assert_eq!(
+            g.out_steps_with_label(n(1), likes).as_ref(),
+            [(e(11), n(3))]
+        );
+        assert_eq!(
+            g.in_steps_with_label(n(2), knows).as_ref(),
+            [(e(10), n(1)), (e(12), n(3))]
+        );
+        assert!(g.out_steps_with_label(n(2), knows).is_empty());
 
         // Indexed path must agree.
         g.build_label_index();
         assert!(g.has_label_index());
-        assert_eq!(g.out_edges_with_label(n(1), knows), vec![e(10)]);
-        assert_eq!(g.out_edges_with_label(n(1), likes), vec![e(11)]);
-        assert_eq!(g.in_edges_with_label(n(2), knows), vec![e(10), e(12)]);
+        assert_eq!(
+            g.out_steps_with_label(n(1), knows).as_ref(),
+            [(e(10), n(2))]
+        );
+        assert_eq!(
+            g.out_steps_with_label(n(1), likes).as_ref(),
+            [(e(11), n(3))]
+        );
+        assert_eq!(
+            g.in_steps_with_label(n(2), knows).as_ref(),
+            [(e(10), n(1)), (e(12), n(3))]
+        );
         assert_eq!(g.nodes_with_label(Label::new("Person")), vec![n(1), n(2)]);
 
         // Mutation drops the index; answers stay correct via fallback.
         g.add_edge(e(13), n(2), n(1), Attributes::labeled("knows"))
             .unwrap();
         assert!(!g.has_label_index());
-        assert_eq!(g.in_edges_with_label(n(1), knows), vec![e(13)]);
+        assert_eq!(g.in_steps_with_label(n(1), knows).as_ref(), [(e(13), n(2))]);
     }
 
     #[test]

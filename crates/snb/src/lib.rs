@@ -2,7 +2,7 @@
 //!
 //! Three data sources, all deterministic:
 //!
-//! * [`figure2`] — the paper's Figure 2 / Example 2.2 toy PPG with its
+//! * [`figure2()`] — the paper's Figure 2 / Example 2.2 toy PPG with its
 //!   literal identifiers (101–106, 201–207, 301);
 //! * [`social_graph`] — the Figure 4 `social_graph` + `company_graph`
 //!   instance every guided-tour query of §3 runs on;

@@ -99,7 +99,22 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// The substring filter passed on the command line (`cargo bench --
+/// bench <suite> -- <filter>`), mirroring real criterion's positional
+/// filter. Flags (`--bench` etc.) are ignored; the first bare argument
+/// is the filter.
+fn name_filter() -> &'static Option<String> {
+    use std::sync::OnceLock;
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    FILTER.get_or_init(|| std::env::args().skip(1).find(|a| !a.starts_with('-')))
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    if let Some(filter) = name_filter() {
+        if !label.contains(filter.as_str()) {
+            return;
+        }
+    }
     let mut b = Bencher {
         total: Duration::ZERO,
         iters: 0,
