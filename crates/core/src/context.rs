@@ -7,6 +7,7 @@
 
 use crate::binding::{Bound, Column};
 use crate::error::{EngineError, Result};
+use crate::snapshot::EngineSnapshot;
 use gcore_parser::ast::PathClause;
 use gcore_ppg::{
     Attributes, Catalog, EdgeId, Key, NodeId, PathPropertyGraph, PathShape, PropertySet, Table,
@@ -57,8 +58,17 @@ impl FreshPath {
 }
 
 /// Evaluation context for one top-level query.
+///
+/// Created per statement from an immutable [`EngineSnapshot`]; all the
+/// interior mutability here is *query-local* (the context never leaves
+/// the evaluating thread), which is what keeps the snapshot itself
+/// lock-free and shareable across concurrently evaluating queries.
 pub struct EvalCtx {
-    /// Catalog snapshot with query-local overlays (GRAPH … AS views are
+    /// The frozen engine state this query evaluates against. Shared
+    /// read-only with every concurrent query on the same epoch; carries
+    /// the per-snapshot search caches.
+    pub snapshot: Arc<EngineSnapshot>,
+    /// Catalog overlay seeded from the snapshot (GRAPH … AS views are
     /// registered here and dropped with the context).
     pub catalog: RefCell<Catalog>,
     /// Arena of computed paths; `Bound::FreshPath` indexes into it.
@@ -83,9 +93,11 @@ pub struct EvalCtx {
 }
 
 impl EvalCtx {
-    /// Fresh context over a catalog snapshot.
-    pub fn new(catalog: Catalog) -> Self {
+    /// Fresh context over a frozen engine snapshot.
+    pub fn new(snapshot: Arc<EngineSnapshot>) -> Self {
+        let catalog = snapshot.catalog().clone();
         EvalCtx {
+            snapshot,
             catalog: RefCell::new(catalog),
             fresh_paths: RefCell::new(Vec::new()),
             path_views: RefCell::new(Vec::new()),
@@ -95,6 +107,12 @@ impl EvalCtx {
             table_graphs: RefCell::new(std::collections::HashMap::new()),
             filter_pushdown: std::cell::Cell::new(true),
         }
+    }
+
+    /// Convenience for tests and standalone evaluation: freeze `catalog`
+    /// into a throwaway epoch-0 snapshot and build a context over it.
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        Self::new(Arc::new(EngineSnapshot::freeze(catalog, 0)))
     }
 
     /// Intern a fresh path, returning its arena binding.

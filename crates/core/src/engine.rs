@@ -1,5 +1,23 @@
-//! The public engine API: a catalog of named graphs and tables plus a
-//! query entry point.
+//! The public engine API: a mutable catalog front plus snapshot-based
+//! query evaluation.
+//!
+//! The engine is split along the read/write axis:
+//!
+//! * **Writes** — graph/table registration, `GRAPH VIEW` commits,
+//!   direct catalog access — mutate the engine's catalog and *commit*:
+//!   every commit bumps the snapshot epoch and invalidates the cached
+//!   snapshot.
+//! * **Reads** — every query — evaluate against an immutable
+//!   [`EngineSnapshot`] taken lazily at the current epoch. Snapshots
+//!   are `Arc`-shared and `Sync`; the [`QueryExecutor`] evaluates with
+//!   `&self`, so concurrent queries run on plain scoped threads with no
+//!   locking on the evaluation path ([`Engine::run_batch_parallel`]).
+//!
+//! [`Engine::run`] keeps its historical `&mut self` signature: it takes
+//! a fresh snapshot per statement, evaluates read-only, and commits any
+//! view registration afterwards — single-threaded callers see exactly
+//! the old behavior, with the epoch observable via
+//! [`Engine::snapshot_epoch`].
 //!
 //! ```
 //! use gcore::Engine;
@@ -17,14 +35,25 @@
 //!     .query_graph("CONSTRUCT (n) MATCH (n:Person) WHERE n.name = 'Ann'")
 //!     .unwrap();
 //! assert_eq!(g.node_count(), 1);
+//!
+//! // Fan a read-only corpus across threads on one shared snapshot:
+//! let queries = [
+//!     "SELECT n.name AS name MATCH (n:Person)",
+//!     "CONSTRUCT (m) MATCH (n)-[:knows]->(m)",
+//! ];
+//! let results = engine.run_batch_parallel(&queries, 2);
+//! assert_eq!(results.len(), 2);
+//! assert!(results.iter().all(|r| r.is_ok()));
 //! ```
 
-use crate::context::EvalCtx;
 use crate::error::{Result, SemanticError};
-use crate::query::{Evaluator, QueryOutput};
+use crate::executor::QueryExecutor;
+use crate::query::QueryOutput;
+use crate::snapshot::EngineSnapshot;
 use gcore_parser::ast::Statement;
 use gcore_parser::{parse_script, parse_statement};
 use gcore_ppg::{Catalog, PathPropertyGraph, Table};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A G-CORE query engine over a catalog of named graphs and tables.
@@ -37,6 +66,11 @@ use std::sync::Arc;
 pub struct Engine {
     catalog: Catalog,
     filter_pushdown: bool,
+    /// Monotone commit counter: bumped by every catalog write.
+    epoch: u64,
+    /// The snapshot of the current epoch, taken lazily and dropped by
+    /// the next commit.
+    snapshot: Option<Arc<EngineSnapshot>>,
 }
 
 impl Default for Engine {
@@ -46,11 +80,13 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An engine with an empty catalog.
+    /// An engine with an empty catalog at epoch 0.
     pub fn new() -> Self {
         Engine {
             catalog: Catalog::new(),
             filter_pushdown: true,
+            epoch: 0,
+            snapshot: None,
         }
     }
 
@@ -59,6 +95,8 @@ impl Engine {
         Engine {
             catalog,
             filter_pushdown: true,
+            epoch: 0,
+            snapshot: None,
         }
     }
 
@@ -74,29 +112,71 @@ impl Engine {
         &self.catalog
     }
 
-    /// Mutable access to the catalog.
+    /// Mutable access to the catalog. Counts as a write: the epoch is
+    /// bumped and the cached snapshot dropped, so snapshots can never
+    /// observe a half-applied mutation.
     pub fn catalog_mut(&mut self) -> &mut Catalog {
+        self.commit();
         &mut self.catalog
     }
 
-    /// Register (or replace) a named graph.
+    /// Register (or replace) a named graph. Commits.
     pub fn register_graph(&mut self, name: impl Into<String>, graph: PathPropertyGraph) {
         self.catalog.register_graph(name, graph);
+        self.commit();
     }
 
     /// Register (or replace) a named table (for the §5 extensions).
+    /// Commits.
     pub fn register_table(&mut self, name: impl Into<String>, table: Table) {
         self.catalog.register_table(name, table);
+        self.commit();
     }
 
-    /// Set the default graph used when `MATCH … ON` is omitted.
+    /// Set the default graph used when `MATCH … ON` is omitted. Commits.
     pub fn set_default_graph(&mut self, name: impl Into<String>) {
         self.catalog.set_default_graph(name);
+        self.commit();
     }
 
     /// Fetch a registered graph.
     pub fn graph(&self, name: &str) -> Result<Arc<PathPropertyGraph>> {
         Ok(self.catalog.graph(name)?)
+    }
+
+    /// The current snapshot epoch. Starts at 0; every committed write
+    /// (registration, `GRAPH VIEW`, `catalog_mut`) increments it.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Apply a write: advance the epoch and invalidate the cached
+    /// snapshot. Outstanding snapshots (held by executors or in-flight
+    /// queries) are unaffected — they keep serving their own epoch.
+    fn commit(&mut self) {
+        self.epoch += 1;
+        self.snapshot = None;
+    }
+
+    /// The snapshot of the current epoch, freezing one lazily on first
+    /// use after a commit. Freezing force-builds every graph's label
+    /// index, so snapshot evaluation never hits the scan fallback.
+    pub fn snapshot(&mut self) -> Arc<EngineSnapshot> {
+        if self.snapshot.is_none() {
+            self.snapshot = Some(Arc::new(EngineSnapshot::freeze(
+                self.catalog.clone(),
+                self.epoch,
+            )));
+        }
+        self.snapshot.as_ref().expect("just frozen").clone()
+    }
+
+    /// A read-only executor pinned to the current epoch's snapshot.
+    /// `Send + Sync`: share it across threads, or clone it per thread.
+    pub fn executor(&mut self) -> QueryExecutor {
+        let mut exec = QueryExecutor::new(self.snapshot());
+        exec.set_filter_pushdown(self.filter_pushdown);
+        exec
     }
 
     /// Parse and evaluate one statement. `GRAPH VIEW name AS (…)`
@@ -135,21 +215,15 @@ impl Engine {
         }
     }
 
-    /// Evaluate an already-parsed statement.
+    /// Evaluate an already-parsed statement: read-only against the
+    /// current snapshot, then commit any `GRAPH VIEW` registration
+    /// (which bumps the epoch).
     pub fn eval(&mut self, stmt: &Statement) -> Result<QueryOutput> {
-        // Static analysis first: sort mismatches are rejected before any
-        // evaluation work (§3 "they must be of the right sort").
-        crate::analyze::check_statement(stmt)?;
-        // The context clones the catalog: graph handles are Arc-shared
-        // and the id generator handle draws from the same counter, so
-        // skolemized identifiers never collide across queries.
-        let ctx = EvalCtx::new(self.catalog.clone());
-        ctx.filter_pushdown.set(self.filter_pushdown);
-        let evaluator = Evaluator::new(&ctx);
-        let out = evaluator.eval_statement(stmt)?;
+        let executor = self.executor();
+        let out = executor.eval(stmt)?;
         if let Statement::GraphView { name, .. } = stmt {
             match &out {
-                QueryOutput::Graph(g) => self.catalog.register_graph(name.clone(), g.clone()),
+                QueryOutput::Graph(g) => self.register_graph(name.clone(), g.clone()),
                 QueryOutput::Table(_) => {
                     return Err(SemanticError::Other(format!(
                         "GRAPH VIEW {name} AS (…) must be a graph query, not SELECT"
@@ -160,6 +234,66 @@ impl Engine {
         }
         Ok(out)
     }
+
+    /// Evaluate a corpus of independent statements concurrently on
+    /// `threads` scoped threads sharing *one* snapshot of the current
+    /// epoch, returning each statement's result in input order.
+    ///
+    /// Semantics are those of [`QueryExecutor`]: every statement sees
+    /// the same committed catalog state, and nothing is registered —
+    /// `GRAPH VIEW` statements return their graph without committing
+    /// it. Per-statement evaluation is single-threaded and
+    /// deterministic, so each query's output is independent of the
+    /// thread count and of how statements interleave; the differential
+    /// suite in `tests/snapshot_equivalence.rs` pins this against
+    /// sequential [`Engine::run`].
+    ///
+    /// Statements are claimed off a shared atomic counter (work
+    /// stealing), so skewed corpora don't idle threads. `threads == 0`
+    /// is treated as 1.
+    pub fn run_batch_parallel(
+        &mut self,
+        queries: &[&str],
+        threads: usize,
+    ) -> Vec<Result<QueryOutput>> {
+        let executor = self.executor();
+        run_batch_on(&executor, queries, threads)
+    }
+}
+
+/// Fan `queries` across `threads` scoped threads evaluating on one
+/// shared executor; results come back in input order. Exposed for
+/// callers that already hold an executor (benchmarks, servers).
+pub fn run_batch_on(
+    executor: &QueryExecutor,
+    queries: &[&str],
+    threads: usize,
+) -> Vec<Result<QueryOutput>> {
+    let threads = threads.max(1).min(queries.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, Result<QueryOutput>)> = Vec::with_capacity(queries.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut mine: Vec<(usize, Result<QueryOutput>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= queries.len() {
+                            return mine;
+                        }
+                        mine.push((i, executor.run(queries[i])));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            collected.extend(h.join().expect("batch worker panicked"));
+        }
+    });
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]
@@ -226,5 +360,68 @@ mod tests {
         let mut engine = engine_with_people();
         assert!(engine.query_table("CONSTRUCT (n) MATCH (n)").is_err());
         assert!(engine.query_graph("SELECT n.name MATCH (n)").is_err());
+    }
+
+    #[test]
+    fn writes_bump_the_epoch_and_queries_do_not() {
+        let mut engine = Engine::new();
+        let e0 = engine.snapshot_epoch();
+        engine.register_graph("g", PathPropertyGraph::new());
+        assert!(engine.snapshot_epoch() > e0);
+        engine.set_default_graph("g");
+        let e1 = engine.snapshot_epoch();
+        engine.query_graph("CONSTRUCT (n) MATCH (n)").unwrap();
+        assert_eq!(engine.snapshot_epoch(), e1); // pure reads don't commit
+        engine
+            .run("GRAPH VIEW v AS (CONSTRUCT (n) MATCH (n))")
+            .unwrap();
+        assert!(engine.snapshot_epoch() > e1); // view commit does
+    }
+
+    #[test]
+    fn snapshot_is_cached_per_epoch() {
+        let mut engine = engine_with_people();
+        let a = engine.snapshot();
+        let b = engine.snapshot();
+        assert!(Arc::ptr_eq(&a, &b));
+        engine.register_graph("other", PathPropertyGraph::new());
+        let c = engine.snapshot();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(c.epoch() > a.epoch());
+    }
+
+    #[test]
+    fn run_batch_parallel_returns_results_in_order() {
+        let mut engine = engine_with_people();
+        let queries = [
+            "SELECT n.name AS name MATCH (n:Person)",
+            "this does not parse",
+            "CONSTRUCT (m) MATCH (n)-[:knows]->(m) WHERE n.name = 'Ann'",
+        ];
+        for threads in [1, 2, 4, 8] {
+            let results = engine.run_batch_parallel(&queries, threads);
+            assert_eq!(results.len(), 3);
+            assert_eq!(
+                results[0]
+                    .as_ref()
+                    .unwrap()
+                    .clone()
+                    .into_table()
+                    .unwrap()
+                    .len(),
+                3
+            );
+            assert!(results[1].is_err());
+            assert_eq!(
+                results[2]
+                    .as_ref()
+                    .unwrap()
+                    .clone()
+                    .into_graph()
+                    .unwrap()
+                    .node_count(),
+                1
+            );
+        }
     }
 }

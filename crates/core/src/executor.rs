@@ -1,0 +1,210 @@
+//! Read-only query evaluation over a shared engine snapshot.
+//!
+//! A [`QueryExecutor`] is the concurrent counterpart of
+//! [`Engine::run`](crate::Engine::run): it evaluates statements with
+//! `&self` against one immutable [`EngineSnapshot`], so any number of
+//! executors (or one executor on any number of threads) can evaluate
+//! simultaneously with no locking on the evaluation path. All mutable
+//! per-query state lives in a thread-local [`EvalCtx`]
+//! created per statement; the snapshot itself only serves reads and the
+//! (internally synchronized) per-snapshot search caches.
+//!
+//! Executors are *read-only* by construction: a `GRAPH VIEW name AS
+//! (…)` statement evaluates to its materialized graph like any other
+//! query, but nothing is registered anywhere — committing the view is
+//! the engine's job ([`Engine::eval`](crate::Engine::eval) does it and
+//! bumps the snapshot epoch). An executor therefore observes exactly
+//! the catalog state of its snapshot's epoch, forever — the
+//! snapshot-isolation property the differential tests pin down.
+
+use crate::context::EvalCtx;
+use crate::error::{Result, SemanticError};
+use crate::query::{Evaluator, QueryOutput};
+use crate::snapshot::EngineSnapshot;
+use gcore_parser::ast::Statement;
+use gcore_parser::{parse_script, parse_statement};
+use gcore_ppg::{PathPropertyGraph, Table};
+use std::sync::Arc;
+
+/// A `Send + Sync` evaluator of read-only queries over one frozen
+/// snapshot. Cheap to clone (one `Arc` bump); see the module docs.
+///
+/// ```
+/// use gcore::Engine;
+/// use gcore_ppg::{Attributes, GraphBuilder};
+///
+/// let mut engine = Engine::new();
+/// let mut b = GraphBuilder::new(engine.catalog().ids().clone());
+/// let ann = b.node(Attributes::labeled("Person").with_prop("name", "Ann"));
+/// let bob = b.node(Attributes::labeled("Person").with_prop("name", "Bob"));
+/// b.edge(ann, bob, Attributes::labeled("knows"));
+/// engine.register_graph("people", b.build());
+/// engine.set_default_graph("people");
+///
+/// let exec = engine.executor();
+/// // `&self` evaluation: share one executor across scoped threads.
+/// std::thread::scope(|s| {
+///     for _ in 0..2 {
+///         s.spawn(|| {
+///             let g = exec.query_graph("CONSTRUCT (m) MATCH (n)-[:knows]->(m)").unwrap();
+///             assert_eq!(g.node_count(), 1);
+///         });
+///     }
+/// });
+/// // The executor still sees its snapshot after later engine writes.
+/// assert_eq!(exec.epoch(), engine.snapshot_epoch());
+/// ```
+#[derive(Clone)]
+pub struct QueryExecutor {
+    snapshot: Arc<EngineSnapshot>,
+    filter_pushdown: bool,
+}
+
+impl QueryExecutor {
+    /// An executor over an existing snapshot.
+    pub fn new(snapshot: Arc<EngineSnapshot>) -> Self {
+        QueryExecutor {
+            snapshot,
+            filter_pushdown: true,
+        }
+    }
+
+    /// Enable or disable WHERE-conjunct pushdown (default: enabled;
+    /// semantics-preserving, exists for ablation benchmarks only).
+    pub fn set_filter_pushdown(&mut self, enabled: bool) {
+        self.filter_pushdown = enabled;
+    }
+
+    /// The snapshot this executor evaluates against.
+    pub fn snapshot(&self) -> &Arc<EngineSnapshot> {
+        &self.snapshot
+    }
+
+    /// The epoch of the underlying snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Parse and evaluate one statement against the snapshot.
+    pub fn run(&self, text: &str) -> Result<QueryOutput> {
+        let stmt = parse_statement(text)?;
+        self.eval(&stmt)
+    }
+
+    /// Parse and evaluate a `;`-separated script, returning every
+    /// statement's output in order. All statements see the same
+    /// snapshot (no statement's view registration is visible to the
+    /// next — use [`Engine::run_script`](crate::Engine::run_script) for
+    /// that).
+    pub fn run_script(&self, text: &str) -> Result<Vec<QueryOutput>> {
+        let stmts = parse_script(text)?;
+        stmts.iter().map(|s| self.eval(s)).collect()
+    }
+
+    /// Run a query that must produce a graph.
+    pub fn query_graph(&self, text: &str) -> Result<PathPropertyGraph> {
+        match self.run(text)? {
+            QueryOutput::Graph(g) => Ok(g),
+            QueryOutput::Table(_) => Err(SemanticError::Other(
+                "query produced a table; use query_table for SELECT".into(),
+            )
+            .into()),
+        }
+    }
+
+    /// Run a query that must produce a table (§5 SELECT).
+    pub fn query_table(&self, text: &str) -> Result<Table> {
+        match self.run(text)? {
+            QueryOutput::Table(t) => Ok(t),
+            QueryOutput::Graph(_) => Err(SemanticError::Other(
+                "query produced a graph; use query_graph instead".into(),
+            )
+            .into()),
+        }
+    }
+
+    /// Evaluate an already-parsed statement against the snapshot.
+    ///
+    /// `GRAPH VIEW` statements evaluate and return their materialized
+    /// graph but register nothing (the executor is read-only).
+    pub fn eval(&self, stmt: &Statement) -> Result<QueryOutput> {
+        // Static analysis first: sort mismatches are rejected before
+        // any evaluation work (§3 "they must be of the right sort").
+        crate::analyze::check_statement(stmt)?;
+        let ctx = EvalCtx::new(self.snapshot.clone());
+        ctx.filter_pushdown.set(self.filter_pushdown);
+        let evaluator = Evaluator::new(&ctx);
+        evaluator.eval_statement(stmt)
+    }
+}
+
+// The whole point of the executor: sharable across threads. A compile
+// failure here means some snapshot-reachable type regained interior
+// mutability that is not Sync.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryExecutor>()
+};
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::Engine;
+    use gcore_ppg::{Attributes, GraphBuilder};
+
+    fn engine_with_people() -> Engine {
+        let mut engine = Engine::new();
+        let mut b = GraphBuilder::new(engine.catalog().ids().clone());
+        let ann = b.node(Attributes::labeled("Person").with_prop("name", "Ann"));
+        let bob = b.node(Attributes::labeled("Person").with_prop("name", "Bob"));
+        b.edge(ann, bob, Attributes::labeled("knows"));
+        engine.register_graph("people", b.build());
+        engine.set_default_graph("people");
+        engine
+    }
+
+    #[test]
+    fn executor_matches_engine_results() {
+        let mut engine = engine_with_people();
+        let exec = engine.executor();
+        let via_exec = exec.query_graph("CONSTRUCT (n) MATCH (n:Person)").unwrap();
+        let via_engine = engine
+            .query_graph("CONSTRUCT (n) MATCH (n:Person)")
+            .unwrap();
+        assert_eq!(via_exec, via_engine);
+    }
+
+    #[test]
+    fn concurrent_queries_on_scoped_threads() {
+        let mut engine = engine_with_people();
+        let exec = engine.executor();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        exec.query_table("SELECT n.name AS name MATCH (n:Person)")
+                            .unwrap()
+                            .len()
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), 2);
+            }
+        });
+    }
+
+    #[test]
+    fn graph_view_is_not_registered() {
+        let mut engine = engine_with_people();
+        let exec = engine.executor();
+        let out = exec
+            .run("GRAPH VIEW only_ann AS (CONSTRUCT (n) MATCH (n) WHERE n.name = 'Ann')")
+            .unwrap();
+        assert_eq!(out.into_graph().unwrap().node_count(), 1);
+        // Read-only: neither this executor nor the engine saw a commit.
+        assert!(exec
+            .query_graph("CONSTRUCT (n) MATCH (n) ON only_ann")
+            .is_err());
+        assert!(!engine.catalog().has_graph("only_ann"));
+    }
+}

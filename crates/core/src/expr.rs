@@ -935,7 +935,7 @@ mod tests {
         let mut catalog = Catalog::new();
         catalog.register_graph("g", Arc::try_unwrap(g).unwrap_or_else(|a| (*a).clone()));
         catalog.set_default_graph("g");
-        (EvalCtx::new(catalog), table)
+        (EvalCtx::from_catalog(catalog), table)
     }
 
     fn eval(ctx: &EvalCtx, table: &BindingTable, src: &str) -> Rv {

@@ -22,6 +22,12 @@
 //! * GRAPH views (§A.6) and the §5 tabular extensions (SELECT, FROM) —
 //!   [`select`].
 //!
+//! Evaluation is snapshot-isolated: writes commit through the mutable
+//! [`Engine`] front and bump a snapshot epoch, while queries evaluate
+//! read-only against an immutable, `Arc`-shared [`EngineSnapshot`] —
+//! concurrently, via the `Send + Sync` [`QueryExecutor`] or the
+//! [`Engine::run_batch_parallel`] fan-out ([`snapshot`], [`executor`]).
+//!
 //! The entry point is [`Engine`]:
 //!
 //! ```
@@ -51,16 +57,20 @@ pub mod construct;
 pub mod context;
 pub mod engine;
 pub mod error;
+pub mod executor;
 pub mod expr;
 pub mod matcher;
 pub mod paths;
 pub mod query;
 pub mod regex;
 pub mod select;
+pub mod snapshot;
 
 pub use binding::{BindingTable, Bound, Column};
 pub use context::EvalCtx;
-pub use engine::Engine;
+pub use engine::{run_batch_on, Engine};
 pub use error::{EngineError, Result, RuntimeError, SemanticError};
+pub use executor::QueryExecutor;
 pub use expr::{Env, Rv};
 pub use query::{Evaluator, QueryOutput};
+pub use snapshot::EngineSnapshot;

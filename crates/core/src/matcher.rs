@@ -526,6 +526,14 @@ impl<'e> PatternMatcher<'e> {
         // the SCC-condensed multi-source reachability once. Rows whose
         // destination *is* bound become single-pair tests, answered by
         // the bidirectional search below.
+        //
+        // When the NFA is view-free and the graph lives in the engine
+        // snapshot, the condensation goes through the snapshot's SCC
+        // cache: a later query with the same regex on the same snapshot
+        // reuses the per-source destination sets instead of
+        // re-condensing. View-bearing NFAs stay uncached (PATH-view
+        // segment relations are query-local), as do transient graphs
+        // (subquery results, tables viewed as graphs).
         let pure_reach = matches!(pat.mode, PathMode::Shortest(_)) && !binds_path && !binds_cost;
         let shared: Option<FxHashMap<NodeId, Arc<Vec<NodeId>>>> = if pure_reach {
             let mut srcs: Vec<NodeId> = (0..table.len())
@@ -539,7 +547,16 @@ impl<'e> PatternMatcher<'e> {
                 .collect();
             srcs.sort_unstable();
             srcs.dedup();
-            (srcs.len() >= 2).then(|| searcher.reachable_many(&srcs))
+            let snapshot = &self.ev.ctx.snapshot;
+            let cacheable =
+                views.is_empty() && snapshot.catalog().contains_graph_handle(&self.graph);
+            if srcs.is_empty() {
+                None
+            } else if cacheable {
+                Some(snapshot.reachable_many_cached(&self.graph, &nfa, &searcher, &srcs))
+            } else {
+                (srcs.len() >= 2).then(|| searcher.reachable_many(&srcs))
+            }
         } else {
             None
         };

@@ -14,7 +14,7 @@ use gcore_parser::ast::Regex;
 use gcore_ppg::Label;
 
 /// One edge-consuming (or node-testing) NFA symbol.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Sym {
     /// Traverse an edge with this label forwards.
     Label(Label),
@@ -177,6 +177,29 @@ impl Nfa {
     pub fn has_node_tests(&self) -> bool {
         self.node_tests
     }
+
+    /// A hashable structural identity for this automaton: the full
+    /// transition table plus start/accept states. Compilation is
+    /// deterministic, so two NFAs compiled from equal regexes have equal
+    /// keys — which is what lets per-snapshot search caches recognize
+    /// "the same path query again" across independently parsed
+    /// statements. (ε-closures and symbol groups are derived from the
+    /// transition table, so they carry no extra identity.)
+    pub fn identity_key(&self) -> NfaKey {
+        NfaKey {
+            trans: self.trans.clone(),
+            start: self.start,
+            accept: self.accept,
+        }
+    }
+}
+
+/// Structural identity of an [`Nfa`] — see [`Nfa::identity_key`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct NfaKey {
+    trans: Vec<Vec<(Sym, usize)>>,
+    start: usize,
+    accept: usize,
 }
 
 fn any_node_tests(trans: &[Vec<(Sym, usize)>]) -> bool {

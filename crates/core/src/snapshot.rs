@@ -1,0 +1,303 @@
+//! Immutable engine snapshots — the read side of the engine's
+//! catalog/evaluation split.
+//!
+//! An [`EngineSnapshot`] is a frozen copy of the catalog taken at a
+//! *snapshot epoch*: every write to the [`Engine`](crate::Engine)
+//! (graph/table registration, `GRAPH VIEW` commits, direct catalog
+//! access) bumps the epoch and invalidates the engine's cached
+//! snapshot, so each snapshot observes exactly one committed state and
+//! never changes afterwards. Query evaluation — through
+//! [`QueryExecutor`](crate::QueryExecutor) — only ever reads a
+//! snapshot, which is what makes concurrent evaluation safe without
+//! locking on the hot path: the snapshot is `Sync`, shared by `Arc`,
+//! and all per-query mutable state lives in the per-thread
+//! [`EvalCtx`](crate::EvalCtx).
+//!
+//! Freezing does two things beyond cloning the catalog:
+//!
+//! * **Index freeze.** Every graph's label-partitioned index is
+//!   force-built ([`Catalog::freeze_indexes`]), so evaluation over a
+//!   snapshot never hits the mutation-invalidated scan fallback — a
+//!   snapshot is immutable, hence its indexes can never be invalidated
+//!   again.
+//! * **Search-result reuse.** The snapshot carries a cache of
+//!   SCC-condensed reachability closures keyed by (graph identity, NFA
+//!   structure): the per-source destination sets that
+//!   [`PathSearcher::reachable_many`] computes by condensing the
+//!   product digraph. Repeated path queries against one snapshot (the
+//!   multi-user steady state) skip re-condensation entirely; the cache
+//!   dies with the snapshot, so an epoch bump naturally starts fresh.
+
+use crate::paths::PathSearcher;
+use crate::regex::{Nfa, NfaKey};
+use gcore_ppg::hash::FxHashMap;
+use gcore_ppg::{Catalog, NodeId, PathPropertyGraph};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A frozen catalog state at one snapshot epoch, shared read-only by
+/// every executor and evaluation context derived from it.
+#[derive(Debug)]
+pub struct EngineSnapshot {
+    catalog: Catalog,
+    epoch: u64,
+    scc_cache: SccCache,
+}
+
+impl EngineSnapshot {
+    /// Freeze `catalog` at `epoch`: force-build every graph's label
+    /// index and attach an empty condensation cache.
+    pub fn freeze(mut catalog: Catalog, epoch: u64) -> Self {
+        catalog.freeze_indexes();
+        debug_assert!(catalog.all_indexed(), "snapshot froze an unindexed graph");
+        EngineSnapshot {
+            catalog,
+            epoch,
+            scc_cache: SccCache::default(),
+        }
+    }
+
+    /// The frozen catalog. Immutable: the snapshot hands out only
+    /// shared references, and graphs/tables inside are `Arc`-shared.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The epoch this snapshot was taken at. Strictly increases with
+    /// every committed write to the owning engine.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `(hits, misses)` of the condensation cache, counted per source
+    /// node served. Snapshot-local by construction: a fresh snapshot
+    /// (after any epoch bump) starts at `(0, 0)`.
+    pub fn scc_cache_stats(&self) -> (u64, u64) {
+        self.scc_cache.stats()
+    }
+
+    /// Reachability closure of `sources` under `nfa` on `graph`, served
+    /// from the per-snapshot condensation cache where possible.
+    ///
+    /// Sources whose destination set was computed by an earlier query
+    /// with a structurally identical NFA on the identical graph (`Arc`
+    /// pointer equality, revalidated against the pinned graph handle)
+    /// are cache hits; the rest run one shared
+    /// [`PathSearcher::reachable_many`] condensation and are merged
+    /// into the cache for the snapshot's remaining lifetime.
+    ///
+    /// Correctness does not depend on the cache: entries are immutable
+    /// per-source answers of `reachable_many`, which equals
+    /// [`PathSearcher::reachable`] per source. Callers must not use
+    /// this for view-bearing NFAs (view segment relations are
+    /// query-local); the matcher guards that.
+    pub fn reachable_many_cached(
+        &self,
+        graph: &Arc<PathPropertyGraph>,
+        nfa: &Nfa,
+        searcher: &PathSearcher<'_>,
+        sources: &[NodeId],
+    ) -> FxHashMap<NodeId, Arc<Vec<NodeId>>> {
+        self.scc_cache.lookup(graph, nfa, searcher, sources)
+    }
+}
+
+/// Cache key: graph address paired with the NFA's structural identity.
+/// The address alone could be reused after a graph is dropped (ABA);
+/// every entry therefore pins its graph `Arc` and lookups revalidate
+/// with pointer equality against the pinned handle.
+type CacheKey = (usize, NfaKey);
+
+struct CacheEntry {
+    /// The graph the closures were computed on, pinned so its address
+    /// can never be recycled while the entry lives.
+    graph: Arc<PathPropertyGraph>,
+    /// Per-source destination sets, exactly `reachable(src)` each,
+    /// `Arc`-shared with the condensation that produced them.
+    reach: FxHashMap<NodeId, Arc<Vec<NodeId>>>,
+}
+
+/// The per-snapshot cache of SCC-condensed reachability closures.
+#[derive(Default)]
+struct SccCache {
+    entries: Mutex<FxHashMap<CacheKey, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for SccCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (h, m) = self.stats();
+        f.debug_struct("SccCache")
+            .field("hits", &h)
+            .field("misses", &m)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SccCache {
+    fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn lookup(
+        &self,
+        graph: &Arc<PathPropertyGraph>,
+        nfa: &Nfa,
+        searcher: &PathSearcher<'_>,
+        sources: &[NodeId],
+    ) -> FxHashMap<NodeId, Arc<Vec<NodeId>>> {
+        let key: CacheKey = (Arc::as_ptr(graph) as usize, nfa.identity_key());
+
+        // Serve what the cache already knows and collect the rest.
+        let mut out: FxHashMap<NodeId, Arc<Vec<NodeId>>> = FxHashMap::default();
+        let mut missing: Vec<NodeId> = Vec::new();
+        {
+            let entries = self.entries.lock().unwrap();
+            let entry = entries.get(&key).filter(|e| Arc::ptr_eq(&e.graph, graph));
+            for &src in sources {
+                match entry.and_then(|e| e.reach.get(&src)) {
+                    Some(set) => {
+                        out.insert(src, set.clone());
+                    }
+                    None => missing.push(src),
+                }
+            }
+        }
+        self.hits.fetch_add(out.len() as u64, Ordering::Relaxed);
+        if missing.is_empty() {
+            return out;
+        }
+        missing.sort_unstable();
+        missing.dedup();
+        self.misses
+            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+
+        // One shared condensation for everything the cache lacked —
+        // outside the lock, so concurrent queries never serialize on
+        // the search itself (two threads may race to compute the same
+        // source; both get identical answers and the merge is
+        // idempotent).
+        let fresh = searcher.reachable_many(&missing);
+        {
+            let mut entries = self.entries.lock().unwrap();
+            let entry = entries.entry(key).or_insert_with(|| CacheEntry {
+                graph: graph.clone(),
+                reach: FxHashMap::default(),
+            });
+            // ABA guard: if the address was recycled by a *different*
+            // graph, repoint the entry and drop the stale closures.
+            if !Arc::ptr_eq(&entry.graph, graph) {
+                entry.graph = graph.clone();
+                entry.reach.clear();
+            }
+            for (src, set) in &fresh {
+                entry.reach.insert(*src, set.clone());
+            }
+        }
+        out.extend(fresh);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::ViewMap;
+    use gcore_parser::ast::Regex;
+    use gcore_ppg::Attributes;
+
+    fn snapshot_with_chain() -> (EngineSnapshot, Arc<PathPropertyGraph>) {
+        let mut g = PathPropertyGraph::new();
+        for i in 1..=3 {
+            g.add_node(NodeId(i), Attributes::labeled("Person"));
+        }
+        g.add_edge(
+            gcore_ppg::EdgeId(10),
+            NodeId(1),
+            NodeId(2),
+            Attributes::labeled("knows"),
+        )
+        .unwrap();
+        g.add_edge(
+            gcore_ppg::EdgeId(11),
+            NodeId(2),
+            NodeId(3),
+            Attributes::labeled("knows"),
+        )
+        .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register_graph("g", g);
+        catalog.set_default_graph("g");
+        let snap = EngineSnapshot::freeze(catalog, 1);
+        let graph = snap.catalog().graph("g").unwrap();
+        (snap, graph)
+    }
+
+    fn knows_star() -> Nfa {
+        Nfa::compile(&Regex::Star(Box::new(Regex::Label("knows".into()))))
+    }
+
+    #[test]
+    fn freeze_indexes_every_graph() {
+        let (snap, graph) = snapshot_with_chain();
+        assert!(graph.has_label_index());
+        assert!(snap.catalog().all_indexed());
+        assert_eq!(snap.epoch(), 1);
+    }
+
+    #[test]
+    fn cache_serves_repeat_sources_without_recondensation() {
+        let (snap, graph) = snapshot_with_chain();
+        let nfa = knows_star();
+        let views = ViewMap::default();
+        let searcher = PathSearcher::new(&graph, &nfa, &views);
+
+        let first = snap.reachable_many_cached(&graph, &nfa, &searcher, &[NodeId(1), NodeId(2)]);
+        assert_eq!(*first[&NodeId(1)], vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(snap.scc_cache_stats(), (0, 2));
+
+        // Same NFA structure (fresh compilation), same graph: all hits.
+        let nfa2 = knows_star();
+        let searcher2 = PathSearcher::new(&graph, &nfa2, &views);
+        let second = snap.reachable_many_cached(&graph, &nfa2, &searcher2, &[NodeId(2), NodeId(1)]);
+        assert_eq!(snap.scc_cache_stats(), (2, 2));
+        assert_eq!(*second[&NodeId(1)], *first[&NodeId(1)]);
+
+        // A structurally different NFA misses.
+        let plus = Nfa::compile(&Regex::Plus(Box::new(Regex::Label("knows".into()))));
+        let searcher3 = PathSearcher::new(&graph, &plus, &views);
+        let third = snap.reachable_many_cached(&graph, &plus, &searcher3, &[NodeId(1)]);
+        assert_eq!(snap.scc_cache_stats(), (2, 3));
+        // knows+ does not accept the empty walk: 1 reaches only 2, 3.
+        assert_eq!(*third[&NodeId(1)], vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn sources_absent_from_the_graph_are_cached_as_empty() {
+        // `reachable_many` answers every requested source, including
+        // ones that are not graph nodes (empty set) — so the cache
+        // memoizes them too and a repeat query is a pure hit, not a
+        // recurring miss.
+        let (snap, graph) = snapshot_with_chain();
+        let nfa = knows_star();
+        let views = ViewMap::default();
+        let searcher = PathSearcher::new(&graph, &nfa, &views);
+
+        let first = snap.reachable_many_cached(&graph, &nfa, &searcher, &[NodeId(99)]);
+        assert!(first[&NodeId(99)].is_empty());
+        assert_eq!(snap.scc_cache_stats(), (0, 1));
+        let second = snap.reachable_many_cached(&graph, &nfa, &searcher, &[NodeId(99)]);
+        assert!(second[&NodeId(99)].is_empty());
+        assert_eq!(snap.scc_cache_stats(), (1, 1), "absent source must hit");
+    }
+
+    #[test]
+    fn snapshot_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineSnapshot>();
+    }
+}

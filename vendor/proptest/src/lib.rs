@@ -342,8 +342,15 @@ pub mod test_runner {
     }
 
     impl Default for Config {
+        /// 256 cases, overridable via the `PROPTEST_CASES` environment
+        /// variable — the same knob real proptest reads, so CI can pin
+        /// the case count for reproducible runtimes.
         fn default() -> Self {
-            Config { cases: 256 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            Config { cases }
         }
     }
 }
