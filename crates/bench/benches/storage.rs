@@ -1,0 +1,83 @@
+//! Storage throughput and cold-start latency: the `gcore-store` binary
+//! format and `DirBackend` at SNB scales 1000 and 4000.
+//!
+//! Groups per scale (`storage_snb{1000,4000}`):
+//!
+//! * `encode` / `decode` — the binary format alone, in memory (the
+//!   CPU cost of a save/load with I/O factored out).
+//! * `save_dir` / `load_dir` — `Engine::save_to` / `Engine::open_from`
+//!   against a `DirBackend` under the OS temp directory (format +
+//!   atomic-rename filesystem round trip; `load_dir` includes
+//!   label-index rebuild and identifier-space reservation).
+//! * `cold_start_query` — the end-to-end restart story: open the
+//!   engine from disk *and* answer one reachability query on it, i.e.
+//!   the time from "process starts with nothing" to "first query
+//!   served".
+//!
+//! The graph-size numbers printed once per scale (bytes per element)
+//! contextualize throughput readings in docs/BENCHMARKING.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcore_bench::snb_engine;
+use gcore_store::{decode_graph, encode_graph, DirBackend};
+use std::hint::black_box;
+
+/// A scratch directory for one bench process, removed on exit of the
+/// last bench (best effort — the OS temp dir is self-cleaning anyway).
+fn bench_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gcore-store-bench-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    dir
+}
+
+const COLD_QUERY: &str =
+    "CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person) WHERE n.personId = 0";
+
+fn bench_scale(c: &mut Criterion, persons: usize) {
+    let engine = snb_engine(persons);
+    let graph = engine.graph("snb").expect("snb graph");
+    let bytes = encode_graph(&graph).expect("encodes");
+    println!(
+        "storage_snb{persons}: {} nodes, {} edges -> {} bytes ({:.1} B/element)",
+        graph.node_count(),
+        graph.edge_count(),
+        bytes.len(),
+        bytes.len() as f64 / (graph.node_count() + graph.edge_count()) as f64
+    );
+
+    let mut g = c.benchmark_group(format!("storage_snb{persons}"));
+    g.sample_size(10);
+
+    g.bench_function("encode", |b| {
+        b.iter(|| black_box(encode_graph(black_box(&graph)).unwrap()))
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(decode_graph(black_box(&bytes)).unwrap()))
+    });
+
+    let dir = bench_dir(&persons.to_string());
+    let backend = DirBackend::new(&dir).expect("backend");
+    g.bench_function("save_dir", |b| {
+        b.iter(|| engine.save_to(black_box(&backend)).unwrap())
+    });
+    engine.save_to(&backend).expect("seed store for loads");
+    g.bench_function("load_dir", |b| {
+        b.iter(|| black_box(gcore::Engine::open_from(black_box(&backend)).unwrap()))
+    });
+    g.bench_function("cold_start_query", |b| {
+        b.iter(|| {
+            let mut cold = gcore::Engine::open_from(&backend).unwrap();
+            black_box(cold.query_graph(COLD_QUERY).unwrap())
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_storage(c: &mut Criterion) {
+    bench_scale(c, 1000);
+    bench_scale(c, 4000);
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Runtime drive of the save → restart → query story on a real directory.
+use gcore_store::{DirBackend, StorageBackend};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("gcore-drive-{}", std::process::id()));
+    let backend = DirBackend::new(&dir).unwrap();
+
+    // "Process 1": build the guided-tour engine, commit a view, save.
+    let mut warm = gcore_bench::tour_engine();
+    warm.run("GRAPH VIEW wagner_fans AS (CONSTRUCT (n) MATCH (n:Person)-[:hasInterest]->(:Tag {name = 'Wagner'}))")
+        .unwrap();
+    warm.save_to(&backend).unwrap();
+    let stored: Vec<String> = backend.list().unwrap();
+    println!("stored objects: {stored:?}");
+    let warm_answer = warm
+        .query_table("SELECT n.firstName AS name MATCH (n:Person) ON wagner_fans")
+        .unwrap();
+    drop(warm);
+
+    // "Process 2": cold start from the directory and serve the same query.
+    let mut cold = gcore::Engine::open_from(&DirBackend::new(&dir).unwrap()).unwrap();
+    println!("reloaded graphs: {:?}", cold.catalog().graph_names());
+    println!("reloaded tables: {:?}", cold.catalog().table_names());
+    println!("default graph: {:?}", cold.catalog().default_graph_name());
+    let cold_answer = cold
+        .query_table("SELECT n.firstName AS name MATCH (n:Person) ON wagner_fans")
+        .unwrap();
+    assert_eq!(warm_answer.rows(), cold_answer.rows());
+    println!("cold answer rows: {:?}", cold_answer.rows());
+    std::fs::remove_dir_all(&dir).unwrap();
+    println!("SAVE-RESTART-QUERY OK");
+}

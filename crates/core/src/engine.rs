@@ -53,6 +53,7 @@ use crate::snapshot::EngineSnapshot;
 use gcore_parser::ast::Statement;
 use gcore_parser::{parse_script, parse_statement};
 use gcore_ppg::{Catalog, PathPropertyGraph, Table};
+use gcore_store::{StorageBackend, StoreError};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -66,6 +67,9 @@ use std::sync::Arc;
 pub struct Engine {
     catalog: Catalog,
     filter_pushdown: bool,
+    /// LRU bound on each snapshot's SCC-condensation cache; `None`
+    /// (the default) keeps the cache unbounded.
+    scc_cache_capacity: Option<usize>,
     /// Monotone commit counter: bumped by every catalog write.
     epoch: u64,
     /// The snapshot of the current epoch, taken lazily and dropped by
@@ -85,6 +89,7 @@ impl Engine {
         Engine {
             catalog: Catalog::new(),
             filter_pushdown: true,
+            scc_cache_capacity: None,
             epoch: 0,
             snapshot: None,
         }
@@ -95,6 +100,7 @@ impl Engine {
         Engine {
             catalog,
             filter_pushdown: true,
+            scc_cache_capacity: None,
             epoch: 0,
             snapshot: None,
         }
@@ -105,6 +111,16 @@ impl Engine {
     /// ablation benchmarks only.
     pub fn set_filter_pushdown(&mut self, enabled: bool) {
         self.filter_pushdown = enabled;
+    }
+
+    /// Bound each snapshot's SCC-condensation cache to at most
+    /// `capacity` live (graph, NFA) condensations, evicting the
+    /// least-recently-used entry beyond that; `None` (the default)
+    /// keeps the cache unbounded, `Some(0)` disables caching. Counts
+    /// as a write: the next snapshot carries the new bound.
+    pub fn set_scc_cache_capacity(&mut self, capacity: Option<usize>) {
+        self.scc_cache_capacity = capacity;
+        self.commit();
     }
 
     /// The underlying catalog (graphs, tables, id generator).
@@ -163,9 +179,10 @@ impl Engine {
     /// index, so snapshot evaluation never hits the scan fallback.
     pub fn snapshot(&mut self) -> Arc<EngineSnapshot> {
         if self.snapshot.is_none() {
-            self.snapshot = Some(Arc::new(EngineSnapshot::freeze(
+            self.snapshot = Some(Arc::new(EngineSnapshot::freeze_with_scc_capacity(
                 self.catalog.clone(),
                 self.epoch,
+                self.scc_cache_capacity,
             )));
         }
         self.snapshot.as_ref().expect("just frozen").clone()
@@ -233,6 +250,51 @@ impl Engine {
             }
         }
         Ok(out)
+    }
+
+    /// Persist the current committed catalog — every registered graph
+    /// and table plus the default-graph name — into `backend` in the
+    /// `gcore-store` binary format (see [`gcore_store::save_catalog`]).
+    ///
+    /// Reads the committed state only: queries in flight on old
+    /// snapshots are unaffected, and nothing commits.
+    ///
+    /// ```
+    /// use gcore::Engine;
+    /// use gcore_ppg::{Attributes, GraphBuilder};
+    /// use gcore_store::MemBackend;
+    ///
+    /// let mut engine = Engine::new();
+    /// let mut b = GraphBuilder::new(engine.catalog().ids().clone());
+    /// b.node(Attributes::labeled("Person").with_prop("name", "Ann"));
+    /// engine.register_graph("people", b.build());
+    /// engine.set_default_graph("people");
+    ///
+    /// let backend = MemBackend::new();
+    /// engine.save_to(&backend).unwrap();
+    ///
+    /// // …process restarts: cold-start the same catalog from disk…
+    /// let mut reloaded = Engine::open_from(&backend).unwrap();
+    /// let t = reloaded
+    ///     .query_table("SELECT n.name AS name MATCH (n:Person)")
+    ///     .unwrap();
+    /// assert_eq!(t.len(), 1);
+    /// ```
+    pub fn save_to(&self, backend: &dyn StorageBackend) -> std::result::Result<(), StoreError> {
+        gcore_store::save_catalog(&self.catalog, backend)
+    }
+
+    /// Cold-start an engine from a store written by
+    /// [`save_to`](Self::save_to): decode every persisted graph,
+    /// register it (rebuilding label indexes and reserving the stored
+    /// identifier space, so fresh skolemized identifiers never collide
+    /// with loaded elements) and restore the default graph.
+    ///
+    /// The engine starts at snapshot epoch 0 with no snapshot frozen —
+    /// the load itself is the initial committed state, exactly as if
+    /// the graphs had been registered programmatically.
+    pub fn open_from(backend: &dyn StorageBackend) -> std::result::Result<Engine, StoreError> {
+        Ok(Engine::with_catalog(gcore_store::load_catalog(backend)?))
     }
 
     /// Evaluate a corpus of independent statements concurrently on
@@ -388,6 +450,61 @@ mod tests {
         let c = engine.snapshot();
         assert!(!Arc::ptr_eq(&a, &c));
         assert!(c.epoch() > a.epoch());
+    }
+
+    #[test]
+    fn save_and_open_round_trip_through_a_backend() {
+        use gcore_store::MemBackend;
+
+        let mut engine = engine_with_people();
+        engine
+            .run("GRAPH VIEW pals AS (CONSTRUCT (n) MATCH (n:Person))")
+            .unwrap();
+        let backend = MemBackend::new();
+        engine.save_to(&backend).unwrap();
+
+        let mut reloaded = Engine::open_from(&backend).unwrap();
+        assert_eq!(reloaded.catalog().graph_names(), vec!["pals", "people"]);
+        assert_eq!(reloaded.catalog().default_graph_name(), Some("people"));
+        assert_eq!(reloaded.snapshot_epoch(), 0);
+        // The loaded engine serves the same queries cold.
+        let t = reloaded
+            .query_table("SELECT n.name AS name MATCH (n:Person)")
+            .unwrap();
+        assert_eq!(t.len(), 3);
+        let g = reloaded
+            .query_graph("CONSTRUCT (n) MATCH (n) ON pals")
+            .unwrap();
+        assert_eq!(g.node_count(), 3);
+        // Fresh identifiers never collide with stored elements.
+        let stored_max = engine
+            .graph("people")
+            .unwrap()
+            .node_ids()
+            .map(|n| n.raw())
+            .max()
+            .unwrap();
+        assert!(reloaded.catalog().ids().peek() > stored_max);
+    }
+
+    #[test]
+    fn scc_cache_capacity_is_a_commit_and_reaches_the_snapshot() {
+        let mut engine = engine_with_people();
+        let e0 = engine.snapshot_epoch();
+        engine.set_scc_cache_capacity(Some(2));
+        assert!(engine.snapshot_epoch() > e0);
+        // The bound is observable through eviction behavior: three
+        // distinct automata at capacity 2 must evict once.
+        let exec = engine.executor();
+        for q in [
+            "CONSTRUCT (m) MATCH (n)-/<:knows*>/->(m) WHERE n.name = 'Ann'",
+            "CONSTRUCT (m) MATCH (n)-/<:knows>/->(m) WHERE n.name = 'Ann'",
+            "CONSTRUCT (m) MATCH (n)-/<:knows :knows>/->(m) WHERE n.name = 'Ann'",
+        ] {
+            exec.query_graph(q).unwrap();
+        }
+        let (_, _, evictions) = exec.snapshot().scc_cache_stats();
+        assert!(evictions >= 1, "third automaton must evict at capacity 2");
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //!   product digraph. Repeated path queries against one snapshot (the
 //!   multi-user steady state) skip re-condensation entirely; the cache
 //!   dies with the snapshot, so an epoch bump naturally starts fresh.
+//!   The cache can be **LRU-bounded** (`Engine::set_scc_cache_capacity`):
+//!   when more than `capacity` distinct (graph, NFA) condensations are
+//!   live, the least-recently-used one is dropped — evictions show up
+//!   in [`EngineSnapshot::scc_cache_stats`]. The default is unbounded,
+//!   preserving the original behavior.
 
 use crate::paths::PathSearcher;
 use crate::regex::{Nfa, NfaKey};
@@ -46,14 +51,26 @@ pub struct EngineSnapshot {
 
 impl EngineSnapshot {
     /// Freeze `catalog` at `epoch`: force-build every graph's label
-    /// index and attach an empty condensation cache.
-    pub fn freeze(mut catalog: Catalog, epoch: u64) -> Self {
+    /// index and attach an empty, unbounded condensation cache.
+    pub fn freeze(catalog: Catalog, epoch: u64) -> Self {
+        Self::freeze_with_scc_capacity(catalog, epoch, None)
+    }
+
+    /// [`freeze`](Self::freeze) with an LRU bound on the condensation
+    /// cache: at most `capacity` (graph, NFA) condensations stay live,
+    /// `None` meaning unbounded. `Some(0)` disables caching entirely
+    /// (every lookup condenses, nothing is retained).
+    pub fn freeze_with_scc_capacity(
+        mut catalog: Catalog,
+        epoch: u64,
+        capacity: Option<usize>,
+    ) -> Self {
         catalog.freeze_indexes();
         debug_assert!(catalog.all_indexed(), "snapshot froze an unindexed graph");
         EngineSnapshot {
             catalog,
             epoch,
-            scc_cache: SccCache::default(),
+            scc_cache: SccCache::with_capacity(capacity),
         }
     }
 
@@ -69,10 +86,12 @@ impl EngineSnapshot {
         self.epoch
     }
 
-    /// `(hits, misses)` of the condensation cache, counted per source
-    /// node served. Snapshot-local by construction: a fresh snapshot
-    /// (after any epoch bump) starts at `(0, 0)`.
-    pub fn scc_cache_stats(&self) -> (u64, u64) {
+    /// `(hits, misses, evictions)` of the condensation cache — hits and
+    /// misses counted per source node served, evictions per (graph,
+    /// NFA) entry dropped by the LRU bound. Snapshot-local by
+    /// construction: a fresh snapshot (after any epoch bump) starts at
+    /// `(0, 0, 0)`.
+    pub fn scc_cache_stats(&self) -> (u64, u64, u64) {
         self.scc_cache.stats()
     }
 
@@ -84,7 +103,8 @@ impl EngineSnapshot {
     /// pointer equality, revalidated against the pinned graph handle)
     /// are cache hits; the rest run one shared
     /// [`PathSearcher::reachable_many`] condensation and are merged
-    /// into the cache for the snapshot's remaining lifetime.
+    /// into the cache for the snapshot's remaining lifetime (or until
+    /// the LRU bound evicts the entry).
     ///
     /// Correctness does not depend on the cache: entries are immutable
     /// per-source answers of `reachable_many`, which equals
@@ -115,31 +135,83 @@ struct CacheEntry {
     /// Per-source destination sets, exactly `reachable(src)` each,
     /// `Arc`-shared with the condensation that produced them.
     reach: FxHashMap<NodeId, Arc<Vec<NodeId>>>,
+    /// Recency stamp for the LRU bound: the cache tick of the last
+    /// lookup or merge that touched this entry.
+    last_used: u64,
 }
 
-/// The per-snapshot cache of SCC-condensed reachability closures.
 #[derive(Default)]
+struct CacheInner {
+    map: FxHashMap<CacheKey, CacheEntry>,
+    /// Monotone lookup counter stamping `last_used`.
+    tick: u64,
+}
+
+impl CacheInner {
+    /// Drop least-recently-used entries until at most `capacity`
+    /// remain. Linear scan per eviction: the entry count is the number
+    /// of distinct (graph, regex) pairs a snapshot has served, which
+    /// stays tiny next to the condensations themselves.
+    fn enforce(&mut self, capacity: usize, evictions: &AtomicU64) {
+        while self.map.len() > capacity {
+            let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.map.remove(&lru);
+            evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The per-snapshot cache of SCC-condensed reachability closures,
+/// optionally LRU-bounded by entry count.
 struct SccCache {
-    entries: Mutex<FxHashMap<CacheKey, CacheEntry>>,
+    entries: Mutex<CacheInner>,
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for SccCache {
+    fn default() -> Self {
+        Self::with_capacity(None)
+    }
 }
 
 impl std::fmt::Debug for SccCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let (h, m) = self.stats();
+        let (h, m, e) = self.stats();
         f.debug_struct("SccCache")
             .field("hits", &h)
             .field("misses", &m)
+            .field("evictions", &e)
+            .field("capacity", &self.capacity)
             .finish_non_exhaustive()
     }
 }
 
 impl SccCache {
-    fn stats(&self) -> (u64, u64) {
+    fn with_capacity(capacity: Option<usize>) -> Self {
+        SccCache {
+            entries: Mutex::new(CacheInner::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn stats(&self) -> (u64, u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
         )
     }
 
@@ -156,15 +228,25 @@ impl SccCache {
         let mut out: FxHashMap<NodeId, Arc<Vec<NodeId>>> = FxHashMap::default();
         let mut missing: Vec<NodeId> = Vec::new();
         {
-            let entries = self.entries.lock().unwrap();
-            let entry = entries.get(&key).filter(|e| Arc::ptr_eq(&e.graph, graph));
-            for &src in sources {
-                match entry.and_then(|e| e.reach.get(&src)) {
-                    Some(set) => {
-                        out.insert(src, set.clone());
+            let mut inner = self.entries.lock().unwrap();
+            inner.tick += 1;
+            let tick = inner.tick;
+            let entry = inner
+                .map
+                .get_mut(&key)
+                .filter(|e| Arc::ptr_eq(&e.graph, graph));
+            if let Some(entry) = entry {
+                entry.last_used = tick;
+                for &src in sources {
+                    match entry.reach.get(&src) {
+                        Some(set) => {
+                            out.insert(src, set.clone());
+                        }
+                        None => missing.push(src),
                     }
-                    None => missing.push(src),
                 }
+            } else {
+                missing.extend_from_slice(sources);
             }
         }
         self.hits.fetch_add(out.len() as u64, Ordering::Relaxed);
@@ -182,12 +264,16 @@ impl SccCache {
         // source; both get identical answers and the merge is
         // idempotent).
         let fresh = searcher.reachable_many(&missing);
-        {
-            let mut entries = self.entries.lock().unwrap();
-            let entry = entries.entry(key).or_insert_with(|| CacheEntry {
+        if self.capacity != Some(0) {
+            let mut inner = self.entries.lock().unwrap();
+            inner.tick += 1;
+            let tick = inner.tick;
+            let entry = inner.map.entry(key).or_insert_with(|| CacheEntry {
                 graph: graph.clone(),
                 reach: FxHashMap::default(),
+                last_used: tick,
             });
+            entry.last_used = tick;
             // ABA guard: if the address was recycled by a *different*
             // graph, repoint the entry and drop the stale closures.
             if !Arc::ptr_eq(&entry.graph, graph) {
@@ -196,6 +282,9 @@ impl SccCache {
             }
             for (src, set) in &fresh {
                 entry.reach.insert(*src, set.clone());
+            }
+            if let Some(capacity) = self.capacity {
+                inner.enforce(capacity, &self.evictions);
             }
         }
         out.extend(fresh);
@@ -210,7 +299,7 @@ mod tests {
     use gcore_parser::ast::Regex;
     use gcore_ppg::Attributes;
 
-    fn snapshot_with_chain() -> (EngineSnapshot, Arc<PathPropertyGraph>) {
+    fn chain_catalog() -> (Catalog, Arc<PathPropertyGraph>) {
         let mut g = PathPropertyGraph::new();
         for i in 1..=3 {
             g.add_node(NodeId(i), Attributes::labeled("Person"));
@@ -232,9 +321,13 @@ mod tests {
         let mut catalog = Catalog::new();
         catalog.register_graph("g", g);
         catalog.set_default_graph("g");
-        let snap = EngineSnapshot::freeze(catalog, 1);
-        let graph = snap.catalog().graph("g").unwrap();
-        (snap, graph)
+        let graph = catalog.graph("g").unwrap();
+        (catalog, graph)
+    }
+
+    fn snapshot_with_chain() -> (EngineSnapshot, Arc<PathPropertyGraph>) {
+        let (catalog, graph) = chain_catalog();
+        (EngineSnapshot::freeze(catalog, 1), graph)
     }
 
     fn knows_star() -> Nfa {
@@ -258,20 +351,20 @@ mod tests {
 
         let first = snap.reachable_many_cached(&graph, &nfa, &searcher, &[NodeId(1), NodeId(2)]);
         assert_eq!(*first[&NodeId(1)], vec![NodeId(1), NodeId(2), NodeId(3)]);
-        assert_eq!(snap.scc_cache_stats(), (0, 2));
+        assert_eq!(snap.scc_cache_stats(), (0, 2, 0));
 
         // Same NFA structure (fresh compilation), same graph: all hits.
         let nfa2 = knows_star();
         let searcher2 = PathSearcher::new(&graph, &nfa2, &views);
         let second = snap.reachable_many_cached(&graph, &nfa2, &searcher2, &[NodeId(2), NodeId(1)]);
-        assert_eq!(snap.scc_cache_stats(), (2, 2));
+        assert_eq!(snap.scc_cache_stats(), (2, 2, 0));
         assert_eq!(*second[&NodeId(1)], *first[&NodeId(1)]);
 
         // A structurally different NFA misses.
         let plus = Nfa::compile(&Regex::Plus(Box::new(Regex::Label("knows".into()))));
         let searcher3 = PathSearcher::new(&graph, &plus, &views);
         let third = snap.reachable_many_cached(&graph, &plus, &searcher3, &[NodeId(1)]);
-        assert_eq!(snap.scc_cache_stats(), (2, 3));
+        assert_eq!(snap.scc_cache_stats(), (2, 3, 0));
         // knows+ does not accept the empty walk: 1 reaches only 2, 3.
         assert_eq!(*third[&NodeId(1)], vec![NodeId(2), NodeId(3)]);
     }
@@ -289,10 +382,68 @@ mod tests {
 
         let first = snap.reachable_many_cached(&graph, &nfa, &searcher, &[NodeId(99)]);
         assert!(first[&NodeId(99)].is_empty());
-        assert_eq!(snap.scc_cache_stats(), (0, 1));
+        assert_eq!(snap.scc_cache_stats(), (0, 1, 0));
         let second = snap.reachable_many_cached(&graph, &nfa, &searcher, &[NodeId(99)]);
         assert!(second[&NodeId(99)].is_empty());
-        assert_eq!(snap.scc_cache_stats(), (1, 1), "absent source must hit");
+        assert_eq!(snap.scc_cache_stats(), (1, 1, 0), "absent source must hit");
+    }
+
+    #[test]
+    fn lru_bound_evicts_least_recently_used_entry() {
+        let (catalog, graph) = chain_catalog();
+        let snap = EngineSnapshot::freeze_with_scc_capacity(catalog, 1, Some(1));
+        let views = ViewMap::default();
+
+        let star = knows_star();
+        let plus = Nfa::compile(&Regex::Plus(Box::new(Regex::Label("knows".into()))));
+        let star_search = PathSearcher::new(&graph, &star, &views);
+        let plus_search = PathSearcher::new(&graph, &plus, &views);
+
+        // Populate entry A, then entry B: capacity 1 evicts A.
+        snap.reachable_many_cached(&graph, &star, &star_search, &[NodeId(1)]);
+        assert_eq!(snap.scc_cache_stats(), (0, 1, 0));
+        snap.reachable_many_cached(&graph, &plus, &plus_search, &[NodeId(1)]);
+        assert_eq!(snap.scc_cache_stats(), (0, 2, 1), "star entry evicted");
+
+        // B is resident (hit); A was evicted (miss again, evicting B).
+        snap.reachable_many_cached(&graph, &plus, &plus_search, &[NodeId(1)]);
+        assert_eq!(snap.scc_cache_stats(), (1, 2, 1));
+        snap.reachable_many_cached(&graph, &star, &star_search, &[NodeId(1)]);
+        assert_eq!(snap.scc_cache_stats(), (1, 3, 2));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let (catalog, graph) = chain_catalog();
+        let snap = EngineSnapshot::freeze_with_scc_capacity(catalog, 1, Some(0));
+        let views = ViewMap::default();
+        let nfa = knows_star();
+        let searcher = PathSearcher::new(&graph, &nfa, &views);
+
+        let a = snap.reachable_many_cached(&graph, &nfa, &searcher, &[NodeId(1)]);
+        let b = snap.reachable_many_cached(&graph, &nfa, &searcher, &[NodeId(1)]);
+        assert_eq!(*a[&NodeId(1)], *b[&NodeId(1)]);
+        let (h, m, e) = snap.scc_cache_stats();
+        assert_eq!((h, m), (0, 2), "nothing is ever retained");
+        assert_eq!(e, 0, "nothing retained, nothing evicted");
+    }
+
+    #[test]
+    fn unbounded_default_never_evicts() {
+        let (snap, graph) = snapshot_with_chain();
+        let views = ViewMap::default();
+        for depth in 1..=8usize {
+            // 8 structurally distinct NFAs → 8 live entries, 0 evictions.
+            let mut r = Regex::Label("knows".into());
+            for _ in 0..depth {
+                r = Regex::Star(Box::new(r));
+            }
+            let nfa = Nfa::compile(&r);
+            let searcher = PathSearcher::new(&graph, &nfa, &views);
+            snap.reachable_many_cached(&graph, &nfa, &searcher, &[NodeId(1)]);
+        }
+        let (_, _, evictions) = snap.scc_cache_stats();
+        assert_eq!(evictions, 0);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Shared helpers for the differential suites: the canonicalizer that
+//! makes query outputs comparable across engines (renumbering
+//! skolemized identifiers above a generator watermark) and the
+//! deterministic guided-tour engine fixtures.
+//!
+//! Used by `snapshot_equivalence.rs` (parallel ≡ sequential) and
+//! `storage_cold_start.rs` (reloaded-from-disk ≡ in-memory); the
+//! comparisons only mean anything if both suites canonicalize the same
+//! way, so the definition lives here once.
+
+#![allow(dead_code)] // each test binary uses the slice it needs
+
+use gcore::{Engine, EngineError, QueryOutput};
+use gcore_ppg::{PathPropertyGraph, Table};
+use gcore_repro::corpus;
+use gcore_snb::{figure2, social_dataset};
+
+/// The deterministic guided-tour engine (same layout as the facade's
+/// integration fixture): independently constructed engines are
+/// bit-identical, including their identifier generators.
+pub fn tour_engine() -> Engine {
+    let mut engine = Engine::new();
+    let ids = engine.catalog().ids().clone();
+    let d = social_dataset(&ids);
+    let fig2 = figure2(&ids);
+    engine.register_graph("social_graph", d.social_graph);
+    engine.register_graph("company_graph", d.company_graph);
+    engine.register_graph("figure2", fig2);
+    engine.register_table("orders", d.orders);
+    engine.set_default_graph("social_graph");
+    engine
+}
+
+/// [`tour_engine`] with the two `GRAPH VIEW` statements of the corpus
+/// *pre-committed*, so read-only batches (and engines reloaded from a
+/// store) resolve `social_graph1` / `social_graph2` from their
+/// snapshot.
+pub fn prepared_engine() -> Engine {
+    let mut engine = tour_engine();
+    engine.run(corpus::SOCIAL_GRAPH1.text).expect("view 1");
+    engine.run(corpus::SOCIAL_GRAPH2.text).expect("view 2");
+    engine
+}
+
+/// Every corpus statement's text, in corpus order.
+pub fn corpus_texts() -> Vec<&'static str> {
+    corpus::ALL.iter().map(|q| q.text).collect()
+}
+
+// ---------------------------------------------------------------------
+// Canonicalization
+// ---------------------------------------------------------------------
+
+/// Renumbering of one identifier sort: identifiers issued before the
+/// watermark are identities and map to themselves; later (skolemized)
+/// ones map to `watermark + rank` in ascending order.
+struct Renumber {
+    watermark: u64,
+    fresh: Vec<u64>, // sorted ascending
+}
+
+impl Renumber {
+    fn new(watermark: u64, mut fresh: Vec<u64>) -> Self {
+        fresh.sort_unstable();
+        fresh.dedup();
+        Renumber { watermark, fresh }
+    }
+
+    fn map(&self, raw: u64) -> u64 {
+        if raw < self.watermark {
+            raw
+        } else {
+            let rank = self.fresh.binary_search(&raw).expect("collected id") as u64;
+            self.watermark + rank
+        }
+    }
+}
+
+fn canon_value(v: &gcore_ppg::Value) -> String {
+    format!("{v:?}")
+}
+
+fn canon_attrs(attrs: &gcore_ppg::Attributes) -> String {
+    let mut labels = attrs.labels.names();
+    labels.sort();
+    let mut props: Vec<String> = attrs
+        .properties
+        .iter()
+        .map(|(k, vs)| {
+            let mut vals: Vec<String> = vs.iter().map(canon_value).collect();
+            vals.sort();
+            format!("{}={:?}", k.name(), vals)
+        })
+        .collect();
+    props.sort();
+    format!("labels={labels:?} props={props:?}")
+}
+
+/// A graph rendered invariantly under skolem renumbering: nodes, edges
+/// (with endpoints) and stored paths (with shapes), all in canonical
+/// identifier order.
+pub fn canon_graph(g: &PathPropertyGraph, watermark: u64) -> String {
+    let nodes = Renumber::new(
+        watermark,
+        g.node_ids()
+            .map(|n| n.raw())
+            .filter(|&r| r >= watermark)
+            .collect(),
+    );
+    let edges = Renumber::new(
+        watermark,
+        g.edge_ids()
+            .map(|e| e.raw())
+            .filter(|&r| r >= watermark)
+            .collect(),
+    );
+    let paths = Renumber::new(
+        watermark,
+        g.path_ids()
+            .map(|p| p.raw())
+            .filter(|&r| r >= watermark)
+            .collect(),
+    );
+
+    let mut out = String::new();
+    let mut node_lines: Vec<String> = g
+        .node_ids()
+        .map(|n| {
+            format!(
+                "n{} {}",
+                nodes.map(n.raw()),
+                canon_attrs(&g.node(n).unwrap().attrs)
+            )
+        })
+        .collect();
+    node_lines.sort();
+    let mut edge_lines: Vec<String> = g
+        .edge_ids()
+        .map(|e| {
+            let d = g.edge(e).unwrap();
+            format!(
+                "e{} {}->{} {}",
+                edges.map(e.raw()),
+                nodes.map(d.src.raw()),
+                nodes.map(d.dst.raw()),
+                canon_attrs(&d.attrs)
+            )
+        })
+        .collect();
+    edge_lines.sort();
+    let mut path_lines: Vec<String> = g
+        .path_ids()
+        .map(|p| {
+            let d = g.path(p).unwrap();
+            let ns: Vec<u64> = d.shape.nodes().iter().map(|n| nodes.map(n.raw())).collect();
+            let es: Vec<u64> = d.shape.edges().iter().map(|e| edges.map(e.raw())).collect();
+            format!(
+                "p{} nodes={ns:?} edges={es:?} {}",
+                paths.map(p.raw()),
+                canon_attrs(&d.attrs)
+            )
+        })
+        .collect();
+    path_lines.sort();
+    for l in node_lines.iter().chain(&edge_lines).chain(&path_lines) {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+/// A table rendered as its column header plus canonically sorted rows.
+pub fn canon_table(t: &Table) -> String {
+    let mut rows: Vec<String> = t
+        .rows()
+        .iter()
+        .map(|r| {
+            let cells: Vec<String> = r.iter().map(canon_value).collect();
+            cells.join(" | ")
+        })
+        .collect();
+    rows.sort();
+    format!("cols={:?}\n{}", t.columns(), rows.join("\n"))
+}
+
+/// Canonical rendering of one statement outcome.
+pub fn canon_result(r: &Result<QueryOutput, EngineError>, watermark: u64) -> String {
+    match r {
+        Ok(QueryOutput::Graph(g)) => format!("GRAPH\n{}", canon_graph(g, watermark)),
+        Ok(QueryOutput::Table(t)) => format!("TABLE\n{}", canon_table(t)),
+        Err(e) => format!("ERR {e:?}"),
+    }
+}

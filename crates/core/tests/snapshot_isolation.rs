@@ -183,7 +183,7 @@ fn same_snapshot_reuses_condensation() {
 
     let g1 = exec.query_graph(REACH).unwrap();
     assert_eq!(g1.node_count(), 3); // knows* reaches Ann herself too
-    let (h0, m0) = exec.snapshot().scc_cache_stats();
+    let (h0, m0, _) = exec.snapshot().scc_cache_stats();
     assert_eq!(h0, 0, "first condensation cannot hit");
     assert!(m0 > 0, "first condensation must populate the cache");
 
@@ -191,7 +191,7 @@ fn same_snapshot_reuses_condensation() {
     // source's destination set is served from the cache.
     let g2 = exec.query_graph(REACH).unwrap();
     assert_eq!(g1, g2);
-    let (h1, m1) = exec.snapshot().scc_cache_stats();
+    let (h1, m1, _) = exec.snapshot().scc_cache_stats();
     assert!(h1 > h0, "repeat query must hit the condensation cache");
     assert_eq!(m1, m0, "repeat query must not re-condense");
 }
@@ -202,13 +202,13 @@ fn distinct_nfa_misses_even_on_same_snapshot() {
     let exec = engine.executor();
 
     exec.query_graph(REACH).unwrap();
-    let (_, m0) = exec.snapshot().scc_cache_stats();
+    let (_, m0, _) = exec.snapshot().scc_cache_stats();
 
     // A single :knows hop is a structurally different automaton: same
     // graph, same source, but its closure is cached under its own key.
     let g = exec.query_graph(REACH_ONE).unwrap();
     assert_eq!(g.node_count(), 1); // exactly Bob — no star, no empty walk
-    let (h1, m1) = exec.snapshot().scc_cache_stats();
+    let (h1, m1, _) = exec.snapshot().scc_cache_stats();
     assert!(m1 > m0, "distinct NFA must miss");
     assert_eq!(h1, 0);
 }
@@ -219,7 +219,7 @@ fn epoch_bump_starts_a_fresh_cache() {
     let old = engine.executor();
     old.query_graph(REACH).unwrap();
     old.query_graph(REACH).unwrap();
-    let (old_hits, old_misses) = old.snapshot().scc_cache_stats();
+    let (old_hits, old_misses, _) = old.snapshot().scc_cache_stats();
     assert!(old_hits > 0 && old_misses > 0);
 
     // Any committed write bumps the epoch; the next snapshot carries an
@@ -232,10 +232,10 @@ fn epoch_bump_starts_a_fresh_cache() {
 
     let new = engine.executor();
     assert!(new.epoch() > old.epoch());
-    assert_eq!(new.snapshot().scc_cache_stats(), (0, 0));
+    assert_eq!(new.snapshot().scc_cache_stats(), (0, 0, 0));
     let g = new.query_graph(REACH).unwrap();
     assert_eq!(g.node_count(), 2); // the new Ann reaches herself and Yan
-    let (h, m) = new.snapshot().scc_cache_stats();
+    let (h, m, _) = new.snapshot().scc_cache_stats();
     assert_eq!(h, 0, "nothing from the old snapshot may be reused");
     assert!(m > 0);
 

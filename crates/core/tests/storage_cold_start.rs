@@ -1,0 +1,181 @@
+//! Storage cold-start differential suite: an engine reloaded from a
+//! `gcore-store` backend must answer the paper's §3/§5 corpus — and an
+//! SNB-1000 workload — canonically identically to the in-memory engine
+//! it was saved from.
+//!
+//! Comparison uses the same canonicalizer as the concurrency suite
+//! (`common/mod.rs`): the reloaded engine's identifier generator
+//! restarts at the stored watermark, so statement evaluation draws
+//! different (but order-isomorphic) fresh identifiers; renumbering
+//! above a *shared* watermark absorbs exactly that. Shared identities
+//! (the stored graphs' elements) must match raw.
+
+mod common;
+
+use common::{canon_result, corpus_texts, prepared_engine};
+use gcore::Engine;
+use gcore_repro::corpus;
+use gcore_snb::{generate, SnbConfig};
+use gcore_store::{DirBackend, MemBackend, StorageBackend};
+
+/// A unique scratch directory removed on drop (std-only tempdir).
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gcore-cold-start-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Run every statement sequentially and canonicalize with `watermark`.
+fn run_canon(engine: &mut Engine, texts: &[&str], watermark: u64) -> Vec<String> {
+    texts
+        .iter()
+        .map(|t| canon_result(&engine.run(t), watermark))
+        .collect()
+}
+
+/// The cold-start differential itself, against any backend: save the
+/// prepared guided-tour engine, reload it, and replay the full corpus
+/// on both. The watermark is the *reloaded* engine's generator start —
+/// it sits above every stored identity on both sides and below every
+/// fresh identifier either engine draws, so one value canonicalizes
+/// both runs.
+fn corpus_cold_start_matches(backend: &dyn StorageBackend) {
+    let mut warm = prepared_engine();
+    warm.save_to(backend).expect("save");
+    let mut cold = Engine::open_from(backend).expect("open");
+
+    // Same graphs, same default, identical stored content.
+    assert_eq!(cold.catalog().graph_names(), warm.catalog().graph_names());
+    assert_eq!(
+        cold.catalog().default_graph_name(),
+        warm.catalog().default_graph_name()
+    );
+    for name in warm.catalog().graph_names() {
+        let a = warm.graph(&name).unwrap();
+        let b = cold.graph(&name).unwrap();
+        a.same_as(&b)
+            .unwrap_or_else(|d| panic!("graph {name}: {d}"));
+    }
+
+    let watermark = cold.catalog().ids().peek();
+    assert!(
+        watermark <= warm.catalog().ids().peek(),
+        "reload can only rewind the generator, never advance it"
+    );
+
+    let texts = corpus_texts();
+    let reference = run_canon(&mut warm, &texts, watermark);
+    let reloaded = run_canon(&mut cold, &texts, watermark);
+    for (i, (a, b)) in reference.iter().zip(&reloaded).enumerate() {
+        assert_eq!(
+            a,
+            b,
+            "corpus statement {i} ({}) diverged after cold start",
+            corpus::ALL[i].id
+        );
+    }
+}
+
+#[test]
+fn corpus_cold_start_matches_in_memory_mem_backend() {
+    corpus_cold_start_matches(&MemBackend::new());
+}
+
+#[test]
+fn corpus_cold_start_matches_in_memory_dir_backend() {
+    let tmp = TempDir::new("corpus");
+    corpus_cold_start_matches(&DirBackend::new(&tmp.0).unwrap());
+}
+
+/// SNB-1000: persist the generated network, cold-start from disk, and
+/// compare a mixed read workload (scans, joins, reachability, shortest
+/// paths) statement by statement.
+#[test]
+fn snb_1000_cold_start_serves_identical_results() {
+    const SNB_QUERIES: &[&str] = &[
+        "SELECT n.personId AS id, n.firstName AS name MATCH (n:Person) WHERE n.personId < 40",
+        "CONSTRUCT (n)-[e]->(m) MATCH (n:Person)-[e:knows]->(m:Person) WHERE n.personId < 30",
+        "CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person) WHERE n.personId = 0",
+        "CONSTRUCT (n)-/@p:sp/->(m) \
+         MATCH (n:Person)-/p <:knows*>/->(m:Person) WHERE n.personId = 1",
+        "CONSTRUCT (t) MATCH (n:Person)-[:hasInterest]->(t:Tag) WHERE n.personId < 25",
+    ];
+
+    let mut warm = Engine::new();
+    let data = generate(&SnbConfig::scale(1000), &warm.catalog().ids().clone());
+    warm.register_graph("snb", data.graph);
+    warm.set_default_graph("snb");
+
+    let tmp = TempDir::new("snb1000");
+    let backend = DirBackend::new(&tmp.0).unwrap();
+    warm.save_to(&backend).expect("save snb");
+    let mut cold = Engine::open_from(&backend).expect("open snb");
+
+    warm.graph("snb")
+        .unwrap()
+        .same_as(&cold.graph("snb").unwrap())
+        .expect("stored SNB graph identical");
+
+    let watermark = cold.catalog().ids().peek();
+    let reference = run_canon(&mut warm, SNB_QUERIES, watermark);
+    let reloaded = run_canon(&mut cold, SNB_QUERIES, watermark);
+    for (i, (a, b)) in reference.iter().zip(&reloaded).enumerate() {
+        assert_eq!(a, b, "SNB statement {i} diverged after cold start");
+    }
+}
+
+/// Saving twice from independently reconstructed engines produces
+/// byte-identical stores — the writer-determinism guarantee, observed
+/// end to end through the engine API.
+#[test]
+fn independent_saves_are_byte_identical() {
+    let a = MemBackend::new();
+    let b = MemBackend::new();
+    prepared_engine().save_to(&a).unwrap();
+    prepared_engine().save_to(&b).unwrap();
+    let keys = a.list().unwrap();
+    assert_eq!(keys, b.list().unwrap());
+    assert!(!keys.is_empty());
+    for key in keys {
+        assert_eq!(
+            a.get_bytes(&key).unwrap(),
+            b.get_bytes(&key).unwrap(),
+            "object {key} differs between independent saves"
+        );
+    }
+}
+
+/// Save → reload → save again: the second store equals the first
+/// (stability under a full round trip).
+#[test]
+fn save_reload_save_is_stable() {
+    let first = MemBackend::new();
+    prepared_engine().save_to(&first).unwrap();
+    let reloaded = Engine::open_from(&first).unwrap();
+    let second = MemBackend::new();
+    reloaded.save_to(&second).unwrap();
+    assert_eq!(first.list().unwrap(), second.list().unwrap());
+    for key in first.list().unwrap() {
+        assert_eq!(
+            first.get_bytes(&key).unwrap(),
+            second.get_bytes(&key).unwrap(),
+            "object {key} changed across a reload cycle"
+        );
+    }
+}

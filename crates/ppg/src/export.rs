@@ -3,9 +3,72 @@
 //! The text dump lists every element sorted by identifier with its labels
 //! and properties; integration tests compare these dumps against the
 //! graphs printed in the paper's figures.
+//!
+//! Both exports — and the binary snapshot writer in `gcore-store` —
+//! iterate elements through one shared helper, [`sorted_elements`], so
+//! every serialization of a graph agrees on the **canonical element
+//! order**: nodes first, then edges, then paths, each sorted ascending
+//! by identifier.
 
-use crate::graph::{Attributes, PathPropertyGraph};
+use crate::graph::{Attributes, EdgeData, NodeData, PathData, PathPropertyGraph};
+use crate::ids::{EdgeId, NodeId, PathId};
 use std::fmt::Write as _;
+
+/// A borrowed view of one graph element, yielded by [`sorted_elements`]
+/// in the canonical export order.
+#[derive(Clone, Copy, Debug)]
+pub enum ElementRef<'g> {
+    /// A node and its payload.
+    Node(NodeId, &'g NodeData),
+    /// An edge and its payload.
+    Edge(EdgeId, &'g EdgeData),
+    /// A stored path and its payload.
+    Path(PathId, &'g PathData),
+}
+
+/// Iterate every element of `g` in the canonical export order: all
+/// nodes, then all edges, then all paths, each group sorted ascending
+/// by identifier.
+///
+/// This is the single definition of "element order" shared by
+/// [`to_text`], [`to_dot`] and the binary graph writer in the
+/// `gcore-store` crate — so the human-readable dump and the on-disk
+/// snapshot of one graph always list elements identically.
+///
+/// ```
+/// use gcore_ppg::export::{sorted_elements, ElementRef};
+/// use gcore_ppg::{Attributes, NodeId, EdgeId, PathPropertyGraph};
+///
+/// let mut g = PathPropertyGraph::new();
+/// g.add_node(NodeId(2), Attributes::labeled("Person"));
+/// g.add_node(NodeId(1), Attributes::labeled("Person"));
+/// g.add_edge(EdgeId(5), NodeId(1), NodeId(2), Attributes::labeled("knows"))
+///     .unwrap();
+///
+/// let order: Vec<String> = sorted_elements(&g)
+///     .map(|el| match el {
+///         ElementRef::Node(id, _) => id.to_string(),
+///         ElementRef::Edge(id, _) => id.to_string(),
+///         ElementRef::Path(id, _) => id.to_string(),
+///     })
+///     .collect();
+/// assert_eq!(order, ["#n1", "#n2", "#e5"]);
+/// ```
+pub fn sorted_elements(g: &PathPropertyGraph) -> impl Iterator<Item = ElementRef<'_>> {
+    let nodes = g
+        .node_ids_sorted()
+        .into_iter()
+        .map(move |id| ElementRef::Node(id, g.node(id).expect("listed id")));
+    let edges = g
+        .edge_ids_sorted()
+        .into_iter()
+        .map(move |id| ElementRef::Edge(id, g.edge(id).expect("listed id")));
+    let paths = g
+        .path_ids_sorted()
+        .into_iter()
+        .map(move |id| ElementRef::Path(id, g.path(id).expect("listed id")));
+    nodes.chain(edges).chain(paths)
+}
 
 fn attrs_inline(attrs: &Attributes) -> String {
     let mut out = String::new();
@@ -31,7 +94,18 @@ fn attrs_inline(attrs: &Attributes) -> String {
     out
 }
 
-/// A deterministic, line-per-element dump of the whole graph.
+/// A deterministic, line-per-element dump of the whole graph, in the
+/// canonical order of [`sorted_elements`].
+///
+/// ```
+/// use gcore_ppg::{to_text, Attributes, NodeId, PathPropertyGraph};
+///
+/// let mut g = PathPropertyGraph::new();
+/// g.add_node(NodeId(1), Attributes::labeled("Person").with_prop("name", "Ann"));
+/// let dump = to_text(&g);
+/// assert!(dump.starts_with("graph: 1 nodes, 0 edges, 0 paths"));
+/// assert!(dump.contains("node #n1 :Person {name: Ann}"));
+/// ```
 pub fn to_text(g: &PathPropertyGraph) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -41,61 +115,74 @@ pub fn to_text(g: &PathPropertyGraph) -> String {
         g.edge_count(),
         g.path_count()
     );
-    for id in g.node_ids_sorted() {
-        let n = g.node(id).expect("listed id");
-        let _ = writeln!(out, "node {id} {}", attrs_inline(&n.attrs));
-    }
-    for id in g.edge_ids_sorted() {
-        let e = g.edge(id).expect("listed id");
-        let _ = writeln!(
-            out,
-            "edge {id} {} -> {} {}",
-            e.src,
-            e.dst,
-            attrs_inline(&e.attrs)
-        );
-    }
-    for id in g.path_ids_sorted() {
-        let p = g.path(id).expect("listed id");
-        let _ = writeln!(out, "path {id} {} {}", p.shape, attrs_inline(&p.attrs));
+    for el in sorted_elements(g) {
+        match el {
+            ElementRef::Node(id, n) => {
+                let _ = writeln!(out, "node {id} {}", attrs_inline(&n.attrs));
+            }
+            ElementRef::Edge(id, e) => {
+                let _ = writeln!(
+                    out,
+                    "edge {id} {} -> {} {}",
+                    e.src,
+                    e.dst,
+                    attrs_inline(&e.attrs)
+                );
+            }
+            ElementRef::Path(id, p) => {
+                let _ = writeln!(out, "path {id} {} {}", p.shape, attrs_inline(&p.attrs));
+            }
+        }
     }
     out
 }
 
-/// Graphviz DOT rendering. Stored paths are drawn as label comments since
+/// Graphviz DOT rendering, in the canonical order of
+/// [`sorted_elements`]. Stored paths are drawn as label comments since
 /// DOT has no native path concept.
+///
+/// ```
+/// use gcore_ppg::{to_dot, Attributes, NodeId, PathPropertyGraph};
+///
+/// let mut g = PathPropertyGraph::new();
+/// g.add_node(NodeId(1), Attributes::labeled("Person"));
+/// let dot = to_dot(&g, "people");
+/// assert!(dot.starts_with("digraph \"people\" {"));
+/// assert!(dot.contains("n1 [label=\"#n1\\n:Person\"];"));
+/// ```
 pub fn to_dot(g: &PathPropertyGraph, name: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{name}\" {{");
     let _ = writeln!(out, "  node [shape=box, fontsize=10];");
-    for id in g.node_ids_sorted() {
-        let n = g.node(id).expect("listed id");
-        let _ = writeln!(
-            out,
-            "  n{} [label=\"{}\\n{}\"];",
-            id.raw(),
-            id,
-            escape(&attrs_inline(&n.attrs))
-        );
-    }
-    for id in g.edge_ids_sorted() {
-        let e = g.edge(id).expect("listed id");
-        let _ = writeln!(
-            out,
-            "  n{} -> n{} [label=\"{}\"];",
-            e.src.raw(),
-            e.dst.raw(),
-            escape(&attrs_inline(&e.attrs))
-        );
-    }
-    for id in g.path_ids_sorted() {
-        let p = g.path(id).expect("listed id");
-        let _ = writeln!(
-            out,
-            "  // stored path {id}: {} {}",
-            p.shape,
-            attrs_inline(&p.attrs)
-        );
+    for el in sorted_elements(g) {
+        match el {
+            ElementRef::Node(id, n) => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [label=\"{}\\n{}\"];",
+                    id.raw(),
+                    id,
+                    escape(&attrs_inline(&n.attrs))
+                );
+            }
+            ElementRef::Edge(_, e) => {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [label=\"{}\"];",
+                    e.src.raw(),
+                    e.dst.raw(),
+                    escape(&attrs_inline(&e.attrs))
+                );
+            }
+            ElementRef::Path(id, p) => {
+                let _ = writeln!(
+                    out,
+                    "  // stored path {id}: {} {}",
+                    p.shape,
+                    attrs_inline(&p.attrs)
+                );
+            }
+        }
     }
     let _ = writeln!(out, "}}");
     out
@@ -161,5 +248,25 @@ mod tests {
         g.add_node(NodeId(1), Attributes::new().with_prop("q", "say \"hi\""));
         let d = to_dot(&g, "g");
         assert!(d.contains("\\\"hi\\\""));
+    }
+
+    #[test]
+    fn sorted_elements_yields_nodes_edges_paths_in_id_order() {
+        let g = sample();
+        let kinds: Vec<&'static str> = sorted_elements(&g)
+            .map(|el| match el {
+                ElementRef::Node(..) => "n",
+                ElementRef::Edge(..) => "e",
+                ElementRef::Path(..) => "p",
+            })
+            .collect();
+        assert_eq!(kinds, ["n", "n", "e", "p"]);
+        let node_ids: Vec<NodeId> = sorted_elements(&g)
+            .filter_map(|el| match el {
+                ElementRef::Node(id, _) => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(node_ids, [NodeId(1), NodeId(2)]);
     }
 }

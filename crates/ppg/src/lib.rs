@@ -47,7 +47,7 @@ pub mod value;
 pub use builder::GraphBuilder;
 pub use catalog::{Catalog, CatalogError};
 pub use error::GraphError;
-pub use export::{to_dot, to_text};
+pub use export::{sorted_elements, to_dot, to_text, ElementRef};
 pub use graph::{Attributes, EdgeData, NodeData, PathData, PathPropertyGraph};
 pub use ids::{EdgeId, ElementId, ElementSort, IdGen, NodeId, PathId};
 pub use intern::ValueInterner;

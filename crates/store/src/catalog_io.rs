@@ -1,0 +1,338 @@
+//! Catalog-level persistence: the manifest object plus
+//! [`save_catalog`] / [`load_catalog`].
+//!
+//! The manifest is a tiny checksummed blob recording the set of
+//! persisted graph and table names plus the default-graph name; it is
+//! written *after* every graph/table object, so a load that finds the
+//! manifest finds every object it names (the
+//! [`DirBackend`](crate::DirBackend) rename makes each object write
+//! atomic, and a crash between objects leaves the previous manifest
+//! pointing at the previous, complete set).
+
+use crate::backend::{graph_key, table_key, StorageBackend, MANIFEST_KEY};
+use crate::error::StoreError;
+use crate::format::fnv1a64;
+use gcore_ppg::Catalog;
+
+const MANIFEST_MAGIC: [u8; 8] = *b"GCOREMAN";
+const MANIFEST_VERSION: u32 = 1;
+
+/// The decoded manifest: which graphs a store holds and which one is
+/// the default.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Manifest {
+    /// Sorted names of every persisted graph.
+    pub graphs: Vec<String>,
+    /// Sorted names of every persisted table (§5 named inputs).
+    pub tables: Vec<String>,
+    /// The default graph, if one was set when saving.
+    pub default_graph: Option<String>,
+}
+
+impl Manifest {
+    /// Serialize: magic, version, then a checksummed payload of the
+    /// graph- and table-name lists and the optional default name.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(self.graphs.len() as u32).to_le_bytes());
+        for name in &self.graphs {
+            payload.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            payload.extend_from_slice(name.as_bytes());
+        }
+        payload.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
+        for name in &self.tables {
+            payload.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            payload.extend_from_slice(name.as_bytes());
+        }
+        match &self.default_graph {
+            Some(name) => {
+                payload.push(1);
+                payload.extend_from_slice(&(name.len() as u32).to_le_bytes());
+                payload.extend_from_slice(name.as_bytes());
+            }
+            None => payload.push(0),
+        }
+        let mut out = Vec::with_capacity(MANIFEST_MAGIC.len() + 12 + payload.len() + 8);
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out
+    }
+
+    /// Parse and validate a manifest blob.
+    pub fn decode(bytes: &[u8]) -> Result<Manifest, StoreError> {
+        let take = |at: usize, n: usize| -> Result<&[u8], StoreError> {
+            bytes.get(at..at + n).ok_or(StoreError::Truncated)
+        };
+        if take(0, 8)? != MANIFEST_MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = u32::from_le_bytes(take(8, 4)?.try_into().unwrap());
+        if version != MANIFEST_VERSION {
+            return Err(StoreError::BadVersion(version));
+        }
+        let len = u64::from_le_bytes(take(12, 8)?.try_into().unwrap()) as usize;
+        let payload = take(20, len)?;
+        let checksum = u64::from_le_bytes(take(20 + len, 8)?.try_into().unwrap());
+        if 20 + len + 8 != bytes.len() {
+            return Err(StoreError::Corrupt("trailing bytes in manifest".into()));
+        }
+        if checksum != fnv1a64(payload) {
+            return Err(StoreError::ChecksumMismatch {
+                section: "manifest",
+            });
+        }
+
+        let mut pos = 0usize;
+        let read_str = |pos: &mut usize| -> Result<String, StoreError> {
+            let n = u32::from_le_bytes(
+                payload
+                    .get(*pos..*pos + 4)
+                    .ok_or(StoreError::Truncated)?
+                    .try_into()
+                    .unwrap(),
+            ) as usize;
+            *pos += 4;
+            let s = payload.get(*pos..*pos + n).ok_or(StoreError::Truncated)?;
+            *pos += n;
+            String::from_utf8(s.to_vec())
+                .map_err(|_| StoreError::Corrupt("manifest name is not UTF-8".into()))
+        };
+        let count = u32::from_le_bytes(
+            payload
+                .get(pos..pos + 4)
+                .ok_or(StoreError::Truncated)?
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        pos += 4;
+        let mut graphs = Vec::with_capacity(count);
+        for _ in 0..count {
+            graphs.push(read_str(&mut pos)?);
+        }
+        let tcount = u32::from_le_bytes(
+            payload
+                .get(pos..pos + 4)
+                .ok_or(StoreError::Truncated)?
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        pos += 4;
+        let mut tables = Vec::with_capacity(tcount);
+        for _ in 0..tcount {
+            tables.push(read_str(&mut pos)?);
+        }
+        let default_graph = match payload.get(pos).ok_or(StoreError::Truncated)? {
+            0 => {
+                pos += 1;
+                None
+            }
+            1 => {
+                pos += 1;
+                Some(read_str(&mut pos)?)
+            }
+            b => return Err(StoreError::Corrupt(format!("bad default-graph tag {b}"))),
+        };
+        if pos != payload.len() {
+            return Err(StoreError::Corrupt(
+                "trailing bytes in manifest payload".into(),
+            ));
+        }
+        Ok(Manifest {
+            graphs,
+            tables,
+            default_graph,
+        })
+    }
+}
+
+/// Persist every graph and table registered in `catalog` (plus the
+/// default-graph name) into `backend`, then write the manifest.
+/// Objects that a previous save left behind but that are no longer in
+/// the catalog are deleted afterwards, so the store always converges
+/// to exactly the catalog's state.
+pub fn save_catalog(catalog: &Catalog, backend: &dyn StorageBackend) -> Result<(), StoreError> {
+    let names = catalog.graph_names();
+    for name in &names {
+        let graph = catalog
+            .graph(name)
+            .expect("graph_names lists registered graphs");
+        backend.put_graph(name, &graph)?;
+    }
+    let table_names = catalog.table_names();
+    for name in &table_names {
+        let table = catalog
+            .table(name)
+            .expect("table_names lists registered tables");
+        backend.put_table(name, &table)?;
+    }
+    let manifest = Manifest {
+        graphs: names.clone(),
+        tables: table_names.clone(),
+        default_graph: catalog.default_graph_name().map(str::to_owned),
+    };
+    backend.put_bytes(MANIFEST_KEY, &manifest.encode())?;
+
+    // Garbage-collect objects dropped since the previous save.
+    let mut live: Vec<String> = names.iter().map(|n| graph_key(n)).collect();
+    live.extend(table_names.iter().map(|n| table_key(n)));
+    for key in backend.list()? {
+        if (key.starts_with("graphs/") || key.starts_with("tables/")) && !live.contains(&key) {
+            backend.delete(&key)?;
+        }
+    }
+    Ok(())
+}
+
+/// Load a catalog previously written by [`save_catalog`]: read the
+/// manifest, decode every named graph and table, register them (which
+/// rebuilds label indexes and reserves the stored identifier space in
+/// the catalog's generator — skolemized identifiers minted after a
+/// cold start can never collide with stored elements), and restore the
+/// default graph.
+pub fn load_catalog(backend: &dyn StorageBackend) -> Result<Catalog, StoreError> {
+    let manifest = Manifest::decode(&backend.get_bytes(MANIFEST_KEY)?)?;
+    let mut catalog = Catalog::new();
+    for name in &manifest.graphs {
+        let graph = backend.get_graph(name)?;
+        catalog.register_graph(name.clone(), graph);
+    }
+    for name in &manifest.tables {
+        let table = backend.get_table(name)?;
+        catalog.register_table(name.clone(), table);
+    }
+    if let Some(default) = &manifest.default_graph {
+        if !catalog.has_graph(default) {
+            return Err(StoreError::Corrupt(format!(
+                "manifest default graph '{default}' is not in the store"
+            )));
+        }
+        catalog.set_default_graph(default.clone());
+    }
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use gcore_ppg::{Attributes, EdgeId, NodeId, PathPropertyGraph};
+
+    fn people() -> PathPropertyGraph {
+        let mut g = PathPropertyGraph::new();
+        g.add_node(
+            NodeId(1),
+            Attributes::labeled("Person").with_prop("name", "Ann"),
+        );
+        g.add_node(
+            NodeId(2),
+            Attributes::labeled("Person").with_prop("name", "Bob"),
+        );
+        g.add_edge(
+            EdgeId(3),
+            NodeId(1),
+            NodeId(2),
+            Attributes::labeled("knows"),
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = Manifest {
+            graphs: vec!["a".into(), "ünïcødé".into()],
+            tables: vec!["orders".into()],
+            default_graph: Some("a".into()),
+        };
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+        let none = Manifest {
+            graphs: vec![],
+            tables: vec![],
+            default_graph: None,
+        };
+        assert_eq!(Manifest::decode(&none.encode()).unwrap(), none);
+    }
+
+    #[test]
+    fn manifest_corruption_detected() {
+        let m = Manifest {
+            graphs: vec!["a".into()],
+            tables: vec![],
+            default_graph: None,
+        };
+        let clean = m.encode();
+        for i in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x40;
+            assert!(
+                Manifest::decode(&bytes).is_err() || Manifest::decode(&bytes).unwrap() != m,
+                "flipping byte {i} went unnoticed"
+            );
+        }
+        assert!(matches!(
+            Manifest::decode(&clean[..clean.len() - 1]),
+            Err(StoreError::Truncated) | Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_round_trip_with_default() {
+        use gcore_ppg::{Table, Value};
+
+        let mut catalog = Catalog::new();
+        catalog.register_graph("people", people());
+        catalog.register_graph("empty", PathPropertyGraph::new());
+        let mut orders = Table::new(vec!["customer", "total"]).unwrap();
+        orders
+            .push_row(vec![Value::str("Ann"), Value::Int(3)])
+            .unwrap();
+        catalog.register_table("orders", orders);
+        catalog.set_default_graph("people");
+
+        let backend = MemBackend::new();
+        save_catalog(&catalog, &backend).unwrap();
+        let loaded = load_catalog(&backend).unwrap();
+
+        assert_eq!(loaded.graph_names(), vec!["empty", "people"]);
+        assert_eq!(loaded.table_names(), vec!["orders"]);
+        assert_eq!(loaded.default_graph_name(), Some("people"));
+        assert_eq!(*loaded.graph("people").unwrap(), people());
+        let t = loaded.table("orders").unwrap();
+        assert_eq!(t.rows(), catalog.table("orders").unwrap().rows());
+        // Registration reserved the identifier space of stored elements.
+        assert!(loaded.ids().peek() > 3);
+        // Loaded graphs are indexed, like any registered graph.
+        assert!(loaded.graph("people").unwrap().has_label_index());
+    }
+
+    #[test]
+    fn resave_garbage_collects_dropped_graphs() {
+        let mut catalog = Catalog::new();
+        catalog.register_graph("keep", people());
+        catalog.register_graph("drop", people());
+        let backend = MemBackend::new();
+        save_catalog(&catalog, &backend).unwrap();
+        assert_eq!(backend.list().unwrap().len(), 3); // 2 graphs + manifest
+
+        catalog.unregister_graph("drop");
+        save_catalog(&catalog, &backend).unwrap();
+        assert_eq!(
+            backend.list().unwrap(),
+            vec![graph_key("keep"), MANIFEST_KEY.to_owned()]
+        );
+        let loaded = load_catalog(&backend).unwrap();
+        assert_eq!(loaded.graph_names(), vec!["keep"]);
+    }
+
+    #[test]
+    fn missing_manifest_is_a_missing_object() {
+        let backend = MemBackend::new();
+        assert!(matches!(
+            load_catalog(&backend),
+            Err(StoreError::Missing(_))
+        ));
+    }
+}

@@ -1,0 +1,820 @@
+//! The versioned binary graph format.
+//!
+//! One file holds one [`PathPropertyGraph`]. Layout (all integers
+//! little-endian, strings UTF-8 with a `u32` byte-length prefix):
+//!
+//! ```text
+//! header   magic "GCOREPPG" (8 bytes)
+//!          u32 version          — currently 1
+//!          u32 label_count      — symbols used by this graph
+//!          u32 key_count
+//!          u64 node_count
+//!          u64 edge_count
+//!          u64 path_count
+//! sections 4 × { u8 tag, u64 payload_len, payload, u64 fnv1a64(payload) }
+//!          tag 1 = symbols, 2 = nodes, 3 = edges, 4 = paths — in order
+//! ```
+//!
+//! The **symbols** payload writes each label name then each key name,
+//! sorted by name — the interned symbol table, written once; elements
+//! reference symbols by their `u32` index into these sorted lists, so
+//! files never embed process-local symbol numbers. The **nodes** /
+//! **edges** / **paths** payloads list elements in the canonical export
+//! order ([`gcore_ppg::sorted_elements`]: ascending identifier), each as
+//! its identifier(s) plus an attribute block (sorted label refs, then
+//! properties sorted by key ref, each value set in [`Value`] total
+//! order — exactly the order [`gcore_ppg::PropertySet`] stores).
+//!
+//! Together these rules make the writer **deterministic**: two equal
+//! graphs (`==` on `PathPropertyGraph`) encode to byte-identical files
+//! in any process, regardless of interner state or insertion order.
+//!
+//! The format is self-contained and append-free by design — the seam
+//! for future backends (mmap readers, sharded section files, remote
+//! object stores) without touching the data model.
+
+use crate::error::StoreError;
+use gcore_ppg::export::ElementRef;
+use gcore_ppg::{
+    sorted_elements, Attributes, Date, Key, Label, PathPropertyGraph, PathShape, PropertySet,
+    Table, Value,
+};
+use std::collections::BTreeMap;
+
+/// The 8-byte magic every graph file starts with.
+pub const MAGIC: [u8; 8] = *b"GCOREPPG";
+
+/// The 8-byte magic every table file starts with.
+pub const TABLE_MAGIC: [u8; 8] = *b"GCORETBL";
+
+/// The format version this build writes (and the only one it reads).
+pub const FORMAT_VERSION: u32 = 1;
+
+const TAG_SYMBOLS: u8 = 1;
+const TAG_NODES: u8 = 2;
+const TAG_EDGES: u8 = 3;
+const TAG_PATHS: u8 = 4;
+
+const VALUE_BOOL: u8 = 0;
+const VALUE_INT: u8 = 1;
+const VALUE_FLOAT: u8 = 2;
+const VALUE_STR: u8 = 3;
+const VALUE_DATE: u8 = 4;
+
+// ---------------------------------------------------------------------
+// Checksum
+// ---------------------------------------------------------------------
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and plenty to catch the
+/// torn/overwritten/bit-rotted payloads a storage layer must detect
+/// (this is an integrity check, not a cryptographic one). Shared with
+/// the manifest codec in `catalog_io`.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------
+// Primitive writers/readers
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked sequential reader over a byte slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self.pos.checked_add(n).ok_or(StoreError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(StoreError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, StoreError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<&'a str, StoreError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| StoreError::Corrupt("string is not valid UTF-8".into()))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Symbol table
+// ---------------------------------------------------------------------
+
+/// The file-local symbol table: labels and keys used by one graph,
+/// sorted by name so that local indexes are process-independent.
+struct SymbolTable {
+    labels: Vec<String>,
+    keys: Vec<String>,
+    label_index: BTreeMap<Label, u32>,
+    key_index: BTreeMap<Key, u32>,
+}
+
+impl SymbolTable {
+    fn collect(g: &PathPropertyGraph) -> Self {
+        let mut label_names: BTreeMap<String, Label> = BTreeMap::new();
+        let mut key_names: BTreeMap<String, Key> = BTreeMap::new();
+        let mut visit = |attrs: &Attributes| {
+            for l in attrs.labels.iter() {
+                label_names.entry(l.name()).or_insert(l);
+            }
+            for k in attrs.properties.keys() {
+                key_names.entry(k.name()).or_insert(*k);
+            }
+        };
+        for el in sorted_elements(g) {
+            match el {
+                ElementRef::Node(_, d) => visit(&d.attrs),
+                ElementRef::Edge(_, d) => visit(&d.attrs),
+                ElementRef::Path(_, d) => visit(&d.attrs),
+            }
+        }
+        let mut label_index = BTreeMap::new();
+        let labels: Vec<String> = label_names
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, sym))| {
+                label_index.insert(sym, i as u32);
+                name
+            })
+            .collect();
+        let mut key_index = BTreeMap::new();
+        let keys: Vec<String> = key_names
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, sym))| {
+                key_index.insert(sym, i as u32);
+                name
+            })
+            .collect();
+        SymbolTable {
+            labels,
+            keys,
+            label_index,
+            key_index,
+        }
+    }
+
+    fn label_ref(&self, l: Label) -> u32 {
+        self.label_index[&l]
+    }
+
+    fn key_ref(&self, k: Key) -> u32 {
+        self.key_index[&k]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Tag for `Value::Null`, legal only in table cells (property sets
+/// never store Null — absence and ∅ coincide, §2).
+const VALUE_NULL: u8 = 5;
+
+fn encode_value(out: &mut Vec<u8>, v: &Value) -> Result<(), StoreError> {
+    match v {
+        Value::Bool(b) => {
+            out.push(VALUE_BOOL);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(VALUE_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(VALUE_FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(VALUE_STR);
+            put_str(out, s);
+        }
+        Value::Date(d) => {
+            out.push(VALUE_DATE);
+            out.extend_from_slice(&d.year.to_le_bytes());
+            out.push(d.month);
+            out.push(d.day);
+        }
+        // Property sets never store Null (absence and ∅ coincide, §2).
+        Value::Null => {
+            return Err(StoreError::Corrupt(
+                "Null cannot be stored in a property set".into(),
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn encode_attrs(
+    out: &mut Vec<u8>,
+    attrs: &Attributes,
+    symbols: &SymbolTable,
+) -> Result<(), StoreError> {
+    let mut label_refs: Vec<u32> = attrs.labels.iter().map(|l| symbols.label_ref(l)).collect();
+    label_refs.sort_unstable();
+    put_u32(out, label_refs.len() as u32);
+    for r in label_refs {
+        put_u32(out, r);
+    }
+    // Properties sorted by local key ref (= key-name order), values in
+    // PropertySet's stored order (Value total order) — both
+    // content-determined, never process-determined.
+    let mut props: Vec<(u32, &PropertySet)> = attrs
+        .properties
+        .iter()
+        .map(|(k, vs)| (symbols.key_ref(*k), vs))
+        .collect();
+    props.sort_unstable_by_key(|(r, _)| *r);
+    put_u32(out, props.len() as u32);
+    for (key_ref, values) in props {
+        put_u32(out, key_ref);
+        put_u32(out, values.len() as u32);
+        for v in values.iter() {
+            encode_value(out, v)?;
+        }
+    }
+    Ok(())
+}
+
+fn put_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    out.push(tag);
+    put_u64(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    put_u64(out, fnv1a64(payload));
+}
+
+/// Encode `g` into the versioned binary format.
+///
+/// Deterministic: equal graphs yield byte-identical output — pinned by
+/// the round-trip test suite and relied on by content-addressed and
+/// diff-friendly storage.
+pub fn encode_graph(g: &PathPropertyGraph) -> Result<Vec<u8>, StoreError> {
+    let symbols = SymbolTable::collect(g);
+
+    let mut sym_payload = Vec::new();
+    for name in &symbols.labels {
+        put_str(&mut sym_payload, name);
+    }
+    for name in &symbols.keys {
+        put_str(&mut sym_payload, name);
+    }
+
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    let mut paths = Vec::new();
+    for el in sorted_elements(g) {
+        match el {
+            ElementRef::Node(id, d) => {
+                put_u64(&mut nodes, id.raw());
+                encode_attrs(&mut nodes, &d.attrs, &symbols)?;
+            }
+            ElementRef::Edge(id, d) => {
+                put_u64(&mut edges, id.raw());
+                put_u64(&mut edges, d.src.raw());
+                put_u64(&mut edges, d.dst.raw());
+                encode_attrs(&mut edges, &d.attrs, &symbols)?;
+            }
+            ElementRef::Path(id, d) => {
+                put_u64(&mut paths, id.raw());
+                put_u32(&mut paths, d.shape.nodes().len() as u32);
+                for n in d.shape.nodes() {
+                    put_u64(&mut paths, n.raw());
+                }
+                for e in d.shape.edges() {
+                    put_u64(&mut paths, e.raw());
+                }
+                encode_attrs(&mut paths, &d.attrs, &symbols)?;
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(
+        MAGIC.len() + 36 + sym_payload.len() + nodes.len() + edges.len() + paths.len() + 4 * 17,
+    );
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    put_u32(&mut out, symbols.labels.len() as u32);
+    put_u32(&mut out, symbols.keys.len() as u32);
+    put_u64(&mut out, g.node_count() as u64);
+    put_u64(&mut out, g.edge_count() as u64);
+    put_u64(&mut out, g.path_count() as u64);
+    put_section(&mut out, TAG_SYMBOLS, &sym_payload);
+    put_section(&mut out, TAG_NODES, &nodes);
+    put_section(&mut out, TAG_EDGES, &edges);
+    put_section(&mut out, TAG_PATHS, &paths);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+fn decode_value(cur: &mut Cursor<'_>) -> Result<Value, StoreError> {
+    match cur.u8()? {
+        VALUE_BOOL => match cur.u8()? {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            b => Err(StoreError::Corrupt(format!("bad bool byte {b}"))),
+        },
+        VALUE_INT => Ok(Value::Int(cur.i64()?)),
+        VALUE_FLOAT => Ok(Value::Float(f64::from_bits(cur.u64()?))),
+        VALUE_STR => Ok(Value::Str(cur.str()?.to_owned())),
+        VALUE_DATE => {
+            let year = i32::from_le_bytes(cur.take(4)?.try_into().unwrap());
+            let month = cur.u8()?;
+            let day = cur.u8()?;
+            Date::new(year, month, day).map(Value::Date).ok_or_else(|| {
+                StoreError::Corrupt(format!("invalid date {year:04}-{month:02}-{day:02}"))
+            })
+        }
+        tag => Err(StoreError::Corrupt(format!("unknown value tag {tag}"))),
+    }
+}
+
+fn decode_attrs(
+    cur: &mut Cursor<'_>,
+    labels: &[Label],
+    keys: &[Key],
+) -> Result<Attributes, StoreError> {
+    let mut attrs = Attributes::new();
+    let nlabels = cur.u32()? as usize;
+    for _ in 0..nlabels {
+        let r = cur.u32()? as usize;
+        let label = *labels
+            .get(r)
+            .ok_or_else(|| StoreError::Corrupt(format!("label ref {r} out of range")))?;
+        attrs.labels.insert(label);
+    }
+    let nprops = cur.u32()? as usize;
+    for _ in 0..nprops {
+        let r = cur.u32()? as usize;
+        let key = *keys
+            .get(r)
+            .ok_or_else(|| StoreError::Corrupt(format!("key ref {r} out of range")))?;
+        let nvalues = cur.u32()? as usize;
+        let mut set = PropertySet::empty();
+        for _ in 0..nvalues {
+            set.insert(decode_value(cur)?);
+        }
+        attrs.set_prop(key, set);
+    }
+    Ok(attrs)
+}
+
+/// Read one section envelope: expect `tag`, verify the checksum, return
+/// the payload slice.
+fn read_section<'a>(
+    cur: &mut Cursor<'a>,
+    tag: u8,
+    name: &'static str,
+) -> Result<&'a [u8], StoreError> {
+    let actual = cur.u8()?;
+    if actual != tag {
+        return Err(StoreError::Corrupt(format!(
+            "expected section tag {tag} ({name}), found {actual}"
+        )));
+    }
+    let len = cur.u64()? as usize;
+    let payload = cur.take(len)?;
+    let checksum = cur.u64()?;
+    if checksum != fnv1a64(payload) {
+        return Err(StoreError::ChecksumMismatch { section: name });
+    }
+    Ok(payload)
+}
+
+/// Decode a graph previously produced by [`encode_graph`].
+///
+/// Validates the magic, version, every section checksum, all symbol
+/// references and the graph's own well-formedness (edges must connect
+/// existing nodes, stored paths must be connected walks); trailing
+/// bytes after the last section are rejected. The round-trip identity
+/// `decode_graph(&encode_graph(g)?) == g` holds for every well-formed
+/// graph.
+pub fn decode_graph(bytes: &[u8]) -> Result<PathPropertyGraph, StoreError> {
+    let mut cur = Cursor::new(bytes);
+    if cur.take(MAGIC.len())? != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = cur.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::BadVersion(version));
+    }
+    let label_count = cur.u32()? as usize;
+    let key_count = cur.u32()? as usize;
+    let node_count = cur.u64()? as usize;
+    let edge_count = cur.u64()? as usize;
+    let path_count = cur.u64()? as usize;
+
+    // Symbols: re-intern into this process's tables. Counts come from
+    // the (unchecksummed) header, so preallocation is clamped by what
+    // the payload could physically hold — a corrupt count must surface
+    // as a decode error, never as a giant allocation (each entry costs
+    // at least its 4-byte length prefix).
+    let payload = read_section(&mut cur, TAG_SYMBOLS, "symbols")?;
+    let mut sym = Cursor::new(payload);
+    let mut labels = Vec::with_capacity(label_count.min(payload.len() / 4 + 1));
+    for _ in 0..label_count {
+        labels.push(Label::new(sym.str()?));
+    }
+    let mut keys = Vec::with_capacity(key_count.min(payload.len() / 4 + 1));
+    for _ in 0..key_count {
+        keys.push(Key::new(sym.str()?));
+    }
+    if !sym.is_empty() {
+        return Err(StoreError::Corrupt("trailing bytes in symbols".into()));
+    }
+
+    let mut g = PathPropertyGraph::new();
+
+    let payload = read_section(&mut cur, TAG_NODES, "nodes")?;
+    let mut sec = Cursor::new(payload);
+    for _ in 0..node_count {
+        let id = gcore_ppg::NodeId(sec.u64()?);
+        let attrs = decode_attrs(&mut sec, &labels, &keys)?;
+        g.add_node(id, attrs);
+    }
+    if !sec.is_empty() {
+        return Err(StoreError::Corrupt("trailing bytes in nodes".into()));
+    }
+    if g.node_count() != node_count {
+        return Err(StoreError::Corrupt("duplicate node identifiers".into()));
+    }
+
+    let payload = read_section(&mut cur, TAG_EDGES, "edges")?;
+    let mut sec = Cursor::new(payload);
+    for _ in 0..edge_count {
+        let id = gcore_ppg::EdgeId(sec.u64()?);
+        let src = gcore_ppg::NodeId(sec.u64()?);
+        let dst = gcore_ppg::NodeId(sec.u64()?);
+        let attrs = decode_attrs(&mut sec, &labels, &keys)?;
+        g.add_edge(id, src, dst, attrs)?;
+    }
+    if !sec.is_empty() {
+        return Err(StoreError::Corrupt("trailing bytes in edges".into()));
+    }
+    if g.edge_count() != edge_count {
+        return Err(StoreError::Corrupt("duplicate edge identifiers".into()));
+    }
+
+    let payload = read_section(&mut cur, TAG_PATHS, "paths")?;
+    let mut sec = Cursor::new(payload);
+    for _ in 0..path_count {
+        let id = gcore_ppg::PathId(sec.u64()?);
+        let nnodes = sec.u32()? as usize;
+        if nnodes == 0 {
+            return Err(StoreError::Corrupt(format!("path {id} has no nodes")));
+        }
+        // nnodes is checksummed but still untrusted (a malicious file
+        // can carry a valid checksum): clamp by the 8 bytes each entry
+        // must occupy in what remains of the section.
+        let cap = nnodes.min(payload.len().saturating_sub(sec.pos) / 8 + 1);
+        let mut nodes = Vec::with_capacity(cap);
+        for _ in 0..nnodes {
+            nodes.push(gcore_ppg::NodeId(sec.u64()?));
+        }
+        let mut edges = Vec::with_capacity(cap.saturating_sub(1));
+        for _ in 0..nnodes - 1 {
+            edges.push(gcore_ppg::EdgeId(sec.u64()?));
+        }
+        let attrs = decode_attrs(&mut sec, &labels, &keys)?;
+        let shape = PathShape::new(nodes, edges)
+            .ok_or_else(|| StoreError::Corrupt(format!("path {id} shape is not alternating")))?;
+        g.add_path(id, shape, attrs)?;
+    }
+    if !sec.is_empty() {
+        return Err(StoreError::Corrupt("trailing bytes in paths".into()));
+    }
+    if g.path_count() != path_count {
+        return Err(StoreError::Corrupt("duplicate path identifiers".into()));
+    }
+
+    if !cur.is_empty() {
+        return Err(StoreError::Corrupt(
+            "trailing bytes after last section".into(),
+        ));
+    }
+    Ok(g)
+}
+
+// ---------------------------------------------------------------------
+// Tables (§5 named inputs)
+// ---------------------------------------------------------------------
+
+/// Encode a named value table: `TABLE_MAGIC`, version, column/row
+/// counts, then one checksummed section holding the column names and
+/// every row. Unlike property sets, table cells may hold `Null`.
+pub fn encode_table(t: &Table) -> Result<Vec<u8>, StoreError> {
+    let mut payload = Vec::new();
+    for name in t.columns() {
+        put_str(&mut payload, name);
+    }
+    for row in t.rows() {
+        for v in row {
+            match v {
+                Value::Null => payload.push(VALUE_NULL),
+                other => encode_value(&mut payload, other)?,
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(TABLE_MAGIC.len() + 24 + payload.len() + 8);
+    out.extend_from_slice(&TABLE_MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    put_u32(&mut out, t.columns().len() as u32);
+    put_u64(&mut out, t.rows().len() as u64);
+    out.extend_from_slice(&payload);
+    put_u64(&mut out, fnv1a64(&payload));
+    Ok(out)
+}
+
+/// Decode a table previously produced by [`encode_table`].
+pub fn decode_table(bytes: &[u8]) -> Result<Table, StoreError> {
+    let mut cur = Cursor::new(bytes);
+    if cur.take(TABLE_MAGIC.len())? != TABLE_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = cur.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::BadVersion(version));
+    }
+    let col_count = cur.u32()? as usize;
+    let row_count = cur.u64()? as usize;
+    let payload_len = bytes
+        .len()
+        .checked_sub(cur.pos + 8)
+        .ok_or(StoreError::Truncated)?;
+    let payload = cur.take(payload_len)?;
+    let checksum = cur.u64()?;
+    if checksum != fnv1a64(payload) {
+        return Err(StoreError::ChecksumMismatch { section: "table" });
+    }
+
+    // col_count/row_count live outside the checksummed payload: clamp
+    // preallocations by what the payload could physically hold (each
+    // column needs its 4-byte length prefix, each cell a tag byte).
+    let mut sec = Cursor::new(payload);
+    let mut columns = Vec::with_capacity(col_count.min(payload.len() / 4 + 1));
+    for _ in 0..col_count {
+        columns.push(sec.str()?.to_owned());
+    }
+    let mut table =
+        Table::new(columns).map_err(|e| StoreError::Corrupt(format!("bad table header: {e}")))?;
+    let cell_cap = col_count.min(payload.len() + 1);
+    for _ in 0..row_count {
+        let mut row = Vec::with_capacity(cell_cap);
+        for _ in 0..col_count {
+            if sec.bytes.get(sec.pos) == Some(&VALUE_NULL) {
+                sec.pos += 1;
+                row.push(Value::Null);
+            } else {
+                row.push(decode_value(&mut sec)?);
+            }
+        }
+        table
+            .push_row(row)
+            .map_err(|e| StoreError::Corrupt(format!("bad table row: {e}")))?;
+    }
+    if !sec.is_empty() {
+        return Err(StoreError::Corrupt("trailing bytes in table".into()));
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcore_ppg::{EdgeId, NodeId, PathId};
+
+    fn sample() -> PathPropertyGraph {
+        let mut g = PathPropertyGraph::new();
+        g.add_node(
+            NodeId(1),
+            Attributes::labeled("Person")
+                .with_prop("name", "Ann")
+                .with_prop_set(
+                    "employer",
+                    PropertySet::from_values([Value::str("CWI"), Value::str("MIT")]),
+                ),
+        );
+        g.add_node(NodeId(2), Attributes::labeled("Person"));
+        g.add_edge(
+            EdgeId(3),
+            NodeId(1),
+            NodeId(2),
+            Attributes::labeled("knows")
+                .with_prop("since", Value::Date(Date::new(2014, 12, 1).unwrap())),
+        )
+        .unwrap();
+        g.add_path(
+            PathId(4),
+            PathShape::new(vec![NodeId(1), NodeId(2)], vec![EdgeId(3)]).unwrap(),
+            Attributes::labeled("route").with_prop("trust", 0.95),
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn round_trip_sample() {
+        let g = sample();
+        let bytes = encode_graph(&g).unwrap();
+        let back = decode_graph(&bytes).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn round_trip_empty_graph() {
+        let g = PathPropertyGraph::new();
+        let bytes = encode_graph(&g).unwrap();
+        assert_eq!(decode_graph(&bytes).unwrap(), g);
+    }
+
+    #[test]
+    fn writer_is_deterministic_across_insertion_orders() {
+        let a = sample();
+        // Same content, different insertion order (and thus different
+        // hash-map iteration and adjacency construction order).
+        let mut b = PathPropertyGraph::new();
+        b.add_node(NodeId(2), Attributes::labeled("Person"));
+        b.add_node(
+            NodeId(1),
+            Attributes::labeled("Person")
+                .with_prop_set(
+                    "employer",
+                    PropertySet::from_values([Value::str("MIT"), Value::str("CWI")]),
+                )
+                .with_prop("name", "Ann"),
+        );
+        b.add_edge(
+            EdgeId(3),
+            NodeId(1),
+            NodeId(2),
+            Attributes::labeled("knows")
+                .with_prop("since", Value::Date(Date::new(2014, 12, 1).unwrap())),
+        )
+        .unwrap();
+        b.add_path(
+            PathId(4),
+            PathShape::new(vec![NodeId(1), NodeId(2)], vec![EdgeId(3)]).unwrap(),
+            Attributes::labeled("route").with_prop("trust", 0.95),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(encode_graph(&a).unwrap(), encode_graph(&b).unwrap());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_graph(&sample()).unwrap();
+        bytes[0] ^= 0xff;
+        assert!(matches!(decode_graph(&bytes), Err(StoreError::BadMagic)));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = encode_graph(&sample()).unwrap();
+        bytes[8] = 99;
+        assert!(matches!(
+            decode_graph(&bytes),
+            Err(StoreError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let bytes = encode_graph(&sample()).unwrap();
+        for len in 0..bytes.len() {
+            assert!(
+                decode_graph(&bytes[..len]).is_err(),
+                "prefix of {len} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_its_section_checksum() {
+        let g = sample();
+        let clean = encode_graph(&g).unwrap();
+        // Flip a byte inside the nodes section payload: locate it by
+        // walking the envelope exactly as the decoder does.
+        let sym_len_at = MAGIC.len() + 4 + 4 + 4 + 8 + 8 + 8 + 1;
+        let sym_len =
+            u64::from_le_bytes(clean[sym_len_at..sym_len_at + 8].try_into().unwrap()) as usize;
+        let nodes_payload_at = sym_len_at + 8 + sym_len + 8 + 1 + 8;
+        let mut bytes = clean.clone();
+        bytes[nodes_payload_at] ^= 0x01;
+        match decode_graph(&bytes) {
+            Err(StoreError::ChecksumMismatch { section }) => assert_eq!(section, "nodes"),
+            other => panic!("expected nodes checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode_graph(&sample()).unwrap();
+        bytes.push(0);
+        assert!(matches!(decode_graph(&bytes), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn table_round_trip_including_null_cells() {
+        let mut t = Table::new(vec!["id", "näme", "maybe"]).unwrap();
+        t.push_row(vec![Value::Int(1), Value::str("Ann"), Value::Null])
+            .unwrap();
+        t.push_row(vec![
+            Value::Float(2.5),
+            Value::str("ünïcødé 🦀"),
+            Value::Bool(true),
+        ])
+        .unwrap();
+        let bytes = encode_table(&t).unwrap();
+        let back = decode_table(&bytes).unwrap();
+        assert_eq!(back.columns(), t.columns());
+        assert_eq!(back.rows(), t.rows());
+        // Determinism + corruption detection.
+        assert_eq!(bytes, encode_table(&t).unwrap());
+        for len in 0..bytes.len() {
+            assert!(decode_table(&bytes[..len]).is_err());
+        }
+        let mut corrupt = bytes.clone();
+        let at = bytes.len() - 10;
+        corrupt[at] ^= 0x04;
+        assert!(decode_table(&corrupt).is_err());
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let t = Table::new(vec!["only"]).unwrap();
+        let back = decode_table(&encode_table(&t).unwrap()).unwrap();
+        assert_eq!(back.columns(), t.columns());
+        assert!(back.rows().is_empty());
+    }
+
+    #[test]
+    fn float_bit_patterns_survive() {
+        let mut g = PathPropertyGraph::new();
+        g.add_node(
+            NodeId(1),
+            Attributes::new()
+                .with_prop("nan", f64::NAN)
+                .with_prop("neg0", -0.0f64)
+                .with_prop("inf", f64::INFINITY),
+        );
+        let back = decode_graph(&encode_graph(&g).unwrap()).unwrap();
+        assert_eq!(back, g);
+        let nan = back.prop(NodeId(1).into(), Key::new("nan"));
+        match nan.as_singleton().unwrap() {
+            Value::Float(f) => assert!(f.is_nan()),
+            v => panic!("expected float, got {v:?}"),
+        }
+    }
+}

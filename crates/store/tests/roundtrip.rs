@@ -1,0 +1,371 @@
+//! Property tests for the binary graph format and the backends:
+//! `decode(encode(g)) == g` on random graphs (unicode labels and
+//! strings, every `Value` variant, stored paths referencing edges),
+//! writer determinism, and the filesystem backend's behavior under a
+//! real directory.
+
+use gcore_ppg::{
+    Attributes, Catalog, Date, EdgeId, NodeId, PathId, PathPropertyGraph, PathShape, PropertySet,
+    Value,
+};
+use gcore_store::{
+    decode_graph, encode_graph, load_catalog, save_catalog, DirBackend, MemBackend, StorageBackend,
+    StoreError,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Random graph generation (unicode-heavy on purpose)
+// ---------------------------------------------------------------------
+
+const LABELS: [&str; 4] = ["Person", "日本語ラベル", "Ünïcôde-ətag", "p"];
+const KEYS: [&str; 3] = ["name", "prix·€", "k2"];
+const STRINGS: [&str; 4] = ["", "Ann", "emoji 🦀 and ẞ", "line\nbreak\ttab"];
+
+#[derive(Clone, Debug)]
+enum RawValue {
+    Bool(bool),
+    Int(i64),
+    Float(u8), // index into FLOATS
+    Str(usize),
+    Date(u8), // day offset
+}
+
+const FLOATS: [f64; 5] = [0.0, -0.0, 1.5, f64::NEG_INFINITY, f64::NAN];
+
+impl RawValue {
+    fn to_value(&self) -> Value {
+        match self {
+            RawValue::Bool(b) => Value::Bool(*b),
+            RawValue::Int(i) => Value::Int(*i),
+            RawValue::Float(i) => Value::Float(FLOATS[*i as usize % FLOATS.len()]),
+            RawValue::Str(i) => Value::str(STRINGS[*i % STRINGS.len()]),
+            RawValue::Date(d) => {
+                Value::Date(Date::new(2020, 1 + (*d % 12), 1 + (*d % 28)).unwrap())
+            }
+        }
+    }
+}
+
+fn value_strategy() -> impl Strategy<Value = RawValue> {
+    prop_oneof![
+        (0usize..2).prop_map(|b| RawValue::Bool(b == 1)),
+        (-1000i64..1000).prop_map(RawValue::Int),
+        (0u64..FLOATS.len() as u64).prop_map(|i| RawValue::Float(i as u8)),
+        (0usize..STRINGS.len()).prop_map(RawValue::Str),
+        (0u64..28).prop_map(|d| RawValue::Date(d as u8)),
+    ]
+}
+
+/// One element's attributes: a label mask over `LABELS` and up to three
+/// properties, each a value set of up to three values.
+type RawAttrs = (usize, Vec<(usize, Vec<RawValue>)>);
+
+fn attrs_strategy() -> impl Strategy<Value = RawAttrs> {
+    (
+        0usize..(1 << LABELS.len()),
+        prop::collection::vec(
+            (
+                0usize..KEYS.len(),
+                prop::collection::vec(value_strategy(), 0..3),
+            ),
+            0..3,
+        ),
+    )
+}
+
+fn build_attrs(raw: &RawAttrs) -> Attributes {
+    let mut attrs = Attributes::new();
+    for (i, name) in LABELS.iter().enumerate() {
+        if raw.0 & (1 << i) != 0 {
+            attrs = attrs.with_label(name);
+        }
+    }
+    for (key_ix, values) in &raw.1 {
+        let set = PropertySet::from_values(values.iter().map(RawValue::to_value));
+        let merged = attrs.prop(gcore_ppg::Key::new(KEYS[*key_ix])).union(&set);
+        attrs.set_prop(gcore_ppg::Key::new(KEYS[*key_ix]), merged);
+    }
+    attrs
+}
+
+#[derive(Clone, Debug)]
+struct RawGraph {
+    nodes: Vec<RawAttrs>,
+    edges: Vec<(usize, usize, RawAttrs)>,
+    /// Per edge index: make a 1-edge stored path over it?
+    edge_paths: Vec<usize>,
+    /// Node indexes carrying a trivial (0-length) stored path.
+    trivial_paths: Vec<usize>,
+}
+
+fn graph_strategy() -> impl Strategy<Value = RawGraph> {
+    (0usize..7).prop_flat_map(|n| {
+        let nodes = prop::collection::vec(attrs_strategy(), n..n + 1);
+        let edges = if n == 0 {
+            prop::collection::vec((0usize..1, 0usize..1, attrs_strategy()), 0..1)
+        } else {
+            prop::collection::vec((0usize..n, 0usize..n, attrs_strategy()), 0..10)
+        };
+        let edge_paths = prop::collection::vec(0usize..10, 0..4);
+        let trivial_paths = prop::collection::vec(0usize..n.max(1), 0..2);
+        (nodes, edges, edge_paths, trivial_paths).prop_map(
+            move |(nodes, edges, edge_paths, trivial_paths)| RawGraph {
+                nodes: if n == 0 { vec![] } else { nodes },
+                edges: if n == 0 { vec![] } else { edges },
+                edge_paths,
+                trivial_paths,
+            },
+        )
+    })
+}
+
+fn build_graph(raw: &RawGraph) -> PathPropertyGraph {
+    let mut g = PathPropertyGraph::new();
+    for (i, attrs) in raw.nodes.iter().enumerate() {
+        g.add_node(NodeId(1 + i as u64), build_attrs(attrs));
+    }
+    for (i, (s, d, attrs)) in raw.edges.iter().enumerate() {
+        g.add_edge(
+            EdgeId(100 + i as u64),
+            NodeId(1 + *s as u64),
+            NodeId(1 + *d as u64),
+            build_attrs(attrs),
+        )
+        .expect("endpoints exist");
+    }
+    let mut next_path = 1000u64;
+    for &ei in &raw.edge_paths {
+        if let Some((s, d, _)) = raw.edges.get(ei) {
+            let shape = PathShape::new(
+                vec![NodeId(1 + *s as u64), NodeId(1 + *d as u64)],
+                vec![EdgeId(100 + ei as u64)],
+            )
+            .unwrap();
+            // Identical shapes re-insert fine; distinct ids keep them apart.
+            g.add_path(PathId(next_path), shape, Attributes::labeled("route"))
+                .expect("path over existing edge");
+            next_path += 1;
+        }
+    }
+    for &ni in &raw.trivial_paths {
+        if ni < raw.nodes.len() {
+            g.add_path(
+                PathId(next_path),
+                PathShape::trivial(NodeId(1 + ni as u64)),
+                Attributes::new().with_prop("why", "trivial"),
+            )
+            .expect("trivial path over existing node");
+            next_path += 1;
+        }
+    }
+    g
+}
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(192)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// The round-trip identity, on graphs drawn with unicode labels,
+    /// every `Value` variant (including NaN / −0.0 floats), multi-valued
+    /// properties and stored paths.
+    #[test]
+    fn decode_encode_is_identity(raw in graph_strategy()) {
+        let g = build_graph(&raw);
+        g.validate().expect("generated graph well-formed");
+        let bytes = encode_graph(&g).expect("encodes");
+        let back = decode_graph(&bytes).expect("decodes");
+        back.validate().expect("decoded graph well-formed");
+        prop_assert!(back == g, "round-trip changed the graph");
+    }
+
+    /// Determinism: encoding the same content twice — and encoding a
+    /// structurally equal graph rebuilt from scratch — is byte-identical.
+    #[test]
+    fn writer_is_deterministic(raw in graph_strategy()) {
+        let g = build_graph(&raw);
+        let a = encode_graph(&g).unwrap();
+        let b = encode_graph(&g).unwrap();
+        prop_assert_eq!(&a, &b);
+        let rebuilt = build_graph(&raw);
+        let c = encode_graph(&rebuilt).unwrap();
+        prop_assert_eq!(&a, &c);
+        // And decoding then re-encoding reproduces the same bytes.
+        let d = encode_graph(&decode_graph(&a).unwrap()).unwrap();
+        prop_assert_eq!(&a, &d);
+    }
+
+    /// Every single-byte truncation of a valid file is rejected — no
+    /// prefix parses.
+    #[test]
+    fn truncations_never_decode(raw in graph_strategy(), cut in 0usize..4096) {
+        let g = build_graph(&raw);
+        let bytes = encode_graph(&g).unwrap();
+        let cut = cut % bytes.len().max(1);
+        prop_assert!(decode_graph(&bytes[..cut]).is_err());
+    }
+
+    /// Flipping any single byte of a valid file is detected: either a
+    /// structural error or a checksum mismatch — or, for the rare flips
+    /// that stay structurally valid (e.g. inside an id that the
+    /// checksum guards), the checksum catches it; no flip may silently
+    /// yield the original graph's bytes *and* decode to a different
+    /// graph undetected.
+    #[test]
+    fn single_byte_corruption_is_detected(raw in graph_strategy(), at in 0usize..4096, bit in 0u64..8) {
+        let g = build_graph(&raw);
+        let bytes = encode_graph(&g).unwrap();
+        let at = at % bytes.len();
+        let mut corrupt = bytes.clone();
+        corrupt[at] ^= 1 << bit;
+        prop_assert!(
+            decode_graph(&corrupt).is_err(),
+            "flipping bit {bit} of byte {at} went undetected"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// DirBackend under a real directory
+// ---------------------------------------------------------------------
+
+/// A unique scratch directory removed on drop (std-only tempdir).
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gcore-store-test-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn people() -> PathPropertyGraph {
+    let mut g = PathPropertyGraph::new();
+    g.add_node(
+        NodeId(1),
+        Attributes::labeled("Person").with_prop("name", "Ann"),
+    );
+    g.add_node(
+        NodeId(2),
+        Attributes::labeled("Person").with_prop("name", "Bøb"),
+    );
+    g.add_edge(
+        EdgeId(3),
+        NodeId(1),
+        NodeId(2),
+        Attributes::labeled("knows"),
+    )
+    .unwrap();
+    g
+}
+
+#[test]
+fn dir_backend_round_trips_catalog() {
+    let tmp = TempDir::new("catalog");
+    let backend = DirBackend::new(&tmp.0).unwrap();
+
+    let mut catalog = Catalog::new();
+    catalog.register_graph("people", people());
+    catalog.register_graph("graph with spaces/слэш", people());
+    // Dotted names must survive DirBackend (leading dots are escaped
+    // out of the reserved temp-file namespace).
+    catalog.register_graph(".tmp-looking.name", people());
+    catalog.set_default_graph("people");
+    save_catalog(&catalog, &backend).unwrap();
+
+    // A second backend over the same root sees the same objects (the
+    // "restart" case for a filesystem store).
+    let reopened = DirBackend::new(&tmp.0).unwrap();
+    let loaded = load_catalog(&reopened).unwrap();
+    assert_eq!(
+        loaded.graph_names(),
+        vec![".tmp-looking.name", "graph with spaces/слэш", "people"]
+    );
+    assert_eq!(loaded.default_graph_name(), Some("people"));
+    assert_eq!(*loaded.graph("people").unwrap(), people());
+    assert_eq!(*loaded.graph("graph with spaces/слэш").unwrap(), people());
+    assert_eq!(*loaded.graph(".tmp-looking.name").unwrap(), people());
+}
+
+#[test]
+fn dir_backend_lists_and_deletes_like_mem_backend() {
+    let tmp = TempDir::new("parity");
+    let dir = DirBackend::new(&tmp.0).unwrap();
+    let mem = MemBackend::new();
+    for backend in [&dir as &dyn StorageBackend, &mem as &dyn StorageBackend] {
+        backend.put_bytes("manifest", b"m").unwrap();
+        backend.put_graph("g", &people()).unwrap();
+        assert_eq!(
+            backend.list().unwrap(),
+            vec!["graphs/g.gpg".to_owned(), "manifest".to_owned()]
+        );
+        assert_eq!(backend.get_graph("g").unwrap(), people());
+        backend.delete("manifest").unwrap();
+        assert!(matches!(
+            backend.get_bytes("manifest"),
+            Err(StoreError::Missing(_))
+        ));
+        assert_eq!(backend.list().unwrap(), vec!["graphs/g.gpg".to_owned()]);
+    }
+}
+
+#[test]
+fn dir_backend_overwrite_is_atomic_replacement() {
+    let tmp = TempDir::new("overwrite");
+    let backend = DirBackend::new(&tmp.0).unwrap();
+    backend.put_bytes("graphs/a.gpg", b"old").unwrap();
+    backend.put_bytes("graphs/a.gpg", b"new").unwrap();
+    assert_eq!(backend.get_bytes("graphs/a.gpg").unwrap(), b"new");
+    // No temporary files survive a completed write.
+    assert_eq!(backend.list().unwrap(), vec!["graphs/a.gpg".to_owned()]);
+}
+
+#[test]
+fn dir_backend_rejects_escaping_keys() {
+    let tmp = TempDir::new("escape");
+    let backend = DirBackend::new(&tmp.0).unwrap();
+    for key in ["../evil", "a/../../b", "", "/abs", "a//b", ".tmp-1-1"] {
+        assert!(
+            backend.put_bytes(key, b"x").is_err(),
+            "key '{key}' must be rejected"
+        );
+    }
+}
+
+#[test]
+fn corrupted_file_on_disk_is_reported_not_loaded() {
+    let tmp = TempDir::new("bitrot");
+    let backend = DirBackend::new(&tmp.0).unwrap();
+    let mut catalog = Catalog::new();
+    catalog.register_graph("g", people());
+    save_catalog(&catalog, &backend).unwrap();
+
+    // Flip one payload byte of the stored graph file behind the
+    // backend's back (simulated bit rot).
+    let path = tmp.0.join("graphs").join("g.gpg");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let at = bytes.len() - 10; // inside the paths-section envelope
+    bytes[at] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+
+    assert!(load_catalog(&backend).is_err());
+}

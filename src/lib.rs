@@ -7,6 +7,8 @@
 //! - [`parser`] — the G-CORE concrete syntax (lexer, AST, parser)
 //! - [`engine`] — the query engine implementing the formal semantics (§4, §A)
 //! - [`snb`] — the LDBC SNB-style datasets and generator (Figures 2–4)
+//! - [`store`] — durable snapshot storage: the binary graph format and
+//!   pluggable storage backends behind `Engine::save_to` / `open_from`
 //!
 //! and hosts the paper's query corpus plus the Table 1 feature detector:
 //!
@@ -18,6 +20,7 @@ pub use gcore as engine;
 pub use gcore_parser as parser;
 pub use gcore_ppg as ppg;
 pub use gcore_snb as snb;
+pub use gcore_store as store;
 
 pub mod corpus;
 pub mod features;
