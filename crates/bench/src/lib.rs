@@ -2,6 +2,7 @@
 //! binary: engines pre-loaded with the paper's toy datasets and with
 //! generated SNB networks at the benchmark scales.
 
+#![forbid(unsafe_code)]
 use gcore::Engine;
 use gcore_snb::{generate, social_dataset, SnbConfig};
 

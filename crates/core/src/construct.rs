@@ -30,7 +30,7 @@ use crate::error::{Result, RuntimeError, SemanticError};
 use crate::expr::{eval_aggregate, eval_expr, Env, Rv};
 use crate::query::Evaluator;
 use gcore_parser::ast::{
-    ConstructClause, ConstructConnection, ConstructItem, ConstructPattern, Direction, Expr,
+    ConstructClause, ConstructConnection, ConstructItem, ConstructPattern, Direction, Expr, Ident,
     PropAssign, RemoveItem, SetItem,
 };
 use gcore_ppg::{
@@ -274,19 +274,16 @@ pub fn eval_construct(
 /// conflicting GROUP clauses for one variable are rejected.
 fn collect_group_overrides(construct: &ConstructClause) -> Result<BTreeMap<String, Vec<Expr>>> {
     let mut map: BTreeMap<String, Vec<Expr>> = BTreeMap::new();
-    let mut add = |var: &Option<String>, group: &Option<Vec<Expr>>| -> Result<()> {
+    let mut add = |var: &Option<Ident>, group: &Option<Vec<Expr>>| -> Result<()> {
         let (Some(v), Some(g)) = (var, group) else {
             return Ok(());
         };
-        if let Some(prev) = map.get(v) {
+        if let Some(prev) = map.get(v.as_str()) {
             if prev != g {
-                return Err(SemanticError::Other(format!(
-                    "construct variable '{v}' has two different GROUP clauses"
-                ))
-                .into());
+                return Err(SemanticError::GroupConflict(v.text.clone()).into());
             }
         } else {
-            map.insert(v.clone(), g.clone());
+            map.insert(v.text.clone(), g.clone());
         }
         Ok(())
     };
@@ -479,14 +476,16 @@ fn stage_pattern<'a>(
     let start_token = pat
         .start
         .var
-        .clone()
+        .as_ref()
+        .map(|v| v.text.clone())
         .unwrap_or_else(|| fresh_token(anon, "n"));
     node_specs.push(mk_node_spec(&pat.start, start_token, overrides));
     for step in &pat.steps {
         let t = step
             .node
             .var
-            .clone()
+            .as_ref()
+            .map(|v| v.text.clone())
             .unwrap_or_else(|| fresh_token(anon, "n"));
         node_specs.push(mk_node_spec(&step.node, t, overrides));
     }
@@ -543,9 +542,9 @@ fn stage_pattern<'a>(
         .iter()
         .filter_map(|s| match s {
             SetItem::Prop { var, key, value } => Some((
-                var.clone(),
+                var.text.clone(),
                 PropAssign {
-                    key: key.clone(),
+                    key: key.clone().into(),
                     value: value.clone(),
                 },
             )),
@@ -572,7 +571,11 @@ fn stage_pattern<'a>(
     for (i, step) in pat.steps.iter().enumerate() {
         match &step.connection {
             ConstructConnection::Edge(e) => {
-                let token = e.var.clone().unwrap_or_else(|| fresh_token(anon, "e"));
+                let token = e
+                    .var
+                    .as_ref()
+                    .map(|v| v.text.clone())
+                    .unwrap_or_else(|| fresh_token(anon, "e"));
                 let extra: Vec<&PropAssign> = set_prop_assigns
                     .iter()
                     .filter(|(v, _)| e.var.as_deref() == Some(v.as_str()))
@@ -1094,7 +1097,10 @@ fn stage_edge(
 
     let bound_col = e.var.as_deref().and_then(|v| bindings.column_index(v));
     if bound_col.is_some() && e.group.is_some() {
-        return Err(SemanticError::GroupOnBoundVariable(e.var.clone().unwrap_or_default()).into());
+        return Err(SemanticError::GroupOnBoundVariable(
+            e.var.as_deref().unwrap_or_default().to_owned(),
+        )
+        .into());
     }
 
     // Group columns: endpoints' group columns + our own identity/group.
@@ -1146,7 +1152,7 @@ fn stage_edge(
                 let b = bindings.bound(rows[0], ci);
                 let Bound::Edge(eid) = b else {
                     return Err(SemanticError::SortMismatch {
-                        var: e.var.clone().unwrap_or_default(),
+                        var: e.var.as_deref().unwrap_or_default().to_owned(),
                         expected: "edge".into(),
                         found: format!("{b:?}"),
                     }
@@ -1156,13 +1162,13 @@ fn stage_edge(
                 let col = &bindings.columns()[ci];
                 let Some((osrc, odst)) = col.graph.endpoints(eid) else {
                     return Err(SemanticError::EdgeEndpointsUnbound(
-                        e.var.clone().unwrap_or_default(),
+                        e.var.as_deref().unwrap_or_default().to_owned(),
                     )
                     .into());
                 };
                 if (osrc, odst) != (*src, *dst) {
                     return Err(SemanticError::EdgeEndpointsChanged(
-                        e.var.clone().unwrap_or_default(),
+                        e.var.as_deref().unwrap_or_default().to_owned(),
                     )
                     .into());
                 }
@@ -1230,7 +1236,7 @@ fn stage_path(
     staging: &mut Staging,
 ) -> Result<()> {
     let Some(ci) = bindings.column_index(&p.var) else {
-        return Err(SemanticError::ConstructPathUnbound(p.var.clone()).into());
+        return Err(SemanticError::ConstructPathUnbound(p.var.text.clone()).into());
     };
     let col_graph = bindings.columns()[ci].graph.clone();
     let group_cols = vec![ci];
@@ -1279,7 +1285,7 @@ fn stage_path(
                     ..
                 } => {
                     if p.stored {
-                        return Err(SemanticError::AllPathsEscape(p.var.clone()).into());
+                        return Err(SemanticError::AllPathsEscape(p.var.text.clone()).into());
                     }
                     PathGroup {
                         id: None,
@@ -1292,7 +1298,7 @@ fn stage_path(
             },
             other => {
                 return Err(SemanticError::SortMismatch {
-                    var: p.var.clone(),
+                    var: p.var.text.clone(),
                     expected: "path".into(),
                     found: format!("{other:?}"),
                 }
@@ -1386,7 +1392,7 @@ fn stage_path(
             deps.extend(walk.edges().iter().map(|&e| ElementId::Edge(e)));
             staging.deps.entry(elem).or_default().extend(deps);
             for &ri in rows {
-                staging.row_env[ri].insert(p.var.clone(), Bound::Path(pid));
+                staging.row_env[ri].insert(p.var.text.clone(), Bound::Path(pid));
             }
         }
     }

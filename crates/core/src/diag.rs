@@ -1,0 +1,374 @@
+//! The diagnostics framework behind `gcore-check`.
+//!
+//! Every static problem the analyzer (or the engine front-end) can find
+//! is reported as a [`Diagnostic`]: a stable code (`E0xx` for errors,
+//! `W1xx` for warnings), a byte [`Span`] into the query source, a
+//! message, and optional notes/help. Analysis is *collect-all*: a single
+//! pass over a statement reports every problem at once instead of
+//! failing on the first.
+//!
+//! [`Diagnostic::render`] produces a rustc-style report that underlines
+//! the offending source:
+//!
+//! ```text
+//! error[E001]: variable 'n' is used both as a node variable and as an edge variable
+//!   --> query:1:26
+//!    |
+//!  1 | CONSTRUCT (x) MATCH (n)-[n]->(m)
+//!    |                          ^
+//!    = help: rename one of the two occurrences
+//! ```
+
+use gcore_parser::token::Span;
+use std::fmt;
+
+/// How bad a diagnostic is. Errors block evaluation; warnings do not.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Suspicious but legal; evaluation proceeds.
+    Warning,
+    /// The statement violates a static rule and will not be evaluated.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes. `E0xx` are errors, `W1xx` warnings; the
+/// numbering is part of the public interface (tests and downstream
+/// tooling assert on codes, never on message text).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DiagCode {
+    /// E000 — the statement failed to parse at all.
+    ParseError,
+    /// E001 — one variable used with two different sorts (§A.1 keeps the
+    /// node/edge/path/value universes disjoint).
+    SortMismatch,
+    /// E002 — a variable referenced in an expression is not bound by any
+    /// pattern in scope.
+    UnboundVariable,
+    /// E003 — a variable shared between OPTIONAL blocks is missing from
+    /// the enclosing pattern (§3 / \[31\]).
+    OptionalSharedVariable,
+    /// E004 — an aggregate appears where no grouping context exists
+    /// (e.g. in a MATCH WHERE).
+    MisplacedAggregate,
+    /// E005 — an `ON` / `FROM` names a graph or table the catalog does
+    /// not contain.
+    UnknownReference,
+    /// E006 — a path pattern with inconsistent modifiers: `COST` on an
+    /// `ALL` pattern, `ALL`/`k SHORTEST` on a stored-path pattern, a
+    /// computed pattern without a regex, or a PATH view without a path
+    /// segment.
+    InvalidPathPattern,
+    /// E007 — one construct variable carries two different GROUP clauses.
+    GroupConflict,
+    /// E008 — a graph was expected but the body is a SELECT (GRAPH VIEW,
+    /// query-head GRAPH, or `ON (subquery)`).
+    GraphExpected,
+    /// E009 — an `ALL`-path variable escapes graph projection (§3).
+    AllPathsEscape,
+    /// E010 — a bound edge constructed between different endpoints.
+    EdgeEndpointsChanged,
+    /// E011 — a bound edge constructed with unbound endpoint variables.
+    EdgeEndpointsUnbound,
+    /// E012 — a construct path variable not bound by a MATCH path pattern.
+    ConstructPathUnbound,
+    /// E013 — GROUP on a variable bound by MATCH (§A.3 fixes grouping of
+    /// bound elements to their identity).
+    GroupOnBoundVariable,
+    /// E014 — SET/REMOVE targets a variable that exists nowhere in the
+    /// pattern.
+    UnknownSetTarget,
+    /// E015 — the statement produces the wrong output sort for the API
+    /// used (`query_graph` on a SELECT, `query_table` on a graph query).
+    WrongOutputSort,
+    /// W101 — a variable is bound by MATCH but never used.
+    UnusedVariable,
+    /// W102 — a PATH-clause variable or SELECT alias shadows a variable
+    /// of the enclosing query.
+    ShadowedVariable,
+    /// W103 — MATCH patterns share no variable and no WHERE predicate
+    /// links them: the result is a Cartesian product.
+    CartesianProduct,
+    /// W104 — a label tested in MATCH exists in no catalog graph.
+    UnknownLabel,
+    /// W105 — a property key read in MATCH/WHERE exists on no catalog
+    /// element.
+    UnknownProperty,
+    /// W106 — a comparison between literals of incompatible types.
+    SuspiciousComparison,
+    /// W107 — a WHERE condition that constant-folds to FALSE.
+    ContradictoryWhere,
+}
+
+impl DiagCode {
+    /// The stable textual code, e.g. `"E001"`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::ParseError => "E000",
+            DiagCode::SortMismatch => "E001",
+            DiagCode::UnboundVariable => "E002",
+            DiagCode::OptionalSharedVariable => "E003",
+            DiagCode::MisplacedAggregate => "E004",
+            DiagCode::UnknownReference => "E005",
+            DiagCode::InvalidPathPattern => "E006",
+            DiagCode::GroupConflict => "E007",
+            DiagCode::GraphExpected => "E008",
+            DiagCode::AllPathsEscape => "E009",
+            DiagCode::EdgeEndpointsChanged => "E010",
+            DiagCode::EdgeEndpointsUnbound => "E011",
+            DiagCode::ConstructPathUnbound => "E012",
+            DiagCode::GroupOnBoundVariable => "E013",
+            DiagCode::UnknownSetTarget => "E014",
+            DiagCode::WrongOutputSort => "E015",
+            DiagCode::UnusedVariable => "W101",
+            DiagCode::ShadowedVariable => "W102",
+            DiagCode::CartesianProduct => "W103",
+            DiagCode::UnknownLabel => "W104",
+            DiagCode::UnknownProperty => "W105",
+            DiagCode::SuspiciousComparison => "W106",
+            DiagCode::ContradictoryWhere => "W107",
+        }
+    }
+
+    /// The severity implied by the code family.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        if self.as_str().starts_with('E') {
+            Severity::Error
+        } else {
+            Severity::Warning
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of the static analyzer.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Diagnostic {
+    /// Stable code (`E0xx` / `W1xx`).
+    pub code: DiagCode,
+    /// Severity (derived from the code family).
+    pub severity: Severity,
+    /// Byte range into the statement source the finding points at. A
+    /// zero span means "no precise position" (e.g. a clause synthesized
+    /// by desugaring); the renderer then omits the underline.
+    pub span: Span,
+    /// The primary, single-sentence message.
+    pub message: String,
+    /// Secondary observations ("first bound here as a node variable").
+    pub notes: Vec<String>,
+    /// A suggested fix, when one is obvious.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's default severity.
+    #[must_use]
+    pub fn new(code: DiagCode, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+            help: None,
+        }
+    }
+
+    /// Attach a secondary note.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Attach a suggested fix.
+    #[must_use]
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Is this an error-severity diagnostic (i.e. does it block
+    /// evaluation)?
+    #[must_use]
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Render a rustc-style report against the source the statement was
+    /// parsed from, underlining the offending span.
+    #[must_use]
+    pub fn render(&self, src: &str) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        let _ = write!(out, "{}[{}]: {}", self.severity, self.code, self.message);
+        let loc = Location::of(src, self.span);
+        let _ = write!(out, "\n  --> query:{}:{}", loc.line, loc.column);
+        if !loc.snippet.is_empty() {
+            let gutter = loc.line.to_string().len().max(2);
+            let _ = write!(out, "\n{:gutter$} |", "");
+            let _ = write!(out, "\n{:>gutter$} | {}", loc.line, loc.snippet);
+            let _ = write!(
+                out,
+                "\n{:gutter$} | {:width$}{}",
+                "",
+                "",
+                "^".repeat(loc.underline.max(1)),
+                width = loc.column.saturating_sub(1)
+            );
+        }
+        for note in &self.notes {
+            let _ = write!(out, "\n  = note: {note}");
+        }
+        if let Some(help) = &self.help {
+            let _ = write!(out, "\n  = help: {help}");
+        }
+        out
+    }
+}
+
+/// Render a batch of diagnostics, separated by blank lines, followed by
+/// a one-line summary. Returns an empty string for no diagnostics.
+#[must_use]
+pub fn render_all(diags: &[Diagnostic], src: &str) -> String {
+    if diags.is_empty() {
+        return String::new();
+    }
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.len() - errors;
+    let mut out = diags
+        .iter()
+        .map(|d| d.render(src))
+        .collect::<Vec<_>>()
+        .join("\n\n");
+    out.push_str("\n\n");
+    let mut parts = Vec::new();
+    if errors > 0 {
+        parts.push(format!(
+            "{errors} error{}",
+            if errors == 1 { "" } else { "s" }
+        ));
+    }
+    if warnings > 0 {
+        parts.push(format!(
+            "{warnings} warning{}",
+            if warnings == 1 { "" } else { "s" }
+        ));
+    }
+    out.push_str(&parts.join(", "));
+    out.push_str(" emitted");
+    out
+}
+
+/// Resolved source position of a span: 1-based line/column, the source
+/// line text, and how many columns to underline.
+struct Location {
+    line: usize,
+    column: usize,
+    snippet: String,
+    underline: usize,
+}
+
+impl Location {
+    fn of(src: &str, span: Span) -> Location {
+        let start = span.start.min(src.len());
+        let upto = &src[..start];
+        let line = upto.matches('\n').count() + 1;
+        let line_start = upto.rfind('\n').map_or(0, |i| i + 1);
+        let line_end = src[line_start..]
+            .find('\n')
+            .map_or(src.len(), |i| line_start + i);
+        let snippet = &src[line_start..line_end];
+        // Columns are in characters, not bytes, so multi-byte source
+        // (string literals) underlines correctly.
+        let column = src[line_start..start].chars().count() + 1;
+        let end = span.end.clamp(start, line_end);
+        let underline = src[start..end].chars().count();
+        Location {
+            line,
+            column,
+            snippet: snippet.to_owned(),
+            underline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_families_match_severity() {
+        for (code, text) in [
+            (DiagCode::SortMismatch, "E001"),
+            (DiagCode::UnboundVariable, "E002"),
+            (DiagCode::UnusedVariable, "W101"),
+            (DiagCode::ContradictoryWhere, "W107"),
+        ] {
+            assert_eq!(code.as_str(), text);
+        }
+        assert_eq!(DiagCode::SortMismatch.severity(), Severity::Error);
+        assert_eq!(DiagCode::CartesianProduct.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn render_underlines_the_span() {
+        let src = "CONSTRUCT (n) MATCH (n)-[n]->(m)";
+        let d = Diagnostic::new(
+            DiagCode::SortMismatch,
+            Span::new(25, 26),
+            "variable 'n' is used both as a node variable and as an edge variable",
+        )
+        .with_note("first bound as a node variable")
+        .with_help("rename one of the two occurrences");
+        let r = d.render(src);
+        assert!(r.starts_with("error[E001]:"), "{r}");
+        assert!(r.contains("--> query:1:26"), "{r}");
+        assert!(r.contains(src), "{r}");
+        let caret_line = r
+            .lines()
+            .find(|l| l.trim_start().starts_with('|') && l.contains('^'))
+            .expect("caret line");
+        assert_eq!(caret_line.find('^'), src.find("[n]").map(|i| i + 6));
+        assert!(r.contains("= note: first bound"), "{r}");
+        assert!(r.contains("= help: rename"), "{r}");
+    }
+
+    #[test]
+    fn render_multiline_source_points_at_the_right_line() {
+        let src = "CONSTRUCT (n)\nMATCH (n:Person)\nWHERE n.age > 'x'";
+        let d = Diagnostic::new(
+            DiagCode::SuspiciousComparison,
+            Span::new(src.find("n.age").unwrap(), src.find("n.age").unwrap() + 5),
+            "comparison between incompatible types",
+        );
+        let r = d.render(src);
+        assert!(r.contains("query:3:7"), "{r}");
+        assert!(r.contains("WHERE n.age > 'x'"), "{r}");
+    }
+
+    #[test]
+    fn render_all_summarizes() {
+        let src = "CONSTRUCT (n) MATCH (n)";
+        let d1 = Diagnostic::new(DiagCode::UnboundVariable, Span::new(0, 1), "x");
+        let d2 = Diagnostic::new(DiagCode::UnusedVariable, Span::new(0, 1), "y");
+        let all = render_all(&[d1, d2], src);
+        assert!(all.contains("1 error, 1 warning emitted"), "{all}");
+        assert_eq!(render_all(&[], src), "");
+    }
+}

@@ -46,6 +46,8 @@
 //! assert!(results.iter().all(|r| r.is_ok()));
 //! ```
 
+use crate::analyze::{parse_diagnostic, CatalogSummary};
+use crate::diag::Diagnostic;
 use crate::error::{Result, SemanticError};
 use crate::executor::QueryExecutor;
 use crate::query::QueryOutput;
@@ -210,13 +212,44 @@ impl Engine {
         stmts.iter().map(|s| self.eval(s)).collect()
     }
 
+    /// Statically analyze one statement against the live catalog
+    /// without evaluating anything: every diagnostic (errors *and*
+    /// warnings) is returned, ordered by source position. Parse
+    /// failures come back as a single `E000` diagnostic, so callers
+    /// get a uniform report for arbitrary input.
+    #[must_use]
+    pub fn check(&self, text: &str) -> Vec<Diagnostic> {
+        match parse_statement(text) {
+            Err(e) => vec![parse_diagnostic(&e)],
+            Ok(stmt) => {
+                let summary = CatalogSummary::of(self.catalog());
+                crate::analyze::analyze_statement(&stmt, Some(&summary))
+            }
+        }
+    }
+
+    /// [`check`](Engine::check) for a `;`-separated script. `GRAPH
+    /// VIEW` names defined by earlier statements count as known graphs
+    /// for later ones, mirroring [`run_script`](Engine::run_script).
+    #[must_use]
+    pub fn check_script(&self, text: &str) -> Vec<Diagnostic> {
+        match parse_script(text) {
+            Err(e) => vec![parse_diagnostic(&e)],
+            Ok(stmts) => {
+                let summary = CatalogSummary::of(self.catalog());
+                crate::analyze::analyze_script(&stmts, Some(&summary))
+            }
+        }
+    }
+
     /// Run a query that must produce a graph.
     pub fn query_graph(&mut self, text: &str) -> Result<PathPropertyGraph> {
         match self.run(text)? {
             QueryOutput::Graph(g) => Ok(g),
-            QueryOutput::Table(_) => Err(SemanticError::Other(
-                "query produced a table; use query_table for SELECT".into(),
-            )
+            QueryOutput::Table(_) => Err(SemanticError::WrongOutputSort {
+                expected: "graph",
+                found: "table",
+            }
             .into()),
         }
     }
@@ -225,9 +258,10 @@ impl Engine {
     pub fn query_table(&mut self, text: &str) -> Result<Table> {
         match self.run(text)? {
             QueryOutput::Table(t) => Ok(t),
-            QueryOutput::Graph(_) => Err(SemanticError::Other(
-                "query produced a graph; use query_graph instead".into(),
-            )
+            QueryOutput::Graph(_) => Err(SemanticError::WrongOutputSort {
+                expected: "table",
+                found: "graph",
+            }
             .into()),
         }
     }
@@ -242,10 +276,9 @@ impl Engine {
             match &out {
                 QueryOutput::Graph(g) => self.register_graph(name.clone(), g.clone()),
                 QueryOutput::Table(_) => {
-                    return Err(SemanticError::Other(format!(
-                        "GRAPH VIEW {name} AS (…) must be a graph query, not SELECT"
-                    ))
-                    .into())
+                    return Err(
+                        SemanticError::GraphExpected(format!("GRAPH VIEW {name} AS (…)")).into(),
+                    )
                 }
             }
         }

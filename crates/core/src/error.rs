@@ -2,6 +2,7 @@
 //! runtime (raised during evaluation, e.g. the paper's mandated error on
 //! non-positive path costs).
 
+use crate::diag::{DiagCode, Diagnostic};
 use gcore_parser::ParseError;
 use gcore_ppg::{CatalogError, GraphError};
 use std::fmt;
@@ -59,8 +60,53 @@ pub enum SemanticError {
     /// A SET/REMOVE/WHEN referenced a variable that is not a construct
     /// variable of its pattern nor a match variable.
     UnknownSetTarget(String),
-    /// Anything else.
-    Other(String),
+    /// A path pattern with inconsistent modifiers (COST on ALL, mode on a
+    /// stored-path pattern, a computed pattern without a regex, or a PATH
+    /// view without a path segment).
+    InvalidPathPattern(String),
+    /// One construct variable carries two different GROUP clauses.
+    GroupConflict(String),
+    /// A graph-valued query was required, but the body is a SELECT.
+    GraphExpected(String),
+    /// The statement produced the wrong output sort for the API used.
+    WrongOutputSort {
+        /// What the caller asked for (`"graph"` / `"table"`).
+        expected: &'static str,
+        /// What the statement produces.
+        found: &'static str,
+    },
+    /// The static analyzer rejected the statement; every error-severity
+    /// diagnostic it collected is here.
+    Analysis(Vec<Diagnostic>),
+}
+
+impl SemanticError {
+    /// The stable diagnostic code for this error (see
+    /// [`crate::diag::DiagCode`]). For [`SemanticError::Analysis`] this
+    /// is the code of the first error-severity diagnostic.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            SemanticError::SortMismatch { .. } => DiagCode::SortMismatch.as_str(),
+            SemanticError::UnboundVariable(_) => DiagCode::UnboundVariable.as_str(),
+            SemanticError::OptionalSharedVariable(_) => DiagCode::OptionalSharedVariable.as_str(),
+            SemanticError::MisplacedAggregate(_) => DiagCode::MisplacedAggregate.as_str(),
+            SemanticError::InvalidPathPattern(_) => DiagCode::InvalidPathPattern.as_str(),
+            SemanticError::GroupConflict(_) => DiagCode::GroupConflict.as_str(),
+            SemanticError::GraphExpected(_) => DiagCode::GraphExpected.as_str(),
+            SemanticError::AllPathsEscape(_) => DiagCode::AllPathsEscape.as_str(),
+            SemanticError::EdgeEndpointsChanged(_) => DiagCode::EdgeEndpointsChanged.as_str(),
+            SemanticError::EdgeEndpointsUnbound(_) => DiagCode::EdgeEndpointsUnbound.as_str(),
+            SemanticError::ConstructPathUnbound(_) => DiagCode::ConstructPathUnbound.as_str(),
+            SemanticError::GroupOnBoundVariable(_) => DiagCode::GroupOnBoundVariable.as_str(),
+            SemanticError::UnknownSetTarget(_) => DiagCode::UnknownSetTarget.as_str(),
+            SemanticError::WrongOutputSort { .. } => DiagCode::WrongOutputSort.as_str(),
+            SemanticError::Analysis(diags) => diags
+                .iter()
+                .find(|d| d.is_error())
+                .map_or("E999", |d| d.code.as_str()),
+        }
+    }
 }
 
 /// Failures raised during evaluation.
@@ -146,7 +192,30 @@ impl fmt::Display for SemanticError {
                 "SET/REMOVE/WHEN references '{v}', which is neither a construct variable of this \
                  pattern nor a match variable"
             ),
-            SemanticError::Other(m) => f.write_str(m),
+            SemanticError::InvalidPathPattern(m) => write!(f, "invalid path pattern: {m}"),
+            SemanticError::GroupConflict(v) => write!(
+                f,
+                "construct variable '{v}' has two different GROUP clauses"
+            ),
+            SemanticError::GraphExpected(w) => {
+                write!(f, "{w} must be a graph query, not SELECT")
+            }
+            SemanticError::WrongOutputSort { expected, found } => {
+                write!(f, "query produced a {found}; expected a {expected}")
+            }
+            SemanticError::Analysis(diags) => {
+                let errors: Vec<&Diagnostic> = diags.iter().filter(|d| d.is_error()).collect();
+                write!(
+                    f,
+                    "{} static error{} (run `check` for full diagnostics)",
+                    errors.len(),
+                    if errors.len() == 1 { "" } else { "s" }
+                )?;
+                for d in errors {
+                    write!(f, "\n  [{}] {}", d.code, d.message)?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -17,7 +17,9 @@
 //! the catalog state of its snapshot's epoch, forever — the
 //! snapshot-isolation property the differential tests pin down.
 
+use crate::analyze::{parse_diagnostic, CatalogSummary};
 use crate::context::EvalCtx;
+use crate::diag::Diagnostic;
 use crate::error::{Result, SemanticError};
 use crate::query::{Evaluator, QueryOutput};
 use crate::snapshot::EngineSnapshot;
@@ -101,13 +103,43 @@ impl QueryExecutor {
         stmts.iter().map(|s| self.eval(s)).collect()
     }
 
+    /// Statically analyze one statement against the snapshot's catalog
+    /// without evaluating anything: every diagnostic (errors *and*
+    /// warnings) is returned, ordered by source position. Parse
+    /// failures come back as a single `E000` diagnostic.
+    #[must_use]
+    pub fn check(&self, text: &str) -> Vec<Diagnostic> {
+        match parse_statement(text) {
+            Err(e) => vec![parse_diagnostic(&e)],
+            Ok(stmt) => {
+                let summary = CatalogSummary::of(self.snapshot.catalog());
+                crate::analyze::analyze_statement(&stmt, Some(&summary))
+            }
+        }
+    }
+
+    /// [`check`](QueryExecutor::check) for a `;`-separated script.
+    /// `GRAPH VIEW` names defined by earlier statements count as known
+    /// graphs for later ones.
+    #[must_use]
+    pub fn check_script(&self, text: &str) -> Vec<Diagnostic> {
+        match parse_script(text) {
+            Err(e) => vec![parse_diagnostic(&e)],
+            Ok(stmts) => {
+                let summary = CatalogSummary::of(self.snapshot.catalog());
+                crate::analyze::analyze_script(&stmts, Some(&summary))
+            }
+        }
+    }
+
     /// Run a query that must produce a graph.
     pub fn query_graph(&self, text: &str) -> Result<PathPropertyGraph> {
         match self.run(text)? {
             QueryOutput::Graph(g) => Ok(g),
-            QueryOutput::Table(_) => Err(SemanticError::Other(
-                "query produced a table; use query_table for SELECT".into(),
-            )
+            QueryOutput::Table(_) => Err(SemanticError::WrongOutputSort {
+                expected: "graph",
+                found: "table",
+            }
             .into()),
         }
     }
@@ -116,9 +148,10 @@ impl QueryExecutor {
     pub fn query_table(&self, text: &str) -> Result<Table> {
         match self.run(text)? {
             QueryOutput::Table(t) => Ok(t),
-            QueryOutput::Graph(_) => Err(SemanticError::Other(
-                "query produced a graph; use query_graph instead".into(),
-            )
+            QueryOutput::Graph(_) => Err(SemanticError::WrongOutputSort {
+                expected: "table",
+                found: "graph",
+            }
             .into()),
         }
     }

@@ -47,6 +47,7 @@
 //! assert_eq!(g.node_count(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::len_without_is_empty)]
 
@@ -55,6 +56,7 @@ pub mod baselines;
 pub mod binding;
 pub mod construct;
 pub mod context;
+pub mod diag;
 pub mod engine;
 pub mod error;
 pub mod executor;
@@ -66,8 +68,10 @@ pub mod regex;
 pub mod select;
 pub mod snapshot;
 
+pub use analyze::{analyze_script, analyze_statement, CatalogSummary};
 pub use binding::{BindingTable, Bound, Column};
 pub use context::EvalCtx;
+pub use diag::{render_all, DiagCode, Diagnostic, Severity};
 pub use engine::{run_batch_on, Engine};
 pub use error::{EngineError, Result, RuntimeError, SemanticError};
 pub use executor::QueryExecutor;

@@ -142,7 +142,8 @@ impl<'e> PatternMatcher<'e> {
         let start_var = pattern
             .start
             .var
-            .clone()
+            .as_deref()
+            .map(str::to_owned)
             .unwrap_or_else(|| self.fresh_anon("n"));
         let mut info = ChainInfo {
             node_vars: vec![start_var.clone()],
@@ -154,17 +155,26 @@ impl<'e> PatternMatcher<'e> {
             let dst_var = step
                 .node
                 .var
-                .clone()
+                .as_deref()
+                .map(str::to_owned)
                 .unwrap_or_else(|| self.fresh_anon("n"));
             let prev_var = info.node_vars.last().expect("chain nonempty").clone();
             table = match &step.connection {
                 Connection::Edge(e) => {
-                    let edge_var = e.var.clone().unwrap_or_else(|| self.fresh_anon("e"));
+                    let edge_var = e
+                        .var
+                        .as_deref()
+                        .map(str::to_owned)
+                        .unwrap_or_else(|| self.fresh_anon("e"));
                     info.conn_vars.push(edge_var.clone());
                     self.expand_edge(table, &prev_var, &edge_var, &dst_var, e, outer, &structural)?
                 }
                 Connection::Path(p) => {
-                    let path_var = p.var.clone().unwrap_or_else(|| self.fresh_anon("p"));
+                    let path_var = p
+                        .var
+                        .as_deref()
+                        .map(str::to_owned)
+                        .unwrap_or_else(|| self.fresh_anon("p"));
                     info.conn_vars.push(path_var.clone());
                     self.expand_path(table, &prev_var, &path_var, &dst_var, p, outer)?
                 }
@@ -306,8 +316,9 @@ impl<'e> PatternMatcher<'e> {
         // Binding form: RHS is a variable that is neither structural nor
         // already bound (here or in the outer scope).
         if let gcore_parser::ast::Expr::Var(v) = &entry.value {
-            let is_bound =
-                table.binds(v) || structural.contains(v) || outer.is_some_and(|o| o.binds(v));
+            let is_bound = table.binds(v)
+                || structural.contains(v.as_str())
+                || outer.is_some_and(|o| o.binds(v));
             if !is_bound {
                 return Ok(table.extend_column(self.col(v), |ri| {
                     prop_of(&table, ri)
@@ -485,9 +496,8 @@ impl<'e> PatternMatcher<'e> {
             return self.expand_stored_path(table, prev_var, path_var, dst_var, pat);
         }
         let Some(regex) = &pat.regex else {
-            return Err(SemanticError::Other(format!(
-                "path pattern binding '{path_var}' needs a <regex> (only stored-path patterns \
-                 may omit it)"
+            return Err(SemanticError::InvalidPathPattern(format!(
+                "binding '{path_var}' needs a <regex> (only stored-path patterns may omit it)"
             ))
             .into());
         };
@@ -602,7 +612,7 @@ impl<'e> PatternMatcher<'e> {
                             extra.push(Bound::Node(dst));
                         }
                         if binds_cost {
-                            return Err(SemanticError::Other(
+                            return Err(SemanticError::InvalidPathPattern(
                                 "COST cannot be bound on ALL path patterns".into(),
                             )
                             .into());
@@ -686,7 +696,7 @@ impl<'e> PatternMatcher<'e> {
         pat: &PathPattern,
     ) -> Result<BindingTable> {
         if pat.mode != PathMode::Shortest(1) {
-            return Err(SemanticError::Other(
+            return Err(SemanticError::InvalidPathPattern(
                 "ALL / k SHORTEST do not apply to stored-path patterns".into(),
             )
             .into());
@@ -813,7 +823,7 @@ fn structural_vars(pattern: &Pattern) -> FxHashSet<String> {
     let mut vars = FxHashSet::default();
     fn add_node(vars: &mut FxHashSet<String>, n: &NodePattern) {
         if let Some(v) = &n.var {
-            vars.insert(v.clone());
+            vars.insert(v.text.clone());
         }
     }
     add_node(&mut vars, &pattern.start);
@@ -822,15 +832,15 @@ fn structural_vars(pattern: &Pattern) -> FxHashSet<String> {
         match &step.connection {
             Connection::Edge(e) => {
                 if let Some(v) = &e.var {
-                    vars.insert(v.clone());
+                    vars.insert(v.text.clone());
                 }
             }
             Connection::Path(p) => {
                 if let Some(v) = &p.var {
-                    vars.insert(v.clone());
+                    vars.insert(v.text.clone());
                 }
                 if let Some(c) = &p.cost_var {
-                    vars.insert(c.clone());
+                    vars.insert(c.text.clone());
                 }
             }
         }
@@ -841,7 +851,7 @@ fn structural_vars(pattern: &Pattern) -> FxHashSet<String> {
 fn first_label(groups: &[LabelDisjunction]) -> Option<String> {
     // Only usable as an index when the first group is a single label.
     match groups.first() {
-        Some(LabelDisjunction(ls)) if ls.len() == 1 => Some(ls[0].clone()),
+        Some(LabelDisjunction(ls, _)) if ls.len() == 1 => Some(ls[0].clone()),
         _ => None,
     }
 }

@@ -86,15 +86,15 @@ impl<'e> Evaluator<'e> {
                     HeadClause::Graph(gc) => {
                         let out = self.eval_query(&gc.query, outer)?;
                         let Some(graph) = out.into_graph() else {
-                            return Err(SemanticError::Other(format!(
-                                "GRAPH {} AS (…) must be a graph query, not SELECT",
+                            return Err(SemanticError::GraphExpected(format!(
+                                "GRAPH {} AS (…)",
                                 gc.name
                             ))
                             .into());
                         };
                         let mut catalog = self.ctx.catalog.borrow_mut();
                         let prev = catalog.graph(&gc.name).ok();
-                        shadowed.push((gc.name.clone(), prev));
+                        shadowed.push((gc.name.text.clone(), prev));
                         catalog.register_graph(gc.name.clone(), graph);
                     }
                 }
@@ -184,7 +184,6 @@ impl<'e> Evaluator<'e> {
     /// the full WHERE is still applied afterwards (filters are
     /// idempotent, so semantics are unchanged).
     pub fn eval_match(&self, m: &MatchClause, outer: Option<&Env<'_>>) -> Result<BindingTable> {
-        check_optional_shared_vars(m)?;
         let prefilters = if self.ctx.filter_pushdown.get() {
             pushdown_prefilters(m.where_clause.as_ref())
         } else {
@@ -236,9 +235,7 @@ impl<'e> Evaluator<'e> {
             Some(Location::Subquery(q)) => {
                 let out = self.eval_query(q, None)?;
                 let Some(mut g) = out.into_graph() else {
-                    return Err(
-                        SemanticError::Other("ON (subquery) must be a graph query".into()).into(),
-                    );
+                    return Err(SemanticError::GraphExpected("ON (subquery)".into()).into());
                 };
                 // The pattern is about to match against this graph —
                 // index it so seeding/expansion run at indexed speed.
@@ -322,12 +319,11 @@ impl<'e> Evaluator<'e> {
         graph: &Arc<PathPropertyGraph>,
     ) -> Result<ViewSegments> {
         let matcher = PatternMatcher::new(self, graph.clone());
-        let first = def
-            .patterns
-            .first()
-            .ok_or_else(|| SemanticError::Other("PATH clause without a pattern".into()))?;
+        let first = def.patterns.first().ok_or_else(|| {
+            SemanticError::InvalidPathPattern("PATH clause without a pattern".into())
+        })?;
         if first.steps.is_empty() {
-            return Err(SemanticError::Other(format!(
+            return Err(SemanticError::InvalidPathPattern(format!(
                 "PATH view '{}' must contain a path segment (start and end node)",
                 def.name
             ))
@@ -392,7 +388,7 @@ impl<'e> Evaluator<'e> {
                     Bound::FreshPath(fi) => match self.ctx.fresh_path(fi) {
                         FreshPath::Walk { shape, .. } => shape,
                         FreshPath::Projection { .. } => {
-                            return Err(SemanticError::Other(format!(
+                            return Err(SemanticError::InvalidPathPattern(format!(
                                 "ALL path patterns cannot appear inside PATH view '{}'",
                                 def.name
                             ))
@@ -425,7 +421,7 @@ impl<'e> Evaluator<'e> {
                         Some(c) if c > 0.0 => c,
                         other => {
                             return Err(RuntimeError::NonPositiveCost {
-                                view: def.name.clone(),
+                                view: def.name.text.clone(),
                                 detail: format!("segment {src}→{dst} evaluated COST to {other:?}"),
                             }
                             .into())
@@ -465,73 +461,6 @@ impl SubqueryEval for Evaluator<'_> {
     }
 }
 
-/// The syntactic restriction of §3 / \[31\]: variables shared by two
-/// OPTIONAL blocks must appear in the enclosing pattern, otherwise the
-/// result would depend on the evaluation order of the blocks.
-fn check_optional_shared_vars(m: &MatchClause) -> Result<()> {
-    use gcore_parser::ast::Connection;
-
-    fn pattern_vars(p: &Pattern, out: &mut Vec<String>) {
-        let mut push = |v: &Option<String>| {
-            if let Some(v) = v {
-                if !out.contains(v) {
-                    out.push(v.clone());
-                }
-            }
-        };
-        push(&p.start.var);
-        for s in &p.steps {
-            push(&s.node.var);
-            match &s.connection {
-                Connection::Edge(e) => push(&e.var),
-                Connection::Path(pp) => {
-                    push(&pp.var);
-                    push(&pp.cost_var);
-                }
-            }
-        }
-        // `{k = e}` binders count as pattern variables too.
-        for n in p.nodes() {
-            for pe in &n.props {
-                if let gcore_parser::ast::Expr::Var(v) = &pe.value {
-                    if !out.contains(v) {
-                        out.push(v.clone());
-                    }
-                }
-            }
-        }
-    }
-
-    if m.optionals.len() < 2 {
-        return Ok(());
-    }
-    let mut main_vars = Vec::new();
-    for lp in &m.patterns {
-        pattern_vars(&lp.pattern, &mut main_vars);
-    }
-    let block_vars: Vec<Vec<String>> = m
-        .optionals
-        .iter()
-        .map(|b| {
-            let mut vs = Vec::new();
-            for lp in &b.patterns {
-                pattern_vars(&lp.pattern, &mut vs);
-            }
-            vs
-        })
-        .collect();
-    for i in 0..block_vars.len() {
-        for j in (i + 1)..block_vars.len() {
-            for v in &block_vars[i] {
-                if block_vars[j].contains(v) && !main_vars.contains(v) {
-                    return Err(SemanticError::OptionalSharedVariable(v.clone()).into());
-                }
-            }
-        }
-    }
-    Ok(())
-}
-
 /// Split a WHERE condition into its top-level AND conjuncts and keep the
 /// ones that reference exactly one variable and contain no subqueries —
 /// those can be evaluated the moment the variable is bound.
@@ -555,8 +484,8 @@ fn pushdown_prefilters(
     fn vars(e: &Expr, out: &mut Vec<String>) -> bool {
         match e {
             Expr::Var(v) => {
-                if !out.contains(v) {
-                    out.push(v.clone());
+                if !out.contains(&v.text) {
+                    out.push(v.text.clone());
                 }
                 true
             }

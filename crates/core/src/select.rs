@@ -43,7 +43,7 @@ pub fn eval_select(ev: &Evaluator<'_>, s: &SelectQuery, outer: Option<&Env<'_>>)
         .items
         .iter()
         .map(|i| match &i.alias {
-            Some(a) => a.clone(),
+            Some(a) => a.text.clone(),
             None => print_expr(&i.expr),
         })
         .collect();

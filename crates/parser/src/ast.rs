@@ -8,7 +8,162 @@
 //! basicGraphQuery::= constructClause (matchClause | FROM table)
 //! ```
 
+use crate::token::Span;
 use std::fmt;
+
+// ---------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------
+
+/// A byte span attached to an AST node.
+///
+/// `AstSpan` is *transparent to equality*: two AST nodes compare equal
+/// even when they were parsed from different positions. This keeps the
+/// pretty-printer round-trip invariant (`parse(print(q)) == q`) intact
+/// while still letting diagnostics point at the original source.
+#[derive(Clone, Copy, Default)]
+pub struct AstSpan(pub Span);
+
+impl AstSpan {
+    /// The underlying byte range.
+    #[must_use]
+    pub fn span(self) -> Span {
+        self.0
+    }
+
+    /// Merge two spans into one covering both.
+    #[must_use]
+    pub fn merge(self, other: AstSpan) -> AstSpan {
+        AstSpan(self.0.merge(other.0))
+    }
+}
+
+impl PartialEq for AstSpan {
+    fn eq(&self, _: &AstSpan) -> bool {
+        true
+    }
+}
+
+impl Eq for AstSpan {}
+
+impl fmt::Debug for AstSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.0.start, self.0.end)
+    }
+}
+
+impl From<Span> for AstSpan {
+    fn from(s: Span) -> AstSpan {
+        AstSpan(s)
+    }
+}
+
+/// An identifier (variable, graph/view/table name, alias, property key)
+/// together with its source position.
+///
+/// Equality ignores the span (see [`AstSpan`]), so tests can build
+/// identifiers with `"n".into()` and still compare whole ASTs.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Ident {
+    pub text: String,
+    pub span: AstSpan,
+}
+
+impl Ident {
+    /// An identifier with a known source position.
+    #[must_use]
+    pub fn new(text: impl Into<String>, span: Span) -> Ident {
+        Ident {
+            text: text.into(),
+            span: AstSpan(span),
+        }
+    }
+
+    /// The identifier text.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+}
+
+impl std::ops::Deref for Ident {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.text
+    }
+}
+
+impl std::borrow::Borrow<str> for Ident {
+    fn borrow(&self) -> &str {
+        &self.text
+    }
+}
+
+impl AsRef<str> for Ident {
+    fn as_ref(&self) -> &str {
+        &self.text
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl fmt::Debug for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}@{:?}", self.text, self.span)
+    }
+}
+
+impl From<&str> for Ident {
+    fn from(s: &str) -> Ident {
+        Ident {
+            text: s.to_owned(),
+            span: AstSpan::default(),
+        }
+    }
+}
+
+impl From<String> for Ident {
+    fn from(s: String) -> Ident {
+        Ident {
+            text: s,
+            span: AstSpan::default(),
+        }
+    }
+}
+
+impl PartialEq<str> for Ident {
+    fn eq(&self, other: &str) -> bool {
+        self.text == other
+    }
+}
+
+impl PartialEq<&str> for Ident {
+    fn eq(&self, other: &&str) -> bool {
+        self.text == *other
+    }
+}
+
+impl PartialEq<String> for Ident {
+    fn eq(&self, other: &String) -> bool {
+        self.text == *other
+    }
+}
+
+impl PartialEq<Ident> for String {
+    fn eq(&self, other: &Ident) -> bool {
+        *self == other.text
+    }
+}
+
+impl From<Ident> for String {
+    fn from(i: Ident) -> String {
+        i.text
+    }
+}
 
 // ---------------------------------------------------------------------
 // Top level
@@ -34,7 +189,7 @@ pub enum QueryBody {
 #[derive(Clone, PartialEq, Debug)]
 pub enum Statement {
     Query(Query),
-    GraphView { name: String, query: Query },
+    GraphView { name: Ident, query: Query },
 }
 
 /// PATH or query-local GRAPH clause in a query head.
@@ -52,7 +207,7 @@ pub enum HeadClause {
 /// here) constrain the segment non-linearly.
 #[derive(Clone, PartialEq, Debug)]
 pub struct PathClause {
-    pub name: String,
+    pub name: Ident,
     pub patterns: Vec<Pattern>,
     pub where_clause: Option<Expr>,
     pub cost: Option<Expr>,
@@ -61,7 +216,7 @@ pub struct PathClause {
 /// `GRAPH name AS (fullGraphQuery)` — a query-local view (SQL WITH).
 #[derive(Clone, PartialEq, Debug)]
 pub struct GraphClause {
-    pub name: String,
+    pub name: Ident,
     pub query: Box<Query>,
 }
 
@@ -107,7 +262,7 @@ pub enum QuerySource {
     Match(MatchClause),
     /// §5 "binding table inputs": one binding per table row, one value
     /// variable per column.
-    From(String),
+    From(Ident),
 }
 
 // ---------------------------------------------------------------------
@@ -119,6 +274,9 @@ pub enum QuerySource {
 pub struct MatchClause {
     pub patterns: Vec<LocatedPattern>,
     pub where_clause: Option<Expr>,
+    /// Source region of `where_clause` (for diagnostics on expressions
+    /// that contain no spanned identifier of their own).
+    pub where_span: AstSpan,
     pub optionals: Vec<OptionalBlock>,
 }
 
@@ -128,6 +286,8 @@ pub struct MatchClause {
 pub struct OptionalBlock {
     pub patterns: Vec<LocatedPattern>,
     pub where_clause: Option<Expr>,
+    /// Source region of `where_clause` (see [`MatchClause::where_span`]).
+    pub where_span: AstSpan,
 }
 
 /// A pattern with an optional `ON location` (§A.2 "basic graph patterns
@@ -142,7 +302,7 @@ pub struct LocatedPattern {
 /// full graph subquery.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Location {
-    Named(String),
+    Named(Ident),
     Subquery(Box<Query>),
 }
 
@@ -151,6 +311,8 @@ pub enum Location {
 pub struct Pattern {
     pub start: NodePattern,
     pub steps: Vec<PatternStep>,
+    /// Source region of the whole chain.
+    pub span: AstSpan,
 }
 
 impl Pattern {
@@ -159,6 +321,7 @@ impl Pattern {
         Pattern {
             start: node,
             steps: Vec::new(),
+            span: AstSpan::default(),
         }
     }
 
@@ -196,21 +359,22 @@ pub enum Direction {
 /// A node pattern `(x:L1|L2 {k = e, …})`.
 #[derive(Clone, PartialEq, Default, Debug)]
 pub struct NodePattern {
-    pub var: Option<String>,
+    pub var: Option<Ident>,
     pub labels: Vec<LabelDisjunction>,
     pub props: Vec<PropEntry>,
 }
 
 /// A disjunctive label test `:Post|Comment` — at least one must hold.
+/// The second field is the source span of the test.
 #[derive(Clone, PartialEq, Debug)]
-pub struct LabelDisjunction(pub Vec<String>);
+pub struct LabelDisjunction(pub Vec<String>, pub AstSpan);
 
 /// `{key = expr}` inside a MATCH element: if `expr` is a plain variable
 /// it *binds* that variable to each value of the (multi-valued) property,
 /// unrolling; otherwise it filters by set membership.
 #[derive(Clone, PartialEq, Debug)]
 pub struct PropEntry {
-    pub key: String,
+    pub key: Ident,
     pub value: Expr,
 }
 
@@ -218,7 +382,7 @@ pub struct PropEntry {
 #[derive(Clone, PartialEq, Debug)]
 pub struct EdgePattern {
     pub direction: Direction,
-    pub var: Option<String>,
+    pub var: Option<Ident>,
     pub labels: Vec<LabelDisjunction>,
     pub props: Vec<PropEntry>,
 }
@@ -240,14 +404,16 @@ pub struct PathPattern {
     pub mode: PathMode,
     /// `@` prefix: bind existing *stored* paths instead of computing one.
     pub stored: bool,
-    pub var: Option<String>,
+    pub var: Option<Ident>,
     /// Label tests on the (stored) path object.
     pub labels: Vec<LabelDisjunction>,
     /// The regular expression between `<` and `>`; `None` for pure
     /// stored-path patterns.
     pub regex: Option<Regex>,
     /// `COST c` binds the path cost to a value variable.
-    pub cost_var: Option<String>,
+    pub cost_var: Option<Ident>,
+    /// Source region of the `-/…/->` connection.
+    pub span: AstSpan,
 }
 
 /// Regular expressions over edge labels, inverse labels, node tests,
@@ -303,6 +469,8 @@ pub enum ConstructItem {
 pub struct ConstructPattern {
     pub start: ConstructNode,
     pub steps: Vec<ConstructStep>,
+    /// Source region of the pattern chain (not including WHEN/SET/REMOVE).
+    pub span: AstSpan,
     /// `WHEN cond` — per-group filter (§A.3).
     pub when: Option<Expr>,
     /// Trailing `SET` assignments.
@@ -328,9 +496,9 @@ pub enum ConstructConnection {
 /// `(x GROUP e :Company {name := e})`.
 #[derive(Clone, PartialEq, Default, Debug)]
 pub struct ConstructNode {
-    pub var: Option<String>,
+    pub var: Option<Ident>,
     /// `(=n)` — construct a fresh element copying n's labels/properties.
-    pub copy_of: Option<String>,
+    pub copy_of: Option<Ident>,
     /// Explicit `GROUP` expressions extending the grouping set Γ.
     pub group: Option<Vec<Expr>>,
     pub labels: Vec<String>,
@@ -342,8 +510,8 @@ pub struct ConstructNode {
 #[derive(Clone, PartialEq, Debug)]
 pub struct ConstructEdge {
     pub direction: Direction,
-    pub var: Option<String>,
-    pub copy_of: Option<String>,
+    pub var: Option<Ident>,
+    pub copy_of: Option<Ident>,
     pub group: Option<Vec<Expr>>,
     pub labels: Vec<String>,
     pub assigns: Vec<PropAssign>,
@@ -356,7 +524,7 @@ pub struct ConstructPath {
     /// `@` — store the path object in the result graph; without it the
     /// path's nodes and edges are merely projected.
     pub stored: bool,
-    pub var: String,
+    pub var: Ident,
     pub labels: Vec<String>,
     pub assigns: Vec<PropAssign>,
 }
@@ -364,7 +532,7 @@ pub struct ConstructPath {
 /// `key := expr` inside a construct element.
 #[derive(Clone, PartialEq, Debug)]
 pub struct PropAssign {
-    pub key: String,
+    pub key: Ident,
     pub value: Expr,
 }
 
@@ -373,23 +541,23 @@ pub struct PropAssign {
 pub enum SetItem {
     /// `SET x.k := expr` — (+x.k = ξ).
     Prop {
-        var: String,
+        var: Ident,
         key: String,
         value: Expr,
     },
     /// `SET x:Label` — (+x : l).
-    Label { var: String, label: String },
+    Label { var: Ident, label: String },
     /// `SET x = y` — copy all labels and properties of y onto x (+x = y).
-    Copy { var: String, from: String },
+    Copy { var: Ident, from: Ident },
 }
 
 /// Trailing `REMOVE` items (§A.3 Remove assignments).
 #[derive(Clone, PartialEq, Debug)]
 pub enum RemoveItem {
     /// `REMOVE x.k` — (−x.k).
-    Prop { var: String, key: String },
+    Prop { var: Ident, key: String },
     /// `REMOVE x:Label` — (−x : l).
-    Label { var: String, label: String },
+    Label { var: Ident, label: String },
 }
 
 // ---------------------------------------------------------------------
@@ -412,7 +580,7 @@ pub struct SelectQuery {
 #[derive(Clone, PartialEq, Debug)]
 pub struct SelectItem {
     pub expr: Expr,
-    pub alias: Option<String>,
+    pub alias: Option<Ident>,
 }
 
 /// One ORDER BY key.
@@ -436,7 +604,7 @@ pub enum Expr {
     Null,
     /// `DATE '2020-01-02'`.
     DateLit(String),
-    Var(String),
+    Var(Ident),
     /// `x.k` — property access (σ(x,k), a value set).
     Prop(Box<Expr>, String),
     /// `x:Person` or `x:Post|Comment` — label test (x:ℓ).
@@ -672,6 +840,36 @@ impl AggOp {
 }
 
 impl Expr {
+    /// The source span of the leftmost spanned identifier inside this
+    /// expression, if any. Literals carry no span of their own, so an
+    /// all-literal expression yields `None`; callers fall back to the
+    /// enclosing clause span.
+    #[must_use]
+    pub fn first_span(&self) -> Option<Span> {
+        match self {
+            Expr::Var(v) => Some(v.span.span()),
+            Expr::Prop(e, _) | Expr::LabelTest(e, _) | Expr::Unary(_, e) => e.first_span(),
+            Expr::Index(a, b) | Expr::Binary(_, a, b) => a.first_span().or_else(|| b.first_span()),
+            Expr::Func(_, args) => args.iter().find_map(Expr::first_span),
+            Expr::Aggregate { arg, .. } => arg.as_deref().and_then(Expr::first_span),
+            Expr::Case {
+                operand,
+                whens,
+                else_,
+            } => operand
+                .as_deref()
+                .and_then(Expr::first_span)
+                .or_else(|| {
+                    whens
+                        .iter()
+                        .find_map(|(c, r)| c.first_span().or_else(|| r.first_span()))
+                })
+                .or_else(|| else_.as_deref().and_then(Expr::first_span)),
+            Expr::PatternPredicate(p) => Some(p.span.span()),
+            _ => None,
+        }
+    }
+
     /// Does this expression (transitively) contain an aggregate?
     pub fn contains_aggregate(&self) -> bool {
         match self {

@@ -16,6 +16,7 @@
 //! assert_eq!(q.heads.len(), 0);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod ast;
 pub mod error;
 pub mod lexer;

@@ -82,6 +82,11 @@ impl<'a> Parser<'a> {
         self.toks[self.pos].span
     }
 
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span
+    }
+
     fn bump(&mut self) -> Tok {
         let t = self.toks[self.pos].tok.clone();
         if self.pos + 1 < self.toks.len() {
@@ -158,13 +163,19 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// An identifier together with its source span.
+    fn spanned_ident(&mut self) -> PResult<Ident> {
+        let span = self.span();
+        Ok(Ident::new(self.ident()?, span))
+    }
+
     // -- statements & queries --------------------------------------------
 
     fn statement(&mut self) -> PResult<Statement> {
         if self.check_kw(Kw::Graph) && matches!(self.peek_at(1), Tok::Kw(Kw::View)) {
             self.bump(); // GRAPH
             self.bump(); // VIEW
-            let name = self.ident()?;
+            let name = self.spanned_ident()?;
             self.expect_kw(Kw::As)?;
             self.expect(Tok::LParen)?;
             let query = self.query()?;
@@ -196,7 +207,7 @@ impl<'a> Parser<'a> {
     /// `PATH name = pattern (, pattern)* [WHERE cond] [COST expr]`
     fn path_clause(&mut self) -> PResult<PathClause> {
         self.expect_kw(Kw::Path)?;
-        let name = self.ident()?;
+        let name = self.spanned_ident()?;
         self.expect(Tok::Eq)?;
         let mut patterns = vec![self.pattern()?];
         while self.peek() == &Tok::Comma {
@@ -229,7 +240,7 @@ impl<'a> Parser<'a> {
     /// `GRAPH name AS (fullGraphQuery)` — query-local view.
     fn graph_clause(&mut self) -> PResult<GraphClause> {
         self.expect_kw(Kw::Graph)?;
-        let name = self.ident()?;
+        let name = self.spanned_ident()?;
         self.expect_kw(Kw::As)?;
         self.expect(Tok::LParen)?;
         let query = self.query()?;
@@ -282,6 +293,7 @@ impl<'a> Parser<'a> {
                     source: QuerySource::Match(MatchClause {
                         patterns: Vec::new(),
                         where_clause: None,
+                        where_span: AstSpan::default(),
                         optionals: Vec::new(),
                     }),
                 }))
@@ -295,12 +307,13 @@ impl<'a> Parser<'a> {
         let source = if self.check_kw(Kw::Match) {
             QuerySource::Match(self.match_clause()?)
         } else if self.eat_kw(Kw::From) {
-            QuerySource::From(self.ident()?)
+            QuerySource::From(self.spanned_ident()?)
         } else {
             // CONSTRUCT with no binding source: single empty binding.
             QuerySource::Match(MatchClause {
                 patterns: Vec::new(),
                 where_clause: None,
+                where_span: AstSpan::default(),
                 optionals: Vec::new(),
             })
         };
@@ -312,29 +325,34 @@ impl<'a> Parser<'a> {
     fn match_clause(&mut self) -> PResult<MatchClause> {
         self.expect_kw(Kw::Match)?;
         let patterns = self.located_patterns()?;
-        let where_clause = if self.eat_kw(Kw::Where) {
-            Some(self.expr()?)
-        } else {
-            None
-        };
+        let (where_clause, where_span) = self.maybe_where()?;
         let mut optionals = Vec::new();
         while self.eat_kw(Kw::Optional) {
             let patterns = self.located_patterns()?;
-            let where_clause = if self.eat_kw(Kw::Where) {
-                Some(self.expr()?)
-            } else {
-                None
-            };
+            let (where_clause, where_span) = self.maybe_where()?;
             optionals.push(OptionalBlock {
                 patterns,
                 where_clause,
+                where_span,
             });
         }
         Ok(MatchClause {
             patterns,
             where_clause,
+            where_span,
             optionals,
         })
+    }
+
+    /// `[WHERE cond]`, also yielding the source span of the condition.
+    fn maybe_where(&mut self) -> PResult<(Option<Expr>, AstSpan)> {
+        if self.eat_kw(Kw::Where) {
+            let lo = self.span();
+            let e = self.expr()?;
+            Ok((Some(e), AstSpan(lo.merge(self.prev_span()))))
+        } else {
+            Ok((None, AstSpan::default()))
+        }
     }
 
     fn located_patterns(&mut self) -> PResult<Vec<LocatedPattern>> {
@@ -366,7 +384,7 @@ impl<'a> Parser<'a> {
                     self.expect(Tok::RParen)?;
                     Some(Location::Subquery(Box::new(q)))
                 }
-                _ => Some(Location::Named(self.ident()?)),
+                _ => Some(Location::Named(self.spanned_ident()?)),
             }
         } else {
             None
@@ -375,20 +393,25 @@ impl<'a> Parser<'a> {
     }
 
     fn pattern(&mut self) -> PResult<Pattern> {
+        let lo = self.span();
         let start = self.node_pattern()?;
         let mut steps = Vec::new();
         while let Some(connection) = self.maybe_connection()? {
             let node = self.node_pattern()?;
             steps.push(PatternStep { connection, node });
         }
-        Ok(Pattern { start, steps })
+        Ok(Pattern {
+            start,
+            steps,
+            span: AstSpan(lo.merge(self.prev_span())),
+        })
     }
 
     /// `(x:Label|Label {k = e, …})`
     fn node_pattern(&mut self) -> PResult<NodePattern> {
         self.expect(Tok::LParen)?;
         let var = match self.peek() {
-            Tok::Ident(_) => Some(self.ident()?),
+            Tok::Ident(_) => Some(self.spanned_ident()?),
             _ => None,
         };
         let labels = self.label_disjunctions()?;
@@ -409,19 +432,24 @@ impl<'a> Parser<'a> {
     /// `:A|B :C` — a conjunction of disjunctive label groups.
     fn label_disjunctions(&mut self) -> PResult<Vec<LabelDisjunction>> {
         let mut groups = Vec::new();
-        while self.eat(&Tok::Colon) {
+        while self.peek() == &Tok::Colon {
+            let lo = self.span();
+            self.bump();
             let mut labels = vec![self.ident()?];
             while self.eat(&Tok::Pipe) {
                 labels.push(self.ident()?);
             }
-            groups.push(LabelDisjunction(labels));
+            groups.push(LabelDisjunction(
+                labels,
+                AstSpan(lo.merge(self.prev_span())),
+            ));
         }
         Ok(groups)
     }
 
     /// `key = expr` inside a MATCH property map.
     fn prop_entry(&mut self) -> PResult<PropEntry> {
-        let key = self.ident()?;
+        let key = self.spanned_ident()?;
         self.expect(Tok::Eq)?;
         let value = self.expr()?;
         Ok(PropEntry { key, value })
@@ -430,6 +458,7 @@ impl<'a> Parser<'a> {
     /// Try to parse the connector that starts a new pattern step. Returns
     /// `None` when the pattern chain ends here.
     fn maybe_connection(&mut self) -> PResult<Option<Connection>> {
+        let lo = self.span();
         match (self.peek(), self.peek_at(1)) {
             // -[ …  |  -/ …  |  -( (anonymous edge)  |  -> (
             (Tok::Minus, Tok::LBracket) => {
@@ -441,7 +470,7 @@ impl<'a> Parser<'a> {
             (Tok::Minus, Tok::Slash) => {
                 self.bump();
                 self.bump();
-                let conn = self.path_pattern_tail(false)?;
+                let conn = self.path_pattern_tail(false, lo)?;
                 Ok(Some(conn))
             }
             (Tok::Minus, Tok::Gt) if matches!(self.peek_at(2), Tok::LParen) => {
@@ -478,7 +507,7 @@ impl<'a> Parser<'a> {
                         self.bump();
                         self.bump();
                         self.bump();
-                        let conn = self.path_pattern_tail(true)?;
+                        let conn = self.path_pattern_tail(true, lo)?;
                         Ok(Some(conn))
                     }
                     Tok::LParen => {
@@ -502,7 +531,7 @@ impl<'a> Parser<'a> {
     /// After `-[` / `<-[`: parse the interior, `]`, and the closing arrow.
     fn edge_pattern_tail(&mut self, incoming: bool) -> PResult<Connection> {
         let var = match self.peek() {
-            Tok::Ident(_) => Some(self.ident()?),
+            Tok::Ident(_) => Some(self.spanned_ident()?),
             _ => None,
         };
         let labels = self.label_disjunctions()?;
@@ -538,7 +567,7 @@ impl<'a> Parser<'a> {
     ///
     /// Interior: `[n SHORTEST | SHORTEST | ALL] [@]var? [:labels]
     /// [<regex>] [COST var]`.
-    fn path_pattern_tail(&mut self, incoming: bool) -> PResult<Connection> {
+    fn path_pattern_tail(&mut self, incoming: bool, lo: Span) -> PResult<Connection> {
         let mode = if self.eat_kw(Kw::All) {
             PathMode::All
         } else if self.eat_kw(Kw::Shortest) {
@@ -559,7 +588,7 @@ impl<'a> Parser<'a> {
         };
         let stored = self.eat(&Tok::At);
         let var = match self.peek() {
-            Tok::Ident(_) => Some(self.ident()?),
+            Tok::Ident(_) => Some(self.spanned_ident()?),
             _ => None,
         };
         let labels = self.label_disjunctions()?;
@@ -571,7 +600,7 @@ impl<'a> Parser<'a> {
             None
         };
         let cost_var = if self.eat_kw(Kw::Cost) {
-            Some(self.ident()?)
+            Some(self.spanned_ident()?)
         } else {
             None
         };
@@ -597,6 +626,7 @@ impl<'a> Parser<'a> {
             labels,
             regex,
             cost_var,
+            span: AstSpan(lo.merge(self.prev_span())),
         }))
     }
 
@@ -686,12 +716,14 @@ impl<'a> Parser<'a> {
     }
 
     fn construct_pattern(&mut self) -> PResult<ConstructPattern> {
+        let lo = self.span();
         let start = self.construct_node()?;
         let mut steps = Vec::new();
         while let Some(connection) = self.maybe_construct_connection()? {
             let node = self.construct_node()?;
             steps.push(ConstructStep { connection, node });
         }
+        let span = AstSpan(lo.merge(self.prev_span()));
         let mut when = None;
         let mut sets = Vec::new();
         let mut removes = Vec::new();
@@ -712,6 +744,7 @@ impl<'a> Parser<'a> {
         Ok(ConstructPattern {
             start,
             steps,
+            span,
             when,
             sets,
             removes,
@@ -722,9 +755,9 @@ impl<'a> Parser<'a> {
         self.expect(Tok::LParen)?;
         let mut node = ConstructNode::default();
         if self.eat(&Tok::Eq) {
-            node.copy_of = Some(self.ident()?);
+            node.copy_of = Some(self.spanned_ident()?);
         } else if let Tok::Ident(_) = self.peek() {
-            node.var = Some(self.ident()?);
+            node.var = Some(self.spanned_ident()?);
         }
         if self.eat_kw(Kw::Group) {
             node.group = Some(self.group_exprs()?);
@@ -773,7 +806,7 @@ impl<'a> Parser<'a> {
     }
 
     fn prop_assign(&mut self) -> PResult<PropAssign> {
-        let key = self.ident()?;
+        let key = self.spanned_ident()?;
         self.expect(Tok::Assign)?;
         let value = self.expr()?;
         Ok(PropAssign { key, value })
@@ -820,9 +853,9 @@ impl<'a> Parser<'a> {
             assigns: Vec::new(),
         };
         if self.eat(&Tok::Eq) {
-            edge.copy_of = Some(self.ident()?);
+            edge.copy_of = Some(self.spanned_ident()?);
         } else if let Tok::Ident(_) = self.peek() {
-            edge.var = Some(self.ident()?);
+            edge.var = Some(self.spanned_ident()?);
         }
         if self.eat_kw(Kw::Group) {
             edge.group = Some(self.group_exprs()?);
@@ -843,7 +876,7 @@ impl<'a> Parser<'a> {
 
     fn construct_path_tail(&mut self, incoming: bool) -> PResult<ConstructConnection> {
         let stored = self.eat(&Tok::At);
-        let var = self.ident()?;
+        let var = self.spanned_ident()?;
         let labels = self.construct_labels()?;
         let assigns = self.maybe_assign_map()?;
         self.expect(Tok::Slash)?;
@@ -865,7 +898,7 @@ impl<'a> Parser<'a> {
     }
 
     fn set_item(&mut self) -> PResult<SetItem> {
-        let var = self.ident()?;
+        let var = self.spanned_ident()?;
         if self.eat(&Tok::Dot) {
             let key = self.ident()?;
             self.expect(Tok::Assign)?;
@@ -875,7 +908,7 @@ impl<'a> Parser<'a> {
             let label = self.ident()?;
             Ok(SetItem::Label { var, label })
         } else if self.eat(&Tok::Eq) {
-            let from = self.ident()?;
+            let from = self.spanned_ident()?;
             Ok(SetItem::Copy { var, from })
         } else {
             Err(self.err_expected("'.' , ':' or '=' after SET variable"))
@@ -883,7 +916,7 @@ impl<'a> Parser<'a> {
     }
 
     fn remove_item(&mut self) -> PResult<RemoveItem> {
-        let var = self.ident()?;
+        let var = self.spanned_ident()?;
         if self.eat(&Tok::Dot) {
             let key = self.ident()?;
             Ok(RemoveItem::Prop { var, key })
@@ -962,17 +995,18 @@ impl<'a> Parser<'a> {
 
     /// An identifier, also accepting keywords (for positions where the
     /// grammar is unambiguous, e.g. SELECT aliases).
-    fn ident_or_keyword(&mut self) -> PResult<String> {
+    fn ident_or_keyword(&mut self) -> PResult<Ident> {
+        let span = self.span();
         match self.peek() {
             Tok::Ident(s) => {
                 let s = s.clone();
                 self.bump();
-                Ok(s)
+                Ok(Ident::new(s, span))
             }
             Tok::Kw(k) => {
                 let s = k.as_str().to_ascii_lowercase();
                 self.bump();
-                Ok(s)
+                Ok(Ident::new(s, span))
             }
             _ => Err(self.err_expected("identifier")),
         }
@@ -1159,8 +1193,9 @@ impl<'a> Parser<'a> {
                 if matches!(self.peek_at(1), Tok::LParen) {
                     self.call_expr(&name)
                 } else {
+                    let span = self.span();
                     self.bump();
-                    Ok(Expr::Var(name))
+                    Ok(Expr::Var(Ident::new(name, span)))
                 }
             }
             Tok::LParen => self.paren_or_pattern(),

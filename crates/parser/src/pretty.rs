@@ -150,7 +150,7 @@ fn print_node(n: &NodePattern) -> String {
     if let Some(v) = &n.var {
         out.push_str(v);
     }
-    for LabelDisjunction(labels) in &n.labels {
+    for LabelDisjunction(labels, _) in &n.labels {
         let _ = write!(out, ":{}", labels.join("|"));
     }
     if !n.props.is_empty() {
@@ -173,7 +173,7 @@ fn print_edge(e: &EdgePattern) -> String {
     if let Some(v) = &e.var {
         inner.push_str(v);
     }
-    for LabelDisjunction(labels) in &e.labels {
+    for LabelDisjunction(labels, _) in &e.labels {
         let _ = write!(inner, ":{}", labels.join("|"));
     }
     if !e.props.is_empty() {
@@ -209,7 +209,7 @@ fn print_path_pattern(p: &PathPattern) -> String {
     if let Some(v) = &p.var {
         inner.push_str(v);
     }
-    for LabelDisjunction(labels) in &p.labels {
+    for LabelDisjunction(labels, _) in &p.labels {
         let _ = write!(inner, ":{}", labels.join("|"));
     }
     if let Some(r) = &p.regex {
@@ -310,8 +310,8 @@ fn print_construct_pattern(p: &ConstructPattern) -> String {
 }
 
 fn construct_element_inner(
-    var: &Option<String>,
-    copy_of: &Option<String>,
+    var: &Option<Ident>,
+    copy_of: &Option<Ident>,
     group: &Option<Vec<Expr>>,
     labels: &[String],
     assigns: &[PropAssign],
@@ -456,7 +456,7 @@ pub fn print_expr(e: &Expr) -> String {
         Expr::Bool(false) => "FALSE".into(),
         Expr::Null => "NULL".into(),
         Expr::DateLit(d) => format!("DATE '{d}'"),
-        Expr::Var(v) => v.clone(),
+        Expr::Var(v) => v.text.clone(),
         Expr::Prop(base, key) => format!("{}.{key}", print_expr(base)),
         Expr::LabelTest(base, labels) => {
             format!("({}:{})", print_expr(base), labels.join("|"))

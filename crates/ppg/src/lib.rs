@@ -26,6 +26,7 @@
 //! assert_eq!(g.path(p).unwrap().shape.length(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::len_without_is_empty)]
 

@@ -19,6 +19,7 @@
 //! assert_eq!(big.persons.len(), 1000);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod figure2;

@@ -46,6 +46,7 @@
 //! assert_eq!(reloaded.graph("people").unwrap().node_count(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;

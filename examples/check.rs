@@ -1,0 +1,74 @@
+//! `gcore-check` as a command-line linter: statically analyze G-CORE
+//! scripts without evaluating them, print rustc-style diagnostics, and
+//! exit nonzero when any error-severity diagnostic is found.
+//!
+//! ```sh
+//! # Lint the paper's §3/§5 corpus (the default):
+//! cargo run --example check
+//!
+//! # Lint your own `;`-separated script files:
+//! cargo run --example check -- my_queries.gcore more.gcore
+//! ```
+
+use gcore_repro::corpus;
+use gcore_repro::engine::{render_all, Engine};
+use gcore_repro::ppg::IdGen;
+use gcore_repro::snb::{figure2, social_dataset};
+use std::process::ExitCode;
+
+/// An engine with the guided-tour catalog (social graph, company graph,
+/// orders table, Figure 2) — the data the corpus queries expect, so the
+/// catalog-aware lints resolve names against something real.
+fn tour_engine() -> Engine {
+    let mut engine = Engine::new();
+    let ids: IdGen = engine.catalog().ids().clone();
+    let d = social_dataset(&ids);
+    engine.register_graph("social_graph", d.social_graph);
+    engine.register_graph("company_graph", d.company_graph);
+    engine.register_graph("figure2", figure2(&ids));
+    engine.register_table("orders", d.orders);
+    engine.set_default_graph("social_graph");
+    engine
+}
+
+fn main() -> ExitCode {
+    let engine = tour_engine();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut lint = |name: &str, text: &str| {
+        let diags = engine.check_script(text);
+        errors += diags.iter().filter(|d| d.is_error()).count();
+        warnings += diags.iter().filter(|d| !d.is_error()).count();
+        if !diags.is_empty() {
+            println!("── {name} ──");
+            println!("{}", render_all(&diags, text));
+        }
+    };
+
+    if args.is_empty() {
+        // Default: the paper's whole corpus, in listing order. Views
+        // defined by earlier queries are resolved by joining the corpus
+        // into one script.
+        let script: Vec<&str> = corpus::ALL.iter().map(|q| q.text).collect();
+        lint("corpus (§3/§5)", &script.join("\n"));
+    } else {
+        for path in &args {
+            match std::fs::read_to_string(path) {
+                Ok(text) => lint(path, &text),
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    println!("gcore-check: {errors} errors, {warnings} warnings");
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

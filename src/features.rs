@@ -219,7 +219,7 @@ fn walk_match(m: &MatchClause, out: &mut BTreeSet<Feature>) {
         .patterns
         .iter()
         .filter_map(|lp| match &lp.on {
-            Some(Location::Named(n)) => Some(n.clone()),
+            Some(Location::Named(n)) => Some(n.text.clone()),
             _ => None,
         })
         .collect();
@@ -270,22 +270,22 @@ fn pattern_vars(p: &Pattern) -> BTreeSet<String> {
     let mut vars = BTreeSet::new();
     for n in p.nodes() {
         if let Some(v) = &n.var {
-            vars.insert(v.clone());
+            vars.insert(v.text.clone());
         }
     }
     for s in &p.steps {
         match &s.connection {
             Connection::Edge(e) => {
                 if let Some(v) = &e.var {
-                    vars.insert(v.clone());
+                    vars.insert(v.text.clone());
                 }
             }
             Connection::Path(pp) => {
                 if let Some(v) = &pp.var {
-                    vars.insert(v.clone());
+                    vars.insert(v.text.clone());
                 }
                 if let Some(c) = &pp.cost_var {
-                    vars.insert(c.clone());
+                    vars.insert(c.text.clone());
                 }
             }
         }

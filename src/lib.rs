@@ -16,6 +16,7 @@
 //!   numbers;
 //! - [`features`] — static feature detection over parsed queries.
 
+#![forbid(unsafe_code)]
 pub use gcore as engine;
 pub use gcore_parser as parser;
 pub use gcore_ppg as ppg;

@@ -1,0 +1,211 @@
+//! Soundness of the static analyzer: no error-severity false
+//! positives. Every query known to evaluate successfully — the §3/§5
+//! paper corpus, the SNB-1000 benchmark mix, and randomized
+//! pattern/construct combinations — must produce zero error
+//! diagnostics (warnings are fine: they never gate evaluation).
+
+mod common;
+
+use common::tour;
+use gcore_repro::corpus;
+use gcore_repro::engine::{Engine, EngineError, SemanticError};
+use proptest::prelude::*;
+
+/// Every corpus query checks clean (no errors) against the catalog
+/// state it runs in, *and* still evaluates successfully afterwards —
+/// check-then-run in paper order, so views defined by earlier queries
+/// exist for later ones.
+#[test]
+fn corpus_checks_clean_then_runs() {
+    let mut t = tour();
+    for q in corpus::ALL {
+        let errors: Vec<_> = t
+            .engine
+            .check(q.text)
+            .into_iter()
+            .filter(|d| d.is_error())
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "corpus query '{}' has static errors: {errors:?}",
+            q.id
+        );
+        t.engine
+            .run(q.text)
+            .unwrap_or_else(|e| panic!("corpus query '{}' failed to run: {e}", q.id));
+    }
+}
+
+/// The benchmark query mix over a generated SNB network with 1000
+/// persons: every query checks clean and evaluates.
+#[test]
+fn snb_1000_checks_clean_then_runs() {
+    // The same mixed read-only corpus the concurrency benchmarks use.
+    const SNB_QUERIES: &[&str] = &[
+        "CONSTRUCT (n) MATCH (n:Person)",
+        "CONSTRUCT (n) MATCH (n:Person) WHERE n.personId < 50",
+        "CONSTRUCT (n)-[e]->(m) MATCH (n:Person)-[e:knows]->(m:Person) WHERE n.personId < 50",
+        "CONSTRUCT (n)-[:fof]->(k) \
+         MATCH (n:Person)-[:knows]->(m:Person)-[:knows]->(k:Person) WHERE n.personId < 10",
+        "CONSTRUCT (a)-[:colleague]->(b) \
+         MATCH (a:Person {employer = e}), (b:Person) WHERE e IN b.employer AND a.personId < 20",
+        "CONSTRUCT (n) SET n.msgs := COUNT(*) \
+         MATCH (n:Person) OPTIONAL (n)<-[:has_creator]-(msg:Post) WHERE n.personId < 100",
+        "CONSTRUCT (n) MATCH (n:Person) \
+         WHERE (n)-[:hasInterest]->(:Tag {name = 'Wagner'}) AND n.personId < 200",
+        "SELECT n.personId AS id, n.firstName AS name MATCH (n:Person) WHERE n.personId < 300",
+        "CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person) WHERE n.personId = 0",
+        "CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person) WHERE n.personId = 3",
+        "CONSTRUCT (n)-/@p:sp/->(m) \
+         MATCH (n:Person)-/p <:knows*>/->(m:Person) WHERE n.personId = 1",
+        "CONSTRUCT (m) MATCH (n:Person)-/<:knows :knows->/->(m:Person) WHERE n.personId < 5",
+        "CONSTRUCT (t) MATCH (n:Person)-[:hasInterest]->(t:Tag) WHERE n.personId < 150",
+        "CONSTRUCT (c) MATCH (c:City)<-[:isLocatedIn]-(n:Person) WHERE n.personId < 120",
+        "SELECT m.firstName AS friend MATCH (n:Person)-[:knows]->(m:Person) WHERE n.personId < 80",
+        "CONSTRUCT (n)-[:nearby]->(m) \
+         MATCH (n:Person)-[:isLocatedIn]->(c)<-[:isLocatedIn]-(m:Person) WHERE n.personId < 6",
+    ];
+
+    let mut engine = Engine::new();
+    let data = gcore_repro::snb::generate(
+        &gcore_repro::snb::SnbConfig::scale(1000),
+        &engine.catalog().ids().clone(),
+    );
+    engine.register_graph("snb", data.graph);
+    engine.set_default_graph("snb");
+
+    for q in SNB_QUERIES {
+        let errors: Vec<_> = engine
+            .check(q)
+            .into_iter()
+            .filter(|d| d.is_error())
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "SNB query `{q}` has static errors: {errors:?}"
+        );
+        engine
+            .run(q)
+            .unwrap_or_else(|e| panic!("SNB query `{q}` failed to run: {e}"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Randomized soundness: analyzer-clean queries never hit runtime sort
+// errors.
+// ---------------------------------------------------------------------
+
+const VARS: [&str; 5] = ["a", "b", "c", "d", "p"];
+
+/// A random MATCH step: edge or path connection between two variables
+/// from the shared pool (overlaps on purpose, to provoke conflicts).
+#[derive(Clone, Debug)]
+struct Step {
+    from: usize,
+    conn: usize,
+    to: usize,
+    path: bool,
+    all: bool,
+}
+
+/// A random CONSTRUCT pattern over the same pool.
+#[derive(Clone, Debug)]
+struct Cons {
+    from: usize,
+    conn: usize,
+    to: usize,
+    path: bool,
+    stored: bool,
+}
+
+fn render(steps: &[Step], cons: &[Cons]) -> String {
+    let c: Vec<String> = cons
+        .iter()
+        .map(|c| {
+            let (f, x, t) = (VARS[c.from], VARS[c.conn], VARS[c.to]);
+            if c.path {
+                let at = if c.stored { "@" } else { "" };
+                format!("({f})-/{at}{x}/->({t})")
+            } else {
+                format!("({f})-[{x}]->({t})")
+            }
+        })
+        .collect();
+    let m: Vec<String> = steps
+        .iter()
+        .map(|s| {
+            let (f, x, t) = (VARS[s.from], VARS[s.conn], VARS[s.to]);
+            if s.path {
+                let mode = if s.all { "ALL " } else { "" };
+                format!("({f})-/{mode}{x} <:knows*>/->({t})")
+            } else {
+                format!("({f})-[{x}:knows]->({t})")
+            }
+        })
+        .collect();
+    format!("CONSTRUCT {} MATCH {}", c.join(", "), m.join(", "))
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    (
+        0..5usize,
+        0..5usize,
+        0..5usize,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(from, conn, to, path, all)| Step {
+            from,
+            conn,
+            to,
+            path,
+            all,
+        })
+}
+
+fn cons() -> impl Strategy<Value = Cons> {
+    (
+        0..5usize,
+        0..5usize,
+        0..5usize,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(from, conn, to, path, stored)| Cons {
+            from,
+            conn,
+            to,
+            path,
+            stored,
+        })
+}
+
+proptest! {
+    /// If the analyzer reports no errors, evaluation never fails with a
+    /// sort error (E001) — the static sort inference is sound for this
+    /// query family. (Other semantic raises, e.g. edge-identity E010,
+    /// are runtime-value-dependent and out of scope here.)
+    #[test]
+    fn analyzer_clean_queries_have_no_runtime_sort_errors(
+        steps in prop::collection::vec(step(), 1..3),
+        cs in prop::collection::vec(cons(), 1..3),
+    ) {
+        let text = render(&steps, &cs);
+        // Not every combination parses; nothing to assert for those.
+        if let Ok(stmt) = gcore_repro::parser::parse_statement(&text) {
+            let clean = gcore_repro::engine::analyze_statement(&stmt, None)
+                .iter()
+                .all(|d| !d.is_error());
+            if clean {
+                let mut t = tour();
+                if let Err(EngineError::Semantic(se)) = t.engine.run(&text) {
+                    prop_assert!(
+                        !matches!(se, SemanticError::SortMismatch { .. })
+                            && !matches!(se, SemanticError::Analysis(_)),
+                        "analyzer-clean query `{}` hit a runtime sort error: {}", text, se
+                    );
+                }
+            }
+        }
+    }
+}

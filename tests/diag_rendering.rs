@@ -1,0 +1,104 @@
+//! Golden-file tests for the rustc-style diagnostic renderer: the
+//! exact rendered text (gutter, caret underline, notes, help, summary
+//! line) is pinned under `tests/golden/`.
+//!
+//! To regenerate after an intentional renderer change:
+//!
+//! ```sh
+//! GOLDEN_BLESS=1 cargo test --test diag_rendering
+//! ```
+
+mod common;
+
+use common::tour;
+use gcore_repro::engine::render_all;
+use std::path::PathBuf;
+
+/// Compare (or, under `GOLDEN_BLESS=1`, rewrite) one golden file.
+fn assert_golden(name: &str, actual: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with GOLDEN_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "rendered diagnostics for {name} diverge from the golden file; \
+         if the change is intentional, regenerate with GOLDEN_BLESS=1"
+    );
+}
+
+fn rendered(text: &str) -> String {
+    let t = tour();
+    render_all(&t.engine.check(text), text)
+}
+
+#[test]
+fn golden_sort_mismatch() {
+    // Two independent E001 conflicts, collected in one report.
+    assert_golden(
+        "sort_mismatch.txt",
+        &rendered("CONSTRUCT (e), (c) MATCH (n)-[e:knows]->(m)-/p <:knows*> COST c/->(k)"),
+    );
+}
+
+#[test]
+fn golden_unbound_and_unused() {
+    assert_golden(
+        "unbound_and_unused.txt",
+        &rendered("CONSTRUCT (n) MATCH (n:Person)-[e:knows]->(m) WHERE ghost.age > 1"),
+    );
+}
+
+#[test]
+fn golden_optional_shared() {
+    assert_golden(
+        "optional_shared.txt",
+        &rendered(
+            "CONSTRUCT (n) MATCH (n:Person) \
+             OPTIONAL (n)-[:worksAt]->(a) OPTIONAL (n)-[:livesIn]->(a)",
+        ),
+    );
+}
+
+#[test]
+fn golden_parse_error() {
+    assert_golden("parse_error.txt", &rendered("CONSTRUCT (n MATCH (n)"));
+}
+
+#[test]
+fn golden_warnings_only() {
+    // W104 + W106 + W107: warnings render with their own severity tag
+    // and the summary counts them separately.
+    assert_golden(
+        "warnings_only.txt",
+        &rendered("CONSTRUCT (n) MATCH (n:Wizard) WHERE 1 = 'one' AND 2 = 3"),
+    );
+}
+
+#[test]
+fn golden_multiline_spans() {
+    // Spans on a later line of a multi-line query: the gutter shows the
+    // right line number and the caret lands under the right column.
+    assert_golden(
+        "multiline.txt",
+        &rendered("CONSTRUCT (e)\nMATCH (n)-[e:knows]->(m)\nWHERE nope.x = 1"),
+    );
+}
+
+#[test]
+fn golden_clean_query_renders_empty_summary() {
+    assert_golden(
+        "clean.txt",
+        &rendered("CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme'"),
+    );
+}
