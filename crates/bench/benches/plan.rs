@@ -1,0 +1,88 @@
+//! Planner cost/benefit: the same queries evaluated with the cost-based
+//! planner on vs off (syntactic order), and intra-query parallelism at
+//! 1/2/4 worker threads, at SNB scales 1000 and 4000.
+//!
+//! `value_join` is the headline case from the ROADMAP: its two patterns
+//! share no structural variable, so syntactic evaluation builds the
+//! full cross product and filters `e IN b.employer` afterwards, while
+//! the planner pushes the IN conjunct into the second pattern (turning
+//! it into a binding form) and joins on `e`. `value_join_pessimal`
+//! additionally writes the broad pattern first, so the planner must
+//! also reorder. The thread sweeps measure `BindingTable::join_parallel`
+//! on a wide two-hop join and parallel multi-source reachability; on a
+//! single-core container (`nproc` = 1) they collapse to the sequential
+//! path and should read as noise around 1×.
+//!
+//! Results are identical under every configuration — pinned by
+//! `crates/core/tests/planner_equivalence.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcore_bench::snb_engine;
+use std::hint::black_box;
+
+/// The benchmark suite's value join (matching.rs), selective pattern
+/// written first.
+const VALUE_JOIN: &str = "CONSTRUCT (a)-[:colleague]->(b) \
+     MATCH (a:Person {employer = e}), (b:Person) \
+     WHERE e IN b.employer AND a.personId < 40";
+
+/// The same join with a pessimal syntactic order: the broad unfiltered
+/// pattern first, the selective binding pattern last.
+const VALUE_JOIN_PESSIMAL: &str = "CONSTRUCT (b)<-[:colleague]-(a) \
+     MATCH (b:Person), (a:Person {employer = e}) \
+     WHERE e IN b.employer AND a.personId < 40";
+
+/// Wide two-hop join whose intermediate exceeds the parallel-join
+/// threshold (every knows edge on the probe side).
+const TWO_HOP_WIDE: &str = "CONSTRUCT (n)-[:fof]->(k) \
+     MATCH (n:Person)-[:knows]->(m:Person), (m)-[:knows]->(k:Person)";
+
+/// Multi-source reachability: enough sources to trigger the partitioned
+/// shared-frontier search.
+const REACH_MANY: &str = "CONSTRUCT (m) \
+     MATCH (n:Person)-/<:knows*>/->(m:Person) WHERE n.personId < 500";
+
+fn bench_plan(c: &mut Criterion, persons: usize) {
+    let mut engine = snb_engine(persons);
+    let mut g = c.benchmark_group(format!("plan_snb{persons}"));
+    g.sample_size(10);
+
+    for (name, query) in [
+        ("value_join", VALUE_JOIN),
+        ("value_join_pessimal", VALUE_JOIN_PESSIMAL),
+    ] {
+        for (mode, planner) in [("syntactic", false), ("planned", true)] {
+            engine.set_planner(planner);
+            g.bench_function(format!("{name}_{mode}"), |b| {
+                b.iter(|| black_box(engine.query_graph(query).unwrap()))
+            });
+        }
+    }
+
+    // The thread sweep runs at scale 1000 only: one two_hop_wide
+    // iteration at SNB-4000 costs ~9 s on a single core, which buys
+    // three more minutes of wall clock per run without adding signal —
+    // scaling is a multi-core property either way (PR 4 convention).
+    if persons <= 1000 {
+        engine.set_planner(true);
+        for threads in [1usize, 2, 4] {
+            engine.set_parallelism(threads);
+            g.bench_function(format!("two_hop_wide_{threads}t"), |b| {
+                b.iter(|| black_box(engine.query_graph(TWO_HOP_WIDE).unwrap()))
+            });
+            g.bench_function(format!("reach_many_{threads}t"), |b| {
+                b.iter(|| black_box(engine.query_graph(REACH_MANY).unwrap()))
+            });
+        }
+        engine.set_parallelism(1);
+    }
+    g.finish();
+}
+
+fn bench_scales(c: &mut Criterion) {
+    bench_plan(c, 1000);
+    bench_plan(c, 4000);
+}
+
+criterion_group!(benches, bench_scales);
+criterion_main!(benches);

@@ -546,6 +546,134 @@ impl BindingTable {
         joined.union(&anti)
     }
 
+    /// Ω₁ ⋈ Ω₂ with the probe side partitioned across `threads` scoped
+    /// worker threads — **bit-identical** to [`join`](Self::join) at
+    /// any thread count.
+    ///
+    /// The build side (hash map over `other`'s shared-column keys) and
+    /// the pool unification happen once, up front, on the calling
+    /// thread; workers then probe disjoint contiguous ranges of Ω₁'s
+    /// rows into private scratch buffers, touching only shared
+    /// immutable state. Concatenating the buffers in chunk order
+    /// reproduces the sequential emission order exactly, and the final
+    /// sort/dedup normalization is order-insensitive anyway — hence the
+    /// bit-identical guarantee (pinned by the differential suite in
+    /// `tests/planner_equivalence.rs`).
+    ///
+    /// Small probe sides fall back to the sequential join: partitioning
+    /// costs more than it saves below a few thousand rows.
+    pub fn join_parallel(&self, other: &BindingTable, threads: usize) -> BindingTable {
+        const PAR_MIN_ROWS: usize = 4096;
+        if threads <= 1 || self.nrows < PAR_MIN_ROWS {
+            return self.join(other);
+        }
+
+        let shared: Vec<(usize, usize)> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| other.column_index(&c.var).map(|j| (i, j)))
+            .collect();
+        let (columns, map_a, map_b) = merged_schema(self, other);
+        let width = columns.len();
+        let (pool, other_map) = unify_pools(self, other);
+        let translate = other_map.as_deref();
+
+        let mut keyed: FxHashMap<Vec<Code>, Vec<u32>> = FxHashMap::default();
+        let mut wild: Vec<u32> = Vec::new();
+        for r in 0..other.nrows {
+            let key: Vec<Code> = shared
+                .iter()
+                .map(|&(_, j)| translate_code(other.cols[j][r], translate))
+                .collect();
+            if key.contains(&MISSING) {
+                wild.push(r as u32);
+            } else {
+                keyed.entry(key).or_default().push(r as u32);
+            }
+        }
+
+        // Probe one contiguous range of Ω₁ rows into a private buffer;
+        // reads only shared immutable state, so any number of workers
+        // can run it concurrently.
+        let emit_range = |range: std::ops::Range<usize>| -> (Vec<Code>, usize) {
+            let mut data: Vec<Code> = Vec::new();
+            let mut emitted = 0usize;
+            let mut key = Vec::with_capacity(shared.len());
+            let emit = |a_row: usize, b_row: u32, data: &mut Vec<Code>, emitted: &mut usize| {
+                let b_row = b_row as usize;
+                let ok = shared.iter().all(|&(i, j)| {
+                    let a = self.cols[i][a_row];
+                    let b = translate_code(other.cols[j][b_row], translate);
+                    a == MISSING || b == MISSING || a == b
+                });
+                if !ok {
+                    return;
+                }
+                let base = data.len();
+                data.resize(base + width, MISSING);
+                for (i, &mi) in map_a.iter().enumerate() {
+                    data[base + mi] = self.cols[i][a_row];
+                }
+                for (bi, &mi) in map_b.iter().enumerate() {
+                    if data[base + mi] == MISSING {
+                        data[base + mi] = translate_code(other.cols[bi][b_row], translate);
+                    }
+                }
+                *emitted += 1;
+            };
+            for a_row in range {
+                key.clear();
+                key.extend(shared.iter().map(|&(i, _)| self.cols[i][a_row]));
+                if key.contains(&MISSING) {
+                    for b_row in 0..other.nrows as u32 {
+                        emit(a_row, b_row, &mut data, &mut emitted);
+                    }
+                } else {
+                    if let Some(idxs) = keyed.get(&key) {
+                        for &b_row in idxs {
+                            emit(a_row, b_row, &mut data, &mut emitted);
+                        }
+                    }
+                    for &b_row in &wild {
+                        emit(a_row, b_row, &mut data, &mut emitted);
+                    }
+                }
+            }
+            (data, emitted)
+        };
+
+        let threads = threads.min(self.nrows);
+        let chunk = self.nrows.div_ceil(threads);
+        let mut parts: Vec<(Vec<Code>, usize)> = Vec::with_capacity(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let emit_range = &emit_range;
+                    let lo = t * chunk;
+                    let hi = (lo + chunk).min(self.nrows);
+                    s.spawn(move || emit_range(lo..hi))
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("parallel join worker panicked"));
+            }
+        });
+        let mut data: Vec<Code> = Vec::with_capacity(parts.iter().map(|p| p.0.len()).sum());
+        let mut emitted = 0usize;
+        for (d, e) in parts {
+            data.extend_from_slice(&d);
+            emitted += e;
+        }
+        BindingTable::from_flat_rows(
+            columns,
+            pool,
+            data,
+            emitted,
+            self.has_values || other.has_values,
+        )
+    }
+
     fn join_inner(&self, other: &BindingTable, kind: JoinKind) -> BindingTable {
         // Shared variables drive a hash join on encoded keys; rows with
         // Missing in a shared column fall back to a scan bucket (they

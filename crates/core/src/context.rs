@@ -90,6 +90,22 @@ pub struct EvalCtx {
     /// WHERE-conjunct pushdown switch. Always semantically neutral;
     /// disabled only by the ablation benchmarks.
     pub filter_pushdown: std::cell::Cell<bool>,
+    /// Cost-based MATCH planner switch (join ordering, IN pushdown,
+    /// path-strategy selection). Semantically neutral; defaults to the
+    /// `GCORE_PLAN` environment variable (`off`/`0` disables).
+    pub planner: std::cell::Cell<bool>,
+    /// Worker threads for intra-query parallel operators (partitioned
+    /// hash joins, multi-source path search). `1` = sequential; results
+    /// are bit-identical at any setting.
+    pub parallelism: std::cell::Cell<usize>,
+}
+
+/// Default planner switch: on unless `GCORE_PLAN` is `off`/`0`.
+pub(crate) fn planner_default() -> bool {
+    !matches!(
+        std::env::var("GCORE_PLAN").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    )
 }
 
 impl EvalCtx {
@@ -106,6 +122,8 @@ impl EvalCtx {
             view_in_progress: RefCell::new(Vec::new()),
             table_graphs: RefCell::new(std::collections::HashMap::new()),
             filter_pushdown: std::cell::Cell::new(true),
+            planner: std::cell::Cell::new(planner_default()),
+            parallelism: std::cell::Cell::new(1),
         }
     }
 

@@ -69,6 +69,8 @@ use std::sync::Arc;
 pub struct Engine {
     catalog: Catalog,
     filter_pushdown: bool,
+    planner: bool,
+    parallelism: usize,
     /// LRU bound on each snapshot's SCC-condensation cache; `None`
     /// (the default) keeps the cache unbounded.
     scc_cache_capacity: Option<usize>,
@@ -91,6 +93,8 @@ impl Engine {
         Engine {
             catalog: Catalog::new(),
             filter_pushdown: true,
+            planner: crate::context::planner_default(),
+            parallelism: 1,
             scc_cache_capacity: None,
             epoch: 0,
             snapshot: None,
@@ -102,6 +106,8 @@ impl Engine {
         Engine {
             catalog,
             filter_pushdown: true,
+            planner: crate::context::planner_default(),
+            parallelism: 1,
             scc_cache_capacity: None,
             epoch: 0,
             snapshot: None,
@@ -113,6 +119,29 @@ impl Engine {
     /// ablation benchmarks only.
     pub fn set_filter_pushdown(&mut self, enabled: bool) {
         self.filter_pushdown = enabled;
+    }
+
+    /// Enable or disable the cost-based MATCH planner (default: on,
+    /// unless the `GCORE_PLAN` environment variable is `off`/`0`).
+    /// Planning is semantics-preserving — it changes evaluation order
+    /// and operator strategy, never results; the switch exists for the
+    /// ablation benchmarks and the differential test suite.
+    pub fn set_planner(&mut self, enabled: bool) {
+        self.planner = enabled;
+    }
+
+    /// Set the worker-thread count for intra-query parallel operators
+    /// (partitioned hash joins, multi-source path search). `0` and `1`
+    /// both mean sequential. Results are bit-identical at any setting;
+    /// the differential suite pins this.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallelism = threads.max(1);
+    }
+
+    /// Render the planner's decisions for a statement without running
+    /// it (see [`QueryExecutor::explain`]).
+    pub fn explain(&mut self, text: &str) -> Result<String> {
+        self.executor().explain(text)
     }
 
     /// Bound each snapshot's SCC-condensation cache to at most
@@ -195,6 +224,8 @@ impl Engine {
     pub fn executor(&mut self) -> QueryExecutor {
         let mut exec = QueryExecutor::new(self.snapshot());
         exec.set_filter_pushdown(self.filter_pushdown);
+        exec.set_planner(self.planner);
+        exec.set_parallelism(self.parallelism);
         exec
     }
 

@@ -60,6 +60,8 @@ use std::sync::Arc;
 pub struct QueryExecutor {
     snapshot: Arc<EngineSnapshot>,
     filter_pushdown: bool,
+    planner: bool,
+    parallelism: usize,
 }
 
 impl QueryExecutor {
@@ -68,6 +70,8 @@ impl QueryExecutor {
         QueryExecutor {
             snapshot,
             filter_pushdown: true,
+            planner: crate::context::planner_default(),
+            parallelism: 1,
         }
     }
 
@@ -75,6 +79,36 @@ impl QueryExecutor {
     /// semantics-preserving, exists for ablation benchmarks only).
     pub fn set_filter_pushdown(&mut self, enabled: bool) {
         self.filter_pushdown = enabled;
+    }
+
+    /// Enable or disable the cost-based MATCH planner (default: on,
+    /// unless the `GCORE_PLAN` environment variable is `off`/`0`).
+    /// Semantics-preserving: plans only change evaluation order and
+    /// operator strategy, never results.
+    pub fn set_planner(&mut self, enabled: bool) {
+        self.planner = enabled;
+    }
+
+    /// Set the worker-thread count for intra-query parallel operators
+    /// (partitioned hash joins, multi-source path search). `0` and `1`
+    /// both mean sequential; results are bit-identical at any setting.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallelism = threads.max(1);
+    }
+
+    /// Render the planner's decisions for a statement without running
+    /// it: MATCH pattern order with cardinality estimates, pushed-down
+    /// IN conjuncts, residual WHERE size and path strategies. The
+    /// output is deterministic for a given statement and snapshot.
+    pub fn explain(&self, text: &str) -> Result<String> {
+        let stmt = parse_statement(text)?;
+        let catalog = self.snapshot.catalog();
+        let resolve = |on: Option<&gcore_parser::ast::Location>| match on {
+            None => catalog.default_graph().ok(),
+            Some(gcore_parser::ast::Location::Named(name)) => catalog.graph(name).ok(),
+            Some(gcore_parser::ast::Location::Subquery(_)) => None,
+        };
+        Ok(crate::plan::explain_statement(&stmt, &resolve))
     }
 
     /// The snapshot this executor evaluates against.
@@ -166,6 +200,8 @@ impl QueryExecutor {
         crate::analyze::check_statement(stmt)?;
         let ctx = EvalCtx::new(self.snapshot.clone());
         ctx.filter_pushdown.set(self.filter_pushdown);
+        ctx.planner.set(self.planner);
+        ctx.parallelism.set(self.parallelism);
         let evaluator = Evaluator::new(&ctx);
         evaluator.eval_statement(stmt)
     }

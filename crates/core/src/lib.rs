@@ -15,7 +15,9 @@
 //!   k-shortest, weighted-shortest and ALL-paths evaluation over the
 //!   graph × NFA product (§A.1, §3) — [`regex`], [`paths`];
 //! * MATCH with ON locations, WHERE and OPTIONAL (§A.2) — [`matcher`],
-//!   [`query`];
+//!   [`query`] — planned by a statistics-driven, semantics-preserving
+//!   cost model (join ordering, IN pushdown, path strategies) with a
+//!   stable `EXPLAIN` rendering — [`plan`];
 //! * CONSTRUCT with grouping, skolemization, SET/REMOVE and WHEN (§A.3)
 //!   — [`construct`];
 //! * PATH views with COST (§A.4) and full-graph set operations (§A.5);
@@ -63,6 +65,7 @@ pub mod executor;
 pub mod expr;
 pub mod matcher;
 pub mod paths;
+pub mod plan;
 pub mod query;
 pub mod regex;
 pub mod select;
@@ -76,5 +79,6 @@ pub use engine::{run_batch_on, Engine};
 pub use error::{EngineError, Result, RuntimeError, SemanticError};
 pub use executor::QueryExecutor;
 pub use expr::{Env, Rv};
+pub use plan::{explain_statement, plan_match, BoundPairStrategy, MatchPlan};
 pub use query::{Evaluator, QueryOutput};
 pub use snapshot::EngineSnapshot;

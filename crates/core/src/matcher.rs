@@ -13,7 +13,7 @@ use crate::binding::{BindingTable, Bound, Column, TableBuilder};
 use crate::context::FreshPath;
 use crate::error::{Result, RuntimeError, SemanticError};
 use crate::expr::{eval_expr, Env, Rv};
-use crate::paths::PathSearcher;
+use crate::paths::{PathSearcher, ViewMap};
 use crate::query::Evaluator;
 use crate::regex::{walk_conforms, Nfa};
 use gcore_parser::ast::{
@@ -565,10 +565,27 @@ impl<'e> PatternMatcher<'e> {
             } else if cacheable {
                 Some(snapshot.reachable_many_cached(&self.graph, &nfa, &searcher, &srcs))
             } else {
-                (srcs.len() >= 2).then(|| searcher.reachable_many(&srcs))
+                let threads = self.ev.ctx.parallelism.get();
+                (srcs.len() >= 2).then(|| {
+                    if threads > 1 && srcs.len() >= PARALLEL_REACH_MIN_SOURCES {
+                        reachable_many_parallel(&self.graph, &nfa, &views, &srcs, threads)
+                    } else {
+                        searcher.reachable_many(&srcs)
+                    }
+                })
             }
         } else {
             None
+        };
+
+        // Fixed-endpoint rows: pick the single-pair checking strategy
+        // once from the graph's degree statistics. Both strategies
+        // answer the identical boolean (`tests/planner_equivalence.rs`
+        // pins this), so statistics can never change results.
+        let pair_strategy = if self.ev.ctx.planner.get() {
+            crate::plan::bound_pair_strategy(self.graph.stats(), Some(&effective))
+        } else {
+            crate::plan::BoundPairStrategy::Bidirectional
         };
 
         let mut bld = TableBuilder::with_pool(columns, table.pool().clone());
@@ -626,12 +643,20 @@ impl<'e> PatternMatcher<'e> {
                     let owned;
                     let dsts: &[NodeId] = match &targets {
                         Some(t) => {
-                            // The destination is bound: a bidirectional
-                            // single-pair test per candidate.
+                            // The destination is bound: a single-pair
+                            // test per candidate, by the strategy the
+                            // planner picked above.
                             owned = t
                                 .iter()
                                 .copied()
-                                .filter(|&d| searcher.reachable_pair(src, d))
+                                .filter(|&d| match pair_strategy {
+                                    crate::plan::BoundPairStrategy::Bidirectional => {
+                                        searcher.reachable_pair(src, d)
+                                    }
+                                    crate::plan::BoundPairStrategy::ReverseCone => {
+                                        searcher.reachable_pair_reverse(src, d)
+                                    }
+                                })
                                 .collect::<Vec<_>>();
                             &owned
                         }
@@ -846,6 +871,42 @@ fn structural_vars(pattern: &Pattern) -> FxHashSet<String> {
         }
     }
     vars
+}
+
+/// Below this many sources the per-thread setup (a fresh searcher and
+/// SCC condensation per worker) outweighs the parallel win.
+const PARALLEL_REACH_MIN_SOURCES: usize = 64;
+
+/// Multi-source reachability with the source set chunked contiguously
+/// across scoped worker threads.
+///
+/// Each worker builds its own [`PathSearcher`] (the searcher caches
+/// its reversed NFA in a non-`Sync` cell) over the same shared graph,
+/// NFA and view relations. A source's destination set is a pure
+/// function of (graph, NFA, views, source) — independent of which
+/// other sources share the call — so merging the workers' disjoint
+/// maps reproduces the sequential [`PathSearcher::reachable_many`]
+/// result exactly.
+fn reachable_many_parallel(
+    graph: &Arc<PathPropertyGraph>,
+    nfa: &Nfa,
+    views: &ViewMap,
+    srcs: &[NodeId],
+    threads: usize,
+) -> FxHashMap<NodeId, Arc<Vec<NodeId>>> {
+    let threads = threads.min(srcs.len()).max(1);
+    let chunk = srcs.len().div_ceil(threads);
+    let mut out = FxHashMap::default();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = srcs
+            .chunks(chunk)
+            .map(|part| s.spawn(move || PathSearcher::new(graph, nfa, views).reachable_many(part)))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("reachability worker panicked"));
+        }
+    });
+    out
 }
 
 fn first_label(groups: &[LabelDisjunction]) -> Option<String> {

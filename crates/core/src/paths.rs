@@ -632,56 +632,105 @@ impl<'a> PathSearcher<'a> {
         let in_cone =
             |node: NodeId, state: usize| cone.as_ref().is_none_or(|c| c.contains(node, state));
         let mut pops: FxHashMap<(NodeId, usize), usize> = FxHashMap::default();
-        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+
+        // Walk-free frontier: a pending entry stores only its parent
+        // index and the one piece appended over it, so it costs O(1)
+        // regardless of walk length. Full walks are replayed from the
+        // parent chain only when a pop is accepted; the lexicographic
+        // tie key is materialized only for entries whose cost actually
+        // ties the current level (`batch`). Together the two heaps pop
+        // in exactly the (cost, sequence, node, state) order the
+        // walk-carrying single heap used.
+        let mut arena: Vec<TreeEntry<'a>> = Vec::new();
+        let mut outer: BinaryHeap<CostOrd> = BinaryHeap::new();
+        let mut batch: BinaryHeap<TieOrd> = BinaryHeap::new();
         // Seed: closure of the start state at src; enqueue one entry per
         // closed state so accepting-at-zero-length works.
         for q in self.close_at(src, &[self.nfa.start()]) {
             if !in_cone(src, q) {
                 continue;
             }
-            heap.push(HeapEntry {
-                cost: 0.0,
-                walk: PathShape::trivial(src),
+            arena.push(TreeEntry {
+                parent: NO_PARENT,
+                piece: TreePiece::Root,
                 node: src,
                 state: q,
             });
+            outer.push(CostOrd {
+                cost: 0.0,
+                idx: (arena.len() - 1) as u32,
+            });
         }
-        // An accepted pop at (v, accepting q) yields a result for v; the
-        // same walk may be reported through several states — dedup.
-        while let Some(entry) = heap.pop() {
-            let key = (entry.node, entry.state);
-            let count = pops.entry(key).or_insert(0);
-            if *count >= k {
-                continue;
+        while let Some(first) = outer.pop() {
+            // Drain one cost level: every pending entry whose cost ties
+            // `first` moves into the tie heap before any is processed.
+            let level = first.cost;
+            batch.push(tie_entry(&arena, first.idx));
+            while outer
+                .peek()
+                .is_some_and(|e| e.cost.total_cmp(&level) == Ordering::Equal)
+            {
+                let e = outer.pop().expect("peeked non-empty");
+                batch.push(tie_entry(&arena, e.idx));
             }
-            *count += 1;
-            if self.nfa.accepts(entry.state) {
-                let want = targets.is_none_or(|t| t.contains(&entry.node));
-                if want {
-                    let bucket = results.entry(entry.node).or_default();
-                    if bucket.len() < k && !bucket.iter().any(|p| p.walk == entry.walk) {
-                        bucket.push(FoundPath {
-                            walk: entry.walk.clone(),
-                            cost: entry.cost,
-                        });
-                    }
-                }
-            }
-            for (step_cost, next_node, next_state, piece) in self.expand(entry.node, entry.state) {
-                let Some(new_walk) = entry.walk.concat(&piece) else {
-                    continue;
+            while let Some(top) = batch.pop() {
+                let (node, state) = {
+                    let e = &arena[top.idx as usize];
+                    (e.node, e.state)
                 };
-                for q in self.close_at(next_node, &[next_state]) {
-                    if !in_cone(next_node, q) {
-                        continue;
-                    }
-                    heap.push(HeapEntry {
-                        cost: entry.cost + step_cost,
-                        walk: new_walk.clone(),
-                        node: next_node,
-                        state: q,
-                    });
+                let count = pops.entry((node, state)).or_insert(0);
+                if *count >= k {
+                    continue;
                 }
+                *count += 1;
+                // An accepted pop at (v, accepting q) yields a result for
+                // v; the same walk may be reported through several states
+                // — dedup.
+                if self.nfa.accepts(state) && targets.is_none_or(|t| t.contains(&node)) {
+                    let bucket = results.entry(node).or_default();
+                    if bucket.len() < k {
+                        let walk = replay_walk(&arena, top.idx);
+                        if !bucket.iter().any(|p| p.walk == walk) {
+                            bucket.push(FoundPath { walk, cost: level });
+                        }
+                    }
+                }
+                self.for_each_step(self.nfa, node, state, |step_cost, far, to, piece| {
+                    // The walk-carrying form rejected (via `concat`) a
+                    // view segment that does not begin at the current
+                    // node.
+                    if let StepPiece::Seg(w) = piece {
+                        if w.start() != node {
+                            return;
+                        }
+                    }
+                    let tree_piece = match piece {
+                        StepPiece::Edge(e) => TreePiece::Edge(e, far),
+                        StepPiece::Seg(w) => TreePiece::Seg(w),
+                    };
+                    let cost = level + step_cost;
+                    for q in self.close_at(far, &[to]) {
+                        if !in_cone(far, q) {
+                            continue;
+                        }
+                        arena.push(TreeEntry {
+                            parent: top.idx,
+                            piece: tree_piece,
+                            node: far,
+                            state: q,
+                        });
+                        let idx = (arena.len() - 1) as u32;
+                        if cost.total_cmp(&level) == Ordering::Equal {
+                            // Zero-cost steps join the live level: the
+                            // child's sequence strictly extends its
+                            // parent's, so it orders after everything
+                            // already popped at this cost.
+                            batch.push(tie_entry(&arena, idx));
+                        } else {
+                            outer.push(CostOrd { cost, idx });
+                        }
+                    }
+                });
             }
         }
         for bucket in results.values_mut() {
@@ -818,6 +867,29 @@ impl<'a> PathSearcher<'a> {
                     }
                 }
             }
+        }
+    }
+
+    /// Single-pair reachability evaluated backwards: compute the cone of
+    /// product states co-reachable to acceptance at `dst` once, then test
+    /// whether any closed start state at `src` lies inside it. The planner
+    /// picks this over [`reachable_pair`](Self::reachable_pair) when graph
+    /// statistics say backward fan-in is far smaller than forward fan-out
+    /// (many sources funnelling into a hub destination). Falls back to the
+    /// bidirectional search when the NFA is irreversible (it traverses
+    /// PATH views). Results are always identical to `reachable_pair`.
+    pub fn reachable_pair_reverse(&self, src: NodeId, dst: NodeId) -> bool {
+        if !self.graph.contains_node(src) || !self.graph.contains_node(dst) {
+            return false;
+        }
+        let mut targets = FxHashSet::default();
+        targets.insert(dst);
+        match self.co_reachable_cone(&targets) {
+            Some(cone) => self
+                .close_at(src, &[self.nfa.start()])
+                .into_iter()
+                .any(|q| cone.contains(src, q)),
+            None => self.reachable_pair(src, dst),
         }
     }
 
@@ -1104,41 +1176,153 @@ fn step(from: NodeId, e: EdgeId, to: NodeId) -> PathShape {
     PathShape::new(vec![from, to], vec![e]).expect("two nodes, one edge")
 }
 
-/// Max-heap entry ordered so the *smallest* (cost, lexicographic walk)
-/// pops first.
-struct HeapEntry {
-    cost: f64,
-    walk: PathShape,
+/// One node of the walk-free k-shortest search tree: a parent pointer
+/// plus the single piece appended over the parent's walk. O(1) memory
+/// per pending entry regardless of walk length; full walks are replayed
+/// from the chain only on acceptance ([`replay_walk`]).
+struct TreeEntry<'v> {
+    parent: u32,
+    piece: TreePiece<'v>,
     node: NodeId,
     state: usize,
 }
 
-impl HeapEntry {
+/// The walk piece a [`TreeEntry`] appends to its parent.
+#[derive(Clone, Copy)]
+enum TreePiece<'v> {
+    /// A seed entry — the trivial walk at the source node.
+    Root,
+    /// One graph edge, traversed to the recorded far endpoint.
+    Edge(EdgeId, NodeId),
+    /// A stored PATH-view segment (borrowed from the view map).
+    Seg(&'v PathShape),
+}
+
+/// Parent index marking a search-tree root.
+const NO_PARENT: u32 = u32::MAX;
+
+/// Outer-heap entry for `k_shortest`: min-orders pending entries by cost
+/// alone. Same-cost entries re-order through the tie heap before any is
+/// processed, so the arena-index tiebreak here only makes the order
+/// total — it is never observable.
+struct CostOrd {
+    cost: f64,
+    idx: u32,
+}
+
+impl PartialEq for CostOrd {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for CostOrd {}
+impl PartialOrd for CostOrd {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CostOrd {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+/// Tie-heap entry: min-orders one cost level by the same (interleaved
+/// sequence, node, state) key the walk-carrying search used, so pops
+/// within a level reproduce its order exactly.
+struct TieOrd {
+    seq: Vec<u64>,
+    node: NodeId,
+    state: usize,
+    idx: u32,
+}
+
+impl TieOrd {
     fn key_cmp(&self, other: &Self) -> Ordering {
-        self.cost
-            .total_cmp(&other.cost)
-            .then_with(|| self.walk.interleaved().cmp(&other.walk.interleaved()))
+        self.seq
+            .cmp(&other.seq)
             .then_with(|| self.node.cmp(&other.node))
             .then_with(|| self.state.cmp(&other.state))
     }
 }
 
-impl PartialEq for HeapEntry {
+impl PartialEq for TieOrd {
     fn eq(&self, other: &Self) -> bool {
         self.key_cmp(other) == Ordering::Equal
     }
 }
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
+impl Eq for TieOrd {}
+impl PartialOrd for TieOrd {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for HeapEntry {
+impl Ord for TieOrd {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap.
         other.key_cmp(self)
     }
+}
+
+/// The root-to-entry chain of arena indices for one search-tree entry.
+fn chain_of(arena: &[TreeEntry<'_>], idx: u32) -> Vec<u32> {
+    let mut chain: Vec<u32> = Vec::new();
+    let mut i = idx;
+    loop {
+        chain.push(i);
+        let p = arena[i as usize].parent;
+        if p == NO_PARENT {
+            break;
+        }
+        i = p;
+    }
+    chain.reverse();
+    chain
+}
+
+/// Materialize the lexicographic tie key (the walk's interleaved id
+/// sequence) for one arena entry by replaying its parent chain.
+fn tie_entry(arena: &[TreeEntry<'_>], idx: u32) -> TieOrd {
+    let chain = chain_of(arena, idx);
+    let mut seq: Vec<u64> = vec![arena[chain[0] as usize].node.raw()];
+    for &ci in &chain[1..] {
+        match arena[ci as usize].piece {
+            TreePiece::Root => {}
+            TreePiece::Edge(e, far) => {
+                seq.push(e.raw());
+                seq.push(far.raw());
+            }
+            TreePiece::Seg(w) => seq.extend_from_slice(&w.interleaved()[1..]),
+        }
+    }
+    let e = &arena[idx as usize];
+    TieOrd {
+        seq,
+        node: e.node,
+        state: e.state,
+        idx,
+    }
+}
+
+/// Replay the full walk of one accepted arena entry from its chain.
+fn replay_walk(arena: &[TreeEntry<'_>], idx: u32) -> PathShape {
+    let chain = chain_of(arena, idx);
+    let mut walk = PathShape::trivial(arena[chain[0] as usize].node);
+    for &ci in &chain[1..] {
+        let piece = match arena[ci as usize].piece {
+            TreePiece::Root => continue,
+            TreePiece::Edge(e, far) => step(walk.end(), e, far),
+            TreePiece::Seg(w) => w.clone(),
+        };
+        walk = walk
+            .concat(&piece)
+            .expect("chained pieces meet by construction");
+    }
+    walk
 }
 
 #[cfg(test)]

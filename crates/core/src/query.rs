@@ -184,6 +184,14 @@ impl<'e> Evaluator<'e> {
     /// the full WHERE is still applied afterwards (filters are
     /// idempotent, so semantics are unchanged).
     pub fn eval_match(&self, m: &MatchClause, outer: Option<&Env<'_>>) -> Result<BindingTable> {
+        // Plan top-level MATCH clauses: greedy join ordering, IN-conjunct
+        // pushdown, residual WHERE. Correlated (subquery) matches run
+        // unplanned — their semantics depend on outer bindings the
+        // planner does not model.
+        let plan = (self.ctx.planner.get() && outer.is_none())
+            .then(|| crate::plan::plan_match(m, &|on| self.plan_graph(on)));
+        let m = plan.as_ref().map_or(m, |p| &p.clause);
+        let threads = self.ctx.parallelism.get();
         let prefilters = if self.ctx.filter_pushdown.get() {
             pushdown_prefilters(m.where_clause.as_ref())
         } else {
@@ -195,7 +203,18 @@ impl<'e> Evaluator<'e> {
             self.ctx.set_ambient(graph.clone());
             let matcher = PatternMatcher::new(self, graph).with_prefilters(prefilters.clone());
             let t = matcher.eval_pattern(&lp.pattern, outer)?;
-            table = table.join(&t);
+            table = table.join_parallel(&t, threads);
+        }
+        // Re-pin the ambient graph to the syntactically last pattern's:
+        // WHERE pattern predicates must observe the same graph as the
+        // unplanned evaluation.
+        if let Some(p) = &plan {
+            if p.reordered {
+                if let Some(pos) = p.syntactic_last_position() {
+                    let graph = self.resolve_location(&p.clause.patterns[pos].on)?;
+                    self.ctx.set_ambient(graph);
+                }
+            }
         }
         if let Some(w) = &m.where_clause {
             table = self.filter_table(table, w, outer)?;
@@ -220,6 +239,19 @@ impl<'e> Evaluator<'e> {
             table = table.semijoin(&env_to_table(o));
         }
         Ok(table)
+    }
+
+    /// Plan-time location resolution: like
+    /// [`resolve_location`](Self::resolve_location) but side-effect
+    /// free. Subqueries are never evaluated and tables never
+    /// materialized as graphs — those locations plan without
+    /// statistics (and inhibit reordering).
+    fn plan_graph(&self, on: Option<&Location>) -> Option<Arc<PathPropertyGraph>> {
+        match on {
+            None => self.ctx.default_graph().ok(),
+            Some(Location::Named(name)) => self.ctx.graph(name).ok(),
+            Some(Location::Subquery(_)) => None,
+        }
     }
 
     /// Resolve an `ON location` to a graph; `None` uses the default.

@@ -119,7 +119,10 @@ fn print_match(m: &MatchClause) -> String {
     out
 }
 
-fn print_located(lp: &LocatedPattern) -> String {
+/// Render a located pattern (`(n)-[:knows]->(m) ON g`). Public so
+/// downstream tooling (e.g. the engine's `EXPLAIN` renderer) can show
+/// patterns in their canonical surface syntax.
+pub fn print_located(lp: &LocatedPattern) -> String {
     let mut out = print_pattern(&lp.pattern);
     match &lp.on {
         Some(Location::Named(n)) => {
@@ -133,7 +136,8 @@ fn print_located(lp: &LocatedPattern) -> String {
     out
 }
 
-fn print_pattern(p: &Pattern) -> String {
+/// Render a bare match pattern without its `ON` location.
+pub fn print_pattern(p: &Pattern) -> String {
     let mut out = print_node(&p.start);
     for step in &p.steps {
         match &step.connection {

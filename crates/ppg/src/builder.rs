@@ -128,10 +128,12 @@ impl GraphBuilder {
 
     /// Finish, returning the graph with its label index built (seeding
     /// and edge expansion by label become O(1) lookups instead of
-    /// scans).
+    /// scans) and its planner statistics collected (cost-based planning
+    /// never falls back to blind estimates on builder output).
     pub fn build(self) -> PathPropertyGraph {
         let mut g = self.graph;
         g.build_label_index();
+        g.build_stats();
         g
     }
 }

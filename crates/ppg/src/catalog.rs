@@ -81,9 +81,13 @@ impl Catalog {
         self.ids.reserve_up_to(max_id);
         // Every graph entering the catalog — builder output, CONSTRUCT
         // result, GRAPH VIEW — gets the label index, so later queries
-        // over it match at indexed speed.
+        // over it match at indexed speed, and planner statistics, so
+        // later queries over it plan from real cardinalities.
         if !graph.has_label_index() {
             graph.build_label_index();
+        }
+        if !graph.has_stats() {
+            graph.build_stats();
         }
         self.graphs.insert(name.into(), Arc::new(graph));
     }
@@ -167,9 +171,14 @@ impl Catalog {
     pub fn freeze_indexes(&mut self) -> usize {
         let mut rebuilt = 0;
         for graph in self.graphs.values_mut() {
-            if !graph.has_label_index() {
+            if !graph.has_label_index() || !graph.has_stats() {
                 let mut g = (**graph).clone();
-                g.build_label_index();
+                if !g.has_label_index() {
+                    g.build_label_index();
+                }
+                if !g.has_stats() {
+                    g.build_stats();
+                }
                 *graph = Arc::new(g);
                 rebuilt += 1;
             }
@@ -178,9 +187,12 @@ impl Catalog {
     }
 
     /// True when every registered graph currently has a valid label
-    /// index (the invariant a frozen snapshot maintains).
+    /// index and valid planner statistics (the invariant a frozen
+    /// snapshot maintains).
     pub fn all_indexed(&self) -> bool {
-        self.graphs.values().all(|g| g.has_label_index())
+        self.graphs
+            .values()
+            .all(|g| g.has_label_index() && g.has_stats())
     }
 
     /// Sorted names of all registered graphs.

@@ -19,6 +19,7 @@ use crate::hash::FxHashMap;
 use crate::ids::{EdgeId, ElementId, NodeId, PathId};
 use crate::path::PathShape;
 use crate::property::PropertySet;
+use crate::stats::GraphStats;
 use crate::symbols::{Key, Label, LabelSet};
 use crate::value::Value;
 use std::borrow::Cow;
@@ -167,6 +168,10 @@ pub struct PathPropertyGraph {
     out_adj: FxHashMap<NodeId, Vec<EdgeId>>,
     in_adj: FxHashMap<NodeId, Vec<EdgeId>>,
     label_index: Option<LabelIndex>,
+    /// Planner statistics, same lifecycle as the label index: built by
+    /// [`crate::GraphBuilder::build`] / [`Self::build_stats`], dropped
+    /// by any mutation. Purely advisory — never a correctness concern.
+    stats: Option<GraphStats>,
 }
 
 impl PathPropertyGraph {
@@ -183,6 +188,7 @@ impl PathPropertyGraph {
     /// (identity-respecting merge).
     pub fn add_node(&mut self, id: NodeId, attrs: Attributes) {
         self.label_index = None;
+        self.stats = None;
         match self.nodes.get_mut(&id) {
             Some(existing) => existing.attrs.union_in_place(&attrs),
             None => {
@@ -219,6 +225,7 @@ impl PathPropertyGraph {
             });
         }
         self.label_index = None;
+        self.stats = None;
         match self.edges.get_mut(&id) {
             Some(existing) => {
                 if existing.src != src || existing.dst != dst {
@@ -248,6 +255,9 @@ impl PathPropertyGraph {
         attrs: Attributes,
     ) -> Result<(), GraphError> {
         self.check_path_shape(id, &shape)?;
+        // Stored paths don't enter the label index (it only partitions
+        // nodes and adjacency) but they do enter the stats.
+        self.stats = None;
         match self.paths.get_mut(&id) {
             Some(existing) => {
                 if existing.shape != shape {
@@ -341,6 +351,7 @@ impl PathPropertyGraph {
     /// Mutable attributes of any element sort.
     pub fn attributes_mut(&mut self, id: ElementId) -> Option<&mut Attributes> {
         self.label_index = None;
+        self.stats = None;
         match id {
             ElementId::Node(n) => self.nodes.get_mut(&n).map(|d| &mut d.attrs),
             ElementId::Edge(e) => self.edges.get_mut(&e).map(|d| &mut d.attrs),
@@ -467,6 +478,43 @@ impl PathPropertyGraph {
     /// True when a label index is currently built and valid.
     pub fn has_label_index(&self) -> bool {
         self.label_index.is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Planner statistics
+    // ------------------------------------------------------------------
+
+    /// Compute and cache the planner statistics (see [`GraphStats`]).
+    /// Same lifecycle as the label index: any mutation drops them.
+    pub fn build_stats(&mut self) {
+        self.stats = Some(GraphStats::compute(self));
+    }
+
+    /// The cached planner statistics, if currently valid.
+    pub fn stats(&self) -> Option<&GraphStats> {
+        self.stats.as_ref()
+    }
+
+    /// True when planner statistics are currently built and valid.
+    pub fn has_stats(&self) -> bool {
+        self.stats.is_some()
+    }
+
+    /// Attach externally computed statistics (a persisted side object
+    /// reloaded by `gcore-store`). The caller vouches that `stats`
+    /// describes this exact graph; since [`GraphStats::compute`] is
+    /// deterministic, attaching anything else would only mislead the
+    /// planner, never corrupt results. Element counts are checked as a
+    /// cheap guard — on mismatch the stats are recomputed instead.
+    pub fn set_stats(&mut self, stats: GraphStats) {
+        if stats.node_count == self.node_count() as u64
+            && stats.edge_count == self.edge_count() as u64
+            && stats.path_count == self.path_count() as u64
+        {
+            self.stats = Some(stats);
+        } else {
+            self.build_stats();
+        }
     }
 
     // ------------------------------------------------------------------

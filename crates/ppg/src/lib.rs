@@ -41,6 +41,7 @@ pub mod intern;
 pub mod ops;
 pub mod path;
 pub mod property;
+pub mod stats;
 pub mod symbols;
 pub mod table;
 pub mod value;
@@ -54,6 +55,7 @@ pub use ids::{EdgeId, ElementId, ElementSort, IdGen, NodeId, PathId};
 pub use intern::ValueInterner;
 pub use path::PathShape;
 pub use property::PropertySet;
+pub use stats::{EdgeLabelStats, GraphStats, PropStats};
 pub use symbols::{Key, Label, LabelSet};
 pub use table::{Table, TableError};
 pub use value::{Date, Value};

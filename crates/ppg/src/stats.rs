@@ -1,0 +1,362 @@
+//! Per-graph statistics for cost-based query planning.
+//!
+//! [`GraphStats`] is a small, deterministic summary of one
+//! [`PathPropertyGraph`]: element counts per label, endpoint-distinctness
+//! of every labeled edge relation (from which a planner derives average
+//! degrees), and per-key property sketches (carrier counts and distinct
+//! values, from which equality selectivities follow). The summary is
+//! computed in one pass over the graph, cached on the graph next to the
+//! label index (same lifecycle: built at [`crate::GraphBuilder::build`],
+//! dropped by any mutation, force-built when a catalog is frozen into a
+//! snapshot), and is *purely advisory* — a planner consulting wrong or
+//! missing stats may pick a worse plan but never a wrong answer.
+//!
+//! Determinism matters more than precision here: equal graphs produce
+//! equal stats in any process (everything is an exact count over sorted
+//! data, no sampling, no hashing of addresses), so plans — and their
+//! `EXPLAIN` renderings — are reproducible, and a cold-started engine
+//! that reloads persisted stats plans identically to the engine that
+//! saved them.
+
+use crate::graph::PathPropertyGraph;
+use crate::hash::FxHashMap;
+use crate::ids::NodeId;
+use crate::symbols::{Key, Label};
+use crate::value::Value;
+
+/// Statistics of one labeled edge relation `ℓ`: how many edges carry
+/// the label and how many distinct endpoints they touch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EdgeLabelStats {
+    /// Number of edges carrying the label.
+    pub count: u64,
+    /// Distinct source nodes among those edges.
+    pub distinct_src: u64,
+    /// Distinct destination nodes among those edges.
+    pub distinct_dst: u64,
+}
+
+impl EdgeLabelStats {
+    /// Average out-degree of a node that has at least one outgoing
+    /// `ℓ`-edge (`count / distinct_src`); 0.0 for the empty relation.
+    pub fn avg_out_degree(&self) -> f64 {
+        if self.distinct_src == 0 {
+            0.0
+        } else {
+            self.count as f64 / self.distinct_src as f64
+        }
+    }
+
+    /// Average in-degree of a node that has at least one incoming
+    /// `ℓ`-edge (`count / distinct_dst`); 0.0 for the empty relation.
+    pub fn avg_in_degree(&self) -> f64 {
+        if self.distinct_dst == 0 {
+            0.0
+        } else {
+            self.count as f64 / self.distinct_dst as f64
+        }
+    }
+}
+
+/// Selectivity sketch of one property key on one element sort.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PropStats {
+    /// Elements carrying the key (σ(x, k) ≠ ∅).
+    pub carriers: u64,
+    /// Total values across carriers (> `carriers` when multi-valued).
+    pub values: u64,
+    /// Distinct values across all carriers (exact).
+    pub distinct: u64,
+}
+
+impl PropStats {
+    /// Estimated fraction of carriers matching `key = <constant>`
+    /// under a uniformity assumption: `1 / distinct`.
+    pub fn eq_selectivity(&self) -> f64 {
+        if self.distinct == 0 {
+            1.0
+        } else {
+            1.0 / self.distinct as f64
+        }
+    }
+}
+
+/// A deterministic statistical summary of one graph. See the module
+/// docs for lifecycle and intent. All association lists are sorted by
+/// symbol, so equal graphs yield `==` stats.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct GraphStats {
+    /// |N|.
+    pub node_count: u64,
+    /// |E|.
+    pub edge_count: u64,
+    /// |P|.
+    pub path_count: u64,
+    /// Nodes per label, sorted by label symbol.
+    pub nodes_per_label: Vec<(Label, u64)>,
+    /// Labeled edge relations, sorted by label symbol.
+    pub edges_per_label: Vec<(Label, EdgeLabelStats)>,
+    /// Property sketches over nodes, sorted by key symbol.
+    pub node_props: Vec<(Key, PropStats)>,
+    /// Property sketches over edges, sorted by key symbol.
+    pub edge_props: Vec<(Key, PropStats)>,
+}
+
+impl GraphStats {
+    /// Compute the summary in one pass over `graph`.
+    pub fn compute(graph: &PathPropertyGraph) -> GraphStats {
+        let mut nodes_per_label: FxHashMap<Label, u64> = FxHashMap::default();
+        let mut node_props: FxHashMap<Key, (u64, u64, Vec<Value>)> = FxHashMap::default();
+        for id in graph.node_ids() {
+            let attrs = &graph.node(id).expect("iterated id").attrs;
+            for l in attrs.labels.iter() {
+                *nodes_per_label.entry(l).or_default() += 1;
+            }
+            for (k, vs) in &attrs.properties {
+                let slot = node_props.entry(*k).or_default();
+                slot.0 += 1;
+                slot.1 += vs.len() as u64;
+                slot.2.extend(vs.iter().cloned());
+            }
+        }
+
+        let mut edge_rel: FxHashMap<Label, (u64, Vec<NodeId>, Vec<NodeId>)> = FxHashMap::default();
+        let mut edge_props: FxHashMap<Key, (u64, u64, Vec<Value>)> = FxHashMap::default();
+        for id in graph.edge_ids() {
+            let data = graph.edge(id).expect("iterated id");
+            for l in data.attrs.labels.iter() {
+                let slot = edge_rel.entry(l).or_default();
+                slot.0 += 1;
+                slot.1.push(data.src);
+                slot.2.push(data.dst);
+            }
+            for (k, vs) in &data.attrs.properties {
+                let slot = edge_props.entry(*k).or_default();
+                slot.0 += 1;
+                slot.1 += vs.len() as u64;
+                slot.2.extend(vs.iter().cloned());
+            }
+        }
+
+        let distinct_ids = |mut v: Vec<NodeId>| -> u64 {
+            v.sort_unstable();
+            v.dedup();
+            v.len() as u64
+        };
+        let distinct_values = |mut v: Vec<Value>| -> u64 {
+            v.sort_unstable_by(|a, b| a.total_cmp(b));
+            v.dedup_by(|a, b| a.total_cmp(b).is_eq());
+            v.len() as u64
+        };
+        let prop_table = |m: FxHashMap<Key, (u64, u64, Vec<Value>)>| -> Vec<(Key, PropStats)> {
+            let mut v: Vec<(Key, PropStats)> = m
+                .into_iter()
+                .map(|(k, (carriers, values, vals))| {
+                    (
+                        k,
+                        PropStats {
+                            carriers,
+                            values,
+                            distinct: distinct_values(vals),
+                        },
+                    )
+                })
+                .collect();
+            v.sort_unstable_by_key(|(k, _)| *k);
+            v
+        };
+
+        let mut nodes_per_label: Vec<(Label, u64)> = nodes_per_label.into_iter().collect();
+        nodes_per_label.sort_unstable_by_key(|(l, _)| *l);
+        let mut edges_per_label: Vec<(Label, EdgeLabelStats)> = edge_rel
+            .into_iter()
+            .map(|(l, (count, srcs, dsts))| {
+                (
+                    l,
+                    EdgeLabelStats {
+                        count,
+                        distinct_src: distinct_ids(srcs),
+                        distinct_dst: distinct_ids(dsts),
+                    },
+                )
+            })
+            .collect();
+        edges_per_label.sort_unstable_by_key(|(l, _)| *l);
+
+        GraphStats {
+            node_count: graph.node_count() as u64,
+            edge_count: graph.edge_count() as u64,
+            path_count: graph.path_count() as u64,
+            nodes_per_label,
+            edges_per_label,
+            node_props: prop_table(node_props),
+            edge_props: prop_table(edge_props),
+        }
+    }
+
+    /// Nodes carrying `label` (0 when the label occurs on no node).
+    pub fn nodes_with_label(&self, label: Label) -> u64 {
+        self.nodes_per_label
+            .binary_search_by_key(&label, |(l, _)| *l)
+            .map(|i| self.nodes_per_label[i].1)
+            .unwrap_or(0)
+    }
+
+    /// The labeled edge relation for `label`, if any edge carries it.
+    pub fn edge_relation(&self, label: Label) -> Option<&EdgeLabelStats> {
+        self.edges_per_label
+            .binary_search_by_key(&label, |(l, _)| *l)
+            .map(|i| &self.edges_per_label[i].1)
+            .ok()
+    }
+
+    /// The node-property sketch for `key`, if any node carries it.
+    pub fn node_prop(&self, key: Key) -> Option<&PropStats> {
+        self.node_props
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .map(|i| &self.node_props[i].1)
+            .ok()
+    }
+
+    /// The edge-property sketch for `key`, if any edge carries it.
+    pub fn edge_prop(&self, key: Key) -> Option<&PropStats> {
+        self.edge_props
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .map(|i| &self.edge_props[i].1)
+            .ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Attributes;
+    use crate::ids::EdgeId;
+    use crate::property::PropertySet;
+
+    fn sample() -> PathPropertyGraph {
+        let mut g = PathPropertyGraph::new();
+        g.add_node(
+            NodeId(1),
+            Attributes::labeled("Person").with_prop("name", "Ann"),
+        );
+        g.add_node(
+            NodeId(2),
+            Attributes::labeled("Person").with_prop("name", "Bob"),
+        );
+        g.add_node(
+            NodeId(3),
+            Attributes::labeled("Company").with_prop("name", "Acme"),
+        );
+        g.add_edge(
+            EdgeId(10),
+            NodeId(1),
+            NodeId(2),
+            Attributes::labeled("knows"),
+        )
+        .unwrap();
+        g.add_edge(
+            EdgeId(11),
+            NodeId(2),
+            NodeId(1),
+            Attributes::labeled("knows"),
+        )
+        .unwrap();
+        g.add_edge(
+            EdgeId(12),
+            NodeId(1),
+            NodeId(3),
+            Attributes::labeled("worksAt").with_prop("since", 2015),
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn counts_and_relations() {
+        let s = GraphStats::compute(&sample());
+        assert_eq!(s.node_count, 3);
+        assert_eq!(s.edge_count, 3);
+        assert_eq!(s.nodes_with_label(Label::new("Person")), 2);
+        assert_eq!(s.nodes_with_label(Label::new("Company")), 1);
+        assert_eq!(s.nodes_with_label(Label::new("Nope")), 0);
+        let knows = s.edge_relation(Label::new("knows")).unwrap();
+        assert_eq!(knows.count, 2);
+        assert_eq!(knows.distinct_src, 2);
+        assert_eq!(knows.distinct_dst, 2);
+        assert!((knows.avg_out_degree() - 1.0).abs() < 1e-9);
+        assert!(s.edge_relation(Label::new("livesIn")).is_none());
+    }
+
+    #[test]
+    fn property_sketches() {
+        let s = GraphStats::compute(&sample());
+        let name = s.node_prop(Key::new("name")).unwrap();
+        assert_eq!(name.carriers, 3);
+        assert_eq!(name.values, 3);
+        assert_eq!(name.distinct, 3);
+        assert!((name.eq_selectivity() - 1.0 / 3.0).abs() < 1e-9);
+        let since = s.edge_prop(Key::new("since")).unwrap();
+        assert_eq!(since.carriers, 1);
+        assert!(s.node_prop(Key::new("since")).is_none());
+    }
+
+    #[test]
+    fn multi_valued_properties_counted_per_value() {
+        let mut g = PathPropertyGraph::new();
+        g.add_node(
+            NodeId(1),
+            Attributes::new().with_prop_set(
+                "employer",
+                PropertySet::from_values([Value::str("Acme"), Value::str("HAL")]),
+            ),
+        );
+        g.add_node(NodeId(2), Attributes::new().with_prop("employer", "Acme"));
+        let s = GraphStats::compute(&g);
+        let emp = s.node_prop(Key::new("employer")).unwrap();
+        assert_eq!(emp.carriers, 2);
+        assert_eq!(emp.values, 3);
+        assert_eq!(emp.distinct, 2);
+    }
+
+    #[test]
+    fn equal_graphs_equal_stats() {
+        // Insertion order must not matter.
+        let a = GraphStats::compute(&sample());
+        let mut g = PathPropertyGraph::new();
+        g.add_node(
+            NodeId(3),
+            Attributes::labeled("Company").with_prop("name", "Acme"),
+        );
+        g.add_node(
+            NodeId(2),
+            Attributes::labeled("Person").with_prop("name", "Bob"),
+        );
+        g.add_node(
+            NodeId(1),
+            Attributes::labeled("Person").with_prop("name", "Ann"),
+        );
+        g.add_edge(
+            EdgeId(12),
+            NodeId(1),
+            NodeId(3),
+            Attributes::labeled("worksAt").with_prop("since", 2015),
+        )
+        .unwrap();
+        g.add_edge(
+            EdgeId(11),
+            NodeId(2),
+            NodeId(1),
+            Attributes::labeled("knows"),
+        )
+        .unwrap();
+        g.add_edge(
+            EdgeId(10),
+            NodeId(1),
+            NodeId(2),
+            Attributes::labeled("knows"),
+        )
+        .unwrap();
+        assert_eq!(a, GraphStats::compute(&g));
+    }
+}

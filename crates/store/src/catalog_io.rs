@@ -9,10 +9,10 @@
 //! atomic, and a crash between objects leaves the previous manifest
 //! pointing at the previous, complete set).
 
-use crate::backend::{graph_key, table_key, StorageBackend, MANIFEST_KEY};
+use crate::backend::{graph_key, stats_key, table_key, StorageBackend, MANIFEST_KEY};
 use crate::error::StoreError;
 use crate::format::fnv1a64;
-use gcore_ppg::Catalog;
+use gcore_ppg::{Catalog, GraphStats};
 
 const MANIFEST_MAGIC: [u8; 8] = *b"GCOREMAN";
 const MANIFEST_VERSION: u32 = 1;
@@ -160,6 +160,14 @@ pub fn save_catalog(catalog: &Catalog, backend: &dyn StorageBackend) -> Result<(
             .graph(name)
             .expect("graph_names lists registered graphs");
         backend.put_graph(name, &graph)?;
+        // Planner statistics ride along as a side object, so a
+        // cold-started engine plans identically without recomputing.
+        // Computation is deterministic, so recomputing when the cached
+        // copy was invalidated yields the same bytes either way.
+        match graph.stats() {
+            Some(stats) => backend.put_stats(name, stats)?,
+            None => backend.put_stats(name, &GraphStats::compute(&graph))?,
+        }
     }
     let table_names = catalog.table_names();
     for name in &table_names {
@@ -177,9 +185,12 @@ pub fn save_catalog(catalog: &Catalog, backend: &dyn StorageBackend) -> Result<(
 
     // Garbage-collect objects dropped since the previous save.
     let mut live: Vec<String> = names.iter().map(|n| graph_key(n)).collect();
+    live.extend(names.iter().map(|n| stats_key(n)));
     live.extend(table_names.iter().map(|n| table_key(n)));
     for key in backend.list()? {
-        if (key.starts_with("graphs/") || key.starts_with("tables/")) && !live.contains(&key) {
+        if (key.starts_with("graphs/") || key.starts_with("tables/") || key.starts_with("stats/"))
+            && !live.contains(&key)
+        {
             backend.delete(&key)?;
         }
     }
@@ -196,7 +207,15 @@ pub fn load_catalog(backend: &dyn StorageBackend) -> Result<Catalog, StoreError>
     let manifest = Manifest::decode(&backend.get_bytes(MANIFEST_KEY)?)?;
     let mut catalog = Catalog::new();
     for name in &manifest.graphs {
-        let graph = backend.get_graph(name)?;
+        let mut graph = backend.get_graph(name)?;
+        // Stats side objects are advisory: attach when present and
+        // readable, otherwise registration recomputes them (the
+        // deterministic computation yields the same stats either way —
+        // stores written before the stats side object existed load
+        // fine).
+        if let Ok(stats) = backend.get_stats(name) {
+            graph.set_stats(stats);
+        }
         catalog.register_graph(name.clone(), graph);
     }
     for name in &manifest.tables {
@@ -217,7 +236,7 @@ pub fn load_catalog(backend: &dyn StorageBackend) -> Result<Catalog, StoreError>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::MemBackend;
+    use crate::backend::{stats_key, MemBackend};
     use gcore_ppg::{Attributes, EdgeId, NodeId, PathPropertyGraph};
 
     fn people() -> PathPropertyGraph {
@@ -306,6 +325,13 @@ mod tests {
         assert!(loaded.ids().peek() > 3);
         // Loaded graphs are indexed, like any registered graph.
         assert!(loaded.graph("people").unwrap().has_label_index());
+        // Planner stats rode along as side objects — a cold start plans
+        // from the same numbers the saving engine did.
+        assert!(loaded.graph("people").unwrap().has_stats());
+        assert_eq!(
+            loaded.graph("people").unwrap().stats(),
+            catalog.graph("people").unwrap().stats()
+        );
     }
 
     #[test]
@@ -315,13 +341,18 @@ mod tests {
         catalog.register_graph("drop", people());
         let backend = MemBackend::new();
         save_catalog(&catalog, &backend).unwrap();
-        assert_eq!(backend.list().unwrap().len(), 3); // 2 graphs + manifest
+        // 2 graphs + 2 stats side objects + manifest.
+        assert_eq!(backend.list().unwrap().len(), 5);
 
         catalog.unregister_graph("drop");
         save_catalog(&catalog, &backend).unwrap();
         assert_eq!(
             backend.list().unwrap(),
-            vec![graph_key("keep"), MANIFEST_KEY.to_owned()]
+            vec![
+                graph_key("keep"),
+                MANIFEST_KEY.to_owned(),
+                stats_key("keep")
+            ]
         );
         let loaded = load_catalog(&backend).unwrap();
         assert_eq!(loaded.graph_names(), vec!["keep"]);

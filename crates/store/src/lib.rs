@@ -58,5 +58,6 @@ pub use backend::{DirBackend, MemBackend, StorageBackend};
 pub use catalog_io::{load_catalog, save_catalog, Manifest};
 pub use error::StoreError;
 pub use format::{
-    decode_graph, decode_table, encode_graph, encode_table, FORMAT_VERSION, MAGIC, TABLE_MAGIC,
+    decode_graph, decode_stats, decode_table, encode_graph, encode_stats, encode_table,
+    FORMAT_VERSION, MAGIC, STATS_MAGIC, TABLE_MAGIC,
 };

@@ -8,6 +8,12 @@
 //!
 //! # Lint your own `;`-separated script files:
 //! cargo run --example check -- my_queries.gcore more.gcore
+//!
+//! # Print the cost-based query plan (EXPLAIN) instead of linting.
+//! # Corpus mode evaluates as it goes so later plans see the views
+//! # earlier statements define; file mode plans statically:
+//! cargo run --example check -- --explain
+//! cargo run --example check -- --explain my_queries.gcore
 //! ```
 
 use gcore_repro::corpus;
@@ -31,9 +37,63 @@ fn tour_engine() -> Engine {
     engine
 }
 
+/// `--explain`: print each statement's cost-based plan instead of
+/// diagnostics. Corpus mode evaluates statement by statement so a later
+/// plan resolves the graph views earlier statements define; file mode
+/// plans statically against the tour catalog.
+fn explain(args: &[String]) -> ExitCode {
+    let mut engine = tour_engine();
+    if args.is_empty() {
+        for q in corpus::ALL {
+            println!("── {} ──", q.id);
+            match engine.explain(q.text) {
+                Ok(plan) => print!("{plan}"),
+                Err(e) => println!("error: {e}"),
+            }
+            if let Err(e) = engine.run(q.text) {
+                println!("(evaluation failed: {e})");
+            }
+            println!();
+        }
+        return ExitCode::SUCCESS;
+    }
+    for path in args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let stmts = match gcore_repro::parser::parse_script(&text) {
+            Ok(stmts) => stmts,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (i, stmt) in stmts.iter().enumerate() {
+            println!("── {path} [{}] ──", i + 1);
+            let catalog = engine.catalog();
+            let resolve = |on: Option<&gcore_repro::parser::ast::Location>| match on {
+                None => catalog.default_graph().ok(),
+                Some(gcore_repro::parser::ast::Location::Named(name)) => catalog.graph(name).ok(),
+                Some(gcore_repro::parser::ast::Location::Subquery(_)) => None,
+            };
+            print!("{}", gcore_repro::engine::explain_statement(stmt, &resolve));
+            println!();
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let engine = tour_engine();
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--explain") {
+        args.remove(pos);
+        return explain(&args);
+    }
 
     let mut errors = 0usize;
     let mut warnings = 0usize;
