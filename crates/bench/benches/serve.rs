@@ -1,0 +1,163 @@
+//! Closed-loop load generation against a real `gcore-serve` server:
+//! N client threads, each with its own TCP connection, issue a mixed
+//! read workload (scans, joins, OPTIONAL, reachability, shortest
+//! paths, §5 SELECTs) plus occasional writes against an SNB-1000
+//! engine, as fast as the server answers.
+//!
+//! Two kinds of readings:
+//!
+//! * criterion groups `serve_rpc` (single-statement round-trip latency
+//!   over TCP, per statement class — the protocol + codec overhead on
+//!   top of the engine) and `serve_closed_loop` (whole mixed corpus,
+//!   once per client count);
+//! * a one-shot throughput/percentile run printed to stdout
+//!   (statements/s, p50/p95/p99 latency per client count) — those are
+//!   the numbers recorded in docs/BENCHMARKING.md.
+//!
+//! Single-core caveat: this container pins everything to one core, so
+//! client threads and server workers time-share; multi-client numbers
+//! measure multiplexing overhead, not parallel speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcore_bench::snb_engine;
+use gcore_serve::{Client, ServeConfig, Server, ServerHandle};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The mixed read corpus (same spread as the in-process concurrency
+/// bench, so serve numbers are comparable with engine numbers).
+const READS: &[&str] = &[
+    "CONSTRUCT (n) MATCH (n:Person) WHERE n.personId < 50",
+    "CONSTRUCT (n)-[e]->(m) MATCH (n:Person)-[e:knows]->(m:Person) WHERE n.personId < 50",
+    "CONSTRUCT (n)-[:fof]->(k) \
+     MATCH (n:Person)-[:knows]->(m:Person)-[:knows]->(k:Person) WHERE n.personId < 10",
+    "SELECT n.personId AS id, n.firstName AS name MATCH (n:Person) WHERE n.personId < 300",
+    "CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person) WHERE n.personId = 0",
+    "CONSTRUCT (n)-/@p:sp/->(m) \
+     MATCH (n:Person)-/p <:knows*>/->(m:Person) WHERE n.personId = 1",
+    "CONSTRUCT (t) MATCH (n:Person)-[:hasInterest]->(t:Tag) WHERE n.personId < 150",
+    "SELECT m.firstName AS friend MATCH (n:Person)-[:knows]->(m:Person) WHERE n.personId < 80",
+];
+
+/// One write per round per client, made unique by (client, round) so
+/// views never collide and every commit really mutates the catalog.
+fn write_stmt(client: usize, round: usize) -> String {
+    format!(
+        "GRAPH VIEW bench_c{client}_r{round} AS \
+         (CONSTRUCT (n) MATCH (n:Person) WHERE n.personId < 10)"
+    )
+}
+
+fn start_server(clients: usize) -> ServerHandle {
+    let config = ServeConfig {
+        threads: clients.max(2),
+        max_connections: clients + 2,
+        ..ServeConfig::default()
+    };
+    Server::start(snb_engine(1000), config).expect("bench server boots")
+}
+
+/// Closed loop: every client thread hammers the mixed corpus `rounds`
+/// times (READS.len() queries + 1 write per round), recording each
+/// statement's round-trip latency. Returns all latencies.
+fn closed_loop(addr: std::net::SocketAddr, clients: usize, rounds: usize) -> Vec<Duration> {
+    let threads: Vec<_> = (0..clients)
+        .map(|ci| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("bench client connects");
+                let mut latencies = Vec::with_capacity(rounds * (READS.len() + 1));
+                for round in 0..rounds {
+                    for text in READS {
+                        let t0 = Instant::now();
+                        client.query(text).expect("read answers");
+                        latencies.push(t0.elapsed());
+                    }
+                    let write = write_stmt(ci, round);
+                    let t0 = Instant::now();
+                    client.transact(&write).expect("write commits");
+                    latencies.push(t0.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for t in threads {
+        all.extend(t.join().expect("bench client thread"));
+    }
+    all
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let ix = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[ix]
+}
+
+/// The one-shot throughput/percentile table for BENCHMARKING.md.
+fn report_throughput() {
+    println!("serve closed-loop (SNB-1000, mixed reads + writes):");
+    for clients in [1usize, 2, 4] {
+        let server = start_server(clients);
+        let addr = server.addr();
+        // Warm the snapshot and caches once.
+        closed_loop(addr, 1, 1);
+        let rounds = 3;
+        let t0 = Instant::now();
+        let mut latencies = closed_loop(addr, clients, rounds);
+        let wall = t0.elapsed();
+        latencies.sort();
+        let statements = latencies.len();
+        println!(
+            "  {clients} client(s): {statements} stmts in {:.2}s -> {:.1} stmt/s, \
+             p50 {:.2?} p95 {:.2?} p99 {:.2?}",
+            wall.as_secs_f64(),
+            statements as f64 / wall.as_secs_f64(),
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.95),
+            percentile(&latencies, 0.99),
+        );
+        server.wait();
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    report_throughput();
+
+    // Per-statement-class round-trip latency over TCP, one client.
+    {
+        let server = start_server(1);
+        let mut client = Client::connect(server.addr()).expect("bench client");
+        let mut g = c.benchmark_group("serve_rpc");
+        g.sample_size(10);
+        g.bench_function("ping", |b| b.iter(|| black_box(client.ping().unwrap())));
+        g.bench_function("scan_select", |b| {
+            b.iter(|| black_box(client.query(READS[3]).unwrap()))
+        });
+        g.bench_function("join_construct", |b| {
+            b.iter(|| black_box(client.query(READS[1]).unwrap()))
+        });
+        g.bench_function("reachability", |b| {
+            b.iter(|| black_box(client.query(READS[4]).unwrap()))
+        });
+        g.finish();
+        drop(client);
+        server.wait();
+    }
+
+    // Whole mixed corpus, closed loop, per client count.
+    let mut g = c.benchmark_group("serve_closed_loop");
+    g.sample_size(10);
+    for clients in [1usize, 2, 4] {
+        let server = start_server(clients);
+        let addr = server.addr();
+        closed_loop(addr, 1, 1); // warm-up
+        g.bench_function(format!("mixed_{clients}c"), |b| {
+            b.iter(|| black_box(closed_loop(addr, clients, 1)))
+        });
+        server.wait();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -345,7 +345,7 @@ impl Engine {
     /// assert_eq!(t.len(), 1);
     /// ```
     pub fn save_to(&self, backend: &dyn StorageBackend) -> std::result::Result<(), StoreError> {
-        gcore_store::save_catalog(&self.catalog, backend)
+        gcore_store::save_catalog_at_epoch(&self.catalog, self.epoch, backend)
     }
 
     /// Cold-start an engine from a store written by
@@ -354,11 +354,36 @@ impl Engine {
     /// identifier space, so fresh skolemized identifiers never collide
     /// with loaded elements) and restore the default graph.
     ///
-    /// The engine starts at snapshot epoch 0 with no snapshot frozen —
-    /// the load itself is the initial committed state, exactly as if
-    /// the graphs had been registered programmatically.
+    /// The engine resumes at the snapshot epoch recorded in the
+    /// manifest (what [`snapshot_epoch`](Self::snapshot_epoch) read
+    /// when the store was saved), with no snapshot frozen — the load
+    /// itself is the committed state at that epoch. Clients observing
+    /// the epoch across a save → restart therefore never see it
+    /// regress.
     pub fn open_from(backend: &dyn StorageBackend) -> std::result::Result<Engine, StoreError> {
-        Ok(Engine::with_catalog(gcore_store::load_catalog(backend)?))
+        let (catalog, epoch) = gcore_store::load_catalog_at_epoch(backend)?;
+        let mut engine = Engine::with_catalog(catalog);
+        engine.epoch = epoch;
+        Ok(engine)
+    }
+
+    /// Replace this engine's committed catalog with the one stored in
+    /// `backend` (the hot-reload counterpart of
+    /// [`open_from`](Self::open_from), used by the `gcore-serve` admin
+    /// route). Counts as a write: the epoch advances to one past the
+    /// maximum of the live epoch and the stored one — monotone for
+    /// connected clients whichever is ahead — and the cached snapshot
+    /// is dropped. Evaluation settings (planner, parallelism, …) are
+    /// kept. Returns the new epoch.
+    pub fn reload_from(
+        &mut self,
+        backend: &dyn StorageBackend,
+    ) -> std::result::Result<u64, StoreError> {
+        let (catalog, stored_epoch) = gcore_store::load_catalog_at_epoch(backend)?;
+        self.catalog = catalog;
+        self.epoch = self.epoch.max(stored_epoch);
+        self.commit();
+        Ok(self.epoch)
     }
 
     /// Evaluate a corpus of independent statements concurrently on
@@ -530,7 +555,9 @@ mod tests {
         let mut reloaded = Engine::open_from(&backend).unwrap();
         assert_eq!(reloaded.catalog().graph_names(), vec!["pals", "people"]);
         assert_eq!(reloaded.catalog().default_graph_name(), Some("people"));
-        assert_eq!(reloaded.snapshot_epoch(), 0);
+        // The epoch survives the restart: no client can observe it
+        // regress across save → open.
+        assert_eq!(reloaded.snapshot_epoch(), engine.snapshot_epoch());
         // The loaded engine serves the same queries cold.
         let t = reloaded
             .query_table("SELECT n.name AS name MATCH (n:Person)")

@@ -161,6 +161,36 @@ fn independent_saves_are_byte_identical() {
     }
 }
 
+/// Save → restart → the snapshot epoch never regresses: the manifest
+/// records the saving engine's epoch and `open_from` resumes there, so
+/// a client of a restarted server that had observed epoch `e` can
+/// never be handed an epoch `< e` (the PR 5 epoch-restart fix).
+#[test]
+fn save_restart_epoch_is_monotone() {
+    let warm = prepared_engine();
+    let saved_epoch = warm.snapshot_epoch();
+    assert!(saved_epoch > 0, "fixture commits must have advanced it");
+
+    let backend = MemBackend::new();
+    warm.save_to(&backend).unwrap();
+    let mut cold = Engine::open_from(&backend).unwrap();
+    assert_eq!(cold.snapshot_epoch(), saved_epoch);
+
+    // Writes on the restarted engine keep climbing from there.
+    cold.run("GRAPH VIEW after_restart AS (CONSTRUCT (n) MATCH (n))")
+        .unwrap();
+    assert!(cold.snapshot_epoch() > saved_epoch);
+
+    // Hot reload on a live engine is monotone from whichever side is
+    // ahead: the live engine here has advanced past the store.
+    let live_epoch = cold.snapshot_epoch();
+    let reloaded_epoch = cold.reload_from(&backend).unwrap();
+    assert!(reloaded_epoch > live_epoch);
+    assert_eq!(cold.snapshot_epoch(), reloaded_epoch);
+    // The reload really swapped the catalog back to the stored state.
+    assert!(!cold.catalog().has_graph("after_restart"));
+}
+
 /// Save → reload → save again: the second store equals the first
 /// (stability under a full round trip).
 #[test]

@@ -1,0 +1,318 @@
+//! The client library: a blocking, synchronous connection speaking the
+//! frame protocol. Used by the test suites, the load-generator bench
+//! and anything else that wants engine answers over TCP.
+
+use crate::error::ServeError;
+use crate::protocol::{
+    decode_error, decode_frame, decode_header, decode_hello, encode_frame, AdminRequest,
+    AdminResponse, ErrorCode, Frame, FrameKind, GraphListing, OutputSort, FRAME_CHECKSUM_LEN,
+    FRAME_HEADER_LEN, HANDSHAKE_MAGIC, MAX_FRAME_PAYLOAD, PROTOCOL_VERSION,
+};
+use gcore::QueryOutput;
+use gcore_parser::{parse_statement, Statement};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One answered statement: the epoch its snapshot was pinned at (query)
+/// or committed to (transact), plus the decoded output.
+#[derive(Clone, Debug)]
+pub struct Reply {
+    /// The server's snapshot epoch for this statement.
+    pub epoch: u64,
+    /// The decoded result. `None` for an empty transact script.
+    pub output: Option<QueryOutput>,
+}
+
+/// A connected client. One statement in flight at a time (the protocol
+/// is strictly request/response).
+pub struct Client {
+    stream: TcpStream,
+    /// The epoch the server greeted us with.
+    hello_epoch: u64,
+}
+
+impl Client {
+    /// Connect, handshake, and read the server's greeting.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a `Busy` rejection, or a protocol violation.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut hello = Vec::with_capacity(12);
+        hello.extend_from_slice(&HANDSHAKE_MAGIC);
+        hello.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        stream.write_all(&hello)?;
+        let mut client = Client {
+            stream,
+            hello_epoch: 0,
+        };
+        let frame = client.read_frame()?;
+        match frame.kind {
+            FrameKind::Hello => {
+                let (version, epoch) = decode_hello(&frame.payload)?;
+                if version != PROTOCOL_VERSION {
+                    return Err(ServeError::Protocol(format!(
+                        "server speaks protocol {version}, client speaks {PROTOCOL_VERSION}"
+                    )));
+                }
+                client.hello_epoch = epoch;
+                Ok(client)
+            }
+            FrameKind::Error => Err(Self::remote(&frame.payload)?),
+            other => Err(ServeError::Protocol(format!(
+                "expected a hello, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The snapshot epoch the server reported at connect time.
+    pub fn hello_epoch(&self) -> u64 {
+        self.hello_epoch
+    }
+
+    /// Evaluate one read-only statement on a pinned snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error frame.
+    pub fn query(&mut self, text: &str) -> Result<Reply, ServeError> {
+        self.send(FrameKind::Query, text.as_bytes())?;
+        self.read_reply()
+    }
+
+    /// Run a write script serialized through the server's catalog
+    /// front; the reply carries the post-commit epoch.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error frame.
+    pub fn transact(&mut self, text: &str) -> Result<Reply, ServeError> {
+        self.send(FrameKind::Transact, text.as_bytes())?;
+        self.read_reply()
+    }
+
+    /// Route a statement the way `Engine::run` would: `GRAPH VIEW`
+    /// definitions go through **transact** (they commit), anything else
+    /// through **query**. Unparseable text goes through **query** so
+    /// the server's diagnostic comes back verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error frame.
+    pub fn run(&mut self, text: &str) -> Result<Reply, ServeError> {
+        match parse_statement(text) {
+            Ok(Statement::GraphView { .. }) => self.transact(text),
+            _ => self.query(text),
+        }
+    }
+
+    // -- admin ---------------------------------------------------------
+
+    /// List the server's registered graphs, tables and default graph.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error frame.
+    pub fn list_graphs(&mut self) -> Result<GraphListing, ServeError> {
+        match self.admin(&AdminRequest::ListGraphs)? {
+            AdminResponse::Graphs(listing) => Ok(listing),
+            other => Err(Self::unexpected_admin(&other)),
+        }
+    }
+
+    /// The server's counters as sorted (name, value) pairs.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error frame.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ServeError> {
+        match self.admin(&AdminRequest::Stats)? {
+            AdminResponse::Stats(counters) => Ok(counters),
+            other => Err(Self::unexpected_admin(&other)),
+        }
+    }
+
+    /// The server's rendered plan for a statement.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error frame.
+    pub fn explain(&mut self, text: &str) -> Result<String, ServeError> {
+        match self.admin(&AdminRequest::Explain(text.to_owned()))? {
+            AdminResponse::Explain(plan) => Ok(plan),
+            other => Err(Self::unexpected_admin(&other)),
+        }
+    }
+
+    /// Ask the server to persist its committed catalog; returns the
+    /// saved epoch.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error frame (notably
+    /// `S005` when the server runs without storage).
+    pub fn save(&mut self) -> Result<u64, ServeError> {
+        match self.admin(&AdminRequest::Save)? {
+            AdminResponse::Epoch(epoch) => Ok(epoch),
+            other => Err(Self::unexpected_admin(&other)),
+        }
+    }
+
+    /// Ask the server to reload its catalog from storage; returns the
+    /// post-reload epoch.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error frame.
+    pub fn load(&mut self) -> Result<u64, ServeError> {
+        match self.admin(&AdminRequest::Load)? {
+            AdminResponse::Epoch(epoch) => Ok(epoch),
+            other => Err(Self::unexpected_admin(&other)),
+        }
+    }
+
+    /// Health check; returns the server's current snapshot epoch.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error frame.
+    pub fn ping(&mut self) -> Result<u64, ServeError> {
+        match self.admin(&AdminRequest::Ping)? {
+            AdminResponse::Epoch(epoch) => Ok(epoch),
+            other => Err(Self::unexpected_admin(&other)),
+        }
+    }
+
+    /// Set this connection's statement timeout in milliseconds (0
+    /// disables it).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error frame.
+    pub fn set_statement_timeout_ms(&mut self, ms: u64) -> Result<(), ServeError> {
+        match self.admin(&AdminRequest::SetTimeout(ms))? {
+            AdminResponse::Ok => Ok(()),
+            other => Err(Self::unexpected_admin(&other)),
+        }
+    }
+
+    fn admin(&mut self, request: &AdminRequest) -> Result<AdminResponse, ServeError> {
+        self.send(FrameKind::Admin, &request.encode())?;
+        let frame = self.read_frame()?;
+        match frame.kind {
+            FrameKind::AdminOk => AdminResponse::decode(&frame.payload),
+            FrameKind::Error => Err(Self::remote(&frame.payload)?),
+            other => Err(ServeError::Protocol(format!(
+                "expected an admin reply, got {other:?}"
+            ))),
+        }
+    }
+
+    // -- transport -----------------------------------------------------
+
+    fn send(&mut self, kind: FrameKind, payload: &[u8]) -> Result<(), ServeError> {
+        if payload.len() > MAX_FRAME_PAYLOAD as usize {
+            return Err(ServeError::Protocol(format!(
+                "request of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte frame cap",
+                payload.len()
+            )));
+        }
+        self.stream.write_all(&encode_frame(kind, payload))?;
+        Ok(())
+    }
+
+    /// Read exactly one frame off the socket.
+    fn read_frame(&mut self) -> Result<Frame, ServeError> {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        self.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[1..5].try_into().unwrap());
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(ServeError::Protocol(format!(
+                "frame payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte cap"
+            )));
+        }
+        let mut rest = vec![0u8; len as usize + FRAME_CHECKSUM_LEN];
+        self.read_exact(&mut rest)?;
+        let mut bytes = Vec::with_capacity(header.len() + rest.len());
+        bytes.extend_from_slice(&header);
+        bytes.extend_from_slice(&rest);
+        let (frame, _) = decode_frame(&bytes)?;
+        Ok(frame)
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), ServeError> {
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            match self.stream.read(&mut buf[filled..]) {
+                Ok(0) => return Err(ServeError::ConnectionClosed),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Accumulate a Header + Chunk* + Done stream into a [`Reply`].
+    fn read_reply(&mut self) -> Result<Reply, ServeError> {
+        let first = self.read_frame()?;
+        let (epoch, sort) = match first.kind {
+            FrameKind::Header => decode_header(&first.payload)?,
+            FrameKind::Error => return Err(Self::remote(&first.payload)?),
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "expected a response header, got {other:?}"
+                )))
+            }
+        };
+        let mut body = Vec::new();
+        loop {
+            let frame = self.read_frame()?;
+            match frame.kind {
+                FrameKind::Chunk => body.extend_from_slice(&frame.payload),
+                FrameKind::Done => break,
+                FrameKind::Error => return Err(Self::remote(&frame.payload)?),
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "expected a chunk, got {other:?}"
+                    )))
+                }
+            }
+        }
+        if body.is_empty() {
+            return Ok(Reply {
+                epoch,
+                output: None,
+            });
+        }
+        let output = match sort {
+            OutputSort::Table => QueryOutput::Table(
+                gcore_store::decode_table(&body)
+                    .map_err(|e| ServeError::Protocol(format!("decoding table: {e}")))?,
+            ),
+            OutputSort::Graph => QueryOutput::Graph(
+                gcore_store::decode_graph(&body)
+                    .map_err(|e| ServeError::Protocol(format!("decoding graph: {e}")))?,
+            ),
+        };
+        Ok(Reply {
+            epoch,
+            output: Some(output),
+        })
+    }
+
+    /// Decode a server error frame into [`ServeError::Remote`].
+    fn remote(payload: &[u8]) -> Result<ServeError, ServeError> {
+        let (code, message) = decode_error(payload)?;
+        Ok(ServeError::Remote { code, message })
+    }
+
+    fn unexpected_admin(got: &AdminResponse) -> ServeError {
+        ServeError::Remote {
+            code: ErrorCode::Internal,
+            message: format!("unexpected admin response {got:?}"),
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! `gcore-serve` — a multi-client TCP server and client library for
+//! the G-CORE engine (std-only: `TcpListener`, a fixed thread pool,
+//! and a length-prefixed binary protocol following the `gcore-store`
+//! codec conventions).
+//!
+//! The server multiplexes many clients over one shared
+//! [`Engine`](gcore::Engine) with three routes:
+//!
+//! * **query** — one read-only statement, evaluated on a snapshot
+//!   pinned per statement; results stream back as checksummed frames.
+//! * **transact** — a write script serialized through the engine's
+//!   catalog front; each commit bumps the epoch that later queries and
+//!   connections observe.
+//! * **admin** — catalog listing, server stats, plan explanation,
+//!   save/load against a storage directory, ping, and per-connection
+//!   statement timeouts.
+//!
+//! Connections past the cap are turned away with a `Busy` error frame;
+//! shutdown drains in-flight statements. The protocol error codes
+//! (`S000`–`S007`) are tabulated in `docs/DIAGNOSTICS.md`.
+//!
+//! ```
+//! use gcore_serve::{Client, ServeConfig, Server};
+//! use gcore_ppg::{Attributes, GraphBuilder};
+//!
+//! let mut engine = gcore::Engine::new();
+//! let mut b = GraphBuilder::new(engine.catalog().ids().clone());
+//! b.node(Attributes::labeled("Person").with_prop("name", "Ada"));
+//! engine.register_graph("people", b.build());
+//! engine.set_default_graph("people");
+//!
+//! let server = Server::start(engine, ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let reply = client.query("SELECT n.name AS name MATCH (n:Person)").unwrap();
+//! let table = reply.output.unwrap().into_table().unwrap();
+//! assert_eq!(table.len(), 1);
+//! server.wait();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use client::{Client, Reply};
+pub use error::ServeError;
+pub use protocol::{
+    AdminRequest, AdminResponse, ErrorCode, Frame, FrameKind, GraphListing, OutputSort,
+    PROTOCOL_VERSION,
+};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use stats::{ServerStats, StatsSnapshot};

@@ -1,0 +1,175 @@
+//! The `gcore-serve` binary: boot an engine (empty, from a data
+//! directory, or seeded with an SNB network) and serve it over TCP.
+//!
+//! Every flag has a `GCORE_SERVE_*` environment fallback so the server
+//! configures cleanly under a process supervisor; flags win over the
+//! environment. See `--help`.
+
+use gcore::Engine;
+use gcore_serve::{ServeConfig, Server};
+use gcore_snb::{generate, SnbConfig};
+use gcore_store::DirBackend;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const HELP: &str = "\
+gcore-serve — multi-client TCP server for the G-CORE engine
+
+USAGE:
+    gcore-serve [OPTIONS]
+
+OPTIONS:
+    --addr <HOST:PORT>        Bind address        [env: GCORE_SERVE_ADDR]    [default: 127.0.0.1:7687]
+    --threads <N>             Worker threads      [env: GCORE_SERVE_THREADS] [default: 4]
+    --max-connections <N>     Connection cap      [env: GCORE_SERVE_MAX_CONNECTIONS] [default: threads]
+    --timeout-ms <MS>         Statement timeout   [env: GCORE_SERVE_TIMEOUT_MS] [default: off; 0 = off]
+    --data-dir <DIR>          Storage directory; loaded at boot when it
+                              holds a catalog, and backs admin save/load
+                                                  [env: GCORE_SERVE_DATA_DIR]
+    --snb <PERSONS>           Seed an SNB social network of this scale
+                              when no stored catalog is loaded
+                                                  [env: GCORE_SERVE_SNB]
+    -h, --help                Print this help
+";
+
+struct Options {
+    addr: String,
+    threads: usize,
+    max_connections: Option<usize>,
+    timeout_ms: Option<u64>,
+    data_dir: Option<PathBuf>,
+    snb: Option<usize>,
+}
+
+fn env_opt(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|v| !v.is_empty())
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: env_opt("GCORE_SERVE_ADDR").unwrap_or_else(|| "127.0.0.1:7687".to_owned()),
+        threads: parse_env("GCORE_SERVE_THREADS")?.unwrap_or(4),
+        max_connections: parse_env("GCORE_SERVE_MAX_CONNECTIONS")?,
+        timeout_ms: parse_env("GCORE_SERVE_TIMEOUT_MS")?,
+        data_dir: env_opt("GCORE_SERVE_DATA_DIR").map(PathBuf::from),
+        snb: parse_env("GCORE_SERVE_SNB")?,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value (see --help)"))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--threads" => opts.threads = parse_num(&value("--threads")?, "--threads")?,
+            "--max-connections" => {
+                opts.max_connections = Some(parse_num(
+                    &value("--max-connections")?,
+                    "--max-connections",
+                )?);
+            }
+            "--timeout-ms" => {
+                opts.timeout_ms = Some(parse_num(&value("--timeout-ms")?, "--timeout-ms")?);
+            }
+            "--data-dir" => opts.data_dir = Some(PathBuf::from(value("--data-dir")?)),
+            "--snb" => opts.snb = Some(parse_num(&value("--snb")?, "--snb")?),
+            "-h" | "--help" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other} (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag}: `{raw}` is not a valid number"))
+}
+
+fn parse_env<T: std::str::FromStr>(name: &str) -> Result<Option<T>, String> {
+    env_opt(name)
+        .map(|raw| {
+            raw.parse()
+                .map_err(|_| format!("{name}: `{raw}` is not a valid number"))
+        })
+        .transpose()
+}
+
+fn boot_engine(opts: &Options) -> Result<Engine, String> {
+    if let Some(dir) = &opts.data_dir {
+        let backend =
+            DirBackend::new(dir).map_err(|e| format!("opening {}: {e}", dir.display()))?;
+        match Engine::open_from(&backend) {
+            Ok(engine) => {
+                eprintln!(
+                    "loaded catalog from {} (epoch {})",
+                    dir.display(),
+                    engine.snapshot_epoch()
+                );
+                return Ok(engine);
+            }
+            Err(e) => {
+                // A fresh data directory has no manifest yet; anything
+                // else (corruption, version skew) is fatal.
+                if backend_is_empty(&backend) {
+                    eprintln!("{} is empty, starting fresh", dir.display());
+                } else {
+                    return Err(format!("loading {}: {e}", dir.display()));
+                }
+            }
+        }
+    }
+    let mut engine = Engine::new();
+    if let Some(persons) = opts.snb {
+        let data = generate(&SnbConfig::scale(persons), &engine.catalog().ids().clone());
+        engine.register_graph("snb", data.graph);
+        engine.set_default_graph("snb");
+        eprintln!("seeded SNB network with {persons} persons");
+    }
+    Ok(engine)
+}
+
+fn backend_is_empty(backend: &DirBackend) -> bool {
+    use gcore_store::StorageBackend;
+    backend.list().map(|keys| keys.is_empty()).unwrap_or(false)
+}
+
+fn main() {
+    let opts = match parse_options() {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("gcore-serve: {message}");
+            std::process::exit(2);
+        }
+    };
+    let engine = match boot_engine(&opts) {
+        Ok(e) => e,
+        Err(message) => {
+            eprintln!("gcore-serve: {message}");
+            std::process::exit(1);
+        }
+    };
+    let config = ServeConfig {
+        addr: opts.addr.clone(),
+        threads: opts.threads,
+        max_connections: opts.max_connections.unwrap_or(opts.threads),
+        statement_timeout: match opts.timeout_ms {
+            None | Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms)),
+        },
+        data_dir: opts.data_dir.clone(),
+        ..ServeConfig::default()
+    };
+    let handle = match Server::start(engine, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("gcore-serve: binding {}: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("gcore-serve listening on {}", handle.addr());
+    handle.serve_forever();
+}

@@ -1,0 +1,697 @@
+//! The server: a `TcpListener` accept loop feeding a fixed worker
+//! pool, every worker speaking the frame protocol over one connection
+//! at a time against a shared [`Engine`].
+//!
+//! ## Concurrency model
+//!
+//! The engine sits behind one mutex, but the lock is held only for
+//! catalog work: a **query** locks just long enough to clone an
+//! `Arc`-backed [`QueryExecutor`] (pinning that statement's snapshot)
+//! and evaluates outside the lock, so reads from many connections run
+//! concurrently against immutable snapshots. A **transact** holds the
+//! lock for its whole script — writes are serialized through the
+//! catalog front exactly as in-process callers are, and each commit
+//! bumps the epoch that subsequent queries observe.
+//!
+//! ## Lifecycle
+//!
+//! [`Server::start`] binds, spawns the accept thread and workers, and
+//! returns a [`ServerHandle`]. Connections over the cap are greeted
+//! with a [`ErrorCode::Busy`] error frame and closed. Shutdown flips a
+//! flag, wakes the accept loop, stops accepting, and drains: statements
+//! already executing run to completion; idle connections are closed at
+//! their next poll tick.
+
+use crate::protocol::{
+    decode_frame, encode_error, encode_frame, encode_header, encode_hello, AdminRequest,
+    AdminResponse, ErrorCode, Frame, FrameKind, GraphListing, OutputSort, CHUNK_PAYLOAD,
+    FRAME_CHECKSUM_LEN, FRAME_HEADER_LEN, HANDSHAKE_MAGIC, MAX_FRAME_PAYLOAD, PROTOCOL_VERSION,
+};
+use crate::stats::{ServerStats, StatsSnapshot};
+use gcore::{Engine, QueryExecutor, QueryOutput};
+use gcore_store::{DirBackend, StorageBackend};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the server is wired up. `Default` is suitable for tests: an
+/// ephemeral loopback port, a small pool, no timeouts, no storage.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; `127.0.0.1:0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads — the number of connections served concurrently.
+    pub threads: usize,
+    /// Connection cap; beyond it new connections get a `Busy` error.
+    /// Defaults to `threads` (a queued connection would silently wait
+    /// for a worker, which a closed-loop client can't distinguish from
+    /// a hung server).
+    pub max_connections: usize,
+    /// Default per-statement wall-clock budget for queries. `None`
+    /// disables it; connections can override via
+    /// [`AdminRequest::SetTimeout`].
+    pub statement_timeout: Option<Duration>,
+    /// How long a connection may dribble one frame before it is
+    /// dropped as hostile.
+    pub frame_deadline: Duration,
+    /// Directory backing the admin save/load routes. `None` makes
+    /// those routes answer with a `Storage` error.
+    pub data_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 4,
+            max_connections: 4,
+            statement_timeout: None,
+            frame_deadline: Duration::from_secs(30),
+            data_dir: None,
+        }
+    }
+}
+
+/// Poll interval for reads: short enough that shutdown and the frame
+/// deadline are noticed promptly, long enough to stay off the CPU.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// State shared by the accept loop and every worker.
+struct Shared {
+    engine: Mutex<Engine>,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    default_timeout: Option<Duration>,
+    frame_deadline: Duration,
+    max_connections: usize,
+    backend: Option<DirBackend>,
+}
+
+/// The running server. Dropping the handle shuts the server down and
+/// joins every thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// The server namespace: construction lives in [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the accept loop and `config.threads` workers, and
+    /// hand back the running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure, e.g. a taken port.
+    pub fn start(engine: Engine, config: ServeConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let threads = config.threads.max(1);
+        let shared = Arc::new(Shared {
+            engine: Mutex::new(engine),
+            stats: ServerStats::new(),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            default_timeout: config.statement_timeout,
+            frame_deadline: config.frame_deadline,
+            max_connections: config.max_connections.max(1),
+            backend: match &config.data_dir {
+                Some(dir) => {
+                    Some(DirBackend::new(dir).map_err(|e| std::io::Error::other(e.to_string()))?)
+                }
+                None => None,
+            },
+        });
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("gcore-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("gcore-serve-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_shared, &tx))
+            .expect("spawn accept loop");
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `addr` asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the server counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Begin shutdown: stop accepting, drain in-flight statements.
+    /// Idempotent; returns immediately (join with [`ServerHandle::wait`]
+    /// or by dropping the handle).
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept call so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Shut down (if not already) and block until every thread exits.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    /// Block serving until another thread calls [`ServerHandle::shutdown`]
+    /// or the process dies — unlike [`ServerHandle::wait`], this does
+    /// *not* initiate shutdown itself. This is what a daemon binary
+    /// wants after printing its listening address.
+    pub fn serve_forever(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    fn join_all(&mut self) {
+        self.shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.join_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Accept loop
+// ---------------------------------------------------------------------
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, tx: &mpsc::Sender<TcpStream>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break; // drains on return: tx drops, workers finish and exit
+        }
+        let Ok(stream) = conn else { continue };
+        ServerStats::bump(&shared.stats.connections_accepted);
+        if shared.active.load(Ordering::SeqCst) >= shared.max_connections {
+            ServerStats::bump(&shared.stats.connections_rejected_busy);
+            reject(
+                stream,
+                ErrorCode::Busy,
+                "connection cap reached, retry later",
+            );
+            continue;
+        }
+        if tx.send(stream).is_err() {
+            break;
+        }
+    }
+}
+
+/// Best-effort single error frame to a connection we will not serve.
+fn reject(mut stream: TcpStream, code: ErrorCode, message: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.write_all(&encode_frame(
+        FrameKind::Error,
+        &encode_error(code, message),
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Worker loop and per-connection state
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
+    loop {
+        // Take the stream out of the channel lock before serving it, so
+        // one long connection never blocks the other workers' intake.
+        let stream = match rx.lock().unwrap().recv() {
+            Ok(s) => s,
+            Err(_) => return, // sender dropped: accept loop exited
+        };
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.stats.connections_active.store(
+            shared.active.load(Ordering::SeqCst) as u64,
+            Ordering::Relaxed,
+        );
+        let _ = Connection::new(shared, stream).serve();
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+        shared.stats.connections_active.store(
+            shared.active.load(Ordering::SeqCst) as u64,
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// Why a connection stopped being served.
+enum Close {
+    /// Peer hung up, protocol violation, or server shutdown.
+    Done,
+}
+
+struct Connection<'a> {
+    shared: &'a Arc<Shared>,
+    stream: TcpStream,
+    /// This connection's statement timeout (admin-overridable).
+    timeout: Option<Duration>,
+}
+
+impl<'a> Connection<'a> {
+    fn new(shared: &'a Arc<Shared>, stream: TcpStream) -> Self {
+        let timeout = shared.default_timeout;
+        Connection {
+            shared,
+            stream,
+            timeout,
+        }
+    }
+
+    fn serve(mut self) -> Close {
+        let _ = self.stream.set_nodelay(true);
+        let _ = self.stream.set_read_timeout(Some(POLL_INTERVAL));
+        let _ = self.stream.set_write_timeout(Some(Duration::from_secs(30)));
+
+        if !self.handshake() {
+            return Close::Done;
+        }
+        let epoch = self.shared.engine.lock().unwrap().snapshot_epoch();
+        if self
+            .send_frame(FrameKind::Hello, &encode_hello(epoch))
+            .is_err()
+        {
+            return Close::Done;
+        }
+
+        loop {
+            let frame = match self.read_frame() {
+                ReadOutcome::Frame(f) => f,
+                ReadOutcome::Closed => return Close::Done,
+                ReadOutcome::Shutdown => {
+                    let _ = self.send_error(ErrorCode::ShuttingDown, "server is shutting down");
+                    return Close::Done;
+                }
+                ReadOutcome::Violation(msg) => {
+                    ServerStats::bump(&self.shared.stats.protocol_errors);
+                    let _ = self.send_error(ErrorCode::Protocol, &msg);
+                    return Close::Done;
+                }
+            };
+            let keep_going = match frame.kind {
+                FrameKind::Query => self.handle_query(&frame.payload),
+                FrameKind::Transact => self.handle_transact(&frame.payload),
+                FrameKind::Admin => self.handle_admin(&frame.payload),
+                other => {
+                    ServerStats::bump(&self.shared.stats.protocol_errors);
+                    let _ = self.send_error(
+                        ErrorCode::Protocol,
+                        &format!("unexpected {other:?} frame from a client"),
+                    );
+                    false
+                }
+            };
+            if !keep_going {
+                return Close::Done;
+            }
+        }
+    }
+
+    /// Read and validate the raw 12-byte client hello.
+    fn handshake(&mut self) -> bool {
+        let mut hello = [0u8; 12];
+        if self.read_exact_polled(&mut hello).is_err() {
+            ServerStats::bump(&self.shared.stats.protocol_errors);
+            return false;
+        }
+        if hello[..8] != HANDSHAKE_MAGIC {
+            ServerStats::bump(&self.shared.stats.protocol_errors);
+            let _ = self.send_error(ErrorCode::Protocol, "bad handshake magic");
+            return false;
+        }
+        let version = u32::from_le_bytes(hello[8..12].try_into().unwrap());
+        if version != PROTOCOL_VERSION {
+            ServerStats::bump(&self.shared.stats.protocol_errors);
+            let _ = self.send_error(
+                ErrorCode::Protocol,
+                &format!(
+                    "unsupported protocol version {version} (server speaks {PROTOCOL_VERSION})"
+                ),
+            );
+            return false;
+        }
+        true
+    }
+
+    // -- framed reads --------------------------------------------------
+
+    /// Fill `buf` with polled reads, honoring shutdown and the frame
+    /// deadline once the first byte has arrived.
+    fn read_exact_polled(&mut self, buf: &mut [u8]) -> Result<(), ReadStop> {
+        let mut filled = 0usize;
+        let mut started: Option<Instant> = None;
+        while filled < buf.len() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return Err(if filled == 0 && started.is_none() {
+                    ReadStop::Shutdown
+                } else {
+                    // Mid-frame at shutdown: the request never became a
+                    // statement, drop it.
+                    ReadStop::Closed
+                });
+            }
+            if let Some(t0) = started {
+                if t0.elapsed() > self.shared.frame_deadline {
+                    return Err(ReadStop::Violation("frame deadline exceeded".into()));
+                }
+            }
+            match self.stream.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return Err(if filled == 0 {
+                        ReadStop::Closed
+                    } else {
+                        ReadStop::Violation("connection closed mid-frame".into())
+                    });
+                }
+                Ok(n) => {
+                    filled += n;
+                    started.get_or_insert_with(Instant::now);
+                }
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut
+                        || e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Err(ReadStop::Closed),
+            }
+        }
+        Ok(())
+    }
+
+    /// Read one whole frame (header, payload, checksum) off the socket.
+    fn read_frame(&mut self) -> ReadOutcome {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        match self.read_exact_polled(&mut header) {
+            Ok(()) => {}
+            Err(stop) => return stop.into(),
+        }
+        let len = u32::from_le_bytes(header[1..5].try_into().unwrap());
+        if len > MAX_FRAME_PAYLOAD {
+            return ReadOutcome::Violation(format!(
+                "frame payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte cap"
+            ));
+        }
+        let mut rest = vec![0u8; len as usize + FRAME_CHECKSUM_LEN];
+        match self.read_exact_polled(&mut rest) {
+            Ok(()) => {}
+            Err(stop) => return stop.into(),
+        }
+        let mut bytes = Vec::with_capacity(header.len() + rest.len());
+        bytes.extend_from_slice(&header);
+        bytes.extend_from_slice(&rest);
+        match decode_frame(&bytes) {
+            Ok((frame, _)) => ReadOutcome::Frame(frame),
+            Err(e) => ReadOutcome::Violation(e.to_string()),
+        }
+    }
+
+    // -- framed writes -------------------------------------------------
+
+    fn send_frame(&mut self, kind: FrameKind, payload: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(&encode_frame(kind, payload))
+    }
+
+    fn send_error(&mut self, code: ErrorCode, message: &str) -> std::io::Result<()> {
+        self.send_frame(FrameKind::Error, &encode_error(code, message))
+    }
+
+    /// Stream one query output: Header, chunked encoded body, Done.
+    fn send_output(&mut self, epoch: u64, output: &QueryOutput) -> bool {
+        let (sort, encoded) = match output {
+            QueryOutput::Table(t) => (OutputSort::Table, gcore_store::encode_table(t)),
+            QueryOutput::Graph(g) => (OutputSort::Graph, gcore_store::encode_graph(g)),
+        };
+        let encoded = match encoded {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                let _ = self.send_error(ErrorCode::Internal, &format!("encoding result: {e}"));
+                return true; // the connection is still healthy
+            }
+        };
+        if self
+            .send_frame(FrameKind::Header, &encode_header(epoch, sort))
+            .is_err()
+        {
+            return false;
+        }
+        for chunk in encoded.chunks(CHUNK_PAYLOAD.max(1)) {
+            if self.send_frame(FrameKind::Chunk, chunk).is_err() {
+                return false;
+            }
+        }
+        self.send_frame(FrameKind::Done, &[]).is_ok()
+    }
+
+    // -- routes --------------------------------------------------------
+
+    /// The **query** route: pin a snapshot, evaluate off-lock, stream.
+    fn handle_query(&mut self, payload: &[u8]) -> bool {
+        let Some(text) = self.utf8_or_reject(payload) else {
+            return false;
+        };
+        // Pin this statement's snapshot; the lock is held only for the
+        // clone, never for evaluation.
+        let executor = { self.shared.engine.lock().unwrap().executor() };
+        let epoch = executor.epoch();
+        match self.evaluate_with_timeout(executor, text) {
+            Evaluated::Ok(output) => {
+                ServerStats::bump(&self.shared.stats.queries_ok);
+                self.send_output(epoch, &output)
+            }
+            Evaluated::Err(message) => {
+                ServerStats::bump(&self.shared.stats.queries_err);
+                self.send_error(ErrorCode::Statement, &message).is_ok()
+            }
+            Evaluated::TimedOut => {
+                ServerStats::bump(&self.shared.stats.statement_timeouts);
+                self.send_error(ErrorCode::Timeout, "statement timeout exceeded")
+                    .is_ok()
+            }
+        }
+    }
+
+    /// The **transact** route: run the script under the engine lock
+    /// (writes serialize through the catalog front) and stream the last
+    /// statement's output together with the post-commit epoch.
+    fn handle_transact(&mut self, payload: &[u8]) -> bool {
+        let Some(text) = self.utf8_or_reject(payload) else {
+            return false;
+        };
+        let result = {
+            let mut engine = self.shared.engine.lock().unwrap();
+            let r = engine.run_script(&text);
+            (r, engine.snapshot_epoch())
+        };
+        match result {
+            (Ok(outputs), epoch) => {
+                ServerStats::bump(&self.shared.stats.transacts_ok);
+                match outputs.into_iter().last() {
+                    Some(output) => self.send_output(epoch, &output),
+                    None => {
+                        // An empty script commits nothing; still answer.
+                        self.send_frame(FrameKind::Header, &encode_header(epoch, OutputSort::Table))
+                            .and_then(|()| self.send_frame(FrameKind::Done, &[]))
+                            .is_ok()
+                    }
+                }
+            }
+            (Err(e), _) => {
+                ServerStats::bump(&self.shared.stats.transacts_err);
+                self.send_error(ErrorCode::Statement, &e.to_string())
+                    .is_ok()
+            }
+        }
+    }
+
+    /// The **admin** route.
+    fn handle_admin(&mut self, payload: &[u8]) -> bool {
+        ServerStats::bump(&self.shared.stats.admin_requests);
+        // The frame itself was well-formed (kind, length, checksum all
+        // validated), so a payload that fails to decode is a bad admin
+        // argument, not a transport violation: answer S004, keep the
+        // connection.
+        let request = match AdminRequest::decode(payload) {
+            Ok(r) => r,
+            Err(e) => {
+                return self.send_error(ErrorCode::Admin, &e.to_string()).is_ok();
+            }
+        };
+        let response = match request {
+            AdminRequest::Ping => {
+                let epoch = self.shared.engine.lock().unwrap().snapshot_epoch();
+                Ok(AdminResponse::Epoch(epoch))
+            }
+            AdminRequest::ListGraphs => {
+                let engine = self.shared.engine.lock().unwrap();
+                let catalog = engine.catalog();
+                Ok(AdminResponse::Graphs(GraphListing {
+                    graphs: catalog.graph_names(),
+                    tables: catalog.table_names(),
+                    default_graph: catalog.default_graph_name().map(str::to_owned),
+                }))
+            }
+            AdminRequest::Stats => Ok(AdminResponse::Stats(self.shared.stats.snapshot().named())),
+            AdminRequest::Explain(text) => {
+                let executor = { self.shared.engine.lock().unwrap().executor() };
+                match executor.explain(&text) {
+                    Ok(plan) => Ok(AdminResponse::Explain(plan)),
+                    Err(e) => Err((ErrorCode::Statement, e.to_string())),
+                }
+            }
+            AdminRequest::Save => match &self.shared.backend {
+                None => Err((
+                    ErrorCode::Storage,
+                    "server started without --data-dir".to_owned(),
+                )),
+                Some(backend) => {
+                    // Clone under the lock, write outside it: a slow
+                    // disk must not stall writers.
+                    let engine = { self.shared.engine.lock().unwrap().clone() };
+                    match engine.save_to(backend as &dyn StorageBackend) {
+                        Ok(()) => Ok(AdminResponse::Epoch(engine.snapshot_epoch())),
+                        Err(e) => Err((ErrorCode::Storage, e.to_string())),
+                    }
+                }
+            },
+            AdminRequest::Load => match &self.shared.backend {
+                None => Err((
+                    ErrorCode::Storage,
+                    "server started without --data-dir".to_owned(),
+                )),
+                Some(backend) => {
+                    let mut engine = self.shared.engine.lock().unwrap();
+                    match engine.reload_from(backend as &dyn StorageBackend) {
+                        Ok(epoch) => Ok(AdminResponse::Epoch(epoch)),
+                        Err(e) => Err((ErrorCode::Storage, e.to_string())),
+                    }
+                }
+            },
+            AdminRequest::SetTimeout(ms) => {
+                self.timeout = if ms == 0 {
+                    None
+                } else {
+                    Some(Duration::from_millis(ms))
+                };
+                Ok(AdminResponse::Ok)
+            }
+        };
+        match response {
+            Ok(resp) => self.send_frame(FrameKind::AdminOk, &resp.encode()).is_ok(),
+            Err((code, message)) => self.send_error(code, &message).is_ok(),
+        }
+    }
+
+    // -- helpers -------------------------------------------------------
+
+    fn utf8_or_reject(&mut self, payload: &[u8]) -> Option<String> {
+        match String::from_utf8(payload.to_vec()) {
+            Ok(text) => Some(text),
+            Err(_) => {
+                ServerStats::bump(&self.shared.stats.protocol_errors);
+                let _ = self.send_error(ErrorCode::Protocol, "statement text is not UTF-8");
+                None
+            }
+        }
+    }
+
+    /// Evaluate one read-only statement, optionally racing the
+    /// connection's statement timeout.
+    ///
+    /// The timeout path runs the executor on a detached thread and
+    /// abandons it on expiry: the snapshot is immutable, so the orphan
+    /// can only burn CPU until it finishes, never corrupt state. The
+    /// receiver is dropped, so its eventual result is discarded.
+    fn evaluate_with_timeout(&self, executor: QueryExecutor, text: String) -> Evaluated {
+        let Some(timeout) = self.timeout else {
+            return match executor.run(&text) {
+                Ok(output) => Evaluated::Ok(Box::new(output)),
+                Err(e) => Evaluated::Err(e.to_string()),
+            };
+        };
+        let (tx, rx) = mpsc::channel();
+        let spawned = std::thread::Builder::new()
+            .name("gcore-serve-statement".to_owned())
+            .spawn(move || {
+                let result = executor.run(&text).map_err(|e| e.to_string());
+                let _ = tx.send(result);
+            });
+        if spawned.is_err() {
+            return Evaluated::Err("could not spawn statement thread".to_owned());
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(Ok(output)) => Evaluated::Ok(Box::new(output)),
+            Ok(Err(message)) => Evaluated::Err(message),
+            Err(_) => Evaluated::TimedOut,
+        }
+    }
+}
+
+enum Evaluated {
+    Ok(Box<QueryOutput>),
+    Err(String),
+    TimedOut,
+}
+
+enum ReadOutcome {
+    Frame(Frame),
+    Closed,
+    Shutdown,
+    Violation(String),
+}
+
+enum ReadStop {
+    Closed,
+    Shutdown,
+    Violation(String),
+}
+
+impl From<ReadStop> for ReadOutcome {
+    fn from(stop: ReadStop) -> ReadOutcome {
+        match stop {
+            ReadStop::Closed => ReadOutcome::Closed,
+            ReadStop::Shutdown => ReadOutcome::Shutdown,
+            ReadStop::Violation(m) => ReadOutcome::Violation(m),
+        }
+    }
+}

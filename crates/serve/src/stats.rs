@@ -1,0 +1,138 @@
+//! Server counters: lock-free atomics bumped on the request path,
+//! snapshotted for the admin `stats` route and for the load-generator
+//! bench.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters shared by every server thread. All loads/stores
+/// are `Relaxed`: the counters are observability, not synchronization.
+#[derive(Default, Debug)]
+pub struct ServerStats {
+    /// Connections accepted (including ones later rejected as busy).
+    pub connections_accepted: AtomicU64,
+    /// Connections turned away at the connection cap.
+    pub connections_rejected_busy: AtomicU64,
+    /// Connections currently being served.
+    pub connections_active: AtomicU64,
+    /// Query statements answered successfully.
+    pub queries_ok: AtomicU64,
+    /// Query statements answered with a statement error.
+    pub queries_err: AtomicU64,
+    /// Transact scripts committed successfully.
+    pub transacts_ok: AtomicU64,
+    /// Transact scripts answered with a statement error.
+    pub transacts_err: AtomicU64,
+    /// Statements cut off by the statement timeout.
+    pub statement_timeouts: AtomicU64,
+    /// Connections dropped for protocol violations.
+    pub protocol_errors: AtomicU64,
+    /// Admin requests served (all ops).
+    pub admin_requests: AtomicU64,
+}
+
+impl ServerStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An instantaneous copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected_busy: self.connections_rejected_busy.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            queries_ok: self.queries_ok.load(Ordering::Relaxed),
+            queries_err: self.queries_err.load(Ordering::Relaxed),
+            transacts_ok: self.transacts_ok.load(Ordering::Relaxed),
+            transacts_err: self.transacts_err.load(Ordering::Relaxed),
+            statement_timeouts: self.statement_timeouts.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            admin_requests: self.admin_requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bump a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`ServerStats`], as sent over the admin
+/// route.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[allow(missing_docs)] // field names mirror ServerStats, documented there
+pub struct StatsSnapshot {
+    pub connections_accepted: u64,
+    pub connections_rejected_busy: u64,
+    pub connections_active: u64,
+    pub queries_ok: u64,
+    pub queries_err: u64,
+    pub transacts_ok: u64,
+    pub transacts_err: u64,
+    pub statement_timeouts: u64,
+    pub protocol_errors: u64,
+    pub admin_requests: u64,
+}
+
+impl StatsSnapshot {
+    /// The counters as sorted (name, value) pairs — the wire encoding
+    /// of the admin `stats` reply is built from this, so adding a
+    /// counter never breaks an old client.
+    pub fn named(&self) -> Vec<(String, u64)> {
+        let mut pairs = vec![
+            ("admin_requests".to_owned(), self.admin_requests),
+            ("connections_accepted".to_owned(), self.connections_accepted),
+            ("connections_active".to_owned(), self.connections_active),
+            (
+                "connections_rejected_busy".to_owned(),
+                self.connections_rejected_busy,
+            ),
+            ("protocol_errors".to_owned(), self.protocol_errors),
+            ("queries_err".to_owned(), self.queries_err),
+            ("queries_ok".to_owned(), self.queries_ok),
+            ("statement_timeouts".to_owned(), self.statement_timeouts),
+            ("transacts_err".to_owned(), self.transacts_err),
+            ("transacts_ok".to_owned(), self.transacts_ok),
+        ];
+        pairs.sort();
+        pairs
+    }
+
+    /// Rebuild a snapshot from wire pairs (unknown names are ignored,
+    /// missing ones default to 0).
+    pub fn from_named(pairs: &[(String, u64)]) -> StatsSnapshot {
+        let mut snap = StatsSnapshot::default();
+        for (name, value) in pairs {
+            match name.as_str() {
+                "admin_requests" => snap.admin_requests = *value,
+                "connections_accepted" => snap.connections_accepted = *value,
+                "connections_active" => snap.connections_active = *value,
+                "connections_rejected_busy" => snap.connections_rejected_busy = *value,
+                "protocol_errors" => snap.protocol_errors = *value,
+                "queries_err" => snap.queries_err = *value,
+                "queries_ok" => snap.queries_ok = *value,
+                "statement_timeouts" => snap.statement_timeouts = *value,
+                "transacts_err" => snap.transacts_err = *value,
+                "transacts_ok" => snap.transacts_ok = *value,
+                _ => {}
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips_through_named_pairs() {
+        let stats = ServerStats::new();
+        stats.queries_ok.store(3, Ordering::Relaxed);
+        stats.connections_accepted.store(2, Ordering::Relaxed);
+        stats.statement_timeouts.store(1, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        assert_eq!(StatsSnapshot::from_named(&snap.named()), snap);
+    }
+}

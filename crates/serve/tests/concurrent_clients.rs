@@ -1,0 +1,206 @@
+//! Concurrency and isolation over TCP: many client threads interleave
+//! queries and transacts against one server; every connection must see
+//! monotone epochs, read its own writes, never observe a torn
+//! snapshot, and the final committed state must equal a sequential
+//! replay of the same commits.
+
+#[path = "../../core/tests/common/mod.rs"]
+mod common;
+
+use common::{canon_graph, tour_engine};
+use gcore::QueryOutput;
+use gcore_serve::{Client, ErrorCode, ServeConfig, Server};
+use std::sync::mpsc;
+use std::time::Duration;
+
+const WRITERS: usize = 3;
+const ROUNDS: usize = 4;
+
+/// The view committed by writer `w` in round `r`: one fresh node per
+/// Person, all carrying the round's unique label.
+fn view_script(w: usize, r: usize) -> String {
+    format!("GRAPH VIEW t_{w}_{r} AS (CONSTRUCT (x:W{w}R{r}) MATCH (n:Person))")
+}
+
+#[test]
+fn interleaved_queries_and_transacts_are_isolated_and_monotone() {
+    let fixture = tour_engine();
+    let watermark = fixture.catalog().ids().peek();
+    let server = Server::start(fixture, ServeConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // Each writer thread reports every commit as (epoch, script): the
+    // epochs define the total commit order for the sequential replay.
+    let (tx, rx) = mpsc::channel::<(u64, String)>();
+    let threads: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut last_epoch = client.hello_epoch();
+                for r in 0..ROUNDS {
+                    // Write: the commit must strictly advance the epoch
+                    // this connection has observed.
+                    let script = view_script(w, r);
+                    let committed = client.transact(&script).unwrap();
+                    assert!(
+                        committed.epoch > last_epoch,
+                        "writer {w}: commit epoch {} did not advance past {last_epoch}",
+                        committed.epoch
+                    );
+                    last_epoch = committed.epoch;
+                    tx.send((committed.epoch, script)).unwrap();
+
+                    // Read-your-writes on a fresh snapshot: the view
+                    // just committed is visible, and every node in it
+                    // carries exactly this round's label — a mixed
+                    // labelling would mean the read straddled two
+                    // catalog states.
+                    let read = client
+                        .query(&format!("CONSTRUCT (m) MATCH (m) ON t_{w}_{r}"))
+                        .unwrap();
+                    assert!(
+                        read.epoch >= last_epoch,
+                        "writer {w}: read snapshot older than own commit"
+                    );
+                    last_epoch = last_epoch.max(read.epoch);
+                    let graph = match read.output {
+                        Some(QueryOutput::Graph(g)) => g,
+                        other => panic!("writer {w}: expected a graph, got {other:?}"),
+                    };
+                    assert!(graph.node_count() > 0, "writer {w}: view t_{w}_{r} empty");
+                    let expected_label = format!("W{w}R{r}");
+                    for node in graph.node_ids() {
+                        let labels = graph.node(node).unwrap().attrs.labels.names();
+                        assert_eq!(
+                            labels,
+                            vec![expected_label.clone()],
+                            "writer {w}: torn snapshot in round {r}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    for t in threads {
+        t.join().expect("writer thread panicked");
+    }
+
+    // Sequential replay in commit-epoch order reproduces the final
+    // state: every epoch is distinct (commits really serialized), and
+    // each view's content matches the replayed engine's canonically.
+    let mut commits: Vec<(u64, String)> = rx.iter().collect();
+    assert_eq!(commits.len(), WRITERS * ROUNDS);
+    commits.sort();
+    for pair in commits.windows(2) {
+        assert_ne!(pair[0].0, pair[1].0, "two commits shared an epoch");
+    }
+    let mut replay = tour_engine();
+    for (_, script) in &commits {
+        replay.run(script).unwrap();
+    }
+
+    let mut inspector = Client::connect(addr).unwrap();
+    for w in 0..WRITERS {
+        for r in 0..ROUNDS {
+            let text = format!("CONSTRUCT (m) MATCH (m) ON t_{w}_{r}");
+            let served = match inspector.query(&text).unwrap().output {
+                Some(QueryOutput::Graph(g)) => canon_graph(&g, watermark),
+                other => panic!("expected a graph for t_{w}_{r}, got {other:?}"),
+            };
+            let replayed = match replay.run(&text).unwrap() {
+                QueryOutput::Graph(g) => canon_graph(&g, watermark),
+                other => panic!("expected a graph for t_{w}_{r}, got {other:?}"),
+            };
+            assert_eq!(
+                served, replayed,
+                "t_{w}_{r} diverged from sequential replay"
+            );
+        }
+    }
+    server.wait();
+}
+
+/// Beyond the connection cap, a new client is greeted with `S001 Busy`
+/// and the connected client keeps working; once the slot frees up, the
+/// next connection succeeds.
+#[test]
+fn connections_over_the_cap_get_busy_and_retry_succeeds() {
+    let config = ServeConfig {
+        threads: 1,
+        max_connections: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(tour_engine(), config).unwrap();
+    let addr = server.addr();
+
+    let mut first = Client::connect(addr).unwrap();
+    // A round trip guarantees the worker picked the connection up, so
+    // the active gauge is 1 before the second connect.
+    assert!(first.ping().is_ok());
+
+    match Client::connect(addr) {
+        Err(e) => assert_eq!(e.remote_code(), Some(ErrorCode::Busy), "got {e}"),
+        Ok(_) => panic!("second connection should have been rejected busy"),
+    }
+    assert!(
+        first.ping().is_ok(),
+        "busy rejection hurt the live connection"
+    );
+    assert_eq!(server.stats().connections_rejected_busy, 1);
+
+    drop(first);
+    // The slot frees asynchronously; retry briefly.
+    let mut retried = None;
+    for _ in 0..100 {
+        match Client::connect(addr) {
+            Ok(c) => {
+                retried = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let mut client = retried.expect("slot never freed after disconnect");
+    assert!(client.ping().is_ok());
+    server.wait();
+}
+
+/// A statement over the per-connection timeout comes back as `S002`,
+/// the connection survives, and disabling the timeout restores long
+/// statements.
+#[test]
+fn statement_timeout_cuts_off_long_queries() {
+    let mut engine = tour_engine();
+    // A deliberately explosive statement: the triple cross product over
+    // Persons is big enough to out-run a 1 ms budget by orders of
+    // magnitude, small enough that the abandoned evaluation finishes
+    // quickly in the background.
+    engine
+        .run("GRAPH VIEW wide AS (CONSTRUCT (x) MATCH (n:Person), (m:Person), (k:Person))")
+        .unwrap();
+    let server = Server::start(engine, ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    const SLOW: &str = "SELECT COUNT(*) AS c \
+                        MATCH (a:Person), (b:Person), (c:Person), (d:Person), \
+                              (e:Person), (f:Person)";
+
+    client.set_statement_timeout_ms(1).unwrap();
+    let err = client.query(SLOW).unwrap_err();
+    assert_eq!(err.remote_code(), Some(ErrorCode::Timeout), "got {err}");
+    assert_eq!(server.stats().statement_timeouts, 1);
+
+    // The connection is still fine, and fast statements still answer.
+    let reply = client
+        .query("SELECT n.name AS name MATCH (n:Person)")
+        .unwrap();
+    assert!(reply.output.unwrap().into_table().is_some());
+
+    // Disabling the timeout lets the slow statement complete.
+    client.set_statement_timeout_ms(0).unwrap();
+    let reply = client.query(SLOW).unwrap();
+    assert!(reply.output.unwrap().into_table().is_some());
+    server.wait();
+}

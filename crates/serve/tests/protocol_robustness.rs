@@ -1,0 +1,288 @@
+//! Protocol robustness: property tests over the frame codec (mirroring
+//! the corruption style of `crates/store/tests/roundtrip.rs`) plus
+//! live-server abuse — a malformed client must never panic or wedge
+//! the server, and a well-behaved client must keep getting answers
+//! afterwards.
+
+use gcore::Engine;
+use gcore_ppg::{Attributes, GraphBuilder};
+use gcore_serve::protocol::{
+    decode_frame, decode_frame_exact, encode_frame, AdminRequest, Frame, FrameKind,
+    HANDSHAKE_MAGIC, MAX_FRAME_PAYLOAD, PROTOCOL_VERSION,
+};
+use gcore_serve::{Client, ServeConfig, ServeError, Server};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const KINDS: [FrameKind; 9] = [
+    FrameKind::Query,
+    FrameKind::Transact,
+    FrameKind::Admin,
+    FrameKind::Header,
+    FrameKind::Chunk,
+    FrameKind::Done,
+    FrameKind::Error,
+    FrameKind::AdminOk,
+    FrameKind::Hello,
+];
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(192)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// The round-trip identity on arbitrary payloads for every kind.
+    #[test]
+    fn frames_round_trip(kind in 0usize..KINDS.len(), payload in prop::collection::vec(any::<u8>(), 0..512)) {
+        let kind = KINDS[kind];
+        let bytes = encode_frame(kind, &payload);
+        let frame = decode_frame_exact(&bytes).expect("valid frame decodes");
+        prop_assert_eq!(frame.kind, kind);
+        prop_assert_eq!(frame.payload, payload);
+        // Streaming decode consumes exactly the encoded length.
+        let (again, consumed) = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(again.kind, kind);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    /// Every truncation of a valid frame is rejected with a protocol
+    /// error — no prefix parses, nothing panics.
+    #[test]
+    fn every_truncation_is_rejected(kind in 0usize..KINDS.len(), payload in prop::collection::vec(any::<u8>(), 0..64), cut in 0usize..4096) {
+        let bytes = encode_frame(KINDS[kind], &payload);
+        let cut = cut % bytes.len();
+        prop_assert!(matches!(
+            decode_frame(&bytes[..cut]),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    /// Every single-bit flip of a valid frame is rejected: the checksum
+    /// covers the kind byte, the length field and the payload, so no
+    /// corrupted frame can pass as the original.
+    #[test]
+    fn every_bit_flip_is_rejected(kind in 0usize..KINDS.len(), payload in prop::collection::vec(any::<u8>(), 0..64), at in 0usize..4096, bit in 0u32..8) {
+        let bytes = encode_frame(KINDS[kind], &payload);
+        let at = at % bytes.len();
+        let mut corrupt = bytes.clone();
+        corrupt[at] ^= 1 << bit;
+        prop_assert!(
+            decode_frame_exact(&corrupt).is_err(),
+            "flipping bit {} of byte {} went undetected",
+            bit,
+            at
+        );
+    }
+
+    /// Arbitrary admin payload bytes either decode to a legal request
+    /// or error cleanly — the decoder never panics on garbage.
+    #[test]
+    fn admin_decoder_never_panics(payload in prop::collection::vec(any::<u8>(), 0..96)) {
+        match AdminRequest::decode(&payload) {
+            Ok(req) => {
+                // Anything that decodes must re-encode to the same bytes.
+                prop_assert_eq!(req.encode(), payload);
+            }
+            Err(ServeError::Protocol(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error sort: {}", other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live-server abuse
+// ---------------------------------------------------------------------
+
+fn tiny_engine() -> Engine {
+    let mut engine = Engine::new();
+    let mut b = GraphBuilder::new(engine.catalog().ids().clone());
+    b.node(Attributes::labeled("Person").with_prop("name", "Ann"));
+    engine.register_graph("people", b.build());
+    engine.set_default_graph("people");
+    engine
+}
+
+/// Assert the server still answers a well-behaved client.
+fn assert_alive(addr: std::net::SocketAddr) {
+    let mut client = Client::connect(addr).expect("healthy client connects");
+    let reply = client
+        .query("SELECT n.name AS name MATCH (n:Person)")
+        .expect("healthy client gets an answer");
+    assert_eq!(reply.output.unwrap().into_table().unwrap().len(), 1);
+}
+
+/// Raw abusive connections: bad magic, bad version, garbage frames,
+/// hostile lengths, truncated frames. After every single one the
+/// server must still serve a healthy client — and never panic.
+#[test]
+fn malformed_clients_cannot_wedge_the_server() {
+    let config = ServeConfig {
+        threads: 2,
+        max_connections: 4,
+        // Short frame deadline so the half-frame abuse cases conclude
+        // quickly instead of waiting out the default 30 s.
+        frame_deadline: Duration::from_millis(200),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(tiny_engine(), config).unwrap();
+    let addr = server.addr();
+
+    let good_hello: Vec<u8> = {
+        let mut h = Vec::new();
+        h.extend_from_slice(&HANDSHAKE_MAGIC);
+        h.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        h
+    };
+
+    // Each abuse is a closure over a raw stream; the server must
+    // survive them all.
+    type Abuse = (&'static str, fn(&mut TcpStream, &[u8]));
+
+    fn send_all(s: &mut TcpStream, bytes: &[u8]) {
+        let _ = s.write_all(bytes);
+    }
+
+    let abuses: [Abuse; 7] = [
+        ("wrong magic", |s, _| {
+            send_all(s, b"NOTMAGIC\x01\x00\x00\x00");
+        }),
+        ("wrong version", |s, _| {
+            let mut h = HANDSHAKE_MAGIC.to_vec();
+            h.extend_from_slice(&999u32.to_le_bytes());
+            send_all(s, &h);
+        }),
+        ("garbage after handshake", |s, hello| {
+            send_all(s, hello);
+            send_all(s, &[0xde, 0xad, 0xbe, 0xef, 0x99, 0x42, 0x42, 0x42]);
+        }),
+        ("hostile length", |s, hello| {
+            send_all(s, hello);
+            let mut frame = vec![0x01u8];
+            frame.extend_from_slice(&u32::MAX.to_le_bytes());
+            send_all(s, &frame);
+        }),
+        ("length over the cap", |s, hello| {
+            send_all(s, hello);
+            let mut frame = vec![0x01u8];
+            frame.extend_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+            frame.extend_from_slice(&[0u8; 64]);
+            send_all(s, &frame);
+        }),
+        ("truncated frame then hang-up", |s, hello| {
+            send_all(s, hello);
+            // A legal header promising 100 bytes, then only 3.
+            let mut frame = vec![0x01u8];
+            frame.extend_from_slice(&100u32.to_le_bytes());
+            frame.extend_from_slice(b"abc");
+            send_all(s, &frame);
+        }),
+        ("server-only frame kind", |s, hello| {
+            send_all(s, hello);
+            // A well-formed frame of a kind clients must not send.
+            send_all(s, &encode_frame(FrameKind::Hello, &[1, 2, 3]));
+        }),
+    ];
+
+    for (name, abuse) in abuses {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        abuse(&mut stream, &good_hello);
+        // Drain whatever the server answers (an error frame or an
+        // immediate close) without asserting its exact shape here —
+        // the decisive property is that the server survives.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut sink = [0u8; 256];
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+        drop(stream);
+        assert_alive(addr);
+        let _ = name; // labels the abuse for panic backtraces above
+    }
+
+    // Nothing panicked and every violation was counted.
+    assert!(server.stats().protocol_errors >= 6);
+    server.wait();
+}
+
+/// Corrupted-but-complete frames after a valid handshake are answered
+/// with an `S000` protocol error frame before the connection closes.
+#[test]
+fn corrupted_frame_gets_a_protocol_error_frame() {
+    let server = Server::start(tiny_engine(), ServeConfig::default()).unwrap();
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut hello = HANDSHAKE_MAGIC.to_vec();
+    hello.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    stream.write_all(&hello).unwrap();
+
+    // Read the server's hello frame: header, payload, checksum.
+    let hello_frame = read_one_frame(&mut stream);
+    assert_eq!(hello_frame.kind, FrameKind::Hello);
+
+    // A valid query frame with one payload bit flipped.
+    let mut corrupt = encode_frame(FrameKind::Query, b"SELECT n.name AS n MATCH (n)");
+    let at = corrupt.len() / 2;
+    corrupt[at] ^= 0x01;
+    stream.write_all(&corrupt).unwrap();
+
+    let reply = read_one_frame(&mut stream);
+    assert_eq!(reply.kind, FrameKind::Error);
+    let (code, _message) = gcore_serve::protocol::decode_error(&reply.payload).unwrap();
+    assert_eq!(code, gcore_serve::ErrorCode::Protocol);
+    server.wait();
+}
+
+/// A well-formed Admin frame with an undecodable payload gets `S004`
+/// and the connection survives (the transport was fine; only the
+/// argument was bad).
+#[test]
+fn bad_admin_payload_gets_admin_error_and_connection_survives() {
+    let server = Server::start(tiny_engine(), ServeConfig::default()).unwrap();
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut hello = HANDSHAKE_MAGIC.to_vec();
+    hello.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    stream.write_all(&hello).unwrap();
+    assert_eq!(read_one_frame(&mut stream).kind, FrameKind::Hello);
+
+    // Opcode 250 is no admin request.
+    stream
+        .write_all(&encode_frame(FrameKind::Admin, &[250, 1, 2, 3]))
+        .unwrap();
+    let reply = read_one_frame(&mut stream);
+    assert_eq!(reply.kind, FrameKind::Error);
+    let (code, _) = gcore_serve::protocol::decode_error(&reply.payload).unwrap();
+    assert_eq!(code, gcore_serve::ErrorCode::Admin);
+
+    // Same connection still answers a real request.
+    stream
+        .write_all(&encode_frame(
+            FrameKind::Query,
+            b"SELECT n.name AS name MATCH (n:Person)",
+        ))
+        .unwrap();
+    assert_eq!(read_one_frame(&mut stream).kind, FrameKind::Header);
+    server.wait();
+}
+
+/// Blocking read of exactly one frame off a raw test stream.
+fn read_one_frame(stream: &mut TcpStream) -> Frame {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut header = [0u8; 5];
+    stream.read_exact(&mut header).unwrap();
+    let len = u32::from_le_bytes(header[1..5].try_into().unwrap()) as usize;
+    let mut rest = vec![0u8; len + 8];
+    stream.read_exact(&mut rest).unwrap();
+    let mut bytes = header.to_vec();
+    bytes.extend_from_slice(&rest);
+    decode_frame_exact(&bytes).expect("server frames are well-formed")
+}

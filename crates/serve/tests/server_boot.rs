@@ -1,0 +1,279 @@
+//! Boot a real server on an ephemeral port and differential-test it:
+//! every answer served over TCP must be canonically identical to the
+//! in-process engine's answer for the same statement — for the paper's
+//! full §3/§5 corpus and for an SNB-1000 mixed read/write workload.
+//!
+//! Canonicalization reuses the differential suites' shared helper
+//! (`crates/core/tests/common/mod.rs`): both sides start from
+//! bit-identical fixtures, so one generator watermark absorbs the
+//! skolemized identifiers each side draws independently.
+
+#[path = "../../core/tests/common/mod.rs"]
+mod common;
+
+use common::{canon_graph, canon_table, corpus_texts, tour_engine};
+use gcore::{Engine, QueryOutput};
+use gcore_repro::corpus;
+use gcore_serve::{Client, ErrorCode, Reply, ServeConfig, ServeError, Server};
+use gcore_snb::{generate, SnbConfig};
+
+/// A unique scratch directory removed on drop (std-only tempdir).
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gcore-serve-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Canonicalize an in-process outcome, rendering errors by `Display`
+/// (the server transports engine errors as display text).
+fn canon_local(result: &gcore::Result<QueryOutput>, watermark: u64) -> String {
+    match result {
+        Ok(QueryOutput::Graph(g)) => format!("GRAPH\n{}", canon_graph(g, watermark)),
+        Ok(QueryOutput::Table(t)) => format!("TABLE\n{}", canon_table(t)),
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+/// Canonicalize a served outcome the same way.
+fn canon_remote(result: &Result<Reply, ServeError>, watermark: u64) -> String {
+    match result {
+        Ok(Reply {
+            output: Some(QueryOutput::Graph(g)),
+            ..
+        }) => format!("GRAPH\n{}", canon_graph(g, watermark)),
+        Ok(Reply {
+            output: Some(QueryOutput::Table(t)),
+            ..
+        }) => format!("TABLE\n{}", canon_table(t)),
+        Ok(Reply { output: None, .. }) => "EMPTY".to_owned(),
+        Err(ServeError::Remote {
+            code: ErrorCode::Statement,
+            message,
+        }) => format!("ERR {message}"),
+        Err(other) => format!("TRANSPORT {other}"),
+    }
+}
+
+/// The tentpole differential: the full guided-tour corpus served over
+/// TCP, statement by statement, against `Engine::run` in-process.
+#[test]
+fn corpus_over_tcp_matches_in_process() {
+    let mut local = tour_engine();
+    let watermark = local.catalog().ids().peek();
+
+    let server = Server::start(tour_engine(), ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    for (i, text) in corpus_texts().iter().enumerate() {
+        let reference = canon_local(&local.run(text), watermark);
+        let served = canon_remote(&client.run(text), watermark);
+        assert_eq!(
+            reference,
+            served,
+            "corpus statement {i} ({}) diverged over TCP",
+            corpus::ALL[i].id
+        );
+    }
+
+    let stats = server.stats();
+    assert!(stats.queries_ok + stats.queries_err > 0);
+    assert!(
+        stats.transacts_ok > 0,
+        "corpus graph views route as transacts"
+    );
+    server.wait();
+}
+
+/// SNB-1000 over TCP: a mixed read/write workload (scans, joins,
+/// reachability, shortest paths, plus a committed view) answers
+/// identically to the in-process engine.
+#[test]
+fn snb_1000_mixed_workload_over_tcp_matches_in_process() {
+    const WORKLOAD: &[&str] = &[
+        "SELECT n.personId AS id, n.firstName AS name MATCH (n:Person) WHERE n.personId < 40",
+        "CONSTRUCT (n)-[e]->(m) MATCH (n:Person)-[e:knows]->(m:Person) WHERE n.personId < 30",
+        "CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person) WHERE n.personId = 0",
+        "GRAPH VIEW young AS (CONSTRUCT (n) MATCH (n:Person) WHERE n.personId < 10)",
+        "CONSTRUCT (m) MATCH (m) ON young",
+        "CONSTRUCT (n)-/@p:sp/->(m) \
+         MATCH (n:Person)-/p <:knows*>/->(m:Person) WHERE n.personId = 1",
+        "CONSTRUCT (t) MATCH (n:Person)-[:hasInterest]->(t:Tag) WHERE n.personId < 25",
+    ];
+
+    fn snb_engine() -> Engine {
+        let mut engine = Engine::new();
+        let data = generate(&SnbConfig::scale(1000), &engine.catalog().ids().clone());
+        engine.register_graph("snb", data.graph);
+        engine.set_default_graph("snb");
+        engine
+    }
+
+    let mut local = snb_engine();
+    let watermark = local.catalog().ids().peek();
+    let server = Server::start(snb_engine(), ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    for (i, text) in WORKLOAD.iter().enumerate() {
+        let reference = canon_local(&local.run(text), watermark);
+        let served = canon_remote(&client.run(text), watermark);
+        assert_eq!(
+            reference, served,
+            "SNB workload statement {i} diverged over TCP"
+        );
+    }
+    server.wait();
+}
+
+/// The admin surface: listing, ping, explain, stats, and save/load
+/// against a storage directory (including the epoch surviving the
+/// save → load round trip).
+#[test]
+fn admin_routes_work_end_to_end() {
+    let tmp = TempDir::new("admin");
+    let config = ServeConfig {
+        data_dir: Some(tmp.0.clone()),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(tour_engine(), config).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Listing matches the fixture.
+    let listing = client.list_graphs().unwrap();
+    assert_eq!(
+        listing.graphs,
+        vec!["company_graph", "figure2", "social_graph"]
+    );
+    assert_eq!(listing.tables, vec!["orders"]);
+    assert_eq!(listing.default_graph.as_deref(), Some("social_graph"));
+
+    // Ping reports the same epoch the greeting carried.
+    assert_eq!(client.ping().unwrap(), client.hello_epoch());
+
+    // Explain renders a plan.
+    let plan = client
+        .explain("SELECT n.name AS name MATCH (n:Person)")
+        .unwrap();
+    assert!(!plan.is_empty());
+
+    // Save, mutate, load: the stored state comes back and the epoch
+    // keeps climbing (never regresses past what this client saw).
+    let saved_epoch = client.save().unwrap();
+    let after_commit = client
+        .transact("GRAPH VIEW scratch AS (CONSTRUCT (n) MATCH (n:Person))")
+        .unwrap()
+        .epoch;
+    assert!(after_commit > saved_epoch);
+    assert!(client
+        .list_graphs()
+        .unwrap()
+        .graphs
+        .contains(&"scratch".to_owned()));
+    let reloaded_epoch = client.load().unwrap();
+    assert!(reloaded_epoch > after_commit, "reload epoch stays monotone");
+    assert!(
+        !client
+            .list_graphs()
+            .unwrap()
+            .graphs
+            .contains(&"scratch".to_owned()),
+        "load really swapped the catalog back"
+    );
+
+    // Stats counted this session's traffic.
+    let counters = client.stats().unwrap();
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert!(get("admin_requests") >= 6);
+    assert_eq!(get("connections_accepted"), 1);
+    assert_eq!(get("transacts_ok"), 1);
+    server.wait();
+}
+
+/// A server without `data_dir` answers save/load with the `S005`
+/// storage error — and the connection stays usable.
+#[test]
+fn save_without_storage_is_a_clean_error() {
+    let server = Server::start(tour_engine(), ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let err = client.save().unwrap_err();
+    assert_eq!(err.remote_code(), Some(ErrorCode::Storage));
+    // Still healthy afterwards.
+    assert!(client.ping().is_ok());
+    server.wait();
+}
+
+/// Statement errors come back as `S003` error frames carrying the
+/// engine diagnostic, and the connection survives them.
+#[test]
+fn statement_errors_survive_the_connection() {
+    let server = Server::start(tour_engine(), ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let err = client.query("SELECT x.name AS n MATCH (y)").unwrap_err();
+    assert_eq!(err.remote_code(), Some(ErrorCode::Statement));
+
+    // Same connection keeps answering correctly.
+    let reply = client
+        .query("SELECT n.name AS name MATCH (n:Person)")
+        .unwrap();
+    assert!(reply.output.unwrap().into_table().is_some());
+    server.wait();
+}
+
+/// Shutdown drains cleanly: the handle joins, and new connections are
+/// `serve_forever` keeps serving instead of initiating shutdown — the
+/// daemon-binary lifetime. Regression: the `gcore-serve` binary used
+/// `wait()`, which shuts the server down itself, so the process exited
+/// right after printing its listening address.
+#[test]
+fn serve_forever_keeps_the_server_alive() {
+    let server = Server::start(tour_engine(), ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    // The binary's main thread parks here; the test parks a throwaway
+    // thread instead (it dies with the test process).
+    std::thread::spawn(move || server.serve_forever());
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    let mut client = Client::connect(addr).expect("server must still be accepting");
+    assert!(client.ping().is_ok());
+    let reply = client.query("SELECT n.firstName AS name MATCH (n:Person)");
+    assert!(reply.is_ok(), "server must still be serving statements");
+}
+
+/// refused afterwards.
+#[test]
+fn shutdown_drains_and_refuses_new_connections() {
+    let server = Server::start(tour_engine(), ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.ping().is_ok());
+    server.wait(); // shuts down and joins every thread
+
+    // The listener is gone (or at best answers nothing): either the
+    // connect fails outright or the handshake dies.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(_) => panic!("server accepted a connection after shutdown"),
+    }
+}

@@ -15,7 +15,7 @@ use crate::format::fnv1a64;
 use gcore_ppg::{Catalog, GraphStats};
 
 const MANIFEST_MAGIC: [u8; 8] = *b"GCOREMAN";
-const MANIFEST_VERSION: u32 = 1;
+const MANIFEST_VERSION: u32 = 2;
 
 /// The decoded manifest: which graphs a store holds and which one is
 /// the default.
@@ -27,11 +27,16 @@ pub struct Manifest {
     pub tables: Vec<String>,
     /// The default graph, if one was set when saving.
     pub default_graph: Option<String>,
+    /// The saving engine's snapshot epoch (version 2; version-1 stores
+    /// decode as 0). Restoring it on load means clients of a restarted
+    /// server can never observe the epoch regress.
+    pub epoch: u64,
 }
 
 impl Manifest {
     /// Serialize: magic, version, then a checksummed payload of the
-    /// graph- and table-name lists and the optional default name.
+    /// graph- and table-name lists, the optional default name and the
+    /// snapshot epoch.
     pub fn encode(&self) -> Vec<u8> {
         let mut payload = Vec::new();
         payload.extend_from_slice(&(self.graphs.len() as u32).to_le_bytes());
@@ -52,6 +57,7 @@ impl Manifest {
             }
             None => payload.push(0),
         }
+        payload.extend_from_slice(&self.epoch.to_le_bytes());
         let mut out = Vec::with_capacity(MANIFEST_MAGIC.len() + 12 + payload.len() + 8);
         out.extend_from_slice(&MANIFEST_MAGIC);
         out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
@@ -70,7 +76,7 @@ impl Manifest {
             return Err(StoreError::BadMagic);
         }
         let version = u32::from_le_bytes(take(8, 4)?.try_into().unwrap());
-        if version != MANIFEST_VERSION {
+        if version == 0 || version > MANIFEST_VERSION {
             return Err(StoreError::BadVersion(version));
         }
         let len = u64::from_le_bytes(take(12, 8)?.try_into().unwrap()) as usize;
@@ -135,6 +141,14 @@ impl Manifest {
             }
             b => return Err(StoreError::Corrupt(format!("bad default-graph tag {b}"))),
         };
+        // Version 1 manifests end here; version 2 appends the epoch.
+        let epoch = if version >= 2 {
+            let raw = payload.get(pos..pos + 8).ok_or(StoreError::Truncated)?;
+            pos += 8;
+            u64::from_le_bytes(raw.try_into().unwrap())
+        } else {
+            0
+        };
         if pos != payload.len() {
             return Err(StoreError::Corrupt(
                 "trailing bytes in manifest payload".into(),
@@ -144,16 +158,28 @@ impl Manifest {
             graphs,
             tables,
             default_graph,
+            epoch,
         })
     }
 }
 
-/// Persist every graph and table registered in `catalog` (plus the
-/// default-graph name) into `backend`, then write the manifest.
-/// Objects that a previous save left behind but that are no longer in
-/// the catalog are deleted afterwards, so the store always converges
-/// to exactly the catalog's state.
+/// [`save_catalog_at_epoch`] with epoch 0, for catalogs that live
+/// outside an engine (no commit counter to preserve).
 pub fn save_catalog(catalog: &Catalog, backend: &dyn StorageBackend) -> Result<(), StoreError> {
+    save_catalog_at_epoch(catalog, 0, backend)
+}
+
+/// Persist every graph and table registered in `catalog` (plus the
+/// default-graph name and the saving engine's snapshot `epoch`) into
+/// `backend`, then write the manifest. Objects that a previous save
+/// left behind but that are no longer in the catalog are deleted
+/// afterwards, so the store always converges to exactly the catalog's
+/// state.
+pub fn save_catalog_at_epoch(
+    catalog: &Catalog,
+    epoch: u64,
+    backend: &dyn StorageBackend,
+) -> Result<(), StoreError> {
     let names = catalog.graph_names();
     for name in &names {
         let graph = catalog
@@ -180,6 +206,7 @@ pub fn save_catalog(catalog: &Catalog, backend: &dyn StorageBackend) -> Result<(
         graphs: names.clone(),
         tables: table_names.clone(),
         default_graph: catalog.default_graph_name().map(str::to_owned),
+        epoch,
     };
     backend.put_bytes(MANIFEST_KEY, &manifest.encode())?;
 
@@ -197,13 +224,21 @@ pub fn save_catalog(catalog: &Catalog, backend: &dyn StorageBackend) -> Result<(
     Ok(())
 }
 
-/// Load a catalog previously written by [`save_catalog`]: read the
-/// manifest, decode every named graph and table, register them (which
-/// rebuilds label indexes and reserves the stored identifier space in
-/// the catalog's generator — skolemized identifiers minted after a
-/// cold start can never collide with stored elements), and restore the
-/// default graph.
+/// [`load_catalog_at_epoch`] without the stored epoch, for callers
+/// that only need the catalog.
 pub fn load_catalog(backend: &dyn StorageBackend) -> Result<Catalog, StoreError> {
+    Ok(load_catalog_at_epoch(backend)?.0)
+}
+
+/// Load a catalog previously written by [`save_catalog_at_epoch`]:
+/// read the manifest, decode every named graph and table, register
+/// them (which rebuilds label indexes and reserves the stored
+/// identifier space in the catalog's generator — skolemized
+/// identifiers minted after a cold start can never collide with stored
+/// elements), and restore the default graph. Returns the catalog
+/// together with the epoch recorded at save time (0 for version-1
+/// stores).
+pub fn load_catalog_at_epoch(backend: &dyn StorageBackend) -> Result<(Catalog, u64), StoreError> {
     let manifest = Manifest::decode(&backend.get_bytes(MANIFEST_KEY)?)?;
     let mut catalog = Catalog::new();
     for name in &manifest.graphs {
@@ -230,7 +265,7 @@ pub fn load_catalog(backend: &dyn StorageBackend) -> Result<Catalog, StoreError>
         }
         catalog.set_default_graph(default.clone());
     }
-    Ok(catalog)
+    Ok((catalog, manifest.epoch))
 }
 
 #[cfg(test)]
@@ -265,14 +300,41 @@ mod tests {
             graphs: vec!["a".into(), "ünïcødé".into()],
             tables: vec!["orders".into()],
             default_graph: Some("a".into()),
+            epoch: 42,
         };
         assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
         let none = Manifest {
             graphs: vec![],
             tables: vec![],
             default_graph: None,
+            epoch: 0,
         };
         assert_eq!(Manifest::decode(&none.encode()).unwrap(), none);
+    }
+
+    #[test]
+    fn version_1_manifests_decode_with_epoch_zero() {
+        // A version-1 manifest is a version-2 one without the trailing
+        // epoch: rebuild those bytes and check graceful decoding.
+        let m = Manifest {
+            graphs: vec!["a".into()],
+            tables: vec![],
+            default_graph: Some("a".into()),
+            epoch: 7,
+        };
+        let v2 = m.encode();
+        let payload_len = (u64::from_le_bytes(v2[12..20].try_into().unwrap()) - 8) as usize;
+        let payload = &v2[20..20 + payload_len]; // epoch bytes dropped
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&MANIFEST_MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&(payload_len as u64).to_le_bytes());
+        v1.extend_from_slice(payload);
+        v1.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        let decoded = Manifest::decode(&v1).unwrap();
+        assert_eq!(decoded.graphs, m.graphs);
+        assert_eq!(decoded.default_graph, m.default_graph);
+        assert_eq!(decoded.epoch, 0);
     }
 
     #[test]
@@ -281,6 +343,7 @@ mod tests {
             graphs: vec!["a".into()],
             tables: vec![],
             default_graph: None,
+            epoch: 3,
         };
         let clean = m.encode();
         for i in 0..clean.len() {

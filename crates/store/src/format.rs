@@ -71,8 +71,9 @@ const VALUE_DATE: u8 = 4;
 /// FNV-1a, 64-bit: tiny, dependency-free, and plenty to catch the
 /// torn/overwritten/bit-rotted payloads a storage layer must detect
 /// (this is an integrity check, not a cryptographic one). Shared with
-/// the manifest codec in `catalog_io`.
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+/// the manifest codec in `catalog_io` and with the `gcore-serve` wire
+/// protocol, which frames requests/responses with the same checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= b as u64;

@@ -55,9 +55,11 @@ pub mod error;
 pub mod format;
 
 pub use backend::{DirBackend, MemBackend, StorageBackend};
-pub use catalog_io::{load_catalog, save_catalog, Manifest};
+pub use catalog_io::{
+    load_catalog, load_catalog_at_epoch, save_catalog, save_catalog_at_epoch, Manifest,
+};
 pub use error::StoreError;
 pub use format::{
-    decode_graph, decode_stats, decode_table, encode_graph, encode_stats, encode_table,
+    decode_graph, decode_stats, decode_table, encode_graph, encode_stats, encode_table, fnv1a64,
     FORMAT_VERSION, MAGIC, STATS_MAGIC, TABLE_MAGIC,
 };

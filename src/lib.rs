@@ -20,6 +20,7 @@
 pub use gcore as engine;
 pub use gcore_parser as parser;
 pub use gcore_ppg as ppg;
+pub use gcore_serve as serve;
 pub use gcore_snb as snb;
 pub use gcore_store as store;
 
