@@ -120,8 +120,63 @@ fn report_throughput() {
     }
 }
 
+/// The abandoned-worker scenario, quantified: every round each client
+/// fires a pathological statement that only the cooperative timeout
+/// can end, then a fast read on the same connection. The fast-read
+/// latencies measure how promptly workers come back from a cancelled
+/// statement; the server-side per-route histogram cross-checks the
+/// client-side numbers.
+fn report_timeout_mix() {
+    // Triple cross product over 1000 Persons: ~10^9 candidate rows,
+    // astronomically more than a 5 ms budget — it never completes, it
+    // is always cancelled.
+    const SLOW: &str = "SELECT COUNT(*) AS c \
+                        MATCH (a:Person), (b:Person), (c:Person)";
+    const CLIENTS: usize = 2;
+    const ROUNDS: usize = 5;
+    let server = start_server(CLIENTS);
+    let addr = server.addr();
+    closed_loop(addr, 1, 1); // warm the snapshot and caches
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("bench client connects");
+                let mut fast = Vec::with_capacity(ROUNDS);
+                for _ in 0..ROUNDS {
+                    client.set_statement_timeout_ms(5).expect("set timeout");
+                    client
+                        .query(SLOW)
+                        .expect_err("the pathological statement must be cut off");
+                    client.set_statement_timeout_ms(0).expect("clear timeout");
+                    let t0 = Instant::now();
+                    client.query(READS[3]).expect("fast read answers");
+                    fast.push(t0.elapsed());
+                }
+                fast
+            })
+        })
+        .collect();
+    let mut fast: Vec<Duration> = Vec::new();
+    for t in threads {
+        fast.extend(t.join().expect("timeout-mix client thread"));
+    }
+    fast.sort();
+    let stats = server.stats();
+    println!(
+        "serve timeout mix (SNB-1000, {CLIENTS} clients x {ROUNDS} rounds, 5ms budget): \
+         {} statements cancelled, fast-read-after-cancel p50 {:.2?} p95 {:.2?}, \
+         server-side query p95 <= {:?}us",
+        stats.statements_cancelled,
+        percentile(&fast, 0.50),
+        percentile(&fast, 0.95),
+        stats.latency_query.quantile_upper_us(0.95).unwrap_or(0),
+    );
+    server.wait();
+}
+
 fn bench_serve(c: &mut Criterion) {
     report_throughput();
+    report_timeout_mix();
 
     // Per-statement-class round-trip latency over TCP, one client.
     {

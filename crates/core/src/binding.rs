@@ -562,7 +562,19 @@ impl BindingTable {
     ///
     /// Small probe sides fall back to the sequential join: partitioning
     /// costs more than it saves below a few thousand rows.
-    pub fn join_parallel(&self, other: &BindingTable, threads: usize) -> BindingTable {
+    ///
+    /// A `cancel` token (when given) is polled once per
+    /// [`CHECK_STRIDE`](crate::cancel::CHECK_STRIDE) probe rows; a
+    /// fired token makes every worker abandon its remaining range, so
+    /// the returned table is *partial* — the caller must check the
+    /// token afterwards and discard it (the evaluator raises `E016`).
+    /// A token that never fires leaves the result bit-identical.
+    pub fn join_parallel(
+        &self,
+        other: &BindingTable,
+        threads: usize,
+        cancel: Option<&crate::cancel::CancelToken>,
+    ) -> BindingTable {
         const PAR_MIN_ROWS: usize = 4096;
         if threads <= 1 || self.nrows < PAR_MIN_ROWS {
             return self.join(other);
@@ -622,7 +634,14 @@ impl BindingTable {
                 }
                 *emitted += 1;
             };
+            let mut tick = 0u32;
             for a_row in range {
+                if let Some(token) = cancel {
+                    tick = tick.wrapping_add(1);
+                    if tick.is_multiple_of(crate::cancel::CHECK_STRIDE) && token.is_cancelled() {
+                        break;
+                    }
+                }
                 key.clear();
                 key.extend(shared.iter().map(|&(i, _)| self.cols[i][a_row]));
                 if key.contains(&MISSING) {

@@ -98,6 +98,13 @@ pub struct EvalCtx {
     /// hash joins, multi-source path search). `1` = sequential; results
     /// are bit-identical at any setting.
     pub parallelism: std::cell::Cell<usize>,
+    /// Cooperative cancellation signal for this statement. The long
+    /// loops in the matcher, the joins and the path searchers poll it;
+    /// when it fires, evaluation unwinds with
+    /// [`RuntimeError::Cancelled`](crate::error::RuntimeError).
+    /// Defaults to a token that never fires, which is guaranteed not to
+    /// change results.
+    pub cancel: crate::cancel::CancelToken,
 }
 
 /// Default planner switch: on unless `GCORE_PLAN` is `off`/`0`.
@@ -124,7 +131,13 @@ impl EvalCtx {
             filter_pushdown: std::cell::Cell::new(true),
             planner: std::cell::Cell::new(planner_default()),
             parallelism: std::cell::Cell::new(1),
+            cancel: crate::cancel::CancelToken::new(),
         }
+    }
+
+    /// Error out when this statement's cancellation token has fired.
+    pub fn check_cancelled(&self) -> Result<()> {
+        self.cancel.check()
     }
 
     /// Convenience for tests and standalone evaluation: freeze `catalog`

@@ -89,6 +89,12 @@ pub enum DiagCode {
     /// E015 — the statement produces the wrong output sort for the API
     /// used (`query_graph` on a SELECT, `query_table` on a graph query).
     WrongOutputSort,
+    /// E016 — evaluation was cooperatively cancelled (statement
+    /// deadline exceeded or an explicit cancel). Unlike every other
+    /// `E` code this is raised *during* evaluation, but it shares the
+    /// family because it is a stable, assertable condition: the result
+    /// is absent, not wrong.
+    Cancelled,
     /// W101 — a variable is bound by MATCH but never used.
     UnusedVariable,
     /// W102 — a PATH-clause variable or SELECT alias shadows a variable
@@ -129,6 +135,7 @@ impl DiagCode {
             DiagCode::GroupOnBoundVariable => "E013",
             DiagCode::UnknownSetTarget => "E014",
             DiagCode::WrongOutputSort => "E015",
+            DiagCode::Cancelled => "E016",
             DiagCode::UnusedVariable => "W101",
             DiagCode::ShadowedVariable => "W102",
             DiagCode::CartesianProduct => "W103",

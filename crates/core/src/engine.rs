@@ -71,6 +71,9 @@ pub struct Engine {
     filter_pushdown: bool,
     planner: bool,
     parallelism: usize,
+    /// Per-statement evaluation budget: statements over it are
+    /// cooperatively cancelled (`E016`). `None` = no limit.
+    statement_deadline: Option<std::time::Duration>,
     /// LRU bound on each snapshot's SCC-condensation cache; `None`
     /// (the default) keeps the cache unbounded.
     scc_cache_capacity: Option<usize>,
@@ -95,6 +98,7 @@ impl Engine {
             filter_pushdown: true,
             planner: crate::context::planner_default(),
             parallelism: 1,
+            statement_deadline: None,
             scc_cache_capacity: None,
             epoch: 0,
             snapshot: None,
@@ -108,6 +112,7 @@ impl Engine {
             filter_pushdown: true,
             planner: crate::context::planner_default(),
             parallelism: 1,
+            statement_deadline: None,
             scc_cache_capacity: None,
             epoch: 0,
             snapshot: None,
@@ -136,6 +141,19 @@ impl Engine {
     /// the differential suite pins this.
     pub fn set_parallelism(&mut self, threads: usize) {
         self.parallelism = threads.max(1);
+    }
+
+    /// Set a per-statement evaluation budget: every statement this
+    /// engine (or an executor derived from it) evaluates from now on
+    /// gets `budget` of wall-clock time, and is cooperatively
+    /// cancelled — returning
+    /// [`RuntimeError::Cancelled`](crate::error::RuntimeError),
+    /// stable code `E016` — at the next loop boundary after it runs
+    /// over. `None` (the default) disables the limit. Cancellation
+    /// never corrupts state: evaluation is read-only against a
+    /// snapshot, so an over-budget statement simply has no result.
+    pub fn set_statement_deadline(&mut self, budget: Option<std::time::Duration>) {
+        self.statement_deadline = budget;
     }
 
     /// Render the planner's decisions for a statement without running
@@ -226,6 +244,7 @@ impl Engine {
         exec.set_filter_pushdown(self.filter_pushdown);
         exec.set_planner(self.planner);
         exec.set_parallelism(self.parallelism);
+        exec.set_statement_deadline(self.statement_deadline);
         exec
     }
 

@@ -23,6 +23,18 @@ pub enum EngineError {
     Graph(GraphError),
 }
 
+impl EngineError {
+    /// True when this error means "evaluation was cooperatively
+    /// cancelled" ([`RuntimeError::Cancelled`], stable code `E016`):
+    /// the statement hit its deadline or an explicit cancel, not a
+    /// defect in the query. Callers use this to map cancellation to a
+    /// retryable condition instead of a user error.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, EngineError::Runtime(RuntimeError::Cancelled))
+    }
+}
+
 /// Static violations detected before evaluation.
 #[derive(Clone, PartialEq, Debug)]
 pub enum SemanticError {
@@ -126,6 +138,11 @@ pub enum RuntimeError {
     Type(String),
     /// Division by zero.
     DivisionByZero,
+    /// Evaluation was cooperatively cancelled: the statement's
+    /// [`CancelToken`](crate::cancel::CancelToken) fired (deadline
+    /// passed or an explicit cancel), and the evaluator unwound at the
+    /// next loop boundary. The result is *absent*, not wrong.
+    Cancelled,
     /// Anything else.
     Other(String),
 }
@@ -230,6 +247,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::UnknownPathView(v) => write!(f, "unknown path view '~{v}'"),
             RuntimeError::Type(m) => write!(f, "type error: {m}"),
             RuntimeError::DivisionByZero => f.write_str("division by zero"),
+            RuntimeError::Cancelled => {
+                f.write_str("statement cancelled (deadline exceeded or cancellation requested)")
+            }
             RuntimeError::Other(m) => f.write_str(m),
         }
     }

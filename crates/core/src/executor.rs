@@ -18,6 +18,7 @@
 //! snapshot-isolation property the differential tests pin down.
 
 use crate::analyze::{parse_diagnostic, CatalogSummary};
+use crate::cancel::CancelToken;
 use crate::context::EvalCtx;
 use crate::diag::Diagnostic;
 use crate::error::{Result, SemanticError};
@@ -27,6 +28,7 @@ use gcore_parser::ast::Statement;
 use gcore_parser::{parse_script, parse_statement};
 use gcore_ppg::{PathPropertyGraph, Table};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A `Send + Sync` evaluator of read-only queries over one frozen
 /// snapshot. Cheap to clone (one `Arc` bump); see the module docs.
@@ -62,6 +64,8 @@ pub struct QueryExecutor {
     filter_pushdown: bool,
     planner: bool,
     parallelism: usize,
+    cancel: CancelToken,
+    statement_deadline: Option<Duration>,
 }
 
 impl QueryExecutor {
@@ -72,6 +76,8 @@ impl QueryExecutor {
             filter_pushdown: true,
             planner: crate::context::planner_default(),
             parallelism: 1,
+            cancel: CancelToken::new(),
+            statement_deadline: None,
         }
     }
 
@@ -94,6 +100,32 @@ impl QueryExecutor {
     /// both mean sequential; results are bit-identical at any setting.
     pub fn set_parallelism(&mut self, threads: usize) {
         self.parallelism = threads.max(1);
+    }
+
+    /// Install a cancellation token: every statement this executor
+    /// evaluates polls it, and evaluation returns
+    /// [`RuntimeError::Cancelled`](crate::error::RuntimeError)
+    /// (code `E016`) at the next loop boundary after the token fires.
+    /// Cancelling through any clone of the token is observed here.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// The executor's cancellation token; cancel through a clone of it
+    /// to stop an in-flight statement from another thread.
+    #[must_use]
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Set a per-statement evaluation budget: each statement gets
+    /// `budget` from the moment [`eval`](QueryExecutor::eval) starts,
+    /// and is cooperatively cancelled (code `E016`) once it runs over.
+    /// `None` disables the deadline. Composes with
+    /// [`set_cancel_token`](QueryExecutor::set_cancel_token): whichever
+    /// fires first wins.
+    pub fn set_statement_deadline(&mut self, budget: Option<Duration>) {
+        self.statement_deadline = budget;
     }
 
     /// Render the planner's decisions for a statement without running
@@ -198,10 +230,16 @@ impl QueryExecutor {
         // Static analysis first: sort mismatches are rejected before
         // any evaluation work (§3 "they must be of the right sort").
         crate::analyze::check_statement(stmt)?;
-        let ctx = EvalCtx::new(self.snapshot.clone());
+        let mut ctx = EvalCtx::new(self.snapshot.clone());
         ctx.filter_pushdown.set(self.filter_pushdown);
         ctx.planner.set(self.planner);
         ctx.parallelism.set(self.parallelism);
+        // The per-statement budget starts now; an explicit token and a
+        // deadline compose (whichever fires first cancels).
+        ctx.cancel = match self.statement_deadline {
+            Some(budget) => self.cancel.with_timeout(budget),
+            None => self.cancel.clone(),
+        };
         let evaluator = Evaluator::new(&ctx);
         evaluator.eval_statement(stmt)
     }

@@ -56,6 +56,7 @@
 pub mod analyze;
 pub mod baselines;
 pub mod binding;
+pub mod cancel;
 pub mod construct;
 pub mod context;
 pub mod diag;
@@ -73,6 +74,7 @@ pub mod snapshot;
 
 pub use analyze::{analyze_script, analyze_statement, CatalogSummary};
 pub use binding::{BindingTable, Bound, Column};
+pub use cancel::CancelToken;
 pub use context::EvalCtx;
 pub use diag::{render_all, DiagCode, Diagnostic, Severity};
 pub use engine::{run_batch_on, Engine};

@@ -152,6 +152,10 @@ impl<'e> PatternMatcher<'e> {
 
         let mut table = self.bind_start(&start_var, &pattern.start, outer, &structural)?;
         for step in &pattern.steps {
+            // Chain steps are the matcher's outermost expansion loop:
+            // one poll per step bounds the latency of noticing a
+            // cancellation by one expansion.
+            self.ev.ctx.check_cancelled()?;
             let dst_var = step
                 .node
                 .var
@@ -426,7 +430,9 @@ impl<'e> PatternMatcher<'e> {
 
         let mut bld = TableBuilder::with_pool(columns, table.pool().clone());
         let mut extra: Vec<Bound> = Vec::with_capacity(2);
+        let mut tick = 0u32;
         for ri in 0..table.len() {
+            self.ev.ctx.cancel.checkpoint(&mut tick)?;
             let Bound::Node(src) = table.bound(ri, prev_idx) else {
                 continue;
             };
@@ -510,7 +516,8 @@ impl<'e> PatternMatcher<'e> {
         };
         let nfa = Nfa::compile(&effective);
         let views = self.ev.resolve_views(&nfa, &self.graph)?;
-        let searcher = PathSearcher::new(&self.graph, &nfa, &views);
+        let searcher =
+            PathSearcher::new(&self.graph, &nfa, &views).with_cancel(self.ev.ctx.cancel.clone());
 
         let prev_idx = table
             .column_index(prev_var)
@@ -568,7 +575,14 @@ impl<'e> PatternMatcher<'e> {
                 let threads = self.ev.ctx.parallelism.get();
                 (srcs.len() >= 2).then(|| {
                     if threads > 1 && srcs.len() >= PARALLEL_REACH_MIN_SOURCES {
-                        reachable_many_parallel(&self.graph, &nfa, &views, &srcs, threads)
+                        reachable_many_parallel(
+                            &self.graph,
+                            &nfa,
+                            &views,
+                            &srcs,
+                            threads,
+                            &self.ev.ctx.cancel,
+                        )
                     } else {
                         searcher.reachable_many(&srcs)
                     }
@@ -577,6 +591,9 @@ impl<'e> PatternMatcher<'e> {
         } else {
             None
         };
+        // A fired token makes the shared search bail with partial maps;
+        // they must become an error, never an (empty) answer.
+        self.ev.ctx.check_cancelled()?;
 
         // Fixed-endpoint rows: pick the single-pair checking strategy
         // once from the graph's degree statistics. Both strategies
@@ -591,6 +608,10 @@ impl<'e> PatternMatcher<'e> {
         let mut bld = TableBuilder::with_pool(columns, table.pool().clone());
         let mut extra: Vec<Bound> = Vec::with_capacity(3);
         for ri in 0..table.len() {
+            // Every row may run a whole search; poll per row so a row
+            // whose search bailed early errors instead of contributing
+            // partial matches.
+            self.ev.ctx.check_cancelled()?;
             let Bound::Node(src) = table.bound(ri, prev_idx) else {
                 continue;
             };
@@ -707,6 +728,9 @@ impl<'e> PatternMatcher<'e> {
                 }
             }
         }
+        // The last row's search may have been cut short after the final
+        // loop-head poll.
+        self.ev.ctx.check_cancelled()?;
         Ok(bld.finish())
     }
 
@@ -757,7 +781,9 @@ impl<'e> PatternMatcher<'e> {
 
         let mut bld = TableBuilder::with_pool(columns, table.pool().clone());
         let mut extra: Vec<Bound> = Vec::with_capacity(2);
+        let mut tick = 0u32;
         for ri in 0..table.len() {
+            self.ev.ctx.cancel.checkpoint(&mut tick)?;
             let Bound::Node(src) = table.bound(ri, prev_idx) else {
                 continue;
             };
@@ -893,6 +919,7 @@ fn reachable_many_parallel(
     views: &ViewMap,
     srcs: &[NodeId],
     threads: usize,
+    cancel: &crate::cancel::CancelToken,
 ) -> FxHashMap<NodeId, Arc<Vec<NodeId>>> {
     let threads = threads.min(srcs.len()).max(1);
     let chunk = srcs.len().div_ceil(threads);
@@ -900,7 +927,13 @@ fn reachable_many_parallel(
     std::thread::scope(|s| {
         let handles: Vec<_> = srcs
             .chunks(chunk)
-            .map(|part| s.spawn(move || PathSearcher::new(graph, nfa, views).reachable_many(part)))
+            .map(|part| {
+                s.spawn(move || {
+                    PathSearcher::new(graph, nfa, views)
+                        .with_cancel(cancel.clone())
+                        .reachable_many(part)
+                })
+            })
             .collect();
         for h in handles {
             out.extend(h.join().expect("reachability worker panicked"));

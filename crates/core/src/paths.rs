@@ -282,6 +282,11 @@ pub struct PathSearcher<'a> {
     /// Does any referenced view carry real-valued costs?
     pub weighted: bool,
     mode: ExpandMode,
+    /// Cooperative cancellation: the frontier loops poll this and bail
+    /// early (returning partial or empty results) once it fires. The
+    /// caller is responsible for turning "searcher was cancelled" into
+    /// an error — partial results never escape as answers.
+    cancel: Option<crate::cancel::CancelToken>,
     /// Lazily compiled reversal of `nfa` (`None` inside = irreversible,
     /// i.e. the NFA traverses views).
     rev: OnceCell<Option<Nfa>>,
@@ -320,6 +325,7 @@ impl<'a> PathSearcher<'a> {
             views,
             weighted,
             mode: ExpandMode::default(),
+            cancel: None,
             rev: OnceCell::new(),
         }
     }
@@ -329,6 +335,38 @@ impl<'a> PathSearcher<'a> {
     pub fn with_expansion(mut self, mode: ExpandMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// Attach a cancellation token: the search loops poll it and return
+    /// early once it fires. A search that was cut short reports so via
+    /// [`cancelled`](Self::cancelled); its partial results must be
+    /// discarded by the caller.
+    #[must_use]
+    pub fn with_cancel(mut self, token: crate::cancel::CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Has the attached cancellation token fired? Always `false` when
+    /// no token is attached.
+    #[must_use]
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(crate::cancel::CancelToken::is_cancelled)
+    }
+
+    /// Strided cancellation poll for frontier loops: consults the token
+    /// once per [`CHECK_STRIDE`](crate::cancel::CHECK_STRIDE) calls.
+    #[inline]
+    fn cancel_tick(&self, tick: &mut u32) -> bool {
+        match &self.cancel {
+            None => false,
+            Some(t) => {
+                *tick = tick.wrapping_add(1);
+                tick.is_multiple_of(crate::cancel::CHECK_STRIDE) && t.is_cancelled()
+            }
+        }
     }
 
     /// The reversed NFA, compiled on first use; `None` when the NFA is
@@ -528,7 +566,11 @@ impl<'a> PathSearcher<'a> {
                     stack.push((v, q));
                 }
             }
+            let mut tick = 0u32;
             while let Some((v, q)) = stack.pop() {
+                if self.cancel_tick(&mut tick) {
+                    break;
+                }
                 self.expand_states(nfa, v, q, |w, t| {
                     let mask = closure_mask[t];
                     let e = seen.entry(w).or_insert(0);
@@ -552,7 +594,11 @@ impl<'a> PathSearcher<'a> {
                     stack.push(s);
                 }
             }
+            let mut tick = 0u32;
             while let Some((v, q)) = stack.pop() {
+                if self.cancel_tick(&mut tick) {
+                    break;
+                }
                 self.expand_states(nfa, v, q, |w, t| {
                     self.for_each_closed(nfa, w, t, |c| {
                         if seen.insert((w, c)) {
@@ -661,7 +707,8 @@ impl<'a> PathSearcher<'a> {
                 idx: (arena.len() - 1) as u32,
             });
         }
-        while let Some(first) = outer.pop() {
+        let mut tick = 0u32;
+        'search: while let Some(first) = outer.pop() {
             // Drain one cost level: every pending entry whose cost ties
             // `first` moves into the tie heap before any is processed.
             let level = first.cost;
@@ -674,6 +721,9 @@ impl<'a> PathSearcher<'a> {
                 batch.push(tie_entry(&arena, e.idx));
             }
             while let Some(top) = batch.pop() {
+                if self.cancel_tick(&mut tick) {
+                    break 'search;
+                }
                 let (node, state) = {
                     let e = &arena[top.idx as usize];
                     (e.node, e.state)
@@ -815,16 +865,22 @@ impl<'a> PathSearcher<'a> {
             }
         }
 
+        let mut tick = 0u32;
         loop {
             // An exhausted side has fully explored its reachable set
-            // without success — no accepting walk exists.
-            if frontier_f.is_empty() || frontier_b.is_empty() {
+            // without success — no accepting walk exists. A fired
+            // cancellation token also stops here: the caller checks the
+            // token and discards the (meaningless) `false`.
+            if frontier_f.is_empty() || frontier_b.is_empty() || self.cancelled() {
                 return false;
             }
             // Expand the smaller frontier one level.
             if frontier_f.len() <= frontier_b.len() {
                 let level = std::mem::take(&mut frontier_f);
                 for (v, q) in level {
+                    if self.cancel_tick(&mut tick) {
+                        return false;
+                    }
                     let mut found = false;
                     self.expand_states(self.nfa, v, q, |w, t| {
                         self.for_each_closed(self.nfa, w, t, |c| {
@@ -847,6 +903,9 @@ impl<'a> PathSearcher<'a> {
             } else {
                 let level = std::mem::take(&mut frontier_b);
                 for (v, q) in level {
+                    if self.cancel_tick(&mut tick) {
+                        return false;
+                    }
                     let mut found = false;
                     self.expand_states(rev, v, q, |w, t| {
                         self.for_each_closed(rev, w, t, |c| {
@@ -960,6 +1019,7 @@ impl<'a> PathSearcher<'a> {
             next: usize,
         }
         let mut frames: Vec<Frame> = Vec::new();
+        let mut tick = 0u32;
         let roots: Vec<u32> = seeds_of.values().flatten().copied().collect();
         for root in roots {
             ts.grow(states.len());
@@ -971,6 +1031,12 @@ impl<'a> PathSearcher<'a> {
             frames.push(Frame { v: root, next: 0 });
 
             while let Some(fr) = frames.last_mut() {
+                // A half-run Tarjan leaves components undefined, so a
+                // cancelled search abandons everything: empty map out,
+                // the caller raises the error off the token.
+                if self.cancel_tick(&mut tick) {
+                    return FxHashMap::default();
+                }
                 let v = fr.v as usize;
                 if fr.next < ts.succs[v].len() {
                     let w = ts.succs[v][fr.next] as usize;
@@ -1110,7 +1176,11 @@ impl<'a> PathSearcher<'a> {
                 stack.push((src, q));
             }
         }
+        let mut tick = 0u32;
         while let Some((v, q)) = stack.pop() {
+            if self.cancel_tick(&mut tick) {
+                return None;
+            }
             for (_, next_node, next_state, piece) in self.expand(v, q) {
                 for c in self.close_at(next_node, &[next_state]) {
                     edges.push(PEdge {

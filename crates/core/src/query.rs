@@ -199,11 +199,16 @@ impl<'e> Evaluator<'e> {
         };
         let mut table = BindingTable::unit();
         for lp in &m.patterns {
+            // One poll per pattern: each iteration runs a full pattern
+            // match plus a join, so a fired token stops the clause
+            // before the next (possibly explosive) product.
+            self.ctx.check_cancelled()?;
             let graph = self.resolve_location(&lp.on)?;
             self.ctx.set_ambient(graph.clone());
             let matcher = PatternMatcher::new(self, graph).with_prefilters(prefilters.clone());
             let t = matcher.eval_pattern(&lp.pattern, outer)?;
-            table = table.join_parallel(&t, threads);
+            table = table.join_parallel(&t, threads, Some(&self.ctx.cancel));
+            self.ctx.check_cancelled()?;
         }
         // Re-pin the ambient graph to the syntactically last pattern's:
         // WHERE pattern predicates must observe the same graph as the
@@ -285,8 +290,13 @@ impl<'e> Evaluator<'e> {
         outer: Option<&Env<'_>>,
     ) -> Result<BindingTable> {
         let mut first_err = None;
+        let mut tick = 0u32;
         let filtered = table.filter(|ri| {
             if first_err.is_some() {
+                return false;
+            }
+            if let Err(e) = self.ctx.cancel.checkpoint(&mut tick) {
+                first_err = Some(e);
                 return false;
             }
             let mut env = Env::new(&table, ri);

@@ -264,6 +264,13 @@ impl SccCache {
         // source; both get identical answers and the merge is
         // idempotent).
         let fresh = searcher.reachable_many(&missing);
+        // A cancelled search returns partial (empty) answers; caching
+        // them would poison later statements on this snapshot. The
+        // caller notices the fired token and raises the error.
+        if searcher.cancelled() {
+            out.extend(fresh);
+            return out;
+        }
         if self.capacity != Some(0) {
             let mut inner = self.entries.lock().unwrap();
             inner.tick += 1;

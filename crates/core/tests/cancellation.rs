@@ -1,0 +1,199 @@
+//! Cooperative cancellation is a pure *absence* mechanism: a token that
+//! never fires must leave every result bit-identical to an engine with
+//! no token at all, a token that has already fired must fail every
+//! statement with `E016`, and a deadline must cut a pathological
+//! statement short without wedging the engine for later statements.
+//!
+//! Outputs are compared canonically (see `common/mod.rs`, shared with
+//! the planner, snapshot and cold-start suites).
+
+mod common;
+
+use common::{canon_result, corpus_texts, prepared_engine};
+use gcore::cancel::{CancelToken, CHECK_STRIDE};
+use gcore::diag::DiagCode;
+use gcore::Engine;
+use gcore_snb::{generate, SnbConfig};
+use std::time::Duration;
+
+/// The stable code the serving and tooling layers key on.
+#[test]
+fn cancelled_has_the_stable_code_e016() {
+    assert_eq!(DiagCode::Cancelled.as_str(), "E016");
+}
+
+// ---------------------------------------------------------------------
+// Differential: cancellation that never fires is invisible
+// ---------------------------------------------------------------------
+
+/// Run the whole §3/§5 corpus on a fresh tour engine and canonicalize
+/// every statement's result (errors included).
+fn corpus_canon(deadline: Option<Duration>) -> Vec<String> {
+    let mut engine = prepared_engine();
+    engine.set_statement_deadline(deadline);
+    let watermark = engine.catalog().ids().peek();
+    corpus_texts()
+        .iter()
+        .map(|t| canon_result(&engine.run(t), watermark))
+        .collect()
+}
+
+/// A generous deadline is a token that never fires: every checkpoint in
+/// the matcher, joins, WHERE evaluation and path searches consults it,
+/// and none may perturb the result.
+#[test]
+fn corpus_with_inert_deadline_matches_baseline() {
+    let baseline = corpus_canon(None);
+    let guarded = corpus_canon(Some(Duration::from_hours(1)));
+    for (i, (a, b)) in baseline.iter().zip(&guarded).enumerate() {
+        assert_eq!(
+            a,
+            b,
+            "corpus statement {i} ({}) diverged under an inert deadline",
+            gcore_repro::corpus::ALL[i].id
+        );
+    }
+}
+
+/// A mix over the SNB schema hitting every cancellation-instrumented
+/// code path: label scans, multi-pattern joins, WHERE filtering,
+/// unbounded reachability (`knows*`), bound-pair reachability, shortest
+/// paths, and aggregation over a reverse hub relation.
+const SNB_MIX: &[&str] = &[
+    "CONSTRUCT (n) MATCH (n:Person) WHERE n.personId < 50",
+    "CONSTRUCT (n)-[:fof]->(k) \
+     MATCH (n:Person)-[:knows]->(m:Person)-[:knows]->(k:Person) \
+     WHERE n.personId < 10",
+    "SELECT p.firstName, q.firstName \
+     MATCH (p:Person)-[:knows]->(q:Person), (q)-[:isLocatedIn]->(c:City) \
+     WHERE c.name = 'Arnhem'",
+    "CONSTRUCT (p)-[:sameCity]->(q) \
+     MATCH (p:Person)-/<:knows*>/->(q:Person), \
+           (p)-[:isLocatedIn]->(c:City)<-[:isLocatedIn]-(q) \
+     WHERE p.personId < 25 AND q.personId < 40",
+    "SELECT p.personId, q.personId \
+     MATCH (p:Person)-[:knows]->(q:Person)-/<:knows*>/->(p) \
+     WHERE p.personId < 40",
+    "CONSTRUCT (p)-/@sp/->(q) \
+     MATCH (p:Person)-/3 SHORTEST sp <:knows*>/->(q:Person) \
+     WHERE p.firstName = 'Mahinda'",
+    "SELECT c.name, COUNT(*) AS people \
+     MATCH (c:City)<-[:isLocatedIn]-(p:Person) \
+     GROUP BY c.name",
+    "SELECT t.name, COUNT(*) AS fans \
+     MATCH (p:Person)-[:hasInterest]->(t:Tag) \
+     GROUP BY t.name",
+];
+
+fn snb_canon(deadline: Option<Duration>) -> Vec<String> {
+    let mut engine = Engine::new();
+    engine.set_statement_deadline(deadline);
+    let data = generate(&SnbConfig::scale(1000), &engine.catalog().ids().clone());
+    engine.register_graph("snb", data.graph);
+    engine.set_default_graph("snb");
+    let watermark = engine.catalog().ids().peek();
+    SNB_MIX
+        .iter()
+        .map(|t| canon_result(&engine.run(t), watermark))
+        .collect()
+}
+
+#[test]
+fn snb_mix_with_inert_deadline_matches_baseline() {
+    let baseline = snb_canon(None);
+    let guarded = snb_canon(Some(Duration::from_hours(1)));
+    for (i, (a, b)) in baseline.iter().zip(&guarded).enumerate() {
+        assert_eq!(a, b, "SNB query {i} diverged under an inert deadline");
+    }
+}
+
+// ---------------------------------------------------------------------
+// A fired token fails fast with E016
+// ---------------------------------------------------------------------
+
+/// Read statements spanning the instrumented paths: a pre-fired token
+/// must turn each of them into `RuntimeError::Cancelled`, never a
+/// partial answer.
+#[test]
+fn pre_fired_token_fails_every_statement() {
+    let mut engine = prepared_engine();
+    let token = CancelToken::new();
+    token.cancel();
+    for text in [
+        "SELECT n.name AS name MATCH (n:Person)",
+        "CONSTRUCT (n)-[e]->(m) MATCH (n:Person)-[e:worksAt]->(m:Company)",
+        "SELECT x.name AS who MATCH (x:Person)-/<:knows*>/->(y:Person)",
+    ] {
+        let mut executor = engine.executor();
+        executor.set_cancel_token(token.clone());
+        let err = executor.run(text).expect_err(text);
+        assert!(err.is_cancelled(), "{text}: expected E016, got {err}");
+    }
+}
+
+/// An already-expired deadline behaves exactly like a fired token.
+#[test]
+fn expired_deadline_cancels() {
+    let mut engine = prepared_engine();
+    let mut executor = engine.executor();
+    executor.set_statement_deadline(Some(Duration::ZERO));
+    let err = executor
+        .run("SELECT n.name AS name MATCH (n:Person)")
+        .expect_err("zero budget must cancel");
+    assert!(err.is_cancelled(), "got {err}");
+}
+
+/// [`Engine::set_statement_deadline`] is the embedder's knob: a tiny
+/// budget cancels a pathological statement, clearing it restores full
+/// evaluation on the same engine — cancellation never wedges state.
+#[test]
+fn engine_statement_deadline_applies_and_clears() {
+    let mut engine = prepared_engine();
+    engine.set_statement_deadline(Some(Duration::from_millis(1)));
+    let err = engine
+        .run(
+            "SELECT COUNT(*) AS c \
+             MATCH (a:Person), (b:Person), (c:Person), (d:Person), \
+                   (e:Person), (f:Person), (g:Person), (h:Person)",
+        )
+        .expect_err("a 1 ms budget must cancel the eight-way product");
+    assert!(err.is_cancelled(), "got {err}");
+
+    engine.set_statement_deadline(None);
+    let output = engine
+        .run("SELECT n.name AS name MATCH (n:Person)")
+        .expect("deadline cleared, statements must run again");
+    assert!(output.into_table().is_some());
+}
+
+/// Cancelling mid-flight from another thread stops a statement that
+/// would otherwise grind through an enormous cross product. The stride
+/// bounds how much work a checkpoint may miss, so a prompt cancel must
+/// come back well before the full product is enumerated.
+#[test]
+fn concurrent_cancel_interrupts_evaluation() {
+    let mut engine = prepared_engine();
+    let token = CancelToken::new();
+    let mut executor = engine.executor();
+    executor.set_cancel_token(token.clone());
+
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            token.cancel();
+        })
+    };
+    let err = executor
+        .run(
+            "SELECT COUNT(*) AS c \
+             MATCH (a:Person), (b:Person), (c:Person), (d:Person), \
+                   (e:Person), (f:Person), (g:Person), (h:Person)",
+        )
+        .expect_err("concurrent cancel must interrupt the product");
+    assert!(err.is_cancelled(), "got {err}");
+    canceller.join().unwrap();
+    // Sanity on the constant the bound above relies on: checkpoints
+    // poll at least once every CHECK_STRIDE iterations.
+    assert!(CHECK_STRIDE.is_power_of_two());
+}

@@ -53,4 +53,4 @@ pub use protocol::{
     PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server, ServerHandle};
-pub use stats::{ServerStats, StatsSnapshot};
+pub use stats::{LatencyBuckets, ServerStats, StatsSnapshot};

@@ -22,6 +22,9 @@ OPTIONS:
     --addr <HOST:PORT>        Bind address        [env: GCORE_SERVE_ADDR]    [default: 127.0.0.1:7687]
     --threads <N>             Worker threads      [env: GCORE_SERVE_THREADS] [default: 4]
     --max-connections <N>     Connection cap      [env: GCORE_SERVE_MAX_CONNECTIONS] [default: threads]
+    --max-pending <N>         Shed (busy-reject) admitted connections once
+                              this many are queued waiting for a worker
+                                                  [env: GCORE_SERVE_MAX_PENDING] [default: unbounded]
     --timeout-ms <MS>         Statement timeout   [env: GCORE_SERVE_TIMEOUT_MS] [default: off; 0 = off]
     --data-dir <DIR>          Storage directory; loaded at boot when it
                               holds a catalog, and backs admin save/load
@@ -36,6 +39,7 @@ struct Options {
     addr: String,
     threads: usize,
     max_connections: Option<usize>,
+    max_pending: Option<usize>,
     timeout_ms: Option<u64>,
     data_dir: Option<PathBuf>,
     snb: Option<usize>,
@@ -50,6 +54,7 @@ fn parse_options() -> Result<Options, String> {
         addr: env_opt("GCORE_SERVE_ADDR").unwrap_or_else(|| "127.0.0.1:7687".to_owned()),
         threads: parse_env("GCORE_SERVE_THREADS")?.unwrap_or(4),
         max_connections: parse_env("GCORE_SERVE_MAX_CONNECTIONS")?,
+        max_pending: parse_env("GCORE_SERVE_MAX_PENDING")?,
         timeout_ms: parse_env("GCORE_SERVE_TIMEOUT_MS")?,
         data_dir: env_opt("GCORE_SERVE_DATA_DIR").map(PathBuf::from),
         snb: parse_env("GCORE_SERVE_SNB")?,
@@ -68,6 +73,9 @@ fn parse_options() -> Result<Options, String> {
                     &value("--max-connections")?,
                     "--max-connections",
                 )?);
+            }
+            "--max-pending" => {
+                opts.max_pending = Some(parse_num(&value("--max-pending")?, "--max-pending")?);
             }
             "--timeout-ms" => {
                 opts.timeout_ms = Some(parse_num(&value("--timeout-ms")?, "--timeout-ms")?);
@@ -156,6 +164,7 @@ fn main() {
         addr: opts.addr.clone(),
         threads: opts.threads,
         max_connections: opts.max_connections.unwrap_or(opts.threads),
+        max_pending: opts.max_pending.unwrap_or(usize::MAX),
         statement_timeout: match opts.timeout_ms {
             None | Some(0) => None,
             Some(ms) => Some(Duration::from_millis(ms)),

@@ -13,6 +13,28 @@
 //! catalog front exactly as in-process callers are, and each commit
 //! bumps the epoch that subsequent queries observe.
 //!
+//! ## Admission control
+//!
+//! The connection cap is enforced **at accept time**: the accept loop
+//! reserves a slot (an RAII `Reservation` on the shared admitted
+//! counter) before the connection ever enters the worker queue, so a
+//! simultaneous-connect burst can never overshoot `max_connections` —
+//! there is no window between "checked the cap" and "counted the
+//! connection". Admitted connections wait in a bounded pending queue;
+//! when the backlog exceeds the `max_pending` watermark the connection
+//! is shed with [`ErrorCode::Busy`] instead of queuing behind work it
+//! would time out waiting for. Both rejections and sheds are counted
+//! separately in [`ServerStats`].
+//!
+//! ## Cancellation
+//!
+//! Statement timeouts are **cooperative**: the worker installs the
+//! connection's deadline on the statement's executor
+//! ([`QueryExecutor::set_statement_deadline`]) and evaluates inline —
+//! on expiry the evaluation unwinds at its next loop boundary and the
+//! worker returns to the pool. No detached threads, no orphaned
+//! evaluations burning cores behind the fixed pool.
+//!
 //! ## Lifecycle
 //!
 //! [`Server::start`] binds, spawns the accept thread and workers, and
@@ -51,6 +73,13 @@ pub struct ServeConfig {
     /// for a worker, which a closed-loop client can't distinguish from
     /// a hung server).
     pub max_connections: usize,
+    /// Shedding watermark on the pending queue: a connection admitted
+    /// under the cap is still `Busy`-rejected when this many admitted
+    /// connections are already waiting for a worker. The default
+    /// (`usize::MAX`) bounds the backlog only by `max_connections`;
+    /// set it below `max_connections - threads` to shed early under
+    /// bursty load instead of queueing work that will time out anyway.
+    pub max_pending: usize,
     /// Default per-statement wall-clock budget for queries. `None`
     /// disables it; connections can override via
     /// [`AdminRequest::SetTimeout`].
@@ -69,6 +98,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".to_owned(),
             threads: 4,
             max_connections: 4,
+            max_pending: usize::MAX,
             statement_timeout: None,
             frame_deadline: Duration::from_secs(30),
             data_dir: None,
@@ -85,11 +115,80 @@ struct Shared {
     engine: Mutex<Engine>,
     stats: ServerStats,
     shutdown: AtomicBool,
+    /// Admitted connections — queued or being served. Reserved (by
+    /// [`Reservation::try_acquire`]) in the accept loop *before* the
+    /// cap check's answer is acted on, so the cap is exact under
+    /// simultaneous connect bursts.
     active: AtomicUsize,
+    /// Admitted connections waiting for a worker. Incremented by the
+    /// accept loop at enqueue, decremented by the worker at pickup.
+    pending: AtomicUsize,
     default_timeout: Option<Duration>,
     frame_deadline: Duration,
     max_connections: usize,
+    max_pending: usize,
     backend: Option<DirBackend>,
+}
+
+impl Shared {
+    /// Lock the engine, recovering from poisoning. A statement panic
+    /// under the lock leaves the engine consistent — snapshots are
+    /// immutable `Arc`s and catalog persistence commits manifest-last —
+    /// so serving must survive it rather than cascade the panic into
+    /// every later connection.
+    fn lock_engine(&self) -> std::sync::MutexGuard<'_, Engine> {
+        self.engine
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// An RAII slot on [`Shared::active`]: acquired by the accept loop
+/// under the connection cap, released (on drop) when the connection
+/// finishes serving — or immediately, when the backlog sheds it.
+struct Reservation {
+    shared: Arc<Shared>,
+}
+
+impl Reservation {
+    /// Reserve an admitted-connection slot via compare-and-swap;
+    /// `None` when the cap is already fully reserved.
+    fn try_acquire(shared: &Arc<Shared>) -> Option<Reservation> {
+        let mut current = shared.active.load(Ordering::SeqCst);
+        loop {
+            if current >= shared.max_connections {
+                return None;
+            }
+            match shared.active.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+        let reservation = Reservation {
+            shared: Arc::clone(shared),
+        };
+        reservation.publish_gauge();
+        Some(reservation)
+    }
+
+    fn publish_gauge(&self) {
+        self.shared.stats.connections_active.store(
+            self.shared.active.load(Ordering::SeqCst) as u64,
+            Ordering::Relaxed,
+        );
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+        self.publish_gauge();
+    }
 }
 
 /// The running server. Dropping the handle shuts the server down and
@@ -120,9 +219,11 @@ impl Server {
             stats: ServerStats::new(),
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
             default_timeout: config.statement_timeout,
             frame_deadline: config.frame_deadline,
             max_connections: config.max_connections.max(1),
+            max_pending: config.max_pending,
             backend: match &config.data_dir {
                 Some(dir) => {
                     Some(DirBackend::new(dir).map_err(|e| std::io::Error::other(e.to_string()))?)
@@ -131,7 +232,7 @@ impl Server {
             },
         });
 
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let (tx, rx) = mpsc::channel::<(TcpStream, Reservation)>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..threads)
             .map(|i| {
@@ -168,6 +269,19 @@ impl ServerHandle {
     /// A point-in-time copy of the server counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// Deliberately poison the engine lock by panicking while holding
+    /// it on a scratch thread. Test hook for the poison-recovery path;
+    /// not part of the public API.
+    #[doc(hidden)]
+    pub fn poison_engine_lock_for_tests(&self) {
+        let shared = Arc::clone(&self.shared);
+        let poisoner = std::thread::spawn(move || {
+            let _guard = shared.lock_engine();
+            panic!("poisoning engine lock for tests");
+        });
+        let _ = poisoner.join(); // the Err is the point
     }
 
     /// Begin shutdown: stop accepting, drain in-flight statements.
@@ -220,14 +334,21 @@ impl Drop for ServerHandle {
 // Accept loop
 // ---------------------------------------------------------------------
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, tx: &mpsc::Sender<TcpStream>) {
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    tx: &mpsc::Sender<(TcpStream, Reservation)>,
+) {
     for conn in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break; // drains on return: tx drops, workers finish and exit
         }
         let Ok(stream) = conn else { continue };
         ServerStats::bump(&shared.stats.connections_accepted);
-        if shared.active.load(Ordering::SeqCst) >= shared.max_connections {
+        // Reserve before enqueueing: the slot is held from here until
+        // the worker finishes the connection, so the cap cannot be
+        // overshot between the check and the count.
+        let Some(reservation) = Reservation::try_acquire(shared) else {
             ServerStats::bump(&shared.stats.connections_rejected_busy);
             reject(
                 stream,
@@ -235,8 +356,23 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, tx: &mpsc::Sender<T
                 "connection cap reached, retry later",
             );
             continue;
+        };
+        // Queue-depth shedding: admitted under the cap, but the worker
+        // backlog is already at the watermark — turn the client away
+        // now rather than let it queue behind work it would time out
+        // waiting for. Dropping the reservation frees the slot.
+        if shared.pending.load(Ordering::SeqCst) >= shared.max_pending {
+            ServerStats::bump(&shared.stats.connections_shed_queue_full);
+            drop(reservation);
+            reject(stream, ErrorCode::Busy, "server backlog full, retry later");
+            continue;
         }
-        if tx.send(stream).is_err() {
+        shared.pending.fetch_add(1, Ordering::SeqCst);
+        shared.stats.connections_pending.store(
+            shared.pending.load(Ordering::SeqCst) as u64,
+            Ordering::Relaxed,
+        );
+        if tx.send((stream, reservation)).is_err() {
             break;
         }
     }
@@ -255,25 +391,26 @@ fn reject(mut stream: TcpStream, code: ErrorCode, message: &str) {
 // Worker loop and per-connection state
 // ---------------------------------------------------------------------
 
-fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
+fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<mpsc::Receiver<(TcpStream, Reservation)>>>) {
     loop {
         // Take the stream out of the channel lock before serving it, so
         // one long connection never blocks the other workers' intake.
-        let stream = match rx.lock().unwrap().recv() {
-            Ok(s) => s,
+        let (stream, reservation) = match rx.lock().unwrap().recv() {
+            Ok(pair) => pair,
             Err(_) => return, // sender dropped: accept loop exited
         };
-        shared.active.fetch_add(1, Ordering::SeqCst);
-        shared.stats.connections_active.store(
-            shared.active.load(Ordering::SeqCst) as u64,
+        shared.pending.fetch_sub(1, Ordering::SeqCst);
+        shared.stats.connections_pending.store(
+            shared.pending.load(Ordering::SeqCst) as u64,
             Ordering::Relaxed,
         );
-        let _ = Connection::new(shared, stream).serve();
-        shared.active.fetch_sub(1, Ordering::SeqCst);
-        shared.stats.connections_active.store(
-            shared.active.load(Ordering::SeqCst) as u64,
-            Ordering::Relaxed,
-        );
+        // Panic isolation: a statement that panics must cost its own
+        // connection, not a pool thread — the pool is fixed-size, so an
+        // escaped panic would permanently shrink serving capacity.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Connection::new(shared, stream).serve()
+        }));
+        drop(reservation); // frees the admitted slot
     }
 }
 
@@ -308,7 +445,7 @@ impl<'a> Connection<'a> {
         if !self.handshake() {
             return Close::Done;
         }
-        let epoch = self.shared.engine.lock().unwrap().snapshot_epoch();
+        let epoch = self.shared.lock_engine().snapshot_epoch();
         if self
             .send_frame(FrameKind::Hello, &encode_hello(epoch))
             .is_err()
@@ -330,6 +467,7 @@ impl<'a> Connection<'a> {
                     return Close::Done;
                 }
             };
+            let started = Instant::now();
             let keep_going = match frame.kind {
                 FrameKind::Query => self.handle_query(&frame.payload),
                 FrameKind::Transact => self.handle_transact(&frame.payload),
@@ -343,6 +481,15 @@ impl<'a> Connection<'a> {
                     false
                 }
             };
+            let histogram = match frame.kind {
+                FrameKind::Query => Some(&self.shared.stats.latency_query),
+                FrameKind::Transact => Some(&self.shared.stats.latency_transact),
+                FrameKind::Admin => Some(&self.shared.stats.latency_admin),
+                _ => None,
+            };
+            if let Some(histogram) = histogram {
+                histogram.record(started.elapsed());
+            }
             if !keep_going {
                 return Close::Done;
             }
@@ -492,9 +639,9 @@ impl<'a> Connection<'a> {
         };
         // Pin this statement's snapshot; the lock is held only for the
         // clone, never for evaluation.
-        let executor = { self.shared.engine.lock().unwrap().executor() };
+        let executor = { self.shared.lock_engine().executor() };
         let epoch = executor.epoch();
-        match self.evaluate_with_timeout(executor, text) {
+        match self.evaluate(executor, &text) {
             Evaluated::Ok(output) => {
                 ServerStats::bump(&self.shared.stats.queries_ok);
                 self.send_output(epoch, &output)
@@ -505,6 +652,7 @@ impl<'a> Connection<'a> {
             }
             Evaluated::TimedOut => {
                 ServerStats::bump(&self.shared.stats.statement_timeouts);
+                ServerStats::bump(&self.shared.stats.statements_cancelled);
                 self.send_error(ErrorCode::Timeout, "statement timeout exceeded")
                     .is_ok()
             }
@@ -519,7 +667,7 @@ impl<'a> Connection<'a> {
             return false;
         };
         let result = {
-            let mut engine = self.shared.engine.lock().unwrap();
+            let mut engine = self.shared.lock_engine();
             let r = engine.run_script(&text);
             (r, engine.snapshot_epoch())
         };
@@ -559,11 +707,11 @@ impl<'a> Connection<'a> {
         };
         let response = match request {
             AdminRequest::Ping => {
-                let epoch = self.shared.engine.lock().unwrap().snapshot_epoch();
+                let epoch = self.shared.lock_engine().snapshot_epoch();
                 Ok(AdminResponse::Epoch(epoch))
             }
             AdminRequest::ListGraphs => {
-                let engine = self.shared.engine.lock().unwrap();
+                let engine = self.shared.lock_engine();
                 let catalog = engine.catalog();
                 Ok(AdminResponse::Graphs(GraphListing {
                     graphs: catalog.graph_names(),
@@ -573,7 +721,7 @@ impl<'a> Connection<'a> {
             }
             AdminRequest::Stats => Ok(AdminResponse::Stats(self.shared.stats.snapshot().named())),
             AdminRequest::Explain(text) => {
-                let executor = { self.shared.engine.lock().unwrap().executor() };
+                let executor = { self.shared.lock_engine().executor() };
                 match executor.explain(&text) {
                     Ok(plan) => Ok(AdminResponse::Explain(plan)),
                     Err(e) => Err((ErrorCode::Statement, e.to_string())),
@@ -587,7 +735,7 @@ impl<'a> Connection<'a> {
                 Some(backend) => {
                     // Clone under the lock, write outside it: a slow
                     // disk must not stall writers.
-                    let engine = { self.shared.engine.lock().unwrap().clone() };
+                    let engine = { self.shared.lock_engine().clone() };
                     match engine.save_to(backend as &dyn StorageBackend) {
                         Ok(()) => Ok(AdminResponse::Epoch(engine.snapshot_epoch())),
                         Err(e) => Err((ErrorCode::Storage, e.to_string())),
@@ -600,7 +748,7 @@ impl<'a> Connection<'a> {
                     "server started without --data-dir".to_owned(),
                 )),
                 Some(backend) => {
-                    let mut engine = self.shared.engine.lock().unwrap();
+                    let mut engine = self.shared.lock_engine();
                     match engine.reload_from(backend as &dyn StorageBackend) {
                         Ok(epoch) => Ok(AdminResponse::Epoch(epoch)),
                         Err(e) => Err((ErrorCode::Storage, e.to_string())),
@@ -635,34 +783,22 @@ impl<'a> Connection<'a> {
         }
     }
 
-    /// Evaluate one read-only statement, optionally racing the
-    /// connection's statement timeout.
+    /// Evaluate one read-only statement on this worker thread, under
+    /// the connection's statement timeout as a cooperative deadline.
     ///
-    /// The timeout path runs the executor on a detached thread and
-    /// abandons it on expiry: the snapshot is immutable, so the orphan
-    /// can only burn CPU until it finishes, never corrupt state. The
-    /// receiver is dropped, so its eventual result is discarded.
-    fn evaluate_with_timeout(&self, executor: QueryExecutor, text: String) -> Evaluated {
-        let Some(timeout) = self.timeout else {
-            return match executor.run(&text) {
-                Ok(output) => Evaluated::Ok(Box::new(output)),
-                Err(e) => Evaluated::Err(e.to_string()),
-            };
-        };
-        let (tx, rx) = mpsc::channel();
-        let spawned = std::thread::Builder::new()
-            .name("gcore-serve-statement".to_owned())
-            .spawn(move || {
-                let result = executor.run(&text).map_err(|e| e.to_string());
-                let _ = tx.send(result);
-            });
-        if spawned.is_err() {
-            return Evaluated::Err("could not spawn statement thread".to_owned());
-        }
-        match rx.recv_timeout(timeout) {
-            Ok(Ok(output)) => Evaluated::Ok(Box::new(output)),
-            Ok(Err(message)) => Evaluated::Err(message),
-            Err(_) => Evaluated::TimedOut,
+    /// The deadline is installed on the executor and observed by the
+    /// evaluation itself at its loop boundaries (pattern expansion,
+    /// join partitions, path frontier pops), so expiry hands the worker
+    /// straight back to the pool — there is no detached thread left
+    /// burning a core on an answer nobody will read. The connection
+    /// timeout (admin-overridable) always governs the query route,
+    /// superseding any deadline baked into the engine by an embedder.
+    fn evaluate(&self, mut executor: QueryExecutor, text: &str) -> Evaluated {
+        executor.set_statement_deadline(self.timeout);
+        match executor.run(text) {
+            Ok(output) => Evaluated::Ok(Box::new(output)),
+            Err(e) if e.is_cancelled() => Evaluated::TimedOut,
+            Err(e) => Evaluated::Err(e.to_string()),
         }
     }
 }

@@ -1,8 +1,80 @@
 //! Server counters: lock-free atomics bumped on the request path,
 //! snapshotted for the admin `stats` route and for the load-generator
-//! bench.
+//! bench. Alongside the monotone counters, every route keeps a
+//! log-bucketed latency histogram ([`LatencyHistogram`]): one relaxed
+//! `fetch_add` per request, no locks, exported through the same named
+//! wire pairs so old clients simply ignore the new names.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ latency buckets: bucket `i` counts requests whose
+/// latency lies in `[2^i, 2^{i+1})` microseconds, the last bucket
+/// absorbing everything slower (~36 minutes and beyond).
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// A lock-free log₂-bucketed latency histogram. Recording is one
+/// relaxed `fetch_add`; concurrent recorders never contend beyond the
+/// cache line.
+#[derive(Default, Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Count one request of the given latency.
+    pub fn record(&self, elapsed: Duration) {
+        // Sub-microsecond requests land in bucket 0; ilog2 of the
+        // microsecond count picks the bucket, capped at the last.
+        let us = u64::try_from(elapsed.as_micros())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        let bucket = (us.ilog2() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An instantaneous copy of the bucket counts.
+    pub fn snapshot(&self) -> LatencyBuckets {
+        let mut out = [0u64; LATENCY_BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        LatencyBuckets(out)
+    }
+}
+
+/// A point-in-time copy of one route's latency buckets; index `i`
+/// counts requests in `[2^i, 2^{i+1})` µs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LatencyBuckets(pub [u64; LATENCY_BUCKETS]);
+
+impl LatencyBuckets {
+    /// Total requests recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// An upper bound (in µs) on the latency of the `q`-quantile
+    /// request: the top of the first bucket whose cumulative count
+    /// reaches `q` of the total. `None` when nothing was recorded.
+    #[must_use]
+    pub fn quantile_upper_us(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let needed = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.0.iter().enumerate() {
+            seen += c;
+            if seen >= needed {
+                return Some(1u64 << (i + 1).min(63));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
 
 /// Monotone counters shared by every server thread. All loads/stores
 /// are `Relaxed`: the counters are observability, not synchronization.
@@ -12,8 +84,14 @@ pub struct ServerStats {
     pub connections_accepted: AtomicU64,
     /// Connections turned away at the connection cap.
     pub connections_rejected_busy: AtomicU64,
+    /// Connections shed because the pending queue was over its
+    /// watermark — admitted under the cap, but the worker backlog was
+    /// already too deep to serve them within any useful latency.
+    pub connections_shed_queue_full: AtomicU64,
     /// Connections currently being served.
     pub connections_active: AtomicU64,
+    /// Connections admitted but waiting for a worker to pick them up.
+    pub connections_pending: AtomicU64,
     /// Query statements answered successfully.
     pub queries_ok: AtomicU64,
     /// Query statements answered with a statement error.
@@ -24,10 +102,21 @@ pub struct ServerStats {
     pub transacts_err: AtomicU64,
     /// Statements cut off by the statement timeout.
     pub statement_timeouts: AtomicU64,
+    /// Statements whose evaluation was cooperatively cancelled and
+    /// whose worker thread returned to the pool. Every timeout is also
+    /// a cancellation, so this tracks `statement_timeouts` unless a
+    /// future route cancels for other reasons.
+    pub statements_cancelled: AtomicU64,
     /// Connections dropped for protocol violations.
     pub protocol_errors: AtomicU64,
     /// Admin requests served (all ops).
     pub admin_requests: AtomicU64,
+    /// Latency of the query route (request read to reply written).
+    pub latency_query: LatencyHistogram,
+    /// Latency of the transact route.
+    pub latency_transact: LatencyHistogram,
+    /// Latency of the admin route.
+    pub latency_admin: LatencyHistogram,
 }
 
 impl ServerStats {
@@ -41,14 +130,20 @@ impl ServerStats {
         StatsSnapshot {
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
             connections_rejected_busy: self.connections_rejected_busy.load(Ordering::Relaxed),
+            connections_shed_queue_full: self.connections_shed_queue_full.load(Ordering::Relaxed),
             connections_active: self.connections_active.load(Ordering::Relaxed),
+            connections_pending: self.connections_pending.load(Ordering::Relaxed),
             queries_ok: self.queries_ok.load(Ordering::Relaxed),
             queries_err: self.queries_err.load(Ordering::Relaxed),
             transacts_ok: self.transacts_ok.load(Ordering::Relaxed),
             transacts_err: self.transacts_err.load(Ordering::Relaxed),
             statement_timeouts: self.statement_timeouts.load(Ordering::Relaxed),
+            statements_cancelled: self.statements_cancelled.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             admin_requests: self.admin_requests.load(Ordering::Relaxed),
+            latency_query: self.latency_query.snapshot(),
+            latency_transact: self.latency_transact.snapshot(),
+            latency_admin: self.latency_admin.snapshot(),
         }
     }
 
@@ -65,36 +160,79 @@ impl ServerStats {
 pub struct StatsSnapshot {
     pub connections_accepted: u64,
     pub connections_rejected_busy: u64,
+    pub connections_shed_queue_full: u64,
     pub connections_active: u64,
+    pub connections_pending: u64,
     pub queries_ok: u64,
     pub queries_err: u64,
     pub transacts_ok: u64,
     pub transacts_err: u64,
     pub statement_timeouts: u64,
+    pub statements_cancelled: u64,
     pub protocol_errors: u64,
     pub admin_requests: u64,
+    pub latency_query: LatencyBuckets,
+    pub latency_transact: LatencyBuckets,
+    pub latency_admin: LatencyBuckets,
 }
 
+/// The per-route histograms by wire-name prefix.
+const ROUTES: [&str; 3] = ["admin", "query", "transact"];
+
 impl StatsSnapshot {
+    fn route_buckets(&self, route: &str) -> &LatencyBuckets {
+        match route {
+            "admin" => &self.latency_admin,
+            "query" => &self.latency_query,
+            "transact" => &self.latency_transact,
+            other => unreachable!("unknown route {other}"),
+        }
+    }
+
+    fn route_buckets_mut(&mut self, route: &str) -> &mut LatencyBuckets {
+        match route {
+            "admin" => &mut self.latency_admin,
+            "query" => &mut self.latency_query,
+            "transact" => &mut self.latency_transact,
+            other => unreachable!("unknown route {other}"),
+        }
+    }
+
     /// The counters as sorted (name, value) pairs — the wire encoding
     /// of the admin `stats` reply is built from this, so adding a
-    /// counter never breaks an old client.
+    /// counter never breaks an old client. Histogram buckets appear as
+    /// `latency_<route>_us_b<idx>` pairs; empty buckets are omitted to
+    /// keep the reply small.
     pub fn named(&self) -> Vec<(String, u64)> {
         let mut pairs = vec![
             ("admin_requests".to_owned(), self.admin_requests),
             ("connections_accepted".to_owned(), self.connections_accepted),
             ("connections_active".to_owned(), self.connections_active),
+            ("connections_pending".to_owned(), self.connections_pending),
             (
                 "connections_rejected_busy".to_owned(),
                 self.connections_rejected_busy,
+            ),
+            (
+                "connections_shed_queue_full".to_owned(),
+                self.connections_shed_queue_full,
             ),
             ("protocol_errors".to_owned(), self.protocol_errors),
             ("queries_err".to_owned(), self.queries_err),
             ("queries_ok".to_owned(), self.queries_ok),
             ("statement_timeouts".to_owned(), self.statement_timeouts),
+            ("statements_cancelled".to_owned(), self.statements_cancelled),
             ("transacts_err".to_owned(), self.transacts_err),
             ("transacts_ok".to_owned(), self.transacts_ok),
         ];
+        for route in ROUTES {
+            let buckets = self.route_buckets(route);
+            for (i, &count) in buckets.0.iter().enumerate() {
+                if count != 0 {
+                    pairs.push((format!("latency_{route}_us_b{i:02}"), count));
+                }
+            }
+        }
         pairs.sort();
         pairs
     }
@@ -108,14 +246,33 @@ impl StatsSnapshot {
                 "admin_requests" => snap.admin_requests = *value,
                 "connections_accepted" => snap.connections_accepted = *value,
                 "connections_active" => snap.connections_active = *value,
+                "connections_pending" => snap.connections_pending = *value,
                 "connections_rejected_busy" => snap.connections_rejected_busy = *value,
+                "connections_shed_queue_full" => snap.connections_shed_queue_full = *value,
                 "protocol_errors" => snap.protocol_errors = *value,
                 "queries_err" => snap.queries_err = *value,
                 "queries_ok" => snap.queries_ok = *value,
                 "statement_timeouts" => snap.statement_timeouts = *value,
+                "statements_cancelled" => snap.statements_cancelled = *value,
                 "transacts_err" => snap.transacts_err = *value,
                 "transacts_ok" => snap.transacts_ok = *value,
-                _ => {}
+                other => {
+                    // latency_<route>_us_b<idx>
+                    let Some(rest) = other.strip_prefix("latency_") else {
+                        continue;
+                    };
+                    let Some((route, idx)) = rest.split_once("_us_b") else {
+                        continue;
+                    };
+                    if !ROUTES.contains(&route) {
+                        continue;
+                    }
+                    if let Ok(i) = idx.parse::<usize>() {
+                        if i < LATENCY_BUCKETS {
+                            snap.route_buckets_mut(route).0[i] = *value;
+                        }
+                    }
+                }
             }
         }
         snap
@@ -132,7 +289,43 @@ mod tests {
         stats.queries_ok.store(3, Ordering::Relaxed);
         stats.connections_accepted.store(2, Ordering::Relaxed);
         stats.statement_timeouts.store(1, Ordering::Relaxed);
+        stats.statements_cancelled.store(1, Ordering::Relaxed);
+        stats
+            .connections_shed_queue_full
+            .store(4, Ordering::Relaxed);
+        stats.latency_query.record(Duration::from_micros(7));
+        stats.latency_query.record(Duration::from_millis(3));
+        stats.latency_transact.record(Duration::from_secs(1));
+        stats.latency_admin.record(Duration::ZERO);
         let snap = stats.snapshot();
         assert_eq!(StatsSnapshot::from_named(&snap.named()), snap);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_of_microseconds() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::ZERO); // sub-µs → bucket 0
+        h.record(Duration::from_micros(1)); // bucket 0
+        h.record(Duration::from_micros(2)); // bucket 1
+        h.record(Duration::from_millis(1)); // 2^9 ≤ 1000 µs < 2^10 → bucket 9
+        let snap = h.snapshot();
+        assert_eq!(snap.0[0], 2);
+        assert_eq!(snap.0[1], 1);
+        assert_eq!(snap.0[9], 1);
+        assert_eq!(snap.count(), 4);
+    }
+
+    #[test]
+    fn quantile_reports_bucket_upper_bounds() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.snapshot().quantile_upper_us(0.5), None);
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10)); // bucket 3: [8, 16)
+        }
+        h.record(Duration::from_millis(100)); // bucket 16
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile_upper_us(0.5), Some(16));
+        assert_eq!(snap.quantile_upper_us(0.99), Some(16));
+        assert_eq!(snap.quantile_upper_us(1.0), Some(1 << 17));
     }
 }

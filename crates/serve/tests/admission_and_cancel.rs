@@ -1,0 +1,198 @@
+//! Admission control and cooperative cancellation over real TCP: the
+//! connection cap must be exact under a simultaneous-connect burst
+//! (the reservation is taken at accept time, so there is no
+//! check-then-count window), the pending-queue watermark must shed
+//! admitted connections instead of silently queueing them, a poisoned
+//! engine lock must not take the server down, and a timed-out
+//! statement must hand its worker straight back to the pool.
+
+#[path = "../../core/tests/common/mod.rs"]
+mod common;
+
+use common::tour_engine;
+use gcore_serve::{Client, ErrorCode, ServeConfig, Server};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Opening `2 × max_connections` sockets at once admits *exactly*
+/// `max_connections` and busy-rejects the rest — never one more, never
+/// one fewer. Every thread holds its verdict (and its connection) until
+/// all verdicts are in, so no slot is recycled mid-burst.
+#[test]
+fn simultaneous_burst_respects_the_cap_exactly() {
+    const CAP: usize = 2;
+    let config = ServeConfig {
+        threads: CAP,
+        max_connections: CAP,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(tour_engine(), config).unwrap();
+    let addr = server.addr();
+
+    let barrier = Arc::new(Barrier::new(2 * CAP));
+    let outcomes: Vec<bool> = (0..2 * CAP)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let result = Client::connect(addr);
+                let admitted = match &result {
+                    Ok(_) => true,
+                    Err(e) => {
+                        assert_eq!(e.remote_code(), Some(ErrorCode::Busy), "got {e}");
+                        false
+                    }
+                };
+                // Keep admitted connections open until every socket in
+                // the burst has its verdict.
+                barrier.wait();
+                admitted
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().expect("burst thread panicked"))
+        .collect();
+
+    let admitted = outcomes.iter().filter(|&&ok| ok).count();
+    assert_eq!(admitted, CAP, "cap must be exact under a burst");
+    let stats = server.stats();
+    assert_eq!(stats.connections_accepted, 2 * CAP as u64);
+    assert_eq!(stats.connections_rejected_busy, CAP as u64);
+    server.wait();
+}
+
+/// With a pending watermark below the cap, a connection admitted under
+/// the cap is still shed `Busy` once the worker backlog is full —
+/// counted separately from cap rejections.
+#[test]
+fn backlog_over_the_watermark_is_shed() {
+    let config = ServeConfig {
+        threads: 1,
+        max_connections: 8,
+        max_pending: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(tour_engine(), config).unwrap();
+    let addr = server.addr();
+
+    // Occupy the only worker; the round trip guarantees pickup, so the
+    // pending queue is empty again.
+    let mut occupant = Client::connect(addr).unwrap();
+    assert!(occupant.ping().is_ok());
+
+    // A raw socket fills the pending queue to the watermark. It never
+    // handshakes; it exists to sit in the backlog.
+    let backlog = std::net::TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200)); // let the accept loop queue it
+
+    // The next connection is under the cap (2 of 8 slots held) but over
+    // the watermark: shed.
+    match Client::connect(addr) {
+        Err(e) => assert_eq!(e.remote_code(), Some(ErrorCode::Busy), "got {e}"),
+        Ok(_) => panic!("third connection should have been shed"),
+    }
+    let stats = server.stats();
+    assert_eq!(stats.connections_shed_queue_full, 1);
+    assert_eq!(
+        stats.connections_rejected_busy, 0,
+        "shedding must not be miscounted as a cap rejection"
+    );
+
+    // Draining the backlog and freeing the worker restores service.
+    drop(backlog);
+    drop(occupant);
+    let mut retried = None;
+    for _ in 0..100 {
+        match Client::connect(addr) {
+            Ok(c) => {
+                retried = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let mut client = retried.expect("service never recovered after the shed");
+    assert!(client.ping().is_ok());
+    server.wait();
+}
+
+/// A panic under the engine lock poisons the mutex; serving must
+/// recover the guard and keep answering — on the connection that was
+/// already open and on fresh ones.
+#[test]
+fn poisoned_engine_lock_does_not_kill_the_server() {
+    let server = Server::start(tour_engine(), ServeConfig::default()).unwrap();
+    let mut before = Client::connect(server.addr()).unwrap();
+    assert!(before.ping().is_ok());
+
+    server.poison_engine_lock_for_tests();
+
+    let reply = before
+        .query("SELECT n.name AS name MATCH (n:Person)")
+        .expect("existing connection must survive the poisoned lock");
+    assert!(reply.output.unwrap().into_table().is_some());
+
+    let mut after = Client::connect(server.addr()).unwrap();
+    let reply = after
+        .query("SELECT n.name AS name MATCH (n:Person)")
+        .expect("fresh connection must survive the poisoned lock");
+    assert!(reply.output.unwrap().into_table().is_some());
+    server.wait();
+}
+
+/// The abandoned-worker regression: a statement cut off by the timeout
+/// must return its worker to the pool immediately — the *same*
+/// connection answers a fast statement next, and with every worker
+/// having just timed out, a full round of concurrent fast statements
+/// completes promptly instead of queueing behind orphaned evaluations.
+#[test]
+fn timed_out_statements_return_their_workers() {
+    const THREADS: usize = 2;
+    let mut engine = tour_engine();
+    engine
+        .run("GRAPH VIEW wide AS (CONSTRUCT (x) MATCH (n:Person), (m:Person), (k:Person))")
+        .unwrap();
+    let config = ServeConfig {
+        threads: THREADS,
+        max_connections: 2 * THREADS,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(engine, config).unwrap();
+    let addr = server.addr();
+
+    // Eight-way cross product over Persons: astronomically more work
+    // than a 1 ms budget allows, so only cancellation can end it.
+    const SLOW: &str = "SELECT COUNT(*) AS c \
+                        MATCH (a:Person), (b:Person), (c:Person), (d:Person), \
+                              (e:Person), (f:Person), (g:Person), (h:Person)";
+
+    let rounds: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.set_statement_timeout_ms(1).unwrap();
+                let err = client.query(SLOW).unwrap_err();
+                assert_eq!(err.remote_code(), Some(ErrorCode::Timeout), "got {err}");
+                // The worker came straight back: the same connection
+                // answers again, promptly.
+                let started = Instant::now();
+                let reply = client
+                    .query("SELECT n.name AS name MATCH (n:Person)")
+                    .expect("connection must survive its own timeout");
+                assert!(reply.output.unwrap().into_table().is_some());
+                started.elapsed()
+            })
+        })
+        .collect();
+    for round in rounds {
+        let elapsed = round.join().expect("client thread panicked");
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "fast statement took {elapsed:?}: worker not reclaimed"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.statement_timeouts, THREADS as u64);
+    assert_eq!(stats.statements_cancelled, THREADS as u64);
+    server.wait();
+}

@@ -175,8 +175,8 @@ fn statement_timeout_cuts_off_long_queries() {
     let mut engine = tour_engine();
     // A deliberately explosive statement: the triple cross product over
     // Persons is big enough to out-run a 1 ms budget by orders of
-    // magnitude, small enough that the abandoned evaluation finishes
-    // quickly in the background.
+    // magnitude. Cancellation is cooperative, so the worker abandons it
+    // at the next loop boundary rather than computing it to the end.
     engine
         .run("GRAPH VIEW wide AS (CONSTRUCT (x) MATCH (n:Person), (m:Person), (k:Person))")
         .unwrap();
@@ -191,6 +191,9 @@ fn statement_timeout_cuts_off_long_queries() {
     let err = client.query(SLOW).unwrap_err();
     assert_eq!(err.remote_code(), Some(ErrorCode::Timeout), "got {err}");
     assert_eq!(server.stats().statement_timeouts, 1);
+    // The timeout fired through cooperative cancellation — the worker
+    // got its statement back, it didn't park it on a detached thread.
+    assert_eq!(server.stats().statements_cancelled, 1);
 
     // The connection is still fine, and fast statements still answer.
     let reply = client
