@@ -69,6 +69,7 @@ fn bench_matching(c: &mut Criterion) {
 fn bench_snb4000(c: &mut Criterion) {
     let mut engine = snb_engine(4000);
     bench_matching_snb4000(c, &mut engine);
+    bench_profiling_overhead(c, &mut engine);
     bench_binding_layout(c, &engine);
 }
 
@@ -108,6 +109,45 @@ fn bench_matching_snb4000(c: &mut Criterion, engine: &mut gcore::Engine) {
         g.bench_function(*name, |b| {
             b.iter(|| black_box(engine.query_graph(query).unwrap()))
         });
+    }
+    g.finish();
+}
+
+/// Profiling overhead, one process, two code paths (the preferred
+/// comparison shape): the same join-heavy statements with span
+/// collection off (the production default — one `Option` check per
+/// boundary, no clock reads) and on (`Engine::set_profiling`). The
+/// `_off` numbers double as the matching_snb4000 regression reference;
+/// the `_on` deltas are the cost of `EXPLAIN ANALYZE` / the serve
+/// slow-query log.
+fn bench_profiling_overhead(c: &mut Criterion, engine: &mut gcore::Engine) {
+    let mut g = c.benchmark_group("profiling_overhead_snb4000");
+    g.sample_size(10);
+
+    let cases: &[(&str, &str)] = &[
+        (
+            "two_hop",
+            "CONSTRUCT (n)-[:fof]->(k) \
+             MATCH (n:Person)-[:knows]->(m:Person)-[:knows]->(k:Person) \
+             WHERE n.personId < 40",
+        ),
+        (
+            "value_join",
+            "CONSTRUCT (a)-[:colleague]->(b) \
+             MATCH (a:Person {employer = e}), (b:Person) \
+             WHERE e IN b.employer AND a.personId < 40",
+        ),
+    ];
+    for (name, query) in cases {
+        engine.set_profiling(false);
+        g.bench_function(format!("{name}_off"), |b| {
+            b.iter(|| black_box(engine.query_graph(query).unwrap()))
+        });
+        engine.set_profiling(true);
+        g.bench_function(format!("{name}_on"), |b| {
+            b.iter(|| black_box(engine.query_graph(query).unwrap()))
+        });
+        engine.set_profiling(false);
     }
     g.finish();
 }

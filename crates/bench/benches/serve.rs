@@ -212,6 +212,29 @@ fn bench_serve(c: &mut Criterion) {
         server.wait();
     }
     g.finish();
+
+    // The same mixed load with the slow-query log armed at threshold 0:
+    // every query is profiled and logged — the worst-case observability
+    // overhead on the serving path, to compare against `mixed_2c`.
+    let mut g = c.benchmark_group("serve_observability");
+    g.sample_size(10);
+    {
+        const CLIENTS: usize = 2;
+        let config = ServeConfig {
+            threads: CLIENTS.max(2),
+            max_connections: CLIENTS + 2,
+            slow_threshold: Some(Duration::ZERO),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(snb_engine(1000), config).expect("bench server boots");
+        let addr = server.addr();
+        closed_loop(addr, 1, 1); // warm-up
+        g.bench_function("mixed_2c_slowlog", |b| {
+            b.iter(|| black_box(closed_loop(addr, CLIENTS, 1)))
+        });
+        server.wait();
+    }
+    g.finish();
 }
 
 criterion_group!(benches, bench_serve);

@@ -105,6 +105,17 @@ pub struct EvalCtx {
     /// Defaults to a token that never fires, which is guaranteed not to
     /// change results.
     pub cancel: crate::cancel::CancelToken,
+    /// Per-statement span collector for execution profiles. Disabled by
+    /// default (no state, near-zero cost); like everything else here it
+    /// is query-local and guaranteed not to change results.
+    pub profiler: crate::obs::Profiler,
+    /// Core metric handles bumped during evaluation (planner reorders,
+    /// pushdowns, misestimates). Executors derived from an [`Engine`]
+    /// share the engine's registry-backed set; a fresh context counts
+    /// privately.
+    ///
+    /// [`Engine`]: crate::Engine
+    pub metrics: crate::obs::CoreMetrics,
 }
 
 /// Default planner switch: on unless `GCORE_PLAN` is `off`/`0`.
@@ -132,6 +143,8 @@ impl EvalCtx {
             planner: std::cell::Cell::new(planner_default()),
             parallelism: std::cell::Cell::new(1),
             cancel: crate::cancel::CancelToken::new(),
+            profiler: crate::obs::Profiler::disabled(),
+            metrics: crate::obs::CoreMetrics::standalone(),
         }
     }
 

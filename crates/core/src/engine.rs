@@ -82,6 +82,14 @@ pub struct Engine {
     /// The snapshot of the current epoch, taken lazily and dropped by
     /// the next commit.
     snapshot: Option<Arc<EngineSnapshot>>,
+    /// Collect an execution profile for every statement (default: off).
+    profiling: bool,
+    /// The engine's unified metrics registry. Shared by clones of the
+    /// engine and by every executor it derives, so counters aggregate
+    /// across the engine's whole lifetime.
+    registry: Arc<crate::obs::MetricsRegistry>,
+    /// Pre-resolved handles into `registry` for the core counters.
+    metrics: crate::obs::CoreMetrics,
 }
 
 impl Default for Engine {
@@ -93,20 +101,13 @@ impl Default for Engine {
 impl Engine {
     /// An engine with an empty catalog at epoch 0.
     pub fn new() -> Self {
-        Engine {
-            catalog: Catalog::new(),
-            filter_pushdown: true,
-            planner: crate::context::planner_default(),
-            parallelism: 1,
-            statement_deadline: None,
-            scc_cache_capacity: None,
-            epoch: 0,
-            snapshot: None,
-        }
+        Self::with_catalog(Catalog::new())
     }
 
     /// An engine over an existing catalog.
     pub fn with_catalog(catalog: Catalog) -> Self {
+        let registry = Arc::new(crate::obs::MetricsRegistry::new());
+        let metrics = crate::obs::CoreMetrics::registered(&registry);
         Engine {
             catalog,
             filter_pushdown: true,
@@ -116,6 +117,9 @@ impl Engine {
             scc_cache_capacity: None,
             epoch: 0,
             snapshot: None,
+            profiling: false,
+            registry,
+            metrics,
         }
     }
 
@@ -160,6 +164,38 @@ impl Engine {
     /// it (see [`QueryExecutor::explain`]).
     pub fn explain(&mut self, text: &str) -> Result<String> {
         self.executor().explain(text)
+    }
+
+    /// Enable or disable execution profiling for every statement this
+    /// engine (or an executor derived from it) evaluates (default:
+    /// off). Profiling never changes results; its only observable
+    /// effects are the profile itself and the cost of collecting it.
+    /// [`Engine::run`] discards the collected profile — use
+    /// [`Engine::profile`] to get it back.
+    pub fn set_profiling(&mut self, enabled: bool) {
+        self.profiling = enabled;
+    }
+
+    /// `EXPLAIN ANALYZE`: run one statement with profiling forced on
+    /// and return its output together with the execution profile —
+    /// the operator span tree with planner estimates, actual row
+    /// counts, timings and misestimate markers
+    /// ([`QueryProfile::render`](crate::obs::QueryProfile::render)).
+    ///
+    /// Read-only, like [`Engine::explain`]: a `GRAPH VIEW` statement
+    /// profiles its evaluation but registers nothing.
+    pub fn profile(&mut self, text: &str) -> Result<(QueryOutput, crate::obs::QueryProfile)> {
+        self.executor().run_profiled(text)
+    }
+
+    /// The engine's unified metrics registry: core counters
+    /// (`statements`, `cancellations`, `planner_*`) aggregated across
+    /// every statement the engine or its executors ever evaluated.
+    /// Render it with
+    /// [`MetricsRegistry::render_prometheus`](crate::obs::MetricsRegistry::render_prometheus).
+    #[must_use]
+    pub fn metrics_registry(&self) -> &Arc<crate::obs::MetricsRegistry> {
+        &self.registry
     }
 
     /// Bound each snapshot's SCC-condensation cache to at most
@@ -245,6 +281,8 @@ impl Engine {
         exec.set_planner(self.planner);
         exec.set_parallelism(self.parallelism);
         exec.set_statement_deadline(self.statement_deadline);
+        exec.set_profiling(self.profiling);
+        exec.set_metrics(self.metrics.clone());
         exec
     }
 

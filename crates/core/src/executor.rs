@@ -66,6 +66,8 @@ pub struct QueryExecutor {
     parallelism: usize,
     cancel: CancelToken,
     statement_deadline: Option<Duration>,
+    profiling: bool,
+    metrics: crate::obs::CoreMetrics,
 }
 
 impl QueryExecutor {
@@ -78,6 +80,8 @@ impl QueryExecutor {
             parallelism: 1,
             cancel: CancelToken::new(),
             statement_deadline: None,
+            profiling: false,
+            metrics: crate::obs::CoreMetrics::standalone(),
         }
     }
 
@@ -126,6 +130,28 @@ impl QueryExecutor {
     /// fires first wins.
     pub fn set_statement_deadline(&mut self, budget: Option<Duration>) {
         self.statement_deadline = budget;
+    }
+
+    /// Enable or disable execution profiling (default: off). When on,
+    /// [`eval`](QueryExecutor::eval) collects a
+    /// [`QueryProfile`](crate::obs::QueryProfile) span tree for every
+    /// statement and discards it; use
+    /// [`run_profiled`](QueryExecutor::run_profiled) /
+    /// [`eval_profiled`](QueryExecutor::eval_profiled) to get it back.
+    /// Profiling never changes results — the differential suite pins
+    /// profiling-on ≡ profiling-off over the whole corpus.
+    pub fn set_profiling(&mut self, enabled: bool) {
+        self.profiling = enabled;
+    }
+
+    /// Install the metric handles bumped on every statement this
+    /// executor evaluates (statement/cancellation counts, planner
+    /// reorders/pushdowns/misestimates). [`Engine::executor`] installs
+    /// the engine's registry-backed set here.
+    ///
+    /// [`Engine::executor`]: crate::Engine::executor
+    pub fn set_metrics(&mut self, metrics: crate::obs::CoreMetrics) {
+        self.metrics = metrics;
     }
 
     /// Render the planner's decisions for a statement without running
@@ -227,6 +253,33 @@ impl QueryExecutor {
     /// `GRAPH VIEW` statements evaluate and return their materialized
     /// graph but register nothing (the executor is read-only).
     pub fn eval(&self, stmt: &Statement) -> Result<QueryOutput> {
+        self.eval_inner(stmt, self.profiling).map(|(out, _)| out)
+    }
+
+    /// Parse and evaluate one statement with profiling forced on,
+    /// returning the output together with its execution profile
+    /// (`EXPLAIN ANALYZE` without the rendering).
+    pub fn run_profiled(&self, text: &str) -> Result<(QueryOutput, crate::obs::QueryProfile)> {
+        let stmt = parse_statement(text)?;
+        self.eval_profiled(&stmt)
+    }
+
+    /// [`eval`](QueryExecutor::eval) with profiling forced on,
+    /// returning the collected [`QueryProfile`](crate::obs::QueryProfile)
+    /// alongside the output.
+    pub fn eval_profiled(
+        &self,
+        stmt: &Statement,
+    ) -> Result<(QueryOutput, crate::obs::QueryProfile)> {
+        self.eval_inner(stmt, true)
+            .map(|(out, profile)| (out, profile.expect("profiling was enabled")))
+    }
+
+    fn eval_inner(
+        &self,
+        stmt: &Statement,
+        profiling: bool,
+    ) -> Result<(QueryOutput, Option<crate::obs::QueryProfile>)> {
         // Static analysis first: sort mismatches are rejected before
         // any evaluation work (§3 "they must be of the right sort").
         crate::analyze::check_statement(stmt)?;
@@ -240,8 +293,22 @@ impl QueryExecutor {
             Some(budget) => self.cancel.with_timeout(budget),
             None => self.cancel.clone(),
         };
+        if profiling {
+            ctx.profiler = crate::obs::Profiler::enabled();
+        }
+        ctx.metrics = self.metrics.clone();
+        crate::obs::CoreMetrics::add(&self.metrics.statements, 1);
         let evaluator = Evaluator::new(&ctx);
-        evaluator.eval_statement(stmt)
+        let result = evaluator.eval_statement(stmt);
+        if result.as_ref().is_err_and(|e| e.is_cancelled()) {
+            crate::obs::CoreMetrics::add(&self.metrics.cancellations, 1);
+        }
+        let output = result?;
+        let profile = ctx.profiler.take();
+        if let Some(p) = &profile {
+            crate::obs::CoreMetrics::add(&self.metrics.planner_misestimates, p.misestimates);
+        }
+        Ok((output, profile))
     }
 }
 

@@ -29,6 +29,9 @@
 //! read-only against an immutable, `Arc`-shared [`EngineSnapshot`] —
 //! concurrently, via the `Send + Sync` [`QueryExecutor`] or the
 //! [`Engine::run_batch_parallel`] fan-out ([`snapshot`], [`executor`]).
+//! Evaluation is observable: execution profiles (`EXPLAIN ANALYZE`) and
+//! a unified metrics registry live in [`obs`], guaranteed never to
+//! change results.
 //!
 //! The entry point is [`Engine`]:
 //!
@@ -65,6 +68,7 @@ pub mod error;
 pub mod executor;
 pub mod expr;
 pub mod matcher;
+pub mod obs;
 pub mod paths;
 pub mod plan;
 pub mod query;
@@ -81,6 +85,7 @@ pub use engine::{run_batch_on, Engine};
 pub use error::{EngineError, Result, RuntimeError, SemanticError};
 pub use executor::QueryExecutor;
 pub use expr::{Env, Rv};
+pub use obs::{CoreMetrics, MetricsRegistry, Profiler, QueryProfile};
 pub use plan::{explain_statement, plan_match, BoundPairStrategy, MatchPlan};
 pub use query::{Evaluator, QueryOutput};
 pub use snapshot::EngineSnapshot;

@@ -514,6 +514,15 @@ impl<'e> PatternMatcher<'e> {
             Direction::In => reverse_regex(regex),
             Direction::Undirected => Regex::Alt(vec![regex.clone(), reverse_regex(regex)]),
         };
+        let prof = &self.ev.ctx.profiler;
+        let span = prof.start("path-search", || {
+            let mode = match pat.mode {
+                PathMode::All => "ALL".to_owned(),
+                PathMode::Shortest(1) => "shortest".to_owned(),
+                PathMode::Shortest(k) => format!("{k}-shortest"),
+            };
+            format!("{mode} {prev_var}→{dst_var}")
+        });
         let nfa = Nfa::compile(&effective);
         let views = self.ev.resolve_views(&nfa, &self.graph)?;
         let searcher =
@@ -604,6 +613,9 @@ impl<'e> PatternMatcher<'e> {
         } else {
             crate::plan::BoundPairStrategy::Bidirectional
         };
+        if dst_bound.is_some() {
+            prof.annotate(span, || format!("[{}]", pair_strategy.describe()));
+        }
 
         let mut bld = TableBuilder::with_pool(columns, table.pool().clone());
         let mut extra: Vec<Bound> = Vec::with_capacity(3);
@@ -731,7 +743,10 @@ impl<'e> PatternMatcher<'e> {
         // The last row's search may have been cut short after the final
         // loop-head poll.
         self.ev.ctx.check_cancelled()?;
-        Ok(bld.finish())
+        let out = bld.finish();
+        prof.add_counter(span, "frontier_pops", searcher.pops());
+        prof.finish_rows(span, out.len() as u64);
+        Ok(out)
     }
 
     /// Match stored paths (`-/@p:Label/->`), optionally checking regex

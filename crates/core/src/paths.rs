@@ -290,6 +290,10 @@ pub struct PathSearcher<'a> {
     /// Lazily compiled reversal of `nfa` (`None` inside = irreversible,
     /// i.e. the NFA traverses views).
     rev: OnceCell<Option<Nfa>>,
+    /// Frontier pops across every search this searcher ran: one count
+    /// per product-state popped off a frontier (including condensation
+    /// frames). The matcher reports it on `path-search` profile spans.
+    pops: std::cell::Cell<u64>,
 }
 
 impl<'a> PathSearcher<'a> {
@@ -327,7 +331,17 @@ impl<'a> PathSearcher<'a> {
             mode: ExpandMode::default(),
             cancel: None,
             rev: OnceCell::new(),
+            pops: std::cell::Cell::new(0),
         }
+    }
+
+    /// Total frontier pops across every search this searcher has run —
+    /// the work measure `path-search` profile spans report as
+    /// `frontier_pops`. Deterministic for a given (graph, NFA, views,
+    /// query) under sequential evaluation.
+    #[must_use]
+    pub fn pops(&self) -> u64 {
+        self.pops.get()
     }
 
     /// Select the edge-expansion strategy (for controlled benchmarks;
@@ -358,8 +372,12 @@ impl<'a> PathSearcher<'a> {
 
     /// Strided cancellation poll for frontier loops: consults the token
     /// once per [`CHECK_STRIDE`](crate::cancel::CHECK_STRIDE) calls.
+    /// Every call is one frontier pop, so this doubles as the
+    /// [`pops`](Self::pops) counter — the profiling loop boundaries are
+    /// exactly the cancellation ones.
     #[inline]
     fn cancel_tick(&self, tick: &mut u32) -> bool {
+        self.pops.set(self.pops.get() + 1);
         match &self.cancel {
             None => false,
             Some(t) => {

@@ -73,7 +73,10 @@ pub enum BoundPairStrategy {
 }
 
 impl BoundPairStrategy {
-    fn describe(self) -> &'static str {
+    /// Stable human-readable name, shared by the `EXPLAIN` rendering
+    /// and `path-search` profile spans.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
         match self {
             BoundPairStrategy::Bidirectional => "bidirectional meet",
             BoundPairStrategy::ReverseCone => "reverse cone",

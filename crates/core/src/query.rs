@@ -103,7 +103,12 @@ impl<'e> Evaluator<'e> {
                 QueryBody::Graph(g) => {
                     Ok(QueryOutput::Graph(self.eval_full_graph_query(g, outer)?))
                 }
-                QueryBody::Select(s) => Ok(QueryOutput::Table(eval_select(self, s, outer)?)),
+                QueryBody::Select(s) => {
+                    let span = self.ctx.profiler.start("select", String::new);
+                    let t = eval_select(self, s, outer)?;
+                    self.ctx.profiler.finish_rows(span, t.len() as u64);
+                    Ok(QueryOutput::Table(t))
+                }
             }
         };
         let result = run();
@@ -130,16 +135,35 @@ impl<'e> Evaluator<'e> {
         match q {
             FullGraphQuery::Basic(b) => {
                 let bindings = self.eval_source(&b.source, outer)?;
-                eval_construct(self, &b.construct, &bindings, outer)
+                let span = self.ctx.profiler.start("construct", String::new);
+                self.ctx
+                    .profiler
+                    .add_counter(span, "input_rows", bindings.len() as u64);
+                let g = eval_construct(self, &b.construct, &bindings, outer)?;
+                self.ctx
+                    .profiler
+                    .add_counter(span, "edges", g.edge_count() as u64);
+                self.ctx.profiler.finish_rows(span, g.node_count() as u64);
+                Ok(g)
             }
             FullGraphQuery::SetOp { op, left, right } => {
                 let l = self.eval_full_graph_query(left, outer)?;
                 let r = self.eval_full_graph_query(right, outer)?;
-                Ok(match op {
+                let span = self.ctx.profiler.start("set-op", || {
+                    match op {
+                        GraphSetOp::Union => "union",
+                        GraphSetOp::Intersect => "intersect",
+                        GraphSetOp::Minus => "minus",
+                    }
+                    .to_owned()
+                });
+                let g = match op {
                     GraphSetOp::Union => ops::union(&l, &r),
                     GraphSetOp::Intersect => ops::intersect(&l, &r),
                     GraphSetOp::Minus => ops::difference(&l, &r),
-                })
+                };
+                self.ctx.profiler.finish_rows(span, g.node_count() as u64);
+                Ok(g)
             }
         }
     }
@@ -184,12 +208,35 @@ impl<'e> Evaluator<'e> {
     /// the full WHERE is still applied afterwards (filters are
     /// idempotent, so semantics are unchanged).
     pub fn eval_match(&self, m: &MatchClause, outer: Option<&Env<'_>>) -> Result<BindingTable> {
+        let prof = &self.ctx.profiler;
+        let match_span = prof.start("match", || format!("{} pattern(s)", m.patterns.len()));
         // Plan top-level MATCH clauses: greedy join ordering, IN-conjunct
         // pushdown, residual WHERE. Correlated (subquery) matches run
         // unplanned — their semantics depend on outer bindings the
         // planner does not model.
-        let plan = (self.ctx.planner.get() && outer.is_none())
-            .then(|| crate::plan::plan_match(m, &|on| self.plan_graph(on)));
+        let plan = if self.ctx.planner.get() && outer.is_none() {
+            let span = prof.start("plan", String::new);
+            let p = crate::plan::plan_match(m, &|on| self.plan_graph(on));
+            if p.reordered {
+                crate::obs::CoreMetrics::add(&self.ctx.metrics.planner_reorders, 1);
+            }
+            crate::obs::CoreMetrics::add(
+                &self.ctx.metrics.planner_pushdowns,
+                p.pushed.len() as u64,
+            );
+            prof.annotate(span, || {
+                format!(
+                    "reordered={} pushed={} residual_conjuncts={}",
+                    p.reordered,
+                    p.pushed.len(),
+                    p.residual_conjuncts
+                )
+            });
+            prof.finish(span);
+            Some(p)
+        } else {
+            None
+        };
         let m = plan.as_ref().map_or(m, |p| &p.clause);
         let threads = self.ctx.parallelism.get();
         let prefilters = if self.ctx.filter_pushdown.get() {
@@ -198,16 +245,42 @@ impl<'e> Evaluator<'e> {
             Default::default()
         };
         let mut table = BindingTable::unit();
-        for lp in &m.patterns {
+        for (pos, lp) in m.patterns.iter().enumerate() {
             // One poll per pattern: each iteration runs a full pattern
             // match plus a join, so a fired token stops the clause
             // before the next (possibly explosive) product.
             self.ctx.check_cancelled()?;
             let graph = self.resolve_location(&lp.on)?;
             self.ctx.set_ambient(graph.clone());
+            let span = prof.start("pattern", || {
+                format!("{}. {}", pos + 1, gcore_parser::print_located(lp))
+            });
+            if let Some(p) = &plan {
+                prof.set_estimate(span, p.order[pos].estimate);
+            }
             let matcher = PatternMatcher::new(self, graph).with_prefilters(prefilters.clone());
             let t = matcher.eval_pattern(&lp.pattern, outer)?;
-            table = table.join_parallel(&t, threads, Some(&self.ctx.cancel));
+            prof.finish_rows(span, t.len() as u64);
+            if pos == 0 {
+                // Joining the unit table is the identity; no join span.
+                table = table.join_parallel(&t, threads, Some(&self.ctx.cancel));
+            } else {
+                let span = prof.start("join", || {
+                    let shared: Vec<&str> = t
+                        .columns()
+                        .iter()
+                        .filter(|c| table.column_index(&c.var).is_some())
+                        .map(|c| c.var.as_str())
+                        .collect();
+                    if shared.is_empty() {
+                        "on ∅ (product)".to_owned()
+                    } else {
+                        format!("on {}", shared.join(", "))
+                    }
+                });
+                table = table.join_parallel(&t, threads, Some(&self.ctx.cancel));
+                prof.finish_rows(span, table.len() as u64);
+            }
             self.ctx.check_cancelled()?;
         }
         // Re-pin the ambient graph to the syntactically last pattern's:
@@ -222,9 +295,14 @@ impl<'e> Evaluator<'e> {
             }
         }
         if let Some(w) = &m.where_clause {
+            let input = table.len() as u64;
+            let span = prof.start("where", || gcore_parser::print_expr(w));
+            prof.add_counter(span, "input_rows", input);
             table = self.filter_table(table, w, outer)?;
+            prof.finish_rows(span, table.len() as u64);
         }
         for opt in &m.optionals {
+            let span = prof.start("optional", || format!("{} pattern(s)", opt.patterns.len()));
             let opt_prefilters = pushdown_prefilters(opt.where_clause.as_ref());
             let mut ot = BindingTable::unit();
             for lp in &opt.patterns {
@@ -238,11 +316,13 @@ impl<'e> Evaluator<'e> {
                 ot = self.filter_table(ot, w, outer)?;
             }
             table = table.left_outer_join(&ot);
+            prof.finish_rows(span, table.len() as u64);
         }
         // Correlated subqueries: Jγ K_{Ω,G} = Jγ K_G ⋉ Ω (§A.2).
         if let Some(o) = outer {
             table = table.semijoin(&env_to_table(o));
         }
+        prof.finish_rows(match_span, table.len() as u64);
         Ok(table)
     }
 

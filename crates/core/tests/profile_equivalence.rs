@@ -1,0 +1,148 @@
+//! Profiling is pure *observation*: enabling it may never change any
+//! result. This suite pins profiling-on ≡ profiling-off bit-identically
+//! over the whole §3/§5 corpus and an SNB-1000 mix, in both planner
+//! modes (it runs in the `GCORE_PLAN=off` CI job too), and checks that
+//! every profiled statement yields a structurally well-formed profile.
+//!
+//! Outputs are compared canonically (see `common/mod.rs`, shared with
+//! the planner, snapshot and cancellation suites).
+
+mod common;
+
+use common::{canon_result, corpus_texts, prepared_engine};
+use gcore::Engine;
+use gcore_snb::{generate, SnbConfig};
+
+/// Run the whole §3/§5 corpus on a fresh tour engine and canonicalize
+/// every statement's result (errors included).
+fn corpus_canon(profiling: bool) -> Vec<String> {
+    let mut engine = prepared_engine();
+    engine.set_profiling(profiling);
+    let watermark = engine.catalog().ids().peek();
+    corpus_texts()
+        .iter()
+        .map(|t| canon_result(&engine.run(t), watermark))
+        .collect()
+}
+
+/// Every profile span boundary sits on an existing evaluation boundary;
+/// collecting a span tree must leave each corpus result bit-identical.
+#[test]
+fn corpus_with_profiling_matches_baseline() {
+    let baseline = corpus_canon(false);
+    let profiled = corpus_canon(true);
+    for (i, (a, b)) in baseline.iter().zip(&profiled).enumerate() {
+        assert_eq!(
+            a,
+            b,
+            "corpus statement {i} ({}) diverged under profiling",
+            gcore_repro::corpus::ALL[i].id
+        );
+    }
+}
+
+/// A mix over the SNB schema hitting every instrumented operator: label
+/// scans, multi-pattern joins, WHERE filtering, unbounded reachability
+/// (`knows*`), bound-pair reachability, shortest paths, and aggregation
+/// over a reverse hub relation. Same mix as the cancellation suite —
+/// spans and cancellation polls share their loop boundaries.
+const SNB_MIX: &[&str] = &[
+    "CONSTRUCT (n) MATCH (n:Person) WHERE n.personId < 50",
+    "CONSTRUCT (n)-[:fof]->(k) \
+     MATCH (n:Person)-[:knows]->(m:Person)-[:knows]->(k:Person) \
+     WHERE n.personId < 10",
+    "SELECT p.firstName, q.firstName \
+     MATCH (p:Person)-[:knows]->(q:Person), (q)-[:isLocatedIn]->(c:City) \
+     WHERE c.name = 'Arnhem'",
+    "CONSTRUCT (p)-[:sameCity]->(q) \
+     MATCH (p:Person)-/<:knows*>/->(q:Person), \
+           (p)-[:isLocatedIn]->(c:City)<-[:isLocatedIn]-(q) \
+     WHERE p.personId < 25 AND q.personId < 40",
+    "SELECT p.personId, q.personId \
+     MATCH (p:Person)-[:knows]->(q:Person)-/<:knows*>/->(p) \
+     WHERE p.personId < 40",
+    "CONSTRUCT (p)-/@sp/->(q) \
+     MATCH (p:Person)-/3 SHORTEST sp <:knows*>/->(q:Person) \
+     WHERE p.firstName = 'Mahinda'",
+    "SELECT c.name, COUNT(*) AS people \
+     MATCH (c:City)<-[:isLocatedIn]-(p:Person) \
+     GROUP BY c.name",
+    "SELECT t.name, COUNT(*) AS fans \
+     MATCH (p:Person)-[:hasInterest]->(t:Tag) \
+     GROUP BY t.name",
+];
+
+fn snb_engine() -> Engine {
+    let mut engine = Engine::new();
+    let data = generate(&SnbConfig::scale(1000), &engine.catalog().ids().clone());
+    engine.register_graph("snb", data.graph);
+    engine.set_default_graph("snb");
+    engine
+}
+
+fn snb_canon(profiling: bool) -> Vec<String> {
+    let mut engine = snb_engine();
+    engine.set_profiling(profiling);
+    let watermark = engine.catalog().ids().peek();
+    SNB_MIX
+        .iter()
+        .map(|t| canon_result(&engine.run(t), watermark))
+        .collect()
+}
+
+#[test]
+fn snb_mix_with_profiling_matches_baseline() {
+    let baseline = snb_canon(false);
+    let profiled = snb_canon(true);
+    for (i, (a, b)) in baseline.iter().zip(&profiled).enumerate() {
+        assert_eq!(a, b, "SNB query {i} diverged under profiling");
+    }
+}
+
+/// `Engine::profile` must return the same output `Engine::run` does,
+/// plus a well-formed profile for every SNB mix statement.
+#[test]
+fn profile_returns_the_same_output_plus_a_wellformed_profile() {
+    let mut plain = snb_engine();
+    let mut profiled = snb_engine();
+    let watermark = plain.catalog().ids().peek();
+    for text in SNB_MIX {
+        let via_run = canon_result(&plain.run(text), watermark);
+        let (out, profile) = profiled.profile(text).expect(text);
+        assert_eq!(via_run, canon_result(&Ok(out), watermark), "{text}");
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("{text}: malformed profile: {e}"));
+        assert!(profile.span_count() > 0);
+    }
+}
+
+/// Profiled evaluation feeds the engine's metrics registry: statement
+/// counts always, misestimate counts whenever estimates diverge.
+#[test]
+fn profiled_statements_reach_the_metrics_registry() {
+    let mut engine = snb_engine();
+    engine.set_profiling(true);
+    for text in SNB_MIX {
+        engine.run(text).expect(text);
+    }
+    let snap = engine.metrics_registry().snapshot();
+    let get = |name: &str| {
+        snap.iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("metric '{name}' not registered"))
+    };
+    assert_eq!(get("statements"), SNB_MIX.len() as u64);
+    assert_eq!(get("cancellations"), 0);
+    // The mix contains multi-pattern clauses; the planner must have
+    // done *something* observable across it.
+    assert!(get("planner_reorders") + get("planner_pushdowns") > 0 || !planner_on());
+}
+
+fn planner_on() -> bool {
+    !matches!(
+        std::env::var("GCORE_PLAN").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    )
+}

@@ -8,6 +8,7 @@ use crate::protocol::{
     AdminResponse, ErrorCode, Frame, FrameKind, GraphListing, OutputSort, FRAME_CHECKSUM_LEN,
     FRAME_HEADER_LEN, HANDSHAKE_MAGIC, MAX_FRAME_PAYLOAD, PROTOCOL_VERSION,
 };
+use crate::stats::SlowLogEntry;
 use gcore::QueryOutput;
 use gcore_parser::{parse_statement, Statement};
 use std::io::{Read, Write};
@@ -181,6 +182,34 @@ impl Client {
     pub fn ping(&mut self) -> Result<u64, ServeError> {
         match self.admin(&AdminRequest::Ping)? {
             AdminResponse::Epoch(epoch) => Ok(epoch),
+            other => Err(Self::unexpected_admin(&other)),
+        }
+    }
+
+    /// The server's unified metrics as Prometheus-style text: server
+    /// counters and latency histograms under `gcore_`, the engine's
+    /// core metrics (planner, cancellation, SCC-cache) under
+    /// `gcore_engine_`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error frame.
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        match self.admin(&AdminRequest::Metrics)? {
+            AdminResponse::Text(text) => Ok(text),
+            other => Err(Self::unexpected_admin(&other)),
+        }
+    }
+
+    /// The server's slow-query log, oldest entry first. Empty unless
+    /// the server runs with a slow-query threshold (`--slow-ms`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error frame.
+    pub fn slowlog(&mut self) -> Result<Vec<SlowLogEntry>, ServeError> {
+        match self.admin(&AdminRequest::SlowLog)? {
+            AdminResponse::SlowLog(entries) => Ok(entries),
             other => Err(Self::unexpected_admin(&other)),
         }
     }

@@ -12,8 +12,9 @@
 //!   catalog front; each commit bumps the epoch that later queries and
 //!   connections observe.
 //! * **admin** — catalog listing, server stats, plan explanation,
-//!   save/load against a storage directory, ping, and per-connection
-//!   statement timeouts.
+//!   save/load against a storage directory, ping, per-connection
+//!   statement timeouts, Prometheus-style metrics text, and the
+//!   slow-query log.
 //!
 //! Connections past the cap are turned away with a `Busy` error frame;
 //! shutdown drains in-flight statements. The protocol error codes
@@ -53,4 +54,4 @@ pub use protocol::{
     PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server, ServerHandle};
-pub use stats::{LatencyBuckets, ServerStats, StatsSnapshot};
+pub use stats::{LatencyBuckets, ServerStats, SlowLog, SlowLogEntry, StatsSnapshot};

@@ -26,6 +26,11 @@ OPTIONS:
                               this many are queued waiting for a worker
                                                   [env: GCORE_SERVE_MAX_PENDING] [default: unbounded]
     --timeout-ms <MS>         Statement timeout   [env: GCORE_SERVE_TIMEOUT_MS] [default: off; 0 = off]
+    --slow-ms <MS>            Slow-query threshold: profile every query and
+                              log statements at or over it to the admin
+                              slowlog route     [env: GCORE_SERVE_SLOW_MS] [default: off; 0 = off]
+    --slowlog-capacity <N>    Slow-query log ring size
+                                                  [env: GCORE_SERVE_SLOWLOG_CAPACITY] [default: 64]
     --data-dir <DIR>          Storage directory; loaded at boot when it
                               holds a catalog, and backs admin save/load
                                                   [env: GCORE_SERVE_DATA_DIR]
@@ -41,6 +46,8 @@ struct Options {
     max_connections: Option<usize>,
     max_pending: Option<usize>,
     timeout_ms: Option<u64>,
+    slow_ms: Option<u64>,
+    slowlog_capacity: Option<usize>,
     data_dir: Option<PathBuf>,
     snb: Option<usize>,
 }
@@ -56,6 +63,8 @@ fn parse_options() -> Result<Options, String> {
         max_connections: parse_env("GCORE_SERVE_MAX_CONNECTIONS")?,
         max_pending: parse_env("GCORE_SERVE_MAX_PENDING")?,
         timeout_ms: parse_env("GCORE_SERVE_TIMEOUT_MS")?,
+        slow_ms: parse_env("GCORE_SERVE_SLOW_MS")?,
+        slowlog_capacity: parse_env("GCORE_SERVE_SLOWLOG_CAPACITY")?,
         data_dir: env_opt("GCORE_SERVE_DATA_DIR").map(PathBuf::from),
         snb: parse_env("GCORE_SERVE_SNB")?,
     };
@@ -79,6 +88,15 @@ fn parse_options() -> Result<Options, String> {
             }
             "--timeout-ms" => {
                 opts.timeout_ms = Some(parse_num(&value("--timeout-ms")?, "--timeout-ms")?);
+            }
+            "--slow-ms" => {
+                opts.slow_ms = Some(parse_num(&value("--slow-ms")?, "--slow-ms")?);
+            }
+            "--slowlog-capacity" => {
+                opts.slowlog_capacity = Some(parse_num(
+                    &value("--slowlog-capacity")?,
+                    "--slowlog-capacity",
+                )?);
             }
             "--data-dir" => opts.data_dir = Some(PathBuf::from(value("--data-dir")?)),
             "--snb" => opts.snb = Some(parse_num(&value("--snb")?, "--snb")?),
@@ -170,6 +188,11 @@ fn main() {
             Some(ms) => Some(Duration::from_millis(ms)),
         },
         data_dir: opts.data_dir.clone(),
+        slow_threshold: match opts.slow_ms {
+            None | Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms)),
+        },
+        slowlog_capacity: opts.slowlog_capacity.unwrap_or(64),
         ..ServeConfig::default()
     };
     let handle = match Server::start(engine, config) {

@@ -481,6 +481,12 @@ pub enum AdminRequest {
     /// Set this connection's statement timeout in milliseconds (0
     /// disables it).
     SetTimeout(u64),
+    /// The unified metrics registry rendered as Prometheus-style text
+    /// (server counters plus the engine's core metrics).
+    Metrics,
+    /// The slow-query log: the most recent over-threshold statements
+    /// with their execution profiles.
+    SlowLog,
 }
 
 const ADMIN_LIST: u8 = 1;
@@ -490,6 +496,8 @@ const ADMIN_SAVE: u8 = 4;
 const ADMIN_LOAD: u8 = 5;
 const ADMIN_PING: u8 = 6;
 const ADMIN_SET_TIMEOUT: u8 = 7;
+const ADMIN_METRICS: u8 = 8;
+const ADMIN_SLOWLOG: u8 = 9;
 
 impl AdminRequest {
     /// Serialize as an [`FrameKind::Admin`] payload.
@@ -509,6 +517,8 @@ impl AdminRequest {
                 out.push(ADMIN_SET_TIMEOUT);
                 put_u64(&mut out, *ms);
             }
+            AdminRequest::Metrics => out.push(ADMIN_METRICS),
+            AdminRequest::SlowLog => out.push(ADMIN_SLOWLOG),
         }
         out
     }
@@ -524,6 +534,8 @@ impl AdminRequest {
             ADMIN_LOAD => AdminRequest::Load,
             ADMIN_PING => AdminRequest::Ping,
             ADMIN_SET_TIMEOUT => AdminRequest::SetTimeout(c.u64()?),
+            ADMIN_METRICS => AdminRequest::Metrics,
+            ADMIN_SLOWLOG => AdminRequest::SlowLog,
             op => return Err(ServeError::Protocol(format!("unknown admin op {op}"))),
         };
         c.finish()?;
@@ -556,6 +568,10 @@ pub enum AdminResponse {
     Epoch(u64),
     /// Reply to [`AdminRequest::SetTimeout`].
     Ok,
+    /// Reply to [`AdminRequest::Metrics`]: Prometheus-style text.
+    Text(String),
+    /// Reply to [`AdminRequest::SlowLog`], oldest entry first.
+    SlowLog(Vec<crate::stats::SlowLogEntry>),
 }
 
 const RESP_GRAPHS: u8 = 1;
@@ -563,6 +579,8 @@ const RESP_STATS: u8 = 2;
 const RESP_EXPLAIN: u8 = 3;
 const RESP_EPOCH: u8 = 4;
 const RESP_OK: u8 = 5;
+const RESP_TEXT: u8 = 6;
+const RESP_SLOWLOG: u8 = 7;
 
 impl AdminResponse {
     /// Serialize as an [`FrameKind::AdminOk`] payload.
@@ -604,6 +622,20 @@ impl AdminResponse {
                 put_u64(&mut out, *epoch);
             }
             AdminResponse::Ok => out.push(RESP_OK),
+            AdminResponse::Text(text) => {
+                out.push(RESP_TEXT);
+                put_str(&mut out, text);
+            }
+            AdminResponse::SlowLog(entries) => {
+                out.push(RESP_SLOWLOG);
+                put_u32(&mut out, entries.len() as u32);
+                for e in entries {
+                    put_str(&mut out, &e.text);
+                    put_u64(&mut out, e.epoch);
+                    put_u64(&mut out, e.elapsed_us);
+                    put_str(&mut out, &e.profile);
+                }
+            }
         }
         out
     }
@@ -649,6 +681,20 @@ impl AdminResponse {
             RESP_EXPLAIN => AdminResponse::Explain(c.str()?),
             RESP_EPOCH => AdminResponse::Epoch(c.u64()?),
             RESP_OK => AdminResponse::Ok,
+            RESP_TEXT => AdminResponse::Text(c.str()?),
+            RESP_SLOWLOG => {
+                let n = c.u32()? as usize;
+                let mut entries = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    entries.push(crate::stats::SlowLogEntry {
+                        text: c.str()?,
+                        epoch: c.u64()?,
+                        elapsed_us: c.u64()?,
+                        profile: c.str()?,
+                    });
+                }
+                AdminResponse::SlowLog(entries)
+            }
             tag => {
                 return Err(ServeError::Protocol(format!(
                     "unknown admin response tag {tag}"
@@ -714,6 +760,8 @@ mod tests {
             AdminRequest::Load,
             AdminRequest::Ping,
             AdminRequest::SetTimeout(250),
+            AdminRequest::Metrics,
+            AdminRequest::SlowLog,
         ];
         for req in requests {
             assert_eq!(AdminRequest::decode(&req.encode()).unwrap(), req);
@@ -728,6 +776,13 @@ mod tests {
             AdminResponse::Explain("plan".into()),
             AdminResponse::Epoch(9),
             AdminResponse::Ok,
+            AdminResponse::Text("# TYPE gcore_queries_ok counter\n".into()),
+            AdminResponse::SlowLog(vec![crate::stats::SlowLogEntry {
+                text: "SELECT n MATCH (n)".into(),
+                epoch: 4,
+                elapsed_us: 125_000,
+                profile: "match 1 pattern(s)  rows=9\n".into(),
+            }]),
         ];
         for resp in responses {
             assert_eq!(AdminResponse::decode(&resp.encode()).unwrap(), resp);

@@ -49,8 +49,9 @@ use crate::protocol::{
     AdminResponse, ErrorCode, Frame, FrameKind, GraphListing, OutputSort, CHUNK_PAYLOAD,
     FRAME_CHECKSUM_LEN, FRAME_HEADER_LEN, HANDSHAKE_MAGIC, MAX_FRAME_PAYLOAD, PROTOCOL_VERSION,
 };
-use crate::stats::{ServerStats, StatsSnapshot};
-use gcore::{Engine, QueryExecutor, QueryOutput};
+use crate::stats::{as_micros, ServerStats, SlowLog, SlowLogEntry, StatsSnapshot};
+use gcore::obs::MetricsRegistry;
+use gcore::{Engine, QueryExecutor, QueryOutput, QueryProfile};
 use gcore_store::{DirBackend, StorageBackend};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -90,6 +91,14 @@ pub struct ServeConfig {
     /// Directory backing the admin save/load routes. `None` makes
     /// those routes answer with a `Storage` error.
     pub data_dir: Option<PathBuf>,
+    /// Slow-query threshold. When set, every query is profiled and
+    /// statements at or over the threshold enter the slow-query log
+    /// (readable over the admin `slowlog` route) with their rendered
+    /// execution profile. `None` (the default) disables the log and
+    /// the per-statement profiling that feeds it.
+    pub slow_threshold: Option<Duration>,
+    /// Capacity of the slow-query log ring; older entries are evicted.
+    pub slowlog_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +111,8 @@ impl Default for ServeConfig {
             statement_timeout: None,
             frame_deadline: Duration::from_secs(30),
             data_dir: None,
+            slow_threshold: None,
+            slowlog_capacity: 64,
         }
     }
 }
@@ -128,6 +139,14 @@ struct Shared {
     max_connections: usize,
     max_pending: usize,
     backend: Option<DirBackend>,
+    /// The engine's core metrics registry (planner/cancellation
+    /// counters), rendered by the admin `metrics` route alongside the
+    /// server's own registry. Cloned out of the engine at start so the
+    /// route never needs the engine lock for counter reads.
+    core_registry: Arc<MetricsRegistry>,
+    /// Slow-query threshold; `Some` also turns on per-query profiling.
+    slow_threshold: Option<Duration>,
+    slowlog: SlowLog,
 }
 
 impl Shared {
@@ -214,6 +233,7 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let threads = config.threads.max(1);
+        let core_registry = Arc::clone(engine.metrics_registry());
         let shared = Arc::new(Shared {
             engine: Mutex::new(engine),
             stats: ServerStats::new(),
@@ -230,6 +250,9 @@ impl Server {
                 }
                 None => None,
             },
+            core_registry,
+            slow_threshold: config.slow_threshold,
+            slowlog: SlowLog::new(config.slowlog_capacity),
         });
 
         let (tx, rx) = mpsc::channel::<(TcpStream, Reservation)>();
@@ -633,6 +656,9 @@ impl<'a> Connection<'a> {
     // -- routes --------------------------------------------------------
 
     /// The **query** route: pin a snapshot, evaluate off-lock, stream.
+    /// With a slow-query threshold configured the statement is profiled
+    /// and, when it runs at or over the threshold, logged with its
+    /// rendered execution profile.
     fn handle_query(&mut self, payload: &[u8]) -> bool {
         let Some(text) = self.utf8_or_reject(payload) else {
             return false;
@@ -641,8 +667,26 @@ impl<'a> Connection<'a> {
         // clone, never for evaluation.
         let executor = { self.shared.lock_engine().executor() };
         let epoch = executor.epoch();
-        match self.evaluate(executor, &text) {
-            Evaluated::Ok(output) => {
+        let started = Instant::now();
+        let evaluated = self.evaluate(executor, &text);
+        if let Some(threshold) = self.shared.slow_threshold {
+            let elapsed = started.elapsed();
+            if elapsed >= threshold {
+                ServerStats::bump(&self.shared.stats.slow_queries);
+                let profile = match &evaluated {
+                    Evaluated::Ok(_, Some(p)) => p.render(false),
+                    _ => String::new(), // failed or cancelled before a profile
+                };
+                self.shared.slowlog.record(SlowLogEntry {
+                    text,
+                    epoch,
+                    elapsed_us: as_micros(elapsed),
+                    profile,
+                });
+            }
+        }
+        match evaluated {
+            Evaluated::Ok(output, _) => {
                 ServerStats::bump(&self.shared.stats.queries_ok);
                 self.send_output(epoch, &output)
             }
@@ -719,7 +763,43 @@ impl<'a> Connection<'a> {
                     default_graph: catalog.default_graph_name().map(str::to_owned),
                 }))
             }
-            AdminRequest::Stats => Ok(AdminResponse::Stats(self.shared.stats.snapshot().named())),
+            AdminRequest::Stats => {
+                // Engine-level pairs ride along with the server
+                // counters: snapshot SCC-cache behavior and the epoch
+                // under one brief lock. Old clients decode them into
+                // `StatsSnapshot::extra`; older ones ignore them.
+                let (hits, misses, evictions, epoch) = {
+                    let mut engine = self.shared.lock_engine();
+                    let (h, m, e) = engine.executor().snapshot().scc_cache_stats();
+                    (h, m, e, engine.snapshot_epoch())
+                };
+                let mut named = self.shared.stats.snapshot().named();
+                named.push(("engine_epoch".to_owned(), epoch));
+                named.push(("scc_cache_evictions".to_owned(), evictions));
+                named.push(("scc_cache_hits".to_owned(), hits));
+                named.push(("scc_cache_misses".to_owned(), misses));
+                named.sort();
+                Ok(AdminResponse::Stats(named))
+            }
+            AdminRequest::Metrics => {
+                // Refresh the engine-level gauges, then render both
+                // registries: the server's counters under `gcore_` and
+                // the engine's core metrics under `gcore_engine_`.
+                let (hits, misses, evictions, epoch) = {
+                    let mut engine = self.shared.lock_engine();
+                    let (h, m, e) = engine.executor().snapshot().scc_cache_stats();
+                    (h, m, e, engine.snapshot_epoch())
+                };
+                let core = &self.shared.core_registry;
+                core.set_gauge("scc_cache_hits", hits);
+                core.set_gauge("scc_cache_misses", misses);
+                core.set_gauge("scc_cache_evictions", evictions);
+                core.set_gauge("engine_epoch", epoch);
+                let mut text = self.shared.stats.registry().render_prometheus("gcore");
+                text.push_str(&core.render_prometheus("gcore_engine"));
+                Ok(AdminResponse::Text(text))
+            }
+            AdminRequest::SlowLog => Ok(AdminResponse::SlowLog(self.shared.slowlog.entries())),
             AdminRequest::Explain(text) => {
                 let executor = { self.shared.lock_engine().executor() };
                 match executor.explain(&text) {
@@ -795,8 +875,20 @@ impl<'a> Connection<'a> {
     /// superseding any deadline baked into the engine by an embedder.
     fn evaluate(&self, mut executor: QueryExecutor, text: &str) -> Evaluated {
         executor.set_statement_deadline(self.timeout);
+        if self.shared.slow_threshold.is_some() {
+            // The slow-query log needs a profile for statements that
+            // cross the threshold, which is only known afterwards — so
+            // a configured threshold profiles every query. Profiling is
+            // observation-only (pinned by the profile-equivalence
+            // suite) and its overhead is a few percent.
+            return match executor.run_profiled(text) {
+                Ok((output, profile)) => Evaluated::Ok(Box::new(output), Some(Box::new(profile))),
+                Err(e) if e.is_cancelled() => Evaluated::TimedOut,
+                Err(e) => Evaluated::Err(e.to_string()),
+            };
+        }
         match executor.run(text) {
-            Ok(output) => Evaluated::Ok(Box::new(output)),
+            Ok(output) => Evaluated::Ok(Box::new(output), None),
             Err(e) if e.is_cancelled() => Evaluated::TimedOut,
             Err(e) => Evaluated::Err(e.to_string()),
         }
@@ -804,7 +896,7 @@ impl<'a> Connection<'a> {
 }
 
 enum Evaluated {
-    Ok(Box<QueryOutput>),
+    Ok(Box<QueryOutput>, Option<Box<QueryProfile>>),
     Err(String),
     TimedOut,
 }

@@ -1,0 +1,63 @@
+//! `EXPLAIN ANALYZE` over the paper's §3/§5 corpus: profile every
+//! statement of the guided tour against the tour catalog, print each
+//! execution profile (operator spans, estimated vs actual cardinality,
+//! frontier-pop counts, timings), and exit nonzero if any profile is
+//! structurally malformed — CI runs this as a smoke test of the whole
+//! observability path.
+//!
+//! ```sh
+//! cargo run --release --example profile
+//! ```
+//!
+//! Statements are evaluated in corpus order, committing as they go, so
+//! later profiles see the graph views earlier statements define —
+//! exactly how `examples/check.rs --explain` treats the static plan.
+
+use gcore_repro::corpus;
+use gcore_repro::engine::Engine;
+use gcore_repro::ppg::IdGen;
+use gcore_repro::snb::{figure2, social_dataset};
+use std::process::ExitCode;
+
+/// The guided-tour catalog the corpus queries expect.
+fn tour_engine() -> Engine {
+    let mut engine = Engine::new();
+    let ids: IdGen = engine.catalog().ids().clone();
+    let d = social_dataset(&ids);
+    engine.register_graph("social_graph", d.social_graph);
+    engine.register_graph("company_graph", d.company_graph);
+    engine.register_graph("figure2", figure2(&ids));
+    engine.register_table("orders", d.orders);
+    engine.set_default_graph("social_graph");
+    engine
+}
+
+fn main() -> ExitCode {
+    let mut engine = tour_engine();
+    let mut malformed = 0usize;
+    let mut profiled = 0usize;
+    for q in corpus::ALL {
+        println!("── {} ──", q.id);
+        // Profile read-only first (the profile run commits nothing)…
+        match engine.profile(q.text) {
+            Ok((_, profile)) => {
+                profiled += 1;
+                if let Err(e) = profile.validate() {
+                    malformed += 1;
+                    eprintln!("MALFORMED PROFILE for {}: {e}", q.id);
+                }
+                print!("{}", profile.render(false));
+            }
+            Err(e) => println!("(statement error: {e})"),
+        }
+        // …then evaluate for real so later statements see this one's
+        // committed views.
+        let _ = engine.run(q.text);
+        println!();
+    }
+    println!("profiled {profiled} corpus statements, {malformed} malformed");
+    if malformed > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
